@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks of the simulator itself: epoch simulation
+//! throughput, the max-min fair solver, and communication-plan
+//! construction. These track the *reproduction's* performance, not the
+//! paper's results.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stash_collectives::bucket::{Bucketing, CommPlan};
+use stash_ddl::config::{EpochMode, TrainConfig};
+use stash_ddl::engine::run_epoch;
+use stash_dnn::zoo;
+use stash_flowsim::fairness::max_min_rates;
+use stash_hwtopo::cluster::ClusterSpec;
+use stash_hwtopo::instance::{p3_16xlarge, p3_8xlarge};
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("epoch_resnet18_p3_16xlarge_5iters", |b| {
+        let mut cfg = TrainConfig::synthetic(
+            ClusterSpec::single(p3_16xlarge()),
+            zoo::resnet18(),
+            32,
+            32 * 5,
+        );
+        cfg.epoch_mode = EpochMode::Full;
+        b.iter(|| run_epoch(std::hint::black_box(&cfg)).unwrap());
+    });
+    c.bench_function("epoch_alexnet_2x_p3_8xlarge_5iters", |b| {
+        let mut cfg = TrainConfig::synthetic(
+            ClusterSpec::homogeneous(p3_8xlarge(), 2),
+            zoo::alexnet(),
+            32,
+            32 * 5,
+        );
+        cfg.epoch_mode = EpochMode::Full;
+        b.iter(|| run_epoch(std::hint::black_box(&cfg)).unwrap());
+    });
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let caps: Vec<f64> = (0..32).map(|i| 1e9 + i as f64).collect();
+    let routes: Vec<Vec<usize>> = (0..64).map(|i| vec![i % 32, (i * 7) % 32]).collect();
+    c.bench_function("max_min_rates_32links_64flows", |b| {
+        b.iter(|| max_min_rates(std::hint::black_box(&caps), std::hint::black_box(&routes)));
+    });
+}
+
+fn bench_plans(c: &mut Criterion) {
+    let model = zoo::resnet50();
+    c.bench_function("comm_plan_resnet50_per_layer", |b| {
+        b.iter(|| CommPlan::new(std::hint::black_box(&model), Bucketing::PerLayer));
+    });
+    c.bench_function("zoo_build_all_models", |b| {
+        b.iter(zoo::all_models);
+    });
+}
+
+criterion_group!(benches, bench_engine, bench_solver, bench_plans);
+criterion_main!(benches);

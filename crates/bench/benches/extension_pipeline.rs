@@ -1,0 +1,43 @@
+//! Extension: pipeline parallelism for the models the paper excludes.
+//!
+//! §IV-A defers model/hybrid parallelism; this experiment answers the
+//! deferred question with the GPipe-style estimator: DLRM (4B params,
+//! infeasible under data parallelism on every catalog instance) becomes
+//! feasible on a p3.16xlarge once split into enough stages, and deeper
+//! pipelines trade bubble overhead for memory headroom.
+
+use stash_bench::Table;
+use stash_core::pipeline::plan;
+use stash_dnn::zoo;
+use stash_hwtopo::instance::p3_16xlarge;
+
+fn main() {
+    let mut t = Table::new(
+        "extension_pipeline",
+        "GPipe-style pipeline feasibility and throughput (extension beyond the paper)",
+        &["model", "stages", "micro_batches", "fits", "worst_stage_gb", "samples_per_s"],
+    );
+    let inst = p3_16xlarge();
+    let mut dlrm_feasible_at = None;
+    for model in [zoo::dlrm(), zoo::bert_large()] {
+        for stages in [1_usize, 2, 4, 8] {
+            let p = plan(&inst, &model, stages, 4, 8);
+            let worst = p.stages.iter().map(|s| s.memory_bytes).fold(0.0_f64, f64::max);
+            if model.name == "DLRM" && p.fits && dlrm_feasible_at.is_none() {
+                dlrm_feasible_at = Some(stages);
+            }
+            t.row(vec![
+                model.name.clone(),
+                stages.to_string(),
+                p.micro_batches.to_string(),
+                p.fits.to_string(),
+                format!("{:.1}", worst / 1e9),
+                format!("{:.0}", p.throughput),
+            ]);
+        }
+    }
+    t.finish();
+    let at = dlrm_feasible_at.expect("DLRM must become feasible with enough stages");
+    assert!(at > 1, "DLRM must NOT fit a single V100");
+    println!("shape check: DLRM infeasible under data parallelism, feasible at {at}-stage pipeline ✓");
+}

@@ -1,0 +1,34 @@
+//! Fig. 7: per-GPU PCIe bandwidth measured on P2 instances with all GPUs
+//! probing concurrently. Expected shape: xlarge > 8xlarge > 16xlarge — the
+//! 16xlarge "slices" the shared host fabric 16 ways.
+
+use stash_bench::Table;
+use stash_flowsim::net::FlowNet;
+use stash_hwtopo::cluster::ClusterSpec;
+use stash_hwtopo::instance::{p2_16xlarge, p2_8xlarge, p2_xlarge};
+use stash_hwtopo::topology::Topology;
+
+fn main() {
+    let mut t = Table::new(
+        "fig07_pcie_bandwidth",
+        "Per-GPU PCIe bandwidth on P2 (paper Fig. 7)",
+        &["instance", "gpus_probing", "per_gpu_gbps"],
+    );
+    let mut seen = Vec::new();
+    for inst in [p2_xlarge(), p2_8xlarge(), p2_16xlarge()] {
+        let mut net = FlowNet::new();
+        let topo = Topology::build(&ClusterSpec::single(inst.clone()), &mut net);
+        let rates = topo.pcie_bandwidth_probe(&net, 0);
+        let per_gpu = rates[0] / 1e9;
+        seen.push(per_gpu);
+        t.row(vec![
+            inst.name,
+            rates.len().to_string(),
+            format!("{per_gpu:.2}"),
+        ]);
+    }
+    assert!(seen[0] > seen[1] && seen[1] > seen[2], "Fig. 7 shape: {seen:?}");
+    t.finish();
+    print!("{}", t.to_bar_chart(&["instance"], "per_gpu_gbps"));
+    println!("shape check: per-GPU bandwidth collapses as instance size grows ✓");
+}

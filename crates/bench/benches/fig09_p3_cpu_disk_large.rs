@@ -1,0 +1,72 @@
+//! Fig. 9: CPU and disk stall % on P3 for the large models (ResNet50,
+//! VGG11) and BERT-large.
+//!
+//! Expected shapes: CPU stall negligible; disk stall high for the 8-GPU
+//! experiments on the gp2 volume; BERT's tiny SQuAD dataset produces no
+//! meaningful fetch stall.
+
+use stash_bench::{bench_stash, large_model_batches, p3_configs, pct, Table};
+use stash_dnn::zoo;
+
+fn main() {
+    let mut t = Table::new(
+        "fig09_p3_cpu_disk_large",
+        "CPU & disk stall %, P3, large models + BERT (paper Fig. 9)",
+        &["model", "batch", "config", "cpu_stall_pct", "disk_stall_pct"],
+    );
+    let mut worst_cpu: f64 = 0.0;
+    let mut bert_disk: f64 = 0.0;
+    let mut vision_disk_16x: f64 = 0.0;
+    for model in zoo::large_vision_models() {
+        for batch in large_model_batches() {
+            let stash = bench_stash(model.clone(), batch);
+            for cluster in p3_configs() {
+                let r = stash.profile(&cluster).expect("profile");
+                let cpu = r.cpu_stall_pct().unwrap_or(0.0);
+                let d = r.disk_stall_pct().unwrap_or(0.0);
+                worst_cpu = worst_cpu.max(cpu);
+                if cluster.display_name() == "p3.16xlarge" {
+                    vision_disk_16x += d;
+                }
+                t.row(vec![
+                    model.name.clone(),
+                    batch.to_string(),
+                    cluster.display_name(),
+                    pct(Some(cpu)),
+                    pct(Some(d)),
+                ]);
+            }
+        }
+    }
+    // BERT-large: batch 4 (the 16 GB limit).
+    let stash = bench_stash(zoo::bert_large(), 4);
+    for cluster in p3_configs() {
+        let r = match stash.profile(&cluster) {
+            Ok(r) => r,
+            Err(e) => {
+                t.row(vec![
+                    "BERT-large".to_string(),
+                    "4".to_string(),
+                    cluster.display_name(),
+                    format!("skipped: {e}"),
+                    String::new(),
+                ]);
+                continue;
+            }
+        };
+        let d = r.disk_stall_pct().unwrap_or(0.0);
+        bert_disk = bert_disk.max(d);
+        t.row(vec![
+            "BERT-large".to_string(),
+            "4".to_string(),
+            cluster.display_name(),
+            pct(r.cpu_stall_pct()),
+            pct(Some(d)),
+        ]);
+    }
+    t.finish();
+    assert!(worst_cpu < 20.0, "CPU stall negligible, got {worst_cpu}%");
+    assert!(vision_disk_16x > 0.0, "8-GPU vision runs must show fetch stalls");
+    assert!(bert_disk < 5.0, "SQuAD is tiny; BERT disk stall was {bert_disk}%");
+    println!("shape check: CPU negligible, vision disk stalls on 8-GPU configs, BERT none ✓");
+}

@@ -1,0 +1,55 @@
+//! Fig. 11: interconnect stall % on P3 for small (a) and large (b) models.
+//!
+//! Expected shapes: p3.16xlarge has the lowest stall; the (degraded)
+//! p3.8xlarge is anomalously high; VGG's interconnect stall is low despite
+//! its huge gradients; p3.24xlarge matches p3.16xlarge (same NVLink).
+
+use stash_bench::{bench_stash, large_model_batches, pct, small_model_batches, Table};
+use stash_core::profiler::Stash;
+use stash_dnn::model::Model;
+use stash_dnn::zoo;
+use stash_hwtopo::cluster::ClusterSpec;
+use stash_hwtopo::instance::{p3_16xlarge, p3_24xlarge, p3_8xlarge};
+
+fn sweep(t: &mut Table, stalls: &mut std::collections::HashMap<String, f64>, model: &Model, batch: u64, stash: &Stash) {
+    for inst in [p3_8xlarge(), p3_16xlarge(), p3_24xlarge()] {
+        let cluster = ClusterSpec::single(inst);
+        let r = stash.profile(&cluster).expect("profile");
+        let ic = r.interconnect_stall_pct().unwrap_or(0.0);
+        *stalls.entry(cluster.display_name()).or_insert(0.0) += ic;
+        t.row(vec![
+            model.name.clone(),
+            batch.to_string(),
+            cluster.display_name(),
+            pct(Some(ic)),
+        ]);
+    }
+}
+
+fn main() {
+    let mut t = Table::new(
+        "fig11_p3_ic",
+        "Interconnect stall %, P3 (paper Fig. 11)",
+        &["model", "batch", "config", "ic_stall_pct"],
+    );
+    let mut stalls = std::collections::HashMap::new();
+    for model in zoo::small_models() {
+        for batch in small_model_batches() {
+            sweep(&mut t, &mut stalls, &model, batch, &bench_stash(model.clone(), batch));
+        }
+    }
+    for model in zoo::large_vision_models() {
+        for batch in large_model_batches() {
+            sweep(&mut t, &mut stalls, &model, batch, &bench_stash(model.clone(), batch));
+        }
+    }
+    sweep(&mut t, &mut stalls, &zoo::bert_large(), 4, &bench_stash(zoo::bert_large(), 4));
+    t.finish();
+    assert!(
+        stalls["p3.8xlarge"] > stalls["p3.16xlarge"],
+        "8xlarge slice anomaly: {stalls:?}"
+    );
+    let ratio = stalls["p3.24xlarge"] / stalls["p3.16xlarge"].max(1e-9);
+    assert!((0.7..1.3).contains(&ratio), "24x ≈ 16x, ratio {ratio}");
+    println!("shape check: 16xlarge lowest, 8xlarge anomalous, 24xlarge ≈ 16xlarge ✓");
+}

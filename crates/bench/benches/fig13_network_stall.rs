@@ -1,0 +1,40 @@
+//! Fig. 13: network stall of two networked p3.8xlarge instances across
+//! batch sizes 4-32.
+//!
+//! Expected shape: stalls in the hundreds of percent ("as high as 500%"),
+//! monotonically falling as the batch grows (compute grows, gradient
+//! volume does not).
+
+use stash_bench::{bench_stash, pct, Table};
+use stash_dnn::zoo;
+use stash_hwtopo::cluster::ClusterSpec;
+use stash_hwtopo::instance::p3_8xlarge;
+
+fn main() {
+    let mut t = Table::new(
+        "fig13_network_stall",
+        "Network stall % of 2x p3.8xlarge vs batch size (paper Fig. 13)",
+        &["model", "batch", "nw_stall_pct"],
+    );
+    let cluster = ClusterSpec::homogeneous(p3_8xlarge(), 2);
+    let mut peak: f64 = 0.0;
+    for model in [zoo::resnet50(), zoo::vgg11()] {
+        let mut series = Vec::new();
+        for batch in [4_u64, 8, 16, 32] {
+            let r = bench_stash(model.clone(), batch).profile(&cluster).expect("profile");
+            let nw = r.network_stall_pct().unwrap_or(0.0);
+            peak = peak.max(nw);
+            series.push(nw);
+            t.row(vec![model.name.clone(), batch.to_string(), pct(Some(nw))]);
+        }
+        assert!(
+            series.windows(2).all(|w| w[0] >= w[1] * 0.95),
+            "{}: stall must fall with batch: {series:?}",
+            model.name
+        );
+    }
+    t.finish();
+    print!("{}", t.to_bar_chart(&["model", "batch"], "nw_stall_pct"));
+    assert!(peak > 300.0, "network stalls reach hundreds of percent, peak {peak}%");
+    println!("shape check: network stall up to {peak:.0}% and falling with batch size ✓");
+}

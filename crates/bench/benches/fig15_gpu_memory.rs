@@ -1,0 +1,48 @@
+//! Fig. 15: GPU memory utilisation, P2 (K80) vs P3 (V100), ShuffleNet vs
+//! ResNet18 across batch sizes.
+//!
+//! Expected shape: ShuffleNet's V100 utilisation is very low — it cannot
+//! exploit the large GPU, which is why it trains cost-effectively on P2.
+
+use stash_bench::Table;
+use stash_dnn::zoo;
+use stash_gpucompute::memory::utilization_pct;
+use stash_hwtopo::gpu::GpuModel;
+
+fn main() {
+    let mut t = Table::new(
+        "fig15_gpu_memory",
+        "GPU memory utilisation %, P2 vs P3 (paper Fig. 15)",
+        &["model", "batch", "gpu", "memory_util_pct"],
+    );
+    let mut shuffle_v100: Vec<f64> = Vec::new();
+    let mut resnet_v100: Vec<f64> = Vec::new();
+    for model in [zoo::shufflenet(), zoo::resnet18()] {
+        for batch in [32_u64, 64, 128] {
+            for gpu in [GpuModel::K80, GpuModel::V100] {
+                let util = utilization_pct(&gpu.spec(), &model, batch);
+                if gpu == GpuModel::V100 {
+                    if model.name == "ShuffleNet" {
+                        shuffle_v100.push(util);
+                    } else {
+                        resnet_v100.push(util);
+                    }
+                }
+                t.row(vec![
+                    model.name.clone(),
+                    batch.to_string(),
+                    gpu.label().to_string(),
+                    format!("{util:.1}"),
+                ]);
+            }
+        }
+    }
+    t.finish();
+    // ShuffleNet sits below ResNet18 at every batch size, and never
+    // reaches a third of the V100's memory even at batch 128.
+    for (s, r) in shuffle_v100.iter().zip(&resnet_v100) {
+        assert!(s < r, "ShuffleNet must underuse the V100: {s:.1} vs {r:.1}");
+    }
+    assert!(shuffle_v100.last().unwrap() < &35.0);
+    println!("shape check: ShuffleNet has low GPU utilisation on V100 ✓");
+}

@@ -1,0 +1,30 @@
+//! Table I: the AWS GPU instance catalog with prices (N. Virginia).
+
+use stash_bench::Table;
+use stash_hwtopo::instance::catalog;
+use stash_hwtopo::units::gib;
+
+fn main() {
+    let mut t = Table::new(
+        "table1_catalog",
+        "AWS GPU instance types with prices (paper Table I)",
+        &[
+            "instance", "gpus", "vcpus", "interconnect", "gpu_mem_gb", "main_mem_gb",
+            "network_gbps", "price_per_hr",
+        ],
+    );
+    for inst in catalog() {
+        t.row(vec![
+            inst.name.clone(),
+            format!("{}x{}", inst.gpu_count, inst.gpu.label()),
+            inst.vcpus.to_string(),
+            inst.interconnect.label().to_string(),
+            format!("{:.0}", inst.total_gpu_memory_bytes() / gib(1.0)),
+            format!("{:.0}", inst.main_memory_bytes / gib(1.0)),
+            format!("{:.0}", inst.network_gbps),
+            format!("${}", inst.price_per_hour),
+        ]);
+    }
+    assert_eq!(t.len(), 8, "Table I lists 8 instance types");
+    t.finish();
+}

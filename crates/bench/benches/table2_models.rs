@@ -1,0 +1,31 @@
+//! Table II: the DDL model zoo with gradient sizes and input datasets.
+
+use stash_bench::Table;
+use stash_dnn::dataset::DatasetSpec;
+use stash_dnn::zoo::{all_models, ModelClass};
+
+fn main() {
+    let mut t = Table::new(
+        "table2_models",
+        "DDL models used (paper Table II)",
+        &["domain", "type", "name", "gradient_size_M", "layers", "sync_points", "dataset"],
+    );
+    for (model, class) in all_models() {
+        let (domain, ty, dataset) = match class {
+            ModelClass::SmallVision => ("Vision", "Small", DatasetSpec::imagenet1k()),
+            ModelClass::LargeVision => ("Vision", "Large", DatasetSpec::imagenet1k()),
+            ModelClass::Nlp => ("NLP", "-", DatasetSpec::squad2()),
+        };
+        t.row(vec![
+            domain.to_string(),
+            ty.to_string(),
+            model.name.clone(),
+            format!("{:.2}", model.param_count() as f64 / 1e6),
+            model.layer_count().to_string(),
+            model.trainable_layer_count().to_string(),
+            format!("{} ({:.0} GB)", dataset.name, dataset.total_bytes / 1e9),
+        ]);
+    }
+    assert_eq!(t.len(), 8, "Table II lists 8 models");
+    t.finish();
+}

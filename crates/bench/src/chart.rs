@@ -1,0 +1,89 @@
+//! ASCII bar charts for terminal figure rendering.
+//!
+//! The paper's figures are bar charts; the bench harness re-renders its
+//! series as unicode bars so a terminal run visually resembles the
+//! figure being reproduced.
+
+/// Renders one horizontal bar of `value` against `max`, `width` cells
+/// wide, with eighth-block resolution.
+#[must_use]
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if !(value.is_finite() && max.is_finite()) || max <= 0.0 || value <= 0.0 || width == 0 {
+        return String::new();
+    }
+    const BLOCKS: [char; 8] = ['▏', '▎', '▍', '▌', '▋', '▊', '▉', '█'];
+    let cells = (value / max).min(1.0) * width as f64;
+    let full = cells.floor() as usize;
+    let frac = cells - cells.floor();
+    let mut s = "█".repeat(full);
+    if full < width {
+        let idx = (frac * 8.0).floor() as usize;
+        if idx > 0 {
+            s.push(BLOCKS[idx - 1]);
+        }
+    }
+    s
+}
+
+/// Renders a labelled bar chart. Labels are right-aligned; bars scale to
+/// the largest value.
+#[must_use]
+pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    let max = rows.iter().map(|(_, v)| *v).fold(0.0_f64, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = format!("{title}\n");
+    for (label, value) in rows {
+        out.push_str(&format!(
+            "  {label:>label_w$} |{:<width$}| {value:.1}\n",
+            bar(*value, max, width)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales_linearly() {
+        assert_eq!(bar(10.0, 10.0, 10).chars().count(), 10);
+        assert_eq!(bar(5.0, 10.0, 10).chars().count(), 5);
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        // Fractional cells render a partial block.
+        let b = bar(5.5, 10.0, 10);
+        assert_eq!(b.chars().count(), 6);
+        assert_ne!(b.chars().next_back().unwrap(), '█');
+    }
+
+    #[test]
+    fn degenerate_inputs_are_empty() {
+        assert_eq!(bar(1.0, 0.0, 10), "");
+        assert_eq!(bar(f64::NAN, 10.0, 10), "");
+        assert_eq!(bar(1.0, 10.0, 0), "");
+        assert_eq!(bar(-3.0, 10.0, 5), "");
+    }
+
+    #[test]
+    fn chart_contains_all_labels_and_values() {
+        let rows = vec![
+            ("p2.8xlarge".to_string(), 30.5),
+            ("p2.16xlarge".to_string(), 61.5),
+        ];
+        let c = bar_chart("I/C stall %", &rows, 20);
+        assert!(c.contains("p2.8xlarge"));
+        assert!(c.contains("61.5"));
+        // The bigger value has the longer bar.
+        let lines: Vec<&str> = c.lines().skip(1).collect();
+        let bars: Vec<usize> = lines
+            .iter()
+            .map(|l| l.chars().filter(|c| *c == '█').count())
+            .collect();
+        assert!(bars[1] > bars[0]);
+    }
+
+    #[test]
+    fn values_clamp_at_max() {
+        assert_eq!(bar(20.0, 10.0, 8).chars().count(), 8);
+    }
+}

@@ -1,0 +1,175 @@
+//! Gradient bucketing.
+//!
+//! During the backward pass, gradients become final layer by layer (in
+//! reverse model order) and are grouped into *buckets*; each bucket is
+//! all-reduced as one collective. The paper's §VI analysis assumes one
+//! synchronisation per parameter-carrying layer ([`Bucketing::PerLayer`],
+//! our default); PyTorch's production default caps buckets by size
+//! ([`Bucketing::BySize`], 25 MB) — kept as an ablation.
+
+use serde::{Deserialize, Serialize};
+use stash_dnn::model::Model;
+
+/// Bucket-formation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Bucketing {
+    /// One bucket per parameter-carrying layer (paper §VI model; default).
+    #[default]
+    PerLayer,
+    /// Greedily pack consecutive (reverse-order) gradients until the bucket
+    /// reaches `bytes` (PyTorch DDP defaults to 25 MB).
+    BySize {
+        /// Bucket capacity in bytes.
+        bytes: f64,
+    },
+}
+
+
+impl Bucketing {
+    /// PyTorch DDP's default 25 MB size-capped bucketing.
+    #[must_use]
+    pub fn pytorch_default() -> Self {
+        Bucketing::BySize { bytes: 25.0 * 1024.0 * 1024.0 }
+    }
+}
+
+/// One gradient bucket: a contiguous run of layers in backward order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bucket {
+    /// Position in backward order (0 = first bucket to synchronise).
+    pub index: usize,
+    /// Gradient payload in bytes.
+    pub bytes: f64,
+    /// Covered layers as forward indices `[lo, hi)`; the engine charges
+    /// this range's backward compute before the bucket becomes ready.
+    pub layer_range: (usize, usize),
+}
+
+/// The full communication plan of one backward pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommPlan {
+    /// Buckets in backward (synchronisation) order. Always at least one,
+    /// covering all layers; a parameterless model yields one empty bucket.
+    pub buckets: Vec<Bucket>,
+}
+
+impl CommPlan {
+    /// Builds the plan for `model` under `bucketing`.
+    #[must_use]
+    pub fn new(model: &Model, bucketing: Bucketing) -> CommPlan {
+        let n = model.layers.len();
+        let mut buckets = Vec::new();
+        let mut hi = n; // exclusive upper bound of the current bucket
+        let mut acc_bytes = 0.0;
+        for i in (0..n).rev() {
+            let layer = &model.layers[i];
+            acc_bytes += layer.gradient_bytes();
+            let close = match bucketing {
+                Bucketing::PerLayer => layer.has_params(),
+                Bucketing::BySize { bytes } => acc_bytes >= bytes,
+            };
+            if close && i > 0 {
+                buckets.push(Bucket {
+                    index: buckets.len(),
+                    bytes: acc_bytes,
+                    layer_range: (i, hi),
+                });
+                hi = i;
+                acc_bytes = 0.0;
+            }
+        }
+        // Remainder (always closes at the model head).
+        buckets.push(Bucket {
+            index: buckets.len(),
+            bytes: acc_bytes,
+            layer_range: (0, hi),
+        });
+        CommPlan { buckets }
+    }
+
+    /// Number of buckets (i.e. collectives per iteration).
+    #[must_use]
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total gradient bytes across all buckets.
+    #[must_use]
+    pub fn total_bytes(&self) -> f64 {
+        self.buckets.iter().map(|b| b.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stash_dnn::zoo;
+
+    #[test]
+    fn per_layer_matches_trainable_layer_count() {
+        for (m, _) in zoo::all_models() {
+            let plan = CommPlan::new(&m, Bucketing::PerLayer);
+            // One bucket per param layer (the head bucket always exists and
+            // absorbs leading parameterless layers).
+            assert_eq!(plan.bucket_count(), m.trainable_layer_count(), "{}", m.name);
+            assert!((plan.total_bytes() - m.gradient_bytes()).abs() < 1.0, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn ranges_partition_all_layers_in_reverse() {
+        let m = zoo::resnet50();
+        let plan = CommPlan::new(&m, Bucketing::PerLayer);
+        let mut expected_hi = m.layers.len();
+        for b in &plan.buckets {
+            assert_eq!(b.layer_range.1, expected_hi);
+            assert!(b.layer_range.0 < b.layer_range.1);
+            expected_hi = b.layer_range.0;
+        }
+        assert_eq!(expected_hi, 0);
+    }
+
+    #[test]
+    fn by_size_respects_cap_approximately() {
+        let m = zoo::vgg11();
+        let cap = 25.0 * 1024.0 * 1024.0;
+        let plan = CommPlan::new(&m, Bucketing::pytorch_default());
+        // Buckets close as soon as they reach the cap, so every bucket is
+        // at most cap + one layer's gradients (a single fc layer in VGG11
+        // is itself several hundred MB).
+        let largest_layer = m
+            .layers
+            .iter()
+            .map(stash_dnn::layer::Layer::gradient_bytes)
+            .fold(0.0_f64, f64::max);
+        for b in &plan.buckets {
+            assert!(b.bytes <= cap + largest_layer);
+        }
+        assert!(plan.bucket_count() > 1);
+        assert!((plan.total_bytes() - m.gradient_bytes()).abs() < 1.0);
+    }
+
+    #[test]
+    fn by_size_gives_fewer_buckets_than_per_layer_for_deep_models() {
+        let m = zoo::resnet50();
+        let per_layer = CommPlan::new(&m, Bucketing::PerLayer);
+        let by_size = CommPlan::new(&m, Bucketing::pytorch_default());
+        assert!(by_size.bucket_count() < per_layer.bucket_count() / 4);
+    }
+
+    #[test]
+    fn single_layer_model_has_one_bucket() {
+        use stash_dnn::layer::Layer;
+        use stash_dnn::model::Model;
+        let m = Model::new("one", vec![Layer::linear("fc", 8, 8)], 32.0);
+        let plan = CommPlan::new(&m, Bucketing::PerLayer);
+        assert_eq!(plan.bucket_count(), 1);
+        assert_eq!(plan.buckets[0].layer_range, (0, 1));
+    }
+
+    #[test]
+    fn default_bucketing_is_per_layer() {
+        assert_eq!(Bucketing::default(), Bucketing::PerLayer);
+    }
+}

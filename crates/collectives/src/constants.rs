@@ -1,0 +1,43 @@
+//! Calibration constants of the collective-communication model.
+//!
+//! Like `stash_hwtopo::constants`, these are the tuned numbers; everything
+//! else derives from topology and gradient sizes.
+
+use stash_simkit::time::SimDuration;
+
+/// Traffic multiplier for ring hops that cross the PCIe host fabric
+/// without peer-to-peer DMA: every chunk is staged through host memory
+/// (device-to-host + host-to-device), doubling bus crossings. This is the
+/// K80-era NCCL behaviour on P2 instances.
+pub const STAGED_COPY_FACTOR: f64 = 2.0;
+
+/// Fixed cost to launch one bucket's all-reduce across all ranks (DDP
+/// autograd-hook dispatch + NCCL kernel enqueue + stream sync). Part of the
+/// per-layer latency `tau` in the paper's §VI analytic model.
+pub const BUCKET_LAUNCH_OVERHEAD: SimDuration = SimDuration::from_micros(120);
+
+/// CPU-side gradient-hook cost charged *inside* the backward pass per
+/// bucket (GIL + bucket bookkeeping). Unlike the launch overhead this is
+/// never overlappable — it is why deep many-layer models stall on even the
+/// fastest interconnect (paper §VI-A2).
+pub const GRAD_HOOK_OVERHEAD: SimDuration = SimDuration::from_micros(60);
+
+/// Per-ring-step protocol overhead beyond link propagation latency
+/// (chunk handshake, kernel-side flag spinning).
+pub const RING_STEP_OVERHEAD: SimDuration = SimDuration::from_micros(5);
+
+/// Per-round overhead of tree collectives.
+pub const TREE_ROUND_OVERHEAD: SimDuration = SimDuration::from_micros(15);
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::assertions_on_constants)] // the constants ARE the test subject
+    use super::*;
+
+    #[test]
+    fn overheads_are_microsecond_scale() {
+        assert!(BUCKET_LAUNCH_OVERHEAD < SimDuration::from_millis(1));
+        assert!(GRAD_HOOK_OVERHEAD < BUCKET_LAUNCH_OVERHEAD);
+        assert!(STAGED_COPY_FACTOR >= 1.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # stash-collectives — gradient synchronisation
+//!
+//! Models how data-parallel training exchanges gradients:
+//!
+//! * [`bucket`] — grouping gradients into buckets as the backward pass
+//!   releases them (per-layer, matching the paper's §VI analysis, or
+//!   size-capped like PyTorch DDP);
+//! * [`schedule`] — lowering one all-reduce onto topology transfers for
+//!   the ring (default), tree and parameter-server algorithms;
+//! * [`constants`] — launch/hook/staging overheads (the `tau` of the
+//!   paper's analytic model).
+//!
+//! # Examples
+//!
+//! ```
+//! use stash_collectives::prelude::*;
+//! use stash_dnn::zoo;
+//!
+//! let plan = CommPlan::new(&zoo::resnet18(), Bucketing::PerLayer);
+//! assert_eq!(plan.bucket_count(), zoo::resnet18().trainable_layer_count());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bucket;
+pub mod constants;
+pub mod schedule;
+
+/// Convenient glob-import of the most used items.
+pub mod prelude {
+    pub use crate::bucket::{Bucket, Bucketing, CommPlan};
+    pub use crate::schedule::{allreduce_transfers, ring_duration_estimate, Algorithm, TransferSpec};
+}

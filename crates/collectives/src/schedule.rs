@@ -1,0 +1,320 @@
+//! Lowering a collective operation onto topology transfers.
+//!
+//! [`allreduce_transfers`] turns "all-reduce `b` bytes across these ranks"
+//! into a set of concurrent flow specifications; the training engine starts
+//! them in the flow network and the collective completes when every flow
+//! does. Three algorithms are provided: ring (NCCL's default, used by the
+//! paper), a binary tree, and a central parameter server (the baseline the
+//! paper cites as strictly worse).
+
+use serde::{Deserialize, Serialize};
+use stash_flowsim::link::{LinkClass, LinkId};
+use stash_flowsim::net::FlowNet;
+use stash_hwtopo::topology::{GpuId, Topology};
+use stash_simkit::time::SimDuration;
+
+use crate::constants::{
+    BUCKET_LAUNCH_OVERHEAD, RING_STEP_OVERHEAD, STAGED_COPY_FACTOR, TREE_ROUND_OVERHEAD,
+};
+
+/// Collective algorithm choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Bandwidth-optimal ring all-reduce (reduce-scatter + all-gather).
+    #[default]
+    Ring,
+    /// Binary-tree reduce + broadcast.
+    Tree,
+    /// Central parameter server on rank 0's node (baseline; paper §III).
+    ParameterServer,
+}
+
+impl Algorithm {
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::Ring => "ring",
+            Algorithm::Tree => "tree",
+            Algorithm::ParameterServer => "parameter-server",
+        }
+    }
+}
+
+/// One transfer of a collective: a route plus payload and fixed overhead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferSpec {
+    /// Links traversed.
+    pub route: Vec<LinkId>,
+    /// Payload bytes (already including staging multipliers).
+    pub bytes: f64,
+    /// Fixed latency beyond link propagation (pipeline steps, launch).
+    pub extra_latency: SimDuration,
+}
+
+fn staging_factor(net: &FlowNet, route: &[LinkId]) -> f64 {
+    if route.iter().any(|l| net.link(*l).class == LinkClass::PcieHostBus) {
+        STAGED_COPY_FACTOR
+    } else {
+        1.0
+    }
+}
+
+/// Lowers one all-reduce of `bytes` over all ranks of `topo`.
+///
+/// Returns an empty vector for a single-rank world (no communication).
+///
+/// # Panics
+///
+/// Panics if `bytes` is negative.
+#[must_use]
+pub fn allreduce_transfers(
+    topo: &Topology,
+    net: &FlowNet,
+    algo: Algorithm,
+    bytes: f64,
+) -> Vec<TransferSpec> {
+    assert!(bytes >= 0.0, "negative payload");
+    let ranks = topo.ring_order();
+    let p = ranks.len();
+    if p <= 1 {
+        return Vec::new();
+    }
+    match algo {
+        Algorithm::Ring => ring(topo, net, &ranks, bytes),
+        Algorithm::Tree => tree(topo, net, &ranks, bytes),
+        Algorithm::ParameterServer => parameter_server(topo, net, &ranks, bytes),
+    }
+}
+
+/// Ring all-reduce: each rank keeps one flow to its successor alive for the
+/// whole collective, carrying the aggregate `2 (p-1)/p · b` traffic of the
+/// reduce-scatter + all-gather phases. Because chunks are pipelined, the
+/// latency cost is one trip *around the ring* per phase (two phases), not
+/// `2(p-1)` times each hop's latency — charged equally on every flow.
+fn ring(topo: &Topology, net: &FlowNet, ranks: &[GpuId], bytes: f64) -> Vec<TransferSpec> {
+    let p = ranks.len() as f64;
+    let routes: Vec<Vec<LinkId>> = ranks
+        .iter()
+        .enumerate()
+        .map(|(i, &src)| topo.gpu_route(src, ranks[(i + 1) % ranks.len()]))
+        .collect();
+    let ring_latency: SimDuration = routes
+        .iter()
+        .map(|r| r.iter().map(|l| net.link(*l).latency).sum::<SimDuration>() + RING_STEP_OVERHEAD)
+        .sum();
+    let pipeline = ring_latency * 2; // reduce-scatter + all-gather
+    routes
+        .into_iter()
+        .map(|route| {
+            let payload = 2.0 * (p - 1.0) / p * bytes * staging_factor(net, &route);
+            TransferSpec {
+                route,
+                bytes: payload,
+                extra_latency: BUCKET_LAUNCH_OVERHEAD + pipeline,
+            }
+        })
+        .collect()
+}
+
+/// Binary-tree all-reduce: reduce up the tree then broadcast down. Each
+/// tree edge carries `b` bytes each way.
+fn tree(topo: &Topology, net: &FlowNet, ranks: &[GpuId], bytes: f64) -> Vec<TransferSpec> {
+    let rounds = ranks.len().next_power_of_two().trailing_zeros() as u64;
+    let mut out = Vec::new();
+    for (i, &child) in ranks.iter().enumerate().skip(1) {
+        let parent = ranks[(i - 1) / 2];
+        for (src, dst) in [(child, parent), (parent, child)] {
+            let route = topo.gpu_route(src, dst);
+            let payload = bytes * staging_factor(net, &route);
+            out.push(TransferSpec {
+                route,
+                bytes: payload,
+                extra_latency: BUCKET_LAUNCH_OVERHEAD + TREE_ROUND_OVERHEAD * (2 * rounds),
+            });
+        }
+    }
+    out
+}
+
+/// Parameter server: every non-server rank pushes `b` bytes to the server
+/// (rank 0) and pulls `b` bytes back; the server's links are the funnel.
+fn parameter_server(topo: &Topology, net: &FlowNet, ranks: &[GpuId], bytes: f64) -> Vec<TransferSpec> {
+    let server = ranks[0];
+    let mut out = Vec::new();
+    for &worker in &ranks[1..] {
+        for (src, dst) in [(worker, server), (server, worker)] {
+            let route = topo.gpu_route(src, dst);
+            let payload = bytes * staging_factor(net, &route);
+            out.push(TransferSpec {
+                route,
+                bytes: payload,
+                extra_latency: BUCKET_LAUNCH_OVERHEAD,
+            });
+        }
+    }
+    out
+}
+
+/// Closed-form duration estimate of one ring all-reduce, ignoring
+/// contention from other traffic — used by the paper-§VI analytic model and
+/// as a cross-check against the simulated engine.
+#[must_use]
+pub fn ring_duration_estimate(
+    topo: &Topology,
+    net: &FlowNet,
+    bytes: f64,
+) -> SimDuration {
+    let transfers = allreduce_transfers(topo, net, Algorithm::Ring, bytes);
+    if transfers.is_empty() {
+        return SimDuration::ZERO;
+    }
+    let rates = net.probe_rates(&transfers.iter().map(|t| t.route.clone()).collect::<Vec<_>>());
+    transfers
+        .iter()
+        .zip(rates)
+        .map(|(t, rate)| {
+            let lat: SimDuration = t.route.iter().map(|l| net.link(*l).latency).sum();
+            t.extra_latency + lat + SimDuration::from_secs_f64(t.bytes / rate)
+        })
+        .max()
+        .expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stash_hwtopo::cluster::ClusterSpec;
+    use stash_hwtopo::instance::{p2_16xlarge, p2_8xlarge, p2_xlarge, p3_16xlarge, p3_8xlarge};
+
+    fn topo_of(cluster: ClusterSpec) -> (Topology, FlowNet) {
+        let mut net = FlowNet::new();
+        let t = Topology::build(&cluster, &mut net);
+        (t, net)
+    }
+
+    #[test]
+    fn single_gpu_needs_no_transfers() {
+        let (t, net) = topo_of(ClusterSpec::single(p2_xlarge()));
+        assert!(allreduce_transfers(&t, &net, Algorithm::Ring, 1e6).is_empty());
+    }
+
+    #[test]
+    fn ring_has_one_flow_per_rank() {
+        let (t, net) = topo_of(ClusterSpec::single(p3_16xlarge()));
+        let flows = allreduce_transfers(&t, &net, Algorithm::Ring, 1e6);
+        assert_eq!(flows.len(), 8);
+        // NVLink routes: no staging → payload = 2*7/8 * b.
+        for f in &flows {
+            assert!((f.bytes - 2.0 * 7.0 / 8.0 * 1e6).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn p2_ring_is_staged_through_host() {
+        let (t, net) = topo_of(ClusterSpec::single(p2_8xlarge()));
+        let flows = allreduce_transfers(&t, &net, Algorithm::Ring, 1e6);
+        for f in &flows {
+            assert!((f.bytes - 2.0 * 7.0 / 8.0 * 1e6 * STAGED_COPY_FACTOR).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn tree_and_ps_produce_bidirectional_edges() {
+        let (t, net) = topo_of(ClusterSpec::single(p3_16xlarge()));
+        assert_eq!(allreduce_transfers(&t, &net, Algorithm::Tree, 1e6).len(), 14);
+        assert_eq!(
+            allreduce_transfers(&t, &net, Algorithm::ParameterServer, 1e6).len(),
+            14
+        );
+    }
+
+    #[test]
+    fn ring_beats_parameter_server_across_nodes() {
+        // The paper (§III/§IV) treats PS as strictly worse than all-reduce;
+        // across two networked instances the PS funnel saturates the
+        // server NIC.
+        let (t, net) = topo_of(ClusterSpec::homogeneous(p3_8xlarge(), 2));
+        let b = 100e6;
+        let ring_flows = allreduce_transfers(&t, &net, Algorithm::Ring, b);
+        let ps_flows = allreduce_transfers(&t, &net, Algorithm::ParameterServer, b);
+        let dur = |flows: &[TransferSpec]| {
+            let rates = net.probe_rates(&flows.iter().map(|f| f.route.clone()).collect::<Vec<_>>());
+            flows
+                .iter()
+                .zip(rates)
+                .map(|(f, r)| f.bytes / r)
+                .fold(0.0_f64, f64::max)
+        };
+        assert!(dur(&ps_flows) > 1.5 * dur(&ring_flows), "ps={} ring={}", dur(&ps_flows), dur(&ring_flows));
+    }
+
+    #[test]
+    fn nvlink_ring_is_far_faster_than_pcie_ring() {
+        let (t16, n16) = topo_of(ClusterSpec::single(p3_16xlarge()));
+        let (t2, n2) = topo_of(ClusterSpec::single(p2_16xlarge()));
+        let b = 50e6;
+        let nv = ring_duration_estimate(&t16, &n16, b);
+        let pcie = ring_duration_estimate(&t2, &n2, b);
+        assert!(pcie.as_secs_f64() > 10.0 * nv.as_secs_f64(), "pcie={pcie} nv={nv}");
+    }
+
+    #[test]
+    fn network_ring_is_slowest() {
+        let (t, n) = topo_of(ClusterSpec::homogeneous(p3_8xlarge(), 2));
+        let (t16, n16) = topo_of(ClusterSpec::single(p3_16xlarge()));
+        let b = 50e6;
+        let networked = ring_duration_estimate(&t, &n, b);
+        let single = ring_duration_estimate(&t16, &n16, b);
+        assert!(networked.as_secs_f64() > 5.0 * single.as_secs_f64());
+    }
+
+    #[test]
+    fn degraded_slice_stages_only_the_crossing_hops() {
+        use stash_hwtopo::instance::p3_8xlarge_sliced;
+        use stash_hwtopo::interconnect::Slicing;
+        let (t, net) = topo_of(ClusterSpec::single(p3_8xlarge_sliced(Slicing::Degraded)));
+        let flows = allreduce_transfers(&t, &net, Algorithm::Ring, 1e6);
+        let staged = flows
+            .iter()
+            .filter(|f| (f.bytes - 2.0 * 3.0 / 4.0 * 1e6 * STAGED_COPY_FACTOR).abs() < 1.0)
+            .count();
+        let direct = flows
+            .iter()
+            .filter(|f| (f.bytes - 2.0 * 3.0 / 4.0 * 1e6).abs() < 1.0)
+            .count();
+        // Ring 0→1→2→3→0: hops 1→2 and 3→0 cross crossbars.
+        assert_eq!(staged, 2, "{flows:?}");
+        assert_eq!(direct, 2);
+    }
+
+    #[test]
+    fn ring_duration_grows_with_payload_and_world() {
+        let (t8, n8) = topo_of(ClusterSpec::single(p3_16xlarge()));
+        let small = ring_duration_estimate(&t8, &n8, 1e6);
+        let big = ring_duration_estimate(&t8, &n8, 1e9);
+        assert!(big > small);
+        let (t4, n4) = topo_of(ClusterSpec::single(p3_8xlarge()));
+        // Same payload, fewer ranks but degraded slice: the 4-GPU degraded
+        // ring is SLOWER than the 8-GPU full crossbar — the Fig. 11 anomaly
+        // at the schedule level.
+        let four_degraded = ring_duration_estimate(&t4, &n4, 1e8);
+        let eight_full = ring_duration_estimate(&t8, &n8, 1e8);
+        assert!(four_degraded > eight_full);
+    }
+
+    #[test]
+    fn zero_byte_collective_still_pays_latency() {
+        let (t, net) = topo_of(ClusterSpec::single(p3_16xlarge()));
+        let d = ring_duration_estimate(&t, &net, 0.0);
+        assert!(d >= BUCKET_LAUNCH_OVERHEAD);
+    }
+
+    #[test]
+    fn algorithm_labels() {
+        assert_eq!(Algorithm::Ring.label(), "ring");
+        assert_eq!(Algorithm::Tree.label(), "tree");
+        assert_eq!(Algorithm::ParameterServer.label(), "parameter-server");
+        assert_eq!(Algorithm::default(), Algorithm::Ring);
+    }
+}

@@ -1,0 +1,205 @@
+//! Instance recommendation (the paper's per-section "Recommendation"
+//! paragraphs, automated).
+//!
+//! Sweeps candidate cluster configurations with the profiler, bills each,
+//! and ranks by time or cost. Infeasible candidates (model + batch does
+//! not fit the GPU) are reported as skipped rather than silently dropped.
+
+use serde::Serialize;
+use stash_ddl::error::TrainError;
+use stash_hwtopo::cluster::ClusterSpec;
+use stash_hwtopo::instance::{
+    p2_16xlarge, p2_8xlarge, p2_xlarge, p3_16xlarge, p3_24xlarge, p3_2xlarge, p3_8xlarge,
+};
+
+use crate::cost::{epoch_cost, CostReport};
+use crate::error::ProfileError;
+use crate::profiler::Stash;
+use crate::report::StallReport;
+
+/// What to optimize for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Objective {
+    /// Shortest epoch time.
+    Time,
+    /// Cheapest epoch.
+    Cost,
+}
+
+/// One evaluated candidate.
+#[derive(Debug, Clone, Serialize)]
+pub struct Recommendation {
+    /// The candidate configuration.
+    pub cluster_name: String,
+    /// Full stall characterization.
+    pub report: StallReport,
+    /// Billed epoch.
+    pub cost: CostReport,
+}
+
+/// A candidate that could not run.
+#[derive(Debug, Clone, Serialize)]
+pub struct Skipped {
+    /// The candidate configuration.
+    pub cluster_name: String,
+    /// Why it was skipped.
+    pub reason: String,
+}
+
+/// Outcome of an advisor sweep: feasible candidates ranked best-first,
+/// plus the skipped ones.
+#[derive(Debug, Clone, Serialize)]
+pub struct Advice {
+    /// Ranked feasible candidates.
+    pub ranked: Vec<Recommendation>,
+    /// Infeasible candidates with reasons.
+    pub skipped: Vec<Skipped>,
+}
+
+impl Advice {
+    /// The winning configuration, if any candidate was feasible.
+    #[must_use]
+    pub fn best(&self) -> Option<&Recommendation> {
+        self.ranked.first()
+    }
+}
+
+/// The candidate set used throughout the paper: every characterized P2/P3
+/// single instance plus the two networked pairs (`p2.8xlarge*2`,
+/// `p3.8xlarge*2`).
+#[must_use]
+pub fn default_candidates() -> Vec<ClusterSpec> {
+    vec![
+        ClusterSpec::single(p2_xlarge()),
+        ClusterSpec::single(p2_8xlarge()),
+        ClusterSpec::single(p2_16xlarge()),
+        ClusterSpec::homogeneous(p2_8xlarge(), 2),
+        ClusterSpec::single(p3_2xlarge()),
+        ClusterSpec::single(p3_8xlarge()),
+        ClusterSpec::single(p3_16xlarge()),
+        ClusterSpec::single(p3_24xlarge()),
+        ClusterSpec::homogeneous(p3_8xlarge(), 2),
+    ]
+}
+
+/// Profiles every candidate and ranks the feasible ones by `objective`.
+///
+/// # Errors
+///
+/// Only configuration-independent failures propagate; per-candidate
+/// out-of-memory and missing-reference conditions land in
+/// [`Advice::skipped`].
+pub fn recommend(
+    stash: &Stash,
+    candidates: &[ClusterSpec],
+    objective: Objective,
+) -> Result<Advice, ProfileError> {
+    let mut ranked = Vec::new();
+    let mut skipped = Vec::new();
+    for cluster in candidates {
+        match stash.profile(cluster) {
+            Ok(report) => {
+                let cost = epoch_cost(&report, cluster);
+                ranked.push(Recommendation {
+                    cluster_name: cluster.display_name(),
+                    report,
+                    cost,
+                });
+            }
+            Err(ProfileError::Train(TrainError::OutOfMemory { .. })) => skipped.push(Skipped {
+                cluster_name: cluster.display_name(),
+                reason: "model + batch exceeds GPU memory".into(),
+            }),
+            Err(ProfileError::NoReference { .. }) => skipped.push(Skipped {
+                cluster_name: cluster.display_name(),
+                reason: "no single-instance baseline for this shape".into(),
+            }),
+            Err(e) => return Err(e),
+        }
+    }
+    match objective {
+        Objective::Time => ranked.sort_by(|a, b| {
+            a.cost
+                .epoch_time
+                .cmp(&b.cost.epoch_time)
+                .then_with(|| a.cost.epoch_cost.total_cmp(&b.cost.epoch_cost))
+        }),
+        Objective::Cost => ranked.sort_by(|a, b| {
+            a.cost
+                .epoch_cost
+                .total_cmp(&b.cost.epoch_cost)
+                .then_with(|| a.cost.epoch_time.cmp(&b.cost.epoch_time))
+        }),
+    }
+    Ok(Advice { ranked, skipped })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stash_dnn::zoo;
+
+    fn quick_stash(model: stash_dnn::model::Model, batch: u64) -> Stash {
+        Stash::new(model)
+            .with_batch(batch)
+            .with_sampled_iterations(2)
+            .with_epoch_samples(20_000)
+    }
+
+    #[test]
+    fn cheapest_config_for_small_models_is_a_small_instance() {
+        // §V-B3: the single-GPU instances are the most cost-effective.
+        let advice = recommend(
+            &quick_stash(zoo::shufflenet(), 32),
+            &default_candidates(),
+            Objective::Cost,
+        )
+        .unwrap();
+        let best = advice.best().unwrap();
+        assert!(
+            best.cluster_name == "p2.xlarge" || best.cluster_name == "p3.2xlarge",
+            "best = {}",
+            best.cluster_name
+        );
+    }
+
+    #[test]
+    fn fastest_config_is_a_p3() {
+        let advice = recommend(
+            &quick_stash(zoo::resnet50(), 16),
+            &default_candidates(),
+            Objective::Time,
+        )
+        .unwrap();
+        let best = advice.best().unwrap();
+        assert!(best.cluster_name.starts_with("p3."), "best = {}", best.cluster_name);
+    }
+
+    #[test]
+    fn oversized_models_skip_small_gpus() {
+        // BERT-large at batch 8 fits only the 32 GB V100s of p3.24xlarge.
+        let advice = recommend(
+            &quick_stash(zoo::bert_large(), 8).with_dataset(stash_dnn::dataset::DatasetSpec::squad2()),
+            &default_candidates(),
+            Objective::Cost,
+        )
+        .unwrap();
+        assert!(advice.skipped.iter().any(|s| s.cluster_name.starts_with("p2.")));
+        assert!(advice.skipped.iter().any(|s| s.cluster_name == "p3.16xlarge"));
+        assert_eq!(advice.ranked.len(), 1);
+        assert_eq!(advice.best().unwrap().cluster_name, "p3.24xlarge");
+    }
+
+    #[test]
+    fn rankings_are_monotone() {
+        let advice = recommend(
+            &quick_stash(zoo::alexnet(), 32),
+            &default_candidates(),
+            Objective::Cost,
+        )
+        .unwrap();
+        let costs: Vec<f64> = advice.ranked.iter().map(|r| r.cost.epoch_cost).collect();
+        assert!(costs.windows(2).all(|w| w[0] <= w[1]), "{costs:?}");
+        assert!(advice.ranked.len() >= 7);
+    }
+}

@@ -1,0 +1,154 @@
+//! The paper's §VI closed-form communication model.
+//!
+//! §VI-A2 explains the VGG/ResNet asymmetry with
+//! `T = (tau + G / (L · B)) · L`: per-synchronisation latency `tau` times
+//! the number of layers `L`, plus total gradient volume `G` over bandwidth
+//! `B`. On NVLink, `B` is huge, so `T ≈ tau · L` (deep models stall); on
+//! the network, `B` is tiny, so `T ≈ G / B` (fat models stall). This
+//! module extracts `(tau, B)` from a topology and evaluates the closed
+//! form, letting the benchmarks cross-check the simulated engine against
+//! the paper's own algebra.
+
+use serde::Serialize;
+use stash_collectives::bucket::{Bucketing, CommPlan};
+use stash_collectives::schedule::{ring_duration_estimate, Algorithm};
+use stash_dnn::model::Model;
+use stash_flowsim::net::FlowNet;
+use stash_hwtopo::cluster::ClusterSpec;
+use stash_hwtopo::topology::Topology;
+use stash_simkit::time::SimDuration;
+
+/// The fitted parameters of `T = (tau + G/(L·B)) · L` for one cluster.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LinkParameters {
+    /// Per-synchronisation latency `tau` (seconds).
+    pub tau_seconds: f64,
+    /// Effective all-reduce bandwidth `B` (bytes/second).
+    pub bandwidth_bps: f64,
+}
+
+/// Extracts `(tau, B)` for `cluster` by probing the ring cost at zero and
+/// at a reference payload.
+#[must_use]
+pub fn link_parameters(cluster: &ClusterSpec) -> LinkParameters {
+    let mut net = FlowNet::new();
+    let topo = Topology::build(cluster, &mut net);
+    let tau = ring_duration_estimate(&topo, &net, 0.0).as_secs_f64();
+    let probe_bytes = 64.0 * 1024.0 * 1024.0;
+    let loaded = ring_duration_estimate(&topo, &net, probe_bytes).as_secs_f64();
+    let per_byte = ((loaded - tau) / probe_bytes).max(1e-18);
+    LinkParameters {
+        tau_seconds: tau,
+        bandwidth_bps: 1.0 / per_byte,
+    }
+}
+
+/// The closed-form §VI communication time of one iteration.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CommEstimate {
+    /// `tau · L` — the latency-bound component.
+    pub latency_component: SimDuration,
+    /// `G / B` — the bandwidth-bound component.
+    pub bandwidth_component: SimDuration,
+    /// Their sum.
+    pub total: SimDuration,
+    /// Number of synchronisations `L`.
+    pub sync_points: usize,
+    /// Gradient volume `G`, bytes.
+    pub gradient_bytes: f64,
+}
+
+impl CommEstimate {
+    /// `true` when the latency term dominates (the "deep ResNet on
+    /// NVLink" regime).
+    #[must_use]
+    pub fn is_latency_bound(&self) -> bool {
+        self.latency_component > self.bandwidth_component
+    }
+}
+
+/// Evaluates `T = (tau + G/(L·B)) · L` for `model` on `cluster`.
+#[must_use]
+pub fn comm_estimate(cluster: &ClusterSpec, model: &Model, bucketing: Bucketing) -> CommEstimate {
+    let params = link_parameters(cluster);
+    let plan = CommPlan::new(model, bucketing);
+    let l = plan.bucket_count();
+    let g = plan.total_bytes();
+    let latency = params.tau_seconds * l as f64;
+    let bandwidth = g / params.bandwidth_bps;
+    CommEstimate {
+        latency_component: SimDuration::from_secs_f64(latency),
+        bandwidth_component: SimDuration::from_secs_f64(bandwidth),
+        total: SimDuration::from_secs_f64(latency + bandwidth),
+        sync_points: l,
+        gradient_bytes: g,
+    }
+}
+
+/// Per-bucket simulated communication time summed across the plan —
+/// the "exact" counterpart the closed form approximates.
+#[must_use]
+pub fn comm_simulated(cluster: &ClusterSpec, model: &Model, bucketing: Bucketing) -> SimDuration {
+    let mut net = FlowNet::new();
+    let topo = Topology::build(cluster, &mut net);
+    let _ = Algorithm::Ring;
+    CommPlan::new(model, bucketing)
+        .buckets
+        .iter()
+        .map(|b| ring_duration_estimate(&topo, &net, b.bytes))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stash_dnn::{synth, zoo};
+    use stash_hwtopo::instance::{p3_16xlarge, p3_8xlarge};
+
+    #[test]
+    fn nvlink_is_latency_bound_for_resnet_but_not_vgg() {
+        // The crux of §VI: ResNet's many layers make tau·L dominate on
+        // NVLink; VGG's bulk gradients make G/B dominate.
+        let cluster = ClusterSpec::single(p3_16xlarge());
+        let resnet = comm_estimate(&cluster, &zoo::resnet18(), Bucketing::PerLayer);
+        assert!(resnet.is_latency_bound(), "{resnet:?}");
+        let vgg = comm_estimate(&cluster, &zoo::vgg11(), Bucketing::PerLayer);
+        assert!(!vgg.is_latency_bound(), "{vgg:?}");
+    }
+
+    #[test]
+    fn network_is_bandwidth_bound_for_vgg() {
+        let cluster = ClusterSpec::homogeneous(p3_8xlarge(), 2);
+        let vgg = comm_estimate(&cluster, &zoo::vgg11(), Bucketing::PerLayer);
+        assert!(!vgg.is_latency_bound());
+        assert!(vgg.bandwidth_component > vgg.latency_component * 10);
+    }
+
+    #[test]
+    fn network_bandwidth_is_far_below_nvlink() {
+        let nv = link_parameters(&ClusterSpec::single(p3_16xlarge()));
+        let nw = link_parameters(&ClusterSpec::homogeneous(p3_8xlarge(), 2));
+        assert!(nv.bandwidth_bps > 10.0 * nw.bandwidth_bps);
+    }
+
+    #[test]
+    fn closed_form_tracks_simulation_within_2x() {
+        let cluster = ClusterSpec::single(p3_16xlarge());
+        for model in [zoo::resnet18(), zoo::vgg11(), synth::resnet(50)] {
+            let est = comm_estimate(&cluster, &model, Bucketing::PerLayer)
+                .total
+                .as_secs_f64();
+            let sim = comm_simulated(&cluster, &model, Bucketing::PerLayer).as_secs_f64();
+            let ratio = est / sim;
+            assert!((0.5..2.0).contains(&ratio), "{}: est={est} sim={sim}", model.name);
+        }
+    }
+
+    #[test]
+    fn deeper_models_estimate_more_latency() {
+        let cluster = ClusterSpec::single(p3_16xlarge());
+        let shallow = comm_estimate(&cluster, &synth::resnet(18), Bucketing::PerLayer);
+        let deep = comm_estimate(&cluster, &synth::resnet(152), Bucketing::PerLayer);
+        assert!(deep.latency_component > shallow.latency_component * 3);
+    }
+}

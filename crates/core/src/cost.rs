@@ -1,0 +1,103 @@
+//! Monetary cost analysis (paper §V, Figs. 6/10/12/14).
+//!
+//! Cost is simply `epoch time x cluster price`, but which epoch time to
+//! bill is a methodological choice: the paper bills the measured real
+//! training epoch. [`epoch_cost`] therefore uses the report's
+//! [`StallReport::training_epoch_time`].
+
+use serde::Serialize;
+use stash_hwtopo::cluster::ClusterSpec;
+use stash_simkit::time::SimDuration;
+
+use crate::report::StallReport;
+
+/// Time and money for one epoch on one cluster configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct CostReport {
+    /// Cluster display name.
+    pub cluster: String,
+    /// Model name.
+    pub model: String,
+    /// Per-GPU batch size.
+    pub per_gpu_batch: u64,
+    /// Wall-clock time of one epoch.
+    pub epoch_time: SimDuration,
+    /// Cluster price, USD/hour.
+    pub price_per_hour: f64,
+    /// Cost of the epoch, USD.
+    pub epoch_cost: f64,
+}
+
+/// Bills `report`'s training epoch on `cluster`.
+///
+/// # Panics
+///
+/// Panics if the report carries no usable epoch time (no steps ran).
+#[must_use]
+pub fn epoch_cost(report: &StallReport, cluster: &ClusterSpec) -> CostReport {
+    let epoch_time = report
+        .training_epoch_time()
+        .expect("report carries no epoch time");
+    CostReport {
+        cluster: report.cluster.clone(),
+        model: report.model.clone(),
+        per_gpu_batch: report.per_gpu_batch,
+        epoch_time,
+        price_per_hour: cluster.price_per_hour(),
+        epoch_cost: cluster.price_per_hour() * epoch_time.as_secs_f64() / 3600.0,
+    }
+}
+
+/// Cost of a full training run of `epochs` epochs, assuming (as the paper
+/// does) that stall characteristics scale linearly with epoch count.
+#[must_use]
+pub fn training_cost(report: &CostReport, epochs: u64) -> f64 {
+    report.epoch_cost * epochs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{StallReport, StepTimes};
+    use stash_hwtopo::instance::p3_16xlarge;
+
+    fn report_with_t3(secs: u64) -> StallReport {
+        StallReport {
+            cluster: "p3.16xlarge".into(),
+            reference: "p3.16xlarge".into(),
+            model: "ResNet18".into(),
+            per_gpu_batch: 32,
+            world: 8,
+            times: StepTimes {
+                t1: None,
+                t2: None,
+                t3: Some(SimDuration::from_secs(secs)),
+                t4: None,
+                t5: None,
+            },
+        }
+    }
+
+    #[test]
+    fn epoch_cost_is_price_times_hours() {
+        let cluster = ClusterSpec::single(p3_16xlarge());
+        let c = epoch_cost(&report_with_t3(3600), &cluster);
+        assert!((c.epoch_cost - 24.48).abs() < 1e-9);
+        assert_eq!(c.price_per_hour, 24.48);
+    }
+
+    #[test]
+    fn training_cost_scales_with_epochs() {
+        let cluster = ClusterSpec::single(p3_16xlarge());
+        let c = epoch_cost(&report_with_t3(1800), &cluster);
+        assert!((training_cost(&c, 10) - 10.0 * 12.24).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no epoch time")]
+    fn empty_report_panics() {
+        let mut r = report_with_t3(10);
+        r.times.t3 = None;
+        let _ = epoch_cost(&r, &ClusterSpec::single(p3_16xlarge()));
+    }
+}

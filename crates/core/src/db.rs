@@ -1,0 +1,257 @@
+//! The characterization database.
+//!
+//! The paper's economic argument (§III): the authors paid once to
+//! characterize AWS's GPU instances so that tenants "can use the takeaways
+//! without running any further experiments". This module is that artifact
+//! as an API — a persistent collection of [`StallReport`]s that downstream
+//! users query instead of renting VMs (or, here, instead of re-running the
+//! simulator).
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::Serialize;
+use stash_simkit::time::SimDuration;
+
+use crate::report::{StallReport, StepTimes};
+
+/// A queryable, persistable collection of stall characterizations.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct CharacterizationDb {
+    reports: Vec<StallReport>,
+}
+
+/// Key uniquely identifying one characterization.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub struct ReportKey {
+    /// Cluster display name.
+    pub cluster: String,
+    /// Model name.
+    pub model: String,
+    /// Per-GPU batch size.
+    pub per_gpu_batch: u64,
+}
+
+impl CharacterizationDb {
+    /// An empty database.
+    #[must_use]
+    pub fn new() -> Self {
+        CharacterizationDb::default()
+    }
+
+    /// Number of stored reports.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// `true` when no reports are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Inserts (or replaces, keyed by cluster/model/batch) a report.
+    /// Returns `true` when an existing entry was replaced.
+    pub fn insert(&mut self, report: StallReport) -> bool {
+        let key = key_of(&report);
+        let replaced = if let Some(existing) =
+            self.reports.iter_mut().find(|r| key_of(r) == key)
+        {
+            *existing = report;
+            true
+        } else {
+            self.reports.push(report);
+            false
+        };
+        self.reports.sort_by_key(key_of);
+        replaced
+    }
+
+    /// Exact lookup.
+    #[must_use]
+    pub fn get(&self, cluster: &str, model: &str, per_gpu_batch: u64) -> Option<&StallReport> {
+        self.reports.iter().find(|r| {
+            r.cluster == cluster && r.model == model && r.per_gpu_batch == per_gpu_batch
+        })
+    }
+
+    /// All reports for a model, across clusters/batches.
+    pub fn for_model<'a>(&'a self, model: &'a str) -> impl Iterator<Item = &'a StallReport> {
+        self.reports.iter().filter(move |r| r.model == model)
+    }
+
+    /// All reports for a cluster configuration.
+    pub fn for_cluster<'a>(&'a self, cluster: &'a str) -> impl Iterator<Item = &'a StallReport> {
+        self.reports.iter().filter(move |r| r.cluster == cluster)
+    }
+
+    /// The stored configuration with the lowest warm-epoch time for
+    /// `model`, i.e. the zero-cost recommendation a user extracts from the
+    /// published characterization.
+    #[must_use]
+    pub fn fastest_for(&self, model: &str) -> Option<&StallReport> {
+        self.reports
+            .iter()
+            .filter(|r| r.model == model)
+            .filter_map(|r| r.training_epoch_time().map(|t| (t, r)))
+            .min_by_key(|(t, _)| *t)
+            .map(|(_, r)| r)
+    }
+
+    /// Serializes the database to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(&self.reports)
+    }
+
+    /// Writes the database to `path` as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and serialization failures.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = self.to_json().map_err(io::Error::other)?;
+        fs::write(path, json)
+    }
+
+    /// Loads a database previously written by [`CharacterizationDb::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and malformed content.
+    pub fn load(path: &Path) -> io::Result<CharacterizationDb> {
+        let raw = fs::read_to_string(path)?;
+        let values: Vec<serde_json::Value> = serde_json::from_str(&raw).map_err(io::Error::other)?;
+        let mut db = CharacterizationDb::new();
+        for v in values {
+            db.insert(report_from_json(&v).map_err(io::Error::other)?);
+        }
+        Ok(db)
+    }
+}
+
+fn key_of(r: &StallReport) -> ReportKey {
+    ReportKey {
+        cluster: r.cluster.clone(),
+        model: r.model.clone(),
+        per_gpu_batch: r.per_gpu_batch,
+    }
+}
+
+/// Manual JSON decoding: `StallReport` only derives `Serialize` (its step
+/// times serialize as nanosecond integers), so the loader reconstructs it
+/// field by field.
+fn report_from_json(v: &serde_json::Value) -> Result<StallReport, String> {
+    let get_str = |k: &str| -> Result<String, String> {
+        v.get(k)
+            .and_then(serde_json::Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing string field '{k}'"))
+    };
+    let get_u64 = |k: &str| -> Result<u64, String> {
+        v.get(k)
+            .and_then(serde_json::Value::as_u64)
+            .ok_or_else(|| format!("missing integer field '{k}'"))
+    };
+    let times = v.get("times").ok_or("missing 'times'")?;
+    let dur = |k: &str| -> Option<SimDuration> {
+        times.get(k).and_then(serde_json::Value::as_u64).map(SimDuration::from_nanos)
+    };
+    Ok(StallReport {
+        cluster: get_str("cluster")?,
+        reference: get_str("reference")?,
+        model: get_str("model")?,
+        per_gpu_batch: get_u64("per_gpu_batch")?,
+        world: get_u64("world")? as usize,
+        times: StepTimes {
+            t1: dur("t1"),
+            t2: dur("t2"),
+            t3: dur("t3"),
+            t4: dur("t4"),
+            t5: dur("t5"),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(cluster: &str, model: &str, batch: u64, t4_secs: u64) -> StallReport {
+        StallReport {
+            cluster: cluster.into(),
+            reference: cluster.into(),
+            model: model.into(),
+            per_gpu_batch: batch,
+            world: 8,
+            times: StepTimes {
+                t1: Some(SimDuration::from_secs(10)),
+                t2: Some(SimDuration::from_secs(12)),
+                t3: Some(SimDuration::from_secs(t4_secs + 5)),
+                t4: Some(SimDuration::from_secs(t4_secs)),
+                t5: None,
+            },
+        }
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut db = CharacterizationDb::new();
+        assert!(!db.insert(mk("p3.16xlarge", "ResNet18", 32, 100)));
+        assert!(!db.insert(mk("p3.8xlarge", "ResNet18", 32, 140)));
+        assert!(!db.insert(mk("p3.16xlarge", "VGG11", 32, 300)));
+        assert_eq!(db.len(), 3);
+        assert!(db.get("p3.16xlarge", "ResNet18", 32).is_some());
+        assert!(db.get("p3.16xlarge", "ResNet18", 64).is_none());
+        assert_eq!(db.for_model("ResNet18").count(), 2);
+        assert_eq!(db.for_cluster("p3.16xlarge").count(), 2);
+    }
+
+    #[test]
+    fn insert_replaces_same_key() {
+        let mut db = CharacterizationDb::new();
+        db.insert(mk("p3.16xlarge", "ResNet18", 32, 100));
+        assert!(db.insert(mk("p3.16xlarge", "ResNet18", 32, 90)));
+        assert_eq!(db.len(), 1);
+        let t4 = db.get("p3.16xlarge", "ResNet18", 32).unwrap().times.t4.unwrap();
+        assert_eq!(t4, SimDuration::from_secs(90));
+    }
+
+    #[test]
+    fn fastest_for_picks_lowest_warm_epoch() {
+        let mut db = CharacterizationDb::new();
+        db.insert(mk("p3.8xlarge", "ResNet18", 32, 140));
+        db.insert(mk("p3.16xlarge", "ResNet18", 32, 100));
+        db.insert(mk("p2.16xlarge", "ResNet18", 32, 900));
+        assert_eq!(db.fastest_for("ResNet18").unwrap().cluster, "p3.16xlarge");
+        assert!(db.fastest_for("GPT-5").is_none());
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let mut db = CharacterizationDb::new();
+        db.insert(mk("p3.16xlarge", "ResNet18", 32, 100));
+        db.insert(mk("p2.8xlarge", "VGG11", 16, 250));
+        let path = std::env::temp_dir().join("stash_db_roundtrip_test.json");
+        db.save(&path).unwrap();
+        let loaded = CharacterizationDb::load(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        let r = loaded.get("p2.8xlarge", "VGG11", 16).unwrap();
+        assert_eq!(r.times.t4, Some(SimDuration::from_secs(250)));
+        assert_eq!(r.world, 8);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = std::env::temp_dir().join("stash_db_garbage_test.json");
+        std::fs::write(&path, "[{\"cluster\": 5}]").unwrap();
+        assert!(CharacterizationDb::load(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,67 @@
+//! Profiler error types.
+
+use std::error::Error;
+use std::fmt;
+
+use stash_ddl::error::TrainError;
+
+/// Why a profiling run could not complete.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileError {
+    /// The underlying training simulation failed.
+    Train(TrainError),
+    /// A multi-node cluster has no single-instance reference with the same
+    /// total GPU count, so the network-stall baseline (step 2) is
+    /// undefined.
+    NoReference {
+        /// Total GPUs of the cluster under test.
+        world: usize,
+        /// Family of the cluster's instances.
+        family: String,
+    },
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::Train(e) => write!(f, "training simulation failed: {e}"),
+            ProfileError::NoReference { world, family } => write!(
+                f,
+                "no single {family} instance with {world} GPUs to serve as the step-2 baseline"
+            ),
+        }
+    }
+}
+
+impl Error for ProfileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProfileError::Train(e) => Some(e),
+            ProfileError::NoReference { .. } => None,
+        }
+    }
+}
+
+impl From<TrainError> for ProfileError {
+    fn from(e: TrainError) -> Self {
+        ProfileError::Train(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ProfileError::from(TrainError::InvalidConfig("boom".into()));
+        assert!(e.to_string().contains("boom"));
+        assert!(e.source().is_some());
+        let n = ProfileError::NoReference {
+            world: 12,
+            family: "P3".into(),
+        };
+        assert!(n.to_string().contains("12"));
+        assert!(n.source().is_none());
+    }
+}

@@ -1,0 +1,69 @@
+//! # stash-core — the Stash DDL stall profiler
+//!
+//! The paper's primary contribution: a profiler that characterizes the
+//! four execution stalls of distributed deep learning on cloud GPU
+//! instances — **interconnect** and **network** stalls (Stash's novel
+//! steps 1 and 5) plus the **CPU (prep)** and **disk (fetch)** stalls of
+//! prior work DS-Analyzer (steps 2-4).
+//!
+//! * [`profiler`] — [`profiler::Stash`] (all five steps) and
+//!   [`profiler::DsAnalyzer`] (the prior-work subset);
+//! * [`report`] — [`report::StallReport`] with the paper's stall formulas;
+//! * [`cost`] — epoch time x instance price billing (Figs. 6/10/12/14);
+//! * [`advisor`] — ranked instance recommendations;
+//! * [`analytic`] — the §VI closed-form `T = (tau + G/(L·B))·L` model;
+//! * [`srifty`] — a Srifty-style probe-and-predict baseline with its
+//!   probing bill (the §VI-B cost comparison);
+//! * [`qos`] — network-stall distributions under bandwidth variance
+//!   (the §III QoS discussion, made quantitative);
+//! * [`db`] — the persistent characterization database users query
+//!   instead of re-running experiments (the paper's cost pitch);
+//! * [`pipeline`] — a GPipe-style pipeline-parallel estimator for the
+//!   models the paper's data-parallel profiler must exclude.
+//!
+//! # Examples
+//!
+//! ```
+//! use stash_core::prelude::*;
+//! use stash_dnn::zoo;
+//! use stash_hwtopo::prelude::*;
+//!
+//! let stash = Stash::new(zoo::resnet18())
+//!     .with_batch(32)
+//!     .with_sampled_iterations(3)
+//!     .with_epoch_samples(10_000);
+//! let report = stash.profile(&ClusterSpec::single(p3_16xlarge()))?;
+//! println!("{report}");
+//! assert!(report.interconnect_stall_pct().unwrap() >= 0.0);
+//! # Ok::<(), stash_core::error::ProfileError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod advisor;
+pub mod analytic;
+pub mod cost;
+pub mod db;
+pub mod error;
+pub mod pipeline;
+pub mod profiler;
+pub mod qos;
+pub mod render;
+pub mod report;
+pub mod srifty;
+
+/// Convenient glob-import of the most used items.
+pub mod prelude {
+    pub use crate::advisor::{default_candidates, recommend, Advice, Objective, Recommendation};
+    pub use crate::analytic::{comm_estimate, link_parameters, CommEstimate, LinkParameters};
+    pub use crate::cost::{epoch_cost, training_cost, CostReport};
+    pub use crate::db::CharacterizationDb;
+    pub use crate::pipeline::{plan as pipeline_plan, PipelinePlan};
+    pub use crate::error::ProfileError;
+    pub use crate::profiler::{DsAnalyzer, Stash};
+    pub use crate::report::{StallReport, StepTimes};
+    pub use crate::qos::{network_stall_distribution, QosDistribution};
+    pub use crate::render::{comparison_markdown, report_markdown};
+    pub use crate::srifty::{compare as srifty_compare, grid_probe, SriftyPredictor};
+}

@@ -1,0 +1,239 @@
+//! Pipeline-parallelism estimator (extension; the paper's stated gap).
+//!
+//! §IV-A: "Large DNN models often do not fit on a single GPU's memory,
+//! thereby forcing users to employ techniques such as model and hybrid
+//! parallelism ... Our profiling tool currently supports only data
+//! parallelism." This module closes part of that gap analytically: a
+//! GPipe-style estimator that partitions a model into balanced stages,
+//! checks per-stage memory, and predicts iteration time from the classic
+//! pipeline bound
+//!
+//! `T ≈ (m + s − 1) / m · t_stage + activation transfers`,
+//!
+//! where `m` is the number of micro-batches and `s` the stage count. It
+//! answers the question the paper defers: *which models that OOM under
+//! data parallelism become feasible on a given instance with pipelining?*
+
+use serde::Serialize;
+use stash_dnn::model::Model;
+use stash_flowsim::net::FlowNet;
+use stash_gpucompute::kernel::ComputeModel;
+use stash_gpucompute::memory;
+use stash_hwtopo::cluster::ClusterSpec;
+use stash_hwtopo::instance::InstanceType;
+use stash_hwtopo::topology::{GpuId, Topology};
+use stash_simkit::time::SimDuration;
+
+/// A contiguous range of layers assigned to one GPU.
+#[derive(Debug, Clone, Serialize)]
+pub struct Stage {
+    /// Stage index (= GPU local index).
+    pub index: usize,
+    /// Forward layer range `[lo, hi)`.
+    pub layer_range: (usize, usize),
+    /// Per-micro-batch forward+backward compute time.
+    pub compute: SimDuration,
+    /// Peak memory of the stage at the given micro-batch size, bytes.
+    pub memory_bytes: f64,
+    /// Activation bytes shipped to the next stage per micro-batch.
+    pub boundary_activation_bytes: f64,
+}
+
+/// The pipeline plan plus its predicted performance.
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelinePlan {
+    /// Balanced stages, one per GPU.
+    pub stages: Vec<Stage>,
+    /// Micro-batches in flight per iteration.
+    pub micro_batches: u64,
+    /// Whether every stage fits its GPU's memory.
+    pub fits: bool,
+    /// Predicted time per (macro-)iteration.
+    pub iteration_time: SimDuration,
+    /// Predicted throughput, samples/sec.
+    pub throughput: f64,
+}
+
+/// Splits `model` into `stages` contiguous parts with (greedily) balanced
+/// compute and estimates GPipe-style execution on `instance`.
+///
+/// `micro_batch` is the per-micro-batch size; `micro_batches` the number
+/// in flight (macro batch = product).
+///
+/// # Panics
+///
+/// Panics if `stages` is zero or exceeds the instance's GPU count, or if
+/// `micro_batches` is zero.
+#[must_use]
+pub fn plan(
+    instance: &InstanceType,
+    model: &Model,
+    stages: usize,
+    micro_batch: u64,
+    micro_batches: u64,
+) -> PipelinePlan {
+    assert!(stages > 0 && stages <= instance.gpu_count, "invalid stage count");
+    assert!(micro_batches > 0, "need at least one micro-batch");
+    let cm = ComputeModel::new(instance.gpu.spec());
+
+    // Greedy balanced partition over a blend of per-layer compute time
+    // and parameter weight: compute balance keeps the pipe bubble small,
+    // parameter balance keeps embedding-dominated models (DLRM) from
+    // piling their state onto one stage.
+    let compute_cost: Vec<f64> = model
+        .layers
+        .iter()
+        .map(|l| (cm.layer_fwd(l, micro_batch) + cm.layer_bwd(l, micro_batch)).as_secs_f64())
+        .collect();
+    let total_compute: f64 = compute_cost.iter().sum();
+    let total_params = model.param_count().max(1) as f64;
+    let layer_cost: Vec<f64> = model
+        .layers
+        .iter()
+        .zip(&compute_cost)
+        .map(|(l, c)| c / total_compute + l.params as f64 / total_params)
+        .collect();
+    let total: f64 = layer_cost.iter().sum();
+    let target = total / stages as f64;
+    let mut bounds = vec![0_usize];
+    let mut acc = 0.0;
+    for (i, c) in layer_cost.iter().enumerate() {
+        acc += c;
+        if acc >= target && bounds.len() < stages && i + 1 < model.layers.len() {
+            bounds.push(i + 1);
+            acc = 0.0;
+        }
+    }
+    bounds.push(model.layers.len());
+
+    let mut stage_list = Vec::new();
+    for s in 0..bounds.len() - 1 {
+        let (lo, hi) = (bounds[s], bounds[s + 1]);
+        let compute: SimDuration = (lo..hi)
+            .map(|i| cm.layer_fwd(&model.layers[i], micro_batch) + cm.layer_bwd(&model.layers[i], micro_batch))
+            .sum();
+        // Stage memory: its parameters' state + its activations; the
+        // framework reservation is charged per GPU.
+        let params: u64 = model.layers[lo..hi].iter().map(|l| l.params).sum();
+        let activations: f64 = model.layers[lo..hi].iter().map(|l| l.activation_bytes).sum();
+        // In-flight micro-batches stack activations (GPipe keeps up to s).
+        let inflight = micro_batches.min(bounds.len() as u64 - 1) as f64;
+        let memory_bytes = params as f64 * 4.0 * 3.0
+            + activations * micro_batch as f64 * memory::ACTIVATION_OVERHEAD * inflight
+            + memory::FRAMEWORK_RESERVED;
+        let boundary = if hi < model.layers.len() {
+            model.layers[hi - 1].activation_bytes * micro_batch as f64
+        } else {
+            0.0
+        };
+        stage_list.push(Stage {
+            index: s,
+            layer_range: (lo, hi),
+            compute,
+            memory_bytes,
+            boundary_activation_bytes: boundary,
+        });
+    }
+
+    let fits = stage_list
+        .iter()
+        .all(|s| s.memory_bytes <= instance.gpu.spec().mem_bytes);
+
+    // Pipeline bound: slowest stage paces the pipe; (m + s - 1) slots.
+    let bottleneck = stage_list
+        .iter()
+        .map(|s| s.compute)
+        .max()
+        .expect("at least one stage");
+    // Activation hops ride the intra-node interconnect.
+    let mut net = FlowNet::new();
+    let topo = Topology::build(&ClusterSpec::single(instance.clone()), &mut net);
+    let hop_seconds: f64 = stage_list
+        .iter()
+        .take(stage_list.len().saturating_sub(1))
+        .map(|s| {
+            let route = topo.gpu_route(
+                GpuId { node: 0, local: s.index },
+                GpuId { node: 0, local: s.index + 1 },
+            );
+            let rate = net.probe_rates(std::slice::from_ref(&route))[0];
+            // Forward activation + backward gradient of the boundary.
+            2.0 * s.boundary_activation_bytes / rate
+        })
+        .sum();
+    let slots = micro_batches + stage_list.len() as u64 - 1;
+    let iteration_time = bottleneck * slots + SimDuration::from_secs_f64(hop_seconds * micro_batches as f64);
+    let samples = micro_batch * micro_batches;
+    PipelinePlan {
+        micro_batches,
+        fits,
+        iteration_time,
+        throughput: samples as f64 / iteration_time.as_secs_f64().max(1e-12),
+        stages: stage_list,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stash_dnn::zoo;
+    use stash_hwtopo::instance::{p3_16xlarge, p3_2xlarge};
+
+    #[test]
+    fn stages_partition_the_model() {
+        let inst = p3_16xlarge();
+        let p = plan(&inst, &zoo::resnet50(), 4, 8, 8);
+        assert_eq!(p.stages.len(), 4);
+        let mut expected = 0;
+        for s in &p.stages {
+            assert_eq!(s.layer_range.0, expected);
+            expected = s.layer_range.1;
+        }
+        assert_eq!(expected, zoo::resnet50().layer_count());
+    }
+
+    #[test]
+    fn dlrm_becomes_feasible_with_enough_stages() {
+        // Data parallelism cannot hold DLRM anywhere (engine test); GPipe
+        // over 8 V100s splits the 48 GB of state into ~6 GB stages.
+        let inst = p3_16xlarge();
+        let one_stage = plan(&inst, &zoo::dlrm(), 1, 4, 8);
+        assert!(!one_stage.fits, "DLRM cannot fit one GPU");
+        let eight_stages = plan(&inst, &zoo::dlrm(), 8, 4, 8);
+        assert!(
+            eight_stages.fits,
+            "8-way pipeline must fit: worst stage {:.1} GB",
+            eight_stages
+                .stages
+                .iter()
+                .map(|s| s.memory_bytes)
+                .fold(0.0_f64, f64::max)
+                / 1e9
+        );
+    }
+
+    #[test]
+    fn more_micro_batches_improve_utilisation() {
+        let inst = p3_16xlarge();
+        let few = plan(&inst, &zoo::resnet50(), 4, 8, 2);
+        let many = plan(&inst, &zoo::resnet50(), 4, 8, 16);
+        assert!(many.throughput > few.throughput, "{} vs {}", many.throughput, few.throughput);
+    }
+
+    #[test]
+    fn pipeline_underperforms_data_parallelism_when_both_fit() {
+        // For a model that fits a single GPU, the pipeline bubble makes
+        // pipelining strictly worse than 8-way data parallelism's ideal.
+        let inst = p3_16xlarge();
+        let cm = ComputeModel::new(inst.gpu.spec());
+        let pp = plan(&inst, &zoo::resnet18(), 8, 4, 8);
+        let dp_ideal = 8.0 * cm.throughput(&zoo::resnet18(), 32);
+        assert!(pp.throughput < dp_ideal);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid stage count")]
+    fn too_many_stages_rejected() {
+        let _ = plan(&p3_2xlarge(), &zoo::resnet18(), 2, 8, 8);
+    }
+}

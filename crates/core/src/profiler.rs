@@ -1,0 +1,386 @@
+//! The Stash profiler (paper §IV-B).
+//!
+//! [`Stash`] orchestrates the five measurement steps against the training
+//! engine:
+//!
+//! 1. synthetic data on **one** GPU of the reference instance (`n/k`
+//!    samples) → `T1`;
+//! 2. synthetic data on **all** `k` GPUs of the reference instance → `T2`;
+//! 3. real data with caches cleared → `T3`;
+//! 4. real data fully cached → `T4`;
+//! 5. synthetic data across the multi-instance cluster (same `k` total
+//!    GPUs) → `T5`.
+//!
+//! Steps 2-4 are the prior-work DS-Analyzer subset ([`DsAnalyzer`]); steps
+//! 1 and 5 are Stash's contribution — the communication stalls.
+
+use serde::Serialize;
+use stash_collectives::bucket::Bucketing;
+use stash_collectives::schedule::Algorithm;
+use stash_datapipe::cache::CacheState;
+use stash_ddl::config::{ActiveGpus, DataMode, EpochMode, TrainConfig};
+use stash_ddl::engine::run_epoch;
+use stash_dnn::dataset::DatasetSpec;
+use stash_dnn::model::Model;
+use stash_gpucompute::precision::Precision;
+use stash_hwtopo::cluster::ClusterSpec;
+use stash_hwtopo::instance::{catalog, InstanceType};
+
+use crate::error::ProfileError;
+use crate::report::{StallReport, StepTimes};
+
+/// Default number of iterations simulated per step (the paper exploits
+/// DL's repetitiveness the same way: one epoch characterizes training).
+pub const DEFAULT_SAMPLED_ITERATIONS: u64 = 25;
+
+/// The Stash profiler: configured once per (model, dataset, batch), then
+/// pointed at cluster configurations.
+///
+/// # Examples
+///
+/// ```
+/// use stash_core::profiler::Stash;
+/// use stash_dnn::zoo;
+/// use stash_hwtopo::prelude::*;
+///
+/// let stash = Stash::new(zoo::resnet18()).with_batch(32);
+/// let report = stash.profile(&ClusterSpec::single(p3_16xlarge()))?;
+/// assert!(report.interconnect_stall_pct().is_some());
+/// # Ok::<(), stash_core::error::ProfileError>(())
+/// ```
+#[derive(Debug, Clone, Serialize)]
+pub struct Stash {
+    model: Model,
+    dataset: DatasetSpec,
+    per_gpu_batch: u64,
+    epoch_samples: Option<u64>,
+    sampled_iterations: u64,
+    bucketing: Bucketing,
+    algorithm: Algorithm,
+    precision: Precision,
+}
+
+impl Stash {
+    /// Creates a profiler for `model` with paper defaults: ImageNet-1k,
+    /// batch 32, ring all-reduce, per-layer buckets.
+    #[must_use]
+    pub fn new(model: Model) -> Stash {
+        Stash {
+            model,
+            dataset: DatasetSpec::imagenet1k(),
+            per_gpu_batch: 32,
+            epoch_samples: None,
+            sampled_iterations: DEFAULT_SAMPLED_ITERATIONS,
+            bucketing: Bucketing::PerLayer,
+            algorithm: Algorithm::Ring,
+            precision: Precision::Fp32,
+        }
+    }
+
+    /// Sets the per-GPU batch size.
+    #[must_use]
+    pub fn with_batch(mut self, per_gpu_batch: u64) -> Stash {
+        self.per_gpu_batch = per_gpu_batch;
+        self
+    }
+
+    /// Sets the dataset streamed in steps 3/4.
+    #[must_use]
+    pub fn with_dataset(mut self, dataset: DatasetSpec) -> Stash {
+        self.dataset = dataset;
+        self
+    }
+
+    /// Overrides the number of samples in the profiled epoch (defaults to
+    /// the dataset size).
+    #[must_use]
+    pub fn with_epoch_samples(mut self, samples: u64) -> Stash {
+        self.epoch_samples = Some(samples);
+        self
+    }
+
+    /// Overrides how many iterations each step simulates before
+    /// extrapolating.
+    #[must_use]
+    pub fn with_sampled_iterations(mut self, iterations: u64) -> Stash {
+        self.sampled_iterations = iterations.max(1);
+        self
+    }
+
+    /// Sets the gradient bucketing policy.
+    #[must_use]
+    pub fn with_bucketing(mut self, bucketing: Bucketing) -> Stash {
+        self.bucketing = bucketing;
+        self
+    }
+
+    /// Sets the collective algorithm.
+    #[must_use]
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Stash {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the numeric precision (fp32 default; AMP halves gradient
+    /// traffic and engages tensor cores).
+    #[must_use]
+    pub fn with_precision(mut self, precision: Precision) -> Stash {
+        self.precision = precision;
+        self
+    }
+
+    /// The model being profiled.
+    #[must_use]
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    fn epoch_samples(&self) -> u64 {
+        self.epoch_samples.unwrap_or(self.dataset.num_samples)
+    }
+
+    fn base_config(&self, cluster: ClusterSpec, samples_per_gpu: u64) -> TrainConfig {
+        TrainConfig {
+            cluster,
+            model: self.model.clone(),
+            per_gpu_batch: self.per_gpu_batch,
+            data: DataMode::Synthetic,
+            bucketing: self.bucketing,
+            algorithm: self.algorithm,
+            overlap: true,
+            active: ActiveGpus::All,
+            samples_per_gpu,
+            epoch_mode: EpochMode::Sampled {
+                iterations: self.sampled_iterations,
+            },
+            record_trace: false,
+            precision: self.precision,
+            grad_accumulation: 1,
+            straggler: None,
+        }
+    }
+
+    /// Finds the single-instance baseline for a multi-node cluster: the
+    /// same-family catalog instance whose GPU count equals the cluster's
+    /// total.
+    ///
+    /// # Errors
+    ///
+    /// [`ProfileError::NoReference`] when no such instance exists.
+    pub fn reference_for(cluster: &ClusterSpec) -> Result<InstanceType, ProfileError> {
+        if cluster.node_count() == 1 {
+            return Ok(cluster.instances[0].clone());
+        }
+        let world = cluster.world_size();
+        let family = cluster.instances[0].family;
+        catalog()
+            .into_iter()
+            .find(|i| i.family == family && i.gpu_count == world)
+            .ok_or(ProfileError::NoReference {
+                world,
+                family: family.to_string(),
+            })
+    }
+
+    /// Runs the full Stash methodology against `cluster`.
+    ///
+    /// Single-instance clusters get steps 1-4 (`t5 = None`); multi-node
+    /// clusters additionally get step 5, with steps 1/2 measured on the
+    /// same-family reference instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (e.g. out-of-memory) and
+    /// [`ProfileError::NoReference`] for unreferenced multi-node shapes.
+    pub fn profile(&self, cluster: &ClusterSpec) -> Result<StallReport, ProfileError> {
+        let reference = Self::reference_for(cluster)?;
+        let world = cluster.world_size();
+        let samples_per_gpu = (self.epoch_samples() / world as u64).max(self.per_gpu_batch);
+        let ref_cluster = ClusterSpec::single(reference.clone());
+
+        // Step 1: one GPU, synthetic, n/k samples.
+        let mut step1 = self.base_config(ref_cluster.clone(), samples_per_gpu);
+        step1.active = ActiveGpus::Single;
+        let t1 = run_epoch(&step1)?.epoch_time;
+
+        // Step 2: all k GPUs of the reference instance, synthetic.
+        let step2 = self.base_config(ref_cluster, samples_per_gpu);
+        let t2 = run_epoch(&step2)?.epoch_time;
+
+        // Step 3: real data, cold caches, on the cluster under test.
+        let mut step3 = self.base_config(cluster.clone(), samples_per_gpu);
+        step3.data = DataMode::Real {
+            dataset: self.dataset.clone(),
+            cache: CacheState::Cold,
+        };
+        let t3 = run_epoch(&step3)?.epoch_time;
+
+        // Step 4: real data, warm caches.
+        let mut step4 = self.base_config(cluster.clone(), samples_per_gpu);
+        step4.data = DataMode::Real {
+            dataset: self.dataset.clone(),
+            cache: CacheState::Warm,
+        };
+        let t4 = run_epoch(&step4)?.epoch_time;
+
+        // Step 5: synthetic across the network (multi-node only).
+        let t5 = if cluster.node_count() > 1 {
+            let step5 = self.base_config(cluster.clone(), samples_per_gpu);
+            Some(run_epoch(&step5)?.epoch_time)
+        } else {
+            None
+        };
+
+        Ok(StallReport {
+            cluster: cluster.display_name(),
+            reference: reference.name,
+            model: self.model.name.clone(),
+            per_gpu_batch: self.per_gpu_batch,
+            world,
+            times: StepTimes {
+                t1: Some(t1),
+                t2: Some(t2),
+                t3: Some(t3),
+                t4: Some(t4),
+                t5,
+            },
+        })
+    }
+}
+
+/// The prior-work DS-Analyzer profiler: steps 2-4 only — it measures prep
+/// (CPU) and fetch (disk) stalls but is blind to communication (the gap
+/// Stash fills).
+#[derive(Debug, Clone, Serialize)]
+pub struct DsAnalyzer {
+    inner: Stash,
+}
+
+impl DsAnalyzer {
+    /// Creates the baseline profiler with the same defaults as [`Stash`].
+    #[must_use]
+    pub fn new(model: Model) -> DsAnalyzer {
+        DsAnalyzer {
+            inner: Stash::new(model),
+        }
+    }
+
+    /// Sets the per-GPU batch size.
+    #[must_use]
+    pub fn with_batch(mut self, per_gpu_batch: u64) -> DsAnalyzer {
+        self.inner = self.inner.with_batch(per_gpu_batch);
+        self
+    }
+
+    /// Sets the dataset.
+    #[must_use]
+    pub fn with_dataset(mut self, dataset: DatasetSpec) -> DsAnalyzer {
+        self.inner = self.inner.with_dataset(dataset);
+        self
+    }
+
+    /// Overrides sampled iterations.
+    #[must_use]
+    pub fn with_sampled_iterations(mut self, iterations: u64) -> DsAnalyzer {
+        self.inner = self.inner.with_sampled_iterations(iterations);
+        self
+    }
+
+    /// Profiles `instance` with DS-Analyzer's steps 2-4 only: the report
+    /// carries CPU and disk stalls; `t1`/`t5` stay `None`, so interconnect
+    /// and network stalls are unavailable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn profile(&self, instance: InstanceType) -> Result<StallReport, ProfileError> {
+        let cluster = ClusterSpec::single(instance);
+        let mut report = self.inner.profile(&cluster)?;
+        report.times.t1 = None;
+        report.times.t5 = None;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stash_dnn::zoo;
+    use stash_hwtopo::instance::{p2_16xlarge, p3_16xlarge, p3_2xlarge, p3_8xlarge};
+
+    fn quick(model: Model) -> Stash {
+        Stash::new(model)
+            .with_sampled_iterations(3)
+            .with_epoch_samples(20_000)
+    }
+
+    #[test]
+    fn single_instance_report_has_no_t5() {
+        let r = quick(zoo::alexnet())
+            .profile(&ClusterSpec::single(p3_16xlarge()))
+            .unwrap();
+        assert!(r.times.t5.is_none());
+        assert!(r.interconnect_stall_pct().is_some());
+        assert!(r.network_stall_pct().is_none());
+        assert_eq!(r.world, 8);
+        assert_eq!(r.reference, "p3.16xlarge");
+    }
+
+    #[test]
+    fn multi_node_uses_family_reference() {
+        let r = quick(zoo::alexnet())
+            .profile(&ClusterSpec::homogeneous(p3_8xlarge(), 2))
+            .unwrap();
+        assert_eq!(r.reference, "p3.16xlarge");
+        assert!(r.times.t5.is_some());
+        let nw = r.network_stall_pct().unwrap();
+        assert!(nw > 0.0, "network stall must be positive, got {nw}");
+    }
+
+    #[test]
+    fn unreferenced_multi_node_shape_errors() {
+        let cluster = ClusterSpec::homogeneous(p3_16xlarge(), 3); // 24 GPUs
+        match quick(zoo::alexnet()).profile(&cluster) {
+            Err(ProfileError::NoReference { world: 24, .. }) => {}
+            other => panic!("expected NoReference, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_gpu_instance_has_zero_interconnect_stall() {
+        let r = quick(zoo::alexnet())
+            .profile(&ClusterSpec::single(p3_2xlarge()))
+            .unwrap();
+        assert!(r.interconnect_stall_pct().unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn p2_16x_interconnect_stall_is_severe() {
+        let r = quick(zoo::resnet18())
+            .profile(&ClusterSpec::single(p2_16xlarge()))
+            .unwrap();
+        let ic = r.interconnect_stall_pct().unwrap();
+        assert!(ic > 25.0, "expected substantial PCIe stall, got {ic}%");
+    }
+
+    #[test]
+    fn cpu_stall_is_negligible_on_aws() {
+        // Headline finding: vCPUs keep up on AWS.
+        let r = quick(zoo::resnet18())
+            .profile(&ClusterSpec::single(p3_16xlarge()))
+            .unwrap();
+        let cpu = r.cpu_stall_pct().unwrap();
+        assert!(cpu < 15.0, "CPU stall should be small, got {cpu}%");
+    }
+
+    #[test]
+    fn ds_analyzer_misses_communication() {
+        let r = DsAnalyzer::new(zoo::resnet18())
+            .with_sampled_iterations(3)
+            .profile(p2_16xlarge())
+            .unwrap();
+        assert!(r.interconnect_stall_pct().is_none());
+        assert!(r.cpu_stall_pct().is_some());
+        assert!(r.disk_stall_pct().is_some());
+    }
+}

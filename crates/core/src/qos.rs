@@ -1,0 +1,151 @@
+//! Network QoS variance analysis (paper §III).
+//!
+//! The paper argues AWS network QoS "is subject to high temporal (up to
+//! months) and spatial (availability zones, regions) variations and is
+//! hard to definitively characterize" — the reason Stash characterizes
+//! *hardware* stalls and treats the network statistically. This module
+//! makes that statement quantitative: it re-profiles a multi-node cluster
+//! under randomly drawn achieved-bandwidth multipliers and reports the
+//! distribution of the network stall.
+
+use serde::Serialize;
+use stash_hwtopo::cluster::ClusterSpec;
+use stash_simkit::rng::DetRng;
+use stash_simkit::stats::Summary;
+
+use crate::error::ProfileError;
+use crate::profiler::Stash;
+
+/// One draw of the QoS lottery.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct QosSample {
+    /// Achieved fraction of nominal network bandwidth.
+    pub achieved_fraction: f64,
+    /// Resulting network stall percentage.
+    pub network_stall_pct: f64,
+}
+
+/// Distribution of network stalls under bandwidth variance.
+#[derive(Debug, Clone, Serialize)]
+pub struct QosDistribution {
+    /// Every draw, in order.
+    pub samples: Vec<QosSample>,
+    /// Summary statistics of the stall percentage.
+    pub stall_summary: Summary,
+}
+
+impl QosDistribution {
+    /// Max-to-min spread of the observed stalls (1.0 = no variance).
+    #[must_use]
+    pub fn spread(&self) -> f64 {
+        match (self.stall_summary.max(), self.stall_summary.min()) {
+            (Some(max), Some(min)) if min > 0.0 => max / min,
+            _ => 1.0,
+        }
+    }
+}
+
+/// Profiles `cluster` `trials` times, drawing the achieved network
+/// bandwidth uniformly from `[1 - jitter, 1]` of nominal each time
+/// (deterministic in `seed`).
+///
+/// # Errors
+///
+/// Propagates profiling failures; multi-node clusters only (a single
+/// instance has no network stall to sample).
+///
+/// # Panics
+///
+/// Panics if `jitter` is outside `[0, 1)` or `trials` is zero.
+pub fn network_stall_distribution(
+    stash: &Stash,
+    cluster: &ClusterSpec,
+    jitter: f64,
+    trials: u32,
+    seed: u64,
+) -> Result<QosDistribution, ProfileError> {
+    assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
+    assert!(trials > 0, "need at least one trial");
+    let mut rng = DetRng::new(seed);
+    let mut samples = Vec::with_capacity(trials as usize);
+    let mut stall_summary = Summary::new();
+    for _ in 0..trials {
+        let achieved = rng.uniform(1.0 - jitter, 1.0 + f64::EPSILON);
+        let mut degraded = cluster.clone();
+        for inst in &mut degraded.instances {
+            inst.network_gbps *= achieved;
+        }
+        let report = stash.profile(&degraded)?;
+        let stall = report.network_stall_pct().unwrap_or(0.0);
+        stall_summary.record(stall);
+        samples.push(QosSample {
+            achieved_fraction: achieved,
+            network_stall_pct: stall,
+        });
+    }
+    Ok(QosDistribution {
+        samples,
+        stall_summary,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stash_dnn::zoo;
+    use stash_hwtopo::instance::p3_8xlarge;
+
+    fn quick_stash() -> Stash {
+        Stash::new(zoo::resnet50())
+            .with_sampled_iterations(2)
+            .with_epoch_samples(10_000)
+    }
+
+    #[test]
+    fn jitter_widens_the_distribution() {
+        let cluster = ClusterSpec::homogeneous(p3_8xlarge(), 2);
+        let stash = quick_stash();
+        let calm = network_stall_distribution(&stash, &cluster, 0.05, 4, 7).unwrap();
+        let wild = network_stall_distribution(&stash, &cluster, 0.6, 4, 7).unwrap();
+        assert!(wild.stall_summary.std_dev() > calm.stall_summary.std_dev());
+        assert!(wild.spread() > calm.spread());
+    }
+
+    #[test]
+    fn deterministic_in_the_seed() {
+        let cluster = ClusterSpec::homogeneous(p3_8xlarge(), 2);
+        let stash = quick_stash();
+        let a = network_stall_distribution(&stash, &cluster, 0.3, 3, 42).unwrap();
+        let b = network_stall_distribution(&stash, &cluster, 0.3, 3, 42).unwrap();
+        for (x, y) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(x.network_stall_pct, y.network_stall_pct);
+        }
+    }
+
+    #[test]
+    fn worse_bandwidth_means_more_stall() {
+        let cluster = ClusterSpec::homogeneous(p3_8xlarge(), 2);
+        let stash = quick_stash();
+        let d = network_stall_distribution(&stash, &cluster, 0.7, 6, 3).unwrap();
+        // Correlate: the sample with the lowest achieved fraction must not
+        // stall less than the one with the highest.
+        let best = d
+            .samples
+            .iter()
+            .max_by(|a, b| a.achieved_fraction.total_cmp(&b.achieved_fraction))
+            .unwrap();
+        let worst = d
+            .samples
+            .iter()
+            .min_by(|a, b| a.achieved_fraction.total_cmp(&b.achieved_fraction))
+            .unwrap();
+        assert!(worst.network_stall_pct >= best.network_stall_pct);
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter")]
+    fn jitter_bounds_enforced() {
+        let cluster = ClusterSpec::homogeneous(p3_8xlarge(), 2);
+        let _ = network_stall_distribution(&quick_stash(), &cluster, 1.5, 2, 1);
+    }
+}

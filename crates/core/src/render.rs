@@ -1,0 +1,115 @@
+//! Markdown rendering of stall reports.
+//!
+//! The characterization is meant to be *published* (README tables, wiki
+//! pages, the paper's own tables); this module renders collections of
+//! [`StallReport`]s as GitHub-flavoured markdown so the database can go
+//! straight into documentation.
+
+use std::fmt::Write as _;
+
+use crate::report::StallReport;
+
+fn cell(p: Option<f64>) -> String {
+    p.map_or_else(|| "–".to_string(), |v| format!("{v:.1}%"))
+}
+
+/// Renders one report as a markdown definition block.
+#[must_use]
+pub fn report_markdown(r: &StallReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "### {} — {} (batch {} × {} GPUs)\n",
+        r.cluster, r.model, r.per_gpu_batch, r.world
+    );
+    let _ = writeln!(out, "| stall | value |");
+    let _ = writeln!(out, "|-------|-------|");
+    let _ = writeln!(out, "| interconnect | {} |", cell(r.interconnect_stall_pct()));
+    let _ = writeln!(out, "| network | {} |", cell(r.network_stall_pct()));
+    let _ = writeln!(out, "| CPU (prep) | {} |", cell(r.cpu_stall_pct()));
+    let _ = writeln!(out, "| disk (fetch) | {} |", cell(r.disk_stall_pct()));
+    if let Some(t) = r.training_epoch_time() {
+        let _ = writeln!(out, "| epoch (steady state) | {t} |");
+    }
+    out
+}
+
+/// Renders many reports as one comparison grid, one row per report.
+#[must_use]
+pub fn comparison_markdown(title: &str, reports: &[StallReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## {title}\n");
+    let _ = writeln!(
+        out,
+        "| cluster | model | batch | I/C | N/W | CPU | disk | epoch |"
+    );
+    let _ = writeln!(out, "|---------|-------|-------|-----|-----|-----|------|-------|");
+    for r in reports {
+        let epoch = r
+            .training_epoch_time()
+            .map_or_else(|| "–".to_string(), |t| t.to_string());
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {} |",
+            r.cluster,
+            r.model,
+            r.per_gpu_batch,
+            cell(r.interconnect_stall_pct()),
+            cell(r.network_stall_pct()),
+            cell(r.cpu_stall_pct()),
+            cell(r.disk_stall_pct()),
+            epoch,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::StepTimes;
+    use stash_simkit::time::SimDuration;
+
+    fn sample() -> StallReport {
+        StallReport {
+            cluster: "p3.8xlarge*2".into(),
+            reference: "p3.16xlarge".into(),
+            model: "ResNet18".into(),
+            per_gpu_batch: 32,
+            world: 8,
+            times: StepTimes {
+                t1: Some(SimDuration::from_secs(100)),
+                t2: Some(SimDuration::from_secs(110)),
+                t3: Some(SimDuration::from_secs(150)),
+                t4: Some(SimDuration::from_secs(120)),
+                t5: Some(SimDuration::from_secs(300)),
+            },
+        }
+    }
+
+    #[test]
+    fn single_report_renders_all_stalls() {
+        let md = report_markdown(&sample());
+        assert!(md.contains("### p3.8xlarge*2 — ResNet18"));
+        assert!(md.contains("| interconnect | 10.0% |"));
+        assert!(md.contains("| network | 172.7% |"));
+        assert!(md.contains("epoch (steady state)"));
+    }
+
+    #[test]
+    fn comparison_grid_has_one_row_per_report() {
+        let md = comparison_markdown("sweep", &[sample(), sample()]);
+        assert_eq!(md.matches("| p3.8xlarge*2 |").count(), 2);
+        assert!(md.starts_with("## sweep"));
+    }
+
+    #[test]
+    fn missing_steps_render_as_dashes() {
+        let mut r = sample();
+        r.times.t1 = None;
+        r.times.t5 = None;
+        let md = report_markdown(&r);
+        assert!(md.contains("| interconnect | – |"));
+        assert!(md.contains("| network | – |"));
+    }
+}

@@ -1,0 +1,261 @@
+//! A Srifty-style throughput predictor, for the paper's §VI-B comparison.
+//!
+//! Srifty (MLSys'22) finds cost-optimal VM configurations by *predicting*
+//! DDL throughput from (a) a compute profile of the model and (b) an
+//! extensive **grid probe** of network/interconnect bandwidth across
+//! buffer sizes, world sizes and instance types — ~40 000 measurements on
+//! rented VMs. The paper's point is that this probing bill is real money
+//! and must be charged against the recommendation quality, whereas Stash's
+//! characterization transfers to users for free.
+//!
+//! This module reproduces that trade-off: [`grid_probe`] performs the
+//! measurement sweep (against our simulated cloud, billing simulated
+//! dollars), [`SriftyPredictor::predict_throughput`] applies the classic
+//! `max(compute, communication)` pipeline bound, and
+//! [`compare`] scores prediction vs the full engine.
+
+use std::collections::HashMap;
+
+use serde::Serialize;
+use stash_collectives::schedule::ring_duration_estimate;
+use stash_ddl::config::TrainConfig;
+use stash_ddl::engine::run_epoch;
+use stash_ddl::error::TrainError;
+use stash_dnn::model::Model;
+use stash_flowsim::net::FlowNet;
+use stash_gpucompute::kernel::ComputeModel;
+use stash_hwtopo::cluster::ClusterSpec;
+use stash_hwtopo::topology::Topology;
+use stash_simkit::time::SimDuration;
+
+/// One bandwidth probe: all-reduce `buffer_bytes` across `cluster`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProbeMeasurement {
+    /// Cluster probed.
+    pub cluster: String,
+    /// All-reduced buffer size, bytes.
+    pub buffer_bytes: f64,
+    /// Measured collective duration.
+    pub duration: SimDuration,
+}
+
+/// The bill for a probing campaign.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ProbeCost {
+    /// Number of measurements taken.
+    pub measurements: usize,
+    /// VM-hours rented (including per-cluster cold-start setup).
+    pub vm_hours: f64,
+    /// Money spent, USD.
+    pub usd: f64,
+}
+
+/// Per-measurement repetitions a real campaign would run.
+const PROBE_REPEATS: usize = 5;
+/// VM cold-start + cluster setup charged per probed configuration, hours.
+const SETUP_HOURS: f64 = 0.2;
+
+/// Probes every `(cluster, buffer size)` combination, like Srifty's grid
+/// sweep, and returns the measurements plus the rental bill.
+#[must_use]
+pub fn grid_probe(clusters: &[ClusterSpec], buffer_sizes: &[f64]) -> (Vec<ProbeMeasurement>, ProbeCost) {
+    let mut measurements = Vec::new();
+    let mut vm_hours = 0.0;
+    let mut usd = 0.0;
+    for cluster in clusters {
+        let mut net = FlowNet::new();
+        let topo = Topology::build(cluster, &mut net);
+        let mut cluster_seconds = 0.0;
+        for &bytes in buffer_sizes {
+            let duration = ring_duration_estimate(&topo, &net, bytes);
+            cluster_seconds += duration.as_secs_f64() * PROBE_REPEATS as f64;
+            measurements.push(ProbeMeasurement {
+                cluster: cluster.display_name(),
+                buffer_bytes: bytes,
+                duration,
+            });
+        }
+        let hours = SETUP_HOURS + cluster_seconds / 3600.0;
+        vm_hours += hours;
+        usd += hours * cluster.price_per_hour();
+    }
+    let cost = ProbeCost {
+        measurements: measurements.len() * PROBE_REPEATS,
+        vm_hours,
+        usd,
+    };
+    (measurements, cost)
+}
+
+/// Predicts throughput from probes + a compute profile (no end-to-end
+/// runs), Srifty-style.
+#[derive(Debug, Clone, Serialize)]
+pub struct SriftyPredictor {
+    probes: HashMap<String, Vec<(f64, f64)>>,
+}
+
+impl SriftyPredictor {
+    /// Fits the predictor to a probing campaign.
+    #[must_use]
+    pub fn fit(measurements: &[ProbeMeasurement]) -> SriftyPredictor {
+        let mut probes: HashMap<String, Vec<(f64, f64)>> = HashMap::new();
+        for m in measurements {
+            probes
+                .entry(m.cluster.clone())
+                .or_default()
+                .push((m.buffer_bytes, m.duration.as_secs_f64()));
+        }
+        for series in probes.values_mut() {
+            series.sort_by(|a, b| a.0.total_cmp(&b.0));
+        }
+        SriftyPredictor { probes }
+    }
+
+    /// Interpolates the collective duration for `bytes` on `cluster`, or
+    /// `None` when the configuration was never probed (Srifty's blind spot
+    /// the paper calls out: unprobed regions need new campaigns).
+    #[must_use]
+    pub fn comm_seconds(&self, cluster: &str, bytes: f64) -> Option<f64> {
+        let series = self.probes.get(cluster)?;
+        match series.iter().position(|(b, _)| *b >= bytes) {
+            Some(0) => Some(series[0].1),
+            Some(i) => {
+                let (b0, t0) = series[i - 1];
+                let (b1, t1) = series[i];
+                Some(t0 + (t1 - t0) * (bytes - b0) / (b1 - b0))
+            }
+            None => {
+                // Extrapolate from the last two points.
+                let n = series.len();
+                if n < 2 {
+                    return Some(series[0].1);
+                }
+                let (b0, t0) = series[n - 2];
+                let (b1, t1) = series[n - 1];
+                Some(t1 + (t1 - t0) * (bytes - b1) / (b1 - b0))
+            }
+        }
+    }
+
+    /// Predicted aggregate throughput (samples/sec) of `model` on
+    /// `cluster` at per-GPU `batch`: the pipeline bound
+    /// `world · batch / max(compute, comm)`.
+    #[must_use]
+    pub fn predict_throughput(&self, cluster: &ClusterSpec, model: &Model, batch: u64) -> Option<f64> {
+        let compute = cluster
+            .instances
+            .iter()
+            .map(|i| ComputeModel::new(i.gpu.spec()).iteration_time(model, batch).as_secs_f64())
+            .fold(0.0_f64, f64::max);
+        let comm = if cluster.world_size() > 1 {
+            self.comm_seconds(&cluster.display_name(), model.gradient_bytes())?
+        } else {
+            0.0
+        };
+        let iter_seconds = compute.max(comm);
+        Some(cluster.world_size() as f64 * batch as f64 / iter_seconds)
+    }
+}
+
+/// Prediction vs. "ground truth" (the full engine) for one configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct Comparison {
+    /// Cluster evaluated.
+    pub cluster: String,
+    /// Srifty-style prediction, samples/sec.
+    pub predicted: f64,
+    /// Engine-measured throughput, samples/sec.
+    pub simulated: f64,
+    /// `predicted / simulated`.
+    pub ratio: f64,
+}
+
+/// Runs both the predictor and the engine on `cluster`.
+///
+/// # Errors
+///
+/// Propagates engine failures; returns `InvalidConfig` when the predictor
+/// has no probe data for the cluster.
+pub fn compare(
+    predictor: &SriftyPredictor,
+    cluster: &ClusterSpec,
+    model: &Model,
+    batch: u64,
+) -> Result<Comparison, TrainError> {
+    let predicted = predictor
+        .predict_throughput(cluster, model, batch)
+        .ok_or_else(|| TrainError::InvalidConfig(format!("no probes for {}", cluster.display_name())))?;
+    let cfg = TrainConfig::synthetic(cluster.clone(), model.clone(), batch, batch * 50);
+    let report = run_epoch(&cfg)?;
+    Ok(Comparison {
+        cluster: cluster.display_name(),
+        predicted,
+        simulated: report.throughput,
+        ratio: predicted / report.throughput,
+    })
+}
+
+/// The standard probe grid Srifty sweeps: powers of two from 1 MB to 1 GB.
+#[must_use]
+pub fn standard_buffer_grid() -> Vec<f64> {
+    (0..=10).map(|i| 1024.0 * 1024.0 * f64::from(1 << i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stash_dnn::zoo;
+    use stash_hwtopo::instance::{p3_16xlarge, p3_8xlarge};
+
+    fn clusters() -> Vec<ClusterSpec> {
+        vec![
+            ClusterSpec::single(p3_16xlarge()),
+            ClusterSpec::homogeneous(p3_8xlarge(), 2),
+        ]
+    }
+
+    #[test]
+    fn probing_costs_real_money() {
+        let (m, cost) = grid_probe(&clusters(), &standard_buffer_grid());
+        assert_eq!(m.len(), 22);
+        assert_eq!(cost.measurements, 110);
+        assert!(cost.usd > 0.0, "probing is never free: {cost:?}");
+    }
+
+    #[test]
+    fn interpolation_is_monotone_in_bytes() {
+        let (m, _) = grid_probe(&clusters(), &standard_buffer_grid());
+        let p = SriftyPredictor::fit(&m);
+        let name = "p3.8xlarge*2";
+        let a = p.comm_seconds(name, 2e6).unwrap();
+        let b = p.comm_seconds(name, 2e8).unwrap();
+        assert!(b > a);
+        assert!(p.comm_seconds("p9.999xlarge", 1e6).is_none());
+    }
+
+    #[test]
+    fn prediction_is_within_2x_of_the_engine() {
+        let (m, _) = grid_probe(&clusters(), &standard_buffer_grid());
+        let p = SriftyPredictor::fit(&m);
+        for cluster in clusters() {
+            let c = compare(&p, &cluster, &zoo::resnet18(), 32).unwrap();
+            assert!(
+                (0.4..2.5).contains(&c.ratio),
+                "{}: predicted {} vs simulated {}",
+                c.cluster,
+                c.predicted,
+                c.simulated
+            );
+        }
+    }
+
+    #[test]
+    fn extrapolation_beyond_the_grid_works() {
+        let (m, _) = grid_probe(&clusters(), &standard_buffer_grid());
+        let p = SriftyPredictor::fit(&m);
+        // VGG11 gradients (531 MB) sit within the 1 GB grid; BERT (1.38 GB)
+        // requires extrapolation.
+        let t = p.comm_seconds("p3.8xlarge*2", zoo::bert_large().gradient_bytes());
+        assert!(t.unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! # stash-datapipe — training input pipeline
+//!
+//! The substrate behind the paper's **fetch** (disk) and **prep** (CPU)
+//! stalls: per-node data-loading workers that read mini-batches from the
+//! SSD or the page cache, preprocess them on a shared vCPU pool and upload
+//! them over the PCIe host fabric. Implemented as a pure state machine
+//! ([`loader::NodeLoader`]) emitting [`loader::LoaderAction`]s, so the
+//! training engine keeps sole ownership of the event loop and flow network
+//! — which is what makes SSD contention (16 workers on one gp2 volume) and
+//! PCIe contention (uploads vs. all-reduce) emergent rather than scripted.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod loader;
+
+/// Convenient glob-import of the most used items.
+pub mod prelude {
+    pub use crate::cache::{CacheState, PageCache};
+    pub use crate::loader::{LoaderAction, LoaderSpec, NodeLoader};
+}

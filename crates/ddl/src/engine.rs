@@ -1,0 +1,851 @@
+//! The event-driven distributed-training engine.
+//!
+//! Simulates synchronous data-parallel training the way PyTorch DDP
+//! executes it: every rank runs `wait-for-batch → forward → backward`
+//! where the backward pass releases gradient buckets in reverse layer
+//! order; buckets are all-reduced **in order, one at a time** (NCCL
+//! single-stream semantics), overlapped with the remaining backward
+//! compute; the iteration ends when both the backward pass and the last
+//! bucket's collective have finished, followed by the optimizer step.
+//!
+//! All transfers — collective hops, SSD fetches, page-cache reads, H2D
+//! uploads — are flows in one shared [`FlowNet`], so bus/SSD/NIC
+//! contention between subsystems is emergent.
+
+use std::collections::VecDeque;
+
+use stash_collectives::bucket::CommPlan;
+use stash_collectives::constants::GRAD_HOOK_OVERHEAD;
+use stash_collectives::schedule::allreduce_transfers;
+use stash_datapipe::loader::{LoaderAction, LoaderSpec, NodeLoader};
+use stash_flowsim::link::LinkClass;
+use stash_flowsim::net::{FlowNet, FlowSpec};
+use stash_gpucompute::kernel::ComputeModel;
+use stash_gpucompute::memory;
+use stash_hwtopo::topology::{GpuId, Topology};
+use stash_simkit::prelude::*;
+
+use crate::config::{ActiveGpus, DataMode, TrainConfig};
+use crate::error::TrainError;
+use crate::report::{EpochReport, IterationSample};
+
+const TAG_COMM: u64 = 1 << 48;
+const TAG_LOADER: u64 = 2 << 48;
+
+fn loader_tag(node: usize, worker: usize) -> u64 {
+    TAG_LOADER | ((node as u64) << 16) | worker as u64
+}
+
+fn decode_loader_tag(tag: u64) -> (usize, usize) {
+    (((tag >> 16) & 0xFFFF) as usize, (tag & 0xFFFF) as usize)
+}
+
+#[derive(Debug)]
+enum Ev {
+    NetWake,
+    RankCompute { rank: usize },
+    LoaderPrep { node: usize, worker: usize },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    AwaitBatch,
+    Forward,
+    Backward { seg: usize },
+    AwaitComm,
+    Step,
+    Done,
+}
+
+#[derive(Debug)]
+struct RankState {
+    gpu: GpuId,
+    phase: Phase,
+    iter: u64,
+    /// Micro-batch index within the current iteration (gradient
+    /// accumulation); communication happens only on the last one.
+    micro: u64,
+    wait_start: Option<SimTime>,
+    first_iter_done: Option<SimTime>,
+    done_at: Option<SimTime>,
+    compute: SimDuration,
+    data_wait: SimDuration,
+    comm_wait: SimDuration,
+}
+
+#[derive(Debug)]
+struct NodeCompute {
+    fwd: SimDuration,
+    bwd_segments: Vec<SimDuration>,
+    step: SimDuration,
+}
+
+/// Rank-0 accumulators at the start of the current iteration.
+#[derive(Debug, Default, Clone, Copy)]
+struct IterMark {
+    start: SimTime,
+    data_wait: SimDuration,
+    comm_wait: SimDuration,
+}
+
+#[derive(Debug)]
+struct Comm {
+    world: usize,
+    ready: Vec<usize>,
+    started: usize,
+    completed: usize,
+    inflight_remaining: usize,
+}
+
+/// Runs one training epoch under `cfg` and reports the timing breakdown.
+///
+/// # Errors
+///
+/// Returns [`TrainError::InvalidConfig`] for contradictory settings and
+/// [`TrainError::OutOfMemory`] when the model + batch exceeds any
+/// participating GPU's memory.
+pub fn run_epoch(cfg: &TrainConfig) -> Result<EpochReport, TrainError> {
+    cfg.validate()?;
+    for inst in &cfg.cluster.instances {
+        let spec = inst.gpu.spec();
+        let est = memory::estimate_with(&cfg.model, cfg.per_gpu_batch, cfg.precision);
+        if est.total() > spec.mem_bytes {
+            return Err(TrainError::OutOfMemory {
+                gpu: spec.name.to_string(),
+                required_bytes: est.total(),
+                capacity_bytes: spec.mem_bytes,
+            });
+        }
+    }
+    Engine::new(cfg)?.run()
+}
+
+struct Engine<'a> {
+    cfg: &'a TrainConfig,
+    q: EventQueue<Ev>,
+    net: FlowNet,
+    topo: Topology,
+    plan: CommPlan,
+    node_compute: Vec<NodeCompute>,
+    ranks: Vec<RankState>,
+    active: Vec<usize>,
+    comm: Option<Comm>,
+    loaders: Vec<Option<NodeLoader>>,
+    next_wake: Option<SimTime>,
+    sim_iters: u64,
+    trace: Vec<IterationSample>,
+    iter_mark: IterMark,
+    /// Whether bucket all-reduces overlap with backward compute. Requested
+    /// via [`TrainConfig::overlap`], but *forced off* when the collective
+    /// ring is staged through the PCIe host fabric: without peer-to-peer
+    /// DMA the staged copies monopolise the GPU's DMA engines and streams,
+    /// so in practice (and in the paper's P2 measurements) communication
+    /// serializes with compute.
+    overlap: bool,
+}
+
+impl std::fmt::Debug for Engine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("world", &self.active.len())
+            .field("now", &self.q.now())
+            .finish()
+    }
+}
+
+impl<'a> Engine<'a> {
+    fn new(cfg: &'a TrainConfig) -> Result<Engine<'a>, TrainError> {
+        let mut net = FlowNet::new();
+        let topo = Topology::build(&cfg.cluster, &mut net);
+        let plan = CommPlan::new(&cfg.model, cfg.bucketing);
+        let sim_iters = cfg.simulated_iterations();
+
+        let node_compute: Vec<NodeCompute> = cfg
+            .cluster
+            .instances
+            .iter()
+            .map(|inst| {
+                let cm = ComputeModel::new(inst.gpu.spec()).with_precision(cfg.precision);
+                let bwd_segments = plan
+                    .buckets
+                    .iter()
+                    .map(|b| {
+                        (b.layer_range.0..b.layer_range.1)
+                            .map(|i| cm.layer_bwd(&cfg.model.layers[i], cfg.per_gpu_batch))
+                            .sum()
+                    })
+                    .collect();
+                NodeCompute {
+                    fwd: cm.fwd_time(&cfg.model, cfg.per_gpu_batch),
+                    bwd_segments,
+                    step: cm.optimizer_step_time(&cfg.model),
+                }
+            })
+            .collect();
+
+        let active: Vec<usize> = match cfg.active {
+            ActiveGpus::All => (0..topo.world_size()).collect(),
+            ActiveGpus::Single => vec![0],
+        };
+        let ranks: Vec<RankState> = (0..topo.world_size())
+            .map(|r| RankState {
+                gpu: topo.rank_gpu(r),
+                phase: Phase::Done,
+                iter: 0,
+                micro: 0,
+                wait_start: None,
+                first_iter_done: None,
+                done_at: None,
+                compute: SimDuration::ZERO,
+                data_wait: SimDuration::ZERO,
+                comm_wait: SimDuration::ZERO,
+            })
+            .collect();
+
+        let world = active.len();
+        let staged_ring = world > 1
+            && allreduce_transfers(&topo, &net, cfg.algorithm, 1.0)
+                .iter()
+                .any(|t| t.route.iter().any(|l| net.link(*l).class == LinkClass::PcieHostBus));
+        let overlap = cfg.overlap && !staged_ring;
+        let comm = (world > 1).then(|| Comm {
+            world,
+            ready: vec![0; plan.buckets.len()],
+            started: 0,
+            completed: 0,
+            inflight_remaining: 0,
+        });
+
+        let loaders: Vec<Option<NodeLoader>> = match &cfg.data {
+            DataMode::Synthetic => vec![None; cfg.cluster.node_count()],
+            DataMode::Real { dataset, cache } => cfg
+                .cluster
+                .instances
+                .iter()
+                .enumerate()
+                .map(|(n, inst)| {
+                    // Each node streams its shard of the dataset.
+                    let shard = stash_dnn::dataset::DatasetSpec {
+                        name: dataset.name.clone(),
+                        num_samples: dataset.num_samples / cfg.cluster.node_count() as u64,
+                        total_bytes: dataset.total_bytes / cfg.cluster.node_count() as f64,
+                        prep_cost_factor: dataset.prep_cost_factor,
+                    };
+                    Some(NodeLoader::new(LoaderSpec {
+                        gpus: inst.gpu_count,
+                        workers_per_gpu: stash_datapipe::loader::DEFAULT_WORKERS_PER_GPU,
+                        vcpus: inst.vcpus,
+                        per_gpu_batch: cfg.per_gpu_batch,
+                        batches_per_gpu: sim_iters,
+                        dataset: shard,
+                        decoded_sample_bytes: cfg.model.input_sample_bytes,
+                        cache: *cache,
+                        main_memory_bytes: inst.main_memory_bytes,
+                        prefetch_depth: 2,
+                        disk_route: topo.disk_route(n),
+                        dram_route: topo.dram_route(n),
+                        h2d_routes: (0..inst.gpu_count)
+                            .map(|g| topo.h2d_route(GpuId { node: n, local: g }))
+                            .collect(),
+                        per_sample_disk_latency: inst.storage.per_sample_latency,
+                    }))
+                })
+                .collect(),
+        };
+
+        Ok(Engine {
+            cfg,
+            q: EventQueue::new(),
+            net,
+            topo,
+            plan,
+            node_compute,
+            ranks,
+            active,
+            comm,
+            loaders,
+            next_wake: None,
+            sim_iters,
+            trace: Vec::new(),
+            iter_mark: IterMark::default(),
+            overlap,
+        })
+    }
+
+    fn run(mut self) -> Result<EpochReport, TrainError> {
+        // Kick loaders and ranks.
+        for node in 0..self.loaders.len() {
+            if self.loaders[node].is_some() {
+                let actions = self.loaders[node].as_mut().expect("loader").start();
+                self.apply_loader_actions(node, actions);
+            }
+        }
+        for i in 0..self.active.len() {
+            let rank = self.active[i];
+            self.begin_iteration(rank);
+        }
+        self.schedule_wake();
+
+        let mut event_guard: u64 = 0;
+        while !self.all_done() {
+            let Some((_, ev)) = self.q.pop() else {
+                panic!(
+                    "deadlock: event queue drained with ranks unfinished (phases: {:?})",
+                    self.active.iter().map(|r| self.ranks[*r].phase).collect::<Vec<_>>()
+                );
+            };
+            event_guard += 1;
+            assert!(event_guard < 500_000_000, "runaway simulation");
+            match ev {
+                Ev::NetWake => {
+                    self.next_wake = None;
+                    self.net.advance(self.q.now());
+                }
+                Ev::RankCompute { rank } => self.on_rank_compute(rank),
+                Ev::LoaderPrep { node, worker } => {
+                    let actions = self.loaders[node].as_mut().expect("loader").prep_done(worker);
+                    self.apply_loader_actions(node, actions);
+                }
+            }
+            self.drain_flows();
+            self.schedule_wake();
+        }
+        Ok(self.build_report())
+    }
+
+    fn all_done(&self) -> bool {
+        self.active.iter().all(|r| self.ranks[*r].phase == Phase::Done && self.ranks[*r].done_at.is_some())
+    }
+
+    // ----- rank state machine -----------------------------------------
+
+    fn begin_iteration(&mut self, rank: usize) {
+        let now = self.q.now();
+        if self.ranks[rank].iter >= self.sim_iters {
+            self.ranks[rank].phase = Phase::Done;
+            self.ranks[rank].done_at = Some(now);
+            return;
+        }
+        self.ranks[rank].micro = 0;
+        self.begin_micro_batch(rank);
+    }
+
+    /// Starts one micro-batch: acquire input (real data) then forward.
+    fn begin_micro_batch(&mut self, rank: usize) {
+        let now = self.q.now();
+        let node = self.ranks[rank].gpu.node;
+        let local = self.ranks[rank].gpu.local;
+        if self.loaders[node].is_some() {
+            let (ok, actions) = self.loaders[node].as_mut().expect("loader").try_take(local);
+            self.apply_loader_actions(node, actions);
+            if ok {
+                self.start_forward(rank);
+            } else {
+                self.ranks[rank].phase = Phase::AwaitBatch;
+                self.ranks[rank].wait_start = Some(now);
+            }
+        } else {
+            self.start_forward(rank);
+        }
+    }
+
+    /// Applies the straggler slowdown to `rank`'s compute durations.
+    fn straggle(&self, rank: usize, dur: SimDuration) -> SimDuration {
+        match self.cfg.straggler {
+            Some(s) if s.rank == rank => dur.mul_f64(s.slowdown),
+            _ => dur,
+        }
+    }
+
+    fn start_forward(&mut self, rank: usize) {
+        let dur = self.straggle(rank, self.node_compute[self.ranks[rank].gpu.node].fwd);
+        self.ranks[rank].phase = Phase::Forward;
+        self.ranks[rank].compute += dur;
+        self.q.schedule_in(dur, Ev::RankCompute { rank });
+    }
+
+    fn is_sync_micro(&self, rank: usize) -> bool {
+        self.ranks[rank].micro + 1 >= self.cfg.grad_accumulation.max(1)
+    }
+
+    fn start_backward_segment(&mut self, rank: usize, seg: usize) {
+        let node = self.ranks[rank].gpu.node;
+        let mut dur = self.straggle(rank, self.node_compute[node].bwd_segments[seg]);
+        if self.comm.is_some() && self.is_sync_micro(rank) {
+            dur += GRAD_HOOK_OVERHEAD; // DDP autograd hook per bucket
+        }
+        self.ranks[rank].phase = Phase::Backward { seg };
+        self.ranks[rank].compute += dur;
+        self.q.schedule_in(dur, Ev::RankCompute { rank });
+    }
+
+    fn start_step(&mut self, rank: usize) {
+        let dur = self.straggle(rank, self.node_compute[self.ranks[rank].gpu.node].step);
+        self.ranks[rank].phase = Phase::Step;
+        self.ranks[rank].compute += dur;
+        self.q.schedule_in(dur, Ev::RankCompute { rank });
+    }
+
+    fn on_rank_compute(&mut self, rank: usize) {
+        match self.ranks[rank].phase {
+            Phase::Forward => self.start_backward_segment(rank, 0),
+            Phase::Backward { seg } => {
+                let syncing = self.is_sync_micro(rank);
+                if self.overlap && syncing {
+                    self.notify_bucket_ready(seg);
+                }
+                let last = seg + 1 >= self.plan.buckets.len();
+                if !last {
+                    self.start_backward_segment(rank, seg + 1);
+                } else if !syncing {
+                    // Accumulation micro-batch: no synchronisation, go
+                    // straight to the next forward (PyTorch `no_sync()`).
+                    self.ranks[rank].micro += 1;
+                    self.begin_micro_batch(rank);
+                } else {
+                    if !self.overlap {
+                        for k in 0..self.plan.buckets.len() {
+                            self.notify_bucket_ready(k);
+                        }
+                    }
+                    match &self.comm {
+                        None => self.start_step(rank),
+                        Some(c) if c.completed >= self.plan.buckets.len() => {
+                            // Communication already finished (cannot happen
+                            // before our own last notify, but kept for
+                            // symmetry with the reset path).
+                            self.start_step(rank);
+                        }
+                        Some(_) => {
+                            self.ranks[rank].phase = Phase::AwaitComm;
+                            self.ranks[rank].wait_start = Some(self.q.now());
+                        }
+                    }
+                }
+            }
+            Phase::Step => {
+                self.ranks[rank].iter += 1;
+                if self.ranks[rank].first_iter_done.is_none() {
+                    self.ranks[rank].first_iter_done = Some(self.q.now());
+                }
+                if self.cfg.record_trace && rank == self.active[0] {
+                    let r = &self.ranks[rank];
+                    let now = self.q.now();
+                    self.trace.push(IterationSample {
+                        iteration: r.iter - 1,
+                        total: now.duration_since(self.iter_mark.start),
+                        data_wait: r.data_wait - self.iter_mark.data_wait,
+                        comm_wait: r.comm_wait - self.iter_mark.comm_wait,
+                    });
+                    self.iter_mark = IterMark {
+                        start: now,
+                        data_wait: r.data_wait,
+                        comm_wait: r.comm_wait,
+                    };
+                }
+                self.begin_iteration(rank);
+            }
+            other => panic!("compute completion in unexpected phase {other:?}"),
+        }
+    }
+
+    // ----- communicator -------------------------------------------------
+
+    fn notify_bucket_ready(&mut self, bucket: usize) {
+        if self.comm.is_none() {
+            return;
+        }
+        {
+            let comm = self.comm.as_mut().expect("comm");
+            comm.ready[bucket] += 1;
+        }
+        self.try_start_comm();
+    }
+
+    fn try_start_comm(&mut self) {
+        let Some(comm) = self.comm.as_ref() else { return };
+        let next = comm.started;
+        if next >= self.plan.buckets.len()
+            || comm.started != comm.completed // one bucket in flight at a time
+            || comm.ready[next] < comm.world
+        {
+            return;
+        }
+        // Bucket bytes are planned in fp32; scale to the wire precision.
+        let bytes = self.plan.buckets[next].bytes * self.cfg.precision.gradient_bytes_per_param()
+            / 4.0;
+        let transfers = allreduce_transfers(&self.topo, &self.net, self.cfg.algorithm, bytes);
+        debug_assert!(!transfers.is_empty(), "world > 1 must communicate");
+        let now = self.q.now();
+        for t in transfers.iter() {
+            self.net.start_flow(
+                now,
+                FlowSpec {
+                    route: t.route.clone(),
+                    bytes: t.bytes,
+                    extra_latency: t.extra_latency,
+                    tag: TAG_COMM,
+                },
+            );
+        }
+        let comm = self.comm.as_mut().expect("comm");
+        comm.inflight_remaining = transfers.len();
+        comm.started += 1;
+    }
+
+    fn on_comm_flow_done(&mut self) {
+        let comm = self.comm.as_mut().expect("comm flow without communicator");
+        comm.inflight_remaining -= 1;
+        if comm.inflight_remaining > 0 {
+            return;
+        }
+        comm.completed += 1;
+        if comm.completed >= self.plan.buckets.len() {
+            // Iteration's gradients are synchronised everywhere.
+            comm.ready.iter_mut().for_each(|r| *r = 0);
+            comm.started = 0;
+            comm.completed = 0;
+            let now = self.q.now();
+            let waiting: Vec<usize> = self
+                .active
+                .clone()
+                .into_iter()
+                .filter(|r| self.ranks[*r].phase == Phase::AwaitComm)
+                .collect();
+            debug_assert_eq!(waiting.len(), self.comm.as_ref().expect("comm").world);
+            for rank in waiting {
+                let start = self.ranks[rank].wait_start.take().expect("wait start");
+                self.ranks[rank].comm_wait += now.duration_since(start);
+                self.start_step(rank);
+            }
+        } else {
+            self.try_start_comm();
+        }
+    }
+
+    // ----- loaders --------------------------------------------------------
+
+    fn apply_loader_actions(&mut self, node: usize, actions: Vec<LoaderAction>) {
+        let mut work: VecDeque<(usize, LoaderAction)> =
+            actions.into_iter().map(|a| (node, a)).collect();
+        while let Some((n, action)) = work.pop_front() {
+            match action {
+                LoaderAction::StartTransfer {
+                    worker,
+                    route,
+                    bytes,
+                    extra_latency,
+                } => {
+                    self.net.start_flow(
+                        self.q.now(),
+                        FlowSpec {
+                            route,
+                            bytes,
+                            extra_latency,
+                            tag: loader_tag(n, worker),
+                        },
+                    );
+                }
+                LoaderAction::StartPrep { worker, duration } => {
+                    self.q.schedule_in(duration, Ev::LoaderPrep { node: n, worker });
+                }
+                LoaderAction::Deliver { gpu } => {
+                    let rank = self.global_rank(n, gpu);
+                    if self.ranks[rank].phase == Phase::AwaitBatch {
+                        let (ok, more) = self.loaders[n].as_mut().expect("loader").try_take(gpu);
+                        debug_assert!(ok, "delivery must satisfy a waiting GPU");
+                        let now = self.q.now();
+                        let start = self.ranks[rank].wait_start.take().expect("wait start");
+                        self.ranks[rank].data_wait += now.duration_since(start);
+                        self.start_forward(rank);
+                        for a in more {
+                            work.push_back((n, a));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn global_rank(&self, node: usize, local: usize) -> usize {
+        let mut rank = 0;
+        for (n, inst) in self.cfg.cluster.instances.iter().enumerate() {
+            if n == node {
+                return rank + local;
+            }
+            rank += inst.gpu_count;
+        }
+        panic!("node {node} out of range");
+    }
+
+    // ----- flow plumbing ---------------------------------------------------
+
+    fn drain_flows(&mut self) {
+        loop {
+            let completed = self.net.take_completed();
+            if completed.is_empty() {
+                break;
+            }
+            for (_, tag) in completed {
+                if tag & TAG_COMM != 0 {
+                    self.on_comm_flow_done();
+                } else {
+                    let (node, worker) = decode_loader_tag(tag);
+                    let actions = self.loaders[node].as_mut().expect("loader").transfer_done(worker);
+                    self.apply_loader_actions(node, actions);
+                }
+            }
+        }
+    }
+
+    fn schedule_wake(&mut self) {
+        let now = self.q.now();
+        if let Some(t) = self.net.next_event_time(now) {
+            let t = t.max(now + SimDuration::from_nanos(1));
+            if self.next_wake.is_none_or(|w| t < w) {
+                self.q.schedule_at(t, Ev::NetWake);
+                self.next_wake = Some(t);
+            }
+        }
+    }
+
+    // ----- reporting --------------------------------------------------------
+
+    fn build_report(self) -> EpochReport {
+        let full_iters = self.cfg.epoch_iterations();
+        let factor = full_iters as f64 / self.sim_iters as f64;
+        let sim_end = self
+            .active
+            .iter()
+            .filter_map(|r| self.ranks[*r].done_at)
+            .max()
+            .expect("all ranks done");
+        let r0 = &self.ranks[self.active[0]];
+        // Extrapolate from the steady state: the first iteration carries
+        // the pipeline fill (prefetch queues, cold flows), so it is billed
+        // once and only the remaining iterations are scaled.
+        let first_iter_end = self
+            .active
+            .iter()
+            .filter_map(|r| self.ranks[*r].first_iter_done)
+            .max()
+            .unwrap_or(sim_end);
+        let epoch_time = if self.sim_iters > 1 && full_iters > 1 {
+            let warmup = first_iter_end - SimTime::ZERO;
+            let steady = sim_end.duration_since(first_iter_end);
+            warmup + steady.mul_f64((full_iters - 1) as f64 / (self.sim_iters - 1) as f64)
+        } else {
+            (sim_end - SimTime::ZERO).mul_f64(factor)
+        };
+        let world = self.active.len();
+        let samples = self.cfg.samples_per_gpu * world as u64;
+        EpochReport {
+            cluster: self.cfg.cluster.display_name(),
+            model: self.cfg.model.name.clone(),
+            per_gpu_batch: self.cfg.per_gpu_batch,
+            world,
+            iterations: full_iters,
+            simulated_iterations: self.sim_iters,
+            epoch_time,
+            compute_time: r0.compute.mul_f64(factor),
+            data_wait: r0.data_wait.mul_f64(factor),
+            comm_wait: r0.comm_wait.mul_f64(factor),
+            samples,
+            throughput: samples as f64 / epoch_time.as_secs_f64().max(1e-12),
+            host_bus_utilization: self.net.link_utilization(self.topo.host_bus(0)),
+            trace: self.trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EpochMode;
+    use stash_datapipe::cache::CacheState;
+    use stash_dnn::dataset::DatasetSpec;
+    use stash_dnn::zoo;
+    use stash_hwtopo::cluster::ClusterSpec;
+    use stash_hwtopo::instance::{p2_16xlarge, p3_16xlarge, p3_2xlarge, p3_8xlarge};
+
+    fn quick(mut cfg: TrainConfig) -> EpochReport {
+        cfg.epoch_mode = EpochMode::Sampled { iterations: 4 };
+        run_epoch(&cfg).expect("run")
+    }
+
+    #[test]
+    fn single_gpu_synthetic_matches_compute_model() {
+        let model = zoo::resnet18();
+        let cfg = TrainConfig::synthetic(ClusterSpec::single(p3_2xlarge()), model.clone(), 32, 320);
+        let report = quick(cfg);
+        let cm = ComputeModel::new(stash_hwtopo::gpu::GpuModel::V100.spec());
+        let expected = cm.iteration_time(&model, 32).as_secs_f64() * 10.0;
+        let got = report.epoch_time.as_secs_f64();
+        assert!(
+            (got - expected).abs() / expected < 0.01,
+            "engine {got} vs analytic {expected}"
+        );
+        assert_eq!(report.comm_wait, SimDuration::ZERO);
+        assert_eq!(report.data_wait, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn multi_gpu_is_slower_per_sample_than_single() {
+        // Same per-GPU work; the distributed run adds communication.
+        let model = zoo::resnet18();
+        let single = {
+            let mut c = TrainConfig::synthetic(
+                ClusterSpec::single(p3_16xlarge()),
+                model.clone(),
+                32,
+                320,
+            );
+            c.active = ActiveGpus::Single;
+            quick(c)
+        };
+        let multi = quick(TrainConfig::synthetic(
+            ClusterSpec::single(p3_16xlarge()),
+            model.clone(),
+            32,
+            320,
+        ));
+        assert!(multi.epoch_time > single.epoch_time);
+        assert!(multi.comm_wait > SimDuration::ZERO || multi.compute_time > single.compute_time);
+    }
+
+    #[test]
+    fn pcie_sixteen_gpus_stall_far_more_than_nvlink_eight() {
+        let model = zoo::resnet18();
+        let p2 = quick(TrainConfig::synthetic(
+            ClusterSpec::single(p2_16xlarge()),
+            model.clone(),
+            32,
+            320,
+        ));
+        let p3 = quick(TrainConfig::synthetic(
+            ClusterSpec::single(p3_16xlarge()),
+            model,
+            32,
+            320,
+        ));
+        assert!(
+            p2.comm_wait_fraction() > 2.0 * p3.comm_wait_fraction(),
+            "p2 {} vs p3 {}",
+            p2.comm_wait_fraction(),
+            p3.comm_wait_fraction()
+        );
+    }
+
+    #[test]
+    fn cold_cache_is_slower_than_warm() {
+        let model = zoo::resnet18();
+        let mk = |cache| {
+            let mut c = TrainConfig::synthetic(
+                ClusterSpec::single(p3_16xlarge()),
+                model.clone(),
+                32,
+                320,
+            );
+            c.data = DataMode::Real {
+                dataset: DatasetSpec::imagenet1k(),
+                cache,
+            };
+            quick(c)
+        };
+        let cold = mk(CacheState::Cold);
+        let warm = mk(CacheState::Warm);
+        assert!(
+            cold.epoch_time > warm.epoch_time,
+            "cold {} warm {}",
+            cold.epoch_time,
+            warm.epoch_time
+        );
+        assert!(cold.data_wait >= warm.data_wait);
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let mut cfg = TrainConfig::synthetic(
+            ClusterSpec::single(p3_2xlarge()),
+            zoo::bert_large(),
+            64,
+            640,
+        );
+        cfg.epoch_mode = EpochMode::Sampled { iterations: 2 };
+        match run_epoch(&cfg) {
+            Err(TrainError::OutOfMemory { .. }) => {}
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overlap_off_is_no_faster_than_on() {
+        let model = zoo::resnet50();
+        let mut on = TrainConfig::synthetic(
+            ClusterSpec::single(p3_16xlarge()),
+            model.clone(),
+            32,
+            320,
+        );
+        on.epoch_mode = EpochMode::Sampled { iterations: 4 };
+        let mut off = on.clone();
+        off.overlap = false;
+        let r_on = run_epoch(&on).unwrap();
+        let r_off = run_epoch(&off).unwrap();
+        assert!(r_off.epoch_time >= r_on.epoch_time);
+    }
+
+    #[test]
+    fn network_split_is_slower_than_single_instance() {
+        let model = zoo::resnet18();
+        let single = quick(TrainConfig::synthetic(
+            ClusterSpec::single(p3_16xlarge()),
+            model.clone(),
+            32,
+            320,
+        ));
+        let split = quick(TrainConfig::synthetic(
+            ClusterSpec::homogeneous(p3_8xlarge(), 2),
+            model,
+            32,
+            320,
+        ));
+        assert!(
+            split.epoch_time > single.epoch_time,
+            "split {} single {}",
+            split.epoch_time,
+            single.epoch_time
+        );
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let cfg = TrainConfig::synthetic(
+            ClusterSpec::homogeneous(p3_8xlarge(), 2),
+            zoo::alexnet(),
+            32,
+            320,
+        );
+        let a = quick(cfg.clone());
+        let b = quick(cfg);
+        assert_eq!(a.epoch_time, b.epoch_time);
+        assert_eq!(a.comm_wait, b.comm_wait);
+    }
+
+    #[test]
+    fn extrapolation_scales_linearly() {
+        let mut cfg = TrainConfig::synthetic(
+            ClusterSpec::single(p3_2xlarge()),
+            zoo::alexnet(),
+            32,
+            32 * 100,
+        );
+        cfg.epoch_mode = EpochMode::Sampled { iterations: 5 };
+        let sampled = run_epoch(&cfg).unwrap();
+        cfg.epoch_mode = EpochMode::Full;
+        let full = run_epoch(&cfg).unwrap();
+        let rel = (sampled.epoch_time.as_secs_f64() - full.epoch_time.as_secs_f64()).abs()
+            / full.epoch_time.as_secs_f64();
+        assert!(rel < 0.01, "sampled vs full differ by {rel}");
+    }
+}

@@ -1,0 +1,63 @@
+//! Error types of the training engine.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a training run could not execute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// The model + batch does not fit in a participating GPU's memory.
+    OutOfMemory {
+        /// GPU model label.
+        gpu: String,
+        /// Bytes required.
+        required_bytes: f64,
+        /// Bytes available.
+        capacity_bytes: f64,
+    },
+    /// Contradictory or nonsensical configuration.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::OutOfMemory {
+                gpu,
+                required_bytes,
+                capacity_bytes,
+            } => write!(
+                f,
+                "model does not fit on {gpu}: needs {:.2} GB of {:.2} GB",
+                required_bytes / 1e9,
+                capacity_bytes / 1e9
+            ),
+            TrainError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for TrainError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TrainError::OutOfMemory {
+            gpu: "V100".into(),
+            required_bytes: 20e9,
+            capacity_bytes: 16e9,
+        };
+        let s = e.to_string();
+        assert!(s.contains("V100") && s.contains("20.00"));
+        assert!(TrainError::InvalidConfig("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<TrainError>();
+    }
+}

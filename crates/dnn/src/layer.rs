@@ -1,0 +1,316 @@
+//! Layer descriptions.
+//!
+//! A [`Layer`] carries exactly the quantities the rest of the system needs:
+//! trainable parameter count (drives gradient-synchronisation traffic),
+//! forward FLOPs and memory traffic (drive the roofline execution-time
+//! model), and activation footprint (drives the GPU memory model). Shapes
+//! themselves are consumed at construction time and not stored.
+
+use serde::{Deserialize, Serialize};
+
+/// Coarse layer category; used for reporting and for the §VI architecture
+/// ablations (e.g. "remove batch norm").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// 2-D convolution.
+    Conv2d,
+    /// Fully connected / projection.
+    Linear,
+    /// Batch normalization.
+    BatchNorm,
+    /// Layer normalization.
+    LayerNorm,
+    /// Elementwise activation (ReLU/GELU/...).
+    Activation,
+    /// Pooling.
+    Pool,
+    /// Token/position embedding table.
+    Embedding,
+    /// Multi-head self-attention + FFN block (transformer encoder layer).
+    Attention,
+    /// Residual (identity shortcut) addition.
+    Residual,
+}
+
+const F32: f64 = 4.0;
+
+/// One layer of a DNN, reduced to its cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Display name, e.g. `"conv3_2"`.
+    pub name: String,
+    /// Category.
+    pub kind: LayerKind,
+    /// Trainable parameters.
+    pub params: u64,
+    /// Per-sample forward FLOPs.
+    pub flops_fwd: f64,
+    /// Per-sample forward memory traffic in bytes (reads + writes).
+    pub bytes_fwd: f64,
+    /// Per-sample activation bytes this layer keeps alive for backward.
+    pub activation_bytes: f64,
+}
+
+impl Layer {
+    /// `true` when the layer owns trainable parameters (i.e. produces a
+    /// gradient bucket under per-layer bucketing).
+    #[must_use]
+    pub fn has_params(&self) -> bool {
+        self.params > 0
+    }
+
+    /// Gradient bytes this layer contributes per synchronisation (fp32).
+    #[must_use]
+    pub fn gradient_bytes(&self) -> f64 {
+        self.params as f64 * F32
+    }
+
+    /// A 2-D convolution over a `c_in x h_in x w_in` input with a
+    /// `k x k` kernel and the given stride ("same" padding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    #[must_use]
+    pub fn conv2d(
+        name: impl Into<String>,
+        c_in: u64,
+        h_in: u64,
+        w_in: u64,
+        c_out: u64,
+        k: u64,
+        stride: u64,
+    ) -> Layer {
+        assert!(stride > 0, "stride must be positive");
+        let h_out = h_in.div_ceil(stride);
+        let w_out = w_in.div_ceil(stride);
+        let params = c_in * c_out * k * k;
+        let out_elems = c_out * h_out * w_out;
+        let in_elems = c_in * h_in * w_in;
+        Layer {
+            name: name.into(),
+            kind: LayerKind::Conv2d,
+            params,
+            flops_fwd: 2.0 * params as f64 * (h_out * w_out) as f64,
+            bytes_fwd: (in_elems + out_elems + params) as f64 * F32,
+            activation_bytes: out_elems as f64 * F32,
+        }
+    }
+
+    /// A grouped 2-D convolution (depthwise when `groups == c_in`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is zero or does not divide both channel counts.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)] // mirrors torch.nn.Conv2d's signature
+    pub fn conv2d_grouped(
+        name: impl Into<String>,
+        c_in: u64,
+        h_in: u64,
+        w_in: u64,
+        c_out: u64,
+        k: u64,
+        stride: u64,
+        groups: u64,
+    ) -> Layer {
+        assert!(groups > 0 && c_in.is_multiple_of(groups) && c_out.is_multiple_of(groups), "invalid group count");
+        let mut l = Layer::conv2d(name, c_in, h_in, w_in, c_out, k, stride);
+        l.params /= groups;
+        l.flops_fwd /= groups as f64;
+        l.bytes_fwd = (c_in * h_in * w_in + c_out * (h_in / stride) * (w_in / stride)) as f64 * F32
+            + l.params as f64 * F32;
+        l
+    }
+
+    /// A fully connected layer (`in_features -> out_features`, with bias).
+    #[must_use]
+    pub fn linear(name: impl Into<String>, in_features: u64, out_features: u64) -> Layer {
+        let params = in_features * out_features + out_features;
+        Layer {
+            name: name.into(),
+            kind: LayerKind::Linear,
+            params,
+            flops_fwd: 2.0 * in_features as f64 * out_features as f64,
+            bytes_fwd: (in_features + out_features + params) as f64 * F32,
+            activation_bytes: out_features as f64 * F32,
+        }
+    }
+
+    /// Batch normalization over `c` channels of an `h x w` map.
+    #[must_use]
+    pub fn batch_norm(name: impl Into<String>, c: u64, h: u64, w: u64) -> Layer {
+        let elems = c * h * w;
+        Layer {
+            name: name.into(),
+            kind: LayerKind::BatchNorm,
+            params: 2 * c,
+            flops_fwd: 4.0 * elems as f64,
+            bytes_fwd: 2.0 * elems as f64 * F32,
+            activation_bytes: elems as f64 * F32,
+        }
+    }
+
+    /// Layer normalization over `features` (transformers).
+    #[must_use]
+    pub fn layer_norm(name: impl Into<String>, seq: u64, features: u64) -> Layer {
+        let elems = seq * features;
+        Layer {
+            name: name.into(),
+            kind: LayerKind::LayerNorm,
+            params: 2 * features,
+            flops_fwd: 5.0 * elems as f64,
+            bytes_fwd: 2.0 * elems as f64 * F32,
+            activation_bytes: elems as f64 * F32,
+        }
+    }
+
+    /// Elementwise activation over `elems` elements (no parameters).
+    /// Modelled as in-place (PyTorch `inplace=True` ReLU): it keeps no
+    /// extra activation memory beyond the producing layer's output.
+    #[must_use]
+    pub fn activation(name: impl Into<String>, elems: u64) -> Layer {
+        Layer {
+            name: name.into(),
+            kind: LayerKind::Activation,
+            params: 0,
+            flops_fwd: elems as f64,
+            bytes_fwd: 2.0 * elems as f64 * F32,
+            activation_bytes: 0.0,
+        }
+    }
+
+    /// Pooling from `c x h x w` with a window of `k` and stride `k`.
+    #[must_use]
+    pub fn pool(name: impl Into<String>, c: u64, h: u64, w: u64, k: u64) -> Layer {
+        let in_elems = c * h * w;
+        let out_elems = c * (h / k).max(1) * (w / k).max(1);
+        Layer {
+            name: name.into(),
+            kind: LayerKind::Pool,
+            params: 0,
+            flops_fwd: in_elems as f64,
+            bytes_fwd: (in_elems + out_elems) as f64 * F32,
+            activation_bytes: out_elems as f64 * F32,
+        }
+    }
+
+    /// Embedding lookup: `vocab x features` table over `seq` tokens.
+    #[must_use]
+    pub fn embedding(name: impl Into<String>, vocab: u64, features: u64, seq: u64) -> Layer {
+        Layer {
+            name: name.into(),
+            kind: LayerKind::Embedding,
+            params: vocab * features,
+            flops_fwd: (seq * features) as f64,
+            bytes_fwd: 2.0 * (seq * features) as f64 * F32,
+            activation_bytes: (seq * features) as f64 * F32,
+        }
+    }
+
+    /// One transformer encoder layer: multi-head self-attention plus the
+    /// feed-forward block, including its normalisations' parameters.
+    ///
+    /// Parameter count matches BERT exactly:
+    /// `4·h² + 4h` (attention) `+ 2·h·ff + h + ff` (FFN) `+ 4h` (2 norms).
+    #[must_use]
+    pub fn attention(name: impl Into<String>, hidden: u64, ff: u64, heads: u64, seq: u64) -> Layer {
+        let params = 4 * hidden * hidden + 4 * hidden + 2 * hidden * ff + hidden + ff + 4 * hidden;
+        // Projections: 4 GEMMs of s x h x h; attention scores + context:
+        // 2 GEMMs of s x s x h; FFN: 2 GEMMs of s x h x ff.
+        let flops = 2.0
+            * ((4 * seq * hidden * hidden) as f64
+                + (2 * seq * seq * hidden) as f64
+                + (2 * seq * hidden * ff) as f64);
+        // Saved tensors for backward: q/k/v/context/attn-out (~5 s·h), FFN
+        // intermediate in/out (~2 s·ff ≈ 8 s·h for ff=4h), norms (~2 s·h),
+        // plus the attention probability matrices (heads · s²) twice
+        // (softmax in/out).
+        let activation =
+            ((9 * seq * hidden + 2 * seq * ff + 2 * heads * seq * seq) as f64) * F32;
+        Layer {
+            name: name.into(),
+            kind: LayerKind::Attention,
+            params,
+            flops_fwd: flops,
+            bytes_fwd: (params as f64 + 12.0 * (seq * hidden) as f64) * F32,
+            activation_bytes: activation,
+        }
+    }
+
+    /// Residual addition over `elems` elements (no parameters; §VI ablation
+    /// shows these barely matter for communication).
+    #[must_use]
+    pub fn residual(name: impl Into<String>, elems: u64) -> Layer {
+        Layer {
+            name: name.into(),
+            kind: LayerKind::Residual,
+            params: 0,
+            flops_fwd: elems as f64,
+            bytes_fwd: 3.0 * elems as f64 * F32,
+            activation_bytes: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_params_and_flops() {
+        // 3x3 conv, 64->128 channels, 56x56 output, stride 1.
+        let l = Layer::conv2d("c", 64, 56, 56, 128, 3, 1);
+        assert_eq!(l.params, 64 * 128 * 9);
+        assert_eq!(l.flops_fwd, 2.0 * (64 * 128 * 9) as f64 * (56 * 56) as f64);
+        assert!(l.has_params());
+        assert_eq!(l.gradient_bytes(), (64 * 128 * 9) as f64 * 4.0);
+    }
+
+    #[test]
+    fn strided_conv_shrinks_output() {
+        let s1 = Layer::conv2d("a", 3, 224, 224, 64, 7, 1);
+        let s2 = Layer::conv2d("b", 3, 224, 224, 64, 7, 2);
+        assert!(s2.flops_fwd < s1.flops_fwd);
+        assert!(s2.activation_bytes < s1.activation_bytes);
+        assert_eq!(s1.params, s2.params);
+    }
+
+    #[test]
+    fn depthwise_conv_divides_params() {
+        let full = Layer::conv2d("f", 32, 28, 28, 32, 3, 1);
+        let dw = Layer::conv2d_grouped("d", 32, 28, 28, 32, 3, 1, 32);
+        assert_eq!(dw.params, full.params / 32);
+    }
+
+    #[test]
+    fn linear_matches_pytorch_count() {
+        let l = Layer::linear("fc", 4096, 1000);
+        assert_eq!(l.params, 4096 * 1000 + 1000);
+    }
+
+    #[test]
+    fn bert_layer_param_count() {
+        // BERT-large: hidden 1024, ff 4096 → 12,596,224 params/layer
+        // (4h² + 4h + 2·h·ff + h + ff + 4h).
+        let l = Layer::attention("enc", 1024, 4096, 16, 384);
+        assert_eq!(
+            l.params,
+            4 * 1024 * 1024 + 4 * 1024 + 2 * 1024 * 4096 + 1024 + 4096 + 4 * 1024
+        );
+    }
+
+    #[test]
+    fn parameterless_layers() {
+        assert!(!Layer::activation("relu", 1000).has_params());
+        assert!(!Layer::pool("p", 64, 56, 56, 2).has_params());
+        assert!(!Layer::residual("skip", 1000).has_params());
+        assert!(Layer::batch_norm("bn", 64, 56, 56).has_params());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid group count")]
+    fn bad_groups_panic() {
+        let _ = Layer::conv2d_grouped("x", 10, 8, 8, 10, 3, 1, 3);
+    }
+}

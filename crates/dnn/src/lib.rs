@@ -1,0 +1,41 @@
+//! # stash-dnn — DNN model and dataset descriptions
+//!
+//! Reduces deep networks to the quantities that drive distributed-training
+//! stalls: per-layer parameter counts (gradient traffic), FLOPs and memory
+//! traffic (compute time), activation footprints (GPU memory), and dataset
+//! size/cost metadata (input pipeline). Includes:
+//!
+//! * [`layer`] / [`model`] — the core cost-model types;
+//! * [`zoo`] — the paper's Table II models with exact published gradient
+//!   sizes;
+//! * [`synth`] — parameterized ResNet/VGG generators for the §VI
+//!   micro-characterization (depth sweeps, no-BN / no-residual ablations);
+//! * [`dataset`] — ImageNet-1k and SQuAD 2.0 specs.
+//!
+//! # Examples
+//!
+//! ```
+//! use stash_dnn::prelude::*;
+//!
+//! let m = zoo::resnet18();
+//! assert_eq!(m.param_count(), 11_180_000); // Table II gradient size
+//! assert!(m.trainable_layer_count() > 40);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dataset;
+pub mod layer;
+pub mod model;
+pub mod synth;
+pub mod zoo;
+
+/// Convenient glob-import of the most used items.
+pub mod prelude {
+    pub use crate::dataset::DatasetSpec;
+    pub use crate::layer::{Layer, LayerKind};
+    pub use crate::model::Model;
+    pub use crate::synth::{self, resnet, resnet_with, vgg, ResNetOptions};
+    pub use crate::zoo::{self, ModelClass};
+}

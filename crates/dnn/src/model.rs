@@ -1,0 +1,215 @@
+//! Whole-model descriptions.
+//!
+//! A [`Model`] is an ordered list of [`Layer`]s plus input metadata. Order
+//! matters: the backward pass walks the list in reverse, releasing each
+//! layer's gradients for synchronisation as it goes (this drives the
+//! compute/communication overlap the paper's §VI analysis depends on).
+
+use serde::{Deserialize, Serialize};
+
+use crate::layer::{Layer, LayerKind};
+
+/// A DNN reduced to its cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Model {
+    /// Display name, e.g. `"ResNet18"`.
+    pub name: String,
+    /// Layers in forward order.
+    pub layers: Vec<Layer>,
+    /// Bytes of one decoded input sample as uploaded to the GPU.
+    pub input_sample_bytes: f64,
+}
+
+impl Model {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    #[must_use]
+    pub fn new(name: impl Into<String>, layers: Vec<Layer>, input_sample_bytes: f64) -> Model {
+        assert!(!layers.is_empty(), "a model needs at least one layer");
+        Model {
+            name: name.into(),
+            layers,
+            input_sample_bytes,
+        }
+    }
+
+    /// Total trainable parameters (the paper's "gradient size", Table II).
+    #[must_use]
+    pub fn param_count(&self) -> u64 {
+        self.layers.iter().map(|l| l.params).sum()
+    }
+
+    /// Total gradient bytes exchanged per synchronisation (fp32).
+    #[must_use]
+    pub fn gradient_bytes(&self) -> f64 {
+        self.param_count() as f64 * 4.0
+    }
+
+    /// Number of layers in the PyTorch sense (all module layers).
+    #[must_use]
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Number of layers carrying parameters — i.e. the number of gradient
+    /// buckets under per-layer bucketing.
+    #[must_use]
+    pub fn trainable_layer_count(&self) -> usize {
+        self.layers.iter().filter(|l| l.has_params()).count()
+    }
+
+    /// Total per-sample forward FLOPs.
+    #[must_use]
+    pub fn flops_fwd(&self) -> f64 {
+        self.layers.iter().map(|l| l.flops_fwd).sum()
+    }
+
+    /// Total per-sample activation bytes kept alive for backward.
+    #[must_use]
+    pub fn activation_bytes(&self) -> f64 {
+        self.layers.iter().map(|l| l.activation_bytes).sum()
+    }
+
+    /// Number of layers of a given kind.
+    #[must_use]
+    pub fn count_kind(&self, kind: LayerKind) -> usize {
+        self.layers.iter().filter(|l| l.kind == kind).count()
+    }
+
+    /// Scales every layer's parameter count by `target / current` so the
+    /// total matches a published figure (used to pin the zoo to the exact
+    /// "gradient size" column of the paper's Table II while keeping the
+    /// layer structure architectural). FLOPs and activations are left
+    /// untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model currently has zero parameters.
+    #[must_use]
+    pub fn with_params_normalized_to(mut self, target_params: u64) -> Model {
+        let current = self.param_count();
+        assert!(current > 0, "cannot normalize a parameterless model");
+        let k = target_params as f64 / current as f64;
+        for l in &mut self.layers {
+            l.params = (l.params as f64 * k).round() as u64;
+        }
+        // Fix rounding drift on the largest layer so the total is exact.
+        let drift = target_params as i64 - self.param_count() as i64;
+        if drift != 0 {
+            let largest = self
+                .layers
+                .iter_mut()
+                .filter(|l| l.params > 0)
+                .max_by_key(|l| l.params)
+                .expect("has params");
+            largest.params = (largest.params as i64 + drift).max(1) as u64;
+        }
+        self
+    }
+
+    /// Returns a copy with all layers of `kind` removed (the §VI "remove
+    /// batch norm" / "remove residual" ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if removal would leave the model empty.
+    #[must_use]
+    pub fn without_kind(&self, kind: LayerKind) -> Model {
+        let layers: Vec<Layer> = self
+            .layers
+            .iter()
+            .filter(|l| l.kind != kind)
+            .cloned()
+            .collect();
+        assert!(!layers.is_empty(), "removal emptied the model");
+        Model {
+            name: format!("{}-no{}", self.name, kind_suffix(kind)),
+            layers,
+            input_sample_bytes: self.input_sample_bytes,
+        }
+    }
+}
+
+fn kind_suffix(kind: LayerKind) -> &'static str {
+    match kind {
+        LayerKind::BatchNorm => "BN",
+        LayerKind::Residual => "Skip",
+        LayerKind::Conv2d => "Conv",
+        LayerKind::Linear => "FC",
+        LayerKind::LayerNorm => "LN",
+        LayerKind::Activation => "Act",
+        LayerKind::Pool => "Pool",
+        LayerKind::Embedding => "Emb",
+        LayerKind::Attention => "Attn",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Model {
+        Model::new(
+            "toy",
+            vec![
+                Layer::conv2d("c1", 3, 32, 32, 16, 3, 1),
+                Layer::batch_norm("bn1", 16, 32, 32),
+                Layer::activation("relu1", 16 * 32 * 32),
+                Layer::residual("skip", 16 * 32 * 32),
+                Layer::linear("fc", 16 * 32 * 32, 10),
+            ],
+            3.0 * 32.0 * 32.0 * 4.0,
+        )
+    }
+
+    #[test]
+    fn aggregates_sum_layers() {
+        let m = toy();
+        assert_eq!(m.layer_count(), 5);
+        assert_eq!(m.trainable_layer_count(), 3); // conv, bn, fc
+        assert_eq!(
+            m.param_count(),
+            3 * 16 * 9 + 2 * 16 + (16 * 32 * 32 * 10 + 10)
+        );
+        assert!(m.flops_fwd() > 0.0);
+        assert!(m.activation_bytes() > 0.0);
+    }
+
+    #[test]
+    fn normalization_hits_target_exactly() {
+        let m = toy().with_params_normalized_to(1_000_000);
+        assert_eq!(m.param_count(), 1_000_000);
+        // Structure preserved.
+        assert_eq!(m.layer_count(), 5);
+        assert_eq!(m.trainable_layer_count(), 3);
+    }
+
+    #[test]
+    fn without_kind_strips_layers() {
+        let m = toy();
+        let no_bn = m.without_kind(LayerKind::BatchNorm);
+        assert_eq!(no_bn.count_kind(LayerKind::BatchNorm), 0);
+        assert_eq!(no_bn.layer_count(), 4);
+        assert!(no_bn.param_count() < m.param_count());
+        assert_eq!(no_bn.name, "toy-noBN");
+        let no_skip = m.without_kind(LayerKind::Residual);
+        // Residuals have no params: same gradient size, fewer layers.
+        assert_eq!(no_skip.param_count(), m.param_count());
+        assert_eq!(no_skip.layer_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_model_rejected() {
+        let _ = Model::new("empty", vec![], 0.0);
+    }
+
+    #[test]
+    fn gradient_bytes_are_fp32() {
+        let m = toy();
+        assert_eq!(m.gradient_bytes(), m.param_count() as f64 * 4.0);
+    }
+}

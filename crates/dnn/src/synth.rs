@@ -1,0 +1,283 @@
+//! Parameterized ResNet/VGG generators (paper §VI micro-characterization).
+//!
+//! The micro study varies the **number of layers** while watching
+//! communication stalls, and ablates architecture features (batch
+//! normalization, residual shortcuts). These generators build
+//! torchvision-faithful layer structures for any standard depth, with
+//! [`ResNetOptions`] toggling the ablated features.
+
+use serde::{Deserialize, Serialize};
+
+use crate::layer::Layer;
+use crate::model::Model;
+
+/// Bytes of one decoded 3x224x224 fp32 image.
+#[must_use]
+pub fn imagenet_input_bytes() -> f64 {
+    3.0 * 224.0 * 224.0 * 4.0
+}
+
+/// Feature toggles for the ResNet generator (§VI-A3 ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResNetOptions {
+    /// Emit batch-normalization layers (removing them shrinks the layer
+    /// count and thus the latency-bound interconnect stall).
+    pub batch_norm: bool,
+    /// Emit residual shortcut additions (removing them barely changes
+    /// communication: they carry no parameters).
+    pub residual: bool,
+}
+
+impl Default for ResNetOptions {
+    fn default() -> Self {
+        ResNetOptions {
+            batch_norm: true,
+            residual: true,
+        }
+    }
+}
+
+/// Builds a VGG of the given standard depth (11, 13, 16 or 19).
+///
+/// # Panics
+///
+/// Panics on a non-standard depth.
+#[must_use]
+pub fn vgg(depth: usize) -> Model {
+    let cfg: &[&[u64]] = match depth {
+        11 => &[&[64], &[128], &[256, 256], &[512, 512], &[512, 512]],
+        13 => &[&[64, 64], &[128, 128], &[256, 256], &[512, 512], &[512, 512]],
+        16 => &[
+            &[64, 64],
+            &[128, 128],
+            &[256, 256, 256],
+            &[512, 512, 512],
+            &[512, 512, 512],
+        ],
+        19 => &[
+            &[64, 64],
+            &[128, 128],
+            &[256, 256, 256, 256],
+            &[512, 512, 512, 512],
+            &[512, 512, 512, 512],
+        ],
+        other => panic!("unsupported VGG depth {other} (use 11/13/16/19)"),
+    };
+    let mut layers = Vec::new();
+    let mut c_in = 3_u64;
+    let mut hw = 224_u64;
+    for (s, stage) in cfg.iter().enumerate() {
+        for (i, &c_out) in stage.iter().enumerate() {
+            layers.push(Layer::conv2d(
+                format!("conv{}_{}", s + 1, i + 1),
+                c_in,
+                hw,
+                hw,
+                c_out,
+                3,
+                1,
+            ));
+            layers.push(Layer::activation(
+                format!("relu{}_{}", s + 1, i + 1),
+                c_out * hw * hw,
+            ));
+            c_in = c_out;
+        }
+        layers.push(Layer::pool(format!("pool{}", s + 1), c_in, hw, hw, 2));
+        hw /= 2;
+    }
+    // Classifier: 512*7*7 -> 4096 -> 4096 -> 1000.
+    layers.push(Layer::linear("fc6", c_in * hw * hw, 4096));
+    layers.push(Layer::activation("relu6", 4096));
+    layers.push(Layer::linear("fc7", 4096, 4096));
+    layers.push(Layer::activation("relu7", 4096));
+    layers.push(Layer::linear("fc8", 4096, 1000));
+    Model::new(format!("VGG{depth}"), layers, imagenet_input_bytes())
+}
+
+/// Builds a ResNet of the given standard depth (18, 34, 50, 101 or 152)
+/// with default options.
+///
+/// # Panics
+///
+/// Panics on a non-standard depth.
+#[must_use]
+pub fn resnet(depth: usize) -> Model {
+    resnet_with(depth, ResNetOptions::default())
+}
+
+/// Builds a ResNet with explicit [`ResNetOptions`].
+///
+/// # Panics
+///
+/// Panics on a non-standard depth.
+#[must_use]
+pub fn resnet_with(depth: usize, opts: ResNetOptions) -> Model {
+    let (bottleneck, blocks): (bool, [usize; 4]) = match depth {
+        18 => (false, [2, 2, 2, 2]),
+        34 => (false, [3, 4, 6, 3]),
+        50 => (true, [3, 4, 6, 3]),
+        101 => (true, [3, 4, 23, 3]),
+        152 => (true, [3, 8, 36, 3]),
+        other => panic!("unsupported ResNet depth {other} (use 18/34/50/101/152)"),
+    };
+    let mut layers = Vec::new();
+    // Stem: 7x7/2 conv + pool -> 56x56.
+    layers.push(Layer::conv2d("conv1", 3, 224, 224, 64, 7, 2));
+    if opts.batch_norm {
+        layers.push(Layer::batch_norm("bn1", 64, 112, 112));
+    }
+    layers.push(Layer::activation("relu1", 64 * 112 * 112));
+    layers.push(Layer::pool("maxpool", 64, 112, 112, 2));
+
+    let stage_channels = [64_u64, 128, 256, 512];
+    let stage_hw = [56_u64, 28, 14, 7];
+    let mut c_in = 64_u64;
+    for (s, (&base_c, &n_blocks)) in stage_channels.iter().zip(blocks.iter()).enumerate() {
+        let hw = stage_hw[s];
+        for b in 0..n_blocks {
+            let stride = if s > 0 && b == 0 { 2 } else { 1 };
+            let in_hw = hw * stride;
+            let prefix = format!("layer{}.{b}", s + 1);
+            let c_out = if bottleneck { base_c * 4 } else { base_c };
+            if bottleneck {
+                layers.push(Layer::conv2d(format!("{prefix}.conv1"), c_in, in_hw, in_hw, base_c, 1, 1));
+                if opts.batch_norm {
+                    layers.push(Layer::batch_norm(format!("{prefix}.bn1"), base_c, in_hw, in_hw));
+                }
+                layers.push(Layer::activation(format!("{prefix}.relu1"), base_c * in_hw * in_hw));
+                layers.push(Layer::conv2d(format!("{prefix}.conv2"), base_c, in_hw, in_hw, base_c, 3, stride));
+                if opts.batch_norm {
+                    layers.push(Layer::batch_norm(format!("{prefix}.bn2"), base_c, hw, hw));
+                }
+                layers.push(Layer::activation(format!("{prefix}.relu2"), base_c * hw * hw));
+                layers.push(Layer::conv2d(format!("{prefix}.conv3"), base_c, hw, hw, c_out, 1, 1));
+                if opts.batch_norm {
+                    layers.push(Layer::batch_norm(format!("{prefix}.bn3"), c_out, hw, hw));
+                }
+            } else {
+                layers.push(Layer::conv2d(format!("{prefix}.conv1"), c_in, in_hw, in_hw, base_c, 3, stride));
+                if opts.batch_norm {
+                    layers.push(Layer::batch_norm(format!("{prefix}.bn1"), base_c, hw, hw));
+                }
+                layers.push(Layer::activation(format!("{prefix}.relu1"), base_c * hw * hw));
+                layers.push(Layer::conv2d(format!("{prefix}.conv2"), base_c, hw, hw, base_c, 3, 1));
+                if opts.batch_norm {
+                    layers.push(Layer::batch_norm(format!("{prefix}.bn2"), base_c, hw, hw));
+                }
+            }
+            if b == 0 && (stride != 1 || c_in != c_out) {
+                // Projection shortcut.
+                layers.push(Layer::conv2d(format!("{prefix}.downsample"), c_in, in_hw, in_hw, c_out, 1, stride));
+                if opts.batch_norm {
+                    layers.push(Layer::batch_norm(format!("{prefix}.bn_ds"), c_out, hw, hw));
+                }
+            }
+            if opts.residual {
+                layers.push(Layer::residual(format!("{prefix}.add"), c_out * hw * hw));
+            }
+            layers.push(Layer::activation(format!("{prefix}.relu_out"), c_out * hw * hw));
+            c_in = c_out;
+        }
+    }
+    layers.push(Layer::pool("avgpool", c_in, 7, 7, 7));
+    layers.push(Layer::linear("fc", c_in, 1000));
+    let mut name = format!("ResNet{depth}");
+    if !opts.batch_norm {
+        name.push_str("-noBN");
+    }
+    if !opts.residual {
+        name.push_str("-noSkip");
+    }
+    Model::new(name, layers, imagenet_input_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    fn vgg_param_counts_match_torchvision() {
+        // torchvision: VGG11 = 132,863,336; VGG16 = 138,357,544;
+        // VGG19 = 143,667,240 (all within rounding of our builder, which
+        // omits conv biases as in BN-less VGG they exist — accept 2%).
+        let close = |m: &Model, expect: f64| {
+            let got = m.param_count() as f64;
+            assert!(
+                (got - expect).abs() / expect < 0.02,
+                "{}: got {got}, expected ~{expect}",
+                m.name
+            );
+        };
+        close(&vgg(11), 132_863_336.0);
+        close(&vgg(13), 133_047_848.0);
+        close(&vgg(16), 138_357_544.0);
+        close(&vgg(19), 143_667_240.0);
+    }
+
+    #[test]
+    fn resnet_param_counts_match_torchvision() {
+        let close = |m: &Model, expect: f64| {
+            let got = m.param_count() as f64;
+            assert!(
+                (got - expect).abs() / expect < 0.03,
+                "{}: got {got}, expected ~{expect}",
+                m.name
+            );
+        };
+        close(&resnet(18), 11_689_512.0);
+        close(&resnet(34), 21_797_672.0);
+        close(&resnet(50), 25_557_032.0);
+        close(&resnet(101), 44_549_160.0);
+        close(&resnet(152), 60_192_808.0);
+    }
+
+    #[test]
+    fn deeper_resnets_have_more_trainable_layers() {
+        let depths = [18, 34, 50, 101, 152];
+        let counts: Vec<usize> = depths.iter().map(|d| resnet(*d).trainable_layer_count()).collect();
+        assert!(counts.windows(2).all(|w| w[0] < w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn resnet_has_many_more_layers_than_vgg_but_fewer_params() {
+        // The §VI observation: ResNet152 has ~4.7x the layers of VGG16 with
+        // ~0.43x the parameters.
+        let r = resnet(152);
+        let v = vgg(16);
+        assert!(r.trainable_layer_count() > 3 * v.trainable_layer_count());
+        assert!(r.param_count() < v.param_count() / 2);
+    }
+
+    #[test]
+    fn no_bn_removes_all_batchnorm_and_shrinks_layer_count() {
+        let with = resnet(50);
+        let without = resnet_with(50, ResNetOptions { batch_norm: false, residual: true });
+        assert_eq!(without.count_kind(LayerKind::BatchNorm), 0);
+        assert!(with.count_kind(LayerKind::BatchNorm) > 0);
+        assert!(without.trainable_layer_count() < with.trainable_layer_count());
+        assert_eq!(without.name, "ResNet50-noBN");
+    }
+
+    #[test]
+    fn no_residual_keeps_gradient_size() {
+        let with = resnet(50);
+        let without = resnet_with(50, ResNetOptions { batch_norm: true, residual: false });
+        assert_eq!(without.count_kind(LayerKind::Residual), 0);
+        assert_eq!(without.param_count(), with.param_count());
+        assert_eq!(without.trainable_layer_count(), with.trainable_layer_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported VGG depth")]
+    fn bad_vgg_depth_panics() {
+        let _ = vgg(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported ResNet depth")]
+    fn bad_resnet_depth_panics() {
+        let _ = resnet(42);
+    }
+}

@@ -1,0 +1,451 @@
+//! The model zoo of the paper's Table II.
+//!
+//! Eight models: five "small" vision models (AlexNet, MobileNet-v2,
+//! SqueezeNet, ShuffleNet, ResNet18), two "large" vision models (ResNet50,
+//! VGG11) and BERT-large. Layer structures follow the published
+//! architectures; total parameter counts are then normalized to the exact
+//! "gradient size" column of Table II (see
+//! [`Model::with_params_normalized_to`]) so the communication volumes the
+//! profiler reproduces are the paper's.
+
+use serde::{Deserialize, Serialize};
+
+use crate::layer::Layer;
+use crate::model::Model;
+use crate::synth::{imagenet_input_bytes, resnet, vgg};
+
+/// Size class used throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelClass {
+    /// Table II "Small" vision models.
+    SmallVision,
+    /// Table II "Large" vision models.
+    LargeVision,
+    /// NLP (BERT-large).
+    Nlp,
+}
+
+/// Table II gradient sizes (parameter counts) as published.
+pub mod table2 {
+    /// AlexNet gradient size.
+    pub const ALEXNET: u64 = 9_630_000;
+    /// MobileNet-v2 gradient size.
+    pub const MOBILENET_V2: u64 = 3_400_000;
+    /// SqueezeNet gradient size.
+    pub const SQUEEZENET: u64 = 730_000;
+    /// ShuffleNet gradient size.
+    pub const SHUFFLENET: u64 = 1_800_000;
+    /// ResNet18 gradient size.
+    pub const RESNET18: u64 = 11_180_000;
+    /// ResNet50 gradient size.
+    pub const RESNET50: u64 = 23_590_000;
+    /// VGG11 gradient size.
+    pub const VGG11: u64 = 132_800_000;
+    /// BERT-large gradient size.
+    pub const BERT_LARGE: u64 = 345_000_000;
+}
+
+/// AlexNet (Table II: 9.63M gradients).
+#[must_use]
+pub fn alexnet() -> Model {
+    let mut layers = vec![
+        Layer::conv2d("conv1", 3, 224, 224, 64, 11, 4),
+        Layer::activation("relu1", 64 * 56 * 56),
+        Layer::pool("pool1", 64, 56, 56, 2),
+        Layer::conv2d("conv2", 64, 28, 28, 192, 5, 1),
+        Layer::activation("relu2", 192 * 28 * 28),
+        Layer::pool("pool2", 192, 28, 28, 2),
+        Layer::conv2d("conv3", 192, 14, 14, 384, 3, 1),
+        Layer::activation("relu3", 384 * 14 * 14),
+        Layer::conv2d("conv4", 384, 14, 14, 256, 3, 1),
+        Layer::activation("relu4", 256 * 14 * 14),
+        Layer::conv2d("conv5", 256, 14, 14, 256, 3, 1),
+        Layer::activation("relu5", 256 * 14 * 14),
+        Layer::pool("pool5", 256, 14, 14, 2),
+    ];
+    layers.push(Layer::linear("fc6", 256 * 7 * 7, 4096));
+    layers.push(Layer::activation("relu6", 4096));
+    layers.push(Layer::linear("fc7", 4096, 4096));
+    layers.push(Layer::activation("relu7", 4096));
+    layers.push(Layer::linear("fc8", 4096, 1000));
+    Model::new("AlexNet", layers, imagenet_input_bytes())
+        .with_params_normalized_to(table2::ALEXNET)
+}
+
+fn inverted_residual(
+    layers: &mut Vec<Layer>,
+    idx: usize,
+    c_in: u64,
+    c_out: u64,
+    hw_in: u64,
+    stride: u64,
+    expand: u64,
+) -> u64 {
+    let hidden = c_in * expand;
+    let hw_out = hw_in / stride;
+    let p = format!("ir{idx}");
+    if expand != 1 {
+        layers.push(Layer::conv2d(format!("{p}.expand"), c_in, hw_in, hw_in, hidden, 1, 1));
+        layers.push(Layer::batch_norm(format!("{p}.bn0"), hidden, hw_in, hw_in));
+        layers.push(Layer::activation(format!("{p}.relu0"), hidden * hw_in * hw_in));
+    }
+    layers.push(Layer::conv2d_grouped(
+        format!("{p}.dw"),
+        hidden,
+        hw_in,
+        hw_in,
+        hidden,
+        3,
+        stride,
+        hidden,
+    ));
+    layers.push(Layer::batch_norm(format!("{p}.bn1"), hidden, hw_out, hw_out));
+    layers.push(Layer::activation(format!("{p}.relu1"), hidden * hw_out * hw_out));
+    layers.push(Layer::conv2d(format!("{p}.project"), hidden, hw_out, hw_out, c_out, 1, 1));
+    layers.push(Layer::batch_norm(format!("{p}.bn2"), c_out, hw_out, hw_out));
+    if stride == 1 && c_in == c_out {
+        layers.push(Layer::residual(format!("{p}.add"), c_out * hw_out * hw_out));
+    }
+    hw_out
+}
+
+/// MobileNet-v2 (Table II: 3.4M gradients).
+#[must_use]
+pub fn mobilenet_v2() -> Model {
+    let mut layers = vec![
+        Layer::conv2d("conv1", 3, 224, 224, 32, 3, 2),
+        Layer::batch_norm("bn1", 32, 112, 112),
+        Layer::activation("relu1", 32 * 112 * 112),
+    ];
+    // (expansion t, channels c, repeats n, stride s) per the paper.
+    let cfg: [(u64, u64, usize, u64); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    let mut c_in = 32_u64;
+    let mut hw = 112_u64;
+    let mut idx = 0;
+    for (t, c, n, s) in cfg {
+        for rep in 0..n {
+            let stride = if rep == 0 { s } else { 1 };
+            hw = inverted_residual(&mut layers, idx, c_in, c, hw, stride, t);
+            c_in = c;
+            idx += 1;
+        }
+    }
+    layers.push(Layer::conv2d("conv_last", c_in, hw, hw, 1280, 1, 1));
+    layers.push(Layer::batch_norm("bn_last", 1280, hw, hw));
+    layers.push(Layer::activation("relu_last", 1280 * hw * hw));
+    layers.push(Layer::pool("avgpool", 1280, hw, hw, hw));
+    layers.push(Layer::linear("fc", 1280, 1000));
+    Model::new("MobileNet-v2", layers, imagenet_input_bytes())
+        .with_params_normalized_to(table2::MOBILENET_V2)
+}
+
+fn fire(layers: &mut Vec<Layer>, idx: usize, c_in: u64, hw: u64, s1: u64, e1: u64, e3: u64) -> u64 {
+    let p = format!("fire{idx}");
+    layers.push(Layer::conv2d(format!("{p}.squeeze"), c_in, hw, hw, s1, 1, 1));
+    layers.push(Layer::activation(format!("{p}.relu_s"), s1 * hw * hw));
+    layers.push(Layer::conv2d(format!("{p}.expand1"), s1, hw, hw, e1, 1, 1));
+    layers.push(Layer::conv2d(format!("{p}.expand3"), s1, hw, hw, e3, 3, 1));
+    layers.push(Layer::activation(format!("{p}.relu_e"), (e1 + e3) * hw * hw));
+    e1 + e3
+}
+
+/// SqueezeNet (Table II: 0.73M gradients).
+#[must_use]
+pub fn squeezenet() -> Model {
+    let mut layers = vec![
+        Layer::conv2d("conv1", 3, 224, 224, 96, 7, 2),
+        Layer::activation("relu1", 96 * 112 * 112),
+        Layer::pool("pool1", 96, 112, 112, 2),
+    ];
+    let mut c = 96_u64;
+    let mut hw = 56_u64;
+    let cfg: [(u64, u64, u64); 8] = [
+        (16, 64, 64),
+        (16, 64, 64),
+        (32, 128, 128),
+        (32, 128, 128),
+        (48, 192, 192),
+        (48, 192, 192),
+        (64, 256, 256),
+        (64, 256, 256),
+    ];
+    for (i, (s1, e1, e3)) in cfg.into_iter().enumerate() {
+        c = fire(&mut layers, i + 2, c, hw, s1, e1, e3);
+        if i == 2 || i == 6 {
+            layers.push(Layer::pool(format!("pool{}", i + 2), c, hw, hw, 2));
+            hw /= 2;
+        }
+    }
+    layers.push(Layer::conv2d("conv10", c, hw, hw, 1000, 1, 1));
+    layers.push(Layer::pool("avgpool", 1000, hw, hw, hw));
+    Model::new("SqueezeNet", layers, imagenet_input_bytes())
+        .with_params_normalized_to(table2::SQUEEZENET)
+}
+
+fn shuffle_unit(layers: &mut Vec<Layer>, idx: usize, c: u64, hw_in: u64, stride: u64) -> u64 {
+    let p = format!("su{idx}");
+    let hw_out = hw_in / stride;
+    let branch = c / 2;
+    layers.push(Layer::conv2d(format!("{p}.pw1"), branch, hw_in, hw_in, branch, 1, 1));
+    layers.push(Layer::batch_norm(format!("{p}.bn1"), branch, hw_in, hw_in));
+    layers.push(Layer::activation(format!("{p}.relu1"), branch * hw_in * hw_in));
+    layers.push(Layer::conv2d_grouped(
+        format!("{p}.dw"),
+        branch,
+        hw_in,
+        hw_in,
+        branch,
+        3,
+        stride,
+        branch,
+    ));
+    layers.push(Layer::batch_norm(format!("{p}.bn2"), branch, hw_out, hw_out));
+    layers.push(Layer::conv2d(format!("{p}.pw2"), branch, hw_out, hw_out, branch, 1, 1));
+    layers.push(Layer::batch_norm(format!("{p}.bn3"), branch, hw_out, hw_out));
+    layers.push(Layer::activation(format!("{p}.relu2"), branch * hw_out * hw_out));
+    // Channel split at entry and concat + channel-shuffle at exit: cheap
+    // but real kernels that dominate ShuffleNet's runtime on fast GPUs.
+    layers.push(Layer::activation(format!("{p}.split"), c * hw_in * hw_in));
+    layers.push(Layer::activation(format!("{p}.shuffle"), c * hw_out * hw_out));
+    hw_out
+}
+
+/// ShuffleNet-v2 (Table II: 1.8M gradients).
+#[must_use]
+pub fn shufflenet() -> Model {
+    let mut layers = vec![
+        Layer::conv2d("conv1", 3, 224, 224, 24, 3, 2),
+        Layer::batch_norm("bn1", 24, 112, 112),
+        Layer::activation("relu1", 24 * 112 * 112),
+        Layer::pool("maxpool", 24, 112, 112, 2),
+    ];
+    let mut hw = 56_u64;
+    let mut idx = 0;
+    for (c, n) in [(116_u64, 4_usize), (232, 8), (464, 4)] {
+        for rep in 0..n {
+            let stride = if rep == 0 { 2 } else { 1 };
+            hw = shuffle_unit(&mut layers, idx, c, hw, stride);
+            idx += 1;
+        }
+    }
+    layers.push(Layer::conv2d("conv5", 464, hw, hw, 1024, 1, 1));
+    layers.push(Layer::batch_norm("bn5", 1024, hw, hw));
+    layers.push(Layer::activation("relu5", 1024 * hw * hw));
+    layers.push(Layer::pool("avgpool", 1024, hw, hw, hw));
+    layers.push(Layer::linear("fc", 1024, 1000));
+    Model::new("ShuffleNet", layers, imagenet_input_bytes())
+        .with_params_normalized_to(table2::SHUFFLENET)
+}
+
+/// ResNet18 (Table II: 11.18M gradients).
+#[must_use]
+pub fn resnet18() -> Model {
+    let mut m = resnet(18).with_params_normalized_to(table2::RESNET18);
+    m.name = "ResNet18".into();
+    m
+}
+
+/// ResNet50 (Table II: 23.59M gradients).
+#[must_use]
+pub fn resnet50() -> Model {
+    let mut m = resnet(50).with_params_normalized_to(table2::RESNET50);
+    m.name = "ResNet50".into();
+    m
+}
+
+/// VGG11 (Table II: 132.8M gradients).
+#[must_use]
+pub fn vgg11() -> Model {
+    let mut m = vgg(11).with_params_normalized_to(table2::VGG11);
+    m.name = "VGG11".into();
+    m
+}
+
+/// BERT-large on SQuAD (Table II: 345M gradients; sequence length 384).
+#[must_use]
+pub fn bert_large() -> Model {
+    let seq = 384_u64;
+    let hidden = 1024_u64;
+    let mut layers = vec![
+        Layer::embedding("tok_emb", 30522, hidden, seq),
+        Layer::embedding("pos_emb", 512, hidden, seq),
+        Layer::embedding("seg_emb", 2, hidden, seq),
+        Layer::layer_norm("emb_ln", seq, hidden),
+    ];
+    for i in 0..24 {
+        layers.push(Layer::attention(format!("encoder{i}"), hidden, 4096, 16, seq));
+    }
+    layers.push(Layer::linear("qa_outputs", hidden, 2));
+    // Decoded sample: 384 token ids + mask + segment ids, int32.
+    let input_bytes = (seq * 3 * 4) as f64;
+    Model::new("BERT-large", layers, input_bytes).with_params_normalized_to(table2::BERT_LARGE)
+}
+
+/// DLRM-style recommendation model (NOT part of Table II): embedding
+/// tables dominate its footprint. The paper excludes it because "cheaper
+/// VMs from the public cloud are infeasible for them" — such models "may
+/// best be run on large dedicated instances such as the AWS P4" (§IV-A).
+/// This builder exists to reproduce exactly that infeasibility.
+#[must_use]
+pub fn dlrm() -> Model {
+    let emb_dim = 128_u64;
+    let mut layers = Vec::new();
+    // 26 categorical features (Criteo-style): several large hashed tables
+    // plus a tail of small ones.
+    let mut table_rows = vec![4_000_000_u64; 4];
+    table_rows.extend([2_000_000; 4]);
+    table_rows.extend([1_000_000; 6]);
+    table_rows.extend([250_000; 6]);
+    table_rows.extend([50_000; 6]);
+    for (i, rows) in table_rows.into_iter().enumerate() {
+        layers.push(Layer::embedding(format!("emb{i}"), rows, emb_dim, 26));
+    }
+    // Bottom MLP over 13 dense features, top MLP over feature interactions.
+    for (i, (a, b)) in [(13, 512), (512, 256), (256, emb_dim)].into_iter().enumerate() {
+        layers.push(Layer::linear(format!("bot{i}"), a, b));
+        layers.push(Layer::activation(format!("bot{i}.relu"), b));
+    }
+    for (i, (a, b)) in [(479_u64, 1024_u64), (1024, 1024), (1024, 512), (512, 1)]
+        .into_iter()
+        .enumerate()
+    {
+        layers.push(Layer::linear(format!("top{i}"), a, b));
+        layers.push(Layer::activation(format!("top{i}.relu"), b));
+    }
+    // One training sample: 13 dense fp32 + 26 categorical ids.
+    Model::new("DLRM", layers, (13 * 4 + 26 * 4) as f64)
+        .with_params_normalized_to(4_000_000_000)
+}
+
+/// All eight Table II models with their size class, in the paper's order.
+#[must_use]
+pub fn all_models() -> Vec<(Model, ModelClass)> {
+    vec![
+        (alexnet(), ModelClass::SmallVision),
+        (mobilenet_v2(), ModelClass::SmallVision),
+        (squeezenet(), ModelClass::SmallVision),
+        (shufflenet(), ModelClass::SmallVision),
+        (resnet18(), ModelClass::SmallVision),
+        (resnet50(), ModelClass::LargeVision),
+        (vgg11(), ModelClass::LargeVision),
+        (bert_large(), ModelClass::Nlp),
+    ]
+}
+
+/// The five small vision models.
+#[must_use]
+pub fn small_models() -> Vec<Model> {
+    all_models()
+        .into_iter()
+        .filter(|(_, c)| *c == ModelClass::SmallVision)
+        .map(|(m, _)| m)
+        .collect()
+}
+
+/// The two large vision models.
+#[must_use]
+pub fn large_vision_models() -> Vec<Model> {
+    all_models()
+        .into_iter()
+        .filter(|(_, c)| *c == ModelClass::LargeVision)
+        .map(|(m, _)| m)
+        .collect()
+}
+
+/// Finds a zoo model by (case-insensitive) name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Model> {
+    all_models()
+        .into_iter()
+        .map(|(m, _)| m)
+        .find(|m| m.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_sizes_match_table2_exactly() {
+        assert_eq!(alexnet().param_count(), table2::ALEXNET);
+        assert_eq!(mobilenet_v2().param_count(), table2::MOBILENET_V2);
+        assert_eq!(squeezenet().param_count(), table2::SQUEEZENET);
+        assert_eq!(shufflenet().param_count(), table2::SHUFFLENET);
+        assert_eq!(resnet18().param_count(), table2::RESNET18);
+        assert_eq!(resnet50().param_count(), table2::RESNET50);
+        assert_eq!(vgg11().param_count(), table2::VGG11);
+        assert_eq!(bert_large().param_count(), table2::BERT_LARGE);
+    }
+
+    #[test]
+    fn zoo_has_eight_models() {
+        assert_eq!(all_models().len(), 8);
+        assert_eq!(small_models().len(), 5);
+        assert_eq!(large_vision_models().len(), 2);
+    }
+
+    #[test]
+    fn vgg_vs_resnet_shape_for_section6() {
+        // VGG11: few trainable layers, huge gradients. ResNet18: many
+        // trainable layers, small gradients. This asymmetry is the crux of
+        // the paper's §VI analysis.
+        let v = vgg11();
+        let r = resnet18();
+        assert!(v.param_count() > 10 * r.param_count());
+        assert!(r.trainable_layer_count() > 2 * v.trainable_layer_count());
+    }
+
+    #[test]
+    fn lookup_by_name_is_case_insensitive() {
+        assert!(by_name("resnet18").is_some());
+        assert!(by_name("BERT-LARGE").is_some());
+        assert!(by_name("gpt4").is_none());
+    }
+
+    #[test]
+    fn bert_is_the_biggest_model() {
+        let max = all_models()
+            .iter()
+            .max_by_key(|(m, _)| m.param_count())
+            .map(|(m, _)| m.name.clone())
+            .unwrap();
+        assert_eq!(max, "BERT-large");
+    }
+
+    #[test]
+    fn vision_models_share_input_size() {
+        for m in small_models() {
+            assert_eq!(m.input_sample_bytes, 3.0 * 224.0 * 224.0 * 4.0);
+        }
+    }
+
+    #[test]
+    fn dlrm_is_embedding_dominated_and_huge() {
+        let m = dlrm();
+        assert_eq!(m.param_count(), 4_000_000_000);
+        let emb_params: u64 = m
+            .layers
+            .iter()
+            .filter(|l| l.kind == crate::layer::LayerKind::Embedding)
+            .map(|l| l.params)
+            .sum();
+        assert!(emb_params as f64 / m.param_count() as f64 > 0.95);
+        // Not part of the Table II sweep.
+        assert!(by_name("dlrm").is_none());
+    }
+
+    #[test]
+    fn shufflenet_is_tiny_in_flops() {
+        // §V-C: ShuffleNet cannot exploit a V100 — it is far lighter than
+        // ResNet18 in compute.
+        assert!(shufflenet().flops_fwd() < resnet18().flops_fwd() / 5.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Link definitions.
+//!
+//! A [`Link`] is a bandwidth resource with a propagation latency: a PCIe
+//! lane, the shared PCIe host fabric, an NVLink port, an SSD, or a VM
+//! network interface. Links are directionless capacity pools — callers that
+//! want full-duplex behaviour model each direction as its own link.
+
+use serde::{Deserialize, Serialize};
+use stash_simkit::time::SimDuration;
+
+/// Index of a link within a [`crate::net::FlowNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub(crate) u32);
+
+impl LinkId {
+    /// Raw index (stable for the lifetime of the owning network).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What kind of hardware a link models; used for reporting only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// Dedicated PCIe lanes between one device and the host fabric.
+    PcieLane,
+    /// The shared PCIe host fabric / root-complex aggregate.
+    PcieHostBus,
+    /// An NVLink port on a GPU.
+    NvLink,
+    /// NVSwitch fabric (P4-class instances).
+    NvSwitch,
+    /// Instance network interface (inter-VM Ethernet).
+    Network,
+    /// Attached SSD volume.
+    Storage,
+    /// Host DRAM bandwidth (used by the page cache).
+    Dram,
+    /// Anything else.
+    Other,
+}
+
+impl LinkClass {
+    /// Short lowercase label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkClass::PcieLane => "pcie-lane",
+            LinkClass::PcieHostBus => "pcie-host",
+            LinkClass::NvLink => "nvlink",
+            LinkClass::NvSwitch => "nvswitch",
+            LinkClass::Network => "network",
+            LinkClass::Storage => "storage",
+            LinkClass::Dram => "dram",
+            LinkClass::Other => "other",
+        }
+    }
+}
+
+/// A bandwidth resource shared (max-min fairly) by concurrent flows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Human-readable name for diagnostics (e.g. `"p2.16xlarge/hostbus"`).
+    pub name: String,
+    /// Capacity in bytes per second.
+    pub capacity_bps: f64,
+    /// One-way propagation latency contributed by this hop.
+    pub latency: SimDuration,
+    /// Hardware class (reporting only).
+    pub class: LinkClass,
+}
+
+impl Link {
+    /// Creates a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bps` is not finite and positive.
+    #[must_use]
+    pub fn new(name: impl Into<String>, capacity_bps: f64, latency: SimDuration, class: LinkClass) -> Self {
+        assert!(
+            capacity_bps.is_finite() && capacity_bps > 0.0,
+            "link capacity must be positive and finite"
+        );
+        Link {
+            name: name.into(),
+            capacity_bps,
+            latency,
+            class,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_construction() {
+        let l = Link::new("x", 1e9, SimDuration::from_micros(5), LinkClass::NvLink);
+        assert_eq!(l.capacity_bps, 1e9);
+        assert_eq!(l.class.label(), "nvlink");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Link::new("bad", 0.0, SimDuration::ZERO, LinkClass::Other);
+    }
+
+    #[test]
+    fn class_labels_are_distinct() {
+        use LinkClass::*;
+        let all = [PcieLane, PcieHostBus, NvLink, NvSwitch, Network, Storage, Dram, Other];
+        let mut labels: Vec<_> = all.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), all.len());
+    }
+}

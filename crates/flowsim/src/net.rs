@@ -1,0 +1,552 @@
+//! The flow network: links + active flows + time integration.
+//!
+//! [`FlowNet`] is driven by an external event loop. The contract is:
+//!
+//! 1. mutate the network only at the current time (`start_flow`,
+//!    `cancel_flow`), after calling [`FlowNet::advance`] to that time;
+//! 2. after every mutation, ask [`FlowNet::next_event_time`] and schedule a
+//!    wake-up event then;
+//! 3. on wake-up, call [`FlowNet::advance`] and drain
+//!    [`FlowNet::take_completed`].
+//!
+//! Stale wake-ups (scheduled before a topology change) are harmless: they
+//! simply find nothing completed.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use stash_simkit::time::{SimDuration, SimTime};
+
+use stash_simkit::stats::TimeWeighted;
+
+use crate::fairness::max_min_rates;
+use crate::link::{Link, LinkId};
+
+/// Identifier of an in-flight flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowId(u64);
+
+/// Description of a transfer to start.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Links traversed, in order. May be empty for an unconstrained
+    /// (infinitely fast) transfer that still pays latency.
+    pub route: Vec<LinkId>,
+    /// Payload size in bytes.
+    pub bytes: f64,
+    /// Extra fixed latency beyond the sum of link latencies (e.g. kernel
+    /// launch or protocol overhead).
+    pub extra_latency: SimDuration,
+    /// Opaque tag returned on completion so the caller can route the event.
+    pub tag: u64,
+}
+
+impl FlowSpec {
+    /// Convenience constructor with no extra latency.
+    #[must_use]
+    pub fn new(route: Vec<LinkId>, bytes: f64, tag: u64) -> Self {
+        FlowSpec {
+            route,
+            bytes,
+            extra_latency: SimDuration::ZERO,
+            tag,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FlowState {
+    route: Vec<usize>,
+    remaining_latency: SimDuration,
+    remaining_bytes: f64,
+    rate: f64,
+    tag: u64,
+}
+
+/// A set of links plus the flows currently crossing them.
+///
+/// Rates are recomputed with max-min fairness at every state change; between
+/// changes every flow progresses linearly, so completions can be predicted
+/// exactly.
+///
+/// # Examples
+///
+/// ```
+/// use stash_flowsim::prelude::*;
+/// use stash_simkit::time::{SimDuration, SimTime};
+///
+/// let mut net = FlowNet::new();
+/// let l = net.add_link(Link::new("bus", 100.0, SimDuration::ZERO, LinkClass::PcieHostBus));
+/// let t0 = SimTime::ZERO;
+/// net.start_flow(t0, FlowSpec::new(vec![l], 50.0, 1));
+/// let done = net.next_event_time(t0).unwrap();
+/// assert!((done.as_secs_f64() - 0.5).abs() < 1e-6); // 50 bytes at 100 B/s
+/// net.advance(done);
+/// assert_eq!(net.take_completed().len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct FlowNet {
+    links: Vec<Link>,
+    flows: BTreeMap<FlowId, FlowState>,
+    completed: Vec<(FlowId, u64)>,
+    last_advance: SimTime,
+    next_id: u64,
+    /// Total bytes delivered across all flows (diagnostics).
+    delivered_bytes: f64,
+    /// Per-link instantaneous load / capacity, integrated over time.
+    link_load: Vec<TimeWeighted>,
+    /// Per-link bytes carried.
+    link_bytes: Vec<f64>,
+}
+
+impl FlowNet {
+    /// Creates an empty network.
+    #[must_use]
+    pub fn new() -> Self {
+        FlowNet::default()
+    }
+
+    /// Registers a link and returns its id.
+    pub fn add_link(&mut self, link: Link) -> LinkId {
+        let id = LinkId(u32::try_from(self.links.len()).expect("too many links"));
+        self.links.push(link);
+        self.link_load.push(TimeWeighted::new(0.0, self.last_advance));
+        self.link_bytes.push(0.0);
+        id
+    }
+
+    /// Mean utilisation (load / capacity, time-weighted) of `id` since the
+    /// simulation started.
+    #[must_use]
+    pub fn link_utilization(&self, id: LinkId) -> f64 {
+        self.link_load[id.index()].mean_until(self.last_advance)
+    }
+
+    /// Total bytes carried over `id`.
+    #[must_use]
+    pub fn link_carried_bytes(&self, id: LinkId) -> f64 {
+        self.link_bytes[id.index()]
+    }
+
+    /// Immutable access to a link definition.
+    #[must_use]
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// Number of registered links.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of in-flight flows.
+    #[must_use]
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total bytes delivered so far.
+    #[must_use]
+    pub fn delivered_bytes(&self) -> f64 {
+        self.delivered_bytes
+    }
+
+    /// Starts a flow at time `now` (which must not precede the last
+    /// advance). Returns the flow id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is negative or not finite, or if `now` precedes the
+    /// last observed time.
+    pub fn start_flow(&mut self, now: SimTime, spec: FlowSpec) -> FlowId {
+        assert!(spec.bytes.is_finite() && spec.bytes >= 0.0, "flow bytes must be non-negative");
+        self.advance(now);
+        let latency: SimDuration = spec
+            .route
+            .iter()
+            .map(|l| self.links[l.index()].latency)
+            .sum::<SimDuration>()
+            + spec.extra_latency;
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            FlowState {
+                route: spec.route.iter().map(|l| l.index()).collect(),
+                remaining_latency: latency,
+                remaining_bytes: spec.bytes,
+                rate: 0.0,
+                tag: spec.tag,
+            },
+        );
+        self.recompute_rates();
+        self.collect_done();
+        id
+    }
+
+    /// Cancels an in-flight flow; returns `true` if it was still active.
+    pub fn cancel_flow(&mut self, now: SimTime, id: FlowId) -> bool {
+        self.advance(now);
+        let existed = self.flows.remove(&id).is_some();
+        if existed {
+            self.recompute_rates();
+        }
+        existed
+    }
+
+    /// Advances the network state to `now`, progressing latencies and byte
+    /// counts. Completions are queued for [`FlowNet::take_completed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `now` precedes the last advance.
+    pub fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_advance, "time moved backwards");
+        if now <= self.last_advance {
+            return;
+        }
+        let mut dt = now.duration_since(self.last_advance);
+        // Process the interval in segments bounded by latency expiries and
+        // predicted flow completions, so that (a) a flow entering its
+        // transfer phase mid-interval gets correct rates for the remainder
+        // and (b) bandwidth freed by a completing flow is redistributed to
+        // the survivors for the rest of the interval.
+        while !dt.is_zero() {
+            let min_lat = self
+                .flows
+                .values()
+                .filter(|f| !f.remaining_latency.is_zero())
+                .map(|f| f.remaining_latency)
+                .min();
+            let min_ttc = self
+                .flows
+                .values()
+                .filter(|f| f.remaining_latency.is_zero() && f.remaining_bytes > 0.0 && f.rate > 0.0 && f.rate.is_finite())
+                .map(|f| SimDuration::from_secs_f64(f.remaining_bytes / f.rate).max(SimDuration::from_nanos(1)))
+                .min();
+            let mut seg = dt;
+            if let Some(l) = min_lat {
+                seg = seg.min(l);
+            }
+            if let Some(c) = min_ttc {
+                seg = seg.min(c);
+            }
+            let mut boundary = false;
+            for f in self.flows.values_mut() {
+                if !f.remaining_latency.is_zero() {
+                    f.remaining_latency = f.remaining_latency.saturating_sub(seg);
+                    if f.remaining_latency.is_zero() {
+                        boundary = true;
+                    }
+                } else if f.remaining_bytes > 0.0 {
+                    let moved = f.rate * seg.as_secs_f64();
+                    for &l in &f.route {
+                        self.link_bytes[l] += moved;
+                    }
+                    f.remaining_bytes -= moved;
+                    // Snap tiny residues (< 1 ns worth of transfer) to done
+                    // so rounding cannot stall the loop.
+                    if f.remaining_bytes <= f.rate * 1e-9 {
+                        f.remaining_bytes = 0.0;
+                        boundary = true;
+                    }
+                }
+            }
+            dt -= seg;
+            // Advance the clock segment-by-segment so rate changes (and the
+            // utilisation integrals they update) land at the right instant.
+            self.last_advance += seg;
+            if boundary {
+                let any_done = self.collect_done();
+                if !any_done {
+                    self.recompute_rates();
+                }
+            }
+        }
+        self.last_advance = now;
+        self.collect_done();
+    }
+
+    /// Drains the list of flows that completed since the last call.
+    /// Each entry is `(flow id, tag)`.
+    pub fn take_completed(&mut self) -> Vec<(FlowId, u64)> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Earliest future time at which the network's state changes by itself:
+    /// a latency expiry or a flow completion. `None` when nothing is in
+    /// flight.
+    #[must_use]
+    pub fn next_event_time(&self, now: SimTime) -> Option<SimTime> {
+        let mut best: Option<SimTime> = None;
+        for f in self.flows.values() {
+            let t = if !f.remaining_latency.is_zero() {
+                now + f.remaining_latency
+            } else if f.remaining_bytes <= 0.0 {
+                now
+            } else if f.rate > 0.0 {
+                now + SimDuration::from_secs_f64(f.remaining_bytes / f.rate)
+                    + SimDuration::from_nanos(1)
+            } else if f.rate.is_infinite() || f.route.is_empty() {
+                now
+            } else {
+                continue; // starved flow: waits for a topology change
+            };
+            best = Some(best.map_or(t, |b: SimTime| b.min(t)));
+        }
+        best
+    }
+
+    /// Instantaneous rate of a flow in bytes/sec (0 during its latency
+    /// phase, `None` if unknown/completed).
+    #[must_use]
+    pub fn flow_rate(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| if f.remaining_latency.is_zero() { f.rate } else { 0.0 })
+    }
+
+    /// Solves steady-state rates for a hypothetical set of routes without
+    /// touching live state — used by bandwidth probes (paper Fig. 7).
+    #[must_use]
+    pub fn probe_rates(&self, routes: &[Vec<LinkId>]) -> Vec<f64> {
+        let caps: Vec<f64> = self.links.iter().map(|l| l.capacity_bps).collect();
+        let idx_routes: Vec<Vec<usize>> = routes
+            .iter()
+            .map(|r| r.iter().map(|l| l.index()).collect())
+            .collect();
+        max_min_rates(&caps, &idx_routes)
+    }
+
+    fn recompute_rates(&mut self) {
+        let caps: Vec<f64> = self.links.iter().map(|l| l.capacity_bps).collect();
+        let ids: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.remaining_latency.is_zero() && f.remaining_bytes > 0.0)
+            .map(|(id, _)| *id)
+            .collect();
+        let routes: Vec<Vec<usize>> = ids.iter().map(|id| self.flows[id].route.clone()).collect();
+        let rates = max_min_rates(&caps, &routes);
+        for f in self.flows.values_mut() {
+            f.rate = 0.0;
+        }
+        for (id, rate) in ids.iter().zip(rates) {
+            self.flows.get_mut(id).expect("flow vanished").rate = rate;
+        }
+        // Refresh per-link load integrals.
+        let mut load = vec![0.0_f64; self.links.len()];
+        for f in self.flows.values() {
+            if f.remaining_latency.is_zero() && f.rate.is_finite() {
+                for &l in &f.route {
+                    load[l] += f.rate;
+                }
+            }
+        }
+        for (l, w) in self.link_load.iter_mut().enumerate() {
+            w.set(self.last_advance, load[l] / self.links[l].capacity_bps);
+        }
+    }
+
+    /// Moves finished flows to the completed queue; returns whether any
+    /// flow finished (rates are recomputed in that case).
+    fn collect_done(&mut self) -> bool {
+        let done: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| {
+                f.remaining_latency.is_zero()
+                    && (f.remaining_bytes <= 0.0
+                        || f.route.is_empty()
+                        || f.rate.is_infinite())
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        let mut any = false;
+        for id in done {
+            let f = self.flows.remove(&id).expect("flow vanished");
+            self.delivered_bytes += f.remaining_bytes.max(0.0);
+            self.completed.push((id, f.tag));
+            any = true;
+        }
+        if any {
+            self.recompute_rates();
+        }
+        any
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkClass;
+
+    fn mk_net(caps: &[f64]) -> (FlowNet, Vec<LinkId>) {
+        let mut net = FlowNet::new();
+        let ids = caps
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                net.add_link(Link::new(format!("l{i}"), c, SimDuration::ZERO, LinkClass::Other))
+            })
+            .collect();
+        (net, ids)
+    }
+
+    #[test]
+    fn single_flow_completes_on_schedule() {
+        let (mut net, l) = mk_net(&[100.0]);
+        net.start_flow(SimTime::ZERO, FlowSpec::new(vec![l[0]], 200.0, 7));
+        let t = net.next_event_time(SimTime::ZERO).unwrap();
+        assert!((t.as_secs_f64() - 2.0).abs() < 1e-6);
+        net.advance(t);
+        let done = net.take_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1, 7);
+        assert_eq!(net.active_flows(), 0);
+    }
+
+    #[test]
+    fn two_flows_share_then_speed_up() {
+        let (mut net, l) = mk_net(&[100.0]);
+        // Flow A: 100 bytes, flow B: 50 bytes, same link.
+        net.start_flow(SimTime::ZERO, FlowSpec::new(vec![l[0]], 100.0, 1));
+        net.start_flow(SimTime::ZERO, FlowSpec::new(vec![l[0]], 50.0, 2));
+        // Shared at 50 B/s each: B finishes at t=1; A then runs at 100 B/s
+        // with 50 bytes left → finishes at t=1.5.
+        let t1 = net.next_event_time(SimTime::ZERO).unwrap();
+        assert!((t1.as_secs_f64() - 1.0).abs() < 1e-6);
+        net.advance(t1);
+        assert_eq!(net.take_completed(), vec![(FlowId(1), 2)]);
+        let t2 = net.next_event_time(t1).unwrap();
+        assert!((t2.as_secs_f64() - 1.5).abs() < 1e-6, "t2={}", t2.as_secs_f64());
+        net.advance(t2);
+        assert_eq!(net.take_completed().len(), 1);
+    }
+
+    #[test]
+    fn latency_delays_transfer_start() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(Link::new(
+            "lat",
+            100.0,
+            SimDuration::from_secs(1),
+            LinkClass::Network,
+        ));
+        net.start_flow(SimTime::ZERO, FlowSpec::new(vec![l], 100.0, 0));
+        // 1s latency + 1s transfer.
+        let t1 = net.next_event_time(SimTime::ZERO).unwrap();
+        assert_eq!(t1.as_secs_f64(), 1.0);
+        net.advance(t1);
+        assert!(net.take_completed().is_empty());
+        let t2 = net.next_event_time(t1).unwrap();
+        assert!((t2.as_secs_f64() - 2.0).abs() < 1e-6);
+        net.advance(t2);
+        assert_eq!(net.take_completed().len(), 1);
+    }
+
+    #[test]
+    fn advance_across_latency_boundary_is_exact() {
+        // One flow with latency, one without, same link. Advancing in a
+        // single big step must give the same result as stepping precisely.
+        let mut net = FlowNet::new();
+        let l = net.add_link(Link::new("b", 100.0, SimDuration::ZERO, LinkClass::Other));
+        net.start_flow(SimTime::ZERO, FlowSpec::new(vec![l], 100.0, 1)); // no latency
+        let spec = FlowSpec {
+            route: vec![l],
+            bytes: 100.0,
+            extra_latency: SimDuration::from_millis(500),
+            tag: 2,
+        };
+        net.start_flow(SimTime::ZERO, spec);
+        // Phase 1 (0–0.5s): flow1 alone at 100 B/s → 50 bytes left.
+        // Phase 2: both share 50 B/s. flow1 needs 1s more → done at 1.5s.
+        net.advance(SimTime::from_nanos(2_000_000_000));
+        let done = net.take_completed();
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_after_latency() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(Link::new(
+            "n",
+            10.0,
+            SimDuration::from_millis(3),
+            LinkClass::Network,
+        ));
+        net.start_flow(SimTime::ZERO, FlowSpec::new(vec![l], 0.0, 9));
+        let t = net.next_event_time(SimTime::ZERO).unwrap();
+        assert_eq!(t.as_secs_f64(), 0.003);
+        net.advance(t);
+        assert_eq!(net.take_completed().len(), 1);
+    }
+
+    #[test]
+    fn empty_route_zero_latency_completes_immediately() {
+        let mut net = FlowNet::new();
+        net.start_flow(SimTime::ZERO, FlowSpec::new(vec![], 1e9, 3));
+        assert_eq!(net.take_completed().len(), 1);
+    }
+
+    #[test]
+    fn cancel_restores_bandwidth() {
+        let (mut net, l) = mk_net(&[100.0]);
+        let a = net.start_flow(SimTime::ZERO, FlowSpec::new(vec![l[0]], 1000.0, 1));
+        let b = net.start_flow(SimTime::ZERO, FlowSpec::new(vec![l[0]], 100.0, 2));
+        assert_eq!(net.flow_rate(b), Some(50.0));
+        assert!(net.cancel_flow(SimTime::ZERO, a));
+        assert_eq!(net.flow_rate(b), Some(100.0));
+        assert!(!net.cancel_flow(SimTime::ZERO, a));
+    }
+
+    #[test]
+    fn probe_rates_match_fair_share() {
+        let (mut net, l) = mk_net(&[100.0, 40.0]);
+        let _ = &mut net;
+        let rates = net.probe_rates(&[vec![l[0]], vec![l[0], l[1]]]);
+        assert!((rates[1] - 40.0).abs() < 1e-9);
+        assert!((rates[0] - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_and_bytes_are_tracked() {
+        let (mut net, l) = mk_net(&[100.0]);
+        net.start_flow(SimTime::ZERO, FlowSpec::new(vec![l[0]], 100.0, 0));
+        // Fully busy for 1 s, idle for 1 s.
+        net.advance(SimTime::from_nanos(2_000_000_000));
+        let _ = net.take_completed();
+        assert!((net.link_carried_bytes(l[0]) - 100.0).abs() < 1e-6);
+        let util = net.link_utilization(l[0]);
+        assert!((util - 0.5).abs() < 1e-6, "util={util}");
+    }
+
+    #[test]
+    fn idle_link_has_zero_utilization() {
+        let (mut net, l) = mk_net(&[100.0, 50.0]);
+        net.start_flow(SimTime::ZERO, FlowSpec::new(vec![l[0]], 10.0, 0));
+        net.advance(SimTime::from_nanos(1_000_000_000));
+        assert_eq!(net.link_utilization(l[1]), 0.0);
+        assert_eq!(net.link_carried_bytes(l[1]), 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let (mut net, l) = mk_net(&[64.0, 32.0]);
+            net.start_flow(SimTime::ZERO, FlowSpec::new(vec![l[0]], 111.0, 1));
+            net.start_flow(SimTime::ZERO, FlowSpec::new(vec![l[0], l[1]], 57.0, 2));
+            let mut log = Vec::new();
+            let mut now = SimTime::ZERO;
+            while let Some(t) = net.next_event_time(now) {
+                net.advance(t);
+                now = t;
+                for (id, tag) in net.take_completed() {
+                    log.push((t.as_nanos(), id, tag));
+                }
+            }
+            log
+        };
+        assert_eq!(run(), run());
+        assert_eq!(run().len(), 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! # stash-gpucompute — GPU execution-time and memory models
+//!
+//! Maps a DNN description (`stash-dnn`) onto a GPU device spec
+//! (`stash-hwtopo`):
+//!
+//! * [`kernel`] — per-layer roofline timing (`max(flops/peak,
+//!   bytes/bandwidth) + launch`), whole-model iteration time, throughput;
+//! * [`memory`] — per-rank training memory demand, fit checks and the
+//!   Fig. 15 utilisation metric.
+//!
+//! # Examples
+//!
+//! ```
+//! use stash_gpucompute::prelude::*;
+//! use stash_dnn::zoo;
+//! use stash_hwtopo::gpu::GpuModel;
+//!
+//! let cm = ComputeModel::new(GpuModel::V100.spec());
+//! let resnet = zoo::resnet50();
+//! assert!(cm.throughput(&resnet, 32) > 100.0); // images/sec
+//! assert!(memory::fits(cm.gpu(), &resnet, 32));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod kernel;
+pub mod memory;
+pub mod precision;
+
+/// Convenient glob-import of the most used items.
+pub mod prelude {
+    pub use crate::kernel::{ComputeModel, BWD_FLOP_FACTOR, MAX_EFFICIENCY};
+    pub use crate::memory::{self, MemoryEstimate};
+    pub use crate::precision::Precision;
+}

@@ -1,0 +1,105 @@
+//! Numeric precision of the training run.
+//!
+//! The paper trains in fp32; automatic mixed precision (AMP) is the
+//! obvious extension knob, and it moves *every* stall the profiler
+//! measures: tensor cores speed up compute (V100/A100 only), fp16
+//! halves gradient traffic (interconnect and network stalls) and halves
+//! activation memory (allowing larger batches).
+
+use serde::{Deserialize, Serialize};
+
+use stash_hwtopo::gpu::{GpuModel, GpuSpec};
+
+/// Numeric precision for training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Precision {
+    /// Plain fp32 — the paper's configuration.
+    #[default]
+    Fp32,
+    /// Automatic mixed precision: fp16 compute/activations/gradients with
+    /// fp32 master weights.
+    Amp,
+}
+
+impl Precision {
+    /// Bytes per gradient element on the wire.
+    #[must_use]
+    pub fn gradient_bytes_per_param(self) -> f64 {
+        match self {
+            Precision::Fp32 => 4.0,
+            Precision::Amp => 2.0,
+        }
+    }
+
+    /// Effective speedup of arithmetic throughput on `gpu` (tensor cores
+    /// sustain ~2-3x end-to-end over fp32; pre-Volta GPUs gain nothing).
+    #[must_use]
+    pub fn compute_speedup(self, gpu: &GpuSpec) -> f64 {
+        match (self, gpu.model) {
+            (Precision::Fp32, _) | (Precision::Amp, GpuModel::K80) => 1.0,
+            (Precision::Amp, GpuModel::V100 | GpuModel::V100_32) => 2.5,
+            (Precision::Amp, GpuModel::A100) => 3.0,
+        }
+    }
+
+    /// Scale factor on activation memory and kernel memory traffic.
+    #[must_use]
+    pub fn memory_factor(self) -> f64 {
+        match self {
+            Precision::Fp32 => 1.0,
+            Precision::Amp => 0.5,
+        }
+    }
+
+    /// Scale factor on parameter-sized GPU state (AMP keeps fp32 master
+    /// weights and optimizer state plus fp16 working copies).
+    #[must_use]
+    pub fn state_factor(self) -> f64 {
+        match self {
+            Precision::Fp32 => 1.0,
+            // (4 B weights + 4 B momentum + 4 B master) fp32 = 12 B vs
+            // AMP: 4 + 4 + 4 master + 2 fp16 weights + 2 fp16 grads = 16 B
+            // over the fp32 12 B baseline → 4/3.
+            Precision::Amp => 4.0 / 3.0,
+        }
+    }
+
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::Fp32 => "fp32",
+            Precision::Amp => "amp",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amp_only_speeds_up_tensor_core_gpus() {
+        let k80 = GpuModel::K80.spec();
+        let v100 = GpuModel::V100.spec();
+        let a100 = GpuModel::A100.spec();
+        assert_eq!(Precision::Amp.compute_speedup(&k80), 1.0);
+        assert!(Precision::Amp.compute_speedup(&v100) > 2.0);
+        assert!(Precision::Amp.compute_speedup(&a100) >= Precision::Amp.compute_speedup(&v100));
+        assert_eq!(Precision::Fp32.compute_speedup(&v100), 1.0);
+    }
+
+    #[test]
+    fn amp_halves_wire_and_activation_bytes() {
+        assert_eq!(Precision::Amp.gradient_bytes_per_param(), 2.0);
+        assert_eq!(Precision::Amp.memory_factor(), 0.5);
+        assert!(Precision::Amp.state_factor() > 1.0, "master copies cost state");
+    }
+
+    #[test]
+    fn default_is_the_papers_fp32() {
+        assert_eq!(Precision::default(), Precision::Fp32);
+        assert_eq!(Precision::Fp32.label(), "fp32");
+        assert_eq!(Precision::Amp.label(), "amp");
+    }
+}

@@ -1,0 +1,167 @@
+//! Cluster specifications: one or more instances tied by the VM network.
+//!
+//! The paper's experiments use either a single instance or several
+//! identical instances connected over the AWS network (e.g. "p3.8xlarge*2").
+
+use serde::Serialize;
+
+use crate::instance::{by_name, InstanceType};
+
+/// A set of instances participating in one data-parallel training job.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ClusterSpec {
+    /// Member instances. All GPUs of every member participate.
+    pub instances: Vec<InstanceType>,
+}
+
+impl ClusterSpec {
+    /// Single-instance cluster.
+    #[must_use]
+    pub fn single(instance: InstanceType) -> Self {
+        ClusterSpec {
+            instances: vec![instance],
+        }
+    }
+
+    /// `count` identical instances connected via the network (the paper's
+    /// `"<type>*<count>"` notation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    #[must_use]
+    pub fn homogeneous(instance: InstanceType, count: usize) -> Self {
+        assert!(count > 0, "a cluster needs at least one instance");
+        ClusterSpec {
+            instances: std::iter::repeat_with(|| instance.clone()).take(count).collect(),
+        }
+    }
+
+    /// Total number of GPUs across the cluster (the DDP world size).
+    #[must_use]
+    pub fn world_size(&self) -> usize {
+        self.instances.iter().map(|i| i.gpu_count).sum()
+    }
+
+    /// Number of instances.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Whether training crosses the VM network.
+    #[must_use]
+    pub fn is_distributed(&self) -> bool {
+        self.instances.len() > 1
+    }
+
+    /// Combined price per hour, USD.
+    #[must_use]
+    pub fn price_per_hour(&self) -> f64 {
+        self.instances.iter().map(|i| i.price_per_hour).sum()
+    }
+
+    /// Parses the paper's cluster notation: an instance name optionally
+    /// followed by `*<count>` (e.g. `"p3.8xlarge*2"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown instances or invalid
+    /// counts.
+    pub fn parse(spec: &str) -> Result<ClusterSpec, String> {
+        let (name, count) = match spec.split_once('*') {
+            Some((n, c)) => (
+                n,
+                c.parse::<usize>()
+                    .map_err(|_| format!("bad replica count in '{spec}'"))?,
+            ),
+            None => (spec, 1),
+        };
+        if count == 0 {
+            return Err("replica count must be positive".into());
+        }
+        let inst = by_name(name).ok_or_else(|| format!("unknown instance '{name}'"))?;
+        Ok(ClusterSpec::homogeneous(inst, count))
+    }
+
+    /// Display name: `"p3.8xlarge"` or `"p3.8xlarge*2"` for homogeneous
+    /// clusters, comma-joined names otherwise.
+    #[must_use]
+    pub fn display_name(&self) -> String {
+        let first = &self.instances[0].name;
+        if self.instances.iter().all(|i| &i.name == first) {
+            if self.instances.len() == 1 {
+                first.clone()
+            } else {
+                format!("{first}*{}", self.instances.len())
+            }
+        } else {
+            self.instances
+                .iter()
+                .map(|i| i.name.as_str())
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{p2_8xlarge, p3_8xlarge, p3_16xlarge};
+
+    #[test]
+    fn world_size_sums_gpus() {
+        let c = ClusterSpec::homogeneous(p3_8xlarge(), 2);
+        assert_eq!(c.world_size(), 8);
+        assert_eq!(c.node_count(), 2);
+        assert!(c.is_distributed());
+    }
+
+    #[test]
+    fn single_is_not_distributed() {
+        let c = ClusterSpec::single(p3_16xlarge());
+        assert!(!c.is_distributed());
+        assert_eq!(c.world_size(), 8);
+    }
+
+    #[test]
+    fn display_name_uses_star_notation() {
+        assert_eq!(ClusterSpec::single(p3_8xlarge()).display_name(), "p3.8xlarge");
+        assert_eq!(
+            ClusterSpec::homogeneous(p3_8xlarge(), 2).display_name(),
+            "p3.8xlarge*2"
+        );
+        let mixed = ClusterSpec {
+            instances: vec![p3_8xlarge(), p2_8xlarge()],
+        };
+        assert_eq!(mixed.display_name(), "p3.8xlarge,p2.8xlarge");
+    }
+
+    #[test]
+    fn price_sums_members() {
+        let c = ClusterSpec::homogeneous(p2_8xlarge(), 2);
+        assert_eq!(c.price_per_hour(), 14.40);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance")]
+    fn empty_homogeneous_rejected() {
+        let _ = ClusterSpec::homogeneous(p2_8xlarge(), 0);
+    }
+
+    #[test]
+    fn parse_round_trips_display_names() {
+        for spec in ["p3.16xlarge", "p3.8xlarge*2", "p2.xlarge"] {
+            let c = ClusterSpec::parse(spec).unwrap();
+            assert_eq!(c.display_name(), spec);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ClusterSpec::parse("m5.large").is_err());
+        assert!(ClusterSpec::parse("p3.8xlarge*0").is_err());
+        assert!(ClusterSpec::parse("p3.8xlarge*x").is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! GPU device models.
+//!
+//! A [`GpuSpec`] captures the handful of device parameters the roofline
+//! execution-time model (crate `stash-gpucompute`) needs: peak arithmetic
+//! throughput, memory bandwidth, memory capacity and kernel-launch
+//! overhead (which includes the framework's host-side per-op dispatch —
+//! the dominant cost of tiny kernels). The models of the paper's Table I
+//! are provided as constructors.
+
+use serde::{Deserialize, Serialize};
+use stash_simkit::time::SimDuration;
+
+use crate::units::{gb_per_s, gib, tflops};
+
+/// The GPU models appearing in the paper (AWS P2/P3/P4 families).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuModel {
+    /// NVIDIA K80 (one GK210 die as exposed by AWS P2).
+    K80,
+    /// NVIDIA V100 SXM2 16 GB (p3.2x/8x/16xlarge).
+    V100,
+    /// NVIDIA V100 SXM2 32 GB (p3.24xlarge-class).
+    V100_32,
+    /// NVIDIA A100 40 GB (P4 family).
+    A100,
+}
+
+impl GpuModel {
+    /// The device parameters for this model.
+    #[must_use]
+    pub fn spec(self) -> GpuSpec {
+        match self {
+            GpuModel::K80 => GpuSpec {
+                model: self,
+                name: "NVIDIA K80",
+                peak_flops: tflops(2.8),
+                mem_bandwidth_bps: gb_per_s(240.0),
+                mem_bytes: gib(12.0),
+                kernel_launch: SimDuration::from_micros(25),
+            },
+            GpuModel::V100 => GpuSpec {
+                model: self,
+                name: "NVIDIA V100 16GB",
+                peak_flops: tflops(15.7),
+                mem_bandwidth_bps: gb_per_s(900.0),
+                mem_bytes: gib(16.0),
+                kernel_launch: SimDuration::from_micros(30),
+            },
+            GpuModel::V100_32 => GpuSpec {
+                model: self,
+                name: "NVIDIA V100 32GB",
+                peak_flops: tflops(15.7),
+                mem_bandwidth_bps: gb_per_s(900.0),
+                mem_bytes: gib(32.0),
+                kernel_launch: SimDuration::from_micros(30),
+            },
+            GpuModel::A100 => GpuSpec {
+                model: self,
+                name: "NVIDIA A100 40GB",
+                peak_flops: tflops(19.5),
+                mem_bandwidth_bps: gb_per_s(1555.0),
+                mem_bytes: gib(40.0),
+                kernel_launch: SimDuration::from_micros(25),
+            },
+        }
+    }
+
+    /// Short label used in reports ("K80", "V100", ...).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            GpuModel::K80 => "K80",
+            GpuModel::V100 => "V100",
+            GpuModel::V100_32 => "V100-32",
+            GpuModel::A100 => "A100",
+        }
+    }
+}
+
+/// Device parameters consumed by the execution-time model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct GpuSpec {
+    /// Which model this spec belongs to.
+    pub model: GpuModel,
+    /// Marketing name.
+    pub name: &'static str,
+    /// Peak single-precision FLOP/s.
+    pub peak_flops: f64,
+    /// HBM/GDDR memory bandwidth, bytes/s.
+    pub mem_bandwidth_bps: f64,
+    /// Device memory capacity, bytes.
+    pub mem_bytes: f64,
+    /// Fixed overhead per kernel launch.
+    pub kernel_launch: SimDuration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generational_ordering() {
+        let k80 = GpuModel::K80.spec();
+        let v100 = GpuModel::V100.spec();
+        let a100 = GpuModel::A100.spec();
+        assert!(k80.peak_flops < v100.peak_flops);
+        assert!(v100.peak_flops < a100.peak_flops);
+        assert!(k80.mem_bandwidth_bps < v100.mem_bandwidth_bps);
+    }
+
+    #[test]
+    fn v100_variants_differ_only_in_memory() {
+        let a = GpuModel::V100.spec();
+        let b = GpuModel::V100_32.spec();
+        assert_eq!(a.peak_flops, b.peak_flops);
+        assert_eq!(b.mem_bytes, 2.0 * a.mem_bytes);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels = vec![
+            GpuModel::K80.label(),
+            GpuModel::V100.label(),
+            GpuModel::V100_32.label(),
+            GpuModel::A100.label(),
+        ];
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 4);
+    }
+}

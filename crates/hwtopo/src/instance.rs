@@ -1,0 +1,284 @@
+//! The AWS GPU instance catalog (paper Table I).
+//!
+//! Every P-family instance the paper characterizes, with its GPUs, vCPUs,
+//! interconnect, memory, network bandwidth and N. Virginia on-demand price.
+//! Prices and capacities are the paper's values, frozen at publication
+//! time.
+
+use serde::Serialize;
+
+use crate::gpu::GpuModel;
+use crate::interconnect::{Interconnect, Slicing};
+use crate::storage::StorageSpec;
+use crate::units::gib;
+
+/// One AWS instance type: the unit the profiler characterizes.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct InstanceType {
+    /// API name, e.g. `"p3.16xlarge"`.
+    pub name: String,
+    /// Instance family ("P2", "P3", "P4").
+    pub family: &'static str,
+    /// GPU device model.
+    pub gpu: GpuModel,
+    /// Number of GPUs.
+    pub gpu_count: usize,
+    /// Number of vCPUs.
+    pub vcpus: usize,
+    /// GPU peer interconnect wiring.
+    pub interconnect: Interconnect,
+    /// Host DRAM capacity, bytes.
+    pub main_memory_bytes: f64,
+    /// Nominal network bandwidth, Gbit/s.
+    pub network_gbps: f64,
+    /// On-demand price, USD per hour (N. Virginia).
+    pub price_per_hour: f64,
+    /// Attached training-data volume.
+    pub storage: StorageSpec,
+}
+
+impl InstanceType {
+    /// Total GPU memory across all devices, bytes (Table I's "GPU Memory").
+    #[must_use]
+    pub fn total_gpu_memory_bytes(&self) -> f64 {
+        self.gpu.spec().mem_bytes * self.gpu_count as f64
+    }
+
+    /// Price of `hours` of use, USD.
+    #[must_use]
+    pub fn cost_for_hours(&self, hours: f64) -> f64 {
+        self.price_per_hour * hours.max(0.0)
+    }
+}
+
+/// `p2.xlarge` — 1x K80.
+#[must_use]
+pub fn p2_xlarge() -> InstanceType {
+    InstanceType {
+        name: "p2.xlarge".into(),
+        family: "P2",
+        gpu: GpuModel::K80,
+        gpu_count: 1,
+        vcpus: 4,
+        interconnect: Interconnect::Pcie,
+        main_memory_bytes: gib(61.0),
+        network_gbps: 1.0, // Table I: "< 10"
+        price_per_hour: 0.90,
+        storage: StorageSpec::gp2(),
+    }
+}
+
+/// `p2.8xlarge` — 8x K80.
+#[must_use]
+pub fn p2_8xlarge() -> InstanceType {
+    InstanceType {
+        name: "p2.8xlarge".into(),
+        family: "P2",
+        gpu: GpuModel::K80,
+        gpu_count: 8,
+        vcpus: 32,
+        interconnect: Interconnect::Pcie,
+        main_memory_bytes: gib(488.0),
+        network_gbps: 10.0,
+        price_per_hour: 7.20,
+        storage: StorageSpec::gp2(),
+    }
+}
+
+/// `p2.16xlarge` — 16x K80.
+#[must_use]
+pub fn p2_16xlarge() -> InstanceType {
+    InstanceType {
+        name: "p2.16xlarge".into(),
+        family: "P2",
+        gpu: GpuModel::K80,
+        gpu_count: 16,
+        vcpus: 64,
+        interconnect: Interconnect::Pcie,
+        main_memory_bytes: gib(732.0),
+        network_gbps: 25.0,
+        price_per_hour: 14.40,
+        storage: StorageSpec::gp2(),
+    }
+}
+
+/// `p3.2xlarge` — 1x V100.
+#[must_use]
+pub fn p3_2xlarge() -> InstanceType {
+    InstanceType {
+        name: "p3.2xlarge".into(),
+        family: "P3",
+        gpu: GpuModel::V100,
+        gpu_count: 1,
+        vcpus: 8,
+        interconnect: Interconnect::Pcie,
+        main_memory_bytes: gib(61.0),
+        network_gbps: 10.0,
+        price_per_hour: 3.06,
+        storage: StorageSpec::gp2(),
+    }
+}
+
+/// `p3.8xlarge` — 4x V100 with the default (degraded) crossbar slice; see
+/// [`p3_8xlarge_sliced`] to choose the allocation quality.
+#[must_use]
+pub fn p3_8xlarge() -> InstanceType {
+    p3_8xlarge_sliced(Slicing::Degraded)
+}
+
+/// `p3.8xlarge` with an explicit crossbar [`Slicing`] — the paper theorizes
+/// the allocation is probabilistic, so both variants are exposed.
+#[must_use]
+pub fn p3_8xlarge_sliced(slicing: Slicing) -> InstanceType {
+    InstanceType {
+        name: "p3.8xlarge".into(),
+        family: "P3",
+        gpu: GpuModel::V100,
+        gpu_count: 4,
+        vcpus: 32,
+        interconnect: Interconnect::NvLink { slicing },
+        main_memory_bytes: gib(244.0),
+        network_gbps: 10.0,
+        price_per_hour: 12.24,
+        storage: StorageSpec::gp2(),
+    }
+}
+
+/// `p3.16xlarge` — 8x V100, full crossbar.
+#[must_use]
+pub fn p3_16xlarge() -> InstanceType {
+    InstanceType {
+        name: "p3.16xlarge".into(),
+        family: "P3",
+        gpu: GpuModel::V100,
+        gpu_count: 8,
+        vcpus: 64,
+        interconnect: Interconnect::NvLink { slicing: Slicing::Full },
+        main_memory_bytes: gib(488.0),
+        network_gbps: 25.0,
+        price_per_hour: 24.48,
+        storage: StorageSpec::gp2(),
+    }
+}
+
+/// `p3.24xlarge` — dedicated offering: 8x V100-32GB, 100 Gbps. The
+/// instance ships local NVMe, but the paper's training data lives on the
+/// same general-purpose EBS volume as everywhere else — which is why the
+/// 24xlarge shows the same stalls as the 16xlarge (§V-B).
+#[must_use]
+pub fn p3_24xlarge() -> InstanceType {
+    InstanceType {
+        name: "p3.24xlarge".into(),
+        family: "P3",
+        gpu: GpuModel::V100_32,
+        gpu_count: 8,
+        vcpus: 96,
+        interconnect: Interconnect::NvLink { slicing: Slicing::Full },
+        main_memory_bytes: gib(768.0),
+        network_gbps: 100.0,
+        price_per_hour: 31.218,
+        storage: StorageSpec::gp2(),
+    }
+}
+
+/// `p4` (p4d.24xlarge) — 8x A100 behind NVSwitch. Listed in Table I but
+/// not characterized by the paper (dedicated, single-variant offering).
+#[must_use]
+pub fn p4() -> InstanceType {
+    InstanceType {
+        name: "p4".into(),
+        family: "P4",
+        gpu: GpuModel::A100,
+        gpu_count: 8,
+        vcpus: 96,
+        interconnect: Interconnect::NvSwitch,
+        main_memory_bytes: gib(1152.0),
+        network_gbps: 400.0,
+        price_per_hour: 32.7726,
+        storage: StorageSpec::local_nvme(),
+    }
+}
+
+/// The full Table I catalog, in the paper's order.
+#[must_use]
+pub fn catalog() -> Vec<InstanceType> {
+    vec![
+        p4(),
+        p3_2xlarge(),
+        p3_8xlarge(),
+        p3_16xlarge(),
+        p3_24xlarge(),
+        p2_xlarge(),
+        p2_8xlarge(),
+        p2_16xlarge(),
+    ]
+}
+
+/// Looks up an instance type by its API name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<InstanceType> {
+    catalog().into_iter().find(|i| i.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_table1_sizes() {
+        assert_eq!(p2_16xlarge().gpu_count, 16);
+        assert_eq!(p3_16xlarge().gpu_count, 8);
+        assert_eq!(p3_24xlarge().gpu_count, 8);
+        assert_eq!(p4().gpu_count, 8);
+        assert_eq!(p2_xlarge().vcpus, 4);
+        assert_eq!(p3_24xlarge().vcpus, 96);
+    }
+
+    #[test]
+    fn prices_match_table1() {
+        assert_eq!(p2_xlarge().price_per_hour, 0.90);
+        assert_eq!(p2_8xlarge().price_per_hour, 7.20);
+        assert_eq!(p2_16xlarge().price_per_hour, 14.40);
+        assert_eq!(p3_2xlarge().price_per_hour, 3.06);
+        assert_eq!(p3_8xlarge().price_per_hour, 12.24);
+        assert_eq!(p3_16xlarge().price_per_hour, 24.48);
+        assert_eq!(p3_24xlarge().price_per_hour, 31.218);
+        assert_eq!(p4().price_per_hour, 32.7726);
+    }
+
+    #[test]
+    fn gpu_memory_totals_match_table1() {
+        // Table I lists total GPU memory: 12/96/192 for P2, 16/64/128/256
+        // for P3, 320 for P4 (GB, binary).
+        let gb = |x: f64| x / gib(1.0);
+        assert_eq!(gb(p2_xlarge().total_gpu_memory_bytes()), 12.0);
+        assert_eq!(gb(p2_8xlarge().total_gpu_memory_bytes()), 96.0);
+        assert_eq!(gb(p2_16xlarge().total_gpu_memory_bytes()), 192.0);
+        assert_eq!(gb(p3_2xlarge().total_gpu_memory_bytes()), 16.0);
+        assert_eq!(gb(p3_8xlarge().total_gpu_memory_bytes()), 64.0);
+        assert_eq!(gb(p3_16xlarge().total_gpu_memory_bytes()), 128.0);
+        assert_eq!(gb(p3_24xlarge().total_gpu_memory_bytes()), 256.0);
+        assert_eq!(gb(p4().total_gpu_memory_bytes()), 320.0);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("p3.16xlarge").unwrap().gpu_count, 8);
+        assert!(by_name("m5.large").is_none());
+    }
+
+    #[test]
+    fn cost_is_linear_and_clamped() {
+        let i = p3_2xlarge();
+        assert_eq!(i.cost_for_hours(2.0), 6.12);
+        assert_eq!(i.cost_for_hours(-1.0), 0.0);
+    }
+
+    #[test]
+    fn catalog_has_unique_names() {
+        let mut names: Vec<_> = catalog().into_iter().map(|i| i.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+}

@@ -1,0 +1,132 @@
+//! Intra-instance interconnect models.
+//!
+//! The paper distinguishes three interconnect generations (Table I):
+//! plain PCIe (P2), PCIe + NVLink crossbars (P3, Fig. 1) and NVSwitch
+//! (P4). For the P3 NVLink crossbar, §V-B of the paper observes that
+//! p3.8xlarge tenants may receive a *sub-optimally sliced* half of the
+//! 8-GPU crossbar, forcing some GPU pairs onto PCIe — modelled here by
+//! [`Slicing`].
+
+use serde::{Deserialize, Serialize};
+
+/// How an NVLink crossbar is carved up for a sub-machine-size instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Slicing {
+    /// The tenant got a whole crossbar: every GPU pair is NVLink-connected.
+    Full,
+    /// The tenant's GPUs straddle two crossbars: pairs in different halves
+    /// fall back to the PCIe host fabric. The paper theorizes this is what
+    /// makes p3.8xlarge's interconnect stall anomalously high, so it is the
+    /// default for sliced instances.
+    #[default]
+    Degraded,
+}
+
+/// The interconnect wiring of one instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Interconnect {
+    /// All GPU peer traffic crosses the shared PCIe host fabric (P2).
+    Pcie,
+    /// NVLink crossbar(s) carry peer traffic; PCIe carries host traffic
+    /// (P3). `slicing` only matters when the instance holds fewer GPUs
+    /// than a full crossbar pair (i.e. p3.8xlarge).
+    NvLink {
+        /// Crossbar allocation quality for sliced instances.
+        slicing: Slicing,
+    },
+    /// NVSwitch all-to-all fabric (P4).
+    NvSwitch,
+}
+
+impl Interconnect {
+    /// Label matching the paper's Table I ("PCIe", "PCIe + NVLink", ...).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Interconnect::Pcie => "PCIe",
+            Interconnect::NvLink { .. } => "PCIe + NVLink",
+            Interconnect::NvSwitch => "NVSwitch",
+        }
+    }
+
+    /// Whether GPU peer traffic can use NVLink-class links at all.
+    #[must_use]
+    pub fn has_nvlink(self) -> bool {
+        !matches!(self, Interconnect::Pcie)
+    }
+}
+
+/// Assigns each local GPU to a crossbar group. GPUs in the same group are
+/// NVLink-connected; cross-group pairs depend on the interconnect:
+/// full-size NVLink instances have inter-crossbar NVLink wiring (Fig. 1),
+/// degraded slices fall back to PCIe.
+#[must_use]
+pub fn crossbar_groups(interconnect: Interconnect, gpu_count: usize) -> Vec<usize> {
+    match interconnect {
+        Interconnect::Pcie => vec![0; gpu_count],
+        Interconnect::NvSwitch => vec![0; gpu_count],
+        Interconnect::NvLink { slicing } => {
+            if gpu_count >= 8 {
+                // Full machine: two crossbars of four, but they are wired
+                // together with NVLink (Fig. 1), so peer routing treats the
+                // machine as one group.
+                vec![0; gpu_count]
+            } else if gpu_count <= 2 {
+                vec![0; gpu_count]
+            } else {
+                match slicing {
+                    Slicing::Full => vec![0; gpu_count],
+                    Slicing::Degraded => {
+                        // Half the GPUs landed on each physical crossbar.
+                        (0..gpu_count).map(|g| usize::from(g >= gpu_count / 2)).collect()
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcie_is_one_group() {
+        assert_eq!(crossbar_groups(Interconnect::Pcie, 16), vec![0; 16]);
+    }
+
+    #[test]
+    fn full_nvlink_machine_is_one_group() {
+        let ic = Interconnect::NvLink { slicing: Slicing::Degraded };
+        assert_eq!(crossbar_groups(ic, 8), vec![0; 8]);
+    }
+
+    #[test]
+    fn degraded_slice_splits_in_half() {
+        let ic = Interconnect::NvLink { slicing: Slicing::Degraded };
+        assert_eq!(crossbar_groups(ic, 4), vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn full_slice_stays_together() {
+        let ic = Interconnect::NvLink { slicing: Slicing::Full };
+        assert_eq!(crossbar_groups(ic, 4), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn tiny_instances_trivially_grouped() {
+        let ic = Interconnect::NvLink { slicing: Slicing::Degraded };
+        assert_eq!(crossbar_groups(ic, 1), vec![0]);
+        assert_eq!(crossbar_groups(ic, 2), vec![0, 0]);
+    }
+
+    #[test]
+    fn labels_match_table1() {
+        assert_eq!(Interconnect::Pcie.label(), "PCIe");
+        assert_eq!(
+            Interconnect::NvLink { slicing: Slicing::Full }.label(),
+            "PCIe + NVLink"
+        );
+        assert_eq!(Interconnect::NvSwitch.label(), "NVSwitch");
+    }
+}

@@ -1,0 +1,49 @@
+//! # stash-hwtopo — cloud hardware and instance models
+//!
+//! The hardware substrate standing in for AWS's GPU fleet: GPU device
+//! specs, interconnect wiring (PCIe host fabric, NVLink crossbars,
+//! NVSwitch), storage volumes, and the paper's Table I instance catalog.
+//! [`topology::Topology`] lowers a [`cluster::ClusterSpec`] into
+//! `stash-flowsim` links and answers routing queries for GPU peer traffic,
+//! host-to-device copies and training-data reads.
+//!
+//! # Examples
+//!
+//! ```
+//! use stash_hwtopo::prelude::*;
+//! use stash_flowsim::net::FlowNet;
+//!
+//! let cluster = ClusterSpec::homogeneous(p3_8xlarge(), 2);
+//! let mut net = FlowNet::new();
+//! let topo = Topology::build(&cluster, &mut net);
+//! assert_eq!(topo.world_size(), 8);
+//! let hop = topo.gpu_route(GpuId { node: 0, local: 3 }, GpuId { node: 1, local: 0 });
+//! assert!(!hop.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cluster;
+pub mod constants;
+pub mod gpu;
+pub mod instance;
+pub mod interconnect;
+pub mod providers;
+pub mod storage;
+pub mod topology;
+pub mod units;
+
+/// Convenient glob-import of the most used items.
+pub mod prelude {
+    pub use crate::cluster::ClusterSpec;
+    pub use crate::gpu::{GpuModel, GpuSpec};
+    pub use crate::instance::{
+        by_name, catalog, p2_16xlarge, p2_8xlarge, p2_xlarge, p3_16xlarge, p3_24xlarge,
+        p3_2xlarge, p3_8xlarge, p3_8xlarge_sliced, p4, InstanceType,
+    };
+    pub use crate::interconnect::{Interconnect, Slicing};
+    pub use crate::providers::{self, other_clouds};
+    pub use crate::storage::{StorageKind, StorageSpec};
+    pub use crate::topology::{GpuId, Topology};
+}

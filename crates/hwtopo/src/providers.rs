@@ -1,0 +1,144 @@
+//! Other clouds' GPU offerings (extension beyond the paper).
+//!
+//! The paper's introduction names AWS, Azure and GCP but characterizes
+//! only AWS. The same K80/V100 silicon is rented by the other two with
+//! different slicing, networking and prices — so the profiler applies
+//! unchanged. These catalogs follow the publicly documented
+//! specifications of the paper's era (2022 list prices, East-US /
+//! us-central1).
+
+use crate::gpu::GpuModel;
+use crate::instance::InstanceType;
+use crate::interconnect::{Interconnect, Slicing};
+use crate::storage::StorageSpec;
+use crate::units::gib;
+
+/// Azure `NC6` — 1x K80 half-board, the EC2 p2.xlarge analogue.
+#[must_use]
+pub fn azure_nc6() -> InstanceType {
+    InstanceType {
+        name: "azure.nc6".into(),
+        family: "NC",
+        gpu: GpuModel::K80,
+        gpu_count: 1,
+        vcpus: 6,
+        interconnect: Interconnect::Pcie,
+        main_memory_bytes: gib(56.0),
+        network_gbps: 1.0,
+        price_per_hour: 0.90,
+        storage: StorageSpec::gp2(),
+    }
+}
+
+/// Azure `NC24` — 4x K80.
+#[must_use]
+pub fn azure_nc24() -> InstanceType {
+    InstanceType {
+        name: "azure.nc24".into(),
+        family: "NC",
+        gpu: GpuModel::K80,
+        gpu_count: 4,
+        vcpus: 24,
+        interconnect: Interconnect::Pcie,
+        main_memory_bytes: gib(224.0),
+        network_gbps: 10.0,
+        price_per_hour: 3.60,
+        storage: StorageSpec::gp2(),
+    }
+}
+
+/// Azure `NC24s_v3` — 4x V100 with NVLink.
+#[must_use]
+pub fn azure_nc24s_v3() -> InstanceType {
+    InstanceType {
+        name: "azure.nc24s_v3".into(),
+        family: "NCv3",
+        gpu: GpuModel::V100,
+        gpu_count: 4,
+        vcpus: 24,
+        interconnect: Interconnect::NvLink { slicing: Slicing::Full },
+        main_memory_bytes: gib(448.0),
+        network_gbps: 24.0,
+        price_per_hour: 12.24,
+        storage: StorageSpec::gp2(),
+    }
+}
+
+/// GCP `n1` + 8x V100 attachment (`n1-standard-64` class host).
+#[must_use]
+pub fn gcp_n1_v100x8() -> InstanceType {
+    InstanceType {
+        name: "gcp.n1-v100x8".into(),
+        family: "N1",
+        gpu: GpuModel::V100,
+        gpu_count: 8,
+        vcpus: 64,
+        interconnect: Interconnect::NvLink { slicing: Slicing::Full },
+        main_memory_bytes: gib(416.0),
+        network_gbps: 32.0,
+        price_per_hour: 23.12,
+        storage: StorageSpec::gp2(),
+    }
+}
+
+/// GCP `n1` + 4x K80 attachment.
+#[must_use]
+pub fn gcp_n1_k80x4() -> InstanceType {
+    InstanceType {
+        name: "gcp.n1-k80x4".into(),
+        family: "N1",
+        gpu: GpuModel::K80,
+        gpu_count: 4,
+        vcpus: 32,
+        interconnect: Interconnect::Pcie,
+        main_memory_bytes: gib(208.0),
+        network_gbps: 16.0,
+        price_per_hour: 3.32,
+        storage: StorageSpec::gp2(),
+    }
+}
+
+/// The non-AWS catalog.
+#[must_use]
+pub fn other_clouds() -> Vec<InstanceType> {
+    vec![
+        azure_nc6(),
+        azure_nc24(),
+        azure_nc24s_v3(),
+        gcp_n1_k80x4(),
+        gcp_n1_v100x8(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_consistent() {
+        for inst in other_clouds() {
+            assert!(inst.gpu_count > 0);
+            assert!(inst.price_per_hour > 0.0);
+            assert!(inst.vcpus >= inst.gpu_count, "{}", inst.name);
+        }
+    }
+
+    #[test]
+    fn names_are_provider_prefixed_and_unique() {
+        let mut names: Vec<String> = other_clouds().into_iter().map(|i| i.name).collect();
+        assert!(names.iter().all(|n| n.starts_with("azure.") || n.starts_with("gcp.")));
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn same_silicon_same_spec() {
+        // Azure's V100 is AWS's V100: the device model is shared, only the
+        // packaging differs.
+        assert_eq!(
+            azure_nc24s_v3().gpu.spec().peak_flops,
+            crate::instance::p3_8xlarge().gpu.spec().peak_flops
+        );
+    }
+}

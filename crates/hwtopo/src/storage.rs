@@ -1,0 +1,67 @@
+//! Storage volume models.
+//!
+//! Training data lives on an attached volume. The paper's experiments use
+//! AWS *general purpose* (gp2) EBS volumes — explicitly called out as the
+//! reason the 16xlarge instances suffer the worst fetch stalls ("The AWS
+//! general purpose SSD used in our experiments is unable to keep up") —
+//! except for the dedicated p3.24xlarge which ships local NVMe.
+
+use serde::{Deserialize, Serialize};
+use stash_simkit::time::SimDuration;
+
+use crate::constants;
+
+/// Kind of storage volume attached to an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StorageKind {
+    /// General-purpose EBS (gp2) — the paper's default.
+    Gp2,
+    /// Instance-local NVMe (p3.24xlarge-class dedicated storage).
+    LocalNvme,
+}
+
+/// Storage performance parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StorageSpec {
+    /// Which volume kind.
+    pub kind: StorageKind,
+    /// Sustained sequential throughput, bytes/s.
+    pub throughput_bps: f64,
+    /// Per-sample random-read overhead (seek + dispatch).
+    pub per_sample_latency: SimDuration,
+}
+
+impl StorageSpec {
+    /// The gp2 volume used for the paper's training data.
+    #[must_use]
+    pub fn gp2() -> Self {
+        StorageSpec {
+            kind: StorageKind::Gp2,
+            throughput_bps: constants::gp2_throughput_bps(),
+            per_sample_latency: constants::SSD_PER_SAMPLE_LAT,
+        }
+    }
+
+    /// Local NVMe storage (dedicated instances).
+    #[must_use]
+    pub fn local_nvme() -> Self {
+        StorageSpec {
+            kind: StorageKind::LocalNvme,
+            throughput_bps: constants::local_nvme_throughput_bps(),
+            per_sample_latency: SimDuration::from_micros(2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nvme_outclasses_gp2() {
+        let gp2 = StorageSpec::gp2();
+        let nvme = StorageSpec::local_nvme();
+        assert!(nvme.throughput_bps > gp2.throughput_bps);
+        assert!(nvme.per_sample_latency < gp2.per_sample_latency);
+    }
+}

@@ -1,0 +1,416 @@
+//! Builds the flow-level link graph of a cluster and answers routing
+//! queries.
+//!
+//! The [`Topology`] instantiates, per node:
+//!
+//! * one **PCIe lane** pair (tx/rx) per GPU — dedicated gen3 x16 lanes;
+//! * one shared **PCIe host fabric** link — the resource 8/16 K80s contend
+//!   on (paper Fig. 7);
+//! * one **NVLink port** pair (tx/rx) per GPU when the instance has NVLink;
+//! * one **NIC** pair (tx/rx) at nominal network bandwidth x TCP efficiency;
+//! * one **SSD** link and one **DRAM** link for the input pipeline.
+//!
+//! Routing rules implement the paper's interconnect discussion: peer GPU
+//! traffic rides NVLink when both endpoints share a crossbar group, falls
+//! back to the shared PCIe fabric otherwise (degraded p3.8xlarge slices),
+//! and crosses NIC links between nodes.
+
+use serde::{Deserialize, Serialize};
+use stash_flowsim::link::{Link, LinkClass, LinkId};
+use stash_flowsim::net::FlowNet;
+
+use crate::cluster::ClusterSpec;
+use crate::constants;
+use crate::interconnect::{crossbar_groups, Interconnect};
+use crate::units::gbps;
+
+/// A GPU within the cluster, addressed by node and local index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GpuId {
+    /// Node (instance) index within the cluster.
+    pub node: usize,
+    /// GPU index within the node.
+    pub local: usize,
+}
+
+#[derive(Debug, Clone)]
+struct NodeTopo {
+    lane_tx: Vec<LinkId>,
+    lane_rx: Vec<LinkId>,
+    nvl_tx: Vec<LinkId>,
+    nvl_rx: Vec<LinkId>,
+    host_bus: LinkId,
+    nic_tx: LinkId,
+    nic_rx: LinkId,
+    ssd: LinkId,
+    dram: LinkId,
+    crossbar_group: Vec<usize>,
+}
+
+/// The link graph of a cluster plus routing metadata.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    cluster: ClusterSpec,
+    nodes: Vec<NodeTopo>,
+}
+
+impl Topology {
+    /// Instantiates all links for `cluster` into `net` and returns the
+    /// routing table.
+    #[must_use]
+    pub fn build(cluster: &ClusterSpec, net: &mut FlowNet) -> Topology {
+        let mut nodes = Vec::with_capacity(cluster.instances.len());
+        for (n, inst) in cluster.instances.iter().enumerate() {
+            let host_bus_bps = match inst.family {
+                "P2" => constants::P2_HOST_BUS_BPS,
+                _ => constants::P3_HOST_BUS_BPS,
+            };
+            let host_bus = net.add_link(Link::new(
+                format!("{}#{n}/hostbus", inst.name),
+                host_bus_bps,
+                constants::PCIE_LAT,
+                LinkClass::PcieHostBus,
+            ));
+            let mut lane_tx = Vec::new();
+            let mut lane_rx = Vec::new();
+            let mut nvl_tx = Vec::new();
+            let mut nvl_rx = Vec::new();
+            for g in 0..inst.gpu_count {
+                lane_tx.push(net.add_link(Link::new(
+                    format!("{}#{n}/gpu{g}/lane-tx", inst.name),
+                    constants::PCIE_LANE_BPS,
+                    stash_simkit::time::SimDuration::ZERO,
+                    LinkClass::PcieLane,
+                )));
+                lane_rx.push(net.add_link(Link::new(
+                    format!("{}#{n}/gpu{g}/lane-rx", inst.name),
+                    constants::PCIE_LANE_BPS,
+                    stash_simkit::time::SimDuration::ZERO,
+                    LinkClass::PcieLane,
+                )));
+                if inst.interconnect.has_nvlink() {
+                    let (bps, class) = match inst.interconnect {
+                        Interconnect::NvSwitch => {
+                            (constants::NVSWITCH_PORT_BPS, LinkClass::NvSwitch)
+                        }
+                        _ => (constants::NVLINK_PORT_BPS, LinkClass::NvLink),
+                    };
+                    nvl_tx.push(net.add_link(Link::new(
+                        format!("{}#{n}/gpu{g}/nvl-tx", inst.name),
+                        bps,
+                        constants::NVLINK_LAT,
+                        class,
+                    )));
+                    nvl_rx.push(net.add_link(Link::new(
+                        format!("{}#{n}/gpu{g}/nvl-rx", inst.name),
+                        bps,
+                        stash_simkit::time::SimDuration::ZERO,
+                        class,
+                    )));
+                }
+            }
+            let nic_bps = gbps(inst.network_gbps) * constants::NET_EFFICIENCY;
+            let nic_tx = net.add_link(Link::new(
+                format!("{}#{n}/nic-tx", inst.name),
+                nic_bps,
+                constants::NET_LAT,
+                LinkClass::Network,
+            ));
+            let nic_rx = net.add_link(Link::new(
+                format!("{}#{n}/nic-rx", inst.name),
+                nic_bps,
+                constants::NET_LAT,
+                LinkClass::Network,
+            ));
+            let ssd = net.add_link(Link::new(
+                format!("{}#{n}/ssd", inst.name),
+                inst.storage.throughput_bps,
+                stash_simkit::time::SimDuration::ZERO,
+                LinkClass::Storage,
+            ));
+            let dram = net.add_link(Link::new(
+                format!("{}#{n}/dram", inst.name),
+                constants::dram_copy_bps(),
+                stash_simkit::time::SimDuration::ZERO,
+                LinkClass::Dram,
+            ));
+            nodes.push(NodeTopo {
+                lane_tx,
+                lane_rx,
+                nvl_tx,
+                nvl_rx,
+                host_bus,
+                nic_tx,
+                nic_rx,
+                ssd,
+                dram,
+                crossbar_group: crossbar_groups(inst.interconnect, inst.gpu_count),
+            });
+        }
+        Topology {
+            cluster: cluster.clone(),
+            nodes,
+        }
+    }
+
+    /// The cluster this topology was built from.
+    #[must_use]
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// Total number of GPUs (DDP world size).
+    #[must_use]
+    pub fn world_size(&self) -> usize {
+        self.cluster.world_size()
+    }
+
+    /// Maps a flat rank (node-major order) to its GPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= world_size()`.
+    #[must_use]
+    pub fn rank_gpu(&self, rank: usize) -> GpuId {
+        let mut r = rank;
+        for (node, inst) in self.cluster.instances.iter().enumerate() {
+            if r < inst.gpu_count {
+                return GpuId { node, local: r };
+            }
+            r -= inst.gpu_count;
+        }
+        panic!("rank {rank} out of range (world size {})", self.world_size());
+    }
+
+    /// All GPUs in ring order (node-major): the order NCCL-style ring
+    /// collectives traverse, keeping cross-node hops to a minimum.
+    #[must_use]
+    pub fn ring_order(&self) -> Vec<GpuId> {
+        (0..self.world_size()).map(|r| self.rank_gpu(r)).collect()
+    }
+
+    /// Route for peer GPU traffic (one ring hop of an all-reduce).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` or either id is out of range.
+    #[must_use]
+    pub fn gpu_route(&self, src: GpuId, dst: GpuId) -> Vec<LinkId> {
+        assert_ne!(src, dst, "no self-routes");
+        let s = &self.nodes[src.node];
+        let d = &self.nodes[dst.node];
+        if src.node == dst.node {
+            let inst = &self.cluster.instances[src.node];
+            match inst.interconnect {
+                Interconnect::Pcie => {
+                    vec![s.lane_tx[src.local], s.host_bus, s.lane_rx[dst.local]]
+                }
+                Interconnect::NvLink { .. } | Interconnect::NvSwitch => {
+                    if s.crossbar_group[src.local] == s.crossbar_group[dst.local] {
+                        vec![s.nvl_tx[src.local], s.nvl_rx[dst.local]]
+                    } else {
+                        // Degraded slice: peer traffic falls back to the
+                        // shared PCIe fabric.
+                        vec![s.lane_tx[src.local], s.host_bus, s.lane_rx[dst.local]]
+                    }
+                }
+            }
+        } else {
+            vec![s.lane_tx[src.local], s.nic_tx, d.nic_rx, d.lane_rx[dst.local]]
+        }
+    }
+
+    /// Route for a host-to-device copy (input batch upload) on `gpu`.
+    #[must_use]
+    pub fn h2d_route(&self, gpu: GpuId) -> Vec<LinkId> {
+        let n = &self.nodes[gpu.node];
+        vec![n.host_bus, n.lane_rx[gpu.local]]
+    }
+
+    /// Route for reading training data from the node's SSD.
+    #[must_use]
+    pub fn disk_route(&self, node: usize) -> Vec<LinkId> {
+        vec![self.nodes[node].ssd]
+    }
+
+    /// Route for reading training data from the node's page cache.
+    #[must_use]
+    pub fn dram_route(&self, node: usize) -> Vec<LinkId> {
+        vec![self.nodes[node].dram]
+    }
+
+    /// The shared PCIe host-fabric link of a node (diagnostics/probes).
+    #[must_use]
+    pub fn host_bus(&self, node: usize) -> LinkId {
+        self.nodes[node].host_bus
+    }
+
+    /// Measures the steady-state per-GPU host bandwidth when **all** GPUs
+    /// of `node` run device-to-host copies concurrently — the CUDA
+    /// bandwidth probe of paper Fig. 7. Returns one rate (bytes/s) per GPU.
+    #[must_use]
+    pub fn pcie_bandwidth_probe(&self, net: &FlowNet, node: usize) -> Vec<f64> {
+        let n = &self.nodes[node];
+        let routes: Vec<Vec<LinkId>> = (0..n.lane_tx.len())
+            .map(|g| vec![n.lane_tx[g], n.host_bus])
+            .collect();
+        net.probe_rates(&routes)
+    }
+
+    /// Whether `a` and `b` share an NVLink crossbar group (always false
+    /// across nodes or on PCIe-only instances).
+    #[must_use]
+    pub fn nvlink_connected(&self, a: GpuId, b: GpuId) -> bool {
+        if a.node != b.node {
+            return false;
+        }
+        let inst = &self.cluster.instances[a.node];
+        inst.interconnect.has_nvlink()
+            && self.nodes[a.node].crossbar_group[a.local] == self.nodes[a.node].crossbar_group[b.local]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{p2_16xlarge, p2_xlarge, p3_16xlarge, p3_8xlarge, p3_8xlarge_sliced};
+    use crate::interconnect::Slicing;
+
+    fn build(cluster: ClusterSpec) -> (Topology, FlowNet) {
+        let mut net = FlowNet::new();
+        let topo = Topology::build(&cluster, &mut net);
+        (topo, net)
+    }
+
+    #[test]
+    fn rank_mapping_is_node_major() {
+        let (topo, _) = build(ClusterSpec::homogeneous(p3_8xlarge(), 2));
+        assert_eq!(topo.rank_gpu(0), GpuId { node: 0, local: 0 });
+        assert_eq!(topo.rank_gpu(3), GpuId { node: 0, local: 3 });
+        assert_eq!(topo.rank_gpu(4), GpuId { node: 1, local: 0 });
+        assert_eq!(topo.ring_order().len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rank_out_of_range_panics() {
+        let (topo, _) = build(ClusterSpec::single(p2_xlarge()));
+        let _ = topo.rank_gpu(1);
+    }
+
+    #[test]
+    fn p2_peer_routes_cross_host_bus() {
+        let (topo, net) = build(ClusterSpec::single(p2_16xlarge()));
+        let r = topo.gpu_route(GpuId { node: 0, local: 0 }, GpuId { node: 0, local: 1 });
+        assert_eq!(r.len(), 3);
+        assert_eq!(net.link(r[1]).class, LinkClass::PcieHostBus);
+    }
+
+    #[test]
+    fn p3_full_crossbar_uses_nvlink() {
+        let (topo, net) = build(ClusterSpec::single(p3_16xlarge()));
+        let r = topo.gpu_route(GpuId { node: 0, local: 0 }, GpuId { node: 0, local: 7 });
+        assert_eq!(r.len(), 2);
+        assert!(net.link(r[0]).class == LinkClass::NvLink);
+        assert!(topo.nvlink_connected(GpuId { node: 0, local: 0 }, GpuId { node: 0, local: 7 }));
+    }
+
+    #[test]
+    fn degraded_slice_falls_back_to_pcie_across_halves() {
+        let (topo, net) = build(ClusterSpec::single(p3_8xlarge_sliced(Slicing::Degraded)));
+        let same_half = topo.gpu_route(GpuId { node: 0, local: 0 }, GpuId { node: 0, local: 1 });
+        assert_eq!(net.link(same_half[0]).class, LinkClass::NvLink);
+        let cross_half = topo.gpu_route(GpuId { node: 0, local: 1 }, GpuId { node: 0, local: 2 });
+        assert!(cross_half.iter().any(|l| net.link(*l).class == LinkClass::PcieHostBus));
+    }
+
+    #[test]
+    fn full_slice_keeps_nvlink_everywhere() {
+        let (topo, net) = build(ClusterSpec::single(p3_8xlarge_sliced(Slicing::Full)));
+        let r = topo.gpu_route(GpuId { node: 0, local: 1 }, GpuId { node: 0, local: 2 });
+        assert_eq!(net.link(r[0]).class, LinkClass::NvLink);
+    }
+
+    #[test]
+    fn cross_node_routes_use_nics() {
+        let (topo, net) = build(ClusterSpec::homogeneous(p3_8xlarge(), 2));
+        let r = topo.gpu_route(GpuId { node: 0, local: 3 }, GpuId { node: 1, local: 0 });
+        let classes: Vec<_> = r.iter().map(|l| net.link(*l).class).collect();
+        assert!(classes.contains(&LinkClass::Network));
+        assert_eq!(classes.iter().filter(|c| **c == LinkClass::Network).count(), 2);
+    }
+
+    #[test]
+    fn fig7_probe_shape_16x_worst() {
+        // Per-GPU PCIe bandwidth: xlarge > 8xlarge > 16xlarge (Fig. 7).
+        let per_gpu = |inst| {
+            let (topo, net) = build(ClusterSpec::single(inst));
+            let rates = topo.pcie_bandwidth_probe(&net, 0);
+            rates[0]
+        };
+        let x1 = per_gpu(p2_xlarge());
+        let x8 = per_gpu(crate::instance::p2_8xlarge());
+        let x16 = per_gpu(p2_16xlarge());
+        assert!(x1 > x8, "{x1} vs {x8}");
+        assert!(x8 > x16, "{x8} vs {x16}");
+        // xlarge is lane-limited, not bus-limited.
+        assert_eq!(x1, constants::PCIE_LANE_BPS);
+    }
+
+    #[test]
+    fn h2d_and_storage_routes_exist() {
+        let (topo, net) = build(ClusterSpec::single(p3_8xlarge()));
+        let h2d = topo.h2d_route(GpuId { node: 0, local: 2 });
+        assert_eq!(net.link(h2d[0]).class, LinkClass::PcieHostBus);
+        assert_eq!(net.link(topo.disk_route(0)[0]).class, LinkClass::Storage);
+        assert_eq!(net.link(topo.dram_route(0)[0]).class, LinkClass::Dram);
+    }
+
+    #[test]
+    fn p4_uses_nvswitch_links() {
+        let (topo, net) = build(ClusterSpec::single(crate::instance::p4()));
+        let r = topo.gpu_route(GpuId { node: 0, local: 0 }, GpuId { node: 0, local: 5 });
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|l| net.link(*l).class == LinkClass::NvSwitch));
+        // NVSwitch ports outclass NVLink ports.
+        assert!(net.link(r[0]).capacity_bps > crate::constants::NVLINK_PORT_BPS);
+    }
+
+    #[test]
+    fn p2_cross_node_route_is_nic_bound() {
+        let (topo, net) = build(ClusterSpec::homogeneous(crate::instance::p2_8xlarge(), 2));
+        let r = topo.gpu_route(GpuId { node: 0, local: 7 }, GpuId { node: 1, local: 0 });
+        let min_cap = r.iter().map(|l| net.link(*l).capacity_bps).fold(f64::INFINITY, f64::min);
+        // 10 Gbps x efficiency ≈ 1.06 GB/s: far below any PCIe hop.
+        assert!(min_cap < 2e9, "bottleneck {min_cap}");
+        assert!(!topo.nvlink_connected(GpuId { node: 0, local: 7 }, GpuId { node: 1, local: 0 }));
+    }
+
+    #[test]
+    fn ring_order_spans_every_gpu_exactly_once() {
+        let (topo, _) = build(ClusterSpec::homogeneous(p3_8xlarge(), 3));
+        let ring = topo.ring_order();
+        assert_eq!(ring.len(), 12);
+        let mut seen = ring.clone();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 12);
+        // Node-major: exactly two node boundaries... (3 nodes → 3 cross
+        // hops including the wrap-around).
+        let crossings = ring
+            .iter()
+            .zip(ring.iter().cycle().skip(1))
+            .take(ring.len())
+            .filter(|(a, b)| a.node != b.node)
+            .count();
+        assert_eq!(crossings, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-routes")]
+    fn self_route_panics() {
+        let (topo, _) = build(ClusterSpec::single(p3_8xlarge()));
+        let g = GpuId { node: 0, local: 0 };
+        let _ = topo.gpu_route(g, g);
+    }
+}

@@ -1,0 +1,95 @@
+//! Unit helpers for bandwidths, sizes and rates.
+//!
+//! All bandwidth values in the workspace are **bytes per second** (`f64`)
+//! and all sizes are bytes; these helpers keep conversion factors explicit
+//! at call sites (`gbps(25.0)` rather than a bare `3.125e9`).
+
+/// Gigabits per second → bytes per second.
+#[must_use]
+pub fn gbps(v: f64) -> f64 {
+    v * 1e9 / 8.0
+}
+
+/// Gigabytes (decimal) → bytes.
+#[must_use]
+pub fn gb(v: f64) -> f64 {
+    v * 1e9
+}
+
+/// Gibibytes (binary) → bytes.
+#[must_use]
+pub fn gib(v: f64) -> f64 {
+    v * 1024.0 * 1024.0 * 1024.0
+}
+
+/// Megabytes (decimal) → bytes.
+#[must_use]
+pub fn mb(v: f64) -> f64 {
+    v * 1e6
+}
+
+/// Mibibytes (binary) → bytes.
+#[must_use]
+pub fn mib(v: f64) -> f64 {
+    v * 1024.0 * 1024.0
+}
+
+/// Gigabytes per second → bytes per second.
+#[must_use]
+pub fn gb_per_s(v: f64) -> f64 {
+    v * 1e9
+}
+
+/// Megabytes per second → bytes per second.
+#[must_use]
+pub fn mb_per_s(v: f64) -> f64 {
+    v * 1e6
+}
+
+/// Tera-FLOP/s → FLOP/s.
+#[must_use]
+pub fn tflops(v: f64) -> f64 {
+    v * 1e12
+}
+
+/// Bytes → human-readable string (for reports).
+#[must_use]
+pub fn human_bytes(v: f64) -> String {
+    if v >= 1e12 {
+        format!("{:.2} TB", v / 1e12)
+    } else if v >= 1e9 {
+        format!("{:.2} GB", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} MB", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} KB", v / 1e3)
+    } else {
+        format!("{v:.0} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_factors() {
+        assert_eq!(gbps(8.0), 1e9);
+        assert_eq!(gb(2.0), 2e9);
+        assert_eq!(gib(1.0), 1073741824.0);
+        assert_eq!(mb(3.0), 3e6);
+        assert_eq!(mib(1.0), 1048576.0);
+        assert_eq!(gb_per_s(1.5), 1.5e9);
+        assert_eq!(mb_per_s(250.0), 2.5e8);
+        assert_eq!(tflops(15.7), 1.57e13);
+    }
+
+    #[test]
+    fn human_bytes_picks_unit() {
+        assert_eq!(human_bytes(512.0), "512 B");
+        assert_eq!(human_bytes(2_500.0), "2.50 KB");
+        assert_eq!(human_bytes(2.5e6), "2.50 MB");
+        assert_eq!(human_bytes(2.5e9), "2.50 GB");
+        assert_eq!(human_bytes(2.5e12), "2.50 TB");
+    }
+}

@@ -1,0 +1,195 @@
+//! Log-bucketed duration histogram.
+//!
+//! Iteration times and stall durations span microseconds to minutes, so a
+//! fixed-width histogram is useless. [`LogHistogram`] uses
+//! logarithmically-spaced buckets (configurable buckets per decade) and
+//! supports quantile queries — enough for the profiler's distributional
+//! reporting without external dependencies.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// A histogram over durations with logarithmic buckets.
+///
+/// # Examples
+///
+/// ```
+/// use stash_simkit::histogram::LogHistogram;
+/// use stash_simkit::time::SimDuration;
+///
+/// let mut h = LogHistogram::new(10);
+/// for ms in [1_u64, 2, 3, 10, 100] {
+///     h.record(SimDuration::from_millis(ms));
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.quantile(0.5).unwrap() >= SimDuration::from_millis(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    buckets_per_decade: u32,
+    counts: Vec<u64>,
+    total: u64,
+    zero_count: u64,
+}
+
+impl LogHistogram {
+    /// Creates a histogram with `buckets_per_decade` resolution (10 gives
+    /// ~26% relative bucket width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets_per_decade` is zero.
+    #[must_use]
+    pub fn new(buckets_per_decade: u32) -> Self {
+        assert!(buckets_per_decade > 0, "need at least one bucket per decade");
+        LogHistogram {
+            buckets_per_decade,
+            counts: Vec::new(),
+            total: 0,
+            zero_count: 0,
+        }
+    }
+
+    fn bucket_of(&self, d: SimDuration) -> Option<usize> {
+        let ns = d.as_nanos();
+        if ns == 0 {
+            return None;
+        }
+        let idx = (ns as f64).log10() * f64::from(self.buckets_per_decade);
+        Some(idx.floor().max(0.0) as usize)
+    }
+
+    fn bucket_lower_bound(&self, idx: usize) -> SimDuration {
+        let exp = idx as f64 / f64::from(self.buckets_per_decade);
+        SimDuration::from_nanos(10f64.powf(exp) as u64)
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        self.total += 1;
+        match self.bucket_of(d) {
+            None => self.zero_count += 1,
+            Some(idx) => {
+                if idx >= self.counts.len() {
+                    self.counts.resize(idx + 1, 0);
+                }
+                self.counts[idx] += 1;
+            }
+        }
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Lower bound of the bucket containing the `q`-quantile
+    /// (`0 <= q <= 1`), or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<SimDuration> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = self.zero_count;
+        if seen >= target {
+            return Some(SimDuration::ZERO);
+        }
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.bucket_lower_bound(idx));
+            }
+        }
+        Some(self.bucket_lower_bound(self.counts.len().saturating_sub(1)))
+    }
+
+    /// Merges another histogram with the same resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics when resolutions differ.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(
+            self.buckets_per_decade, other.buckets_per_decade,
+            "histogram resolutions differ"
+        );
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.zero_count += other.zero_count;
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let mut h = LogHistogram::new(20);
+        for i in 1..=1000_u64 {
+            h.record(SimDuration::from_micros(i));
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        // Bucket lower bound of the median (~500 us) within one bucket.
+        assert!(p50 >= SimDuration::from_micros(350), "{p50}");
+        assert!(p50 <= SimDuration::from_micros(600), "{p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 > p50);
+        assert!(h.quantile(0.0).unwrap() <= SimDuration::from_micros(2));
+    }
+
+    #[test]
+    fn zero_durations_count() {
+        let mut h = LogHistogram::new(10);
+        h.record(SimDuration::ZERO);
+        h.record(SimDuration::from_millis(1));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.25).unwrap(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LogHistogram::new(10);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LogHistogram::new(10);
+        let mut b = LogHistogram::new(10);
+        a.record(SimDuration::from_millis(1));
+        b.record(SimDuration::from_secs(1));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.quantile(1.0).unwrap() >= SimDuration::from_millis(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "resolutions differ")]
+    fn merge_rejects_mismatched_resolution() {
+        let mut a = LogHistogram::new(10);
+        let b = LogHistogram::new(20);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn quantile_bounds_checked() {
+        let h = LogHistogram::new(10);
+        let _ = h.quantile(1.5);
+    }
+}

@@ -1,0 +1,250 @@
+//! Deterministic event queue.
+//!
+//! [`EventQueue`] is the heart of the discrete-event engine: a priority
+//! queue of `(time, payload)` pairs with strictly deterministic ordering —
+//! ties on the timestamp are broken by insertion order (FIFO), so a given
+//! event schedule always replays identically. Events can be cancelled via
+//! the [`EventKey`] returned at scheduling time.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Opaque handle identifying a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventKey(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// The queue also tracks the current simulation clock: popping an event
+/// advances the clock to the event's timestamp. Scheduling into the past is
+/// a logic error and panics in debug builds (release builds clamp to `now`).
+///
+/// # Examples
+///
+/// ```
+/// use stash_simkit::queue::EventQueue;
+/// use stash_simkit::time::{SimDuration, SimTime};
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule_in(SimDuration::from_millis(5), "b");
+/// q.schedule_in(SimDuration::from_millis(1), "a");
+/// assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
+/// assert_eq!(q.now(), SimTime::from_nanos(1_000_000));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    now: SimTime,
+    next_seq: u64,
+    cancelled: HashSet<u64>,
+    scheduled: u64,
+    delivered: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            cancelled: HashSet::new(),
+            scheduled: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `at` and returns a cancellation
+    /// key.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` is before the current clock.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventKey {
+        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled += 1;
+        self.heap.push(Reverse(Entry { at, seq, payload }));
+        EventKey(seq)
+    }
+
+    /// Schedules `payload` after a relative delay from the current clock.
+    pub fn schedule_in(&mut self, delay: crate::time::SimDuration, payload: E) -> EventKey {
+        let at = self.now + delay;
+        self.schedule_at(at, payload)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event was
+    /// still pending (cancelling an already-delivered or unknown key is a
+    /// no-op returning `false`).
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        if key.0 >= self.next_seq {
+            return false;
+        }
+        // Only mark if it has not been delivered yet; delivery removes the
+        // seq from consideration because pop skips tombstones lazily.
+        self.cancelled.insert(key.0)
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    ///
+    /// Returns `None` when the queue is exhausted.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now);
+            self.now = entry.at;
+            self.delivered += 1;
+            return Some((entry.at, entry.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the next pending (non-cancelled) event without popping
+    /// it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Lazily drop tombstoned entries from the front.
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Number of pending (possibly including tombstoned) entries. Intended
+    /// for diagnostics; tombstones make this an upper bound (which is why
+    /// `is_empty` — which is exact — takes `&mut self` instead).
+    #[must_use]
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no live events remain.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+
+    /// Total events scheduled over the queue's lifetime.
+    #[must_use]
+    pub fn scheduled_count(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Total events delivered over the queue's lifetime.
+    #[must_use]
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn orders_by_time_then_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(10), "late");
+        q.schedule_at(SimTime::from_nanos(5), "first");
+        q.schedule_at(SimTime::from_nanos(5), "second");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+        assert_eq!(q.pop().unwrap().1, "late");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_in(SimDuration::from_millis(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now().as_nanos(), 7_000_000);
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut q = EventQueue::new();
+        let k = q.schedule_at(SimTime::from_nanos(1), "dead");
+        q.schedule_at(SimTime::from_nanos(2), "alive");
+        assert!(q.cancel(k));
+        assert!(!q.cancel(k), "double cancel is a no-op");
+        assert_eq!(q.pop().unwrap().1, "alive");
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let k = q.schedule_at(SimTime::from_nanos(1), 1);
+        q.schedule_at(SimTime::from_nanos(9), 2);
+        q.cancel(k);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(9)));
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn counts_track_lifecycle() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(1), ());
+        q.schedule_at(SimTime::from_nanos(2), ());
+        q.pop();
+        assert_eq!(q.scheduled_count(), 2);
+        assert_eq!(q.delivered_count(), 1);
+    }
+
+    #[test]
+    fn cancel_unknown_key_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventKey(42)));
+    }
+}

@@ -1,0 +1,54 @@
+//! Build and query the characterization database — the artifact the
+//! paper's economics rest on: the authors pay for the characterization
+//! once, tenants consume it for free.
+//!
+//! ```sh
+//! cargo run --release --example characterization_db
+//! ```
+
+use std::path::PathBuf;
+
+use stash::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Phase 1 (the paper's role): characterize a model across the catalog
+    // and publish the database.
+    let mut db = CharacterizationDb::new();
+    let stash = Stash::new(zoo::resnet18())
+        .with_batch(32)
+        .with_sampled_iterations(6);
+    for cluster in default_candidates() {
+        match stash.profile(&cluster) {
+            Ok(report) => {
+                db.insert(report);
+            }
+            Err(e) => println!("skipping {}: {e}", cluster.display_name()),
+        }
+    }
+    let path = PathBuf::from("results/characterization_db.json");
+    db.save(&path)?;
+    println!("published {} characterizations to {}\n", db.len(), path.display());
+
+    // Phase 2 (the tenant's role): load the published database and make a
+    // decision without renting a single VM.
+    let published = CharacterizationDb::load(&path)?;
+    println!("{:<16} {:>8} {:>8} {:>8} {:>8}", "cluster", "I/C %", "N/W %", "CPU %", "disk %");
+    for r in published.for_model("ResNet18") {
+        let p = |v: Option<f64>| v.map_or("-".into(), |x| format!("{x:.1}"));
+        println!(
+            "{:<16} {:>8} {:>8} {:>8} {:>8}",
+            r.cluster,
+            p(r.interconnect_stall_pct()),
+            p(r.network_stall_pct()),
+            p(r.cpu_stall_pct()),
+            p(r.disk_stall_pct()),
+        );
+    }
+    let best = published.fastest_for("ResNet18").expect("db has entries");
+    println!(
+        "\n=> fastest published configuration: {} ({} per warm epoch) — zero profiling cost to you",
+        best.cluster,
+        best.training_epoch_time().expect("timed")
+    );
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Cloud bill: what a full training run costs across the P2/P3 families
+//! (the paper's Fig. 14 comparison, extended to whole training runs).
+//!
+//! ```sh
+//! cargo run --release --example cloud_bill -- [epochs]
+//! ```
+
+use stash::prelude::*;
+
+fn main() -> Result<(), ProfileError> {
+    let epochs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|e| e.parse().ok())
+        .unwrap_or(90); // a conventional ImageNet schedule
+
+    let clusters = [
+        ClusterSpec::single(p2_8xlarge()),
+        ClusterSpec::single(p2_16xlarge()),
+        ClusterSpec::single(p3_8xlarge()),
+        ClusterSpec::single(p3_16xlarge()),
+    ];
+    let models = [zoo::shufflenet(), zoo::mobilenet_v2(), zoo::resnet18(), zoo::resnet50()];
+
+    println!("billing a {epochs}-epoch ImageNet run\n");
+    println!(
+        "{:<14} {:<14} {:>12} {:>12} {:>12}",
+        "model", "cluster", "epoch", "epoch $", "run $"
+    );
+    for model in &models {
+        let stash = Stash::new(model.clone()).with_batch(32).with_sampled_iterations(8);
+        let mut rows = Vec::new();
+        for cluster in &clusters {
+            match stash.profile(cluster) {
+                Ok(report) => {
+                    let bill = epoch_cost(&report, cluster);
+                    rows.push((cluster.display_name(), bill));
+                }
+                Err(ProfileError::Train(TrainError::OutOfMemory { .. })) => {
+                    println!("{:<14} {:<14} does not fit", model.name, cluster.display_name());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        for (name, bill) in &rows {
+            println!(
+                "{:<14} {:<14} {:>12} {:>12.2} {:>12.2}",
+                model.name,
+                name,
+                bill.epoch_time.to_string(),
+                bill.epoch_cost,
+                training_cost(bill, epochs)
+            );
+        }
+        // The paper's §V-C observation: P3 usually wins on cost despite a
+        // 3.5x higher hourly price — except for tiny models.
+        if let (Some(best), Some(worst)) = (
+            rows.iter().min_by(|a, b| a.1.epoch_cost.total_cmp(&b.1.epoch_cost)),
+            rows.iter().max_by(|a, b| a.1.epoch_cost.total_cmp(&b.1.epoch_cost)),
+        ) {
+            println!(
+                "  -> cheapest: {} (saves {:.0}% vs {})\n",
+                best.0,
+                100.0 * (1.0 - best.1.epoch_cost / worst.1.epoch_cost),
+                worst.0
+            );
+        }
+    }
+    Ok(())
+}

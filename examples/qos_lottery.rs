@@ -1,0 +1,48 @@
+//! The QoS lottery: what the paper's §III network-variance warning means
+//! for your training bill.
+//!
+//! Draws the achieved network bandwidth of a 2x p3.8xlarge pair from a
+//! jittered distribution (as tenants experience across zones and months)
+//! and reports how widely the network stall — and therefore the epoch
+//! cost — swings.
+//!
+//! ```sh
+//! cargo run --release --example qos_lottery -- [jitter] [trials]
+//! ```
+
+use stash::prelude::*;
+
+fn main() -> Result<(), ProfileError> {
+    let mut args = std::env::args().skip(1);
+    let jitter: f64 = args.next().and_then(|j| j.parse().ok()).unwrap_or(0.5);
+    let trials: u32 = args.next().and_then(|t| t.parse().ok()).unwrap_or(8);
+
+    let cluster = ClusterSpec::homogeneous(p3_8xlarge(), 2);
+    let stash = Stash::new(zoo::resnet50())
+        .with_batch(32)
+        .with_sampled_iterations(8);
+
+    println!(
+        "drawing {trials} tenants; each achieves between {:.0}% and 100% of nominal bandwidth\n",
+        (1.0 - jitter) * 100.0
+    );
+    let dist = network_stall_distribution(&stash, &cluster, jitter, trials, 0xC10D)?;
+    println!("{:>10} {:>14}", "achieved", "N/W stall %");
+    for s in &dist.samples {
+        println!("{:>9.0}% {:>14.1}", s.achieved_fraction * 100.0, s.network_stall_pct);
+    }
+    println!(
+        "\nstall: mean {:.0}%, stddev {:.0}%, spread {:.1}x (min {:.0}%, max {:.0}%)",
+        dist.stall_summary.mean(),
+        dist.stall_summary.std_dev(),
+        dist.spread(),
+        dist.stall_summary.min().unwrap_or(0.0),
+        dist.stall_summary.max().unwrap_or(0.0),
+    );
+    println!(
+        "=> the same cluster, model and code can stall {:.1}x differently purely by QoS luck —",
+        dist.spread()
+    );
+    println!("   which is why Stash characterizes hardware stalls and treats the network statistically.");
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! Quickstart: profile one model on one instance and print the stall
+//! report — the 30-second tour of the Stash API.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use stash::prelude::*;
+
+fn main() -> Result<(), ProfileError> {
+    // ResNet18 on ImageNet with the paper's default batch size.
+    let stash = Stash::new(zoo::resnet18()).with_batch(32);
+
+    // Characterize a p3.16xlarge (8x V100 behind a full NVLink crossbar).
+    let cluster = ClusterSpec::single(p3_16xlarge());
+    let report = stash.profile(&cluster)?;
+    println!("{report}");
+
+    // The same instance family, split across the network.
+    let split = ClusterSpec::homogeneous(p3_8xlarge(), 2);
+    let split_report = stash.profile(&split)?;
+    println!("{split_report}");
+
+    // Headline takeaway of the paper: as soon as the all-reduce ring
+    // contains a network link, training is throttled on it.
+    let nw = split_report.network_stall_pct().unwrap_or(0.0);
+    println!(
+        "=> moving from one p3.16xlarge to two networked p3.8xlarge adds {nw:.0}% network stall"
+    );
+
+    // And what it costs.
+    let bill = epoch_cost(&report, &cluster);
+    println!(
+        "=> one ImageNet epoch on {} takes {} and costs ${:.2}",
+        bill.cluster, bill.epoch_time, bill.epoch_cost
+    );
+    Ok(())
+}

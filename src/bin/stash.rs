@@ -1,0 +1,234 @@
+//! `stash` — the command-line profiler.
+//!
+//! ```text
+//! stash catalog                          list the AWS instance catalog
+//! stash models                           list the model zoo
+//! stash profile <model> <cluster> [-b N] run the 5-step methodology
+//! stash advise <model> [-b N] [--cost]   rank all candidate clusters
+//! stash probe <instance>                 per-GPU PCIe bandwidth probe
+//! stash trace <model> <cluster> [-b N]   per-iteration timeline
+//! ```
+//!
+//! Cluster syntax matches the paper: `p3.16xlarge` or `p3.8xlarge*2`.
+
+use std::process::ExitCode;
+
+use stash::prelude::*;
+
+fn parse_cluster(spec: &str) -> Result<ClusterSpec, String> {
+    ClusterSpec::parse(spec).map_err(|e| {
+        format!(
+            "{e} (known instances: {})",
+            catalog().iter().map(|i| i.name.as_str()).collect::<Vec<_>>().join(", ")
+        )
+    })
+}
+
+fn parse_batch(args: &[String]) -> u64 {
+    args.iter()
+        .position(|a| a == "-b" || a == "--batch")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+}
+
+fn stash_for(model: Model, batch: u64) -> Stash {
+    let dataset = if model.name.starts_with("BERT") {
+        DatasetSpec::squad2()
+    } else {
+        DatasetSpec::imagenet1k()
+    };
+    Stash::new(model).with_batch(batch).with_dataset(dataset)
+}
+
+fn cmd_catalog() -> ExitCode {
+    println!(
+        "{:<13} {:>10} {:>6} {:<14} {:>9} {:>8}",
+        "instance", "gpus", "vcpus", "interconnect", "net_gbps", "$/hr"
+    );
+    for i in catalog() {
+        println!(
+            "{:<13} {:>10} {:>6} {:<14} {:>9} {:>8.2}",
+            i.name,
+            format!("{}x{}", i.gpu_count, i.gpu.label()),
+            i.vcpus,
+            i.interconnect.label(),
+            i.network_gbps,
+            i.price_per_hour
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_models() -> ExitCode {
+    println!("{:<14} {:>12} {:>8} {:>12}", "model", "gradients_M", "layers", "sync_points");
+    for (m, _) in zoo::all_models() {
+        println!(
+            "{:<14} {:>12.2} {:>8} {:>12}",
+            m.name,
+            m.param_count() as f64 / 1e6,
+            m.layer_count(),
+            m.trainable_layer_count()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_profile(args: &[String]) -> ExitCode {
+    let (Some(model_name), Some(cluster_spec)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: stash profile <model> <cluster> [-b batch]");
+        return ExitCode::FAILURE;
+    };
+    let Some(model) = zoo::by_name(model_name) else {
+        eprintln!("unknown model '{model_name}' (try `stash models`)");
+        return ExitCode::FAILURE;
+    };
+    let cluster = match parse_cluster(cluster_spec) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match stash_for(model, parse_batch(args)).profile(&cluster) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("profiling failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_advise(args: &[String]) -> ExitCode {
+    let Some(model_name) = args.first() else {
+        eprintln!("usage: stash advise <model> [-b batch] [--cost|--time]");
+        return ExitCode::FAILURE;
+    };
+    let Some(model) = zoo::by_name(model_name) else {
+        eprintln!("unknown model '{model_name}' (try `stash models`)");
+        return ExitCode::FAILURE;
+    };
+    let objective = if args.iter().any(|a| a == "--time") {
+        Objective::Time
+    } else {
+        Objective::Cost
+    };
+    let stash = stash_for(model, parse_batch(args));
+    match recommend(&stash, &default_candidates(), objective) {
+        Ok(advice) => {
+            println!("{:<16} {:>12} {:>10}", "cluster", "epoch", "cost $");
+            for r in &advice.ranked {
+                println!(
+                    "{:<16} {:>12} {:>10.2}",
+                    r.cluster_name,
+                    r.cost.epoch_time.to_string(),
+                    r.cost.epoch_cost
+                );
+            }
+            for s in &advice.skipped {
+                println!("{:<16} skipped: {}", s.cluster_name, s.reason);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("advisor failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_probe(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        eprintln!("usage: stash probe <instance>");
+        return ExitCode::FAILURE;
+    };
+    let Some(inst) = by_name(name) else {
+        eprintln!("unknown instance '{name}'");
+        return ExitCode::FAILURE;
+    };
+    let mut net = FlowNet::new();
+    let topo = Topology::build(&ClusterSpec::single(inst), &mut net);
+    let rates = topo.pcie_bandwidth_probe(&net, 0);
+    println!("per-GPU PCIe bandwidth with {} GPUs probing concurrently:", rates.len());
+    for (g, r) in rates.iter().enumerate() {
+        println!("  gpu{g}: {:.2} GB/s", r / 1e9);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let (Some(model_name), Some(cluster_spec)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: stash trace <model> <cluster> [-b batch]");
+        return ExitCode::FAILURE;
+    };
+    let Some(model) = zoo::by_name(model_name) else {
+        eprintln!("unknown model '{model_name}' (try `stash models`)");
+        return ExitCode::FAILURE;
+    };
+    let cluster = match parse_cluster(cluster_spec) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let batch = parse_batch(args);
+    let mut cfg = TrainConfig::synthetic(cluster, model, batch, batch * 12);
+    cfg.epoch_mode = EpochMode::Sampled { iterations: 12 };
+    cfg.record_trace = true;
+    match run_epoch(&cfg) {
+        Ok(r) => {
+            println!(
+                "{} | {} | batch {} x {} GPUs — per-iteration timeline",
+                r.cluster, r.model, r.per_gpu_batch, r.world
+            );
+            println!("{:>5} {:>12} {:>12} {:>12}", "iter", "total", "data wait", "comm wait");
+            for s in &r.trace {
+                println!(
+                    "{:>5} {:>12} {:>12} {:>12}",
+                    s.iteration,
+                    s.total.to_string(),
+                    s.data_wait.to_string(),
+                    s.comm_wait.to_string()
+                );
+            }
+            println!(
+                "host-bus utilisation: {:.1}%  |  throughput: {:.0} samples/s",
+                r.host_bus_utilization * 100.0,
+                r.throughput
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("catalog") => cmd_catalog(),
+        Some("models") => cmd_models(),
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("advise") => cmd_advise(&args[1..]),
+        Some("probe") => cmd_probe(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        _ => {
+            eprintln!(
+                "stash — DDL stall profiler (ICDCS'23 reproduction)\n\n\
+                 usage:\n  stash catalog\n  stash models\n  \
+                 stash profile <model> <cluster> [-b batch]\n  \
+                 stash advise <model> [-b batch] [--cost|--time]\n  \
+                 stash probe <instance>\n  \
+                 stash trace <model> <cluster> [-b batch]\n\n\
+                 clusters: p3.16xlarge, p3.8xlarge*2, ..."
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

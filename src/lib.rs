@@ -1,0 +1,56 @@
+//! # stash — reproduction of the ICDCS 2023 paper
+//! *"Stash: A Comprehensive Stall-Centric Characterization of Public
+//! Cloud VMs for Distributed Deep Learning"*
+//!
+//! This facade re-exports the whole workspace:
+//!
+//! | module | crate | role |
+//! |--------|-------|------|
+//! | [`simkit`] | `stash-simkit` | deterministic discrete-event engine |
+//! | [`flowsim`] | `stash-flowsim` | max-min fair flow-level links |
+//! | [`hwtopo`] | `stash-hwtopo` | GPUs, interconnects, AWS catalog |
+//! | [`dnn`] | `stash-dnn` | models, the Table II zoo, datasets |
+//! | [`gpucompute`] | `stash-gpucompute` | roofline timing + memory |
+//! | [`datapipe`] | `stash-datapipe` | disk/cache/CPU input pipeline |
+//! | [`collectives`] | `stash-collectives` | bucketing + all-reduce |
+//! | [`ddl`] | `stash-ddl` | the DDP training engine |
+//! | [`core`] | `stash-core` | **the Stash profiler** |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use stash::prelude::*;
+//!
+//! let stash = Stash::new(zoo::resnet18())
+//!     .with_batch(32)
+//!     .with_sampled_iterations(3)
+//!     .with_epoch_samples(10_000);
+//! let report = stash.profile(&ClusterSpec::single(p3_16xlarge()))?;
+//! println!("{report}");
+//! # Ok::<(), stash::core::error::ProfileError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use stash_collectives as collectives;
+pub use stash_core as core;
+pub use stash_datapipe as datapipe;
+pub use stash_ddl as ddl;
+pub use stash_dnn as dnn;
+pub use stash_flowsim as flowsim;
+pub use stash_gpucompute as gpucompute;
+pub use stash_hwtopo as hwtopo;
+pub use stash_simkit as simkit;
+
+/// One-stop import of the public API.
+pub mod prelude {
+    pub use stash_collectives::prelude::*;
+    pub use stash_core::prelude::*;
+    pub use stash_datapipe::prelude::*;
+    pub use stash_ddl::prelude::*;
+    pub use stash_dnn::prelude::*;
+    pub use stash_flowsim::prelude::*;
+    pub use stash_gpucompute::prelude::*;
+    pub use stash_hwtopo::prelude::*;
+    pub use stash_simkit::prelude::*;
+}

@@ -1,0 +1,71 @@
+//! End-to-end tests of the `stash` command-line profiler, driving the
+//! compiled binary like a user would.
+
+use std::process::Command;
+
+fn stash(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_stash"))
+        .args(args)
+        .output()
+        .expect("run stash binary")
+}
+
+#[test]
+fn catalog_lists_all_table1_instances() {
+    let out = stash(&["catalog"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for name in [
+        "p4", "p3.2xlarge", "p3.8xlarge", "p3.16xlarge", "p3.24xlarge", "p2.xlarge",
+        "p2.8xlarge", "p2.16xlarge",
+    ] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn models_lists_the_zoo() {
+    let out = stash(&["models"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("ResNet18"));
+    assert!(stdout.contains("BERT-large"));
+    assert!(stdout.contains("345.00"));
+}
+
+#[test]
+fn probe_reports_per_gpu_bandwidth() {
+    let out = stash(&["probe", "p2.16xlarge"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("16 GPUs"));
+    assert!(stdout.contains("1.25 GB/s"));
+}
+
+#[test]
+fn unknown_inputs_fail_with_guidance() {
+    let out = stash(&["profile", "gpt9", "p3.16xlarge"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown model"));
+
+    let out = stash(&["profile", "resnet18", "q9.mega"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown instance"));
+
+    let out = stash(&[]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("usage"));
+}
+
+#[test]
+fn oom_configurations_report_cleanly() {
+    // BERT-large at batch 64 on a K80: the profiler must fail with the
+    // memory message, not panic.
+    let out = stash(&["profile", "bert-large", "p2.xlarge", "-b", "64"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("does not fit"), "{stderr}");
+}

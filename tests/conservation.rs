@@ -1,0 +1,87 @@
+//! Conservation and consistency properties across the whole stack,
+//! exercised with randomly generated models (proptest).
+
+use proptest::prelude::*;
+use stash::prelude::*;
+
+/// Strategy: a random but well-formed CNN-ish model.
+fn arb_model() -> impl Strategy<Value = Model> {
+    (2_usize..20, 8_u64..64, 1_u64..4).prop_map(|(depth, width, fc_k)| {
+        let mut layers = Vec::new();
+        let mut c_in = 3_u64;
+        let mut hw = 64_u64;
+        for i in 0..depth {
+            let c_out = width * (1 + (i as u64 % 4));
+            layers.push(Layer::conv2d(format!("c{i}"), c_in, hw, hw, c_out, 3, 1));
+            layers.push(Layer::batch_norm(format!("b{i}"), c_out, hw, hw));
+            layers.push(Layer::activation(format!("r{i}"), c_out * hw * hw));
+            if i % 3 == 2 && hw > 4 {
+                layers.push(Layer::pool(format!("p{i}"), c_out, hw, hw, 2));
+                hw /= 2;
+            }
+            c_in = c_out;
+        }
+        layers.push(Layer::linear("fc", c_in * hw * hw, 100 * fc_k));
+        Model::new("rand", layers, 3.0 * 64.0 * 64.0 * 4.0)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Bucket plans conserve gradient bytes and partition layers for any
+    /// generated model under both bucketing policies.
+    #[test]
+    fn bucketing_conserves_random_models(model in arb_model(), cap_mb in 1.0_f64..32.0) {
+        for bucketing in [Bucketing::PerLayer, Bucketing::BySize { bytes: cap_mb * 1e6 }] {
+            let plan = CommPlan::new(&model, bucketing);
+            prop_assert!((plan.total_bytes() - model.gradient_bytes()).abs() < 1.0);
+            let covered: usize = plan.buckets.iter().map(|b| b.layer_range.1 - b.layer_range.0).sum();
+            prop_assert_eq!(covered, model.layer_count());
+        }
+    }
+
+    /// Single-GPU engine time equals the closed-form compute model for any
+    /// generated model (no communication, no data pipeline).
+    #[test]
+    fn engine_matches_compute_model_on_one_gpu(model in arb_model(), batch in 1_u64..32) {
+        let cluster = ClusterSpec::single(p3_2xlarge());
+        let cm = ComputeModel::new(GpuModel::V100.spec());
+        if !memory::fits(cm.gpu(), &model, batch) {
+            return Ok(()); // skip infeasible draws
+        }
+        let mut cfg = TrainConfig::synthetic(cluster, model.clone(), batch, batch * 3);
+        cfg.epoch_mode = EpochMode::Full;
+        let report = run_epoch(&cfg).unwrap();
+        let expected = cm.iteration_time(&model, batch).as_secs_f64() * 3.0;
+        let got = report.epoch_time.as_secs_f64();
+        prop_assert!(((got - expected) / expected).abs() < 1e-6, "engine {} vs model {}", got, expected);
+    }
+
+    /// Distributing any generated model can only slow down per-sample
+    /// progress relative to the ideal (communication is never free), and
+    /// comm_wait is bounded by the epoch.
+    #[test]
+    fn distribution_never_beats_the_ideal(model in arb_model()) {
+        let batch = 8_u64;
+        let cluster = ClusterSpec::single(p3_8xlarge());
+        let cm = ComputeModel::new(GpuModel::V100.spec());
+        if !memory::fits(cm.gpu(), &model, batch) {
+            return Ok(());
+        }
+        let mut cfg = TrainConfig::synthetic(cluster, model.clone(), batch, batch * 3);
+        cfg.epoch_mode = EpochMode::Full;
+        let report = run_epoch(&cfg).unwrap();
+        let ideal = cm.iteration_time(&model, batch).as_secs_f64() * 3.0;
+        prop_assert!(report.epoch_time.as_secs_f64() >= ideal * 0.999);
+        prop_assert!(report.comm_wait <= report.epoch_time);
+    }
+
+    /// The memory estimate is monotone in batch size for any model.
+    #[test]
+    fn memory_monotone_in_batch(model in arb_model(), b in 1_u64..64) {
+        let small = memory::estimate(&model, b).total();
+        let large = memory::estimate(&model, b + 1).total();
+        prop_assert!(large >= small);
+    }
+}

@@ -1,0 +1,216 @@
+//! Cross-crate integration tests asserting the paper's headline
+//! qualitative results end-to-end (DESIGN.md §5). These run the full
+//! profiler pipeline — engine, flow network, data pipeline, collectives —
+//! with reduced iteration counts to stay fast in debug builds.
+
+use stash::prelude::*;
+
+fn quick(model: Model) -> Stash {
+    Stash::new(model)
+        .with_sampled_iterations(4)
+        .with_epoch_samples(40_000)
+}
+
+fn quick_batch(model: Model, batch: u64) -> Stash {
+    quick(model).with_batch(batch)
+}
+
+/// Shape 1: CPU (prep) stalls are negligible on AWS (Figs. 4a, 8a, 9a).
+#[test]
+fn cpu_stalls_negligible_across_families() {
+    for cluster in [
+        ClusterSpec::single(p2_8xlarge()),
+        ClusterSpec::single(p3_16xlarge()),
+    ] {
+        let r = quick(zoo::resnet18()).profile(&cluster).unwrap();
+        let cpu = r.cpu_stall_pct().unwrap();
+        assert!(cpu < 12.0, "{}: CPU stall {cpu}%", cluster.display_name());
+    }
+}
+
+/// Shape 2: disk stalls grow with the number of workers (= GPUs) per
+/// instance; 16xlarge worst in its family (Figs. 4b, 8b).
+#[test]
+fn disk_stalls_scale_with_gpu_count() {
+    let stash = quick(zoo::resnet18());
+    let d = |inst| {
+        stash
+            .profile(&ClusterSpec::single(inst))
+            .unwrap()
+            .disk_stall_pct()
+            .unwrap()
+    };
+    let x1 = d(p2_xlarge());
+    let x8 = d(p2_8xlarge());
+    let x16 = d(p2_16xlarge());
+    assert!(x16 > x8, "p2: 16x {x16}% vs 8x {x8}%");
+    assert!(x8 >= x1, "p2: 8x {x8}% vs x {x1}%");
+}
+
+/// Shape 3: p2.16xlarge has the worst interconnect stall of the P2 family
+/// (PCIe slicing, Figs. 5a, 7).
+#[test]
+fn p2_16x_has_worst_interconnect_stall() {
+    let stash = quick(zoo::resnet18());
+    let ic = |inst| {
+        stash
+            .profile(&ClusterSpec::single(inst))
+            .unwrap()
+            .interconnect_stall_pct()
+            .unwrap()
+    };
+    let x8 = ic(p2_8xlarge());
+    let x16 = ic(p2_16xlarge());
+    assert!(x16 > x8, "16x {x16}% vs 8x {x8}%");
+    assert!(x16 > 30.0, "16x stall should be severe, got {x16}%");
+}
+
+/// Shape 4: two networked p2.8xlarge beat one p2.16xlarge on epoch time
+/// (Fig. 6a) at equal price — so also on cost (Fig. 6b).
+#[test]
+fn two_p2_8x_beat_one_p2_16x() {
+    let stash = quick(zoo::resnet18());
+    let single = stash.profile(&ClusterSpec::single(p2_16xlarge())).unwrap();
+    let pair = stash
+        .profile(&ClusterSpec::homogeneous(p2_8xlarge(), 2))
+        .unwrap();
+    let t16 = single.times.t2.unwrap();
+    let t8x2 = pair.times.t5.unwrap();
+    assert!(
+        t8x2 < t16,
+        "8xlarge*2 {t8x2} should beat 16xlarge {t16}"
+    );
+}
+
+/// Shape 5: on P3, the (degraded) p3.8xlarge has a higher interconnect
+/// stall than the full-crossbar p3.16xlarge (Figs. 5b, 11); a lucky full
+/// slice removes the anomaly.
+#[test]
+fn p3_8x_slicing_anomaly() {
+    let stash = quick(zoo::resnet18());
+    let ic = |inst| {
+        stash
+            .profile(&ClusterSpec::single(inst))
+            .unwrap()
+            .interconnect_stall_pct()
+            .unwrap()
+    };
+    let degraded = ic(p3_8xlarge_sliced(Slicing::Degraded));
+    let full_slice = ic(p3_8xlarge_sliced(Slicing::Full));
+    let x16 = ic(p3_16xlarge());
+    assert!(degraded > x16, "degraded 8x {degraded}% vs 16x {x16}%");
+    assert!(full_slice < degraded, "full slice {full_slice}% vs degraded {degraded}%");
+}
+
+/// Shape 6: p3.24xlarge is no faster than p3.16xlarge (same NVLink) but
+/// strictly more expensive (Fig. 12, §V-B).
+#[test]
+fn p3_24x_not_faster_but_costlier() {
+    let stash = quick_batch(zoo::resnet50(), 16);
+    let c16 = ClusterSpec::single(p3_16xlarge());
+    let c24 = ClusterSpec::single(p3_24xlarge());
+    let r16 = stash.profile(&c16).unwrap();
+    let r24 = stash.profile(&c24).unwrap();
+    let t16 = r16.times.t2.unwrap().as_secs_f64();
+    let t24 = r24.times.t2.unwrap().as_secs_f64();
+    assert!((t24 - t16).abs() / t16 < 0.05, "t16={t16} t24={t24}");
+    let cost16 = epoch_cost(&r16, &c16).epoch_cost;
+    let cost24 = epoch_cost(&r24, &c24).epoch_cost;
+    assert!(cost24 > cost16, "24x ${cost24} vs 16x ${cost16}");
+}
+
+/// Shape 7: the network stall of 2x p3.8xlarge is in the hundreds of
+/// percent and falls as the batch grows (Fig. 13).
+#[test]
+fn network_stall_magnitude_and_batch_trend() {
+    let cluster = ClusterSpec::homogeneous(p3_8xlarge(), 2);
+    let nw = |batch| {
+        quick_batch(zoo::resnet50(), batch)
+            .profile(&cluster)
+            .unwrap()
+            .network_stall_pct()
+            .unwrap()
+    };
+    let small = nw(4);
+    let large = nw(32);
+    assert!(small > 100.0, "batch-4 network stall {small}%");
+    assert!(small > large, "stall must fall with batch: {small}% -> {large}%");
+}
+
+/// Shape 8: VGG (few layers, huge gradients) vs ResNet (many layers, small
+/// gradients) — interconnect stall favours VGG, network stall punishes it
+/// (Fig. 16, §VI).
+#[test]
+fn vgg_vs_resnet_asymmetry() {
+    let nvlink = ClusterSpec::single(p3_16xlarge());
+    let network = ClusterSpec::homogeneous(p3_8xlarge(), 2);
+    let vgg_r = quick(zoo::vgg11()).profile(&network).unwrap();
+    let res_r = quick(zoo::resnet18()).profile(&network).unwrap();
+    // Interconnect: ResNet stalls at least as much as VGG despite 12x
+    // fewer gradient bytes.
+    let _ = nvlink;
+    let vgg_ic = vgg_r.interconnect_stall_pct().unwrap();
+    let res_ic = res_r.interconnect_stall_pct().unwrap();
+    assert!(res_ic >= vgg_ic * 0.8, "resnet I/C {res_ic}% vs vgg {vgg_ic}%");
+    // Network: VGG stalls far more.
+    let vgg_nw = vgg_r.network_stall_pct().unwrap();
+    let res_nw = res_r.network_stall_pct().unwrap();
+    assert!(vgg_nw > res_nw, "vgg N/W {vgg_nw}% vs resnet {res_nw}%");
+}
+
+/// Shape 9: removing batch-norm lowers communication stalls; removing
+/// residual shortcuts changes little (Fig. 16, §VI-A3).
+#[test]
+fn bn_and_residual_ablations() {
+    let cluster = ClusterSpec::single(p3_16xlarge());
+    let ic = |model| {
+        quick(model)
+            .profile(&cluster)
+            .unwrap()
+            .interconnect_stall_pct()
+            .unwrap()
+    };
+    let base = ic(resnet(50));
+    let no_bn = ic(resnet_with(50, ResNetOptions { batch_norm: false, residual: true }));
+    let no_skip = ic(resnet_with(50, ResNetOptions { batch_norm: true, residual: false }));
+    assert!(no_bn < base, "no-BN {no_bn}% vs base {base}%");
+    assert!(
+        (no_skip - base).abs() < 0.3 * base.max(1.0),
+        "no-skip {no_skip}% vs base {base}%"
+    );
+}
+
+/// Contention is emergent: on P2, real-data training (H2D uploads on the
+/// same host bus as the staged all-reduce ring) is slower than synthetic
+/// training, beyond what the disk adds on a warm cache.
+#[test]
+fn h2d_and_allreduce_contend_on_the_p2_host_bus() {
+    let stash = quick(zoo::alexnet());
+    let r = stash.profile(&ClusterSpec::single(p2_16xlarge())).unwrap();
+    let t2 = r.times.t2.unwrap();
+    let t4 = r.times.t4.unwrap();
+    assert!(t4 > t2, "warm real-data epoch {t4} must exceed synthetic {t2}");
+}
+
+/// The §VI analytic parameters separate regimes by orders of magnitude.
+#[test]
+fn analytic_parameters_separate_interconnect_generations() {
+    let nv = link_parameters(&ClusterSpec::single(p3_16xlarge()));
+    let pcie = link_parameters(&ClusterSpec::single(p2_16xlarge()));
+    let net = link_parameters(&ClusterSpec::homogeneous(p3_8xlarge(), 2));
+    assert!(nv.bandwidth_bps > 20.0 * pcie.bandwidth_bps);
+    assert!(nv.bandwidth_bps > 20.0 * net.bandwidth_bps);
+    assert!(pcie.tau_seconds > nv.tau_seconds);
+}
+
+/// Shape 10: ShuffleNet cannot exploit a V100 — its cheapest home is the
+/// P2 family (Figs. 14, 15).
+#[test]
+fn shufflenet_is_cheapest_on_p2() {
+    let stash = quick(zoo::shufflenet());
+    let p2 = ClusterSpec::single(p2_xlarge());
+    let p3 = ClusterSpec::single(p3_2xlarge());
+    let cost_p2 = epoch_cost(&stash.profile(&p2).unwrap(), &p2).epoch_cost;
+    let cost_p3 = epoch_cost(&stash.profile(&p3).unwrap(), &p3).epoch_cost;
+    assert!(cost_p2 < cost_p3, "p2 ${cost_p2} vs p3 ${cost_p3}");
+}
