@@ -5,7 +5,7 @@
 //! disk stalls scale with the number of data-loading workers (= GPUs per
 //! instance), worst on p2.16xlarge.
 
-use stash_bench::{bench_stash, p2_configs, pct, small_model_batches, Table};
+use stash_bench::{p2_configs, pct, run_sweep, small_model_batches, SweepJob, Table};
 use stash_dnn::zoo;
 
 fn main() {
@@ -14,33 +14,39 @@ fn main() {
         "CPU & disk stall % of training time, P2, small models (paper Fig. 4)",
         &["model", "batch", "config", "cpu_stall_pct", "disk_stall_pct"],
     );
-    let mut worst_cpu: f64 = 0.0;
-    let mut disk_8x: f64 = 0.0;
-    let mut disk_16x: f64 = 0.0;
+    let mut jobs = Vec::new();
     for model in zoo::small_models() {
         for batch in small_model_batches() {
-            let stash = bench_stash(model.clone(), batch);
             for cluster in p2_configs() {
-                let r = stash.profile(&cluster).expect("profile");
-                let cpu = r.cpu_stall_pct().unwrap_or(0.0);
-                let disk = r.disk_stall_pct().unwrap_or(0.0);
-                worst_cpu = worst_cpu.max(cpu);
-                if cluster.display_name() == "p2.8xlarge" {
-                    disk_8x += disk;
-                }
-                if cluster.display_name() == "p2.16xlarge" {
-                    disk_16x += disk;
-                }
-                t.row(vec![
-                    model.name.clone(),
-                    batch.to_string(),
-                    cluster.display_name(),
-                    pct(Some(cpu)),
-                    pct(Some(disk)),
-                ]);
+                jobs.push(SweepJob::new(model.clone(), batch, cluster));
             }
         }
     }
+    let (results, perf) = run_sweep(jobs.clone());
+
+    let mut worst_cpu: f64 = 0.0;
+    let mut disk_8x: f64 = 0.0;
+    let mut disk_16x: f64 = 0.0;
+    for (job, result) in jobs.iter().zip(results) {
+        let r = result.expect("profile");
+        let cpu = r.cpu_stall_pct().unwrap_or(0.0);
+        let disk = r.disk_stall_pct().unwrap_or(0.0);
+        worst_cpu = worst_cpu.max(cpu);
+        if job.cluster.display_name() == "p2.8xlarge" {
+            disk_8x += disk;
+        }
+        if job.cluster.display_name() == "p2.16xlarge" {
+            disk_16x += disk;
+        }
+        t.row(vec![
+            job.stash.model().name.clone(),
+            job.stash.per_gpu_batch().to_string(),
+            job.cluster.display_name(),
+            pct(Some(cpu)),
+            pct(Some(disk)),
+        ]);
+    }
+    t.set_perf(perf);
     t.finish();
     assert!(worst_cpu < 20.0, "CPU stalls should be negligible, worst {worst_cpu}%");
     assert!(disk_16x > disk_8x, "disk stall must grow with workers: 16x {disk_16x} vs 8x {disk_8x}");

@@ -7,7 +7,7 @@
 //! Expected shapes: p2.16xlarge worst in P2 (PCIe contention);
 //! p3.8xlarge anomalously high in P3 (sub-optimal crossbar slice).
 
-use stash_bench::{bench_stash, pct, small_model_batches, Table};
+use stash_bench::{pct, run_sweep, small_model_batches, SweepJob, Table};
 use stash_dnn::zoo;
 use stash_hwtopo::cluster::ClusterSpec;
 use stash_hwtopo::instance::{p2_16xlarge, p2_8xlarge, p3_16xlarge, p3_8xlarge};
@@ -32,24 +32,32 @@ fn main() {
         "Interconnect/communication stall %, small models (paper Fig. 5)",
         &["family", "model", "batch", "config", "comm_stall_pct"],
     );
-    let mut stalls: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    let mut jobs = Vec::new();
+    let mut families = Vec::new();
     for model in zoo::small_models() {
         for batch in small_model_batches() {
-            let stash = bench_stash(model.clone(), batch);
             for (family, cluster) in &configs {
-                let r = stash.profile(cluster).expect("profile");
-                let s = comm_stall_vs_single_gpu(&r).unwrap_or(0.0);
-                *stalls.entry(cluster.display_name()).or_insert(0.0) += s;
-                t.row(vec![
-                    (*family).to_string(),
-                    model.name.clone(),
-                    batch.to_string(),
-                    cluster.display_name(),
-                    pct(Some(s)),
-                ]);
+                jobs.push(SweepJob::new(model.clone(), batch, cluster.clone()));
+                families.push(*family);
             }
         }
     }
+    let (results, perf) = run_sweep(jobs.clone());
+
+    let mut stalls: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    for ((job, family), result) in jobs.iter().zip(families).zip(results) {
+        let r = result.expect("profile");
+        let s = comm_stall_vs_single_gpu(&r).unwrap_or(0.0);
+        *stalls.entry(job.cluster.display_name()).or_insert(0.0) += s;
+        t.row(vec![
+            family.to_string(),
+            job.stash.model().name.clone(),
+            job.stash.per_gpu_batch().to_string(),
+            job.cluster.display_name(),
+            pct(Some(s)),
+        ]);
+    }
+    t.set_perf(perf);
     t.finish();
     assert!(
         stalls["p2.16xlarge"] > stalls["p2.8xlarge"],

@@ -4,7 +4,7 @@
 //! (6a) at the same hourly price, so also on cost (6b); p2.xlarge is the
 //! cheapest (no interconnect stalls).
 
-use stash_bench::{bench_stash, p2_configs, small_model_batches, Table};
+use stash_bench::{p2_configs, run_sweep, small_model_batches, SweepJob, Table};
 use stash_core::cost::epoch_cost;
 use stash_dnn::zoo;
 
@@ -14,36 +14,45 @@ fn main() {
         "Training time and cost per epoch, P2, small models (paper Fig. 6)",
         &["model", "batch", "config", "epoch_s", "epoch_cost_usd"],
     );
+    let mut jobs = Vec::new();
+    for model in zoo::small_models() {
+        for batch in small_model_batches() {
+            for cluster in p2_configs() {
+                jobs.push(SweepJob::new(model.clone(), batch, cluster));
+            }
+        }
+    }
+    let (results, perf) = run_sweep(jobs.clone());
+
     let mut time_16x = 0.0;
     let mut time_8x2 = 0.0;
     let mut cheapest_votes = std::collections::HashMap::<String, u32>::new();
-    for model in zoo::small_models() {
-        for batch in small_model_batches() {
-            let stash = bench_stash(model.clone(), batch);
-            let mut best: Option<(String, f64)> = None;
-            for cluster in p2_configs() {
-                let r = stash.profile(&cluster).expect("profile");
-                let bill = epoch_cost(&r, &cluster);
-                let secs = bill.epoch_time.as_secs_f64();
-                match cluster.display_name().as_str() {
-                    "p2.16xlarge" => time_16x += secs,
-                    "p2.8xlarge*2" => time_8x2 += secs,
-                    _ => {}
-                }
-                if best.as_ref().is_none_or(|(_, c)| bill.epoch_cost < *c) {
-                    best = Some((cluster.display_name(), bill.epoch_cost));
-                }
-                t.row(vec![
-                    model.name.clone(),
-                    batch.to_string(),
-                    cluster.display_name(),
-                    format!("{secs:.1}"),
-                    format!("{:.2}", bill.epoch_cost),
-                ]);
+    let per_point = p2_configs().len();
+    for (jobs_chunk, results_chunk) in jobs.chunks(per_point).zip(results.chunks(per_point)) {
+        let mut best: Option<(String, f64)> = None;
+        for (job, result) in jobs_chunk.iter().zip(results_chunk) {
+            let r = result.as_ref().expect("profile");
+            let bill = epoch_cost(r, &job.cluster);
+            let secs = bill.epoch_time.as_secs_f64();
+            match job.cluster.display_name().as_str() {
+                "p2.16xlarge" => time_16x += secs,
+                "p2.8xlarge*2" => time_8x2 += secs,
+                _ => {}
             }
-            *cheapest_votes.entry(best.unwrap().0).or_insert(0) += 1;
+            if best.as_ref().is_none_or(|(_, c)| bill.epoch_cost < *c) {
+                best = Some((job.cluster.display_name(), bill.epoch_cost));
+            }
+            t.row(vec![
+                job.stash.model().name.clone(),
+                job.stash.per_gpu_batch().to_string(),
+                job.cluster.display_name(),
+                format!("{secs:.1}"),
+                format!("{:.2}", bill.epoch_cost),
+            ]);
         }
+        *cheapest_votes.entry(best.unwrap().0).or_insert(0) += 1;
     }
+    t.set_perf(perf);
     t.finish();
     assert!(time_8x2 < time_16x, "8xlarge*2 ({time_8x2:.0}s) must beat 16xlarge ({time_16x:.0}s)");
     let xlarge_wins = cheapest_votes.get("p2.xlarge").copied().unwrap_or(0);

@@ -3,7 +3,7 @@
 //! Expected shapes: CPU stall negligible (8a); disk stall highest for the
 //! 8-worker p3.16xlarge (8b) whose fast V100s outrun the gp2 volume.
 
-use stash_bench::{bench_stash, p3_configs, pct, small_model_batches, Table};
+use stash_bench::{p3_configs, pct, run_sweep, small_model_batches, SweepJob, Table};
 use stash_dnn::zoo;
 
 fn main() {
@@ -12,27 +12,33 @@ fn main() {
         "CPU & disk stall %, P3, small models (paper Fig. 8)",
         &["model", "batch", "config", "cpu_stall_pct", "disk_stall_pct"],
     );
-    let mut cpu_samples: Vec<f64> = Vec::new();
-    let mut disk = std::collections::HashMap::<String, f64>::new();
+    let mut jobs = Vec::new();
     for model in zoo::small_models() {
         for batch in small_model_batches() {
-            let stash = bench_stash(model.clone(), batch);
             for cluster in p3_configs() {
-                let r = stash.profile(&cluster).expect("profile");
-                let cpu = r.cpu_stall_pct().unwrap_or(0.0);
-                let d = r.disk_stall_pct().unwrap_or(0.0);
-                cpu_samples.push(cpu);
-                *disk.entry(cluster.display_name()).or_insert(0.0) += d;
-                t.row(vec![
-                    model.name.clone(),
-                    batch.to_string(),
-                    cluster.display_name(),
-                    pct(Some(cpu)),
-                    pct(Some(d)),
-                ]);
+                jobs.push(SweepJob::new(model.clone(), batch, cluster));
             }
         }
     }
+    let (results, perf) = run_sweep(jobs.clone());
+
+    let mut cpu_samples: Vec<f64> = Vec::new();
+    let mut disk = std::collections::HashMap::<String, f64>::new();
+    for (job, result) in jobs.iter().zip(results) {
+        let r = result.expect("profile");
+        let cpu = r.cpu_stall_pct().unwrap_or(0.0);
+        let d = r.disk_stall_pct().unwrap_or(0.0);
+        cpu_samples.push(cpu);
+        *disk.entry(job.cluster.display_name()).or_insert(0.0) += d;
+        t.row(vec![
+            job.stash.model().name.clone(),
+            job.stash.per_gpu_batch().to_string(),
+            job.cluster.display_name(),
+            pct(Some(cpu)),
+            pct(Some(d)),
+        ]);
+    }
+    t.set_perf(perf);
     t.finish();
     cpu_samples.sort_by(f64::total_cmp);
     let median_cpu = cpu_samples[cpu_samples.len() / 2];

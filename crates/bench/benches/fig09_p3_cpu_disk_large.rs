@@ -5,7 +5,7 @@
 //! experiments on the gp2 volume; BERT's tiny SQuAD dataset produces no
 //! meaningful fetch stall.
 
-use stash_bench::{bench_stash, large_model_batches, p3_configs, pct, Table};
+use stash_bench::{large_model_batches, p3_configs, pct, run_sweep, SweepJob, Table};
 use stash_dnn::zoo;
 
 fn main() {
@@ -14,56 +14,67 @@ fn main() {
         "CPU & disk stall %, P3, large models + BERT (paper Fig. 9)",
         &["model", "batch", "config", "cpu_stall_pct", "disk_stall_pct"],
     );
-    let mut worst_cpu: f64 = 0.0;
-    let mut bert_disk: f64 = 0.0;
-    let mut vision_disk_16x: f64 = 0.0;
+    let mut jobs = Vec::new();
     for model in zoo::large_vision_models() {
         for batch in large_model_batches() {
-            let stash = bench_stash(model.clone(), batch);
             for cluster in p3_configs() {
-                let r = stash.profile(&cluster).expect("profile");
-                let cpu = r.cpu_stall_pct().unwrap_or(0.0);
-                let d = r.disk_stall_pct().unwrap_or(0.0);
-                worst_cpu = worst_cpu.max(cpu);
-                if cluster.display_name() == "p3.16xlarge" {
-                    vision_disk_16x += d;
-                }
-                t.row(vec![
-                    model.name.clone(),
-                    batch.to_string(),
-                    cluster.display_name(),
-                    pct(Some(cpu)),
-                    pct(Some(d)),
-                ]);
+                jobs.push(SweepJob::new(model.clone(), batch, cluster));
             }
         }
     }
-    // BERT-large: batch 4 (the 16 GB limit).
-    let stash = bench_stash(zoo::bert_large(), 4);
+    // BERT-large: batch 4 (the 16 GB limit). May legitimately fail to fit on
+    // some configs, so its results stay fallible below.
+    let bert_start = jobs.len();
     for cluster in p3_configs() {
-        let r = match stash.profile(&cluster) {
-            Ok(r) => r,
-            Err(e) => {
-                t.row(vec![
-                    "BERT-large".to_string(),
-                    "4".to_string(),
-                    cluster.display_name(),
-                    format!("skipped: {e}"),
-                    String::new(),
-                ]);
-                continue;
-            }
-        };
-        let d = r.disk_stall_pct().unwrap_or(0.0);
-        bert_disk = bert_disk.max(d);
-        t.row(vec![
-            "BERT-large".to_string(),
-            "4".to_string(),
-            cluster.display_name(),
-            pct(r.cpu_stall_pct()),
-            pct(Some(d)),
-        ]);
+        jobs.push(SweepJob::new(zoo::bert_large(), 4, cluster));
     }
+    let (results, perf) = run_sweep(jobs.clone());
+
+    let mut worst_cpu: f64 = 0.0;
+    let mut bert_disk: f64 = 0.0;
+    let mut vision_disk_16x: f64 = 0.0;
+    for (i, (job, result)) in jobs.iter().zip(results).enumerate() {
+        if i < bert_start {
+            let r = result.expect("profile");
+            let cpu = r.cpu_stall_pct().unwrap_or(0.0);
+            let d = r.disk_stall_pct().unwrap_or(0.0);
+            worst_cpu = worst_cpu.max(cpu);
+            if job.cluster.display_name() == "p3.16xlarge" {
+                vision_disk_16x += d;
+            }
+            t.row(vec![
+                job.stash.model().name.clone(),
+                job.stash.per_gpu_batch().to_string(),
+                job.cluster.display_name(),
+                pct(Some(cpu)),
+                pct(Some(d)),
+            ]);
+        } else {
+            let r = match result {
+                Ok(r) => r,
+                Err(e) => {
+                    t.row(vec![
+                        "BERT-large".to_string(),
+                        "4".to_string(),
+                        job.cluster.display_name(),
+                        format!("skipped: {e}"),
+                        String::new(),
+                    ]);
+                    continue;
+                }
+            };
+            let d = r.disk_stall_pct().unwrap_or(0.0);
+            bert_disk = bert_disk.max(d);
+            t.row(vec![
+                "BERT-large".to_string(),
+                "4".to_string(),
+                job.cluster.display_name(),
+                pct(r.cpu_stall_pct()),
+                pct(Some(d)),
+            ]);
+        }
+    }
+    t.set_perf(perf);
     t.finish();
     assert!(worst_cpu < 20.0, "CPU stall negligible, got {worst_cpu}%");
     assert!(vision_disk_16x > 0.0, "8-GPU vision runs must show fetch stalls");

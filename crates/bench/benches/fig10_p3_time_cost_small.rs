@@ -4,7 +4,7 @@
 //! most cost-optimal; the networked pair the least cost-optimal multi-GPU
 //! option.
 
-use stash_bench::{bench_stash, p3_configs, small_model_batches, Table};
+use stash_bench::{p3_configs, run_sweep, small_model_batches, SweepJob, Table};
 use stash_core::cost::epoch_cost;
 use stash_dnn::zoo;
 
@@ -14,35 +14,44 @@ fn main() {
         "Training time and cost per epoch, P3, small models (paper Fig. 10)",
         &["model", "batch", "config", "epoch_s", "epoch_cost_usd"],
     );
-    let mut fastest_votes = std::collections::HashMap::<String, u32>::new();
-    let mut cheapest_votes = std::collections::HashMap::<String, u32>::new();
+    let mut jobs = Vec::new();
     for model in zoo::small_models() {
         for batch in small_model_batches() {
-            let stash = bench_stash(model.clone(), batch);
-            let mut fastest: Option<(String, f64)> = None;
-            let mut cheapest: Option<(String, f64)> = None;
             for cluster in p3_configs() {
-                let r = stash.profile(&cluster).expect("profile");
-                let bill = epoch_cost(&r, &cluster);
-                let secs = bill.epoch_time.as_secs_f64();
-                if fastest.as_ref().is_none_or(|(_, s)| secs < *s) {
-                    fastest = Some((cluster.display_name(), secs));
-                }
-                if cheapest.as_ref().is_none_or(|(_, c)| bill.epoch_cost < *c) {
-                    cheapest = Some((cluster.display_name(), bill.epoch_cost));
-                }
-                t.row(vec![
-                    model.name.clone(),
-                    batch.to_string(),
-                    cluster.display_name(),
-                    format!("{secs:.1}"),
-                    format!("{:.2}", bill.epoch_cost),
-                ]);
+                jobs.push(SweepJob::new(model.clone(), batch, cluster));
             }
-            *fastest_votes.entry(fastest.unwrap().0).or_insert(0) += 1;
-            *cheapest_votes.entry(cheapest.unwrap().0).or_insert(0) += 1;
         }
     }
+    let (results, perf) = run_sweep(jobs.clone());
+
+    let mut fastest_votes = std::collections::HashMap::<String, u32>::new();
+    let mut cheapest_votes = std::collections::HashMap::<String, u32>::new();
+    let per_point = p3_configs().len();
+    for (jobs_chunk, results_chunk) in jobs.chunks(per_point).zip(results.chunks(per_point)) {
+        let mut fastest: Option<(String, f64)> = None;
+        let mut cheapest: Option<(String, f64)> = None;
+        for (job, result) in jobs_chunk.iter().zip(results_chunk) {
+            let r = result.as_ref().expect("profile");
+            let bill = epoch_cost(r, &job.cluster);
+            let secs = bill.epoch_time.as_secs_f64();
+            if fastest.as_ref().is_none_or(|(_, s)| secs < *s) {
+                fastest = Some((job.cluster.display_name(), secs));
+            }
+            if cheapest.as_ref().is_none_or(|(_, c)| bill.epoch_cost < *c) {
+                cheapest = Some((job.cluster.display_name(), bill.epoch_cost));
+            }
+            t.row(vec![
+                job.stash.model().name.clone(),
+                job.stash.per_gpu_batch().to_string(),
+                job.cluster.display_name(),
+                format!("{secs:.1}"),
+                format!("{:.2}", bill.epoch_cost),
+            ]);
+        }
+        *fastest_votes.entry(fastest.unwrap().0).or_insert(0) += 1;
+        *cheapest_votes.entry(cheapest.unwrap().0).or_insert(0) += 1;
+    }
+    t.set_perf(perf);
     t.finish();
     let f16 = fastest_votes.get("p3.16xlarge").copied().unwrap_or(0)
         + fastest_votes.get("p3.24xlarge").copied().unwrap_or(0);

@@ -4,27 +4,10 @@
 //! p3.8xlarge is anomalously high; VGG's interconnect stall is low despite
 //! its huge gradients; p3.24xlarge matches p3.16xlarge (same NVLink).
 
-use stash_bench::{bench_stash, large_model_batches, pct, small_model_batches, Table};
-use stash_core::profiler::Stash;
-use stash_dnn::model::Model;
+use stash_bench::{large_model_batches, pct, run_sweep, small_model_batches, SweepJob, Table};
 use stash_dnn::zoo;
 use stash_hwtopo::cluster::ClusterSpec;
 use stash_hwtopo::instance::{p3_16xlarge, p3_24xlarge, p3_8xlarge};
-
-fn sweep(t: &mut Table, stalls: &mut std::collections::HashMap<String, f64>, model: &Model, batch: u64, stash: &Stash) {
-    for inst in [p3_8xlarge(), p3_16xlarge(), p3_24xlarge()] {
-        let cluster = ClusterSpec::single(inst);
-        let r = stash.profile(&cluster).expect("profile");
-        let ic = r.interconnect_stall_pct().unwrap_or(0.0);
-        *stalls.entry(cluster.display_name()).or_insert(0.0) += ic;
-        t.row(vec![
-            model.name.clone(),
-            batch.to_string(),
-            cluster.display_name(),
-            pct(Some(ic)),
-        ]);
-    }
-}
 
 fn main() {
     let mut t = Table::new(
@@ -32,18 +15,39 @@ fn main() {
         "Interconnect stall %, P3 (paper Fig. 11)",
         &["model", "batch", "config", "ic_stall_pct"],
     );
-    let mut stalls = std::collections::HashMap::new();
+    let mut points: Vec<(stash_dnn::model::Model, u64)> = Vec::new();
     for model in zoo::small_models() {
         for batch in small_model_batches() {
-            sweep(&mut t, &mut stalls, &model, batch, &bench_stash(model.clone(), batch));
+            points.push((model.clone(), batch));
         }
     }
     for model in zoo::large_vision_models() {
         for batch in large_model_batches() {
-            sweep(&mut t, &mut stalls, &model, batch, &bench_stash(model.clone(), batch));
+            points.push((model.clone(), batch));
         }
     }
-    sweep(&mut t, &mut stalls, &zoo::bert_large(), 4, &bench_stash(zoo::bert_large(), 4));
+    points.push((zoo::bert_large(), 4));
+    let mut jobs = Vec::new();
+    for (model, batch) in points {
+        for inst in [p3_8xlarge(), p3_16xlarge(), p3_24xlarge()] {
+            jobs.push(SweepJob::new(model.clone(), batch, ClusterSpec::single(inst)));
+        }
+    }
+    let (results, perf) = run_sweep(jobs.clone());
+
+    let mut stalls = std::collections::HashMap::<String, f64>::new();
+    for (job, result) in jobs.iter().zip(results) {
+        let r = result.expect("profile");
+        let ic = r.interconnect_stall_pct().unwrap_or(0.0);
+        *stalls.entry(job.cluster.display_name()).or_insert(0.0) += ic;
+        t.row(vec![
+            job.stash.model().name.clone(),
+            job.stash.per_gpu_batch().to_string(),
+            job.cluster.display_name(),
+            pct(Some(ic)),
+        ]);
+    }
+    t.set_perf(perf);
     t.finish();
     assert!(
         stalls["p3.8xlarge"] > stalls["p3.16xlarge"],

@@ -3,7 +3,7 @@
 //! Expected shapes: p3.16xlarge and p3.24xlarge are equally performant
 //! (same NVLink), so the pricier 24xlarge is the least cost-optimal.
 
-use stash_bench::{bench_stash, large_model_batches, p3_configs, Table};
+use stash_bench::{large_model_batches, p3_configs, run_sweep, SweepJob, Table};
 use stash_core::cost::epoch_cost;
 use stash_dnn::zoo;
 
@@ -13,54 +13,60 @@ fn main() {
         "Training time and cost per epoch, P3, large models (paper Fig. 12)",
         &["model", "batch", "config", "epoch_s", "epoch_cost_usd"],
     );
+    let mut points: Vec<(stash_dnn::model::Model, u64)> = Vec::new();
+    for model in zoo::large_vision_models() {
+        for batch in large_model_batches() {
+            points.push((model.clone(), batch));
+        }
+    }
+    points.push((zoo::bert_large(), 4));
+    let mut jobs = Vec::new();
+    for (model, batch) in &points {
+        for cluster in p3_configs() {
+            jobs.push(SweepJob::new(model.clone(), *batch, cluster));
+        }
+    }
+    let (results, perf) = run_sweep(jobs.clone());
+
     let mut t16 = 0.0_f64;
     let mut t24 = 0.0_f64;
     let mut c16 = 0.0_f64;
     let mut c24 = 0.0_f64;
-    let mut jobs: Vec<(stash_dnn::model::Model, u64)> = Vec::new();
-    for model in zoo::large_vision_models() {
-        for batch in large_model_batches() {
-            jobs.push((model.clone(), batch));
-        }
-    }
-    jobs.push((zoo::bert_large(), 4));
-    for (model, batch) in jobs {
-        let stash = bench_stash(model.clone(), batch);
-        for cluster in p3_configs() {
-            let r = match stash.profile(&cluster) {
-                Ok(r) => r,
-                Err(e) => {
-                    t.row(vec![
-                        model.name.clone(),
-                        batch.to_string(),
-                        cluster.display_name(),
-                        format!("skipped: {e}"),
-                        String::new(),
-                    ]);
-                    continue;
-                }
-            };
-            let bill = epoch_cost(&r, &cluster);
-            match cluster.display_name().as_str() {
-                "p3.16xlarge" => {
-                    t16 += bill.epoch_time.as_secs_f64();
-                    c16 += bill.epoch_cost;
-                }
-                "p3.24xlarge" => {
-                    t24 += bill.epoch_time.as_secs_f64();
-                    c24 += bill.epoch_cost;
-                }
-                _ => {}
+    for (job, result) in jobs.iter().zip(results) {
+        let r = match result {
+            Ok(r) => r,
+            Err(e) => {
+                t.row(vec![
+                    job.stash.model().name.clone(),
+                    job.stash.per_gpu_batch().to_string(),
+                    job.cluster.display_name(),
+                    format!("skipped: {e}"),
+                    String::new(),
+                ]);
+                continue;
             }
-            t.row(vec![
-                model.name.clone(),
-                batch.to_string(),
-                cluster.display_name(),
-                format!("{:.1}", bill.epoch_time.as_secs_f64()),
-                format!("{:.2}", bill.epoch_cost),
-            ]);
+        };
+        let bill = epoch_cost(&r, &job.cluster);
+        match job.cluster.display_name().as_str() {
+            "p3.16xlarge" => {
+                t16 += bill.epoch_time.as_secs_f64();
+                c16 += bill.epoch_cost;
+            }
+            "p3.24xlarge" => {
+                t24 += bill.epoch_time.as_secs_f64();
+                c24 += bill.epoch_cost;
+            }
+            _ => {}
         }
+        t.row(vec![
+            job.stash.model().name.clone(),
+            job.stash.per_gpu_batch().to_string(),
+            job.cluster.display_name(),
+            format!("{:.1}", bill.epoch_time.as_secs_f64()),
+            format!("{:.2}", bill.epoch_cost),
+        ]);
     }
+    t.set_perf(perf);
     t.finish();
     let time_ratio = t24 / t16;
     assert!((0.85..1.15).contains(&time_ratio), "24x ≈ 16x in time, ratio {time_ratio}");

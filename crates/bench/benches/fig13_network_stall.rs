@@ -5,7 +5,7 @@
 //! monotonically falling as the batch grows (compute grows, gradient
 //! volume does not).
 
-use stash_bench::{bench_stash, pct, Table};
+use stash_bench::{pct, run_sweep, SweepJob, Table};
 use stash_dnn::zoo;
 use stash_hwtopo::cluster::ClusterSpec;
 use stash_hwtopo::instance::p3_8xlarge;
@@ -17,22 +17,36 @@ fn main() {
         &["model", "batch", "nw_stall_pct"],
     );
     let cluster = ClusterSpec::homogeneous(p3_8xlarge(), 2);
-    let mut peak: f64 = 0.0;
+    let batches = [4_u64, 8, 16, 32];
+    let mut jobs = Vec::new();
     for model in [zoo::resnet50(), zoo::vgg11()] {
+        for batch in batches {
+            jobs.push(SweepJob::new(model.clone(), batch, cluster.clone()));
+        }
+    }
+    let (results, perf) = run_sweep(jobs.clone());
+
+    let mut peak: f64 = 0.0;
+    for (jobs_chunk, results_chunk) in jobs.chunks(batches.len()).zip(results.chunks(batches.len())) {
         let mut series = Vec::new();
-        for batch in [4_u64, 8, 16, 32] {
-            let r = bench_stash(model.clone(), batch).profile(&cluster).expect("profile");
+        for (job, result) in jobs_chunk.iter().zip(results_chunk) {
+            let r = result.as_ref().expect("profile");
             let nw = r.network_stall_pct().unwrap_or(0.0);
             peak = peak.max(nw);
             series.push(nw);
-            t.row(vec![model.name.clone(), batch.to_string(), pct(Some(nw))]);
+            t.row(vec![
+                job.stash.model().name.clone(),
+                job.stash.per_gpu_batch().to_string(),
+                pct(Some(nw)),
+            ]);
         }
         assert!(
             series.windows(2).all(|w| w[0] >= w[1] * 0.95),
             "{}: stall must fall with batch: {series:?}",
-            model.name
+            jobs_chunk[0].stash.model().name
         );
     }
+    t.set_perf(perf);
     t.finish();
     print!("{}", t.to_bar_chart(&["model", "batch"], "nw_stall_pct"));
     assert!(peak > 300.0, "network stalls reach hundreds of percent, peak {peak}%");

@@ -4,7 +4,7 @@
 //! hourly price — except for tiny models (ShuffleNet), which are cheapest
 //! on P2.
 
-use stash_bench::{bench_stash, Table};
+use stash_bench::{run_sweep, SweepJob, Table};
 use stash_core::cost::epoch_cost;
 use stash_dnn::zoo;
 use stash_hwtopo::cluster::ClusterSpec;
@@ -25,25 +25,33 @@ fn main() {
         ClusterSpec::single(p3_16xlarge()),
     ];
     let models = [zoo::shufflenet(), zoo::mobilenet_v2(), zoo::resnet18(), zoo::resnet50()];
-    let mut cheapest = std::collections::HashMap::<String, String>::new();
+    let mut jobs = Vec::new();
     for model in &models {
-        let stash = bench_stash(model.clone(), 32);
-        let mut best: Option<(String, f64)> = None;
         for cluster in &configs {
-            let r = stash.profile(cluster).expect("profile");
-            let bill = epoch_cost(&r, cluster);
+            jobs.push(SweepJob::new(model.clone(), 32, cluster.clone()));
+        }
+    }
+    let (results, perf) = run_sweep(jobs.clone());
+
+    let mut cheapest = std::collections::HashMap::<String, String>::new();
+    for (jobs_chunk, results_chunk) in jobs.chunks(configs.len()).zip(results.chunks(configs.len())) {
+        let mut best: Option<(String, f64)> = None;
+        for (job, result) in jobs_chunk.iter().zip(results_chunk) {
+            let r = result.as_ref().expect("profile");
+            let bill = epoch_cost(r, &job.cluster);
             if best.as_ref().is_none_or(|(_, c)| bill.epoch_cost < *c) {
-                best = Some((cluster.display_name(), bill.epoch_cost));
+                best = Some((job.cluster.display_name(), bill.epoch_cost));
             }
             t.row(vec![
-                model.name.clone(),
-                cluster.display_name(),
+                job.stash.model().name.clone(),
+                job.cluster.display_name(),
                 format!("{:.1}", bill.epoch_time.as_secs_f64()),
                 format!("{:.2}", bill.epoch_cost),
             ]);
         }
-        cheapest.insert(model.name.clone(), best.unwrap().0);
+        cheapest.insert(jobs_chunk[0].stash.model().name.clone(), best.unwrap().0);
     }
+    t.set_perf(perf);
     t.finish();
     assert!(
         cheapest["ShuffleNet"].starts_with("p2."),

@@ -1,0 +1,54 @@
+//! Microbenchmark: flow-rate recomputation cost under churn.
+//!
+//! Starts N concurrent flows over a small shared fabric, then drains the
+//! network event-by-event. Every start and completion is an allocation
+//! event, so this measures the incremental recompute machinery (dedup'd
+//! routes, scratch-buffer solver, alone-flow/freed-link shortcuts) end to
+//! end at three contention levels.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use stash_flowsim::prelude::*;
+use stash_simkit::time::{SimDuration, SimTime};
+
+const LINKS: usize = 8;
+
+/// Start `n_flows` staggered transfers over 8 links, drain to completion.
+fn churn(n_flows: usize) -> f64 {
+    let mut net = FlowNet::new();
+    let ids: Vec<LinkId> = (0..LINKS)
+        .map(|i| {
+            net.add_link(Link::new(
+                format!("l{i}"),
+                1e9,
+                SimDuration::from_micros(5),
+                LinkClass::NvLink,
+            ))
+        })
+        .collect();
+    let mut now = SimTime::ZERO;
+    for i in 0..n_flows {
+        // Two-hop routes spread deterministically over the fabric so some
+        // flows contend, some run alone, and some activate mid-stream.
+        let route = vec![ids[i % LINKS], ids[(i * 5 + 3) % LINKS]];
+        let bytes = 1e6 + (i as f64) * 4096.0;
+        net.start_flow(now, FlowSpec::new(route, bytes, i as u64));
+        now = now.saturating_add(SimDuration::from_micros(50));
+    }
+    while net.active_flows() > 0 {
+        let Some(t) = net.next_event_time(now) else { break };
+        now = t;
+        net.advance(now);
+    }
+    net.delivered_bytes()
+}
+
+fn bench(c: &mut Criterion) {
+    for n in [16usize, 64, 256] {
+        c.bench_function(&format!("flownet_recompute/{n}"), |b| {
+            b.iter(|| black_box(churn(black_box(n))));
+        });
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -13,10 +13,14 @@
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::time::Instant;
 
 pub mod chart;
 
-use stash_core::profiler::Stash;
+use stash_core::cache::MeasurementCache;
+use stash_core::error::ProfileError;
+use stash_core::profiler::{par_profile_many, profile_threads, ProfileJob, Stash};
+use stash_core::report::StallReport;
 use stash_dnn::dataset::DatasetSpec;
 use stash_dnn::model::Model;
 use stash_hwtopo::cluster::ClusterSpec;
@@ -85,6 +89,160 @@ pub fn bench_stash(model: Model, batch: u64) -> Stash {
         .with_sampled_iterations(bench_iters())
 }
 
+/// One sweep point: a configured profiler aimed at one cluster.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// The configured profiler (model, batch, dataset, iterations).
+    pub stash: Stash,
+    /// The cluster to characterize.
+    pub cluster: ClusterSpec,
+}
+
+impl SweepJob {
+    /// Builds a sweep point from the standard bench profiler settings.
+    #[must_use]
+    pub fn new(model: Model, batch: u64, cluster: ClusterSpec) -> SweepJob {
+        SweepJob {
+            stash: bench_stash(model, batch),
+            cluster,
+        }
+    }
+}
+
+/// How a sweep performed: wall-clock, cache effectiveness, and (when the
+/// serial baseline was measured) the speedup over the seed's
+/// one-profile-at-a-time, uncached execution.
+#[derive(Debug, Clone)]
+pub struct SweepPerf {
+    /// Wall-clock seconds for the parallel, cached sweep.
+    pub wall_secs: f64,
+    /// Wall-clock seconds for the serial uncached baseline, when measured
+    /// (`STASH_BENCH_BASELINE=1`).
+    pub serial_secs: Option<f64>,
+    /// `serial_secs / wall_secs`, when the baseline was measured.
+    pub speedup: Option<f64>,
+    /// Wall-clock seconds for a cache-warm re-sweep (every measurement
+    /// served from the cache), when the baseline was measured.
+    pub warm_secs: Option<f64>,
+    /// `serial_secs / warm_secs`: the memoization speedup a warm
+    /// characterization database delivers over re-simulating from scratch.
+    pub warm_speedup: Option<f64>,
+    /// Measurement-cache hits during the sweep.
+    pub cache_hits: u64,
+    /// Measurement-cache misses (engine runs) during the sweep.
+    pub cache_misses: u64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Number of profile jobs in the sweep.
+    pub jobs: usize,
+}
+
+impl SweepPerf {
+    /// Cache hit fraction in `[0, 1]`.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Profiles every job across all cores with measurement memoization,
+/// returning per-job results (in input order) plus the sweep's
+/// performance record.
+///
+/// With `STASH_BENCH_BASELINE=1` the sweep is additionally re-run the
+/// seed way — serially, uncached — to measure the speedup, and the two
+/// result sets are asserted bit-identical (the determinism contract).
+///
+/// # Panics
+///
+/// Panics if the baseline comparison finds any divergence.
+#[must_use]
+pub fn run_sweep(jobs: Vec<SweepJob>) -> (Vec<Result<StallReport, ProfileError>>, SweepPerf) {
+    let profile_jobs: Vec<ProfileJob> = jobs
+        .iter()
+        .map(|j| ProfileJob {
+            stash: j.stash.clone(),
+            cluster: j.cluster.clone(),
+        })
+        .collect();
+
+    let cache = MeasurementCache::new();
+    let started = Instant::now();
+    let results = par_profile_many(&profile_jobs, Some(&cache));
+    let wall_secs = started.elapsed().as_secs_f64();
+    let stats = cache.stats();
+
+    let (serial_secs, speedup, warm_secs, warm_speedup) =
+        if std::env::var("STASH_BENCH_BASELINE").is_ok_and(|v| v == "1") {
+            let started = Instant::now();
+            let baseline: Vec<Result<StallReport, ProfileError>> = profile_jobs
+                .iter()
+                .map(|j| j.stash.profile_serial(&j.cluster))
+                .collect();
+            let secs = started.elapsed().as_secs_f64();
+            for (i, (fast, slow)) in results.iter().zip(&baseline).enumerate() {
+                assert_eq!(
+                    fast.as_ref().ok(),
+                    slow.as_ref().ok(),
+                    "job {i}: parallel+cached result diverged from serial baseline"
+                );
+            }
+            // Warm re-sweep: the cache now holds every measurement, so this
+            // is the "characterization database already paid for" case the
+            // paper argues for — no simulation, only report assembly.
+            let started = Instant::now();
+            let warm = par_profile_many(&profile_jobs, Some(&cache));
+            let wsecs = started.elapsed().as_secs_f64();
+            for (i, (fast, rewarm)) in results.iter().zip(&warm).enumerate() {
+                assert_eq!(
+                    fast.as_ref().ok(),
+                    rewarm.as_ref().ok(),
+                    "job {i}: cache-warm result diverged from first sweep"
+                );
+            }
+            (
+                Some(secs),
+                Some(secs / wall_secs.max(1e-9)),
+                Some(wsecs),
+                Some(secs / wsecs.max(1e-9)),
+            )
+        } else {
+            (None, None, None, None)
+        };
+
+    let perf = SweepPerf {
+        wall_secs,
+        serial_secs,
+        speedup,
+        warm_secs,
+        warm_speedup,
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+        threads: profile_threads(),
+        jobs: jobs.len(),
+    };
+    println!(
+        "[sweep: {} jobs in {:.3}s on {} threads, cache {}/{} hits ({:.0}%){}]",
+        perf.jobs,
+        perf.wall_secs,
+        perf.threads,
+        perf.cache_hits,
+        perf.cache_hits + perf.cache_misses,
+        perf.hit_rate() * 100.0,
+        perf.speedup
+            .map_or_else(String::new, |s| format!(", {s:.1}x over serial uncached")),
+    );
+    if let (Some(w), Some(s)) = (perf.warm_secs, perf.warm_speedup) {
+        println!("[sweep warm re-run: {w:.3}s, {s:.0}x over serial uncached]");
+    }
+    (results, perf)
+}
+
 /// Formats an optional percentage.
 #[must_use]
 pub fn pct(p: Option<f64>) -> String {
@@ -106,6 +264,7 @@ pub struct Table {
     title: String,
     columns: Vec<String>,
     rows: Vec<Vec<String>>,
+    perf: Option<SweepPerf>,
 }
 
 impl Table {
@@ -117,7 +276,14 @@ impl Table {
             title: title.to_string(),
             columns: columns.iter().map(|c| (*c).to_string()).collect(),
             rows: Vec::new(),
+            perf: None,
         }
+    }
+
+    /// Attaches the sweep's performance record; it is emitted as a `perf`
+    /// object in the results JSON.
+    pub fn set_perf(&mut self, perf: SweepPerf) {
+        self.perf = Some(perf);
     }
 
     /// Appends a row.
@@ -233,14 +399,36 @@ impl Table {
             })
             .collect();
         let json_path = results_dir().join(format!("{}.json", self.name));
+        let mut doc = serde_json::Map::new();
+        doc.insert(
+            "experiment".to_string(),
+            serde_json::Value::String(self.name.clone()),
+        );
+        doc.insert(
+            "title".to_string(),
+            serde_json::Value::String(self.title.clone()),
+        );
+        doc.insert("rows".to_string(), serde_json::Value::Array(json_rows));
+        if let Some(perf) = &self.perf {
+            doc.insert(
+                "perf".to_string(),
+                serde_json::json!({
+                    "wall_secs": perf.wall_secs,
+                    "serial_secs": perf.serial_secs,
+                    "speedup": perf.speedup,
+                    "warm_secs": perf.warm_secs,
+                    "warm_speedup": perf.warm_speedup,
+                    "cache_hits": perf.cache_hits,
+                    "cache_misses": perf.cache_misses,
+                    "cache_hit_rate": perf.hit_rate(),
+                    "threads": perf.threads as u64,
+                    "jobs": perf.jobs as u64,
+                }),
+            );
+        }
         fs::write(
             json_path,
-            serde_json::to_string_pretty(&serde_json::json!({
-                "experiment": self.name,
-                "title": self.title,
-                "rows": json_rows,
-            }))
-            .expect("serialize"),
+            serde_json::to_string_pretty(&serde_json::Value::Object(doc)).expect("serialize"),
         )
         .expect("write json");
         println!("[written: results/{}.csv, results/{}.json]", self.name, self.name);

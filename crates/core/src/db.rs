@@ -12,8 +12,12 @@ use std::io;
 use std::path::Path;
 
 use serde::Serialize;
+use stash_hwtopo::cluster::ClusterSpec;
 use stash_simkit::time::SimDuration;
 
+use crate::cache::MeasurementCache;
+use crate::error::ProfileError;
+use crate::profiler::Stash;
 use crate::report::{StallReport, StepTimes};
 
 /// A queryable, persistable collection of stall characterizations.
@@ -98,6 +102,32 @@ impl CharacterizationDb {
             .filter_map(|r| r.training_epoch_time().map(|t| (t, r)))
             .min_by_key(|(t, _)| *t)
             .map(|(_, r)| r)
+    }
+
+    /// The characterization for (`stash`, `cluster`), profiling only when
+    /// it is not stored yet — the paper's pay-once economics as an API.
+    /// Fresh profiles go through `cache`, so even a miss here reuses any
+    /// step measurements shared with earlier profiles, and a warm sweep
+    /// over an already-populated database runs no simulation at all.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling errors; the database is unchanged on error.
+    pub fn ensure(
+        &mut self,
+        stash: &Stash,
+        cluster: &ClusterSpec,
+        cache: &MeasurementCache,
+    ) -> Result<&StallReport, ProfileError> {
+        let name = cluster.display_name();
+        let model = stash.model().name.clone();
+        let batch = stash.per_gpu_batch();
+        if self.get(&name, &model, batch).is_none() {
+            self.insert(stash.profile_cached(cluster, cache)?);
+        }
+        Ok(self
+            .get(&name, &model, batch)
+            .expect("report inserted above"))
     }
 
     /// Serializes the database to pretty JSON.
@@ -230,6 +260,32 @@ mod tests {
         db.insert(mk("p2.16xlarge", "ResNet18", 32, 900));
         assert_eq!(db.fastest_for("ResNet18").unwrap().cluster, "p3.16xlarge");
         assert!(db.fastest_for("GPT-5").is_none());
+    }
+
+    #[test]
+    fn ensure_profiles_once_then_serves_from_store() {
+        use stash_dnn::zoo;
+        use stash_hwtopo::instance::p3_16xlarge;
+
+        let mut db = CharacterizationDb::new();
+        let cache = MeasurementCache::new();
+        let stash = Stash::new(zoo::alexnet())
+            .with_sampled_iterations(3)
+            .with_epoch_samples(20_000);
+        let cluster = ClusterSpec::single(p3_16xlarge());
+
+        let first = db.ensure(&stash, &cluster, &cache).unwrap().clone();
+        let after_first = cache.stats();
+        assert_eq!(after_first.misses, 4, "cold ensure simulates all steps");
+
+        let second = db.ensure(&stash, &cluster, &cache).unwrap().clone();
+        assert_eq!(first, second);
+        assert_eq!(
+            cache.stats(),
+            after_first,
+            "warm ensure must not touch the engine or the cache"
+        );
+        assert_eq!(db.len(), 1);
     }
 
     #[test]

@@ -6,8 +6,11 @@
 //! steps 1 and 5) plus the **CPU (prep)** and **disk (fetch)** stalls of
 //! prior work DS-Analyzer (steps 2-4).
 //!
-//! * [`profiler`] — [`profiler::Stash`] (all five steps) and
-//!   [`profiler::DsAnalyzer`] (the prior-work subset);
+//! * [`profiler`] — [`profiler::Stash`] (all five steps, serial or
+//!   parallel execution) and [`profiler::DsAnalyzer`] (the prior-work
+//!   subset), plus [`profiler::par_profile_many`] for sweep fan-out;
+//! * [`cache`] — [`cache::MeasurementCache`], memoizing identical epoch
+//!   measurements within and across profiles;
 //! * [`report`] — [`report::StallReport`] with the paper's stall formulas;
 //! * [`cost`] — epoch time x instance price billing (Figs. 6/10/12/14);
 //! * [`advisor`] — ranked instance recommendations;
@@ -43,6 +46,7 @@
 
 pub mod advisor;
 pub mod analytic;
+pub mod cache;
 pub mod cost;
 pub mod db;
 pub mod error;
@@ -60,8 +64,11 @@ pub mod prelude {
     pub use crate::cost::{epoch_cost, training_cost, CostReport};
     pub use crate::db::CharacterizationDb;
     pub use crate::pipeline::{plan as pipeline_plan, PipelinePlan};
+    pub use crate::cache::{CacheStats, MeasurementCache};
     pub use crate::error::ProfileError;
-    pub use crate::profiler::{DsAnalyzer, Stash};
+    pub use crate::profiler::{
+        par_profile_many, profile_threads, DsAnalyzer, ExecMode, ProfileJob, Stash,
+    };
     pub use crate::report::{StallReport, StepTimes};
     pub use crate::qos::{network_stall_distribution, QosDistribution};
     pub use crate::render::{comparison_markdown, report_markdown};

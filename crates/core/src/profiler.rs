@@ -25,13 +25,39 @@ use stash_dnn::model::Model;
 use stash_gpucompute::precision::Precision;
 use stash_hwtopo::cluster::ClusterSpec;
 use stash_hwtopo::instance::{catalog, InstanceType};
+use stash_simkit::time::SimDuration;
 
+use crate::cache::MeasurementCache;
 use crate::error::ProfileError;
 use crate::report::{StallReport, StepTimes};
 
 /// Default number of iterations simulated per step (the paper exploits
 /// DL's repetitiveness the same way: one epoch characterizes training).
 pub const DEFAULT_SAMPLED_ITERATIONS: u64 = 25;
+
+/// How a profile executes its five measurement steps.
+///
+/// The steps are independent simulations of a deterministic engine, so
+/// both modes produce bit-identical [`StallReport`]s; `Parallel` simply
+/// overlaps their wall-clock time on separate threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ExecMode {
+    /// Run steps 1-5 one after another on the calling thread.
+    Serial,
+    /// Run the steps concurrently on scoped threads (one per step).
+    Parallel,
+}
+
+/// Number of worker threads sweep fan-out uses: the `STASH_BENCH_THREADS`
+/// environment variable when set (minimum 1), otherwise the machine's
+/// available parallelism.
+#[must_use]
+pub fn profile_threads() -> usize {
+    match std::env::var("STASH_BENCH_THREADS") {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    }
+}
 
 /// The Stash profiler: configured once per (model, dataset, batch), then
 /// pointed at cluster configurations.
@@ -135,6 +161,12 @@ impl Stash {
         &self.model
     }
 
+    /// The configured per-GPU batch size.
+    #[must_use]
+    pub fn per_gpu_batch(&self) -> u64 {
+        self.per_gpu_batch
+    }
+
     fn epoch_samples(&self) -> u64 {
         self.epoch_samples.unwrap_or(self.dataset.num_samples)
     }
@@ -182,7 +214,44 @@ impl Stash {
             })
     }
 
-    /// Runs the full Stash methodology against `cluster`.
+    /// Builds the configs for measurement steps 1-4 (and 5 for multi-node
+    /// clusters), in step order.
+    fn step_configs(&self, cluster: &ClusterSpec, reference: &InstanceType) -> Vec<TrainConfig> {
+        let world = cluster.world_size();
+        let samples_per_gpu = (self.epoch_samples() / world as u64).max(self.per_gpu_batch);
+        let ref_cluster = ClusterSpec::single(reference.clone());
+
+        // Step 1: one GPU, synthetic, n/k samples.
+        let mut step1 = self.base_config(ref_cluster.clone(), samples_per_gpu);
+        step1.active = ActiveGpus::Single;
+
+        // Step 2: all k GPUs of the reference instance, synthetic.
+        let step2 = self.base_config(ref_cluster, samples_per_gpu);
+
+        // Step 3: real data, cold caches, on the cluster under test.
+        let mut step3 = self.base_config(cluster.clone(), samples_per_gpu);
+        step3.data = DataMode::Real {
+            dataset: self.dataset.clone(),
+            cache: CacheState::Cold,
+        };
+
+        // Step 4: real data, warm caches.
+        let mut step4 = self.base_config(cluster.clone(), samples_per_gpu);
+        step4.data = DataMode::Real {
+            dataset: self.dataset.clone(),
+            cache: CacheState::Warm,
+        };
+
+        let mut configs = vec![step1, step2, step3, step4];
+        // Step 5: synthetic across the network (multi-node only).
+        if cluster.node_count() > 1 {
+            configs.push(self.base_config(cluster.clone(), samples_per_gpu));
+        }
+        configs
+    }
+
+    /// Runs the full Stash methodology against `cluster`, with the five
+    /// steps executed concurrently (they are independent simulations).
     ///
     /// Single-instance clusters get steps 1-4 (`t5 = None`); multi-node
     /// clusters additionally get step 5, with steps 1/2 measured on the
@@ -193,59 +262,155 @@ impl Stash {
     /// Propagates engine errors (e.g. out-of-memory) and
     /// [`ProfileError::NoReference`] for unreferenced multi-node shapes.
     pub fn profile(&self, cluster: &ClusterSpec) -> Result<StallReport, ProfileError> {
+        self.profile_with(cluster, ExecMode::Parallel, None)
+    }
+
+    /// [`Stash::profile`] on the calling thread only — the original
+    /// one-step-after-another execution, kept as the determinism baseline.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Stash::profile`].
+    pub fn profile_serial(&self, cluster: &ClusterSpec) -> Result<StallReport, ProfileError> {
+        self.profile_with(cluster, ExecMode::Serial, None)
+    }
+
+    /// [`Stash::profile`] backed by a measurement cache: steps whose
+    /// config was measured before (by any profile sharing `cache`) are
+    /// answered without re-simulating.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Stash::profile`].
+    pub fn profile_cached(
+        &self,
+        cluster: &ClusterSpec,
+        cache: &MeasurementCache,
+    ) -> Result<StallReport, ProfileError> {
+        self.profile_with(cluster, ExecMode::Parallel, Some(cache))
+    }
+
+    /// The fully explicit profiling entry point: chooses serial or
+    /// parallel step execution and an optional measurement cache.
+    ///
+    /// All four combinations produce bit-identical reports: the engine is
+    /// deterministic, steps are independent, results are assembled in step
+    /// order, and on error the lowest-numbered failing step wins (exactly
+    /// the error serial execution would have surfaced first).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Stash::profile`].
+    pub fn profile_with(
+        &self,
+        cluster: &ClusterSpec,
+        mode: ExecMode,
+        cache: Option<&MeasurementCache>,
+    ) -> Result<StallReport, ProfileError> {
         let reference = Self::reference_for(cluster)?;
-        let world = cluster.world_size();
-        let samples_per_gpu = (self.epoch_samples() / world as u64).max(self.per_gpu_batch);
-        let ref_cluster = ClusterSpec::single(reference.clone());
-
-        // Step 1: one GPU, synthetic, n/k samples.
-        let mut step1 = self.base_config(ref_cluster.clone(), samples_per_gpu);
-        step1.active = ActiveGpus::Single;
-        let t1 = run_epoch(&step1)?.epoch_time;
-
-        // Step 2: all k GPUs of the reference instance, synthetic.
-        let step2 = self.base_config(ref_cluster, samples_per_gpu);
-        let t2 = run_epoch(&step2)?.epoch_time;
-
-        // Step 3: real data, cold caches, on the cluster under test.
-        let mut step3 = self.base_config(cluster.clone(), samples_per_gpu);
-        step3.data = DataMode::Real {
-            dataset: self.dataset.clone(),
-            cache: CacheState::Cold,
+        let configs = self.step_configs(cluster, &reference);
+        let measure = |cfg: &TrainConfig| -> Result<SimDuration, ProfileError> {
+            match cache {
+                Some(c) => c.epoch_time(cfg),
+                None => Ok(run_epoch(cfg)?.epoch_time),
+            }
         };
-        let t3 = run_epoch(&step3)?.epoch_time;
 
-        // Step 4: real data, warm caches.
-        let mut step4 = self.base_config(cluster.clone(), samples_per_gpu);
-        step4.data = DataMode::Real {
-            dataset: self.dataset.clone(),
-            cache: CacheState::Warm,
-        };
-        let t4 = run_epoch(&step4)?.epoch_time;
-
-        // Step 5: synthetic across the network (multi-node only).
-        let t5 = if cluster.node_count() > 1 {
-            let step5 = self.base_config(cluster.clone(), samples_per_gpu);
-            Some(run_epoch(&step5)?.epoch_time)
-        } else {
-            None
-        };
+        let mut times: Vec<SimDuration> = Vec::with_capacity(configs.len());
+        match mode {
+            ExecMode::Serial => {
+                for cfg in &configs {
+                    times.push(measure(cfg)?);
+                }
+            }
+            ExecMode::Parallel => {
+                let results: Vec<Result<SimDuration, ProfileError>> =
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = configs
+                            .iter()
+                            .map(|cfg| scope.spawn(move || measure(cfg)))
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("measurement step panicked"))
+                            .collect()
+                    });
+                for r in results {
+                    times.push(r?);
+                }
+            }
+        }
 
         Ok(StallReport {
             cluster: cluster.display_name(),
             reference: reference.name,
             model: self.model.name.clone(),
             per_gpu_batch: self.per_gpu_batch,
-            world,
+            world: cluster.world_size(),
             times: StepTimes {
-                t1: Some(t1),
-                t2: Some(t2),
-                t3: Some(t3),
-                t4: Some(t4),
-                t5,
+                t1: Some(times[0]),
+                t2: Some(times[1]),
+                t3: Some(times[2]),
+                t4: Some(times[3]),
+                t5: times.get(4).copied(),
             },
         })
     }
+}
+
+/// A (profiler, cluster) pair to run as one unit of sweep work.
+#[derive(Debug, Clone)]
+pub struct ProfileJob {
+    /// The configured profiler.
+    pub stash: Stash,
+    /// The cluster to characterize.
+    pub cluster: ClusterSpec,
+}
+
+/// Profiles many (profiler, cluster) jobs across [`profile_threads`]
+/// worker threads, returning one result per job in input order.
+///
+/// Each worker runs whole jobs with [`ExecMode::Serial`] steps — the
+/// parallelism lives at the job level, so a sweep of dozens of
+/// instance x batch x model points saturates the machine without
+/// oversubscribing it with nested per-step threads. Passing a `cache`
+/// additionally deduplicates measurements shared between jobs (e.g. the
+/// reference-instance steps of multi-node points).
+///
+/// Results are bit-identical to profiling the jobs one by one: jobs are
+/// independent, the engine is deterministic, and each result lands in its
+/// job's slot regardless of completion order.
+pub fn par_profile_many(
+    jobs: &[ProfileJob],
+    cache: Option<&MeasurementCache>,
+) -> Vec<Result<StallReport, ProfileError>> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let workers = profile_threads().min(jobs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<StallReport, ProfileError>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                let result = job.stash.profile_with(&job.cluster, ExecMode::Serial, cache);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker skipped a job")
+        })
+        .collect()
 }
 
 /// The prior-work DS-Analyzer profiler: steps 2-4 only — it measures prep
@@ -294,8 +459,23 @@ impl DsAnalyzer {
     ///
     /// Propagates engine errors.
     pub fn profile(&self, instance: InstanceType) -> Result<StallReport, ProfileError> {
+        self.profile_with(instance, ExecMode::Parallel, None)
+    }
+
+    /// [`DsAnalyzer::profile`] with explicit execution mode and optional
+    /// measurement cache, mirroring [`Stash::profile_with`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn profile_with(
+        &self,
+        instance: InstanceType,
+        mode: ExecMode,
+        cache: Option<&MeasurementCache>,
+    ) -> Result<StallReport, ProfileError> {
         let cluster = ClusterSpec::single(instance);
-        let mut report = self.inner.profile(&cluster)?;
+        let mut report = self.inner.profile_with(&cluster, mode, cache)?;
         report.times.t1 = None;
         report.times.t5 = None;
         Ok(report)
@@ -371,6 +551,86 @@ mod tests {
             .unwrap();
         let cpu = r.cpu_stall_pct().unwrap();
         assert!(cpu < 15.0, "CPU stall should be small, got {cpu}%");
+    }
+
+    #[test]
+    fn serial_and_parallel_profiles_are_bit_identical() {
+        let stash = quick(zoo::resnet18());
+        let cluster = ClusterSpec::homogeneous(p3_8xlarge(), 2);
+        let serial = stash.profile_serial(&cluster).unwrap();
+        let parallel = stash.profile(&cluster).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn cached_profile_is_bit_identical_and_hits_on_rerun() {
+        let cache = crate::cache::MeasurementCache::new();
+        let stash = quick(zoo::resnet18());
+        let cluster = ClusterSpec::single(p3_16xlarge());
+        let uncached = stash.profile_serial(&cluster).unwrap();
+        let cold = stash.profile_cached(&cluster, &cache).unwrap();
+        let warm = stash.profile_cached(&cluster, &cache).unwrap();
+        assert_eq!(uncached, cold);
+        assert_eq!(cold, warm);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 4, "first run simulates all four steps");
+        assert_eq!(stats.hits, 4, "second run is fully cached");
+    }
+
+    #[test]
+    fn par_profile_many_matches_sequential_profiles() {
+        let jobs: Vec<ProfileJob> = [p3_8xlarge(), p3_16xlarge(), p3_2xlarge()]
+            .into_iter()
+            .map(|inst| ProfileJob {
+                stash: quick(zoo::alexnet()),
+                cluster: ClusterSpec::single(inst),
+            })
+            .collect();
+        let fanned = par_profile_many(&jobs, None);
+        assert_eq!(fanned.len(), jobs.len());
+        for (job, got) in jobs.iter().zip(&fanned) {
+            let want = job.stash.profile_serial(&job.cluster).unwrap();
+            assert_eq!(got.as_ref().unwrap(), &want);
+        }
+    }
+
+    #[test]
+    fn par_profile_many_shares_reference_steps_through_cache() {
+        // p3.8xlarge x2 resolves its steps 1/2 on the p3.16xlarge
+        // reference, which the single p3.16xlarge job also measures.
+        let cache = crate::cache::MeasurementCache::new();
+        let jobs = vec![
+            ProfileJob {
+                stash: quick(zoo::alexnet()),
+                cluster: ClusterSpec::single(p3_16xlarge()),
+            },
+            ProfileJob {
+                stash: quick(zoo::alexnet()),
+                cluster: ClusterSpec::homogeneous(p3_8xlarge(), 2),
+            },
+        ];
+        let results = par_profile_many(&jobs, Some(&cache));
+        assert!(results.iter().all(Result::is_ok));
+        assert!(
+            cache.stats().hits >= 2,
+            "reference steps must be shared, stats: {:?}",
+            cache.stats()
+        );
+    }
+
+    #[test]
+    fn profile_threads_honors_env_override() {
+        // Temp-env style: the test process may run others concurrently, so
+        // restore whatever was set.
+        let prior = std::env::var("STASH_BENCH_THREADS").ok();
+        std::env::set_var("STASH_BENCH_THREADS", "3");
+        assert_eq!(profile_threads(), 3);
+        std::env::set_var("STASH_BENCH_THREADS", "0");
+        assert_eq!(profile_threads(), 1);
+        match prior {
+            Some(v) => std::env::set_var("STASH_BENCH_THREADS", v),
+            None => std::env::remove_var("STASH_BENCH_THREADS"),
+        }
     }
 
     #[test]

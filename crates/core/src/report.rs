@@ -31,7 +31,7 @@ pub struct StepTimes {
 }
 
 /// A complete stall characterization of one cluster configuration.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct StallReport {
     /// Cluster under test (e.g. `"p3.8xlarge*2"`).
     pub cluster: String,

@@ -13,6 +13,114 @@
 /// receives [`f64::INFINITY`].
 pub type Route<'a> = &'a [usize];
 
+/// Reusable working memory for the water-filling solver.
+///
+/// The event-driven simulator re-solves rates at every topology change;
+/// keeping the per-flow and per-link working vectors in a scratch object
+/// (owned by the caller, typically a `FlowNet`) makes each solve
+/// allocation-free. The solver itself is the same progressive-filling
+/// arithmetic as [`max_min_rates`], so results are bit-identical.
+#[derive(Debug, Default, Clone)]
+pub struct MaxMinScratch {
+    rate: Vec<f64>,
+    remaining_cap: Vec<f64>,
+    frozen: Vec<bool>,
+    users: Vec<usize>,
+}
+
+impl MaxMinScratch {
+    /// Fresh scratch space (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> MaxMinScratch {
+        MaxMinScratch::default()
+    }
+
+    /// Computes max-min fair rates over routes that are already
+    /// duplicate-free (each link appears at most once per route).
+    ///
+    /// Returns one rate per flow, in bytes/sec, borrowed from the scratch
+    /// buffer — copy it out before the next solve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a route references a link index out of bounds.
+    pub fn solve_dedup(&mut self, capacities: &[f64], routes: &[&[usize]]) -> &[f64] {
+        let n_flows = routes.len();
+        let n_links = capacities.len();
+        self.rate.clear();
+        self.rate.resize(n_flows, 0.0);
+        if n_flows == 0 {
+            return &self.rate;
+        }
+        for r in routes {
+            for &l in *r {
+                assert!(l < n_links, "route references unknown link {l}");
+            }
+        }
+
+        self.remaining_cap.clear();
+        self.remaining_cap.extend_from_slice(capacities);
+        self.frozen.clear();
+        self.frozen.resize(n_flows, false);
+        // Flows with empty routes are unconstrained.
+        for (f, r) in routes.iter().enumerate() {
+            if r.is_empty() {
+                self.rate[f] = f64::INFINITY;
+                self.frozen[f] = true;
+            }
+        }
+        self.users.clear();
+        self.users.resize(n_links, 0);
+
+        loop {
+            // users[l] = number of unfrozen flows crossing link l.
+            self.users.iter_mut().for_each(|u| *u = 0);
+            for (f, r) in routes.iter().enumerate() {
+                if self.frozen[f] {
+                    continue;
+                }
+                for &l in *r {
+                    self.users[l] += 1;
+                }
+            }
+            // Find the tightest link: min over links of remaining/users.
+            let mut best: Option<(f64, usize)> = None;
+            for l in 0..n_links {
+                if self.users[l] == 0 {
+                    continue;
+                }
+                let fair = self.remaining_cap[l] / self.users[l] as f64;
+                match best {
+                    Some((b, _)) if fair >= b => {}
+                    _ => best = Some((fair, l)),
+                }
+            }
+            let Some((fair_share, bottleneck)) = best else {
+                break; // no unfrozen flows remain
+            };
+            // Freeze every unfrozen flow crossing the bottleneck at
+            // fair_share.
+            let mut froze_any = false;
+            for (f, r) in routes.iter().enumerate() {
+                if self.frozen[f] || !r.contains(&bottleneck) {
+                    continue;
+                }
+                self.rate[f] = fair_share;
+                self.frozen[f] = true;
+                froze_any = true;
+                for &l in *r {
+                    self.remaining_cap[l] = (self.remaining_cap[l] - fair_share).max(0.0);
+                }
+            }
+            debug_assert!(froze_any, "water-filling made no progress");
+            if !froze_any {
+                break;
+            }
+        }
+        &self.rate
+    }
+}
+
 /// Computes max-min fair rates.
 ///
 /// * `capacities[l]` — capacity of link `l` in bytes/sec;
@@ -20,89 +128,26 @@ pub type Route<'a> = &'a [usize];
 ///
 /// Returns one rate per flow, in bytes/sec.
 ///
+/// Each route is deduplicated once up front (the solver's freeze rounds
+/// then walk the cleaned routes directly, instead of re-sorting every
+/// route on every round).
+///
 /// # Panics
 ///
 /// Panics if a route references a link index out of bounds.
 #[must_use]
 pub fn max_min_rates(capacities: &[f64], routes: &[Vec<usize>]) -> Vec<f64> {
-    let n_flows = routes.len();
-    let n_links = capacities.len();
-    let mut rate = vec![0.0_f64; n_flows];
-    if n_flows == 0 {
-        return rate;
-    }
-    for r in routes {
-        for &l in r {
-            assert!(l < n_links, "route references unknown link {l}");
-        }
-    }
-
-    let mut remaining_cap = capacities.to_vec();
-    let mut frozen = vec![false; n_flows];
-    // Flows with empty routes are unconstrained.
-    for (f, r) in routes.iter().enumerate() {
-        if r.is_empty() {
-            rate[f] = f64::INFINITY;
-            frozen[f] = true;
-        }
-    }
-
-    // users[l] = number of unfrozen flows crossing link l.
-    let mut users = vec![0_usize; n_links];
-    let count_users = |frozen: &[bool], users: &mut [usize]| {
-        users.iter_mut().for_each(|u| *u = 0);
-        for (f, r) in routes.iter().enumerate() {
-            if frozen[f] {
-                continue;
-            }
-            let mut seen: Vec<usize> = r.clone();
+    let deduped: Vec<Vec<usize>> = routes
+        .iter()
+        .map(|r| {
+            let mut seen = r.clone();
             seen.sort_unstable();
             seen.dedup();
-            for l in seen {
-                users[l] += 1;
-            }
-        }
-    };
-
-    loop {
-        count_users(&frozen, &mut users);
-        // Find the tightest link: min over links of remaining/users.
-        let mut best: Option<(f64, usize)> = None;
-        for l in 0..n_links {
-            if users[l] == 0 {
-                continue;
-            }
-            let fair = remaining_cap[l] / users[l] as f64;
-            match best {
-                Some((b, _)) if fair >= b => {}
-                _ => best = Some((fair, l)),
-            }
-        }
-        let Some((fair_share, bottleneck)) = best else {
-            break; // no unfrozen flows remain
-        };
-        // Freeze every unfrozen flow crossing the bottleneck at fair_share.
-        let mut froze_any = false;
-        for (f, r) in routes.iter().enumerate() {
-            if frozen[f] || !r.contains(&bottleneck) {
-                continue;
-            }
-            rate[f] = fair_share;
-            frozen[f] = true;
-            froze_any = true;
-            let mut seen: Vec<usize> = r.clone();
-            seen.sort_unstable();
-            seen.dedup();
-            for l in seen {
-                remaining_cap[l] = (remaining_cap[l] - fair_share).max(0.0);
-            }
-        }
-        debug_assert!(froze_any, "water-filling made no progress");
-        if !froze_any {
-            break;
-        }
-    }
-    rate
+            seen
+        })
+        .collect();
+    let refs: Vec<&[usize]> = deduped.iter().map(Vec::as_slice).collect();
+    MaxMinScratch::new().solve_dedup(capacities, &refs).to_vec()
 }
 
 #[cfg(test)]

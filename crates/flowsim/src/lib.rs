@@ -37,7 +37,7 @@ pub mod net;
 
 /// Convenient glob-import of the most used items.
 pub mod prelude {
-    pub use crate::fairness::max_min_rates;
+    pub use crate::fairness::{max_min_rates, MaxMinScratch};
     pub use crate::link::{Link, LinkClass, LinkId};
     pub use crate::net::{FlowId, FlowNet, FlowSpec};
 }

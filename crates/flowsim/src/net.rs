@@ -19,7 +19,7 @@ use stash_simkit::time::{SimDuration, SimTime};
 
 use stash_simkit::stats::TimeWeighted;
 
-use crate::fairness::max_min_rates;
+use crate::fairness::{max_min_rates, MaxMinScratch};
 use crate::link::{Link, LinkId};
 
 /// Identifier of an in-flight flow.
@@ -57,9 +57,15 @@ impl FlowSpec {
 #[derive(Debug, Clone)]
 struct FlowState {
     route: Vec<usize>,
+    /// `route` sorted and deduplicated, computed once at start: what the
+    /// fair-share allocator and the per-link user counts operate on.
+    route_dedup: Vec<usize>,
     remaining_latency: SimDuration,
     remaining_bytes: f64,
     rate: f64,
+    /// Whether this flow currently contributes to [`FlowNet::link_users`]
+    /// (latency elapsed, bytes outstanding).
+    counted: bool,
     tag: u64,
 }
 
@@ -97,6 +103,26 @@ pub struct FlowNet {
     link_load: Vec<TimeWeighted>,
     /// Per-link bytes carried.
     link_bytes: Vec<f64>,
+    /// Link capacities, mirrored from `links` so rate solves skip the
+    /// per-event rebuild.
+    caps: Vec<f64>,
+    /// Per-link count of counted (allocator-visible) flows. Lets state
+    /// changes that touch only uncontended links skip the full solve.
+    link_users: Vec<u32>,
+    /// Per-link instantaneous rate sum of counted flows — the numerator
+    /// of the utilisation signal, maintained incrementally.
+    link_rate_load: Vec<f64>,
+    /// Reusable water-filling working memory.
+    scratch: MaxMinScratch,
+    /// Reusable id buffers for the allocator and event settling.
+    active_ids: Vec<FlowId>,
+    activated_buf: Vec<FlowId>,
+    done_buf: Vec<FlowId>,
+    freed_buf: Vec<usize>,
+    /// Full water-filling solves performed (diagnostics).
+    full_recomputes: u64,
+    /// State changes settled without a full solve (diagnostics).
+    shortcut_events: u64,
 }
 
 impl FlowNet {
@@ -109,9 +135,12 @@ impl FlowNet {
     /// Registers a link and returns its id.
     pub fn add_link(&mut self, link: Link) -> LinkId {
         let id = LinkId(u32::try_from(self.links.len()).expect("too many links"));
+        self.caps.push(link.capacity_bps);
         self.links.push(link);
         self.link_load.push(TimeWeighted::new(0.0, self.last_advance));
         self.link_bytes.push(0.0);
+        self.link_users.push(0);
+        self.link_rate_load.push(0.0);
         id
     }
 
@@ -170,17 +199,46 @@ impl FlowNet {
             + spec.extra_latency;
         let id = FlowId(self.next_id);
         self.next_id += 1;
+        let route: Vec<usize> = spec.route.iter().map(|l| l.index()).collect();
+        let mut route_dedup = route.clone();
+        route_dedup.sort_unstable();
+        route_dedup.dedup();
+        let counted = latency.is_zero() && spec.bytes > 0.0;
         self.flows.insert(
             id,
             FlowState {
-                route: spec.route.iter().map(|l| l.index()).collect(),
+                route,
+                route_dedup,
                 remaining_latency: latency,
                 remaining_bytes: spec.bytes,
                 rate: 0.0,
+                counted,
                 tag: spec.tag,
             },
         );
-        self.recompute_rates();
+        if counted {
+            let f = &self.flows[&id];
+            for &l in &f.route_dedup {
+                self.link_users[l] += 1;
+            }
+            let alone = f.route_dedup.iter().all(|&l| self.link_users[l] == 1);
+            if alone {
+                // Disjoint from every other active flow: the allocator
+                // would give it min-capacity of its links and leave the
+                // rest untouched, so assign that directly.
+                self.settle_alone_flow(id);
+                self.shortcut_events += 1;
+                self.touch_loads();
+            } else {
+                self.recompute_rates();
+            }
+        } else {
+            // Latency-phase flows are invisible to the allocator: rates
+            // are unchanged, only the load integrals get their segment
+            // boundary.
+            self.shortcut_events += 1;
+            self.touch_loads();
+        }
         self.collect_done();
         id
     }
@@ -188,11 +246,31 @@ impl FlowNet {
     /// Cancels an in-flight flow; returns `true` if it was still active.
     pub fn cancel_flow(&mut self, now: SimTime, id: FlowId) -> bool {
         self.advance(now);
-        let existed = self.flows.remove(&id).is_some();
-        if existed {
-            self.recompute_rates();
+        let Some(f) = self.flows.remove(&id) else {
+            return false;
+        };
+        if f.counted {
+            let mut contended = false;
+            for &l in &f.route_dedup {
+                self.link_users[l] -= 1;
+                if self.link_users[l] > 0 {
+                    contended = true;
+                }
+            }
+            if contended {
+                self.recompute_rates();
+            } else {
+                for &l in &f.route_dedup {
+                    self.link_rate_load[l] = 0.0;
+                }
+                self.shortcut_events += 1;
+                self.touch_loads();
+            }
+        } else {
+            self.shortcut_events += 1;
+            self.touch_loads();
         }
-        existed
+        true
     }
 
     /// Advances the network state to `now`, progressing latencies and byte
@@ -233,11 +311,21 @@ impl FlowNet {
                 seg = seg.min(c);
             }
             let mut boundary = false;
-            for f in self.flows.values_mut() {
+            for (&id, f) in self.flows.iter_mut() {
                 if !f.remaining_latency.is_zero() {
                     f.remaining_latency = f.remaining_latency.saturating_sub(seg);
                     if f.remaining_latency.is_zero() {
                         boundary = true;
+                        if f.remaining_bytes > 0.0 {
+                            // Entering the transfer phase: join the
+                            // allocator's user counts; rates settle at the
+                            // boundary below.
+                            f.counted = true;
+                            for &l in &f.route_dedup {
+                                self.link_users[l] += 1;
+                            }
+                            self.activated_buf.push(id);
+                        }
                     }
                 } else if f.remaining_bytes > 0.0 {
                     let moved = f.rate * seg.as_secs_f64();
@@ -258,10 +346,7 @@ impl FlowNet {
             // utilisation integrals they update) land at the right instant.
             self.last_advance += seg;
             if boundary {
-                let any_done = self.collect_done();
-                if !any_done {
-                    self.recompute_rates();
-                }
+                self.collect_done();
             }
         }
         self.last_advance = now;
@@ -317,59 +402,145 @@ impl FlowNet {
         max_min_rates(&caps, &idx_routes)
     }
 
-    fn recompute_rates(&mut self) {
-        let caps: Vec<f64> = self.links.iter().map(|l| l.capacity_bps).collect();
-        let ids: Vec<FlowId> = self
-            .flows
+    /// Number of full water-filling solves and of events settled by the
+    /// incremental shortcuts instead, since construction.
+    #[must_use]
+    pub fn recompute_stats(&self) -> (u64, u64) {
+        (self.full_recomputes, self.shortcut_events)
+    }
+
+    /// Assigns the exact allocator outcome for a counted flow that shares
+    /// no link with any other counted flow: the minimum capacity along its
+    /// route (infinite for an empty route), with its links' load sums
+    /// updated in place. Every other flow's rate and load is untouched —
+    /// which is also exactly what a full solve would conclude, since the
+    /// flow forms its own component of the flow/link sharing graph.
+    fn settle_alone_flow(&mut self, id: FlowId) {
+        let f = self.flows.get_mut(&id).expect("flow vanished");
+        let rate = f
+            .route_dedup
             .iter()
-            .filter(|(_, f)| f.remaining_latency.is_zero() && f.remaining_bytes > 0.0)
-            .map(|(id, _)| *id)
-            .collect();
-        let routes: Vec<Vec<usize>> = ids.iter().map(|id| self.flows[id].route.clone()).collect();
-        let rates = max_min_rates(&caps, &routes);
-        for f in self.flows.values_mut() {
-            f.rate = 0.0;
-        }
-        for (id, rate) in ids.iter().zip(rates) {
-            self.flows.get_mut(id).expect("flow vanished").rate = rate;
-        }
-        // Refresh per-link load integrals.
-        let mut load = vec![0.0_f64; self.links.len()];
-        for f in self.flows.values() {
-            if f.remaining_latency.is_zero() && f.rate.is_finite() {
-                for &l in &f.route {
-                    load[l] += f.rate;
-                }
+            .map(|&l| self.caps[l])
+            .fold(f64::INFINITY, f64::min);
+        f.rate = rate;
+        if rate.is_finite() {
+            for &l in &f.route {
+                self.link_rate_load[l] += rate;
             }
-        }
-        for (l, w) in self.link_load.iter_mut().enumerate() {
-            w.set(self.last_advance, load[l] / self.links[l].capacity_bps);
         }
     }
 
-    /// Moves finished flows to the completed queue; returns whether any
-    /// flow finished (rates are recomputed in that case).
-    fn collect_done(&mut self) -> bool {
-        let done: Vec<FlowId> = self
-            .flows
-            .iter()
-            .filter(|(_, f)| {
-                f.remaining_latency.is_zero()
-                    && (f.remaining_bytes <= 0.0
-                        || f.route.is_empty()
-                        || f.rate.is_infinite())
-            })
-            .map(|(id, _)| *id)
-            .collect();
-        let mut any = false;
-        for id in done {
-            let f = self.flows.remove(&id).expect("flow vanished");
-            self.delivered_bytes += f.remaining_bytes.max(0.0);
-            self.completed.push((id, f.tag));
-            any = true;
+    /// Re-anchors every link's utilisation integral at the current time
+    /// with its (maintained) load sum. Full solves and shortcuts both end
+    /// with this, so the integrals see identical segment boundaries either
+    /// way.
+    fn touch_loads(&mut self) {
+        for (l, w) in self.link_load.iter_mut().enumerate() {
+            w.set(self.last_advance, self.link_rate_load[l] / self.caps[l]);
         }
-        if any {
+    }
+
+    fn recompute_rates(&mut self) {
+        self.full_recomputes += 1;
+        self.active_ids.clear();
+        for (id, f) in &self.flows {
+            if f.counted {
+                self.active_ids.push(*id);
+            }
+        }
+        let routes: Vec<&[usize]> = self
+            .active_ids
+            .iter()
+            .map(|id| self.flows[id].route_dedup.as_slice())
+            .collect();
+        let rates = self.scratch.solve_dedup(&self.caps, &routes);
+        for f in self.flows.values_mut() {
+            f.rate = 0.0;
+        }
+        for (id, &rate) in self.active_ids.iter().zip(rates) {
+            self.flows.get_mut(id).expect("flow vanished").rate = rate;
+        }
+        // Refresh per-link load sums and integrals.
+        self.link_rate_load.iter_mut().for_each(|v| *v = 0.0);
+        for f in self.flows.values() {
+            if f.remaining_latency.is_zero() && f.rate.is_finite() {
+                for &l in &f.route {
+                    self.link_rate_load[l] += f.rate;
+                }
+            }
+        }
+        self.touch_loads();
+    }
+
+    /// Moves finished flows to the completed queue and settles any flows
+    /// that just entered their transfer phase; returns whether any flow
+    /// finished. Rates are recomputed only when a change can actually
+    /// shift the allocation — a removal or activation whose links carry no
+    /// other flow is settled directly.
+    fn collect_done(&mut self) -> bool {
+        self.done_buf.clear();
+        for (id, f) in &self.flows {
+            if f.remaining_latency.is_zero()
+                && (f.remaining_bytes <= 0.0 || f.route.is_empty() || f.rate.is_infinite())
+            {
+                self.done_buf.push(*id);
+            }
+        }
+        let any = !self.done_buf.is_empty();
+        if !any && self.activated_buf.is_empty() {
+            return false;
+        }
+
+        self.freed_buf.clear();
+        let done = std::mem::take(&mut self.done_buf);
+        for id in &done {
+            let f = self.flows.remove(id).expect("flow vanished");
+            self.delivered_bytes += f.remaining_bytes.max(0.0);
+            self.completed.push((*id, f.tag));
+            if f.counted {
+                for &l in &f.route_dedup {
+                    self.link_users[l] -= 1;
+                    self.freed_buf.push(l);
+                }
+            }
+        }
+        self.done_buf = done;
+
+        // A removal perturbs survivors only via links it shared with them;
+        // an activation perturbs others only via links that already have a
+        // user. If neither applies, the old allocation is still the
+        // max-min solution for the survivors.
+        let mut needs_full = self.freed_buf.iter().any(|&l| self.link_users[l] > 0);
+        if !needs_full {
+            for id in &self.activated_buf {
+                // Flows both activated and finished in this settling (e.g.
+                // empty routes) were removed above — skip them.
+                if let Some(f) = self.flows.get(id) {
+                    if f.route_dedup.iter().any(|&l| self.link_users[l] != 1) {
+                        needs_full = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        if needs_full {
+            self.activated_buf.clear();
             self.recompute_rates();
+        } else {
+            for i in 0..self.freed_buf.len() {
+                self.link_rate_load[self.freed_buf[i]] = 0.0;
+            }
+            let activated = std::mem::take(&mut self.activated_buf);
+            for id in &activated {
+                if self.flows.contains_key(id) {
+                    self.settle_alone_flow(*id);
+                }
+            }
+            self.activated_buf = activated;
+            self.activated_buf.clear();
+            self.shortcut_events += 1;
+            self.touch_loads();
         }
         any
     }
@@ -527,6 +698,112 @@ mod tests {
         net.advance(SimTime::from_nanos(1_000_000_000));
         assert_eq!(net.link_utilization(l[1]), 0.0);
         assert_eq!(net.link_carried_bytes(l[1]), 0.0);
+    }
+
+    /// Full-solve oracle: what the seed's recompute (max-min over every
+    /// counted flow's route) would assign right now.
+    fn oracle_rates(net: &FlowNet) -> Vec<(FlowId, f64)> {
+        let caps: Vec<f64> = net.links.iter().map(|l| l.capacity_bps).collect();
+        let ids: Vec<FlowId> = net
+            .flows
+            .iter()
+            .filter(|(_, f)| f.counted)
+            .map(|(id, _)| *id)
+            .collect();
+        let routes: Vec<Vec<usize>> = ids.iter().map(|id| net.flows[id].route.clone()).collect();
+        let rates = max_min_rates(&caps, &routes);
+        ids.into_iter().zip(rates).collect()
+    }
+
+    #[test]
+    fn incremental_rates_match_full_solve_throughout() {
+        // Mixed scenario: disjoint flows, shared bottlenecks, latency
+        // phases and a cancellation. After every event the incremental
+        // allocation must equal a from-scratch solve bit-for-bit.
+        let (mut net, l) = mk_net(&[100.0, 40.0, 250.0, 10.0]);
+        let mut now = SimTime::ZERO;
+        net.start_flow(now, FlowSpec::new(vec![l[2]], 500.0, 0)); // alone
+        net.start_flow(now, FlowSpec::new(vec![l[0]], 300.0, 1));
+        net.start_flow(now, FlowSpec::new(vec![l[0], l[1]], 120.0, 2)); // shares l0
+        let victim = net.start_flow(
+            now,
+            FlowSpec {
+                route: vec![l[1], l[3]],
+                bytes: 90.0,
+                extra_latency: SimDuration::from_millis(700),
+                tag: 3,
+            },
+        );
+        let mut steps = 0;
+        loop {
+            for (id, want) in oracle_rates(&net) {
+                let got = net.flows[&id].rate;
+                assert!(
+                    got == want || (got.is_infinite() && want.is_infinite()),
+                    "flow {id:?}: incremental {got} != full solve {want}"
+                );
+            }
+            if steps == 2 {
+                net.cancel_flow(now, victim);
+            }
+            let Some(t) = net.next_event_time(now) else {
+                break;
+            };
+            net.advance(t);
+            now = t;
+            net.take_completed();
+            steps += 1;
+            assert!(steps < 32, "scenario failed to converge");
+        }
+        assert_eq!(net.active_flows(), 0);
+        let (full, shortcut) = net.recompute_stats();
+        assert!(full > 0, "shared links must trigger full solves");
+        assert!(shortcut > 0, "disjoint events must take the shortcut");
+    }
+
+    #[test]
+    fn disjoint_flows_never_trigger_full_solves() {
+        let (mut net, l) = mk_net(&[100.0, 50.0, 25.0]);
+        net.start_flow(SimTime::ZERO, FlowSpec::new(vec![l[0]], 100.0, 0));
+        net.start_flow(SimTime::ZERO, FlowSpec::new(vec![l[1]], 100.0, 1));
+        net.start_flow(SimTime::ZERO, FlowSpec::new(vec![l[2]], 100.0, 2));
+        assert_eq!(net.flow_rate(FlowId(0)), Some(100.0));
+        assert_eq!(net.flow_rate(FlowId(1)), Some(50.0));
+        assert_eq!(net.flow_rate(FlowId(2)), Some(25.0));
+        let mut now = SimTime::ZERO;
+        while let Some(t) = net.next_event_time(now) {
+            net.advance(t);
+            now = t;
+            net.take_completed();
+        }
+        assert_eq!(net.active_flows(), 0);
+        let (full, shortcut) = net.recompute_stats();
+        assert_eq!(full, 0, "uncontended traffic must skip the solver");
+        assert!(shortcut >= 6, "starts and completions all shortcut");
+        // Utilisation bookkeeping must survive the shortcut path: link 0
+        // was saturated for 1 s of the 4 s total (100 B at 100 B/s; the
+        // slowest link finishes at 4 s).
+        assert!((net.link_utilization(l[0]) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_activation_on_idle_links_shortcuts() {
+        let (mut net, l) = mk_net(&[100.0]);
+        let spec = FlowSpec {
+            route: vec![l[0]],
+            bytes: 100.0,
+            extra_latency: SimDuration::from_millis(250),
+            tag: 0,
+        };
+        net.start_flow(SimTime::ZERO, spec);
+        let t1 = net.next_event_time(SimTime::ZERO).unwrap();
+        net.advance(t1); // latency expiry: flow activates alone
+        let t2 = net.next_event_time(t1).unwrap();
+        assert!((t2.as_secs_f64() - 1.25).abs() < 1e-6);
+        net.advance(t2);
+        assert_eq!(net.take_completed().len(), 1);
+        let (full, _) = net.recompute_stats();
+        assert_eq!(full, 0, "an activation onto idle links needs no solve");
     }
 
     #[test]

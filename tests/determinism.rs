@@ -1,0 +1,62 @@
+//! Cross-crate determinism guarantee: the parallel executor and the
+//! measurement cache are pure performance features. Serial, parallel and
+//! cache-warm profiles of the same configuration must produce bit-identical
+//! stall reports — any float-level drift here would silently corrupt every
+//! figure the bench harness regenerates.
+
+use stash::prelude::*;
+
+fn stash_under_test() -> Stash {
+    Stash::new(zoo::resnet50())
+        .with_batch(32)
+        .with_dataset(DatasetSpec::imagenet1k())
+        .with_sampled_iterations(3)
+}
+
+#[test]
+fn serial_parallel_and_cached_profiles_are_bit_identical() {
+    let cluster = ClusterSpec::homogeneous(p3_8xlarge(), 2);
+    let stash = stash_under_test();
+
+    let serial = stash.profile_serial(&cluster).expect("serial profile");
+    let parallel = stash.profile(&cluster).expect("parallel profile");
+    assert_eq!(serial, parallel, "parallel executor must match serial bit-for-bit");
+
+    let cache = MeasurementCache::new();
+    let cold = stash.profile_cached(&cluster, &cache).expect("cold cached profile");
+    assert_eq!(serial, cold, "cache-miss path must match serial bit-for-bit");
+    let misses_after_cold = cache.stats().misses;
+    assert!(misses_after_cold > 0, "cold run must populate the cache");
+
+    let warm = stash.profile_cached(&cluster, &cache).expect("warm cached profile");
+    assert_eq!(serial, warm, "cache-hit path must match serial bit-for-bit");
+    let stats = cache.stats();
+    assert_eq!(stats.misses, misses_after_cold, "warm run must not re-simulate");
+    assert!(stats.hits >= misses_after_cold, "warm run must be served from the cache");
+}
+
+#[test]
+fn par_profile_many_matches_individual_profiles() {
+    let clusters = [
+        ClusterSpec::single(p3_8xlarge()),
+        ClusterSpec::homogeneous(p3_8xlarge(), 2),
+    ];
+    let jobs: Vec<ProfileJob> = clusters
+        .iter()
+        .map(|c| ProfileJob {
+            stash: stash_under_test(),
+            cluster: c.clone(),
+        })
+        .collect();
+    let cache = MeasurementCache::new();
+    let fanned = par_profile_many(&jobs, Some(&cache));
+    for (job, got) in jobs.iter().zip(&fanned) {
+        let want = job.stash.profile_serial(&job.cluster).expect("serial profile");
+        assert_eq!(
+            got.as_ref().expect("fanned profile"),
+            &want,
+            "fan-out result for {} must match serial",
+            job.cluster.display_name()
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `Criterion::bench_function` / `Bencher::iter` surface plus
+//! the `criterion_group!` / `criterion_main!` macros. Each benchmark is
+//! timed with `std::time::Instant`: a short calibration pass sizes the
+//! batch, then a fixed number of batches are measured and the median
+//! per-iteration time is printed.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` `self.iters` times, recording total elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark driver; collects and prints per-benchmark timings.
+pub struct Criterion {
+    measure_batches: u32,
+    target_batch: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure_batches: 15,
+            target_batch: Duration::from_millis(40),
+        }
+    }
+}
+
+impl Criterion {
+    /// Times `f` and prints the median per-iteration duration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        // Calibrate: grow the batch until one run takes ~target_batch.
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= self.target_batch || iters >= 1 << 24 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                16
+            } else {
+                (self.target_batch.as_nanos() / b.elapsed.as_nanos().max(1)).clamp(2, 16) as u64
+            };
+            iters = iters.saturating_mul(grow);
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.measure_batches as usize);
+        for _ in 0..self.measure_batches {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            per_iter.push(b.elapsed.as_secs_f64() / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = per_iter[per_iter.len() / 2];
+        let best = per_iter[0];
+        println!(
+            "{id:<40} median {} best {} ({iters} iters/batch)",
+            format_time(median),
+            format_time(best)
+        );
+        self
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut hits = 0u64;
+        Criterion {
+            measure_batches: 2,
+            target_batch: Duration::from_micros(50),
+        }
+        .bench_function("smoke", |b| b.iter(|| hits += 1));
+        assert!(hits > 0);
+    }
+}

@@ -1,0 +1,680 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the subset of serde the workspace actually uses, built around
+//! a single JSON-like [`Value`] data model instead of serde's visitor
+//! architecture:
+//!
+//! * [`Serialize`] — `fn to_json_value(&self) -> Value`;
+//! * [`Deserialize`] — `fn from_json_value(&Value) -> Result<Self, Error>`;
+//! * `#[derive(Serialize, Deserialize)]` via the sibling `serde_derive`
+//!   stub (no `#[serde(...)]` attributes, no generics — the workspace
+//!   uses neither).
+//!
+//! `serde_json` (also vendored) re-exports [`Value`]/[`Map`]/[`Number`]
+//! and layers text encoding/decoding on top. Swapping the real serde back
+//! in later only requires restoring the registry dependencies: the
+//! derive-based call sites are source-compatible.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Error produced by [`Deserialize`] implementations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with `msg`.
+    #[must_use]
+    pub fn msg(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+
+    /// Adds a `where` context prefix (used by derived impls).
+    #[must_use]
+    pub fn ctx(self, what: &str) -> Error {
+        Error(format!("{what}: {}", self.0))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A JSON number: unsigned, signed or floating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    /// The value as `u64`, if representable.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U(u) => Some(u),
+            Number::I(i) => u64::try_from(i).ok(),
+            Number::F(_) => None,
+        }
+    }
+
+    /// The value as `i64`, if representable.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U(u) => i64::try_from(u).ok(),
+            Number::I(i) => Some(i),
+            Number::F(_) => None,
+        }
+    }
+
+    /// The value as `f64` (always representable, possibly lossily).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::U(u) => Some(u as f64),
+            Number::I(i) => Some(i as f64),
+            Number::F(f) => Some(f),
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::U(u) => write!(f, "{u}"),
+            Number::I(i) => write!(f, "{i}"),
+            Number::F(v) => {
+                if v.is_finite() {
+                    if v == v.trunc() && v.abs() < 1e15 {
+                        write!(f, "{v:.1}")
+                    } else {
+                        write!(f, "{v}")
+                    }
+                } else {
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+/// An order-preserving string-keyed object, mirroring `serde_json::Map`.
+///
+/// The two generic parameters exist only so `Map<String, Value>` spells
+/// the same as with the real serde_json; only that instantiation is
+/// implemented.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map<K = String, V = Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl Map<String, Value> {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        Map { entries: Vec::new() }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts `value` at `key`, replacing and returning any prior value.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up `key`.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterates keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+}
+
+impl FromIterator<(String, Value)> for Map<String, Value> {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl IntoIterator for Map<String, Value> {
+    type Item = (String, Value);
+    type IntoIter = std::vec::IntoIter<(String, Value)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+/// A JSON value tree — the single data model of this serde stand-in.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The `u64` payload, if this is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The `i64` payload, if representable.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64`.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array payload.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object payload.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`Value::Null`].
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// `true` for [`Value::Object`].
+    #[must_use]
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// `true` for [`Value::Array`].
+    #[must_use]
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// `true` for [`Value::Number`].
+    #[must_use]
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    /// `true` for [`Value::String`].
+    #[must_use]
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// Object-field lookup (`None` for non-objects / missing keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|o| o.get(key))
+    }
+
+    /// Array-element lookup.
+    #[must_use]
+    pub fn get_index(&self, idx: usize) -> Option<&Value> {
+        self.as_array().and_then(|a| a.get(idx))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.get_index(idx).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+macro_rules! value_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_i64() == i64::try_from(*other).ok()
+            }
+        }
+    )*};
+}
+value_eq_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+/// Types that can render themselves into a JSON [`Value`].
+pub trait Serialize {
+    /// Converts `self` to a value tree.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Types reconstructible from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the value's shape does not match.
+    fn from_json_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ------------------------------------------------------------ Serialize
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::U(*self as u64))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::U(v as u64))
+                } else {
+                    Value::Number(Number::I(v))
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::F(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::F(f64::from(*self)))
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_json_value()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json_value())).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_json_value(&self) -> Value {
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        Value::Object(
+            keys.into_iter()
+                .map(|k| (k.clone(), self[k].to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Map<String, Value> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+// ---------------------------------------------------------- Deserialize
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| Error::msg("expected unsigned integer"))?;
+                <$t>::try_from(n).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| Error::msg("expected integer"))?;
+                <$t>::try_from(n).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::msg("expected number"))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().map(|f| f as f32).ok_or_else(|| Error::msg("expected number"))
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::msg("expected boolean"))
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_string).ok_or_else(|| Error::msg("expected string"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_json_value(v).map(Some)
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let arr = v.as_array().ok_or_else(|| Error::msg("expected array"))?;
+        arr.iter().map(T::from_json_value).collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_json_value(v)?;
+        items
+            .try_into()
+            .map_err(|_| Error::msg(format!("expected array of length {N}")))
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                let arr = v.as_array().ok_or_else(|| Error::msg("expected array (tuple)"))?;
+                Ok(($(
+                    $t::from_json_value(
+                        arr.get($n).ok_or_else(|| Error::msg("tuple too short"))?,
+                    )?,
+                )+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| Error::msg("expected object"))?;
+        obj.iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_json_value(v)?)))
+            .collect()
+    }
+}
+
+impl Deserialize for Map<String, Value> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_object().cloned().ok_or_else(|| Error::msg("expected object"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_insertion_order() {
+        let mut m = Map::new();
+        m.insert("z".into(), Value::Bool(true));
+        m.insert("a".into(), Value::Null);
+        let keys: Vec<&String> = m.keys().collect();
+        assert_eq!(keys, ["z", "a"]);
+    }
+
+    #[test]
+    fn value_indexing_and_eq() {
+        let mut m = Map::new();
+        m.insert("n".into(), Value::Number(Number::U(4)));
+        m.insert("s".into(), Value::String("hi".into()));
+        let v = Value::Object(m);
+        assert_eq!(v["n"], 4);
+        assert_eq!(v["s"], "hi");
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn std_round_trips() {
+        let v = (3_u64, -2_i64, true).to_json_value();
+        let back: (u64, i64, bool) = Deserialize::from_json_value(&v).unwrap();
+        assert_eq!(back, (3, -2, true));
+        let opt: Option<u64> = Deserialize::from_json_value(&Value::Null).unwrap();
+        assert_eq!(opt, None);
+    }
+}

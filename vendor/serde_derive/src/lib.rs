@@ -1,0 +1,430 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored value-based `serde` stub, by hand-parsing the item's token
+//! stream (no `syn`/`quote` available offline). Supported shapes — the
+//! only ones the workspace uses:
+//!
+//! * structs with named fields, tuple structs (single-field newtypes
+//!   serialize transparently), unit structs;
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   real serde's default representation).
+//!
+//! Generics and `#[serde(...)]` attributes are rejected at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug, Clone)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives the value-based `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    gen_serialize(&shape).parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives the value-based `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    gen_deserialize(&shape).parse().expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde_derive: expected struct/enum, found {t}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde_derive: expected item name, found {t}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic types are not supported (item `{name}`)");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: split_top_level(g.stream()).len(),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            t => panic!("serde_derive: unsupported struct body {t:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            t => panic!("serde_derive: unsupported enum body {t:?}"),
+        },
+        k => panic!("serde_derive: cannot derive for `{k}`"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` and the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a token stream on top-level commas, tracking `<...>` nesting so
+/// type arguments don't split fields. Empty segments are dropped.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle = 0_i32;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|seg| {
+            let mut i = 0;
+            skip_attrs_and_vis(&seg, &mut i);
+            match &seg[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                t => panic!("serde_derive: expected field name, found {t}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|seg| {
+            let mut i = 0;
+            skip_attrs_and_vis(&seg, &mut i);
+            let name = match &seg[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                t => panic!("serde_derive: expected variant name, found {t}"),
+            };
+            i += 1;
+            let kind = match seg.get(i) {
+                None => VariantKind::Unit,
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantKind::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(split_top_level(g.stream()).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Named(parse_named_fields(g.stream()))
+                }
+                t => panic!("serde_derive: unsupported variant shape {t:?}"),
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------- generation
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "m.insert(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_json_value(&self.{f}));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::Value {{\n\
+                         let mut m = ::serde::Map::new();\n\
+                         {inserts}\
+                         ::serde::Value::Object(m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_json_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(vec![{}])\n\
+                     }}\n\
+                 }}",
+                elems.join(", ")
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::String(\
+                             ::std::string::String::from(\"{vn}\")),\n"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                            let payload = if *arity == 1 {
+                                "::serde::Serialize::to_json_value(f0)".to_string()
+                            } else {
+                                let elems: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({binds}) => {{\n\
+                                     let mut m = ::serde::Map::new();\n\
+                                     m.insert(::std::string::String::from(\"{vn}\"), {payload});\n\
+                                     ::serde::Value::Object(m)\n\
+                                 }}\n",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let inserts: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "inner.insert(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_json_value({f}));\n"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => {{\n\
+                                     let mut inner = ::serde::Map::new();\n\
+                                     {inserts}\
+                                     let mut m = ::serde::Map::new();\n\
+                                     m.insert(::std::string::String::from(\"{vn}\"), \
+                                     ::serde::Value::Object(inner));\n\
+                                     ::serde::Value::Object(m)\n\
+                                 }}\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_json_value(\
+                         v.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
+                         .map_err(|e| e.ctx(\"{name}.{f}\"))?,\n"
+                    )
+                })
+                .collect();
+            format!("::std::result::Result::Ok({name} {{\n{inits}}})")
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            format!(
+                "::std::result::Result::Ok({name}(\
+                 ::serde::Deserialize::from_json_value(v).map_err(|e| e.ctx(\"{name}\"))?))"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_json_value(\
+                         arr.get({i}).unwrap_or(&::serde::Value::Null))\
+                         .map_err(|e| e.ctx(\"{name}.{i}\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "{{\n\
+                     let arr = v.as_array().ok_or_else(|| \
+                     ::serde::Error::msg(\"expected array for {name}\"))?;\n\
+                     ::std::result::Result::Ok({name}({}))\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct { name } => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n", vn = v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_json_value(payload)\
+                             .map_err(|e| e.ctx(\"{name}::{vn}\"))?)),\n"
+                        )),
+                        VariantKind::Tuple(arity) => {
+                            let inits: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_json_value(\
+                                         arr.get({i}).unwrap_or(&::serde::Value::Null))\
+                                         .map_err(|e| e.ctx(\"{name}::{vn}.{i}\"))?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let arr = payload.as_array().ok_or_else(|| \
+                                     ::serde::Error::msg(\"expected array for {name}::{vn}\"))?;\n\
+                                     ::std::result::Result::Ok({name}::{vn}({}))\n\
+                                 }}\n",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_json_value(\
+                                         payload.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
+                                         .map_err(|e| e.ctx(\"{name}::{vn}.{f}\"))?,\n"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{\n{inits}}}),\n"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "{{\n\
+                     if let ::std::option::Option::Some(s) = v.as_str() {{\n\
+                         match s {{\n{unit_arms}\
+                             other => ::std::result::Result::Err(::serde::Error::msg(\
+                             format!(\"unknown {name} variant '{{other}}'\"))),\n\
+                         }}\n\
+                     }} else if let ::std::option::Option::Some(obj) = v.as_object() {{\n\
+                         let (tag, payload) = obj.iter().next().ok_or_else(|| \
+                         ::serde::Error::msg(\"empty object for enum {name}\"))?;\n\
+                         let _ = payload;\n\
+                         match tag.as_str() {{\n{tagged_arms}\
+                             other => ::std::result::Result::Err(::serde::Error::msg(\
+                             format!(\"unknown {name} variant '{{other}}'\"))),\n\
+                         }}\n\
+                     }} else {{\n\
+                         ::std::result::Result::Err(::serde::Error::msg(\
+                         \"expected string or object for enum {name}\"))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    let name = match shape {
+        Shape::NamedStruct { name, .. }
+        | Shape::TupleStruct { name, .. }
+        | Shape::UnitStruct { name }
+        | Shape::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_json_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let _ = v;\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
