@@ -148,6 +148,45 @@ impl SweepPerf {
             self.cache_hits as f64 / total as f64
         }
     }
+
+    /// Renders the sweep record in the Prometheus text exposition format
+    /// (the same `stash_*` families `stash trace` dumps), so sweeps and
+    /// traces can be scraped side by side.
+    #[must_use]
+    pub fn prometheus(&self) -> String {
+        let mut b = stash_trace::metrics::MetricsBuilder::new();
+        b.family(
+            "stash_measurement_cache_hits_total",
+            "counter",
+            "Profiler measurement-cache hits during the sweep.",
+        );
+        b.sample("stash_measurement_cache_hits_total", &[], self.cache_hits as f64);
+        b.family(
+            "stash_measurement_cache_misses_total",
+            "counter",
+            "Profiler measurement-cache misses (engine runs) during the sweep.",
+        );
+        b.sample("stash_measurement_cache_misses_total", &[], self.cache_misses as f64);
+        b.family(
+            "stash_sweep_jobs_total",
+            "counter",
+            "Profile jobs executed by the sweep.",
+        );
+        b.sample("stash_sweep_jobs_total", &[], self.jobs as f64);
+        b.family(
+            "stash_sweep_wall_seconds",
+            "gauge",
+            "Wall-clock seconds for the parallel, cached sweep.",
+        );
+        b.sample("stash_sweep_wall_seconds", &[], self.wall_secs);
+        b.family(
+            "stash_sweep_threads",
+            "gauge",
+            "Worker threads used by the sweep.",
+        );
+        b.sample("stash_sweep_threads", &[], self.threads as f64);
+        b.finish()
+    }
 }
 
 /// Profiles every job across all cores with measurement memoization,
@@ -226,6 +265,10 @@ pub fn run_sweep(jobs: Vec<SweepJob>) -> (Vec<Result<StallReport, ProfileError>>
         threads: profile_threads(),
         jobs: jobs.len(),
     };
+    let prom_path = results_dir().join("sweep_metrics.prom");
+    if let Err(e) = fs::write(&prom_path, perf.prometheus()) {
+        eprintln!("[warn: could not write {}: {e}]", prom_path.display());
+    }
     println!(
         "[sweep: {} jobs in {:.3}s on {} threads, cache {}/{} hits ({:.0}%){}]",
         perf.jobs,
@@ -466,6 +509,26 @@ mod tests {
         t.row(vec!["b", "20.0"]);
         let c = t.to_bar_chart(&["config"], "stall");
         assert!(c.contains('a') && c.contains("20.0"));
+    }
+
+    #[test]
+    fn sweep_perf_prometheus_exposes_cache_counters() {
+        let perf = SweepPerf {
+            wall_secs: 1.5,
+            serial_secs: None,
+            speedup: None,
+            warm_secs: None,
+            warm_speedup: None,
+            cache_hits: 42,
+            cache_misses: 7,
+            threads: 4,
+            jobs: 9,
+        };
+        let text = perf.prometheus();
+        assert!(text.contains("stash_measurement_cache_hits_total 42"));
+        assert!(text.contains("stash_measurement_cache_misses_total 7"));
+        assert!(text.contains("stash_sweep_jobs_total 9"));
+        assert!(text.contains("# TYPE stash_sweep_wall_seconds gauge"));
     }
 
     #[test]

@@ -19,13 +19,14 @@ use stash_collectives::bucket::Bucketing;
 use stash_collectives::schedule::Algorithm;
 use stash_datapipe::cache::CacheState;
 use stash_ddl::config::{ActiveGpus, DataMode, EpochMode, TrainConfig};
-use stash_ddl::engine::run_epoch;
+use stash_ddl::engine::{run_epoch, run_epoch_traced};
 use stash_dnn::dataset::DatasetSpec;
 use stash_dnn::model::Model;
 use stash_gpucompute::precision::Precision;
 use stash_hwtopo::cluster::ClusterSpec;
 use stash_hwtopo::instance::{catalog, InstanceType};
-use stash_simkit::time::SimDuration;
+use stash_simkit::time::{SimDuration, SimTime};
+use stash_trace::{Category, SharedTracer, Track};
 
 use crate::cache::MeasurementCache;
 use crate::error::ProfileError;
@@ -356,6 +357,68 @@ impl Stash {
             },
         })
     }
+
+    /// [`Stash::profile_serial`] with a trace recorder attached: every
+    /// measurement step runs through the traced engine, scoped to its own
+    /// process namespace (`t1` → process 1, ... `t5` → process 5) so the
+    /// five independent simulations — each with its own clock starting at
+    /// zero — stay distinguishable in one sink. Each step is additionally
+    /// stamped as a span on its [`stash_trace::TrackKind::Profiler`] lane
+    /// covering the step's (extrapolated) epoch time.
+    ///
+    /// The report is bit-identical to [`Stash::profile_serial`]; the
+    /// tracer's process is restored to its previous value afterwards.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Stash::profile`].
+    pub fn profile_traced(
+        &self,
+        cluster: &ClusterSpec,
+        tracer: &SharedTracer,
+    ) -> Result<StallReport, ProfileError> {
+        const STEP_NAMES: [&str; 5] = ["t1", "t2", "t3", "t4", "t5"];
+        let reference = Self::reference_for(cluster)?;
+        let configs = self.step_configs(cluster, &reference);
+        let prior_process = tracer.borrow().process();
+
+        let mut times: Vec<SimDuration> = Vec::with_capacity(configs.len());
+        for (step, cfg) in configs.iter().enumerate() {
+            tracer.borrow_mut().set_process(step as u32 + 1);
+            let result = run_epoch_traced(cfg, tracer);
+            let report = match result {
+                Ok(r) => r,
+                Err(e) => {
+                    tracer.borrow_mut().set_process(prior_process);
+                    return Err(e.into());
+                }
+            };
+            tracer.borrow_mut().span(
+                Track::profiler(step),
+                Category::Solver,
+                STEP_NAMES[step],
+                SimTime::ZERO,
+                SimTime::ZERO + report.epoch_time,
+            );
+            times.push(report.epoch_time);
+        }
+        tracer.borrow_mut().set_process(prior_process);
+
+        Ok(StallReport {
+            cluster: cluster.display_name(),
+            reference: reference.name,
+            model: self.model.name.clone(),
+            per_gpu_batch: self.per_gpu_batch,
+            world: cluster.world_size(),
+            times: StepTimes {
+                t1: Some(times[0]),
+                t2: Some(times[1]),
+                t3: Some(times[2]),
+                t4: Some(times[3]),
+                t5: times.get(4).copied(),
+            },
+        })
+    }
 }
 
 /// A (profiler, cluster) pair to run as one unit of sweep work.
@@ -575,6 +638,34 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 4, "first run simulates all four steps");
         assert_eq!(stats.hits, 4, "second run is fully cached");
+    }
+
+    #[test]
+    fn traced_profile_matches_serial_and_stamps_steps() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        use stash_trace::{shared, JsonSink, Tracer, TrackKind};
+
+        let stash = quick(zoo::alexnet());
+        let cluster = ClusterSpec::homogeneous(p3_8xlarge(), 2);
+        let serial = stash.profile_serial(&cluster).unwrap();
+        let sink = Rc::new(RefCell::new(JsonSink::new()));
+        let tracer = shared(Tracer::new(sink.clone()));
+        let traced = stash.profile_traced(&cluster, &tracer).unwrap();
+        assert_eq!(serial, traced);
+
+        let events = sink.borrow().events().to_vec();
+        let stamps: Vec<u32> = events
+            .iter()
+            .filter(|(_, e)| e.track().kind == TrackKind::Profiler)
+            .map(|(p, _)| *p)
+            .collect();
+        assert_eq!(stamps, vec![1, 2, 3, 4, 5], "five steps, one stamp each");
+        assert!(
+            events.iter().any(|(p, e)| *p == 3 && e.track().kind == TrackKind::Gpu),
+            "step 3's engine events are namespaced to process 3"
+        );
+        assert_eq!(tracer.borrow().process(), 0, "process scope restored");
     }
 
     #[test]

@@ -57,6 +57,19 @@ pub struct LoaderSpec {
     pub per_sample_disk_latency: SimDuration,
 }
 
+/// Why a [`LoaderAction::StartTransfer`] moves bytes — lets the engine
+/// attribute the flow (and any trace span covering it) to the right
+/// pipeline stage without re-deriving it from the route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferPurpose {
+    /// Batch read served from the page cache (DRAM route).
+    FetchHit,
+    /// Batch read served from the volume (disk route, seek latency).
+    FetchMiss,
+    /// Decoded batch upload to the GPU (H2D route).
+    Upload,
+}
+
 /// What the engine must do on the loader's behalf.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LoaderAction {
@@ -70,6 +83,8 @@ pub enum LoaderAction {
         bytes: f64,
         /// Fixed latency (seek overheads etc.).
         extra_latency: SimDuration,
+        /// Which pipeline stage the transfer serves.
+        purpose: TransferPurpose,
     },
     /// Occupy the worker's CPU share for `duration`; report via
     /// [`NodeLoader::prep_done`].
@@ -216,6 +231,7 @@ impl NodeLoader {
             route: self.spec.h2d_routes[self.gpu_of(worker)].clone(),
             bytes: self.spec.decoded_sample_bytes * self.spec.per_gpu_batch as f64,
             extra_latency: SimDuration::ZERO,
+            purpose: TransferPurpose::Upload,
         }]
     }
 
@@ -267,6 +283,7 @@ impl NodeLoader {
             route,
             bytes,
             extra_latency: extra,
+            purpose: if hit { TransferPurpose::FetchHit } else { TransferPurpose::FetchMiss },
         });
     }
 
@@ -476,6 +493,28 @@ mod tests {
         assert!(actions.iter().any(|a| matches!(a, LoaderAction::Deliver { gpu: 1 })));
         assert_eq!(loader.ready(1), 1);
         assert_eq!(loader.ready(0), 0);
+    }
+
+    #[test]
+    fn transfer_purposes_label_the_pipeline_stages() {
+        let mut warm = NodeLoader::new(spec(1, 1, CacheState::Warm));
+        let first = warm.start();
+        assert!(matches!(
+            first[0],
+            LoaderAction::StartTransfer { purpose: TransferPurpose::FetchHit, .. }
+        ));
+        let _ = warm.transfer_done(0);
+        let upload = warm.prep_done(0);
+        assert!(matches!(
+            upload[0],
+            LoaderAction::StartTransfer { purpose: TransferPurpose::Upload, .. }
+        ));
+        let mut cold = NodeLoader::new(spec(1, 1, CacheState::Cold));
+        let first = cold.start();
+        assert!(matches!(
+            first[0],
+            LoaderAction::StartTransfer { purpose: TransferPurpose::FetchMiss, .. }
+        ));
     }
 
     #[test]

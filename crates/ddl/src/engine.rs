@@ -12,18 +12,19 @@
 //! uploads — are flows in one shared [`FlowNet`], so bus/SSD/NIC
 //! contention between subsystems is emergent.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use stash_collectives::bucket::CommPlan;
 use stash_collectives::constants::GRAD_HOOK_OVERHEAD;
 use stash_collectives::schedule::allreduce_transfers;
-use stash_datapipe::loader::{LoaderAction, LoaderSpec, NodeLoader};
+use stash_datapipe::loader::{LoaderAction, LoaderSpec, NodeLoader, TransferPurpose};
 use stash_flowsim::link::LinkClass;
 use stash_flowsim::net::{FlowNet, FlowSpec};
 use stash_gpucompute::kernel::ComputeModel;
 use stash_gpucompute::memory;
 use stash_hwtopo::topology::{GpuId, Topology};
 use stash_simkit::prelude::*;
+use stash_trace::{Category, SharedTracer, Track};
 
 use crate::config::{ActiveGpus, DataMode, TrainConfig};
 use crate::error::TrainError;
@@ -105,6 +106,32 @@ struct Comm {
 /// [`TrainError::OutOfMemory`] when the model + batch exceeds any
 /// participating GPU's memory.
 pub fn run_epoch(cfg: &TrainConfig) -> Result<EpochReport, TrainError> {
+    run_epoch_inner(cfg, None)
+}
+
+/// [`run_epoch`] with a trace recorder attached: compute, stall-wait,
+/// all-reduce-bucket and loader-pipeline spans are emitted through
+/// `tracer` as the simulation executes.
+///
+/// The report is bit-identical to the untraced run — tracing observes the
+/// engine, it never perturbs it. With a disabled tracer
+/// ([`stash_trace::Tracer::disabled`]) this *is* the untraced run: no
+/// event is constructed and nothing is allocated.
+///
+/// # Errors
+///
+/// As for [`run_epoch`].
+pub fn run_epoch_traced(
+    cfg: &TrainConfig,
+    tracer: &SharedTracer,
+) -> Result<EpochReport, TrainError> {
+    run_epoch_inner(cfg, Some(tracer))
+}
+
+fn run_epoch_inner(
+    cfg: &TrainConfig,
+    tracer: Option<&SharedTracer>,
+) -> Result<EpochReport, TrainError> {
     cfg.validate()?;
     for inst in &cfg.cluster.instances {
         let spec = inst.gpu.spec();
@@ -117,7 +144,11 @@ pub fn run_epoch(cfg: &TrainConfig) -> Result<EpochReport, TrainError> {
             });
         }
     }
-    Engine::new(cfg)?.run()
+    let mut engine = Engine::new(cfg)?;
+    if let Some(t) = tracer {
+        engine.attach_tracer(t);
+    }
+    engine.run()
 }
 
 struct Engine<'a> {
@@ -142,6 +173,20 @@ struct Engine<'a> {
     /// so in practice (and in the paper's P2 measurements) communication
     /// serializes with compute.
     overlap: bool,
+    /// Optional span recorder shared with the flow network. `None` for
+    /// untraced runs.
+    tracer: Option<SharedTracer>,
+    /// Cached `tracer.is_enabled()`: gates every emission site and all
+    /// trace-only bookkeeping with one predictable branch.
+    trace_on: bool,
+    /// Stall class of gradient synchronisation on this cluster: `Network`
+    /// when ranks span instances, `Interconnect` within one.
+    comm_cat: Category,
+    /// When the in-flight all-reduce bucket entered the network.
+    bucket_open: Option<SimTime>,
+    /// Start time and purpose of each loader worker's in-flight transfer,
+    /// keyed by `(node, worker)`. Populated only when tracing.
+    xfer_open: BTreeMap<(usize, usize), (SimTime, TransferPurpose)>,
 }
 
 impl std::fmt::Debug for Engine<'_> {
@@ -269,7 +314,61 @@ impl<'a> Engine<'a> {
             trace: Vec::new(),
             iter_mark: IterMark::default(),
             overlap,
+            tracer: None,
+            trace_on: false,
+            comm_cat: if cfg.cluster.node_count() > 1 {
+                Category::Network
+            } else {
+                Category::Interconnect
+            },
+            bucket_open: None,
+            xfer_open: BTreeMap::new(),
         })
+    }
+
+    /// Attaches a shared tracer; when it is enabled, the flow network gets
+    /// the same handle so network events interleave with engine spans.
+    fn attach_tracer(&mut self, tracer: &SharedTracer) {
+        self.trace_on = tracer.borrow().is_enabled();
+        self.tracer = Some(tracer.clone());
+        if self.trace_on {
+            self.net.set_tracer(tracer.clone());
+        }
+    }
+
+    /// Records a complete span; a no-op unless tracing is enabled.
+    fn emit_span(
+        &self,
+        track: Track,
+        category: Category,
+        name: &'static str,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        if self.trace_on {
+            self.tracer
+                .as_ref()
+                .expect("trace_on implies tracer")
+                .borrow_mut()
+                .span(track, category, name, start, end);
+        }
+    }
+
+    /// Records an instant marker; a no-op unless tracing is enabled.
+    fn emit_instant(&self, track: Track, category: Category, name: &'static str, at: SimTime) {
+        if self.trace_on {
+            self.tracer
+                .as_ref()
+                .expect("trace_on implies tracer")
+                .borrow_mut()
+                .instant(track, category, name, at);
+        }
+    }
+
+    /// The timeline lane of `rank`'s GPU.
+    fn gpu_track(&self, rank: usize) -> Track {
+        let gpu = self.ranks[rank].gpu;
+        Track::gpu(gpu.node, gpu.local)
     }
 
     fn run(mut self) -> Result<EpochReport, TrainError> {
@@ -361,6 +460,10 @@ impl<'a> Engine<'a> {
         let dur = self.straggle(rank, self.node_compute[self.ranks[rank].gpu.node].fwd);
         self.ranks[rank].phase = Phase::Forward;
         self.ranks[rank].compute += dur;
+        if self.trace_on {
+            let now = self.q.now();
+            self.emit_span(self.gpu_track(rank), Category::Compute, "forward", now, now + dur);
+        }
         self.q.schedule_in(dur, Ev::RankCompute { rank });
     }
 
@@ -376,6 +479,10 @@ impl<'a> Engine<'a> {
         }
         self.ranks[rank].phase = Phase::Backward { seg };
         self.ranks[rank].compute += dur;
+        if self.trace_on {
+            let now = self.q.now();
+            self.emit_span(self.gpu_track(rank), Category::Compute, "backward", now, now + dur);
+        }
         self.q.schedule_in(dur, Ev::RankCompute { rank });
     }
 
@@ -383,6 +490,10 @@ impl<'a> Engine<'a> {
         let dur = self.straggle(rank, self.node_compute[self.ranks[rank].gpu.node].step);
         self.ranks[rank].phase = Phase::Step;
         self.ranks[rank].compute += dur;
+        if self.trace_on {
+            let now = self.q.now();
+            self.emit_span(self.gpu_track(rank), Category::Compute, "step", now, now + dur);
+        }
         self.q.schedule_in(dur, Ev::RankCompute { rank });
     }
 
@@ -427,6 +538,14 @@ impl<'a> Engine<'a> {
                 self.ranks[rank].iter += 1;
                 if self.ranks[rank].first_iter_done.is_none() {
                     self.ranks[rank].first_iter_done = Some(self.q.now());
+                }
+                if self.trace_on {
+                    self.emit_instant(
+                        self.gpu_track(rank),
+                        Category::Compute,
+                        "iter_done",
+                        self.q.now(),
+                    );
                 }
                 if self.cfg.record_trace && rank == self.active[0] {
                     let r = &self.ranks[rank];
@@ -491,6 +610,7 @@ impl<'a> Engine<'a> {
         let comm = self.comm.as_mut().expect("comm");
         comm.inflight_remaining = transfers.len();
         comm.started += 1;
+        self.bucket_open = Some(now);
     }
 
     fn on_comm_flow_done(&mut self) {
@@ -500,6 +620,12 @@ impl<'a> Engine<'a> {
             return;
         }
         comm.completed += 1;
+        let bucket_start = self.bucket_open.take();
+        if self.trace_on {
+            let start = bucket_start.expect("bucket completion without an open bucket");
+            self.emit_span(Track::comm(), self.comm_cat, "allreduce", start, self.q.now());
+        }
+        let comm = self.comm.as_mut().expect("comm flow without communicator");
         if comm.completed >= self.plan.buckets.len() {
             // Iteration's gradients are synchronised everywhere.
             comm.ready.iter_mut().for_each(|r| *r = 0);
@@ -516,6 +642,9 @@ impl<'a> Engine<'a> {
             for rank in waiting {
                 let start = self.ranks[rank].wait_start.take().expect("wait start");
                 self.ranks[rank].comm_wait += now.duration_since(start);
+                if self.trace_on {
+                    self.emit_span(self.gpu_track(rank), self.comm_cat, "await_comm", start, now);
+                }
                 self.start_step(rank);
             }
         } else {
@@ -535,7 +664,22 @@ impl<'a> Engine<'a> {
                     route,
                     bytes,
                     extra_latency,
+                    purpose,
                 } => {
+                    if self.trace_on {
+                        let now = self.q.now();
+                        let track = Track::loader(n, worker);
+                        match purpose {
+                            TransferPurpose::FetchHit => {
+                                self.emit_instant(track, Category::Cache, "cache_hit", now);
+                            }
+                            TransferPurpose::FetchMiss => {
+                                self.emit_instant(track, Category::Cache, "cache_miss", now);
+                            }
+                            TransferPurpose::Upload => {}
+                        }
+                        self.xfer_open.insert((n, worker), (now, purpose));
+                    }
                     self.net.start_flow(
                         self.q.now(),
                         FlowSpec {
@@ -547,6 +691,16 @@ impl<'a> Engine<'a> {
                     );
                 }
                 LoaderAction::StartPrep { worker, duration } => {
+                    if self.trace_on {
+                        let now = self.q.now();
+                        self.emit_span(
+                            Track::loader(n, worker),
+                            Category::Prep,
+                            "prep",
+                            now,
+                            now + duration,
+                        );
+                    }
                     self.q.schedule_in(duration, Ev::LoaderPrep { node: n, worker });
                 }
                 LoaderAction::Deliver { gpu } => {
@@ -557,6 +711,15 @@ impl<'a> Engine<'a> {
                         let now = self.q.now();
                         let start = self.ranks[rank].wait_start.take().expect("wait start");
                         self.ranks[rank].data_wait += now.duration_since(start);
+                        if self.trace_on {
+                            self.emit_span(
+                                self.gpu_track(rank),
+                                Category::Fetch,
+                                "await_batch",
+                                start,
+                                now,
+                            );
+                        }
                         self.start_forward(rank);
                         for a in more {
                             work.push_back((n, a));
@@ -591,6 +754,22 @@ impl<'a> Engine<'a> {
                     self.on_comm_flow_done();
                 } else {
                     let (node, worker) = decode_loader_tag(tag);
+                    if self.trace_on {
+                        if let Some((start, purpose)) = self.xfer_open.remove(&(node, worker)) {
+                            let name = match purpose {
+                                TransferPurpose::FetchHit => "fetch_dram",
+                                TransferPurpose::FetchMiss => "fetch_disk",
+                                TransferPurpose::Upload => "h2d",
+                            };
+                            self.emit_span(
+                                Track::loader(node, worker),
+                                Category::Fetch,
+                                name,
+                                start,
+                                self.q.now(),
+                            );
+                        }
+                    }
                     let actions = self.loaders[node].as_mut().expect("loader").transfer_done(worker);
                     self.apply_loader_actions(node, actions);
                 }
@@ -816,6 +995,72 @@ mod tests {
             split.epoch_time,
             single.epoch_time
         );
+    }
+
+    #[test]
+    fn traced_report_is_bit_identical_and_spans_reconcile() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        use stash_trace::rollup::StallRollup;
+        use stash_trace::{shared, JsonSink, Tracer};
+
+        let mut cfg = TrainConfig::synthetic(
+            ClusterSpec::single(p3_16xlarge()),
+            zoo::resnet18(),
+            32,
+            320,
+        );
+        cfg.data = DataMode::Real {
+            dataset: DatasetSpec::imagenet1k(),
+            cache: CacheState::Warm,
+        };
+        cfg.epoch_mode = EpochMode::Sampled { iterations: 4 };
+        let untraced = run_epoch(&cfg).unwrap();
+        let sink = Rc::new(RefCell::new(JsonSink::new()));
+        let tracer = shared(Tracer::new(sink.clone()));
+        let traced = run_epoch_traced(&cfg, &tracer).unwrap();
+        assert_eq!(untraced.epoch_time, traced.epoch_time);
+        assert_eq!(untraced.compute_time, traced.compute_time);
+        assert_eq!(untraced.data_wait, traced.data_wait);
+        assert_eq!(untraced.comm_wait, traced.comm_wait);
+
+        // Raw span sums on rank 0's lane, extrapolated exactly like the
+        // report's accumulators, must reproduce the report to the ns.
+        let rollup = StallRollup::from_events(sink.borrow().events());
+        let factor = traced.iterations as f64 / traced.simulated_iterations as f64;
+        let track0 = Track::gpu(0, 0);
+        assert_eq!(
+            rollup.track_total(track0, Category::Compute).mul_f64(factor),
+            traced.compute_time
+        );
+        assert_eq!(
+            rollup.track_total(track0, Category::Fetch).mul_f64(factor),
+            traced.data_wait
+        );
+        let comm_raw = rollup.track_total(track0, Category::Interconnect)
+            + rollup.track_total(track0, Category::Network);
+        assert_eq!(comm_raw.mul_f64(factor), traced.comm_wait);
+        assert!(traced.comm_wait > SimDuration::ZERO, "8 GPUs must synchronise");
+    }
+
+    #[test]
+    fn disabled_tracer_emits_nothing_and_changes_nothing() {
+        use stash_trace::{shared, Tracer};
+
+        let mut cfg = TrainConfig::synthetic(
+            ClusterSpec::single(p3_8xlarge()),
+            zoo::alexnet(),
+            32,
+            320,
+        );
+        cfg.epoch_mode = EpochMode::Sampled { iterations: 3 };
+        let baseline = run_epoch(&cfg).unwrap();
+        let tracer = shared(Tracer::disabled());
+        let traced = run_epoch_traced(&cfg, &tracer).unwrap();
+        assert_eq!(baseline.epoch_time, traced.epoch_time);
+        assert_eq!(baseline.compute_time, traced.compute_time);
+        assert_eq!(baseline.comm_wait, traced.comm_wait);
+        assert_eq!(tracer.borrow().events_emitted(), 0);
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod report;
 /// Convenient glob-import of the most used items.
 pub mod prelude {
     pub use crate::config::{ActiveGpus, DataMode, EpochMode, Straggler, TrainConfig};
-    pub use crate::engine::run_epoch;
+    pub use crate::engine::{run_epoch, run_epoch_traced};
     pub use crate::error::TrainError;
     pub use crate::report::EpochReport;
 }

@@ -19,8 +19,10 @@ use stash_simkit::time::{SimDuration, SimTime};
 
 use stash_simkit::stats::TimeWeighted;
 
+use stash_trace::{Category, SharedTracer, Track};
+
 use crate::fairness::{max_min_rates, MaxMinScratch};
-use crate::link::{Link, LinkId};
+use crate::link::{Link, LinkClass, LinkId};
 
 /// Identifier of an in-flight flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -67,6 +69,9 @@ struct FlowState {
     /// (latency elapsed, bytes outstanding).
     counted: bool,
     tag: u64,
+    /// Stall class for trace events, derived from the route's link
+    /// classes at start.
+    cat: Category,
 }
 
 /// A set of links plus the flows currently crossing them.
@@ -123,6 +128,10 @@ pub struct FlowNet {
     full_recomputes: u64,
     /// State changes settled without a full solve (diagnostics).
     shortcut_events: u64,
+    /// Optional event recorder: flow lifecycle instants, allocated-rate
+    /// counters and solver activity. `None` (the default) is the
+    /// zero-cost path — every emission site gates on one `is_some`.
+    tracer: Option<SharedTracer>,
 }
 
 impl FlowNet {
@@ -130,6 +139,28 @@ impl FlowNet {
     #[must_use]
     pub fn new() -> Self {
         FlowNet::default()
+    }
+
+    /// Attaches a trace recorder: subsequent flow starts, completions,
+    /// rate changes and full solver runs are emitted as events. Pass the
+    /// engine's shared tracer so network activity lands on the same
+    /// timeline as compute spans.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Stall class of a route: network hops dominate, then storage/DRAM
+    /// (input fetch), everything else is intra-node interconnect.
+    fn classify(&self, route_dedup: &[usize]) -> Category {
+        let mut cat = Category::Interconnect;
+        for &l in route_dedup {
+            match self.links[l].class {
+                LinkClass::Network => return Category::Network,
+                LinkClass::Storage | LinkClass::Dram => cat = Category::Fetch,
+                _ => {}
+            }
+        }
+        cat
     }
 
     /// Registers a link and returns its id.
@@ -204,6 +235,11 @@ impl FlowNet {
         route_dedup.sort_unstable();
         route_dedup.dedup();
         let counted = latency.is_zero() && spec.bytes > 0.0;
+        let cat = if self.tracer.is_some() {
+            self.classify(&route_dedup)
+        } else {
+            Category::Interconnect
+        };
         self.flows.insert(
             id,
             FlowState {
@@ -214,8 +250,12 @@ impl FlowNet {
                 rate: 0.0,
                 counted,
                 tag: spec.tag,
+                cat,
             },
         );
+        if let Some(tr) = &self.tracer {
+            tr.borrow_mut().instant(Track::flow(id.0), cat, "flow_start", now);
+        }
         if counted {
             let f = &self.flows[&id];
             for &l in &f.route_dedup {
@@ -423,10 +463,14 @@ impl FlowNet {
             .map(|&l| self.caps[l])
             .fold(f64::INFINITY, f64::min);
         f.rate = rate;
+        let cat = f.cat;
         if rate.is_finite() {
             for &l in &f.route {
                 self.link_rate_load[l] += rate;
             }
+        }
+        if let Some(tr) = &self.tracer {
+            tr.borrow_mut().counter(Track::flow(id.0), cat, "rate_bps", self.last_advance, rate);
         }
     }
 
@@ -448,6 +492,12 @@ impl FlowNet {
                 self.active_ids.push(*id);
             }
         }
+        // Snapshot pre-solve rates (traced runs only) so only genuine
+        // rate changes become counter samples.
+        let old_rates: Option<Vec<f64>> = self
+            .tracer
+            .as_ref()
+            .map(|_| self.active_ids.iter().map(|id| self.flows[id].rate).collect());
         let routes: Vec<&[usize]> = self
             .active_ids
             .iter()
@@ -470,6 +520,18 @@ impl FlowNet {
             }
         }
         self.touch_loads();
+        if let Some(tr) = &self.tracer {
+            let mut t = tr.borrow_mut();
+            t.instant(Track::solver(), Category::Solver, "full_solve", self.last_advance);
+            if let Some(old) = old_rates {
+                for (i, id) in self.active_ids.iter().enumerate() {
+                    let f = &self.flows[id];
+                    if f.rate != old[i] {
+                        t.counter(Track::flow(id.0), f.cat, "rate_bps", self.last_advance, f.rate);
+                    }
+                }
+            }
+        }
     }
 
     /// Moves finished flows to the completed queue and settles any flows
@@ -502,6 +564,9 @@ impl FlowNet {
                     self.link_users[l] -= 1;
                     self.freed_buf.push(l);
                 }
+            }
+            if let Some(tr) = &self.tracer {
+                tr.borrow_mut().instant(Track::flow(id.0), f.cat, "flow_done", self.last_advance);
             }
         }
         self.done_buf = done;
@@ -804,6 +869,33 @@ mod tests {
         assert_eq!(net.take_completed().len(), 1);
         let (full, _) = net.recompute_stats();
         assert_eq!(full, 0, "an activation onto idle links needs no solve");
+    }
+
+    #[test]
+    fn traced_flows_emit_lifecycle_events() {
+        use stash_trace::{shared, JsonSink, Tracer, TrackKind};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let sink = Rc::new(RefCell::new(JsonSink::new()));
+        let (mut net, l) = mk_net(&[100.0]);
+        net.set_tracer(shared(Tracer::new(sink.clone())));
+        net.start_flow(SimTime::ZERO, FlowSpec::new(vec![l[0]], 100.0, 1));
+        net.start_flow(SimTime::ZERO, FlowSpec::new(vec![l[0]], 50.0, 2));
+        let mut now = SimTime::ZERO;
+        while let Some(t) = net.next_event_time(now) {
+            net.advance(t);
+            now = t;
+            net.take_completed();
+        }
+        assert_eq!(net.active_flows(), 0);
+        let events = sink.borrow().events().to_vec();
+        let count = |name: &str| events.iter().filter(|(_, e)| e.name() == name).count();
+        assert_eq!(count("flow_start"), 2);
+        assert_eq!(count("flow_done"), 2);
+        assert!(count("rate_bps") >= 3, "shared-link rates change during the run");
+        assert!(count("full_solve") >= 1, "contended start requires a solve");
+        assert!(events.iter().any(|(_, e)| e.track().kind == TrackKind::Flow));
     }
 
     #[test]

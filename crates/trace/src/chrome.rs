@@ -1,0 +1,382 @@
+//! Chrome `trace_events` exporter and its validating parser.
+//!
+//! [`export`] renders recorded events into the JSON format understood by
+//! `chrome://tracing` / Perfetto: one *process* per traced simulation, one
+//! *thread* (track) per GPU / loader / communicator / flow lane, spans as
+//! `B`/`E` begin–end pairs, instants as `i` and counters as `C`.
+//!
+//! [`validate`] is the reverse direction: it parses an exported document
+//! and checks the structural invariants (every `B` has a matching `E` on
+//! the same track, names agree, timestamps never run backwards, stacks
+//! are empty at end of track). The golden tests and the `stash trace` CLI
+//! both run it, so a trace file that loads in the browser is also a trace
+//! file the test suite has proven well-formed.
+
+use std::collections::BTreeMap;
+
+use serde_json::{json, Map, Value};
+
+use crate::span::{Track, TraceEvent};
+
+/// Nanoseconds → Chrome's microsecond `ts` field.
+fn ts_us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+/// Renders `(process, event)` pairs into a Chrome `trace_events` document.
+///
+/// Track-to-thread assignment is deterministic: threads are numbered in
+/// `(kind, node, index)` order within each process, so identical runs
+/// produce byte-identical documents.
+#[must_use]
+pub fn export(events: &[(u32, TraceEvent)]) -> Value {
+    // Stable thread ids per (process, track).
+    let mut tracks: BTreeMap<(u32, Track), Vec<&TraceEvent>> = BTreeMap::new();
+    for (process, ev) in events {
+        tracks.entry((*process, ev.track())).or_default().push(ev);
+    }
+    let mut tids: BTreeMap<(u32, Track), u64> = BTreeMap::new();
+    let mut per_process: BTreeMap<u32, u64> = BTreeMap::new();
+    for (process, track) in tracks.keys() {
+        let next = per_process.entry(*process).or_insert(0);
+        tids.insert((*process, *track), *next);
+        *next += 1;
+    }
+
+    let mut out: Vec<Value> = Vec::new();
+    for ((process, track), tid) in &tids {
+        out.push(json!({
+            "ph": "M",
+            "name": "thread_name",
+            "pid": *process,
+            "tid": *tid,
+            "args": json!({ "name": track.label() }),
+        }));
+    }
+
+    for ((process, track), events) in &tracks {
+        let tid = tids[&(*process, *track)];
+        emit_track(&mut out, *process, tid, events);
+    }
+
+    let mut doc = Map::new();
+    doc.insert("traceEvents".to_string(), Value::Array(out));
+    doc.insert("displayTimeUnit".to_string(), Value::String("ms".to_string()));
+    Value::Object(doc)
+}
+
+/// Emits one track's events: spans as properly nested `B`/`E` pairs,
+/// then instants and counters.
+fn emit_track(out: &mut Vec<Value>, pid: u32, tid: u64, events: &[&TraceEvent]) {
+    // Sort spans by (start asc, end desc): an interval that starts
+    // together with a longer one nests inside it.
+    let mut spans: Vec<(u64, u64, &'static str, &'static str)> = events
+        .iter()
+        .filter_map(|ev| match ev {
+            TraceEvent::Span { name, category, start, end, .. } => {
+                Some((start.as_nanos(), end.as_nanos(), *name, category.label()))
+            }
+            _ => None,
+        })
+        .collect();
+    spans.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+
+    // Stack-based depth-first emission. Partial overlaps (which the
+    // simulator does not produce, but a custom sink user could) are
+    // clamped to the enclosing span so the document stays well-formed.
+    let mut stack: Vec<(u64, &'static str)> = Vec::new();
+    for (start, end, name, cat) in spans {
+        while let Some(&(top_end, top_name)) = stack.last() {
+            if top_end <= start {
+                out.push(end_event(pid, tid, top_end, top_name));
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        let end = match stack.last() {
+            Some(&(top_end, _)) if end > top_end => top_end,
+            _ => end,
+        };
+        out.push(json!({
+            "ph": "B",
+            "name": name,
+            "cat": cat,
+            "pid": pid,
+            "tid": tid,
+            "ts": ts_us(start),
+        }));
+        stack.push((end, name));
+    }
+    while let Some((end, name)) = stack.pop() {
+        out.push(end_event(pid, tid, end, name));
+    }
+
+    for ev in events {
+        match ev {
+            TraceEvent::Instant { name, category, at, .. } => out.push(json!({
+                "ph": "i",
+                "s": "t",
+                "name": *name,
+                "cat": category.label(),
+                "pid": pid,
+                "tid": tid,
+                "ts": ts_us(at.as_nanos()),
+            })),
+            TraceEvent::Counter { name, category, at, value, .. } => out.push(json!({
+                "ph": "C",
+                "name": *name,
+                "cat": category.label(),
+                "pid": pid,
+                "tid": tid,
+                "ts": ts_us(at.as_nanos()),
+                "args": json!({ "value": *value }),
+            })),
+            TraceEvent::Span { .. } => {}
+        }
+    }
+}
+
+fn end_event(pid: u32, tid: u64, end_ns: u64, name: &str) -> Value {
+    json!({
+        "ph": "E",
+        "name": name,
+        "pid": pid,
+        "tid": tid,
+        "ts": ts_us(end_ns),
+    })
+}
+
+/// What [`validate`] found in a well-formed document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChromeStats {
+    /// `B`/`E` pair count (complete spans).
+    pub spans: u64,
+    /// `i` events.
+    pub instants: u64,
+    /// `C` events.
+    pub counters: u64,
+    /// Distinct `(pid, tid)` lanes that carried events.
+    pub tracks: u64,
+    /// Deepest `B` nesting observed on any lane.
+    pub max_depth: u64,
+}
+
+/// Parses an exported document and checks its structural invariants.
+///
+/// Returns per-phase statistics on success; on the first violation,
+/// returns a message naming the offending event index and lane.
+pub fn validate(json_text: &str) -> Result<ChromeStats, String> {
+    let doc: Value =
+        serde_json::from_str(json_text).map_err(|e| format!("trace is not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or("missing traceEvents array")?;
+
+    let mut stats = ChromeStats::default();
+    // Per-(pid, tid): open-span name stack and last B/E timestamp.
+    let mut lanes: BTreeMap<(u64, u64), (Vec<String>, f64)> = BTreeMap::new();
+
+    for (idx, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {idx}: missing ph"))?;
+        if ph == "M" {
+            continue;
+        }
+        let pid = ev
+            .get("pid")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("event {idx}: missing pid"))?;
+        let tid = ev
+            .get("tid")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("event {idx}: missing tid"))?;
+        let ts = ev
+            .get("ts")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {idx}: missing ts"))?;
+        let name = ev
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {idx}: missing name"))?
+            .to_string();
+
+        let lane = lanes.entry((pid, tid)).or_insert_with(|| (Vec::new(), f64::MIN));
+        match ph {
+            "B" | "E" => {
+                if ts < lane.1 {
+                    return Err(format!(
+                        "event {idx}: ts runs backwards on pid {pid} tid {tid} ({ts} < {})",
+                        lane.1
+                    ));
+                }
+                lane.1 = ts;
+                if ph == "B" {
+                    lane.0.push(name);
+                    stats.max_depth = stats.max_depth.max(lane.0.len() as u64);
+                } else {
+                    let open = lane.0.pop().ok_or_else(|| {
+                        format!("event {idx}: E without open B on pid {pid} tid {tid}")
+                    })?;
+                    if open != name {
+                        return Err(format!(
+                            "event {idx}: E '{name}' does not match open B '{open}' \
+                             on pid {pid} tid {tid}"
+                        ));
+                    }
+                    stats.spans += 1;
+                }
+            }
+            "i" => stats.instants += 1,
+            "C" => stats.counters += 1,
+            other => return Err(format!("event {idx}: unknown phase '{other}'")),
+        }
+    }
+
+    for ((pid, tid), (stack, _)) in &lanes {
+        if let Some(open) = stack.last() {
+            return Err(format!("unclosed span '{open}' on pid {pid} tid {tid}"));
+        }
+    }
+    stats.tracks = lanes.len() as u64;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Category;
+    use stash_simkit::time::SimTime;
+
+    fn span(track: Track, name: &'static str, a: u64, b: u64) -> (u32, TraceEvent) {
+        (
+            0,
+            TraceEvent::Span {
+                track,
+                category: Category::Compute,
+                name,
+                start: SimTime::from_nanos(a),
+                end: SimTime::from_nanos(b),
+            },
+        )
+    }
+
+    fn export_text(events: &[(u32, TraceEvent)]) -> String {
+        serde_json::to_string_pretty(&export(events)).unwrap()
+    }
+
+    #[test]
+    fn sequential_spans_round_trip() {
+        let events = vec![
+            span(Track::gpu(0, 0), "forward", 0, 10),
+            span(Track::gpu(0, 0), "backward", 10, 30),
+            span(Track::gpu(0, 1), "forward", 0, 12),
+        ];
+        let stats = validate(&export_text(&events)).unwrap();
+        assert_eq!(stats.spans, 3);
+        assert_eq!(stats.tracks, 2);
+        assert_eq!(stats.max_depth, 1);
+    }
+
+    #[test]
+    fn nested_spans_validate_with_depth() {
+        let events = vec![
+            span(Track::gpu(0, 0), "iteration", 0, 100),
+            span(Track::gpu(0, 0), "forward", 10, 40),
+            span(Track::gpu(0, 0), "backward", 40, 90),
+        ];
+        let stats = validate(&export_text(&events)).unwrap();
+        assert_eq!(stats.spans, 3);
+        assert_eq!(stats.max_depth, 2);
+    }
+
+    #[test]
+    fn instants_and_counters_survive_export() {
+        let events = vec![
+            (
+                0,
+                TraceEvent::Instant {
+                    track: Track::loader(0, 0),
+                    category: Category::Cache,
+                    name: "cache_hit",
+                    at: SimTime::from_nanos(5),
+                },
+            ),
+            (
+                0,
+                TraceEvent::Counter {
+                    track: Track::flow(3),
+                    category: Category::Solver,
+                    name: "rate_bps",
+                    at: SimTime::from_nanos(7),
+                    value: 1.5e9,
+                },
+            ),
+        ];
+        let stats = validate(&export_text(&events)).unwrap();
+        assert_eq!((stats.instants, stats.counters), (1, 1));
+    }
+
+    #[test]
+    fn processes_become_separate_pids() {
+        let mut events = vec![span(Track::gpu(0, 0), "forward", 0, 10)];
+        events.push((
+            4,
+            TraceEvent::Span {
+                track: Track::gpu(0, 0),
+                category: Category::Compute,
+                name: "forward",
+                start: SimTime::ZERO,
+                end: SimTime::from_nanos(10),
+            },
+        ));
+        let doc = export(&events);
+        let pids: Vec<u64> = doc
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("B"))
+            .map(|e| e.get("pid").and_then(Value::as_u64).unwrap())
+            .collect();
+        assert_eq!(pids, vec![0, 4]);
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let events = vec![
+            span(Track::gpu(0, 0), "forward", 0, 10),
+            span(Track::comm(), "allreduce", 2, 8),
+        ];
+        assert_eq!(export_text(&events), export_text(&events));
+    }
+
+    #[test]
+    fn validator_rejects_mismatched_pairs() {
+        let bad = r#"{"traceEvents": [
+            {"ph": "B", "name": "a", "pid": 0, "tid": 0, "ts": 0.0},
+            {"ph": "E", "name": "b", "pid": 0, "tid": 0, "ts": 1.0}
+        ]}"#;
+        assert!(validate(bad).unwrap_err().contains("does not match"));
+    }
+
+    #[test]
+    fn validator_rejects_unclosed_spans() {
+        let bad = r#"{"traceEvents": [
+            {"ph": "B", "name": "a", "pid": 0, "tid": 0, "ts": 0.0}
+        ]}"#;
+        assert!(validate(bad).unwrap_err().contains("unclosed"));
+    }
+
+    #[test]
+    fn validator_rejects_backwards_time() {
+        let bad = r#"{"traceEvents": [
+            {"ph": "B", "name": "a", "pid": 0, "tid": 0, "ts": 5.0},
+            {"ph": "E", "name": "a", "pid": 0, "tid": 0, "ts": 1.0}
+        ]}"#;
+        assert!(validate(bad).unwrap_err().contains("backwards"));
+    }
+}

@@ -1,0 +1,76 @@
+//! # stash-trace — stall-centric tracing and metrics
+//!
+//! A deterministic, zero-cost-when-disabled span/event recorder keyed to
+//! the simulation clock ([`stash_simkit::time::SimTime`]), plus the
+//! exporters that turn a recording into something a human can read:
+//!
+//! * **Chrome trace** ([`chrome::export`]) — open in `chrome://tracing`
+//!   or Perfetto; one process per simulation, one thread per GPU /
+//!   loader / communicator / flow lane.
+//! * **Stall rollup** ([`rollup::StallRollup`]) — integer-nanosecond span
+//!   totals per `(track kind, category)` that reconcile *exactly* with
+//!   the engine's `EpochReport` stall breakdown (tests enforce this).
+//! * **Prometheus text metrics** ([`metrics::render_rollup`]).
+//!
+//! ## Data model
+//!
+//! A [`span::TraceEvent`] is a `Copy` value — a span `[start, end]`, an
+//! instant, or a counter sample — on a [`span::Track`] (one timeline
+//! lane) with a [`span::Category`] (the stall class it is attributed to:
+//! compute, interconnect, network, prep, fetch, solver, cache).
+//!
+//! ## Recording
+//!
+//! Instrumentation sites hold a [`recorder::Tracer`] (usually behind a
+//! [`recorder::SharedTracer`]) and call `span` / `instant` / `counter`.
+//! A disabled tracer ([`recorder::Tracer::disabled`], the default
+//! everywhere) short-circuits before event construction: no allocation,
+//! no sink call, one predictable branch. Enabled tracers forward to a
+//! [`sink::TraceSink`] — [`sink::RingSink`] for bounded flight
+//! recording, [`sink::JsonSink`] for full capture, or a custom impl.
+//!
+//! ```
+//! use stash_trace::chrome;
+//! use stash_trace::prelude::*;
+//! use stash_simkit::time::SimTime;
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//!
+//! let sink = Rc::new(RefCell::new(JsonSink::new()));
+//! let mut tracer = Tracer::new(sink.clone());
+//! tracer.span(
+//!     Track::gpu(0, 0),
+//!     Category::Compute,
+//!     "forward",
+//!     SimTime::ZERO,
+//!     SimTime::from_nanos(1_000),
+//! );
+//!
+//! let rollup = StallRollup::from_events(sink.borrow().events());
+//! assert_eq!(rollup.category_total(Category::Compute).as_nanos(), 1_000);
+//!
+//! let doc = serde_json::to_string_pretty(&chrome::export(sink.borrow().events())).unwrap();
+//! assert!(chrome::validate(&doc).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod metrics;
+pub mod recorder;
+pub mod rollup;
+pub mod sink;
+pub mod span;
+
+/// The names most instrumentation and analysis sites need.
+pub mod prelude {
+    pub use crate::metrics::MetricsBuilder;
+    pub use crate::recorder::{shared, SharedTracer, Tracer};
+    pub use crate::rollup::StallRollup;
+    pub use crate::sink::{CountingSink, JsonSink, NullSink, RingSink, TraceSink};
+    pub use crate::span::{Category, Track, TraceEvent, TrackKind};
+}
+
+pub use recorder::{shared, SharedTracer, Tracer};
+pub use sink::{CountingSink, JsonSink, NullSink, RingSink, TraceSink};
+pub use span::{Category, Track, TraceEvent, TrackKind};

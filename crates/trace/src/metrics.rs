@@ -1,0 +1,183 @@
+//! Prometheus-style text metrics.
+//!
+//! A tiny builder for the [text exposition format] — `# HELP` / `# TYPE`
+//! headers, `name{label="value"} 1.5` samples — plus a canned renderer
+//! that turns a [`StallRollup`] (and optional cache counters) into the
+//! metric family the sweeps and the `stash trace` CLI dump.
+//!
+//! [text exposition format]:
+//!     https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::fmt::Write as _;
+
+use crate::rollup::StallRollup;
+
+/// Incremental builder for a text-format metrics dump.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsBuilder {
+    out: String,
+}
+
+impl MetricsBuilder {
+    /// An empty dump.
+    #[must_use]
+    pub fn new() -> MetricsBuilder {
+        MetricsBuilder::default()
+    }
+
+    /// Starts a metric family: `# HELP` and `# TYPE` lines.
+    /// `kind` is the Prometheus type (`counter`, `gauge`, ...).
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) -> &mut MetricsBuilder {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        self
+    }
+
+    /// Appends one sample. `labels` are `(key, value)` pairs; pass `&[]`
+    /// for an unlabelled sample. Values render with enough precision to
+    /// round-trip integers exactly.
+    pub fn sample(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        value: f64,
+    ) -> &mut MetricsBuilder {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(self.out, "{k}=\"{}\"", escape_label(v));
+            }
+            self.out.push('}');
+        }
+        let _ = writeln!(self.out, " {}", format_value(value));
+        self
+    }
+
+    /// The accumulated dump.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn format_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a rollup (plus optional measurement-cache counters) as the
+/// standard `stash_*` metric families:
+///
+/// * `stash_span_nanoseconds_total{kind,category}` — traced span time,
+///   integer nanoseconds, exactly the rollup's reconciled totals;
+/// * `stash_trace_events_total{type}` — spans / instants / counters seen;
+/// * `stash_measurement_cache_{hits,misses}_total` — when provided.
+#[must_use]
+pub fn render_rollup(rollup: &StallRollup, cache: Option<(u64, u64)>) -> String {
+    let mut b = MetricsBuilder::new();
+
+    b.family(
+        "stash_span_nanoseconds_total",
+        "counter",
+        "Traced span time by track kind and stall category (integer ns).",
+    );
+    for (kind, category, total) in rollup.kind_totals() {
+        b.sample(
+            "stash_span_nanoseconds_total",
+            &[("kind", kind.label()), ("category", category.label())],
+            total.as_nanos() as f64,
+        );
+    }
+
+    let (spans, instants, counters) = rollup.event_counts();
+    b.family(
+        "stash_trace_events_total",
+        "counter",
+        "Trace events recorded, by event type.",
+    );
+    b.sample("stash_trace_events_total", &[("type", "span")], spans as f64);
+    b.sample("stash_trace_events_total", &[("type", "instant")], instants as f64);
+    b.sample("stash_trace_events_total", &[("type", "counter")], counters as f64);
+
+    if let Some((hits, misses)) = cache {
+        b.family(
+            "stash_measurement_cache_hits_total",
+            "counter",
+            "Profiler measurement-cache hits.",
+        );
+        b.sample("stash_measurement_cache_hits_total", &[], hits as f64);
+        b.family(
+            "stash_measurement_cache_misses_total",
+            "counter",
+            "Profiler measurement-cache misses.",
+        );
+        b.sample("stash_measurement_cache_misses_total", &[], misses as f64);
+    }
+
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Category, TraceEvent, Track};
+    use stash_simkit::time::SimTime;
+
+    #[test]
+    fn builder_formats_families_and_samples() {
+        let mut b = MetricsBuilder::new();
+        b.family("x_total", "counter", "Things.");
+        b.sample("x_total", &[("k", "v")], 3.0);
+        b.sample("x_total", &[], 2.5);
+        let text = b.finish();
+        assert!(text.contains("# HELP x_total Things."));
+        assert!(text.contains("# TYPE x_total counter"));
+        assert!(text.contains("x_total{k=\"v\"} 3\n"));
+        assert!(text.contains("x_total 2.5\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut b = MetricsBuilder::new();
+        b.sample("m", &[("k", "a\"b\\c")], 1.0);
+        assert!(b.finish().contains(r#"m{k="a\"b\\c"} 1"#));
+    }
+
+    #[test]
+    fn integer_values_render_exactly() {
+        assert_eq!(format_value(1_234_567_890_123.0), "1234567890123");
+        assert_eq!(format_value(0.5), "0.5");
+    }
+
+    #[test]
+    fn rollup_rendering_includes_cache_counters() {
+        let events = vec![(
+            0,
+            TraceEvent::Span {
+                track: Track::gpu(0, 0),
+                category: Category::Compute,
+                name: "forward",
+                start: SimTime::ZERO,
+                end: SimTime::from_nanos(42),
+            },
+        )];
+        let rollup = StallRollup::from_events(&events);
+        let text = render_rollup(&rollup, Some((7, 3)));
+        assert!(text
+            .contains("stash_span_nanoseconds_total{kind=\"gpu\",category=\"compute\"} 42"));
+        assert!(text.contains("stash_trace_events_total{type=\"span\"} 1"));
+        assert!(text.contains("stash_measurement_cache_hits_total 7"));
+        assert!(text.contains("stash_measurement_cache_misses_total 3"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Per-category stall-time rollups.
+//!
+//! A [`StallRollup`] sums traced span durations by `(track kind,
+//! category)` and by individual track, in integer nanoseconds — no
+//! floating point, so the totals reconcile *exactly* with the engine's own
+//! accumulators. This is the reconciliation oracle the workspace tests
+//! enforce: for a traced epoch, the rank-0 GPU-track totals must equal the
+//! [`EpochReport`] stall breakdown to the nanosecond.
+//!
+//! [`EpochReport`]: https://docs.rs/stash-ddl
+
+use std::collections::BTreeMap;
+
+use stash_simkit::time::SimDuration;
+
+use crate::span::{Category, Track, TraceEvent, TrackKind};
+
+/// Summed span time per `(track kind, category)` and per track.
+#[derive(Debug, Clone, Default)]
+pub struct StallRollup {
+    by_kind: BTreeMap<(TrackKind, Category), u64>,
+    by_track: BTreeMap<(Track, Category), u64>,
+    spans: u64,
+    instants: u64,
+    counters: u64,
+}
+
+impl StallRollup {
+    /// Builds a rollup over `(process, event)` pairs (the sink event
+    /// format). All processes are folded together; filter beforehand to
+    /// roll up a single simulation.
+    #[must_use]
+    pub fn from_events<'a, I>(events: I) -> StallRollup
+    where
+        I: IntoIterator<Item = &'a (u32, TraceEvent)>,
+    {
+        let mut r = StallRollup::default();
+        for (_, ev) in events {
+            r.add(ev);
+        }
+        r
+    }
+
+    /// Folds one event into the rollup.
+    pub fn add(&mut self, event: &TraceEvent) {
+        match event {
+            TraceEvent::Span { track, category, start, end, .. } => {
+                self.spans += 1;
+                let ns = end.duration_since(*start).as_nanos();
+                *self.by_kind.entry((track.kind, *category)).or_insert(0) += ns;
+                *self.by_track.entry((*track, *category)).or_insert(0) += ns;
+            }
+            TraceEvent::Instant { .. } => self.instants += 1,
+            TraceEvent::Counter { .. } => self.counters += 1,
+        }
+    }
+
+    /// Total span time for `category` on tracks of `kind`.
+    #[must_use]
+    pub fn kind_total(&self, kind: TrackKind, category: Category) -> SimDuration {
+        SimDuration::from_nanos(self.by_kind.get(&(kind, category)).copied().unwrap_or(0))
+    }
+
+    /// Total span time for `category` on one specific `track`.
+    #[must_use]
+    pub fn track_total(&self, track: Track, category: Category) -> SimDuration {
+        SimDuration::from_nanos(self.by_track.get(&(track, category)).copied().unwrap_or(0))
+    }
+
+    /// Total span time for `category` across all tracks.
+    #[must_use]
+    pub fn category_total(&self, category: Category) -> SimDuration {
+        SimDuration::from_nanos(
+            self.by_kind
+                .iter()
+                .filter(|((_, c), _)| *c == category)
+                .map(|(_, ns)| ns)
+                .sum(),
+        )
+    }
+
+    /// Every `(track kind, category)` total, in stable order.
+    #[must_use]
+    pub fn kind_totals(&self) -> Vec<(TrackKind, Category, SimDuration)> {
+        self.by_kind
+            .iter()
+            .map(|(&(k, c), &ns)| (k, c, SimDuration::from_nanos(ns)))
+            .collect()
+    }
+
+    /// Distinct tracks that carried at least one span.
+    #[must_use]
+    pub fn span_tracks(&self) -> Vec<Track> {
+        let mut tracks: Vec<Track> = self.by_track.keys().map(|(t, _)| *t).collect();
+        tracks.dedup();
+        tracks
+    }
+
+    /// `(spans, instants, counters)` event counts.
+    #[must_use]
+    pub fn event_counts(&self) -> (u64, u64, u64) {
+        (self.spans, self.instants, self.counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stash_simkit::time::SimTime;
+
+    fn span(track: Track, cat: Category, a: u64, b: u64) -> (u32, TraceEvent) {
+        (
+            0,
+            TraceEvent::Span {
+                track,
+                category: cat,
+                name: "s",
+                start: SimTime::from_nanos(a),
+                end: SimTime::from_nanos(b),
+            },
+        )
+    }
+
+    #[test]
+    fn totals_sum_exactly_in_nanoseconds() {
+        let events = vec![
+            span(Track::gpu(0, 0), Category::Compute, 0, 10),
+            span(Track::gpu(0, 0), Category::Compute, 10, 17),
+            span(Track::gpu(0, 1), Category::Compute, 0, 5),
+            span(Track::gpu(0, 0), Category::Fetch, 20, 21),
+        ];
+        let r = StallRollup::from_events(&events);
+        assert_eq!(r.kind_total(TrackKind::Gpu, Category::Compute).as_nanos(), 22);
+        assert_eq!(r.track_total(Track::gpu(0, 0), Category::Compute).as_nanos(), 17);
+        assert_eq!(r.track_total(Track::gpu(0, 0), Category::Fetch).as_nanos(), 1);
+        assert_eq!(r.category_total(Category::Compute).as_nanos(), 22);
+        assert_eq!(r.kind_total(TrackKind::Loader, Category::Prep), SimDuration::ZERO);
+        assert_eq!(r.event_counts(), (4, 0, 0));
+    }
+
+    #[test]
+    fn instants_and_counters_counted_but_not_summed() {
+        let events = vec![
+            (
+                0,
+                TraceEvent::Instant {
+                    track: Track::solver(),
+                    category: Category::Solver,
+                    name: "full_solve",
+                    at: SimTime::ZERO,
+                },
+            ),
+            (
+                0,
+                TraceEvent::Counter {
+                    track: Track::flow(0),
+                    category: Category::Solver,
+                    name: "rate_bps",
+                    at: SimTime::ZERO,
+                    value: 5.0,
+                },
+            ),
+        ];
+        let r = StallRollup::from_events(&events);
+        assert_eq!(r.category_total(Category::Solver), SimDuration::ZERO);
+        assert_eq!(r.event_counts(), (0, 1, 1));
+    }
+
+    #[test]
+    fn span_tracks_deduplicate() {
+        let events = vec![
+            span(Track::gpu(0, 0), Category::Compute, 0, 1),
+            span(Track::gpu(0, 0), Category::Fetch, 1, 2),
+            span(Track::comm(), Category::Interconnect, 0, 2),
+        ];
+        let r = StallRollup::from_events(&events);
+        assert_eq!(r.span_tracks().len(), 2);
+    }
+}

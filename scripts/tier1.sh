@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build, full test suite, lint-clean under clippy.
+# Tier-1 gate: release build, full test suite, lint-clean under clippy,
+# warning-free rustdoc, and a trace-CLI smoke test.
 # Run from the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -7,3 +8,10 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+# Trace CLI smoke test. The `trace validated` line only prints after the
+# written file round-trips through `stash_trace::chrome::validate` — the
+# same parser the chrome_golden integration test uses.
+smoke_out=$(./target/release/stash trace p3.2xlarge resnet50 --out /tmp/t.json)
+grep -q "trace validated" <<<"$smoke_out"

@@ -6,7 +6,8 @@
 //! stash profile <model> <cluster> [-b N] run the 5-step methodology
 //! stash advise <model> [-b N] [--cost]   rank all candidate clusters
 //! stash probe <instance>                 per-GPU PCIe bandwidth probe
-//! stash trace <model> <cluster> [-b N]   per-iteration timeline
+//! stash trace <instance> <model>         traced epoch + Chrome trace JSON
+//!             [--out PATH] [-b N]        (either argument order works)
 //! ```
 //!
 //! Cluster syntax matches the paper: `p3.16xlarge` or `p3.8xlarge*2`.
@@ -160,9 +161,19 @@ fn cmd_probe(args: &[String]) -> ExitCode {
 }
 
 fn cmd_trace(args: &[String]) -> ExitCode {
-    let (Some(model_name), Some(cluster_spec)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: stash trace <model> <cluster> [-b batch]");
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let (Some(first), Some(second)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: stash trace <instance> <model> [--out PATH] [-b batch]");
         return ExitCode::FAILURE;
+    };
+    // Accept either argument order: `trace p3.2xlarge resnet50` (the
+    // paper's instance-first habit) or `trace resnet50 p3.8xlarge*2`.
+    let (model_name, cluster_spec) = if zoo::by_name(first).is_some() {
+        (first, second)
+    } else {
+        (second, first)
     };
     let Some(model) = zoo::by_name(model_name) else {
         eprintln!("unknown model '{model_name}' (try `stash models`)");
@@ -175,35 +186,95 @@ fn cmd_trace(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out" || a == "-o")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| {
+            format!(
+                "results/trace_{}_{}.json",
+                model_name.to_lowercase(),
+                cluster_spec.replace('*', "x")
+            )
+        });
+
     let batch = parse_batch(args);
+    // Real warm-cache data so the trace shows the full pipeline: fetch,
+    // prep, H2D upload, compute and all-reduce on their own tracks.
+    let dataset = if model.name.starts_with("BERT") {
+        DatasetSpec::squad2()
+    } else {
+        DatasetSpec::imagenet1k()
+    };
     let mut cfg = TrainConfig::synthetic(cluster, model, batch, batch * 12);
     cfg.epoch_mode = EpochMode::Sampled { iterations: 12 };
     cfg.record_trace = true;
-    match run_epoch(&cfg) {
-        Ok(r) => {
-            println!(
-                "{} | {} | batch {} x {} GPUs — per-iteration timeline",
-                r.cluster, r.model, r.per_gpu_batch, r.world
-            );
-            println!("{:>5} {:>12} {:>12} {:>12}", "iter", "total", "data wait", "comm wait");
-            for s in &r.trace {
-                println!(
-                    "{:>5} {:>12} {:>12} {:>12}",
-                    s.iteration,
-                    s.total.to_string(),
-                    s.data_wait.to_string(),
-                    s.comm_wait.to_string()
-                );
+    cfg.data = DataMode::Real { dataset, cache: CacheState::Warm };
+
+    let sink = Rc::new(RefCell::new(JsonSink::new()));
+    let tracer = shared(Tracer::new(sink.clone()));
+    let r = match run_epoch_traced(&cfg, &tracer) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "{} | {} | batch {} x {} GPUs — per-iteration timeline",
+        r.cluster, r.model, r.per_gpu_batch, r.world
+    );
+    println!("{:>5} {:>12} {:>12} {:>12}", "iter", "total", "data wait", "comm wait");
+    for s in &r.trace {
+        println!(
+            "{:>5} {:>12} {:>12} {:>12}",
+            s.iteration,
+            s.total.to_string(),
+            s.data_wait.to_string(),
+            s.comm_wait.to_string()
+        );
+    }
+    println!(
+        "host-bus utilisation: {:.1}%  |  throughput: {:.0} samples/s",
+        r.host_bus_utilization * 100.0,
+        r.throughput
+    );
+
+    let events = sink.borrow().events().to_vec();
+    let rollup = StallRollup::from_events(&events);
+    println!("\nper-category traced span time (raw, {} simulated iterations):", r.simulated_iterations);
+    for (kind, category, total) in rollup.kind_totals() {
+        println!("  {:<9} {:<13} {}", kind.label(), category.label(), total);
+    }
+    print!("\n{}", stash::trace::metrics::render_rollup(&rollup, None));
+
+    let json = stash::trace::chrome::export(&events);
+    let text = serde_json::to_string_pretty(&json).expect("serialize trace");
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
             }
+        }
+    }
+    if let Err(e) = std::fs::write(&out_path, &text) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    match stash::trace::chrome::validate(&text) {
+        Ok(stats) => {
             println!(
-                "host-bus utilisation: {:.1}%  |  throughput: {:.0} samples/s",
-                r.host_bus_utilization * 100.0,
-                r.throughput
+                "\ntrace validated: {} spans / {} instants / {} counters on {} tracks (max depth {})",
+                stats.spans, stats.instants, stats.counters, stats.tracks, stats.max_depth
             );
+            println!("chrome trace written to {out_path} (open in chrome://tracing or Perfetto)");
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("trace failed: {e}");
+            eprintln!("exported trace failed validation: {e}");
             ExitCode::FAILURE
         }
     }
@@ -225,7 +296,7 @@ fn main() -> ExitCode {
                  stash profile <model> <cluster> [-b batch]\n  \
                  stash advise <model> [-b batch] [--cost|--time]\n  \
                  stash probe <instance>\n  \
-                 stash trace <model> <cluster> [-b batch]\n\n\
+                 stash trace <instance> <model> [--out PATH] [-b batch]\n\n\
                  clusters: p3.16xlarge, p3.8xlarge*2, ..."
             );
             ExitCode::FAILURE

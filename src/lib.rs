@@ -15,6 +15,7 @@
 //! | [`collectives`] | `stash-collectives` | bucketing + all-reduce |
 //! | [`ddl`] | `stash-ddl` | the DDP training engine |
 //! | [`core`] | `stash-core` | **the Stash profiler** |
+//! | [`trace`] | `stash-trace` | span tracing, Chrome export, metrics |
 //!
 //! # Quickstart
 //!
@@ -41,6 +42,7 @@ pub use stash_flowsim as flowsim;
 pub use stash_gpucompute as gpucompute;
 pub use stash_hwtopo as hwtopo;
 pub use stash_simkit as simkit;
+pub use stash_trace as trace;
 
 /// One-stop import of the public API.
 pub mod prelude {
@@ -53,4 +55,5 @@ pub mod prelude {
     pub use stash_gpucompute::prelude::*;
     pub use stash_hwtopo::prelude::*;
     pub use stash_simkit::prelude::*;
+    pub use stash_trace::prelude::*;
 }

@@ -61,6 +61,23 @@ fn unknown_inputs_fail_with_guidance() {
 }
 
 #[test]
+fn trace_writes_a_valid_chrome_trace() {
+    let out_path = std::env::temp_dir().join("stash_cli_trace_test.json");
+    let _ = std::fs::remove_file(&out_path);
+
+    let out = stash(&["trace", "p3.2xlarge", "resnet18", "--out", out_path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("trace validated"), "{stdout}");
+    assert!(stdout.contains("stash_span_nanoseconds_total"), "{stdout}");
+
+    let text = std::fs::read_to_string(&out_path).expect("trace file written");
+    let stats = stash::trace::chrome::validate(&text).expect("CLI trace must validate");
+    assert!(stats.spans > 0);
+    let _ = std::fs::remove_file(&out_path);
+}
+
+#[test]
 fn oom_configurations_report_cleanly() {
     // BERT-large at batch 64 on a K80: the profiler must fail with the
     // memory message, not panic.
