@@ -28,7 +28,9 @@ fn main() {
                 32 * accum * 100,
             );
             cfg.grad_accumulation = accum;
-            cfg.epoch_mode = EpochMode::Sampled { iterations: bench_iters() };
+            cfg.epoch_mode = EpochMode::Sampled {
+                iterations: bench_iters(),
+            };
             let r = run_epoch(&cfg).expect("run");
             tps.push(r.throughput);
             t.row(vec![

@@ -27,7 +27,9 @@ fn main() {
                 32 * 200,
             );
             cfg.overlap = overlap;
-            cfg.epoch_mode = EpochMode::Sampled { iterations: bench_iters() };
+            cfg.epoch_mode = EpochMode::Sampled {
+                iterations: bench_iters(),
+            };
             let r = run_epoch(&cfg).expect("run");
             let secs = r.epoch_time.as_secs_f64();
             if overlap {

@@ -18,7 +18,9 @@ fn main() {
     );
     for model in [zoo::resnet18(), zoo::resnet50()] {
         let stash = |m: &stash_dnn::model::Model| {
-            Stash::new(m.clone()).with_batch(32).with_sampled_iterations(bench_iters())
+            Stash::new(m.clone())
+                .with_batch(32)
+                .with_sampled_iterations(bench_iters())
         };
         let ic = |cluster: &ClusterSpec| {
             stash(&model)
@@ -30,11 +32,27 @@ fn main() {
         let degraded = ic(&ClusterSpec::single(p3_8xlarge_sliced(Slicing::Degraded)));
         let full = ic(&ClusterSpec::single(p3_8xlarge_sliced(Slicing::Full)));
         let x16 = ic(&ClusterSpec::single(p3_16xlarge()));
-        t.row(vec![model.name.clone(), "8xlarge (degraded slice)".into(), pct(Some(degraded))]);
-        t.row(vec![model.name.clone(), "8xlarge (full crossbar)".into(), pct(Some(full))]);
+        t.row(vec![
+            model.name.clone(),
+            "8xlarge (degraded slice)".into(),
+            pct(Some(degraded)),
+        ]);
+        t.row(vec![
+            model.name.clone(),
+            "8xlarge (full crossbar)".into(),
+            pct(Some(full)),
+        ]);
         t.row(vec![model.name.clone(), "16xlarge".into(), pct(Some(x16))]);
-        assert!(degraded > full, "{}: degraded {degraded} > full {full}", model.name);
-        assert!(degraded > x16, "{}: degraded {degraded} > 16xlarge {x16}", model.name);
+        assert!(
+            degraded > full,
+            "{}: degraded {degraded} > full {full}",
+            model.name
+        );
+        assert!(
+            degraded > x16,
+            "{}: degraded {degraded} > 16xlarge {x16}",
+            model.name
+        );
     }
     t.finish();
     println!("shape check: the slicing lottery explains the 8xlarge anomaly ✓");

@@ -28,14 +28,22 @@ fn main() {
         "analytic_model_check",
         "Closed-form (tau + G/(L·B))·L vs 25MB-bucket simulation and engine stall (paper §VI)",
         &[
-            "cluster", "tau_us", "B_gbps", "model", "closed_form_ms", "bucketed_sim_ms",
-            "engine_stall_ms", "form_vs_sim",
+            "cluster",
+            "tau_us",
+            "B_gbps",
+            "model",
+            "closed_form_ms",
+            "bucketed_sim_ms",
+            "engine_stall_ms",
+            "form_vs_sim",
         ],
     );
     for cluster in &clusters {
         let p = link_parameters(cluster);
         for model in &models {
-            let est = comm_estimate(cluster, model, Bucketing::PerLayer).total.as_secs_f64();
+            let est = comm_estimate(cluster, model, Bucketing::PerLayer)
+                .total
+                .as_secs_f64();
             let sim = comm_simulated(cluster, model, Bucketing::pytorch_default()).as_secs_f64();
             // Engine-measured interconnect stall per iteration: overlap can
             // hide communication, never add any.
@@ -45,10 +53,7 @@ fn main() {
                 .profile(cluster)
                 .expect("profile");
             let iters = 1_281_167.0 / (cluster.world_size() as f64 * 32.0);
-            let engine_stall = report
-                .interconnect_stall()
-                .map_or(0.0, |d| d.as_secs_f64())
-                / iters;
+            let engine_stall = report.interconnect_stall().map_or(0.0, |d| d.as_secs_f64()) / iters;
             let ratio = est / sim;
             t.row(vec![
                 cluster.display_name(),

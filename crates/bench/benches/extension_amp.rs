@@ -41,7 +41,8 @@ fn main() {
                     cluster.display_name(),
                     precision.label().to_string(),
                     format!("{secs:.1}"),
-                    r.network_stall_pct().map_or("-".into(), |p| format!("{p:.1}")),
+                    r.network_stall_pct()
+                        .map_or("-".into(), |p| format!("{p:.1}")),
                 ]);
             }
             if cluster.display_name().starts_with("p3") {

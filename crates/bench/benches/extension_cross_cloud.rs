@@ -18,7 +18,14 @@ fn main() {
     let mut t = Table::new(
         "extension_cross_cloud",
         "AWS vs Azure vs GCP for the same silicon (extension beyond the paper)",
-        &["model", "cloud", "instance", "ic_stall_pct", "epoch_s", "epoch_cost_usd"],
+        &[
+            "model",
+            "cloud",
+            "instance",
+            "ic_stall_pct",
+            "epoch_s",
+            "epoch_cost_usd",
+        ],
     );
     let configs = [
         ("aws", ClusterSpec::single(p2_8xlarge())),

@@ -15,14 +15,25 @@ fn main() {
     let mut t = Table::new(
         "extension_pipeline",
         "GPipe-style pipeline feasibility and throughput (extension beyond the paper)",
-        &["model", "stages", "micro_batches", "fits", "worst_stage_gb", "samples_per_s"],
+        &[
+            "model",
+            "stages",
+            "micro_batches",
+            "fits",
+            "worst_stage_gb",
+            "samples_per_s",
+        ],
     );
     let inst = p3_16xlarge();
     let mut dlrm_feasible_at = None;
     for model in [zoo::dlrm(), zoo::bert_large()] {
         for stages in [1_usize, 2, 4, 8] {
             let p = plan(&inst, &model, stages, 4, 8);
-            let worst = p.stages.iter().map(|s| s.memory_bytes).fold(0.0_f64, f64::max);
+            let worst = p
+                .stages
+                .iter()
+                .map(|s| s.memory_bytes)
+                .fold(0.0_f64, f64::max);
             if model.name == "DLRM" && p.fits && dlrm_feasible_at.is_none() {
                 dlrm_feasible_at = Some(stages);
             }
@@ -39,5 +50,7 @@ fn main() {
     t.finish();
     let at = dlrm_feasible_at.expect("DLRM must become feasible with enough stages");
     assert!(at > 1, "DLRM must NOT fit a single V100");
-    println!("shape check: DLRM infeasible under data parallelism, feasible at {at}-stage pipeline ✓");
+    println!(
+        "shape check: DLRM infeasible under data parallelism, feasible at {at}-stage pipeline ✓"
+    );
 }

@@ -5,14 +5,22 @@
 //! disk stalls scale with the number of data-loading workers (= GPUs per
 //! instance), worst on p2.16xlarge.
 
-use stash_bench::{p2_configs, pct, run_sweep, small_model_batches, SweepJob, Table};
+use stash_bench::{
+    p2_configs, pct, rollup_from_reports, run_sweep, small_model_batches, SweepJob, Table,
+};
 use stash_dnn::zoo;
 
 fn main() {
     let mut t = Table::new(
         "fig04_p2_cpu_disk",
         "CPU & disk stall % of training time, P2, small models (paper Fig. 4)",
-        &["model", "batch", "config", "cpu_stall_pct", "disk_stall_pct"],
+        &[
+            "model",
+            "batch",
+            "config",
+            "cpu_stall_pct",
+            "disk_stall_pct",
+        ],
     );
     let mut jobs = Vec::new();
     for model in zoo::small_models() {
@@ -23,6 +31,9 @@ fn main() {
         }
     }
     let (results, perf) = run_sweep(jobs.clone());
+    t.set_rollup(rollup_from_reports(
+        results.iter().filter_map(|r| r.as_ref().ok()),
+    ));
 
     let mut worst_cpu: f64 = 0.0;
     let mut disk_8x: f64 = 0.0;
@@ -48,7 +59,13 @@ fn main() {
     }
     t.set_perf(perf);
     t.finish();
-    assert!(worst_cpu < 20.0, "CPU stalls should be negligible, worst {worst_cpu}%");
-    assert!(disk_16x > disk_8x, "disk stall must grow with workers: 16x {disk_16x} vs 8x {disk_8x}");
+    assert!(
+        worst_cpu < 20.0,
+        "CPU stalls should be negligible, worst {worst_cpu}%"
+    );
+    assert!(
+        disk_16x > disk_8x,
+        "disk stall must grow with workers: 16x {disk_16x} vs 8x {disk_8x}"
+    );
     println!("shape check: CPU negligible (max {worst_cpu:.1}%), disk stall worst on 16xlarge ✓");
 }

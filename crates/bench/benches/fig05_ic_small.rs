@@ -7,7 +7,7 @@
 //! Expected shapes: p2.16xlarge worst in P2 (PCIe contention);
 //! p3.8xlarge anomalously high in P3 (sub-optimal crossbar slice).
 
-use stash_bench::{pct, run_sweep, small_model_batches, SweepJob, Table};
+use stash_bench::{pct, rollup_from_reports, run_sweep, small_model_batches, SweepJob, Table};
 use stash_dnn::zoo;
 use stash_hwtopo::cluster::ClusterSpec;
 use stash_hwtopo::instance::{p2_16xlarge, p2_8xlarge, p3_16xlarge, p3_8xlarge};
@@ -43,6 +43,9 @@ fn main() {
         }
     }
     let (results, perf) = run_sweep(jobs.clone());
+    t.set_rollup(rollup_from_reports(
+        results.iter().filter_map(|r| r.as_ref().ok()),
+    ));
 
     let mut stalls: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
     for ((job, family), result) in jobs.iter().zip(families).zip(results) {

@@ -4,7 +4,9 @@
 //! (6a) at the same hourly price, so also on cost (6b); p2.xlarge is the
 //! cheapest (no interconnect stalls).
 
-use stash_bench::{p2_configs, run_sweep, small_model_batches, SweepJob, Table};
+use stash_bench::{
+    p2_configs, rollup_from_reports, run_sweep, small_model_batches, SweepJob, Table,
+};
 use stash_core::cost::epoch_cost;
 use stash_dnn::zoo;
 
@@ -23,6 +25,9 @@ fn main() {
         }
     }
     let (results, perf) = run_sweep(jobs.clone());
+    t.set_rollup(rollup_from_reports(
+        results.iter().filter_map(|r| r.as_ref().ok()),
+    ));
 
     let mut time_16x = 0.0;
     let mut time_8x2 = 0.0;
@@ -54,8 +59,14 @@ fn main() {
     }
     t.set_perf(perf);
     t.finish();
-    assert!(time_8x2 < time_16x, "8xlarge*2 ({time_8x2:.0}s) must beat 16xlarge ({time_16x:.0}s)");
+    assert!(
+        time_8x2 < time_16x,
+        "8xlarge*2 ({time_8x2:.0}s) must beat 16xlarge ({time_16x:.0}s)"
+    );
     let xlarge_wins = cheapest_votes.get("p2.xlarge").copied().unwrap_or(0);
-    assert!(xlarge_wins >= 8, "p2.xlarge should usually be cheapest: {cheapest_votes:?}");
+    assert!(
+        xlarge_wins >= 8,
+        "p2.xlarge should usually be cheapest: {cheapest_votes:?}"
+    );
     println!("shape check: 8xlarge*2 faster than 16xlarge; p2.xlarge cheapest in {xlarge_wins}/10 sweeps ✓");
 }

@@ -27,7 +27,10 @@ fn main() {
             format!("{per_gpu:.2}"),
         ]);
     }
-    assert!(seen[0] > seen[1] && seen[1] > seen[2], "Fig. 7 shape: {seen:?}");
+    assert!(
+        seen[0] > seen[1] && seen[1] > seen[2],
+        "Fig. 7 shape: {seen:?}"
+    );
     t.finish();
     print!("{}", t.to_bar_chart(&["instance"], "per_gpu_gbps"));
     println!("shape check: per-GPU bandwidth collapses as instance size grows ✓");

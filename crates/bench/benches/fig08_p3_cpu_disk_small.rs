@@ -3,14 +3,22 @@
 //! Expected shapes: CPU stall negligible (8a); disk stall highest for the
 //! 8-worker p3.16xlarge (8b) whose fast V100s outrun the gp2 volume.
 
-use stash_bench::{p3_configs, pct, run_sweep, small_model_batches, SweepJob, Table};
+use stash_bench::{
+    p3_configs, pct, rollup_from_reports, run_sweep, small_model_batches, SweepJob, Table,
+};
 use stash_dnn::zoo;
 
 fn main() {
     let mut t = Table::new(
         "fig08_p3_cpu_disk_small",
         "CPU & disk stall %, P3, small models (paper Fig. 8)",
-        &["model", "batch", "config", "cpu_stall_pct", "disk_stall_pct"],
+        &[
+            "model",
+            "batch",
+            "config",
+            "cpu_stall_pct",
+            "disk_stall_pct",
+        ],
     );
     let mut jobs = Vec::new();
     for model in zoo::small_models() {
@@ -21,6 +29,9 @@ fn main() {
         }
     }
     let (results, perf) = run_sweep(jobs.clone());
+    t.set_rollup(rollup_from_reports(
+        results.iter().filter_map(|r| r.as_ref().ok()),
+    ));
 
     let mut cpu_samples: Vec<f64> = Vec::new();
     let mut disk = std::collections::HashMap::<String, f64>::new();
@@ -43,11 +54,19 @@ fn main() {
     cpu_samples.sort_by(f64::total_cmp);
     let median_cpu = cpu_samples[cpu_samples.len() / 2];
     let worst_cpu = *cpu_samples.last().unwrap();
-    assert!(median_cpu < 10.0, "CPU stall must stay negligible, median {median_cpu}%");
-    assert!(worst_cpu < 35.0, "even the launch-bound outliers stay modest, worst {worst_cpu}%");
+    assert!(
+        median_cpu < 10.0,
+        "CPU stall must stay negligible, median {median_cpu}%"
+    );
+    assert!(
+        worst_cpu < 35.0,
+        "even the launch-bound outliers stay modest, worst {worst_cpu}%"
+    );
     assert!(
         disk["p3.16xlarge"] > disk["p3.8xlarge"],
         "disk stall highest for 16xlarge: {disk:?}"
     );
-    println!("shape check: CPU negligible (median {median_cpu:.1}%), disk stall worst on p3.16xlarge ✓");
+    println!(
+        "shape check: CPU negligible (median {median_cpu:.1}%), disk stall worst on p3.16xlarge ✓"
+    );
 }

@@ -5,14 +5,22 @@
 //! experiments on the gp2 volume; BERT's tiny SQuAD dataset produces no
 //! meaningful fetch stall.
 
-use stash_bench::{large_model_batches, p3_configs, pct, run_sweep, SweepJob, Table};
+use stash_bench::{
+    large_model_batches, p3_configs, pct, rollup_from_reports, run_sweep, SweepJob, Table,
+};
 use stash_dnn::zoo;
 
 fn main() {
     let mut t = Table::new(
         "fig09_p3_cpu_disk_large",
         "CPU & disk stall %, P3, large models + BERT (paper Fig. 9)",
-        &["model", "batch", "config", "cpu_stall_pct", "disk_stall_pct"],
+        &[
+            "model",
+            "batch",
+            "config",
+            "cpu_stall_pct",
+            "disk_stall_pct",
+        ],
     );
     let mut jobs = Vec::new();
     for model in zoo::large_vision_models() {
@@ -29,6 +37,9 @@ fn main() {
         jobs.push(SweepJob::new(zoo::bert_large(), 4, cluster));
     }
     let (results, perf) = run_sweep(jobs.clone());
+    t.set_rollup(rollup_from_reports(
+        results.iter().filter_map(|r| r.as_ref().ok()),
+    ));
 
     let mut worst_cpu: f64 = 0.0;
     let mut bert_disk: f64 = 0.0;
@@ -77,7 +88,13 @@ fn main() {
     t.set_perf(perf);
     t.finish();
     assert!(worst_cpu < 20.0, "CPU stall negligible, got {worst_cpu}%");
-    assert!(vision_disk_16x > 0.0, "8-GPU vision runs must show fetch stalls");
-    assert!(bert_disk < 5.0, "SQuAD is tiny; BERT disk stall was {bert_disk}%");
+    assert!(
+        vision_disk_16x > 0.0,
+        "8-GPU vision runs must show fetch stalls"
+    );
+    assert!(
+        bert_disk < 5.0,
+        "SQuAD is tiny; BERT disk stall was {bert_disk}%"
+    );
     println!("shape check: CPU negligible, vision disk stalls on 8-GPU configs, BERT none ✓");
 }

@@ -4,7 +4,9 @@
 //! most cost-optimal; the networked pair the least cost-optimal multi-GPU
 //! option.
 
-use stash_bench::{p3_configs, run_sweep, small_model_batches, SweepJob, Table};
+use stash_bench::{
+    p3_configs, rollup_from_reports, run_sweep, small_model_batches, SweepJob, Table,
+};
 use stash_core::cost::epoch_cost;
 use stash_dnn::zoo;
 
@@ -23,6 +25,9 @@ fn main() {
         }
     }
     let (results, perf) = run_sweep(jobs.clone());
+    t.set_rollup(rollup_from_reports(
+        results.iter().filter_map(|r| r.as_ref().ok()),
+    ));
 
     let mut fastest_votes = std::collections::HashMap::<String, u32>::new();
     let mut cheapest_votes = std::collections::HashMap::<String, u32>::new();
@@ -55,8 +60,14 @@ fn main() {
     t.finish();
     let f16 = fastest_votes.get("p3.16xlarge").copied().unwrap_or(0)
         + fastest_votes.get("p3.24xlarge").copied().unwrap_or(0);
-    assert!(f16 >= 7, "16x/24x should usually be fastest: {fastest_votes:?}");
+    assert!(
+        f16 >= 7,
+        "16x/24x should usually be fastest: {fastest_votes:?}"
+    );
     let c2 = cheapest_votes.get("p3.2xlarge").copied().unwrap_or(0);
-    assert!(c2 >= 8, "p3.2xlarge should usually be cheapest: {cheapest_votes:?}");
+    assert!(
+        c2 >= 8,
+        "p3.2xlarge should usually be cheapest: {cheapest_votes:?}"
+    );
     println!("shape check: 16x-class fastest ({f16}/10), 2xlarge cheapest ({c2}/10) ✓");
 }

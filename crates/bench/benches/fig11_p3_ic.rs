@@ -4,7 +4,9 @@
 //! p3.8xlarge is anomalously high; VGG's interconnect stall is low despite
 //! its huge gradients; p3.24xlarge matches p3.16xlarge (same NVLink).
 
-use stash_bench::{large_model_batches, pct, run_sweep, small_model_batches, SweepJob, Table};
+use stash_bench::{
+    large_model_batches, pct, rollup_from_reports, run_sweep, small_model_batches, SweepJob, Table,
+};
 use stash_dnn::zoo;
 use stash_hwtopo::cluster::ClusterSpec;
 use stash_hwtopo::instance::{p3_16xlarge, p3_24xlarge, p3_8xlarge};
@@ -30,10 +32,17 @@ fn main() {
     let mut jobs = Vec::new();
     for (model, batch) in points {
         for inst in [p3_8xlarge(), p3_16xlarge(), p3_24xlarge()] {
-            jobs.push(SweepJob::new(model.clone(), batch, ClusterSpec::single(inst)));
+            jobs.push(SweepJob::new(
+                model.clone(),
+                batch,
+                ClusterSpec::single(inst),
+            ));
         }
     }
     let (results, perf) = run_sweep(jobs.clone());
+    t.set_rollup(rollup_from_reports(
+        results.iter().filter_map(|r| r.as_ref().ok()),
+    ));
 
     let mut stalls = std::collections::HashMap::<String, f64>::new();
     for (job, result) in jobs.iter().zip(results) {

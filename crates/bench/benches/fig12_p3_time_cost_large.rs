@@ -3,7 +3,9 @@
 //! Expected shapes: p3.16xlarge and p3.24xlarge are equally performant
 //! (same NVLink), so the pricier 24xlarge is the least cost-optimal.
 
-use stash_bench::{large_model_batches, p3_configs, run_sweep, SweepJob, Table};
+use stash_bench::{
+    large_model_batches, p3_configs, rollup_from_reports, run_sweep, SweepJob, Table,
+};
 use stash_core::cost::epoch_cost;
 use stash_dnn::zoo;
 
@@ -27,6 +29,9 @@ fn main() {
         }
     }
     let (results, perf) = run_sweep(jobs.clone());
+    t.set_rollup(rollup_from_reports(
+        results.iter().filter_map(|r| r.as_ref().ok()),
+    ));
 
     let mut t16 = 0.0_f64;
     let mut t24 = 0.0_f64;
@@ -69,7 +74,12 @@ fn main() {
     t.set_perf(perf);
     t.finish();
     let time_ratio = t24 / t16;
-    assert!((0.85..1.15).contains(&time_ratio), "24x ≈ 16x in time, ratio {time_ratio}");
+    assert!(
+        (0.85..1.15).contains(&time_ratio),
+        "24x ≈ 16x in time, ratio {time_ratio}"
+    );
     assert!(c24 > c16, "24xlarge must cost more: ${c24:.2} vs ${c16:.2}");
-    println!("shape check: 16xlarge and 24xlarge equally performant, 24xlarge least cost-optimal ✓");
+    println!(
+        "shape check: 16xlarge and 24xlarge equally performant, 24xlarge least cost-optimal ✓"
+    );
 }

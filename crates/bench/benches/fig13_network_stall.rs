@@ -5,7 +5,7 @@
 //! monotonically falling as the batch grows (compute grows, gradient
 //! volume does not).
 
-use stash_bench::{pct, run_sweep, SweepJob, Table};
+use stash_bench::{pct, rollup_from_reports, run_sweep, SweepJob, Table};
 use stash_dnn::zoo;
 use stash_hwtopo::cluster::ClusterSpec;
 use stash_hwtopo::instance::p3_8xlarge;
@@ -25,9 +25,15 @@ fn main() {
         }
     }
     let (results, perf) = run_sweep(jobs.clone());
+    t.set_rollup(rollup_from_reports(
+        results.iter().filter_map(|r| r.as_ref().ok()),
+    ));
 
     let mut peak: f64 = 0.0;
-    for (jobs_chunk, results_chunk) in jobs.chunks(batches.len()).zip(results.chunks(batches.len())) {
+    for (jobs_chunk, results_chunk) in jobs
+        .chunks(batches.len())
+        .zip(results.chunks(batches.len()))
+    {
         let mut series = Vec::new();
         for (job, result) in jobs_chunk.iter().zip(results_chunk) {
             let r = result.as_ref().expect("profile");
@@ -49,6 +55,9 @@ fn main() {
     t.set_perf(perf);
     t.finish();
     print!("{}", t.to_bar_chart(&["model", "batch"], "nw_stall_pct"));
-    assert!(peak > 300.0, "network stalls reach hundreds of percent, peak {peak}%");
+    assert!(
+        peak > 300.0,
+        "network stalls reach hundreds of percent, peak {peak}%"
+    );
     println!("shape check: network stall up to {peak:.0}% and falling with batch size ✓");
 }

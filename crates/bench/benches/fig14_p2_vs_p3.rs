@@ -4,11 +4,13 @@
 //! hourly price — except for tiny models (ShuffleNet), which are cheapest
 //! on P2.
 
-use stash_bench::{run_sweep, SweepJob, Table};
+use stash_bench::{rollup_from_reports, run_sweep, SweepJob, Table};
 use stash_core::cost::epoch_cost;
 use stash_dnn::zoo;
 use stash_hwtopo::cluster::ClusterSpec;
-use stash_hwtopo::instance::{p2_16xlarge, p2_8xlarge, p2_xlarge, p3_16xlarge, p3_2xlarge, p3_8xlarge};
+use stash_hwtopo::instance::{
+    p2_16xlarge, p2_8xlarge, p2_xlarge, p3_16xlarge, p3_2xlarge, p3_8xlarge,
+};
 
 fn main() {
     let mut t = Table::new(
@@ -24,7 +26,12 @@ fn main() {
         ClusterSpec::single(p3_8xlarge()),
         ClusterSpec::single(p3_16xlarge()),
     ];
-    let models = [zoo::shufflenet(), zoo::mobilenet_v2(), zoo::resnet18(), zoo::resnet50()];
+    let models = [
+        zoo::shufflenet(),
+        zoo::mobilenet_v2(),
+        zoo::resnet18(),
+        zoo::resnet50(),
+    ];
     let mut jobs = Vec::new();
     for model in &models {
         for cluster in &configs {
@@ -32,9 +39,15 @@ fn main() {
         }
     }
     let (results, perf) = run_sweep(jobs.clone());
+    t.set_rollup(rollup_from_reports(
+        results.iter().filter_map(|r| r.as_ref().ok()),
+    ));
 
     let mut cheapest = std::collections::HashMap::<String, String>::new();
-    for (jobs_chunk, results_chunk) in jobs.chunks(configs.len()).zip(results.chunks(configs.len())) {
+    for (jobs_chunk, results_chunk) in jobs
+        .chunks(configs.len())
+        .zip(results.chunks(configs.len()))
+    {
         let mut best: Option<(String, f64)> = None;
         for (job, result) in jobs_chunk.iter().zip(results_chunk) {
             let r = result.as_ref().expect("profile");

@@ -16,7 +16,15 @@ fn main() {
     let mut t = Table::new(
         "fig16_micro",
         "I/C and N/W stalls vs layer count, synthetic models (paper Fig. 16)",
-        &["model", "sync_points", "grads_mb", "ic_stall_pct", "nw_stall_pct", "ic_stall_s", "nw_stall_s"],
+        &[
+            "model",
+            "sync_points",
+            "grads_mb",
+            "ic_stall_pct",
+            "nw_stall_pct",
+            "ic_stall_s",
+            "nw_stall_s",
+        ],
     );
     let mut models = Vec::new();
     for d in [18, 34, 50, 101, 152] {
@@ -25,8 +33,20 @@ fn main() {
     for d in [11, 13, 16, 19] {
         models.push(vgg(d));
     }
-    models.push(resnet_with(50, ResNetOptions { batch_norm: false, residual: true }));
-    models.push(resnet_with(50, ResNetOptions { batch_norm: true, residual: false }));
+    models.push(resnet_with(
+        50,
+        ResNetOptions {
+            batch_norm: false,
+            residual: true,
+        },
+    ));
+    models.push(resnet_with(
+        50,
+        ResNetOptions {
+            batch_norm: true,
+            residual: false,
+        },
+    ));
 
     // All experiments at batch 32 on a p3.16xlarge-class machine, with the
     // networked pair for the N/W series (paper setup).
@@ -56,9 +76,18 @@ fn main() {
 
     // §VI-A1: "as the number of layers increases ... both the interconnect
     // stall and network stall TIME increases".
-    assert!(rows["ResNet152"].2 > rows["ResNet18"].2, "I/C stall time grows with depth");
-    assert!(rows["ResNet152"].3 > rows["ResNet18"].3, "N/W stall time grows with depth");
-    assert!(rows["VGG19"].3 >= rows["VGG11"].3 * 0.95, "VGG N/W stall time grows (weakly)");
+    assert!(
+        rows["ResNet152"].2 > rows["ResNet18"].2,
+        "I/C stall time grows with depth"
+    );
+    assert!(
+        rows["ResNet152"].3 > rows["ResNet18"].3,
+        "N/W stall time grows with depth"
+    );
+    assert!(
+        rows["VGG19"].3 >= rows["VGG11"].3 * 0.95,
+        "VGG N/W stall time grows (weakly)"
+    );
     // The §VI asymmetry (percentages, as in the figure).
     assert!(
         rows["VGG11"].0 < rows["ResNet152"].0,
@@ -73,11 +102,16 @@ fn main() {
         rows["ResNet18"].1
     );
     // Ablations.
-    assert!(rows["ResNet50-noBN"].0 < rows["ResNet50"].0, "removing BN lowers I/C stall");
+    assert!(
+        rows["ResNet50-noBN"].0 < rows["ResNet50"].0,
+        "removing BN lowers I/C stall"
+    );
     let (skip_ic, base_ic) = (rows["ResNet50-noSkip"].0, rows["ResNet50"].0);
     assert!(
         (skip_ic - base_ic).abs() <= 0.3 * base_ic.max(1.0),
         "removing residuals changes little: {skip_ic} vs {base_ic}"
     );
-    println!("shape check: depth -> I/C stall, gradients -> N/W stall, BN matters, residuals don't ✓");
+    println!(
+        "shape check: depth -> I/C stall, gradients -> N/W stall, BN matters, residuals don't ✓"
+    );
 }

@@ -35,7 +35,9 @@ fn churn(n_flows: usize) -> f64 {
         now = now.saturating_add(SimDuration::from_micros(50));
     }
     while net.active_flows() > 0 {
-        let Some(t) = net.next_event_time(now) else { break };
+        let Some(t) = net.next_event_time(now) else {
+            break;
+        };
         now = t;
         net.advance(now);
     }

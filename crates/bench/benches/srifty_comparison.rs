@@ -28,7 +28,13 @@ fn main() {
     let mut t = Table::new(
         "srifty_comparison",
         "Srifty-style probe-and-predict vs the engine, plus the probing bill (paper §VI-B)",
-        &["cluster", "model", "predicted_sps", "simulated_sps", "ratio"],
+        &[
+            "cluster",
+            "model",
+            "predicted_sps",
+            "simulated_sps",
+            "ratio",
+        ],
     );
     let mut worst_ratio: f64 = 1.0;
     for cluster in &clusters {
@@ -49,7 +55,17 @@ fn main() {
         "probing bill: {} measurements, {:.2} VM-hours, ${:.2} (Stash: $0.00 for users)",
         bill.measurements, bill.vm_hours, bill.usd
     );
-    assert!(bill.usd > 10.0, "the campaign must cost real money: ${:.2}", bill.usd);
-    assert!(worst_ratio < 3.0, "predictions should be in the ballpark, worst {worst_ratio:.2}x");
-    println!("shape check: probe-based prediction works but the probing itself costs ${:.2} ✓", bill.usd);
+    assert!(
+        bill.usd > 10.0,
+        "the campaign must cost real money: ${:.2}",
+        bill.usd
+    );
+    assert!(
+        worst_ratio < 3.0,
+        "predictions should be in the ballpark, worst {worst_ratio:.2}x"
+    );
+    println!(
+        "shape check: probe-based prediction works but the probing itself costs ${:.2} ✓",
+        bill.usd
+    );
 }

@@ -9,8 +9,14 @@ fn main() {
         "table1_catalog",
         "AWS GPU instance types with prices (paper Table I)",
         &[
-            "instance", "gpus", "vcpus", "interconnect", "gpu_mem_gb", "main_mem_gb",
-            "network_gbps", "price_per_hr",
+            "instance",
+            "gpus",
+            "vcpus",
+            "interconnect",
+            "gpu_mem_gb",
+            "main_mem_gb",
+            "network_gbps",
+            "price_per_hr",
         ],
     );
     for inst in catalog() {

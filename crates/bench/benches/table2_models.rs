@@ -8,7 +8,15 @@ fn main() {
     let mut t = Table::new(
         "table2_models",
         "DDL models used (paper Table II)",
-        &["domain", "type", "name", "gradient_size_M", "layers", "sync_points", "dataset"],
+        &[
+            "domain",
+            "type",
+            "name",
+            "gradient_size_M",
+            "layers",
+            "sync_points",
+            "dataset",
+        ],
     );
     for (model, class) in all_models() {
         let (domain, ty, dataset) = match class {

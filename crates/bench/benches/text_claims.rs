@@ -43,10 +43,16 @@ fn main() {
         "epoch_cost_ratio".to_string(),
         format!("{:.2}", cost_p2 / cost_p3),
     ]);
-    assert!(ic_p2 > 5.0 * ic_p3, "P2 I/C stall dwarfs P3: {ic_p2}% vs {ic_p3}%");
+    assert!(
+        ic_p2 > 5.0 * ic_p3,
+        "P2 I/C stall dwarfs P3: {ic_p2}% vs {ic_p3}%"
+    );
     // The paper reports a 20x cost gap (750% I/C stall on their K80s); our
     // simulated gap is smaller but the direction and order are identical.
-    assert!(cost_p2 > 1.5 * cost_p3, "P2 epoch cost dwarfs P3: ${cost_p2:.2} vs ${cost_p3:.2}");
+    assert!(
+        cost_p2 > 1.5 * cost_p3,
+        "P2 epoch cost dwarfs P3: ${cost_p2:.2} vs ${cost_p3:.2}"
+    );
 
     // -- BERT on p3.24xlarge at doubled batch ----------------------------
     let bert = |batch: u64| {
@@ -74,7 +80,10 @@ fn main() {
         "cost_ratio".to_string(),
         format!("{:.2}", t24.epoch_cost / t16.epoch_cost),
     ]);
-    assert!(speedup > 0.0, "doubled batch on 24xlarge must be faster, got {speedup:.1}%");
+    assert!(
+        speedup > 0.0,
+        "doubled batch on 24xlarge must be faster, got {speedup:.1}%"
+    );
     assert!(
         t24.epoch_cost > t16.epoch_cost,
         "...but still costlier: ${:.2} vs ${:.2}",

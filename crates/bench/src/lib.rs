@@ -27,6 +27,8 @@ use stash_hwtopo::cluster::ClusterSpec;
 use stash_hwtopo::instance::{
     p2_16xlarge, p2_8xlarge, p2_xlarge, p3_16xlarge, p3_24xlarge, p3_2xlarge, p3_8xlarge,
 };
+use stash_trace::rollup::StallRollup;
+use stash_trace::span::{Category, Track};
 
 /// Number of iterations each profiling step simulates (env
 /// `STASH_BENCH_ITERS`, default 12).
@@ -160,13 +162,21 @@ impl SweepPerf {
             "counter",
             "Profiler measurement-cache hits during the sweep.",
         );
-        b.sample("stash_measurement_cache_hits_total", &[], self.cache_hits as f64);
+        b.sample(
+            "stash_measurement_cache_hits_total",
+            &[],
+            self.cache_hits as f64,
+        );
         b.family(
             "stash_measurement_cache_misses_total",
             "counter",
             "Profiler measurement-cache misses (engine runs) during the sweep.",
         );
-        b.sample("stash_measurement_cache_misses_total", &[], self.cache_misses as f64);
+        b.sample(
+            "stash_measurement_cache_misses_total",
+            &[],
+            self.cache_misses as f64,
+        );
         b.family(
             "stash_sweep_jobs_total",
             "counter",
@@ -286,6 +296,36 @@ pub fn run_sweep(jobs: Vec<SweepJob>) -> (Vec<Result<StallReport, ProfileError>>
     (results, perf)
 }
 
+/// Folds profiled stall breakdowns into one [`StallRollup`], using the
+/// same `(track, category)` placement a traced run produces: compute and
+/// the exposed interconnect / network / fetch stalls land on the rank-0
+/// GPU lane, CPU prep on the loader lane. The figure harnesses attach
+/// the result via [`Table::set_rollup`] so every `results/fig*.csv`
+/// gains a machine-readable `_rollup.json` sibling.
+#[must_use]
+pub fn rollup_from_reports<'a, I>(reports: I) -> StallRollup
+where
+    I: IntoIterator<Item = &'a StallReport>,
+{
+    let mut rollup = StallRollup::default();
+    let gpu = Track::gpu(0, 0);
+    let loader = Track::loader(0, 0);
+    for r in reports {
+        for (track, category, stall) in [
+            (gpu, Category::Compute, r.times.t1),
+            (gpu, Category::Interconnect, r.interconnect_stall()),
+            (gpu, Category::Network, r.network_stall()),
+            (loader, Category::Prep, r.cpu_stall()),
+            (gpu, Category::Fetch, r.disk_stall()),
+        ] {
+            if let Some(d) = stall {
+                rollup.add_span_ns(track, category, d.as_nanos());
+            }
+        }
+    }
+    rollup
+}
+
 /// Formats an optional percentage.
 #[must_use]
 pub fn pct(p: Option<f64>) -> String {
@@ -308,6 +348,7 @@ pub struct Table {
     columns: Vec<String>,
     rows: Vec<Vec<String>>,
     perf: Option<SweepPerf>,
+    rollup: Option<StallRollup>,
 }
 
 impl Table {
@@ -320,6 +361,7 @@ impl Table {
             columns: columns.iter().map(|c| (*c).to_string()).collect(),
             rows: Vec::new(),
             perf: None,
+            rollup: None,
         }
     }
 
@@ -327,6 +369,13 @@ impl Table {
     /// object in the results JSON.
     pub fn set_perf(&mut self, perf: SweepPerf) {
         self.perf = Some(perf);
+    }
+
+    /// Attaches the sweep's per-category stall rollup; it is written as
+    /// `results/<name>_rollup.json` alongside the CSV when the table
+    /// finishes.
+    pub fn set_rollup(&mut self, rollup: StallRollup) {
+        self.rollup = Some(rollup);
     }
 
     /// Appends a row.
@@ -368,14 +417,23 @@ impl Table {
             .expect("unknown value column");
         let lis: Vec<usize> = label_cols
             .iter()
-            .map(|lc| self.columns.iter().position(|c| c == *lc).expect("unknown label column"))
+            .map(|lc| {
+                self.columns
+                    .iter()
+                    .position(|c| c == *lc)
+                    .expect("unknown label column")
+            })
             .collect();
         let rows: Vec<(String, f64)> = self
             .rows
             .iter()
             .filter_map(|r| {
                 let value: f64 = r[vi].parse().ok()?;
-                let label = lis.iter().map(|i| r[*i].as_str()).collect::<Vec<_>>().join(" ");
+                let label = lis
+                    .iter()
+                    .map(|i| r[*i].as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ");
                 Some((label, value))
             })
             .collect();
@@ -474,7 +532,21 @@ impl Table {
             serde_json::to_string_pretty(&serde_json::Value::Object(doc)).expect("serialize"),
         )
         .expect("write json");
-        println!("[written: results/{}.csv, results/{}.json]", self.name, self.name);
+
+        if let Some(rollup) = &self.rollup {
+            let rollup_path = results_dir().join(format!("{}_rollup.json", self.name));
+            fs::write(
+                rollup_path,
+                serde_json::to_string_pretty(&rollup.to_json()).expect("serialize rollup"),
+            )
+            .expect("write rollup json");
+            println!(
+                "[written: results/{0}.csv, results/{0}.json, results/{0}_rollup.json]",
+                self.name
+            );
+        } else {
+            println!("[written: results/{0}.csv, results/{0}.json]", self.name);
+        }
     }
 }
 
@@ -529,6 +601,24 @@ mod tests {
         assert!(text.contains("stash_measurement_cache_misses_total 7"));
         assert!(text.contains("stash_sweep_jobs_total 9"));
         assert!(text.contains("# TYPE stash_sweep_wall_seconds gauge"));
+    }
+
+    #[test]
+    fn rollup_json_is_written_next_to_the_table() {
+        let mut t = Table::new("unit_test_rollup_table", "test", &["a"]);
+        t.row(vec!["1"]);
+        let mut rollup = StallRollup::default();
+        rollup.add_span_ns(Track::gpu(0, 0), Category::Compute, 123);
+        t.set_rollup(rollup);
+        t.finish();
+        let path = results_dir().join("unit_test_rollup_table_rollup.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("stash-rollup-v1"));
+        assert!(text.contains("compute"));
+        for suffix in [".csv", ".json", "_rollup.json"] {
+            let _ =
+                std::fs::remove_file(results_dir().join(format!("unit_test_rollup_table{suffix}")));
+        }
     }
 
     #[test]

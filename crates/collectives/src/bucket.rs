@@ -11,8 +11,7 @@ use serde::{Deserialize, Serialize};
 use stash_dnn::model::Model;
 
 /// Bucket-formation policy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum Bucketing {
     /// One bucket per parameter-carrying layer (paper §VI model; default).
     #[default]
@@ -25,12 +24,13 @@ pub enum Bucketing {
     },
 }
 
-
 impl Bucketing {
     /// PyTorch DDP's default 25 MB size-capped bucketing.
     #[must_use]
     pub fn pytorch_default() -> Self {
-        Bucketing::BySize { bytes: 25.0 * 1024.0 * 1024.0 }
+        Bucketing::BySize {
+            bytes: 25.0 * 1024.0 * 1024.0,
+        }
     }
 }
 
@@ -113,7 +113,11 @@ mod tests {
             // One bucket per param layer (the head bucket always exists and
             // absorbs leading parameterless layers).
             assert_eq!(plan.bucket_count(), m.trainable_layer_count(), "{}", m.name);
-            assert!((plan.total_bytes() - m.gradient_bytes()).abs() < 1.0, "{}", m.name);
+            assert!(
+                (plan.total_bytes() - m.gradient_bytes()).abs() < 1.0,
+                "{}",
+                m.name
+            );
         }
     }
 

@@ -30,5 +30,7 @@ pub mod schedule;
 /// Convenient glob-import of the most used items.
 pub mod prelude {
     pub use crate::bucket::{Bucket, Bucketing, CommPlan};
-    pub use crate::schedule::{allreduce_transfers, ring_duration_estimate, Algorithm, TransferSpec};
+    pub use crate::schedule::{
+        allreduce_transfers, ring_duration_estimate, Algorithm, TransferSpec,
+    };
 }

@@ -53,7 +53,10 @@ pub struct TransferSpec {
 }
 
 fn staging_factor(net: &FlowNet, route: &[LinkId]) -> f64 {
-    if route.iter().any(|l| net.link(*l).class == LinkClass::PcieHostBus) {
+    if route
+        .iter()
+        .any(|l| net.link(*l).class == LinkClass::PcieHostBus)
+    {
         STAGED_COPY_FACTOR
     } else {
         1.0
@@ -139,7 +142,12 @@ fn tree(topo: &Topology, net: &FlowNet, ranks: &[GpuId], bytes: f64) -> Vec<Tran
 
 /// Parameter server: every non-server rank pushes `b` bytes to the server
 /// (rank 0) and pulls `b` bytes back; the server's links are the funnel.
-fn parameter_server(topo: &Topology, net: &FlowNet, ranks: &[GpuId], bytes: f64) -> Vec<TransferSpec> {
+fn parameter_server(
+    topo: &Topology,
+    net: &FlowNet,
+    ranks: &[GpuId],
+    bytes: f64,
+) -> Vec<TransferSpec> {
     let server = ranks[0];
     let mut out = Vec::new();
     for &worker in &ranks[1..] {
@@ -160,16 +168,17 @@ fn parameter_server(topo: &Topology, net: &FlowNet, ranks: &[GpuId], bytes: f64)
 /// contention from other traffic — used by the paper-§VI analytic model and
 /// as a cross-check against the simulated engine.
 #[must_use]
-pub fn ring_duration_estimate(
-    topo: &Topology,
-    net: &FlowNet,
-    bytes: f64,
-) -> SimDuration {
+pub fn ring_duration_estimate(topo: &Topology, net: &FlowNet, bytes: f64) -> SimDuration {
     let transfers = allreduce_transfers(topo, net, Algorithm::Ring, bytes);
     if transfers.is_empty() {
         return SimDuration::ZERO;
     }
-    let rates = net.probe_rates(&transfers.iter().map(|t| t.route.clone()).collect::<Vec<_>>());
+    let rates = net.probe_rates(
+        &transfers
+            .iter()
+            .map(|t| t.route.clone())
+            .collect::<Vec<_>>(),
+    );
     transfers
         .iter()
         .zip(rates)
@@ -222,7 +231,10 @@ mod tests {
     #[test]
     fn tree_and_ps_produce_bidirectional_edges() {
         let (t, net) = topo_of(ClusterSpec::single(p3_16xlarge()));
-        assert_eq!(allreduce_transfers(&t, &net, Algorithm::Tree, 1e6).len(), 14);
+        assert_eq!(
+            allreduce_transfers(&t, &net, Algorithm::Tree, 1e6).len(),
+            14
+        );
         assert_eq!(
             allreduce_transfers(&t, &net, Algorithm::ParameterServer, 1e6).len(),
             14
@@ -246,7 +258,12 @@ mod tests {
                 .map(|(f, r)| f.bytes / r)
                 .fold(0.0_f64, f64::max)
         };
-        assert!(dur(&ps_flows) > 1.5 * dur(&ring_flows), "ps={} ring={}", dur(&ps_flows), dur(&ring_flows));
+        assert!(
+            dur(&ps_flows) > 1.5 * dur(&ring_flows),
+            "ps={} ring={}",
+            dur(&ps_flows),
+            dur(&ring_flows)
+        );
     }
 
     #[test]
@@ -256,7 +273,10 @@ mod tests {
         let b = 50e6;
         let nv = ring_duration_estimate(&t16, &n16, b);
         let pcie = ring_duration_estimate(&t2, &n2, b);
-        assert!(pcie.as_secs_f64() > 10.0 * nv.as_secs_f64(), "pcie={pcie} nv={nv}");
+        assert!(
+            pcie.as_secs_f64() > 10.0 * nv.as_secs_f64(),
+            "pcie={pcie} nv={nv}"
+        );
     }
 
     #[test]

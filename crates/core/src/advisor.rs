@@ -172,20 +172,31 @@ mod tests {
         )
         .unwrap();
         let best = advice.best().unwrap();
-        assert!(best.cluster_name.starts_with("p3."), "best = {}", best.cluster_name);
+        assert!(
+            best.cluster_name.starts_with("p3."),
+            "best = {}",
+            best.cluster_name
+        );
     }
 
     #[test]
     fn oversized_models_skip_small_gpus() {
         // BERT-large at batch 8 fits only the 32 GB V100s of p3.24xlarge.
         let advice = recommend(
-            &quick_stash(zoo::bert_large(), 8).with_dataset(stash_dnn::dataset::DatasetSpec::squad2()),
+            &quick_stash(zoo::bert_large(), 8)
+                .with_dataset(stash_dnn::dataset::DatasetSpec::squad2()),
             &default_candidates(),
             Objective::Cost,
         )
         .unwrap();
-        assert!(advice.skipped.iter().any(|s| s.cluster_name.starts_with("p2.")));
-        assert!(advice.skipped.iter().any(|s| s.cluster_name == "p3.16xlarge"));
+        assert!(advice
+            .skipped
+            .iter()
+            .any(|s| s.cluster_name.starts_with("p2.")));
+        assert!(advice
+            .skipped
+            .iter()
+            .any(|s| s.cluster_name == "p3.16xlarge"));
         assert_eq!(advice.ranked.len(), 1);
         assert_eq!(advice.best().unwrap().cluster_name, "p3.24xlarge");
     }

@@ -140,7 +140,11 @@ mod tests {
                 .as_secs_f64();
             let sim = comm_simulated(&cluster, &model, Bucketing::PerLayer).as_secs_f64();
             let ratio = est / sim;
-            assert!((0.5..2.0).contains(&ratio), "{}: est={est} sim={sim}", model.name);
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "{}: est={est} sim={sim}",
+                model.name
+            );
         }
     }
 

@@ -171,8 +171,12 @@ mod tests {
     use stash_hwtopo::instance::p3_8xlarge;
 
     fn cfg() -> TrainConfig {
-        let mut c =
-            TrainConfig::synthetic(ClusterSpec::single(p3_8xlarge()), zoo::resnet18(), 32, 2_000);
+        let mut c = TrainConfig::synthetic(
+            ClusterSpec::single(p3_8xlarge()),
+            zoo::resnet18(),
+            32,
+            2_000,
+        );
         c.epoch_mode = stash_ddl::config::EpochMode::Sampled { iterations: 3 };
         c
     }

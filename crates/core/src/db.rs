@@ -60,9 +60,7 @@ impl CharacterizationDb {
     /// Returns `true` when an existing entry was replaced.
     pub fn insert(&mut self, report: StallReport) -> bool {
         let key = key_of(&report);
-        let replaced = if let Some(existing) =
-            self.reports.iter_mut().find(|r| key_of(r) == key)
-        {
+        let replaced = if let Some(existing) = self.reports.iter_mut().find(|r| key_of(r) == key) {
             *existing = report;
             true
         } else {
@@ -76,9 +74,9 @@ impl CharacterizationDb {
     /// Exact lookup.
     #[must_use]
     pub fn get(&self, cluster: &str, model: &str, per_gpu_batch: u64) -> Option<&StallReport> {
-        self.reports.iter().find(|r| {
-            r.cluster == cluster && r.model == model && r.per_gpu_batch == per_gpu_batch
-        })
+        self.reports
+            .iter()
+            .find(|r| r.cluster == cluster && r.model == model && r.per_gpu_batch == per_gpu_batch)
     }
 
     /// All reports for a model, across clusters/batches.
@@ -156,7 +154,8 @@ impl CharacterizationDb {
     /// Propagates I/O failures and malformed content.
     pub fn load(path: &Path) -> io::Result<CharacterizationDb> {
         let raw = fs::read_to_string(path)?;
-        let values: Vec<serde_json::Value> = serde_json::from_str(&raw).map_err(io::Error::other)?;
+        let values: Vec<serde_json::Value> =
+            serde_json::from_str(&raw).map_err(io::Error::other)?;
         let mut db = CharacterizationDb::new();
         for v in values {
             db.insert(report_from_json(&v).map_err(io::Error::other)?);
@@ -190,7 +189,10 @@ fn report_from_json(v: &serde_json::Value) -> Result<StallReport, String> {
     };
     let times = v.get("times").ok_or("missing 'times'")?;
     let dur = |k: &str| -> Option<SimDuration> {
-        times.get(k).and_then(serde_json::Value::as_u64).map(SimDuration::from_nanos)
+        times
+            .get(k)
+            .and_then(serde_json::Value::as_u64)
+            .map(SimDuration::from_nanos)
     };
     Ok(StallReport {
         cluster: get_str("cluster")?,
@@ -248,7 +250,12 @@ mod tests {
         db.insert(mk("p3.16xlarge", "ResNet18", 32, 100));
         assert!(db.insert(mk("p3.16xlarge", "ResNet18", 32, 90)));
         assert_eq!(db.len(), 1);
-        let t4 = db.get("p3.16xlarge", "ResNet18", 32).unwrap().times.t4.unwrap();
+        let t4 = db
+            .get("p3.16xlarge", "ResNet18", 32)
+            .unwrap()
+            .times
+            .t4
+            .unwrap();
         assert_eq!(t4, SimDuration::from_secs(90));
     }
 

@@ -61,16 +61,16 @@ pub mod srifty;
 pub mod prelude {
     pub use crate::advisor::{default_candidates, recommend, Advice, Objective, Recommendation};
     pub use crate::analytic::{comm_estimate, link_parameters, CommEstimate, LinkParameters};
+    pub use crate::cache::{CacheStats, MeasurementCache};
     pub use crate::cost::{epoch_cost, training_cost, CostReport};
     pub use crate::db::CharacterizationDb;
-    pub use crate::pipeline::{plan as pipeline_plan, PipelinePlan};
-    pub use crate::cache::{CacheStats, MeasurementCache};
     pub use crate::error::ProfileError;
+    pub use crate::pipeline::{plan as pipeline_plan, PipelinePlan};
     pub use crate::profiler::{
         par_profile_many, profile_threads, DsAnalyzer, ExecMode, ProfileJob, Stash,
     };
-    pub use crate::report::{StallReport, StepTimes};
     pub use crate::qos::{network_stall_distribution, QosDistribution};
     pub use crate::render::{comparison_markdown, report_markdown};
+    pub use crate::report::{StallReport, StepTimes};
     pub use crate::srifty::{compare as srifty_compare, grid_probe, SriftyPredictor};
 }

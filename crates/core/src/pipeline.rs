@@ -72,7 +72,10 @@ pub fn plan(
     micro_batch: u64,
     micro_batches: u64,
 ) -> PipelinePlan {
-    assert!(stages > 0 && stages <= instance.gpu_count, "invalid stage count");
+    assert!(
+        stages > 0 && stages <= instance.gpu_count,
+        "invalid stage count"
+    );
     assert!(micro_batches > 0, "need at least one micro-batch");
     let cm = ComputeModel::new(instance.gpu.spec());
 
@@ -110,12 +113,18 @@ pub fn plan(
     for s in 0..bounds.len() - 1 {
         let (lo, hi) = (bounds[s], bounds[s + 1]);
         let compute: SimDuration = (lo..hi)
-            .map(|i| cm.layer_fwd(&model.layers[i], micro_batch) + cm.layer_bwd(&model.layers[i], micro_batch))
+            .map(|i| {
+                cm.layer_fwd(&model.layers[i], micro_batch)
+                    + cm.layer_bwd(&model.layers[i], micro_batch)
+            })
             .sum();
         // Stage memory: its parameters' state + its activations; the
         // framework reservation is charged per GPU.
         let params: u64 = model.layers[lo..hi].iter().map(|l| l.params).sum();
-        let activations: f64 = model.layers[lo..hi].iter().map(|l| l.activation_bytes).sum();
+        let activations: f64 = model.layers[lo..hi]
+            .iter()
+            .map(|l| l.activation_bytes)
+            .sum();
         // In-flight micro-batches stack activations (GPipe keeps up to s).
         let inflight = micro_batches.min(bounds.len() as u64 - 1) as f64;
         let memory_bytes = params as f64 * 4.0 * 3.0
@@ -153,8 +162,14 @@ pub fn plan(
         .take(stage_list.len().saturating_sub(1))
         .map(|s| {
             let route = topo.gpu_route(
-                GpuId { node: 0, local: s.index },
-                GpuId { node: 0, local: s.index + 1 },
+                GpuId {
+                    node: 0,
+                    local: s.index,
+                },
+                GpuId {
+                    node: 0,
+                    local: s.index + 1,
+                },
             );
             let rate = net.probe_rates(std::slice::from_ref(&route))[0];
             // Forward activation + backward gradient of the boundary.
@@ -162,7 +177,8 @@ pub fn plan(
         })
         .sum();
     let slots = micro_batches + stage_list.len() as u64 - 1;
-    let iteration_time = bottleneck * slots + SimDuration::from_secs_f64(hop_seconds * micro_batches as f64);
+    let iteration_time =
+        bottleneck * slots + SimDuration::from_secs_f64(hop_seconds * micro_batches as f64);
     let samples = micro_batch * micro_batches;
     PipelinePlan {
         micro_batches,
@@ -217,7 +233,12 @@ mod tests {
         let inst = p3_16xlarge();
         let few = plan(&inst, &zoo::resnet50(), 4, 8, 2);
         let many = plan(&inst, &zoo::resnet50(), 4, 8, 16);
-        assert!(many.throughput > few.throughput, "{} vs {}", many.throughput, few.throughput);
+        assert!(
+            many.throughput > few.throughput,
+            "{} vs {}",
+            many.throughput,
+            few.throughput
+        );
     }
 
     #[test]

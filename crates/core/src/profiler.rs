@@ -325,17 +325,16 @@ impl Stash {
                 }
             }
             ExecMode::Parallel => {
-                let results: Vec<Result<SimDuration, ProfileError>> =
-                    std::thread::scope(|scope| {
-                        let handles: Vec<_> = configs
-                            .iter()
-                            .map(|cfg| scope.spawn(move || measure(cfg)))
-                            .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().expect("measurement step panicked"))
-                            .collect()
-                    });
+                let results: Vec<Result<SimDuration, ProfileError>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = configs
+                        .iter()
+                        .map(|cfg| scope.spawn(move || measure(cfg)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("measurement step panicked"))
+                        .collect()
+                });
                 for r in results {
                     times.push(r?);
                 }
@@ -460,7 +459,9 @@ pub fn par_profile_many(
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(i) else { break };
-                let result = job.stash.profile_with(&job.cluster, ExecMode::Serial, cache);
+                let result = job
+                    .stash
+                    .profile_with(&job.cluster, ExecMode::Serial, cache);
                 *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
@@ -642,9 +643,9 @@ mod tests {
 
     #[test]
     fn traced_profile_matches_serial_and_stamps_steps() {
+        use stash_trace::{shared, JsonSink, Tracer, TrackKind};
         use std::cell::RefCell;
         use std::rc::Rc;
-        use stash_trace::{shared, JsonSink, Tracer, TrackKind};
 
         let stash = quick(zoo::alexnet());
         let cluster = ClusterSpec::homogeneous(p3_8xlarge(), 2);
@@ -662,7 +663,9 @@ mod tests {
             .collect();
         assert_eq!(stamps, vec![1, 2, 3, 4, 5], "five steps, one stamp each");
         assert!(
-            events.iter().any(|(p, e)| *p == 3 && e.track().kind == TrackKind::Gpu),
+            events
+                .iter()
+                .any(|(p, e)| *p == 3 && e.track().kind == TrackKind::Gpu),
             "step 3's engine events are namespaced to process 3"
         );
         assert_eq!(tracer.borrow().process(), 0, "process scope restored");

@@ -24,7 +24,11 @@ pub fn report_markdown(r: &StallReport) -> String {
     );
     let _ = writeln!(out, "| stall | value |");
     let _ = writeln!(out, "|-------|-------|");
-    let _ = writeln!(out, "| interconnect | {} |", cell(r.interconnect_stall_pct()));
+    let _ = writeln!(
+        out,
+        "| interconnect | {} |",
+        cell(r.interconnect_stall_pct())
+    );
     let _ = writeln!(out, "| network | {} |", cell(r.network_stall_pct()));
     let _ = writeln!(out, "| CPU (prep) | {} |", cell(r.cpu_stall_pct()));
     let _ = writeln!(out, "| disk (fetch) | {} |", cell(r.disk_stall_pct()));
@@ -43,7 +47,10 @@ pub fn comparison_markdown(title: &str, reports: &[StallReport]) -> String {
         out,
         "| cluster | model | batch | I/C | N/W | CPU | disk | epoch |"
     );
-    let _ = writeln!(out, "|---------|-------|-------|-----|-----|-----|------|-------|");
+    let _ = writeln!(
+        out,
+        "|---------|-------|-------|-----|-----|-----|------|-------|"
+    );
     for r in reports {
         let epoch = r
             .training_epoch_time()

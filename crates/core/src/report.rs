@@ -131,7 +131,11 @@ impl StallReport {
     /// Falls back to `T3`/`T5`/`T2` for partial reports.
     #[must_use]
     pub fn training_epoch_time(&self) -> Option<SimDuration> {
-        self.times.t4.or(self.times.t3).or(self.times.t5).or(self.times.t2)
+        self.times
+            .t4
+            .or(self.times.t3)
+            .or(self.times.t5)
+            .or(self.times.t2)
     }
 }
 
@@ -142,12 +146,13 @@ impl fmt::Display for StallReport {
             "{} | {} | batch {} x {} GPUs",
             self.cluster, self.model, self.per_gpu_batch, self.world
         )?;
-        let line = |f: &mut fmt::Formatter<'_>, name: &str, t: Option<SimDuration>| -> fmt::Result {
-            match t {
-                Some(t) => writeln!(f, "  {name}: {t}"),
-                None => writeln!(f, "  {name}: -"),
-            }
-        };
+        let line =
+            |f: &mut fmt::Formatter<'_>, name: &str, t: Option<SimDuration>| -> fmt::Result {
+                match t {
+                    Some(t) => writeln!(f, "  {name}: {t}"),
+                    None => writeln!(f, "  {name}: -"),
+                }
+            };
         line(f, "T1 (synthetic single-GPU)", self.times.t1)?;
         line(f, "T2 (synthetic all-GPU)   ", self.times.t2)?;
         line(f, "T3 (real, cold cache)    ", self.times.t3)?;

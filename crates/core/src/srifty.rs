@@ -58,7 +58,10 @@ const SETUP_HOURS: f64 = 0.2;
 /// Probes every `(cluster, buffer size)` combination, like Srifty's grid
 /// sweep, and returns the measurements plus the rental bill.
 #[must_use]
-pub fn grid_probe(clusters: &[ClusterSpec], buffer_sizes: &[f64]) -> (Vec<ProbeMeasurement>, ProbeCost) {
+pub fn grid_probe(
+    clusters: &[ClusterSpec],
+    buffer_sizes: &[f64],
+) -> (Vec<ProbeMeasurement>, ProbeCost) {
     let mut measurements = Vec::new();
     let mut vm_hours = 0.0;
     let mut usd = 0.0;
@@ -141,11 +144,20 @@ impl SriftyPredictor {
     /// `cluster` at per-GPU `batch`: the pipeline bound
     /// `world · batch / max(compute, comm)`.
     #[must_use]
-    pub fn predict_throughput(&self, cluster: &ClusterSpec, model: &Model, batch: u64) -> Option<f64> {
+    pub fn predict_throughput(
+        &self,
+        cluster: &ClusterSpec,
+        model: &Model,
+        batch: u64,
+    ) -> Option<f64> {
         let compute = cluster
             .instances
             .iter()
-            .map(|i| ComputeModel::new(i.gpu.spec()).iteration_time(model, batch).as_secs_f64())
+            .map(|i| {
+                ComputeModel::new(i.gpu.spec())
+                    .iteration_time(model, batch)
+                    .as_secs_f64()
+            })
             .fold(0.0_f64, f64::max);
         let comm = if cluster.world_size() > 1 {
             self.comm_seconds(&cluster.display_name(), model.gradient_bytes())?
@@ -184,7 +196,9 @@ pub fn compare(
 ) -> Result<Comparison, TrainError> {
     let predicted = predictor
         .predict_throughput(cluster, model, batch)
-        .ok_or_else(|| TrainError::InvalidConfig(format!("no probes for {}", cluster.display_name())))?;
+        .ok_or_else(|| {
+            TrainError::InvalidConfig(format!("no probes for {}", cluster.display_name()))
+        })?;
     let cfg = TrainConfig::synthetic(cluster.clone(), model.clone(), batch, batch * 50);
     let report = run_epoch(&cfg)?;
     Ok(Comparison {
@@ -198,7 +212,9 @@ pub fn compare(
 /// The standard probe grid Srifty sweeps: powers of two from 1 MB to 1 GB.
 #[must_use]
 pub fn standard_buffer_grid() -> Vec<f64> {
-    (0..=10).map(|i| 1024.0 * 1024.0 * f64::from(1 << i)).collect()
+    (0..=10)
+        .map(|i| 1024.0 * 1024.0 * f64::from(1 << i))
+        .collect()
 }
 
 #[cfg(test)]

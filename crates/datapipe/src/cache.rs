@@ -91,7 +91,10 @@ mod tests {
         let f = c.hit_fraction();
         assert!(f > 0.0 && f < 1.0);
         let hits = (0..1000).filter(|_| c.next_is_hit()).count();
-        assert!((hits as f64 - 1000.0 * f).abs() <= 1.0, "hits={hits}, f={f}");
+        assert!(
+            (hits as f64 - 1000.0 * f).abs() <= 1.0,
+            "hits={hits}, f={f}"
+        );
     }
 
     #[test]

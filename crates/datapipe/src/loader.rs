@@ -224,7 +224,11 @@ impl NodeLoader {
 
     /// A preprocessing interval finished.
     pub fn prep_done(&mut self, worker: usize) -> Vec<LoaderAction> {
-        assert_eq!(self.workers[worker].phase, WorkerPhase::Prepping, "not prepping");
+        assert_eq!(
+            self.workers[worker].phase,
+            WorkerPhase::Prepping,
+            "not prepping"
+        );
         self.workers[worker].phase = WorkerPhase::Uploading;
         vec![LoaderAction::StartTransfer {
             worker,
@@ -259,7 +263,12 @@ impl NodeLoader {
         // prefetch budget so the pool does not run arbitrarily far ahead.
         let lo = gpu * self.spec.workers_per_gpu;
         let in_flight = (lo..lo + self.spec.workers_per_gpu)
-            .filter(|w| !matches!(self.workers[*w].phase, WorkerPhase::Idle | WorkerPhase::Finished))
+            .filter(|w| {
+                !matches!(
+                    self.workers[*w].phase,
+                    WorkerPhase::Idle | WorkerPhase::Finished
+                )
+            })
             .count();
         if self.queue[gpu] + in_flight >= self.spec.prefetch_depth + self.spec.workers_per_gpu - 1 {
             return; // stay idle until the GPU drains the queue
@@ -283,7 +292,11 @@ impl NodeLoader {
             route,
             bytes,
             extra_latency: extra,
-            purpose: if hit { TransferPurpose::FetchHit } else { TransferPurpose::FetchMiss },
+            purpose: if hit {
+                TransferPurpose::FetchHit
+            } else {
+                TransferPurpose::FetchMiss
+            },
         });
     }
 
@@ -392,7 +405,9 @@ mod tests {
             guard += 1;
             assert!(guard < 1000);
             match a {
-                LoaderAction::StartTransfer { worker, .. } => pending.extend(loader.transfer_done(worker)),
+                LoaderAction::StartTransfer { worker, .. } => {
+                    pending.extend(loader.transfer_done(worker))
+                }
                 LoaderAction::StartPrep { worker, .. } => pending.extend(loader.prep_done(worker)),
                 LoaderAction::Deliver { .. } => delivers += 1,
             }
@@ -486,11 +501,19 @@ mod tests {
         // land in gpu 1's queue.
         let _ = loader.start();
         let actions = loader.transfer_done(3); // fetch -> prep
-        assert!(matches!(actions[0], LoaderAction::StartPrep { worker: 3, .. }));
+        assert!(matches!(
+            actions[0],
+            LoaderAction::StartPrep { worker: 3, .. }
+        ));
         let actions = loader.prep_done(3); // prep -> upload
-        assert!(matches!(actions[0], LoaderAction::StartTransfer { worker: 3, .. }));
+        assert!(matches!(
+            actions[0],
+            LoaderAction::StartTransfer { worker: 3, .. }
+        ));
         let actions = loader.transfer_done(3); // upload -> deliver
-        assert!(actions.iter().any(|a| matches!(a, LoaderAction::Deliver { gpu: 1 })));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, LoaderAction::Deliver { gpu: 1 })));
         assert_eq!(loader.ready(1), 1);
         assert_eq!(loader.ready(0), 0);
     }
@@ -501,19 +524,28 @@ mod tests {
         let first = warm.start();
         assert!(matches!(
             first[0],
-            LoaderAction::StartTransfer { purpose: TransferPurpose::FetchHit, .. }
+            LoaderAction::StartTransfer {
+                purpose: TransferPurpose::FetchHit,
+                ..
+            }
         ));
         let _ = warm.transfer_done(0);
         let upload = warm.prep_done(0);
         assert!(matches!(
             upload[0],
-            LoaderAction::StartTransfer { purpose: TransferPurpose::Upload, .. }
+            LoaderAction::StartTransfer {
+                purpose: TransferPurpose::Upload,
+                ..
+            }
         ));
         let mut cold = NodeLoader::new(spec(1, 1, CacheState::Cold));
         let first = cold.start();
         assert!(matches!(
             first[0],
-            LoaderAction::StartTransfer { purpose: TransferPurpose::FetchMiss, .. }
+            LoaderAction::StartTransfer {
+                purpose: TransferPurpose::FetchMiss,
+                ..
+            }
         ));
     }
 

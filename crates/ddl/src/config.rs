@@ -109,7 +109,12 @@ impl TrainConfig {
     /// A conventional DDP configuration: all GPUs, synthetic data, ring
     /// all-reduce, per-layer buckets, overlap on, sampled epoch.
     #[must_use]
-    pub fn synthetic(cluster: ClusterSpec, model: Model, per_gpu_batch: u64, samples_per_gpu: u64) -> Self {
+    pub fn synthetic(
+        cluster: ClusterSpec,
+        model: Model,
+        per_gpu_batch: u64,
+        samples_per_gpu: u64,
+    ) -> Self {
         TrainConfig {
             cluster,
             model,
@@ -153,16 +158,24 @@ impl TrainConfig {
     /// Returns [`TrainError::InvalidConfig`] for contradictory settings.
     pub fn validate(&self) -> Result<(), TrainError> {
         if self.per_gpu_batch == 0 {
-            return Err(TrainError::InvalidConfig("per_gpu_batch must be positive".into()));
+            return Err(TrainError::InvalidConfig(
+                "per_gpu_batch must be positive".into(),
+            ));
         }
         if self.samples_per_gpu == 0 {
-            return Err(TrainError::InvalidConfig("samples_per_gpu must be positive".into()));
+            return Err(TrainError::InvalidConfig(
+                "samples_per_gpu must be positive".into(),
+            ));
         }
         if let EpochMode::Sampled { iterations: 0 } = self.epoch_mode {
-            return Err(TrainError::InvalidConfig("sampled epoch needs iterations > 0".into()));
+            return Err(TrainError::InvalidConfig(
+                "sampled epoch needs iterations > 0".into(),
+            ));
         }
         if self.grad_accumulation == 0 {
-            return Err(TrainError::InvalidConfig("grad_accumulation must be positive".into()));
+            return Err(TrainError::InvalidConfig(
+                "grad_accumulation must be positive".into(),
+            ));
         }
         if let Some(s) = self.straggler {
             if !(s.slowdown.is_finite() && s.slowdown >= 1.0) {

@@ -182,8 +182,9 @@ struct Engine<'a> {
     /// Stall class of gradient synchronisation on this cluster: `Network`
     /// when ranks span instances, `Interconnect` within one.
     comm_cat: Category,
-    /// When the in-flight all-reduce bucket entered the network.
-    bucket_open: Option<SimTime>,
+    /// When the in-flight all-reduce bucket entered the network, and its
+    /// bucket index (for per-bucket blame in trace analysis).
+    bucket_open: Option<(SimTime, usize)>,
     /// Start time and purpose of each loader worker's in-flight transfer,
     /// keyed by `(node, worker)`. Populated only when tracing.
     xfer_open: BTreeMap<(usize, usize), (SimTime, TransferPurpose)>,
@@ -251,7 +252,11 @@ impl<'a> Engine<'a> {
         let staged_ring = world > 1
             && allreduce_transfers(&topo, &net, cfg.algorithm, 1.0)
                 .iter()
-                .any(|t| t.route.iter().any(|l| net.link(*l).class == LinkClass::PcieHostBus));
+                .any(|t| {
+                    t.route
+                        .iter()
+                        .any(|l| net.link(*l).class == LinkClass::PcieHostBus)
+                });
         let overlap = cfg.overlap && !staged_ring;
         let comm = (world > 1).then(|| Comm {
             world,
@@ -354,6 +359,27 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Records a complete span carrying a numeric payload (bucket or
+    /// backward-segment index); a no-op unless tracing is enabled.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_span_arg(
+        &self,
+        track: Track,
+        category: Category,
+        name: &'static str,
+        arg: u32,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        if self.trace_on {
+            self.tracer
+                .as_ref()
+                .expect("trace_on implies tracer")
+                .borrow_mut()
+                .span_arg(track, category, name, arg, start, end);
+        }
+    }
+
     /// Records an instant marker; a no-op unless tracing is enabled.
     fn emit_instant(&self, track: Track, category: Category, name: &'static str, at: SimTime) {
         if self.trace_on {
@@ -390,7 +416,10 @@ impl<'a> Engine<'a> {
             let Some((_, ev)) = self.q.pop() else {
                 panic!(
                     "deadlock: event queue drained with ranks unfinished (phases: {:?})",
-                    self.active.iter().map(|r| self.ranks[*r].phase).collect::<Vec<_>>()
+                    self.active
+                        .iter()
+                        .map(|r| self.ranks[*r].phase)
+                        .collect::<Vec<_>>()
                 );
             };
             event_guard += 1;
@@ -402,7 +431,10 @@ impl<'a> Engine<'a> {
                 }
                 Ev::RankCompute { rank } => self.on_rank_compute(rank),
                 Ev::LoaderPrep { node, worker } => {
-                    let actions = self.loaders[node].as_mut().expect("loader").prep_done(worker);
+                    let actions = self.loaders[node]
+                        .as_mut()
+                        .expect("loader")
+                        .prep_done(worker);
                     self.apply_loader_actions(node, actions);
                 }
             }
@@ -413,7 +445,9 @@ impl<'a> Engine<'a> {
     }
 
     fn all_done(&self) -> bool {
-        self.active.iter().all(|r| self.ranks[*r].phase == Phase::Done && self.ranks[*r].done_at.is_some())
+        self.active
+            .iter()
+            .all(|r| self.ranks[*r].phase == Phase::Done && self.ranks[*r].done_at.is_some())
     }
 
     // ----- rank state machine -----------------------------------------
@@ -462,7 +496,13 @@ impl<'a> Engine<'a> {
         self.ranks[rank].compute += dur;
         if self.trace_on {
             let now = self.q.now();
-            self.emit_span(self.gpu_track(rank), Category::Compute, "forward", now, now + dur);
+            self.emit_span(
+                self.gpu_track(rank),
+                Category::Compute,
+                "forward",
+                now,
+                now + dur,
+            );
         }
         self.q.schedule_in(dur, Ev::RankCompute { rank });
     }
@@ -481,7 +521,14 @@ impl<'a> Engine<'a> {
         self.ranks[rank].compute += dur;
         if self.trace_on {
             let now = self.q.now();
-            self.emit_span(self.gpu_track(rank), Category::Compute, "backward", now, now + dur);
+            self.emit_span_arg(
+                self.gpu_track(rank),
+                Category::Compute,
+                "backward",
+                seg as u32,
+                now,
+                now + dur,
+            );
         }
         self.q.schedule_in(dur, Ev::RankCompute { rank });
     }
@@ -492,7 +539,13 @@ impl<'a> Engine<'a> {
         self.ranks[rank].compute += dur;
         if self.trace_on {
             let now = self.q.now();
-            self.emit_span(self.gpu_track(rank), Category::Compute, "step", now, now + dur);
+            self.emit_span(
+                self.gpu_track(rank),
+                Category::Compute,
+                "step",
+                now,
+                now + dur,
+            );
         }
         self.q.schedule_in(dur, Ev::RankCompute { rank });
     }
@@ -582,7 +635,9 @@ impl<'a> Engine<'a> {
     }
 
     fn try_start_comm(&mut self) {
-        let Some(comm) = self.comm.as_ref() else { return };
+        let Some(comm) = self.comm.as_ref() else {
+            return;
+        };
         let next = comm.started;
         if next >= self.plan.buckets.len()
             || comm.started != comm.completed // one bucket in flight at a time
@@ -591,8 +646,8 @@ impl<'a> Engine<'a> {
             return;
         }
         // Bucket bytes are planned in fp32; scale to the wire precision.
-        let bytes = self.plan.buckets[next].bytes * self.cfg.precision.gradient_bytes_per_param()
-            / 4.0;
+        let bytes =
+            self.plan.buckets[next].bytes * self.cfg.precision.gradient_bytes_per_param() / 4.0;
         let transfers = allreduce_transfers(&self.topo, &self.net, self.cfg.algorithm, bytes);
         debug_assert!(!transfers.is_empty(), "world > 1 must communicate");
         let now = self.q.now();
@@ -610,7 +665,7 @@ impl<'a> Engine<'a> {
         let comm = self.comm.as_mut().expect("comm");
         comm.inflight_remaining = transfers.len();
         comm.started += 1;
-        self.bucket_open = Some(now);
+        self.bucket_open = Some((now, next));
     }
 
     fn on_comm_flow_done(&mut self) {
@@ -622,8 +677,15 @@ impl<'a> Engine<'a> {
         comm.completed += 1;
         let bucket_start = self.bucket_open.take();
         if self.trace_on {
-            let start = bucket_start.expect("bucket completion without an open bucket");
-            self.emit_span(Track::comm(), self.comm_cat, "allreduce", start, self.q.now());
+            let (start, bucket) = bucket_start.expect("bucket completion without an open bucket");
+            self.emit_span_arg(
+                Track::comm(),
+                self.comm_cat,
+                "allreduce",
+                bucket as u32,
+                start,
+                self.q.now(),
+            );
         }
         let comm = self.comm.as_mut().expect("comm flow without communicator");
         if comm.completed >= self.plan.buckets.len() {
@@ -643,7 +705,13 @@ impl<'a> Engine<'a> {
                 let start = self.ranks[rank].wait_start.take().expect("wait start");
                 self.ranks[rank].comm_wait += now.duration_since(start);
                 if self.trace_on {
-                    self.emit_span(self.gpu_track(rank), self.comm_cat, "await_comm", start, now);
+                    self.emit_span(
+                        self.gpu_track(rank),
+                        self.comm_cat,
+                        "await_comm",
+                        start,
+                        now,
+                    );
                 }
                 self.start_step(rank);
             }
@@ -701,7 +769,8 @@ impl<'a> Engine<'a> {
                             now + duration,
                         );
                     }
-                    self.q.schedule_in(duration, Ev::LoaderPrep { node: n, worker });
+                    self.q
+                        .schedule_in(duration, Ev::LoaderPrep { node: n, worker });
                 }
                 LoaderAction::Deliver { gpu } => {
                     let rank = self.global_rank(n, gpu);
@@ -770,7 +839,10 @@ impl<'a> Engine<'a> {
                             );
                         }
                     }
-                    let actions = self.loaders[node].as_mut().expect("loader").transfer_done(worker);
+                    let actions = self.loaders[node]
+                        .as_mut()
+                        .expect("loader")
+                        .transfer_done(worker);
                     self.apply_loader_actions(node, actions);
                 }
             }
@@ -873,12 +945,8 @@ mod tests {
         // Same per-GPU work; the distributed run adds communication.
         let model = zoo::resnet18();
         let single = {
-            let mut c = TrainConfig::synthetic(
-                ClusterSpec::single(p3_16xlarge()),
-                model.clone(),
-                32,
-                320,
-            );
+            let mut c =
+                TrainConfig::synthetic(ClusterSpec::single(p3_16xlarge()), model.clone(), 32, 320);
             c.active = ActiveGpus::Single;
             quick(c)
         };
@@ -919,12 +987,8 @@ mod tests {
     fn cold_cache_is_slower_than_warm() {
         let model = zoo::resnet18();
         let mk = |cache| {
-            let mut c = TrainConfig::synthetic(
-                ClusterSpec::single(p3_16xlarge()),
-                model.clone(),
-                32,
-                320,
-            );
+            let mut c =
+                TrainConfig::synthetic(ClusterSpec::single(p3_16xlarge()), model.clone(), 32, 320);
             c.data = DataMode::Real {
                 dataset: DatasetSpec::imagenet1k(),
                 cache,
@@ -960,12 +1024,8 @@ mod tests {
     #[test]
     fn overlap_off_is_no_faster_than_on() {
         let model = zoo::resnet50();
-        let mut on = TrainConfig::synthetic(
-            ClusterSpec::single(p3_16xlarge()),
-            model.clone(),
-            32,
-            320,
-        );
+        let mut on =
+            TrainConfig::synthetic(ClusterSpec::single(p3_16xlarge()), model.clone(), 32, 320);
         on.epoch_mode = EpochMode::Sampled { iterations: 4 };
         let mut off = on.clone();
         off.overlap = false;
@@ -999,17 +1059,13 @@ mod tests {
 
     #[test]
     fn traced_report_is_bit_identical_and_spans_reconcile() {
-        use std::cell::RefCell;
-        use std::rc::Rc;
         use stash_trace::rollup::StallRollup;
         use stash_trace::{shared, JsonSink, Tracer};
+        use std::cell::RefCell;
+        use std::rc::Rc;
 
-        let mut cfg = TrainConfig::synthetic(
-            ClusterSpec::single(p3_16xlarge()),
-            zoo::resnet18(),
-            32,
-            320,
-        );
+        let mut cfg =
+            TrainConfig::synthetic(ClusterSpec::single(p3_16xlarge()), zoo::resnet18(), 32, 320);
         cfg.data = DataMode::Real {
             dataset: DatasetSpec::imagenet1k(),
             cache: CacheState::Warm,
@@ -1030,7 +1086,9 @@ mod tests {
         let factor = traced.iterations as f64 / traced.simulated_iterations as f64;
         let track0 = Track::gpu(0, 0);
         assert_eq!(
-            rollup.track_total(track0, Category::Compute).mul_f64(factor),
+            rollup
+                .track_total(track0, Category::Compute)
+                .mul_f64(factor),
             traced.compute_time
         );
         assert_eq!(
@@ -1040,19 +1098,18 @@ mod tests {
         let comm_raw = rollup.track_total(track0, Category::Interconnect)
             + rollup.track_total(track0, Category::Network);
         assert_eq!(comm_raw.mul_f64(factor), traced.comm_wait);
-        assert!(traced.comm_wait > SimDuration::ZERO, "8 GPUs must synchronise");
+        assert!(
+            traced.comm_wait > SimDuration::ZERO,
+            "8 GPUs must synchronise"
+        );
     }
 
     #[test]
     fn disabled_tracer_emits_nothing_and_changes_nothing() {
         use stash_trace::{shared, Tracer};
 
-        let mut cfg = TrainConfig::synthetic(
-            ClusterSpec::single(p3_8xlarge()),
-            zoo::alexnet(),
-            32,
-            320,
-        );
+        let mut cfg =
+            TrainConfig::synthetic(ClusterSpec::single(p3_8xlarge()), zoo::alexnet(), 32, 320);
         cfg.epoch_mode = EpochMode::Sampled { iterations: 3 };
         let baseline = run_epoch(&cfg).unwrap();
         let tracer = shared(Tracer::disabled());

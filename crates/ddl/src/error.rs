@@ -52,7 +52,9 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("V100") && s.contains("20.00"));
-        assert!(TrainError::InvalidConfig("x".into()).to_string().contains('x'));
+        assert!(TrainError::InvalidConfig("x".into())
+            .to_string()
+            .contains('x'));
     }
 
     #[test]

@@ -63,7 +63,10 @@ impl DatasetSpec {
     /// Panics unless `0 < fraction <= 1`.
     #[must_use]
     pub fn imagenet_scaled(fraction: f64) -> DatasetSpec {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
         let full = DatasetSpec::imagenet1k();
         DatasetSpec {
             name: format!("ImageNet1k/{:.0}", 1.0 / fraction),

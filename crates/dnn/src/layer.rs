@@ -114,7 +114,10 @@ impl Layer {
         stride: u64,
         groups: u64,
     ) -> Layer {
-        assert!(groups > 0 && c_in.is_multiple_of(groups) && c_out.is_multiple_of(groups), "invalid group count");
+        assert!(
+            groups > 0 && c_in.is_multiple_of(groups) && c_out.is_multiple_of(groups),
+            "invalid group count"
+        );
         let mut l = Layer::conv2d(name, c_in, h_in, w_in, c_out, k, stride);
         l.params /= groups;
         l.flops_fwd /= groups as f64;
@@ -226,8 +229,7 @@ impl Layer {
         // intermediate in/out (~2 s·ff ≈ 8 s·h for ff=4h), norms (~2 s·h),
         // plus the attention probability matrices (heads · s²) twice
         // (softmax in/out).
-        let activation =
-            ((9 * seq * hidden + 2 * seq * ff + 2 * heads * seq * seq) as f64) * F32;
+        let activation = ((9 * seq * hidden + 2 * seq * ff + 2 * heads * seq * seq) as f64) * F32;
         Layer {
             name: name.into(),
             kind: LayerKind::Attention,

@@ -46,7 +46,13 @@ impl Default for ResNetOptions {
 pub fn vgg(depth: usize) -> Model {
     let cfg: &[&[u64]] = match depth {
         11 => &[&[64], &[128], &[256, 256], &[512, 512], &[512, 512]],
-        13 => &[&[64, 64], &[128, 128], &[256, 256], &[512, 512], &[512, 512]],
+        13 => &[
+            &[64, 64],
+            &[128, 128],
+            &[256, 256],
+            &[512, 512],
+            &[512, 512],
+        ],
         16 => &[
             &[64, 64],
             &[128, 128],
@@ -141,34 +147,96 @@ pub fn resnet_with(depth: usize, opts: ResNetOptions) -> Model {
             let prefix = format!("layer{}.{b}", s + 1);
             let c_out = if bottleneck { base_c * 4 } else { base_c };
             if bottleneck {
-                layers.push(Layer::conv2d(format!("{prefix}.conv1"), c_in, in_hw, in_hw, base_c, 1, 1));
+                layers.push(Layer::conv2d(
+                    format!("{prefix}.conv1"),
+                    c_in,
+                    in_hw,
+                    in_hw,
+                    base_c,
+                    1,
+                    1,
+                ));
                 if opts.batch_norm {
-                    layers.push(Layer::batch_norm(format!("{prefix}.bn1"), base_c, in_hw, in_hw));
+                    layers.push(Layer::batch_norm(
+                        format!("{prefix}.bn1"),
+                        base_c,
+                        in_hw,
+                        in_hw,
+                    ));
                 }
-                layers.push(Layer::activation(format!("{prefix}.relu1"), base_c * in_hw * in_hw));
-                layers.push(Layer::conv2d(format!("{prefix}.conv2"), base_c, in_hw, in_hw, base_c, 3, stride));
+                layers.push(Layer::activation(
+                    format!("{prefix}.relu1"),
+                    base_c * in_hw * in_hw,
+                ));
+                layers.push(Layer::conv2d(
+                    format!("{prefix}.conv2"),
+                    base_c,
+                    in_hw,
+                    in_hw,
+                    base_c,
+                    3,
+                    stride,
+                ));
                 if opts.batch_norm {
                     layers.push(Layer::batch_norm(format!("{prefix}.bn2"), base_c, hw, hw));
                 }
-                layers.push(Layer::activation(format!("{prefix}.relu2"), base_c * hw * hw));
-                layers.push(Layer::conv2d(format!("{prefix}.conv3"), base_c, hw, hw, c_out, 1, 1));
+                layers.push(Layer::activation(
+                    format!("{prefix}.relu2"),
+                    base_c * hw * hw,
+                ));
+                layers.push(Layer::conv2d(
+                    format!("{prefix}.conv3"),
+                    base_c,
+                    hw,
+                    hw,
+                    c_out,
+                    1,
+                    1,
+                ));
                 if opts.batch_norm {
                     layers.push(Layer::batch_norm(format!("{prefix}.bn3"), c_out, hw, hw));
                 }
             } else {
-                layers.push(Layer::conv2d(format!("{prefix}.conv1"), c_in, in_hw, in_hw, base_c, 3, stride));
+                layers.push(Layer::conv2d(
+                    format!("{prefix}.conv1"),
+                    c_in,
+                    in_hw,
+                    in_hw,
+                    base_c,
+                    3,
+                    stride,
+                ));
                 if opts.batch_norm {
                     layers.push(Layer::batch_norm(format!("{prefix}.bn1"), base_c, hw, hw));
                 }
-                layers.push(Layer::activation(format!("{prefix}.relu1"), base_c * hw * hw));
-                layers.push(Layer::conv2d(format!("{prefix}.conv2"), base_c, hw, hw, base_c, 3, 1));
+                layers.push(Layer::activation(
+                    format!("{prefix}.relu1"),
+                    base_c * hw * hw,
+                ));
+                layers.push(Layer::conv2d(
+                    format!("{prefix}.conv2"),
+                    base_c,
+                    hw,
+                    hw,
+                    base_c,
+                    3,
+                    1,
+                ));
                 if opts.batch_norm {
                     layers.push(Layer::batch_norm(format!("{prefix}.bn2"), base_c, hw, hw));
                 }
             }
             if b == 0 && (stride != 1 || c_in != c_out) {
                 // Projection shortcut.
-                layers.push(Layer::conv2d(format!("{prefix}.downsample"), c_in, in_hw, in_hw, c_out, 1, stride));
+                layers.push(Layer::conv2d(
+                    format!("{prefix}.downsample"),
+                    c_in,
+                    in_hw,
+                    in_hw,
+                    c_out,
+                    1,
+                    stride,
+                ));
                 if opts.batch_norm {
                     layers.push(Layer::batch_norm(format!("{prefix}.bn_ds"), c_out, hw, hw));
                 }
@@ -176,7 +244,10 @@ pub fn resnet_with(depth: usize, opts: ResNetOptions) -> Model {
             if opts.residual {
                 layers.push(Layer::residual(format!("{prefix}.add"), c_out * hw * hw));
             }
-            layers.push(Layer::activation(format!("{prefix}.relu_out"), c_out * hw * hw));
+            layers.push(Layer::activation(
+                format!("{prefix}.relu_out"),
+                c_out * hw * hw,
+            ));
             c_in = c_out;
         }
     }
@@ -236,7 +307,10 @@ mod tests {
     #[test]
     fn deeper_resnets_have_more_trainable_layers() {
         let depths = [18, 34, 50, 101, 152];
-        let counts: Vec<usize> = depths.iter().map(|d| resnet(*d).trainable_layer_count()).collect();
+        let counts: Vec<usize> = depths
+            .iter()
+            .map(|d| resnet(*d).trainable_layer_count())
+            .collect();
         assert!(counts.windows(2).all(|w| w[0] < w[1]), "{counts:?}");
     }
 
@@ -253,7 +327,13 @@ mod tests {
     #[test]
     fn no_bn_removes_all_batchnorm_and_shrinks_layer_count() {
         let with = resnet(50);
-        let without = resnet_with(50, ResNetOptions { batch_norm: false, residual: true });
+        let without = resnet_with(
+            50,
+            ResNetOptions {
+                batch_norm: false,
+                residual: true,
+            },
+        );
         assert_eq!(without.count_kind(LayerKind::BatchNorm), 0);
         assert!(with.count_kind(LayerKind::BatchNorm) > 0);
         assert!(without.trainable_layer_count() < with.trainable_layer_count());
@@ -263,10 +343,19 @@ mod tests {
     #[test]
     fn no_residual_keeps_gradient_size() {
         let with = resnet(50);
-        let without = resnet_with(50, ResNetOptions { batch_norm: true, residual: false });
+        let without = resnet_with(
+            50,
+            ResNetOptions {
+                batch_norm: true,
+                residual: false,
+            },
+        );
         assert_eq!(without.count_kind(LayerKind::Residual), 0);
         assert_eq!(without.param_count(), with.param_count());
-        assert_eq!(without.trainable_layer_count(), with.trainable_layer_count());
+        assert_eq!(
+            without.trainable_layer_count(),
+            with.trainable_layer_count()
+        );
     }
 
     #[test]

@@ -68,8 +68,7 @@ pub fn alexnet() -> Model {
     layers.push(Layer::linear("fc7", 4096, 4096));
     layers.push(Layer::activation("relu7", 4096));
     layers.push(Layer::linear("fc8", 4096, 1000));
-    Model::new("AlexNet", layers, imagenet_input_bytes())
-        .with_params_normalized_to(table2::ALEXNET)
+    Model::new("AlexNet", layers, imagenet_input_bytes()).with_params_normalized_to(table2::ALEXNET)
 }
 
 fn inverted_residual(
@@ -85,9 +84,20 @@ fn inverted_residual(
     let hw_out = hw_in / stride;
     let p = format!("ir{idx}");
     if expand != 1 {
-        layers.push(Layer::conv2d(format!("{p}.expand"), c_in, hw_in, hw_in, hidden, 1, 1));
+        layers.push(Layer::conv2d(
+            format!("{p}.expand"),
+            c_in,
+            hw_in,
+            hw_in,
+            hidden,
+            1,
+            1,
+        ));
         layers.push(Layer::batch_norm(format!("{p}.bn0"), hidden, hw_in, hw_in));
-        layers.push(Layer::activation(format!("{p}.relu0"), hidden * hw_in * hw_in));
+        layers.push(Layer::activation(
+            format!("{p}.relu0"),
+            hidden * hw_in * hw_in,
+        ));
     }
     layers.push(Layer::conv2d_grouped(
         format!("{p}.dw"),
@@ -99,9 +109,25 @@ fn inverted_residual(
         stride,
         hidden,
     ));
-    layers.push(Layer::batch_norm(format!("{p}.bn1"), hidden, hw_out, hw_out));
-    layers.push(Layer::activation(format!("{p}.relu1"), hidden * hw_out * hw_out));
-    layers.push(Layer::conv2d(format!("{p}.project"), hidden, hw_out, hw_out, c_out, 1, 1));
+    layers.push(Layer::batch_norm(
+        format!("{p}.bn1"),
+        hidden,
+        hw_out,
+        hw_out,
+    ));
+    layers.push(Layer::activation(
+        format!("{p}.relu1"),
+        hidden * hw_out * hw_out,
+    ));
+    layers.push(Layer::conv2d(
+        format!("{p}.project"),
+        hidden,
+        hw_out,
+        hw_out,
+        c_out,
+        1,
+        1,
+    ));
     layers.push(Layer::batch_norm(format!("{p}.bn2"), c_out, hw_out, hw_out));
     if stride == 1 && c_in == c_out {
         layers.push(Layer::residual(format!("{p}.add"), c_out * hw_out * hw_out));
@@ -149,11 +175,22 @@ pub fn mobilenet_v2() -> Model {
 
 fn fire(layers: &mut Vec<Layer>, idx: usize, c_in: u64, hw: u64, s1: u64, e1: u64, e3: u64) -> u64 {
     let p = format!("fire{idx}");
-    layers.push(Layer::conv2d(format!("{p}.squeeze"), c_in, hw, hw, s1, 1, 1));
+    layers.push(Layer::conv2d(
+        format!("{p}.squeeze"),
+        c_in,
+        hw,
+        hw,
+        s1,
+        1,
+        1,
+    ));
     layers.push(Layer::activation(format!("{p}.relu_s"), s1 * hw * hw));
     layers.push(Layer::conv2d(format!("{p}.expand1"), s1, hw, hw, e1, 1, 1));
     layers.push(Layer::conv2d(format!("{p}.expand3"), s1, hw, hw, e3, 3, 1));
-    layers.push(Layer::activation(format!("{p}.relu_e"), (e1 + e3) * hw * hw));
+    layers.push(Layer::activation(
+        format!("{p}.relu_e"),
+        (e1 + e3) * hw * hw,
+    ));
     e1 + e3
 }
 
@@ -194,9 +231,20 @@ fn shuffle_unit(layers: &mut Vec<Layer>, idx: usize, c: u64, hw_in: u64, stride:
     let p = format!("su{idx}");
     let hw_out = hw_in / stride;
     let branch = c / 2;
-    layers.push(Layer::conv2d(format!("{p}.pw1"), branch, hw_in, hw_in, branch, 1, 1));
+    layers.push(Layer::conv2d(
+        format!("{p}.pw1"),
+        branch,
+        hw_in,
+        hw_in,
+        branch,
+        1,
+        1,
+    ));
     layers.push(Layer::batch_norm(format!("{p}.bn1"), branch, hw_in, hw_in));
-    layers.push(Layer::activation(format!("{p}.relu1"), branch * hw_in * hw_in));
+    layers.push(Layer::activation(
+        format!("{p}.relu1"),
+        branch * hw_in * hw_in,
+    ));
     layers.push(Layer::conv2d_grouped(
         format!("{p}.dw"),
         branch,
@@ -207,14 +255,38 @@ fn shuffle_unit(layers: &mut Vec<Layer>, idx: usize, c: u64, hw_in: u64, stride:
         stride,
         branch,
     ));
-    layers.push(Layer::batch_norm(format!("{p}.bn2"), branch, hw_out, hw_out));
-    layers.push(Layer::conv2d(format!("{p}.pw2"), branch, hw_out, hw_out, branch, 1, 1));
-    layers.push(Layer::batch_norm(format!("{p}.bn3"), branch, hw_out, hw_out));
-    layers.push(Layer::activation(format!("{p}.relu2"), branch * hw_out * hw_out));
+    layers.push(Layer::batch_norm(
+        format!("{p}.bn2"),
+        branch,
+        hw_out,
+        hw_out,
+    ));
+    layers.push(Layer::conv2d(
+        format!("{p}.pw2"),
+        branch,
+        hw_out,
+        hw_out,
+        branch,
+        1,
+        1,
+    ));
+    layers.push(Layer::batch_norm(
+        format!("{p}.bn3"),
+        branch,
+        hw_out,
+        hw_out,
+    ));
+    layers.push(Layer::activation(
+        format!("{p}.relu2"),
+        branch * hw_out * hw_out,
+    ));
     // Channel split at entry and concat + channel-shuffle at exit: cheap
     // but real kernels that dominate ShuffleNet's runtime on fast GPUs.
     layers.push(Layer::activation(format!("{p}.split"), c * hw_in * hw_in));
-    layers.push(Layer::activation(format!("{p}.shuffle"), c * hw_out * hw_out));
+    layers.push(Layer::activation(
+        format!("{p}.shuffle"),
+        c * hw_out * hw_out,
+    ));
     hw_out
 }
 
@@ -281,7 +353,13 @@ pub fn bert_large() -> Model {
         Layer::layer_norm("emb_ln", seq, hidden),
     ];
     for i in 0..24 {
-        layers.push(Layer::attention(format!("encoder{i}"), hidden, 4096, 16, seq));
+        layers.push(Layer::attention(
+            format!("encoder{i}"),
+            hidden,
+            4096,
+            16,
+            seq,
+        ));
     }
     layers.push(Layer::linear("qa_outputs", hidden, 2));
     // Decoded sample: 384 token ids + mask + segment ids, int32.
@@ -309,7 +387,10 @@ pub fn dlrm() -> Model {
         layers.push(Layer::embedding(format!("emb{i}"), rows, emb_dim, 26));
     }
     // Bottom MLP over 13 dense features, top MLP over feature interactions.
-    for (i, (a, b)) in [(13, 512), (512, 256), (256, emb_dim)].into_iter().enumerate() {
+    for (i, (a, b)) in [(13, 512), (512, 256), (256, emb_dim)]
+        .into_iter()
+        .enumerate()
+    {
         layers.push(Layer::linear(format!("bot{i}"), a, b));
         layers.push(Layer::activation(format!("bot{i}.relu"), b));
     }
@@ -321,8 +402,7 @@ pub fn dlrm() -> Model {
         layers.push(Layer::activation(format!("top{i}.relu"), b));
     }
     // One training sample: 13 dense fp32 + 26 categorical ids.
-    Model::new("DLRM", layers, (13 * 4 + 26 * 4) as f64)
-        .with_params_normalized_to(4_000_000_000)
+    Model::new("DLRM", layers, (13 * 4 + 26 * 4) as f64).with_params_normalized_to(4_000_000_000)
 }
 
 /// All eight Table II models with their size class, in the paper's order.

@@ -231,7 +231,10 @@ mod tests {
                 .filter(|(r, _)| r.contains(&l))
                 .map(|(_, rate)| *rate)
                 .sum();
-            assert!(load <= cap * (1.0 + 1e-9), "link {l} overloaded: {load} > {cap}");
+            assert!(
+                load <= cap * (1.0 + 1e-9),
+                "link {l} overloaded: {load} > {cap}"
+            );
         }
         // Every flow is bottlenecked somewhere: its rate equals the fair
         // share of at least one saturated link it crosses (max-min property

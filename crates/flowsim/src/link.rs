@@ -78,7 +78,12 @@ impl Link {
     ///
     /// Panics if `capacity_bps` is not finite and positive.
     #[must_use]
-    pub fn new(name: impl Into<String>, capacity_bps: f64, latency: SimDuration, class: LinkClass) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        capacity_bps: f64,
+        latency: SimDuration,
+        class: LinkClass,
+    ) -> Self {
         assert!(
             capacity_bps.is_finite() && capacity_bps > 0.0,
             "link capacity must be positive and finite"
@@ -112,7 +117,16 @@ mod tests {
     #[test]
     fn class_labels_are_distinct() {
         use LinkClass::*;
-        let all = [PcieLane, PcieHostBus, NvLink, NvSwitch, Network, Storage, Dram, Other];
+        let all = [
+            PcieLane,
+            PcieHostBus,
+            NvLink,
+            NvSwitch,
+            Network,
+            Storage,
+            Dram,
+            Other,
+        ];
         let mut labels: Vec<_> = all.iter().map(|c| c.label()).collect();
         labels.sort_unstable();
         labels.dedup();

@@ -168,7 +168,8 @@ impl FlowNet {
         let id = LinkId(u32::try_from(self.links.len()).expect("too many links"));
         self.caps.push(link.capacity_bps);
         self.links.push(link);
-        self.link_load.push(TimeWeighted::new(0.0, self.last_advance));
+        self.link_load
+            .push(TimeWeighted::new(0.0, self.last_advance));
         self.link_bytes.push(0.0);
         self.link_users.push(0);
         self.link_rate_load.push(0.0);
@@ -220,7 +221,10 @@ impl FlowNet {
     /// Panics if `bytes` is negative or not finite, or if `now` precedes the
     /// last observed time.
     pub fn start_flow(&mut self, now: SimTime, spec: FlowSpec) -> FlowId {
-        assert!(spec.bytes.is_finite() && spec.bytes >= 0.0, "flow bytes must be non-negative");
+        assert!(
+            spec.bytes.is_finite() && spec.bytes >= 0.0,
+            "flow bytes must be non-negative"
+        );
         self.advance(now);
         let latency: SimDuration = spec
             .route
@@ -254,7 +258,8 @@ impl FlowNet {
             },
         );
         if let Some(tr) = &self.tracer {
-            tr.borrow_mut().instant(Track::flow(id.0), cat, "flow_start", now);
+            tr.borrow_mut()
+                .instant(Track::flow(id.0), cat, "flow_start", now);
         }
         if counted {
             let f = &self.flows[&id];
@@ -340,8 +345,16 @@ impl FlowNet {
             let min_ttc = self
                 .flows
                 .values()
-                .filter(|f| f.remaining_latency.is_zero() && f.remaining_bytes > 0.0 && f.rate > 0.0 && f.rate.is_finite())
-                .map(|f| SimDuration::from_secs_f64(f.remaining_bytes / f.rate).max(SimDuration::from_nanos(1)))
+                .filter(|f| {
+                    f.remaining_latency.is_zero()
+                        && f.remaining_bytes > 0.0
+                        && f.rate > 0.0
+                        && f.rate.is_finite()
+                })
+                .map(|f| {
+                    SimDuration::from_secs_f64(f.remaining_bytes / f.rate)
+                        .max(SimDuration::from_nanos(1))
+                })
                 .min();
             let mut seg = dt;
             if let Some(l) = min_lat {
@@ -427,7 +440,13 @@ impl FlowNet {
     /// phase, `None` if unknown/completed).
     #[must_use]
     pub fn flow_rate(&self, id: FlowId) -> Option<f64> {
-        self.flows.get(&id).map(|f| if f.remaining_latency.is_zero() { f.rate } else { 0.0 })
+        self.flows.get(&id).map(|f| {
+            if f.remaining_latency.is_zero() {
+                f.rate
+            } else {
+                0.0
+            }
+        })
     }
 
     /// Solves steady-state rates for a hypothetical set of routes without
@@ -470,7 +489,8 @@ impl FlowNet {
             }
         }
         if let Some(tr) = &self.tracer {
-            tr.borrow_mut().counter(Track::flow(id.0), cat, "rate_bps", self.last_advance, rate);
+            tr.borrow_mut()
+                .counter(Track::flow(id.0), cat, "rate_bps", self.last_advance, rate);
         }
     }
 
@@ -494,10 +514,12 @@ impl FlowNet {
         }
         // Snapshot pre-solve rates (traced runs only) so only genuine
         // rate changes become counter samples.
-        let old_rates: Option<Vec<f64>> = self
-            .tracer
-            .as_ref()
-            .map(|_| self.active_ids.iter().map(|id| self.flows[id].rate).collect());
+        let old_rates: Option<Vec<f64>> = self.tracer.as_ref().map(|_| {
+            self.active_ids
+                .iter()
+                .map(|id| self.flows[id].rate)
+                .collect()
+        });
         let routes: Vec<&[usize]> = self
             .active_ids
             .iter()
@@ -522,12 +544,23 @@ impl FlowNet {
         self.touch_loads();
         if let Some(tr) = &self.tracer {
             let mut t = tr.borrow_mut();
-            t.instant(Track::solver(), Category::Solver, "full_solve", self.last_advance);
+            t.instant(
+                Track::solver(),
+                Category::Solver,
+                "full_solve",
+                self.last_advance,
+            );
             if let Some(old) = old_rates {
                 for (i, id) in self.active_ids.iter().enumerate() {
                     let f = &self.flows[id];
                     if f.rate != old[i] {
-                        t.counter(Track::flow(id.0), f.cat, "rate_bps", self.last_advance, f.rate);
+                        t.counter(
+                            Track::flow(id.0),
+                            f.cat,
+                            "rate_bps",
+                            self.last_advance,
+                            f.rate,
+                        );
                     }
                 }
             }
@@ -566,7 +599,8 @@ impl FlowNet {
                 }
             }
             if let Some(tr) = &self.tracer {
-                tr.borrow_mut().instant(Track::flow(id.0), f.cat, "flow_done", self.last_advance);
+                tr.borrow_mut()
+                    .instant(Track::flow(id.0), f.cat, "flow_done", self.last_advance);
             }
         }
         self.done_buf = done;
@@ -622,7 +656,12 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, &c)| {
-                net.add_link(Link::new(format!("l{i}"), c, SimDuration::ZERO, LinkClass::Other))
+                net.add_link(Link::new(
+                    format!("l{i}"),
+                    c,
+                    SimDuration::ZERO,
+                    LinkClass::Other,
+                ))
             })
             .collect();
         (net, ids)
@@ -654,7 +693,11 @@ mod tests {
         net.advance(t1);
         assert_eq!(net.take_completed(), vec![(FlowId(1), 2)]);
         let t2 = net.next_event_time(t1).unwrap();
-        assert!((t2.as_secs_f64() - 1.5).abs() < 1e-6, "t2={}", t2.as_secs_f64());
+        assert!(
+            (t2.as_secs_f64() - 1.5).abs() < 1e-6,
+            "t2={}",
+            t2.as_secs_f64()
+        );
         net.advance(t2);
         assert_eq!(net.take_completed().len(), 1);
     }
@@ -893,9 +936,14 @@ mod tests {
         let count = |name: &str| events.iter().filter(|(_, e)| e.name() == name).count();
         assert_eq!(count("flow_start"), 2);
         assert_eq!(count("flow_done"), 2);
-        assert!(count("rate_bps") >= 3, "shared-link rates change during the run");
+        assert!(
+            count("rate_bps") >= 3,
+            "shared-link rates change during the run"
+        );
         assert!(count("full_solve") >= 1, "contended start requires a solve");
-        assert!(events.iter().any(|(_, e)| e.track().kind == TrackKind::Flow));
+        assert!(events
+            .iter()
+            .any(|(_, e)| e.track().kind == TrackKind::Flow));
     }
 
     #[test]

@@ -55,7 +55,10 @@ impl ComputeModel {
     /// Panics unless `0 < efficiency <= 1`.
     #[must_use]
     pub fn with_efficiency(mut self, efficiency: f64) -> Self {
-        assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency must be in (0, 1]");
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must be in (0, 1]"
+        );
         self.efficiency = efficiency;
         self
     }
@@ -76,7 +79,10 @@ impl ComputeModel {
     /// Forward time of one layer for a mini-batch of `batch` samples.
     #[must_use]
     pub fn layer_fwd(&self, layer: &Layer, batch: u64) -> SimDuration {
-        self.kernel_time(layer.flops_fwd * batch as f64, layer.bytes_fwd * batch as f64)
+        self.kernel_time(
+            layer.flops_fwd * batch as f64,
+            layer.bytes_fwd * batch as f64,
+        )
     }
 
     /// Backward time of one layer for a mini-batch of `batch` samples.

@@ -107,8 +107,16 @@ mod tests {
         let bert = zoo::bert_large();
         let v100 = GpuModel::V100.spec();
         let v100_32 = GpuModel::V100_32.spec();
-        assert!(fits(&v100, &bert, 4), "batch 4 must fit 16GB: {:.1} GB", estimate(&bert, 4).total() / 1e9);
-        assert!(!fits(&v100, &bert, 8), "batch 8 must NOT fit 16GB: {:.1} GB", estimate(&bert, 8).total() / 1e9);
+        assert!(
+            fits(&v100, &bert, 4),
+            "batch 4 must fit 16GB: {:.1} GB",
+            estimate(&bert, 4).total() / 1e9
+        );
+        assert!(
+            !fits(&v100, &bert, 8),
+            "batch 8 must NOT fit 16GB: {:.1} GB",
+            estimate(&bert, 8).total() / 1e9
+        );
         assert!(fits(&v100_32, &bert, 8), "batch 8 must fit 32GB");
     }
 
@@ -117,7 +125,12 @@ mod tests {
         // The paper sweeps small models up to batch 128 on 12 GB K80s.
         let k80 = GpuModel::K80.spec();
         for m in zoo::small_models() {
-            assert!(fits(&k80, &m, 128), "{} at 128 needs {:.1} GB", m.name, estimate(&m, 128).total() / 1e9);
+            assert!(
+                fits(&k80, &m, 128),
+                "{} at 128 needs {:.1} GB",
+                m.name,
+                estimate(&m, 128).total() / 1e9
+            );
         }
     }
 
@@ -166,7 +179,11 @@ mod tests {
         let v100 = GpuModel::V100.spec();
         // fp32 tops out at 4; AMP's halved activations admit 8 on 16 GB.
         let amp8 = estimate_with(&bert, 8, Precision::Amp);
-        assert!(amp8.total() <= v100.mem_bytes, "{:.1} GB", amp8.total() / 1e9);
+        assert!(
+            amp8.total() <= v100.mem_bytes,
+            "{:.1} GB",
+            amp8.total() / 1e9
+        );
         assert!(!fits(&v100, &bert, 8));
     }
 

@@ -93,7 +93,10 @@ mod tests {
     fn amp_halves_wire_and_activation_bytes() {
         assert_eq!(Precision::Amp.gradient_bytes_per_param(), 2.0);
         assert_eq!(Precision::Amp.memory_factor(), 0.5);
-        assert!(Precision::Amp.state_factor() > 1.0, "master copies cost state");
+        assert!(
+            Precision::Amp.state_factor() > 1.0,
+            "master copies cost state"
+        );
     }
 
     #[test]

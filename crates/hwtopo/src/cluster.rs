@@ -33,7 +33,9 @@ impl ClusterSpec {
     pub fn homogeneous(instance: InstanceType, count: usize) -> Self {
         assert!(count > 0, "a cluster needs at least one instance");
         ClusterSpec {
-            instances: std::iter::repeat_with(|| instance.clone()).take(count).collect(),
+            instances: std::iter::repeat_with(|| instance.clone())
+                .take(count)
+                .collect(),
         }
     }
 
@@ -108,7 +110,7 @@ impl ClusterSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::instance::{p2_8xlarge, p3_8xlarge, p3_16xlarge};
+    use crate::instance::{p2_8xlarge, p3_16xlarge, p3_8xlarge};
 
     #[test]
     fn world_size_sums_gpus() {
@@ -127,7 +129,10 @@ mod tests {
 
     #[test]
     fn display_name_uses_star_notation() {
-        assert_eq!(ClusterSpec::single(p3_8xlarge()).display_name(), "p3.8xlarge");
+        assert_eq!(
+            ClusterSpec::single(p3_8xlarge()).display_name(),
+            "p3.8xlarge"
+        );
         assert_eq!(
             ClusterSpec::homogeneous(p3_8xlarge(), 2).display_name(),
             "p3.8xlarge*2"

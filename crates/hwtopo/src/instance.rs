@@ -33,6 +33,11 @@ pub struct InstanceType {
     pub network_gbps: f64,
     /// On-demand price, USD per hour (N. Virginia).
     pub price_per_hour: f64,
+    /// Speed multiplier on every intra-node interconnect link (PCIe
+    /// lanes, the shared host fabric, NVLink/NVSwitch ports). `1.0` for
+    /// real hardware; what-if cross-checks build hypothetical variants
+    /// via [`crate::scaling`].
+    pub interconnect_scale: f64,
     /// Attached training-data volume.
     pub storage: StorageSpec,
 }
@@ -64,6 +69,7 @@ pub fn p2_xlarge() -> InstanceType {
         main_memory_bytes: gib(61.0),
         network_gbps: 1.0, // Table I: "< 10"
         price_per_hour: 0.90,
+        interconnect_scale: 1.0,
         storage: StorageSpec::gp2(),
     }
 }
@@ -81,6 +87,7 @@ pub fn p2_8xlarge() -> InstanceType {
         main_memory_bytes: gib(488.0),
         network_gbps: 10.0,
         price_per_hour: 7.20,
+        interconnect_scale: 1.0,
         storage: StorageSpec::gp2(),
     }
 }
@@ -98,6 +105,7 @@ pub fn p2_16xlarge() -> InstanceType {
         main_memory_bytes: gib(732.0),
         network_gbps: 25.0,
         price_per_hour: 14.40,
+        interconnect_scale: 1.0,
         storage: StorageSpec::gp2(),
     }
 }
@@ -115,6 +123,7 @@ pub fn p3_2xlarge() -> InstanceType {
         main_memory_bytes: gib(61.0),
         network_gbps: 10.0,
         price_per_hour: 3.06,
+        interconnect_scale: 1.0,
         storage: StorageSpec::gp2(),
     }
 }
@@ -140,6 +149,7 @@ pub fn p3_8xlarge_sliced(slicing: Slicing) -> InstanceType {
         main_memory_bytes: gib(244.0),
         network_gbps: 10.0,
         price_per_hour: 12.24,
+        interconnect_scale: 1.0,
         storage: StorageSpec::gp2(),
     }
 }
@@ -153,10 +163,13 @@ pub fn p3_16xlarge() -> InstanceType {
         gpu: GpuModel::V100,
         gpu_count: 8,
         vcpus: 64,
-        interconnect: Interconnect::NvLink { slicing: Slicing::Full },
+        interconnect: Interconnect::NvLink {
+            slicing: Slicing::Full,
+        },
         main_memory_bytes: gib(488.0),
         network_gbps: 25.0,
         price_per_hour: 24.48,
+        interconnect_scale: 1.0,
         storage: StorageSpec::gp2(),
     }
 }
@@ -173,10 +186,13 @@ pub fn p3_24xlarge() -> InstanceType {
         gpu: GpuModel::V100_32,
         gpu_count: 8,
         vcpus: 96,
-        interconnect: Interconnect::NvLink { slicing: Slicing::Full },
+        interconnect: Interconnect::NvLink {
+            slicing: Slicing::Full,
+        },
         main_memory_bytes: gib(768.0),
         network_gbps: 100.0,
         price_per_hour: 31.218,
+        interconnect_scale: 1.0,
         storage: StorageSpec::gp2(),
     }
 }
@@ -195,6 +211,7 @@ pub fn p4() -> InstanceType {
         main_memory_bytes: gib(1152.0),
         network_gbps: 400.0,
         price_per_hour: 32.7726,
+        interconnect_scale: 1.0,
         storage: StorageSpec::local_nvme(),
     }
 }

@@ -78,7 +78,9 @@ pub fn crossbar_groups(interconnect: Interconnect, gpu_count: usize) -> Vec<usiz
                     Slicing::Full => vec![0; gpu_count],
                     Slicing::Degraded => {
                         // Half the GPUs landed on each physical crossbar.
-                        (0..gpu_count).map(|g| usize::from(g >= gpu_count / 2)).collect()
+                        (0..gpu_count)
+                            .map(|g| usize::from(g >= gpu_count / 2))
+                            .collect()
                     }
                 }
             }
@@ -97,25 +99,33 @@ mod tests {
 
     #[test]
     fn full_nvlink_machine_is_one_group() {
-        let ic = Interconnect::NvLink { slicing: Slicing::Degraded };
+        let ic = Interconnect::NvLink {
+            slicing: Slicing::Degraded,
+        };
         assert_eq!(crossbar_groups(ic, 8), vec![0; 8]);
     }
 
     #[test]
     fn degraded_slice_splits_in_half() {
-        let ic = Interconnect::NvLink { slicing: Slicing::Degraded };
+        let ic = Interconnect::NvLink {
+            slicing: Slicing::Degraded,
+        };
         assert_eq!(crossbar_groups(ic, 4), vec![0, 0, 1, 1]);
     }
 
     #[test]
     fn full_slice_stays_together() {
-        let ic = Interconnect::NvLink { slicing: Slicing::Full };
+        let ic = Interconnect::NvLink {
+            slicing: Slicing::Full,
+        };
         assert_eq!(crossbar_groups(ic, 4), vec![0, 0, 0, 0]);
     }
 
     #[test]
     fn tiny_instances_trivially_grouped() {
-        let ic = Interconnect::NvLink { slicing: Slicing::Degraded };
+        let ic = Interconnect::NvLink {
+            slicing: Slicing::Degraded,
+        };
         assert_eq!(crossbar_groups(ic, 1), vec![0]);
         assert_eq!(crossbar_groups(ic, 2), vec![0, 0]);
     }
@@ -124,7 +134,10 @@ mod tests {
     fn labels_match_table1() {
         assert_eq!(Interconnect::Pcie.label(), "PCIe");
         assert_eq!(
-            Interconnect::NvLink { slicing: Slicing::Full }.label(),
+            Interconnect::NvLink {
+                slicing: Slicing::Full
+            }
+            .label(),
             "PCIe + NVLink"
         );
         assert_eq!(Interconnect::NvSwitch.label(), "NVSwitch");

@@ -30,6 +30,7 @@ pub mod gpu;
 pub mod instance;
 pub mod interconnect;
 pub mod providers;
+pub mod scaling;
 pub mod storage;
 pub mod topology;
 pub mod units;
@@ -39,11 +40,12 @@ pub mod prelude {
     pub use crate::cluster::ClusterSpec;
     pub use crate::gpu::{GpuModel, GpuSpec};
     pub use crate::instance::{
-        by_name, catalog, p2_16xlarge, p2_8xlarge, p2_xlarge, p3_16xlarge, p3_24xlarge,
-        p3_2xlarge, p3_8xlarge, p3_8xlarge_sliced, p4, InstanceType,
+        by_name, catalog, p2_16xlarge, p2_8xlarge, p2_xlarge, p3_16xlarge, p3_24xlarge, p3_2xlarge,
+        p3_8xlarge, p3_8xlarge_sliced, p4, InstanceType,
     };
     pub use crate::interconnect::{Interconnect, Slicing};
     pub use crate::providers::{self, other_clouds};
+    pub use crate::scaling::Resource;
     pub use crate::storage::{StorageKind, StorageSpec};
     pub use crate::topology::{GpuId, Topology};
 }

@@ -26,6 +26,7 @@ pub fn azure_nc6() -> InstanceType {
         main_memory_bytes: gib(56.0),
         network_gbps: 1.0,
         price_per_hour: 0.90,
+        interconnect_scale: 1.0,
         storage: StorageSpec::gp2(),
     }
 }
@@ -43,6 +44,7 @@ pub fn azure_nc24() -> InstanceType {
         main_memory_bytes: gib(224.0),
         network_gbps: 10.0,
         price_per_hour: 3.60,
+        interconnect_scale: 1.0,
         storage: StorageSpec::gp2(),
     }
 }
@@ -56,10 +58,13 @@ pub fn azure_nc24s_v3() -> InstanceType {
         gpu: GpuModel::V100,
         gpu_count: 4,
         vcpus: 24,
-        interconnect: Interconnect::NvLink { slicing: Slicing::Full },
+        interconnect: Interconnect::NvLink {
+            slicing: Slicing::Full,
+        },
         main_memory_bytes: gib(448.0),
         network_gbps: 24.0,
         price_per_hour: 12.24,
+        interconnect_scale: 1.0,
         storage: StorageSpec::gp2(),
     }
 }
@@ -73,10 +78,13 @@ pub fn gcp_n1_v100x8() -> InstanceType {
         gpu: GpuModel::V100,
         gpu_count: 8,
         vcpus: 64,
-        interconnect: Interconnect::NvLink { slicing: Slicing::Full },
+        interconnect: Interconnect::NvLink {
+            slicing: Slicing::Full,
+        },
         main_memory_bytes: gib(416.0),
         network_gbps: 32.0,
         price_per_hour: 23.12,
+        interconnect_scale: 1.0,
         storage: StorageSpec::gp2(),
     }
 }
@@ -94,6 +102,7 @@ pub fn gcp_n1_k80x4() -> InstanceType {
         main_memory_bytes: gib(208.0),
         network_gbps: 16.0,
         price_per_hour: 3.32,
+        interconnect_scale: 1.0,
         storage: StorageSpec::gp2(),
     }
 }
@@ -126,7 +135,9 @@ mod tests {
     #[test]
     fn names_are_provider_prefixed_and_unique() {
         let mut names: Vec<String> = other_clouds().into_iter().map(|i| i.name).collect();
-        assert!(names.iter().all(|n| n.starts_with("azure.") || n.starts_with("gcp.")));
+        assert!(names
+            .iter()
+            .all(|n| n.starts_with("azure.") || n.starts_with("gcp.")));
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 5);

@@ -1,0 +1,168 @@
+//! Hypothetical hardware variants for what-if cross-checks.
+//!
+//! The trace-driven what-if engine (`stash-trace::whatif`) projects a new
+//! epoch time analytically; the ground truth it is validated against is a
+//! *re-simulation* on a cluster whose hardware has actually been rescaled.
+//! [`ClusterSpec::scaled`] builds that cluster: every instance gets one
+//! [`Resource`] made `factor`× faster, everything else untouched.
+//!
+//! The mapping from resource to instance parameter:
+//!
+//! * [`Resource::Network`] — multiplies `network_gbps` (the NIC links).
+//! * [`Resource::Interconnect`] — sets `interconnect_scale`, which
+//!   [`crate::topology::Topology::build`] applies to PCIe lanes, the
+//!   shared host fabric and NVLink/NVSwitch ports alike.
+//! * [`Resource::PrepWorkers`] — multiplies `vcpus` (rounded, min 1):
+//!   the loader sizes its decode pool from the vCPU count.
+//! * [`Resource::FetchBandwidth`] — multiplies the storage volume's
+//!   `throughput_bps`.
+
+use crate::cluster::ClusterSpec;
+use crate::instance::InstanceType;
+
+/// One rescalable hardware resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Resource {
+    /// Inter-node (VM network) bandwidth.
+    Network,
+    /// Intra-node interconnect bandwidth (PCIe / NVLink / NVSwitch).
+    Interconnect,
+    /// CPU prep throughput (vCPU count).
+    PrepWorkers,
+    /// Storage fetch bandwidth.
+    FetchBandwidth,
+}
+
+impl Resource {
+    /// Every resource, in stable order.
+    pub const ALL: [Resource; 4] = [
+        Resource::Network,
+        Resource::Interconnect,
+        Resource::PrepWorkers,
+        Resource::FetchBandwidth,
+    ];
+
+    /// Stable lowercase label (matches `stash-trace`'s what-if labels).
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            Resource::Network => "network",
+            Resource::Interconnect => "interconnect",
+            Resource::PrepWorkers => "prep_workers",
+            Resource::FetchBandwidth => "fetch_bandwidth",
+        }
+    }
+
+    /// Parses a [`Resource::label`] back; `None` for unknown text.
+    #[must_use]
+    pub fn from_label(s: &str) -> Option<Resource> {
+        Resource::ALL.iter().copied().find(|r| r.label() == s)
+    }
+}
+
+impl InstanceType {
+    /// A hypothetical variant of this instance with `resource` made
+    /// `factor`× faster (slower for `factor < 1`). The name gains a
+    /// `+<resource>x<factor>` suffix so reports stay distinguishable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    #[must_use]
+    pub fn scaled(&self, resource: Resource, factor: f64) -> InstanceType {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive, got {factor}"
+        );
+        let mut inst = self.clone();
+        match resource {
+            Resource::Network => inst.network_gbps *= factor,
+            Resource::Interconnect => inst.interconnect_scale *= factor,
+            Resource::PrepWorkers => {
+                inst.vcpus = ((inst.vcpus as f64 * factor).round() as usize).max(1);
+            }
+            Resource::FetchBandwidth => inst.storage.throughput_bps *= factor,
+        }
+        #[allow(clippy::float_cmp)] // 1.0 is exactly representable
+        if factor != 1.0 {
+            inst.name = format!("{}+{}x{factor}", self.name, resource.label());
+        }
+        inst
+    }
+}
+
+impl ClusterSpec {
+    /// The same cluster with `resource` scaled `factor`× on every member
+    /// instance — the re-simulation target for what-if validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    #[must_use]
+    pub fn scaled(&self, resource: Resource, factor: f64) -> ClusterSpec {
+        ClusterSpec {
+            instances: self
+                .instances
+                .iter()
+                .map(|i| i.scaled(resource, factor))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{p2_8xlarge, p3_8xlarge};
+
+    #[test]
+    fn network_scaling_multiplies_gbps_only() {
+        let base = p3_8xlarge();
+        let fast = base.scaled(Resource::Network, 2.0);
+        assert_eq!(fast.network_gbps, 20.0);
+        assert_eq!(fast.vcpus, base.vcpus);
+        assert_eq!(fast.interconnect_scale, 1.0);
+        assert_eq!(fast.storage.throughput_bps, base.storage.throughput_bps);
+        assert_eq!(fast.name, "p3.8xlarge+networkx2");
+    }
+
+    #[test]
+    fn prep_workers_round_and_clamp() {
+        let one = p2_8xlarge().scaled(Resource::PrepWorkers, 1.0 / 64.0);
+        assert_eq!(one.vcpus, 1);
+        let up = p2_8xlarge().scaled(Resource::PrepWorkers, 1.5);
+        assert_eq!(up.vcpus, 48);
+    }
+
+    #[test]
+    fn identity_scaling_preserves_name_and_values() {
+        let base = p3_8xlarge();
+        let same = base.scaled(Resource::Interconnect, 1.0);
+        assert_eq!(same, base);
+    }
+
+    #[test]
+    fn cluster_scaling_applies_to_every_member() {
+        let c = ClusterSpec::homogeneous(p3_8xlarge(), 2).scaled(Resource::FetchBandwidth, 3.0);
+        for inst in &c.instances {
+            assert_eq!(
+                inst.storage.throughput_bps,
+                p3_8xlarge().storage.throughput_bps * 3.0
+            );
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for r in Resource::ALL {
+            assert_eq!(Resource::from_label(r.label()), Some(r));
+        }
+        assert_eq!(Resource::from_label("gpu"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_factor_panics() {
+        let _ = p3_8xlarge().scaled(Resource::Network, -1.0);
+    }
+}

@@ -61,10 +61,14 @@ impl Topology {
     pub fn build(cluster: &ClusterSpec, net: &mut FlowNet) -> Topology {
         let mut nodes = Vec::with_capacity(cluster.instances.len());
         for (n, inst) in cluster.instances.iter().enumerate() {
-            let host_bus_bps = match inst.family {
-                "P2" => constants::P2_HOST_BUS_BPS,
-                _ => constants::P3_HOST_BUS_BPS,
-            };
+            // A what-if interconnect scaling applies to every intra-node
+            // link class alike: lanes, the shared fabric, NVLink ports.
+            let ic = inst.interconnect_scale;
+            let host_bus_bps = ic
+                * match inst.family {
+                    "P2" => constants::P2_HOST_BUS_BPS,
+                    _ => constants::P3_HOST_BUS_BPS,
+                };
             let host_bus = net.add_link(Link::new(
                 format!("{}#{n}/hostbus", inst.name),
                 host_bus_bps,
@@ -78,13 +82,13 @@ impl Topology {
             for g in 0..inst.gpu_count {
                 lane_tx.push(net.add_link(Link::new(
                     format!("{}#{n}/gpu{g}/lane-tx", inst.name),
-                    constants::PCIE_LANE_BPS,
+                    ic * constants::PCIE_LANE_BPS,
                     stash_simkit::time::SimDuration::ZERO,
                     LinkClass::PcieLane,
                 )));
                 lane_rx.push(net.add_link(Link::new(
                     format!("{}#{n}/gpu{g}/lane-rx", inst.name),
-                    constants::PCIE_LANE_BPS,
+                    ic * constants::PCIE_LANE_BPS,
                     stash_simkit::time::SimDuration::ZERO,
                     LinkClass::PcieLane,
                 )));
@@ -97,13 +101,13 @@ impl Topology {
                     };
                     nvl_tx.push(net.add_link(Link::new(
                         format!("{}#{n}/gpu{g}/nvl-tx", inst.name),
-                        bps,
+                        ic * bps,
                         constants::NVLINK_LAT,
                         class,
                     )));
                     nvl_rx.push(net.add_link(Link::new(
                         format!("{}#{n}/gpu{g}/nvl-rx", inst.name),
-                        bps,
+                        ic * bps,
                         stash_simkit::time::SimDuration::ZERO,
                         class,
                     )));
@@ -179,7 +183,10 @@ impl Topology {
             }
             r -= inst.gpu_count;
         }
-        panic!("rank {rank} out of range (world size {})", self.world_size());
+        panic!(
+            "rank {rank} out of range (world size {})",
+            self.world_size()
+        );
     }
 
     /// All GPUs in ring order (node-major): the order NCCL-style ring
@@ -216,7 +223,12 @@ impl Topology {
                 }
             }
         } else {
-            vec![s.lane_tx[src.local], s.nic_tx, d.nic_rx, d.lane_rx[dst.local]]
+            vec![
+                s.lane_tx[src.local],
+                s.nic_tx,
+                d.nic_rx,
+                d.lane_rx[dst.local],
+            ]
         }
     }
 
@@ -266,7 +278,8 @@ impl Topology {
         }
         let inst = &self.cluster.instances[a.node];
         inst.interconnect.has_nvlink()
-            && self.nodes[a.node].crossbar_group[a.local] == self.nodes[a.node].crossbar_group[b.local]
+            && self.nodes[a.node].crossbar_group[a.local]
+                == self.nodes[a.node].crossbar_group[b.local]
     }
 }
 
@@ -321,7 +334,9 @@ mod tests {
         let same_half = topo.gpu_route(GpuId { node: 0, local: 0 }, GpuId { node: 0, local: 1 });
         assert_eq!(net.link(same_half[0]).class, LinkClass::NvLink);
         let cross_half = topo.gpu_route(GpuId { node: 0, local: 1 }, GpuId { node: 0, local: 2 });
-        assert!(cross_half.iter().any(|l| net.link(*l).class == LinkClass::PcieHostBus));
+        assert!(cross_half
+            .iter()
+            .any(|l| net.link(*l).class == LinkClass::PcieHostBus));
     }
 
     #[test]
@@ -337,7 +352,10 @@ mod tests {
         let r = topo.gpu_route(GpuId { node: 0, local: 3 }, GpuId { node: 1, local: 0 });
         let classes: Vec<_> = r.iter().map(|l| net.link(*l).class).collect();
         assert!(classes.contains(&LinkClass::Network));
-        assert_eq!(classes.iter().filter(|c| **c == LinkClass::Network).count(), 2);
+        assert_eq!(
+            classes.iter().filter(|c| **c == LinkClass::Network).count(),
+            2
+        );
     }
 
     #[test]
@@ -380,7 +398,10 @@ mod tests {
     fn p2_cross_node_route_is_nic_bound() {
         let (topo, net) = build(ClusterSpec::homogeneous(crate::instance::p2_8xlarge(), 2));
         let r = topo.gpu_route(GpuId { node: 0, local: 7 }, GpuId { node: 1, local: 0 });
-        let min_cap = r.iter().map(|l| net.link(*l).capacity_bps).fold(f64::INFINITY, f64::min);
+        let min_cap = r
+            .iter()
+            .map(|l| net.link(*l).capacity_bps)
+            .fold(f64::INFINITY, f64::min);
         // 10 Gbps x efficiency ≈ 1.06 GB/s: far below any PCIe hop.
         assert!(min_cap < 2e9, "bottleneck {min_cap}");
         assert!(!topo.nvlink_connected(GpuId { node: 0, local: 7 }, GpuId { node: 1, local: 0 }));

@@ -42,7 +42,10 @@ impl LogHistogram {
     /// Panics if `buckets_per_decade` is zero.
     #[must_use]
     pub fn new(buckets_per_decade: u32) -> Self {
-        assert!(buckets_per_decade > 0, "need at least one bucket per decade");
+        assert!(
+            buckets_per_decade > 0,
+            "need at least one bucket per decade"
+        );
         LogHistogram {
             buckets_per_decade,
             counts: Vec::new(),

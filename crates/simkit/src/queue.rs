@@ -100,7 +100,11 @@ impl<E> EventQueue<E> {
     ///
     /// Panics in debug builds if `at` is before the current clock.
     pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventKey {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;

@@ -237,7 +237,7 @@ mod tests {
         let mut tw = TimeWeighted::new(1.0, SimTime::ZERO);
         tw.set(SimTime::from_nanos(1_000_000_000), 3.0); // 1.0 held for 1s
         tw.set(SimTime::from_nanos(3_000_000_000), 0.0); // 3.0 held for 2s
-        // mean over 3s = (1*1 + 3*2)/3 = 7/3
+                                                         // mean over 3s = (1*1 + 3*2)/3 = 7/3
         let mean = tw.mean_until(SimTime::from_nanos(3_000_000_000));
         assert!((mean - 7.0 / 3.0).abs() < 1e-9);
     }

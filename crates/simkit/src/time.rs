@@ -24,7 +24,9 @@ use serde::{Deserialize, Serialize};
 /// let t = SimTime::ZERO + SimDuration::from_millis(3);
 /// assert_eq!(t.as_nanos(), 3_000_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in nanoseconds.
@@ -37,7 +39,9 @@ pub struct SimTime(u64);
 /// let d = SimDuration::from_secs_f64(1.5);
 /// assert_eq!(d.as_millis(), 1500);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -72,7 +76,10 @@ impl SimTime {
     /// Panics in debug builds if `earlier` is later than `self`.
     #[must_use]
     pub fn duration_since(self, earlier: SimTime) -> SimDuration {
-        debug_assert!(earlier <= self, "duration_since: earlier={earlier} > self={self}");
+        debug_assert!(
+            earlier <= self,
+            "duration_since: earlier={earlier} > self={self}"
+        );
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 

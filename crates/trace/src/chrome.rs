@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 
 use serde_json::{json, Map, Value};
 
-use crate::span::{Track, TraceEvent};
+use crate::span::{TraceEvent, Track};
 
 /// Nanoseconds → Chrome's microsecond `ts` field.
 fn ts_us(ns: u64) -> f64 {
@@ -61,7 +61,10 @@ pub fn export(events: &[(u32, TraceEvent)]) -> Value {
 
     let mut doc = Map::new();
     doc.insert("traceEvents".to_string(), Value::Array(out));
-    doc.insert("displayTimeUnit".to_string(), Value::String("ms".to_string()));
+    doc.insert(
+        "displayTimeUnit".to_string(),
+        Value::String("ms".to_string()),
+    );
     Value::Object(doc)
 }
 
@@ -70,12 +73,23 @@ pub fn export(events: &[(u32, TraceEvent)]) -> Value {
 fn emit_track(out: &mut Vec<Value>, pid: u32, tid: u64, events: &[&TraceEvent]) {
     // Sort spans by (start asc, end desc): an interval that starts
     // together with a longer one nests inside it.
-    let mut spans: Vec<(u64, u64, &'static str, &'static str)> = events
+    let mut spans: Vec<(u64, u64, &'static str, &'static str, u32)> = events
         .iter()
         .filter_map(|ev| match ev {
-            TraceEvent::Span { name, category, start, end, .. } => {
-                Some((start.as_nanos(), end.as_nanos(), *name, category.label()))
-            }
+            TraceEvent::Span {
+                name,
+                category,
+                arg,
+                start,
+                end,
+                ..
+            } => Some((
+                start.as_nanos(),
+                end.as_nanos(),
+                *name,
+                category.label(),
+                *arg,
+            )),
             _ => None,
         })
         .collect();
@@ -85,7 +99,7 @@ fn emit_track(out: &mut Vec<Value>, pid: u32, tid: u64, events: &[&TraceEvent]) 
     // simulator does not produce, but a custom sink user could) are
     // clamped to the enclosing span so the document stays well-formed.
     let mut stack: Vec<(u64, &'static str)> = Vec::new();
-    for (start, end, name, cat) in spans {
+    for (start, end, name, cat, arg) in spans {
         while let Some(&(top_end, top_name)) = stack.last() {
             if top_end <= start {
                 out.push(end_event(pid, tid, top_end, top_name));
@@ -98,14 +112,17 @@ fn emit_track(out: &mut Vec<Value>, pid: u32, tid: u64, events: &[&TraceEvent]) 
             Some(&(top_end, _)) if end > top_end => top_end,
             _ => end,
         };
-        out.push(json!({
-            "ph": "B",
-            "name": name,
-            "cat": cat,
-            "pid": pid,
-            "tid": tid,
-            "ts": ts_us(start),
-        }));
+        let mut b = Map::new();
+        b.insert("ph".to_string(), Value::String("B".to_string()));
+        b.insert("name".to_string(), Value::String(name.to_string()));
+        b.insert("cat".to_string(), Value::String(cat.to_string()));
+        b.insert("pid".to_string(), json!(pid));
+        b.insert("tid".to_string(), json!(tid));
+        b.insert("ts".to_string(), json!(ts_us(start)));
+        if arg != 0 {
+            b.insert("args".to_string(), json!({ "id": arg }));
+        }
+        out.push(Value::Object(b));
         stack.push((end, name));
     }
     while let Some((end, name)) = stack.pop() {
@@ -114,7 +131,9 @@ fn emit_track(out: &mut Vec<Value>, pid: u32, tid: u64, events: &[&TraceEvent]) 
 
     for ev in events {
         match ev {
-            TraceEvent::Instant { name, category, at, .. } => out.push(json!({
+            TraceEvent::Instant {
+                name, category, at, ..
+            } => out.push(json!({
                 "ph": "i",
                 "s": "t",
                 "name": *name,
@@ -123,7 +142,13 @@ fn emit_track(out: &mut Vec<Value>, pid: u32, tid: u64, events: &[&TraceEvent]) 
                 "tid": tid,
                 "ts": ts_us(at.as_nanos()),
             })),
-            TraceEvent::Counter { name, category, at, value, .. } => out.push(json!({
+            TraceEvent::Counter {
+                name,
+                category,
+                at,
+                value,
+                ..
+            } => out.push(json!({
                 "ph": "C",
                 "name": *name,
                 "cat": category.label(),
@@ -204,7 +229,9 @@ pub fn validate(json_text: &str) -> Result<ChromeStats, String> {
             .ok_or_else(|| format!("event {idx}: missing name"))?
             .to_string();
 
-        let lane = lanes.entry((pid, tid)).or_insert_with(|| (Vec::new(), f64::MIN));
+        let lane = lanes
+            .entry((pid, tid))
+            .or_insert_with(|| (Vec::new(), f64::MIN));
         match ph {
             "B" | "E" => {
                 if ts < lane.1 {
@@ -258,6 +285,7 @@ mod tests {
                 track,
                 category: Category::Compute,
                 name,
+                arg: 0,
                 start: SimTime::from_nanos(a),
                 end: SimTime::from_nanos(b),
             },
@@ -329,6 +357,7 @@ mod tests {
                 track: Track::gpu(0, 0),
                 category: Category::Compute,
                 name: "forward",
+                arg: 0,
                 start: SimTime::ZERO,
                 end: SimTime::from_nanos(10),
             },

@@ -1,0 +1,546 @@
+//! Critical-path decomposition of a traced epoch.
+//!
+//! The paper's headline analysis attributes every second of wall-clock
+//! time to *what the GPU was doing* — computing, waiting on the
+//! interconnect, waiting on the network, waiting on CPU prep, or waiting
+//! on storage fetch. A Chrome trace shows the raw spans; this module
+//! interprets them: [`CriticalPath::from_events`] walks one GPU rank's
+//! timeline and classifies every nanosecond of `[0, wall]` into exactly
+//! one [`PathCategory`], producing:
+//!
+//! * a gap-free segment list tiling the timeline (for SVG rendering),
+//! * integer-nanosecond per-category totals that sum to the wall time
+//!   *exactly* (the workspace property tests enforce this), and
+//! * top-k blamed spans — which all-reduce bucket, which pipeline stage
+//!   — ranked by critical-path contribution.
+//!
+//! The decomposition refines the raw span categories with two splits:
+//!
+//! * **Overlap** — compute time concurrent with an in-flight all-reduce
+//!   bucket. It is still compute on the timeline, but it is the overlap
+//!   budget that hides communication; the what-if engine
+//!   ([`crate::whatif`]) needs it to project bandwidth changes.
+//! * **Prep vs Fetch** — an `await_batch` stall is blamed on CPU prep
+//!   for the part where some loader worker on the same node was
+//!   decoding, and on fetch (storage/H2D) for the remainder.
+//!
+//! Both splits partition the original span, so raw-category totals are
+//! preserved: `Compute + Overlap` equals the engine's compute
+//! accumulator, `Prep + Fetch` its data-wait, and
+//! `Interconnect + Network` its comm-wait, to the nanosecond.
+
+use std::collections::BTreeMap;
+
+use stash_simkit::time::SimDuration;
+
+use crate::span::{Category, TraceEvent, Track, TrackKind};
+
+/// The stall class one critical-path interval is attributed to.
+///
+/// Unlike [`Category`] this is a *partition* of wall-clock time: every
+/// nanosecond of the traced window belongs to exactly one variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PathCategory {
+    /// GPU kernels with no concurrent collective.
+    Compute,
+    /// GPU kernels concurrent with an in-flight all-reduce bucket — the
+    /// overlap budget hiding communication.
+    Overlap,
+    /// Exposed intra-node gradient-synchronisation stall.
+    Interconnect,
+    /// Exposed inter-node gradient-synchronisation stall.
+    Network,
+    /// Input-batch stall while CPU workers were decoding.
+    Prep,
+    /// Input-batch stall on storage / H2D with no concurrent prep.
+    Fetch,
+    /// Time outside any traced span on the rank (pipeline fill, barrier
+    /// skew against slower ranks).
+    Idle,
+}
+
+impl PathCategory {
+    /// Every category, in stable display order.
+    pub const ALL: [PathCategory; 7] = [
+        PathCategory::Compute,
+        PathCategory::Overlap,
+        PathCategory::Interconnect,
+        PathCategory::Network,
+        PathCategory::Prep,
+        PathCategory::Fetch,
+        PathCategory::Idle,
+    ];
+
+    /// Stable lowercase label (JSON keys, HTML legend).
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            PathCategory::Compute => "compute",
+            PathCategory::Overlap => "overlap",
+            PathCategory::Interconnect => "interconnect",
+            PathCategory::Network => "network",
+            PathCategory::Prep => "prep",
+            PathCategory::Fetch => "fetch",
+            PathCategory::Idle => "idle",
+        }
+    }
+
+    /// Parses a [`PathCategory::label`] back; `None` for unknown text.
+    #[must_use]
+    pub fn from_label(s: &str) -> Option<PathCategory> {
+        PathCategory::ALL.iter().copied().find(|c| c.label() == s)
+    }
+}
+
+/// One classified interval of the critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathSegment {
+    /// Interval start, nanoseconds on the simulation clock.
+    pub start_ns: u64,
+    /// Interval end (`> start_ns`).
+    pub end_ns: u64,
+    /// The stall class this interval is attributed to.
+    pub category: PathCategory,
+    /// Name of the span the interval came from (`"idle"` for gaps).
+    pub name: &'static str,
+    /// Bucket / backward-segment index of the blamed span, 0 when there
+    /// is nothing to distinguish.
+    pub arg: u32,
+}
+
+impl PathSegment {
+    /// The interval's length in nanoseconds.
+    #[must_use]
+    pub fn len_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// One `(name, arg)` group's total critical-path contribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlamedSpan {
+    /// Span name (`"allreduce"`, `"backward"`, `"await_batch"`, ...).
+    pub name: &'static str,
+    /// Bucket / segment index within `name`.
+    pub arg: u32,
+    /// The stall class of the contribution.
+    pub category: PathCategory,
+    /// Total nanoseconds of critical path attributed to this group.
+    pub contribution_ns: u64,
+}
+
+/// A classified rank timeline: gap-free segments, exact per-category
+/// totals, and ranked blame.
+#[derive(Debug, Clone, Default)]
+pub struct CriticalPath {
+    /// End of the traced window: the latest span end across *all* tracks
+    /// of the process, so rank skew shows up as trailing idle.
+    pub wall_ns: u64,
+    /// Classified intervals tiling `[0, wall_ns]` exactly, in time order.
+    pub segments: Vec<PathSegment>,
+    /// Total busy time of the collective (sum of all-reduce span
+    /// lengths) — the what-if engine's bandwidth-scaling base.
+    pub comm_busy_ns: u64,
+    totals: BTreeMap<PathCategory, u64>,
+}
+
+impl CriticalPath {
+    /// Decomposes the timeline of `gpu_track` (its `kind` must be
+    /// [`TrackKind::Gpu`]) within `process`, classifying every
+    /// nanosecond of `[0, wall]`.
+    ///
+    /// `events` is the sink format: `(process, event)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu_track` is not a GPU lane.
+    #[must_use]
+    pub fn from_events(
+        events: &[(u32, TraceEvent)],
+        process: u32,
+        gpu_track: Track,
+    ) -> CriticalPath {
+        assert_eq!(
+            gpu_track.kind,
+            TrackKind::Gpu,
+            "critical path walks a GPU lane"
+        );
+
+        let mut gpu_spans: Vec<(u64, u64, &'static str, u32, Category)> = Vec::new();
+        let mut allreduce: Vec<(u64, u64, u32)> = Vec::new();
+        let mut prep: Vec<(u64, u64)> = Vec::new();
+        let mut wall_ns: u64 = 0;
+
+        for (p, ev) in events {
+            if *p != process {
+                continue;
+            }
+            if let TraceEvent::Span {
+                track,
+                category,
+                name,
+                arg,
+                start,
+                end,
+            } = ev
+            {
+                let (s, e) = (start.as_nanos(), end.as_nanos());
+                wall_ns = wall_ns.max(e);
+                if *track == gpu_track {
+                    gpu_spans.push((s, e, name, *arg, *category));
+                } else if track.kind == TrackKind::Comm && *name == "allreduce" {
+                    allreduce.push((s, e, *arg));
+                } else if track.kind == TrackKind::Loader
+                    && track.node == gpu_track.node
+                    && *name == "prep"
+                {
+                    prep.push((s, e));
+                }
+            }
+        }
+        gpu_spans.sort_by_key(|&(s, e, ..)| (s, e));
+        allreduce.sort_by_key(|&(s, e, _)| (s, e));
+        let prep_union = union(&mut prep);
+        let comm_busy_ns = allreduce.iter().map(|&(s, e, _)| e - s).sum();
+
+        let mut path = CriticalPath {
+            wall_ns,
+            comm_busy_ns,
+            ..CriticalPath::default()
+        };
+
+        let mut cursor: u64 = 0;
+        for &(start, end, name, arg, category) in &gpu_spans {
+            // The engine emits rank spans back-to-back; clamp defensively
+            // so a malformed custom trace still tiles without overlap.
+            let start = start.max(cursor);
+            if end <= start {
+                continue;
+            }
+            if start > cursor {
+                path.push(cursor, start, PathCategory::Idle, "idle", 0);
+            }
+            match category {
+                Category::Compute => {
+                    // Compute concurrent with an in-flight bucket is the
+                    // overlap budget; attribute those pieces to the bucket.
+                    path.split_against(
+                        start,
+                        end,
+                        &allreduce,
+                        name,
+                        arg,
+                        PathCategory::Compute,
+                        PathCategory::Overlap,
+                        BlameArg::Own,
+                    );
+                }
+                Category::Fetch => {
+                    let prep_here: Vec<(u64, u64, u32)> =
+                        prep_union.iter().map(|&(s, e)| (s, e, 0)).collect();
+                    path.split_against(
+                        start,
+                        end,
+                        &prep_here,
+                        name,
+                        arg,
+                        PathCategory::Fetch,
+                        PathCategory::Prep,
+                        BlameArg::Own,
+                    );
+                }
+                Category::Interconnect | Category::Network => {
+                    let cat = if category == Category::Network {
+                        PathCategory::Network
+                    } else {
+                        PathCategory::Interconnect
+                    };
+                    // The part of the wait covered by bucket b's
+                    // all-reduce is blamed on bucket b.
+                    path.split_against(
+                        start,
+                        end,
+                        &allreduce,
+                        name,
+                        arg,
+                        cat,
+                        cat,
+                        BlameArg::Cover,
+                    );
+                }
+                // Prep/Solver/Cache spans never appear on a GPU lane, but
+                // classify them by their raw category if a custom trace
+                // puts them there.
+                Category::Prep => path.push(start, end, PathCategory::Prep, name, arg),
+                Category::Solver | Category::Cache => {
+                    path.push(start, end, PathCategory::Idle, name, arg);
+                }
+            }
+            cursor = end;
+        }
+        if cursor < wall_ns {
+            path.push(cursor, wall_ns, PathCategory::Idle, "idle", 0);
+        }
+        path
+    }
+
+    /// Splits `[start, end]` against the sorted, disjoint `covers`
+    /// intervals: covered pieces get `covered_cat`, the rest `base_cat`.
+    /// `blame` selects whether covered pieces carry the cover's `arg`
+    /// (per-bucket blame on waits) or the span's own.
+    #[allow(clippy::too_many_arguments)]
+    fn split_against(
+        &mut self,
+        start: u64,
+        end: u64,
+        covers: &[(u64, u64, u32)],
+        name: &'static str,
+        arg: u32,
+        base_cat: PathCategory,
+        covered_cat: PathCategory,
+        blame: BlameArg,
+    ) {
+        let mut pos = start;
+        for &(cs, ce, carg) in covers {
+            if ce <= pos {
+                continue;
+            }
+            if cs >= end {
+                break;
+            }
+            let s = cs.max(pos);
+            let e = ce.min(end);
+            if s > pos {
+                self.push(pos, s, base_cat, name, arg);
+            }
+            if e > s {
+                let a = match blame {
+                    BlameArg::Own => arg,
+                    BlameArg::Cover => carg,
+                };
+                self.push(s, e, covered_cat, name, a);
+            }
+            pos = e.max(pos);
+            if pos >= end {
+                break;
+            }
+        }
+        if pos < end {
+            self.push(pos, end, base_cat, name, arg);
+        }
+    }
+
+    fn push(&mut self, start: u64, end: u64, category: PathCategory, name: &'static str, arg: u32) {
+        debug_assert!(end > start);
+        self.segments.push(PathSegment {
+            start_ns: start,
+            end_ns: end,
+            category,
+            name,
+            arg,
+        });
+        *self.totals.entry(category).or_insert(0) += end - start;
+    }
+
+    /// Total critical-path time attributed to `category`, integer ns.
+    #[must_use]
+    pub fn total(&self, category: PathCategory) -> SimDuration {
+        SimDuration::from_nanos(self.totals.get(&category).copied().unwrap_or(0))
+    }
+
+    /// Total critical-path time attributed to `category`, raw ns.
+    #[must_use]
+    pub fn total_ns(&self, category: PathCategory) -> u64 {
+        self.totals.get(&category).copied().unwrap_or(0)
+    }
+
+    /// Sum of all category totals — equal to [`CriticalPath::wall_ns`]
+    /// by construction (the property tests assert it).
+    #[must_use]
+    pub fn path_len_ns(&self) -> u64 {
+        self.totals.values().sum()
+    }
+
+    /// The `k` largest `(name, arg)` contributors to *stall* time
+    /// (everything except pure compute), descending; ties broken by
+    /// `(name, arg)` so the ranking is deterministic.
+    #[must_use]
+    pub fn top_blamed(&self, k: usize) -> Vec<BlamedSpan> {
+        let mut by_group: BTreeMap<(&'static str, u32, PathCategory), u64> = BTreeMap::new();
+        for seg in &self.segments {
+            if seg.category == PathCategory::Compute || seg.category == PathCategory::Idle {
+                continue;
+            }
+            *by_group
+                .entry((seg.name, seg.arg, seg.category))
+                .or_insert(0) += seg.len_ns();
+        }
+        let mut blamed: Vec<BlamedSpan> = by_group
+            .into_iter()
+            .map(|((name, arg, category), contribution_ns)| BlamedSpan {
+                name,
+                arg,
+                category,
+                contribution_ns,
+            })
+            .collect();
+        blamed.sort_by(|a, b| {
+            b.contribution_ns
+                .cmp(&a.contribution_ns)
+                .then(a.name.cmp(b.name))
+                .then(a.arg.cmp(&b.arg))
+        });
+        blamed.truncate(k);
+        blamed
+    }
+}
+
+/// Which `arg` a covered piece carries in [`CriticalPath::split_against`].
+#[derive(Debug, Clone, Copy)]
+enum BlameArg {
+    /// The split span's own arg (compute segments keep their layer id).
+    Own,
+    /// The covering interval's arg (waits are blamed on the bucket).
+    Cover,
+}
+
+/// Merges possibly-overlapping intervals into a disjoint sorted union.
+fn union(intervals: &mut [(u64, u64)]) -> Vec<(u64, u64)> {
+    intervals.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(intervals.len());
+    for &mut (s, e) in intervals {
+        if e <= s {
+            continue;
+        }
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stash_simkit::time::SimTime;
+
+    fn sp(
+        track: Track,
+        cat: Category,
+        name: &'static str,
+        arg: u32,
+        a: u64,
+        b: u64,
+    ) -> (u32, TraceEvent) {
+        (
+            0,
+            TraceEvent::Span {
+                track,
+                category: cat,
+                name,
+                arg,
+                start: SimTime::from_nanos(a),
+                end: SimTime::from_nanos(b),
+            },
+        )
+    }
+
+    #[test]
+    fn tiles_the_wall_exactly_with_idle_gaps() {
+        let g = Track::gpu(0, 0);
+        let events = vec![
+            sp(g, Category::Compute, "forward", 0, 10, 30),
+            sp(g, Category::Compute, "step", 0, 40, 50),
+            // Another rank runs longer: trailing idle.
+            sp(Track::gpu(0, 1), Category::Compute, "forward", 0, 0, 70),
+        ];
+        let cp = CriticalPath::from_events(&events, 0, g);
+        assert_eq!(cp.wall_ns, 70);
+        assert_eq!(cp.path_len_ns(), 70);
+        assert_eq!(cp.total_ns(PathCategory::Compute), 30);
+        assert_eq!(cp.total_ns(PathCategory::Idle), 40);
+        let starts: Vec<u64> = cp.segments.iter().map(|s| s.start_ns).collect();
+        let ends: Vec<u64> = cp.segments.iter().map(|s| s.end_ns).collect();
+        assert_eq!(starts, vec![0, 10, 30, 40, 50]);
+        assert_eq!(ends, vec![10, 30, 40, 50, 70]);
+    }
+
+    #[test]
+    fn overlap_split_preserves_compute_total() {
+        let g = Track::gpu(0, 0);
+        let events = vec![
+            sp(g, Category::Compute, "backward", 1, 0, 100),
+            sp(
+                Track::comm(),
+                Category::Interconnect,
+                "allreduce",
+                0,
+                30,
+                60,
+            ),
+        ];
+        let cp = CriticalPath::from_events(&events, 0, g);
+        assert_eq!(cp.total_ns(PathCategory::Compute), 70);
+        assert_eq!(cp.total_ns(PathCategory::Overlap), 30);
+        assert_eq!(cp.comm_busy_ns, 30);
+        assert_eq!(
+            cp.total_ns(PathCategory::Compute) + cp.total_ns(PathCategory::Overlap),
+            100
+        );
+    }
+
+    #[test]
+    fn await_batch_splits_into_prep_and_fetch() {
+        let g = Track::gpu(0, 0);
+        let events = vec![
+            sp(g, Category::Fetch, "await_batch", 0, 0, 100),
+            // Two workers decode with a hole in [40, 70).
+            sp(Track::loader(0, 0), Category::Prep, "prep", 0, 0, 30),
+            sp(Track::loader(0, 1), Category::Prep, "prep", 0, 20, 40),
+            sp(Track::loader(0, 0), Category::Prep, "prep", 0, 70, 90),
+            // A different node's prep must not count.
+            sp(Track::loader(1, 0), Category::Prep, "prep", 0, 40, 70),
+        ];
+        let cp = CriticalPath::from_events(&events, 0, g);
+        assert_eq!(cp.total_ns(PathCategory::Prep), 60);
+        assert_eq!(cp.total_ns(PathCategory::Fetch), 40);
+    }
+
+    #[test]
+    fn comm_wait_is_blamed_per_bucket() {
+        let g = Track::gpu(0, 0);
+        let events = vec![
+            sp(g, Category::Network, "await_comm", 0, 100, 160),
+            sp(Track::comm(), Category::Network, "allreduce", 2, 90, 130),
+            sp(Track::comm(), Category::Network, "allreduce", 3, 130, 160),
+        ];
+        let cp = CriticalPath::from_events(&events, 0, g);
+        assert_eq!(cp.total_ns(PathCategory::Network), 60);
+        let blamed = cp.top_blamed(10);
+        // Equal contributions tie-break by arg ascending.
+        assert_eq!(blamed[0].arg, 2);
+        assert_eq!(blamed[0].contribution_ns, 30);
+        assert_eq!(blamed[1].arg, 3);
+        assert_eq!(blamed[1].contribution_ns, 30);
+    }
+
+    #[test]
+    fn other_processes_are_ignored() {
+        let g = Track::gpu(0, 0);
+        let events = vec![
+            sp(g, Category::Compute, "forward", 0, 0, 10),
+            (1, sp(g, Category::Compute, "forward", 0, 0, 500).1),
+        ];
+        let cp = CriticalPath::from_events(&events, 0, g);
+        assert_eq!(cp.wall_ns, 10);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for c in PathCategory::ALL {
+            assert_eq!(PathCategory::from_label(c.label()), Some(c));
+        }
+        assert_eq!(PathCategory::from_label("bogus"), None);
+    }
+}

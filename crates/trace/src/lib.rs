@@ -12,6 +12,20 @@
 //!   the engine's `EpochReport` stall breakdown (tests enforce this).
 //! * **Prometheus text metrics** ([`metrics::render_rollup`]).
 //!
+//! On top of the raw recording sit the analysis layers:
+//!
+//! * **Critical-path decomposition** ([`critical::CriticalPath`]) —
+//!   classifies every nanosecond of a rank's timeline into exactly one
+//!   stall class (compute, overlap, interconnect, network, prep, fetch,
+//!   idle) with exact integer-ns totals and per-bucket blame.
+//! * **What-if projection** ([`whatif::project`]) — analytically
+//!   rescales one resource (network, interconnect, prep, fetch) and
+//!   projects the new wall time from the trace alone.
+//! * **Reports** ([`report::InsightReport`]) — packages both into
+//!   `stash-report-v1` JSON and a self-contained HTML page;
+//!   [`report::diff`] flags per-category stall regressions between two
+//!   reports.
+//!
 //! ## Data model
 //!
 //! A [`span::TraceEvent`] is a `Copy` value — a span `[start, end]`, an
@@ -56,21 +70,27 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod critical;
 pub mod metrics;
 pub mod recorder;
+pub mod report;
 pub mod rollup;
 pub mod sink;
 pub mod span;
+pub mod whatif;
 
 /// The names most instrumentation and analysis sites need.
 pub mod prelude {
+    pub use crate::critical::{BlamedSpan, CriticalPath, PathCategory, PathSegment};
     pub use crate::metrics::MetricsBuilder;
     pub use crate::recorder::{shared, SharedTracer, Tracer};
+    pub use crate::report::{diff, InsightReport, Regression, WhatIfRow};
     pub use crate::rollup::StallRollup;
     pub use crate::sink::{CountingSink, JsonSink, NullSink, RingSink, TraceSink};
-    pub use crate::span::{Category, Track, TraceEvent, TrackKind};
+    pub use crate::span::{Category, TraceEvent, Track, TrackKind};
+    pub use crate::whatif::{project, WhatIfResource, PROJECTION_TOLERANCE};
 }
 
 pub use recorder::{shared, SharedTracer, Tracer};
 pub use sink::{CountingSink, JsonSink, NullSink, RingSink, TraceSink};
-pub use span::{Category, Track, TraceEvent, TrackKind};
+pub use span::{Category, TraceEvent, Track, TrackKind};

@@ -8,14 +8,22 @@
 //! [text exposition format]:
 //!     https://prometheus.io/docs/instrumenting/exposition_formats/
 
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 use crate::rollup::StallRollup;
 
 /// Incremental builder for a text-format metrics dump.
+///
+/// The builder enforces the exposition-format rules so callers cannot
+/// produce an unscrapable dump: metric and label names are sanitized to
+/// the legal alphabet, label values and `# HELP` text are escaped, and
+/// the `# HELP` / `# TYPE` header pair is emitted at most once per
+/// family no matter how often [`MetricsBuilder::family`] is called.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsBuilder {
     out: String,
+    families: BTreeSet<String>,
 }
 
 impl MetricsBuilder {
@@ -27,8 +35,15 @@ impl MetricsBuilder {
 
     /// Starts a metric family: `# HELP` and `# TYPE` lines.
     /// `kind` is the Prometheus type (`counter`, `gauge`, ...).
+    ///
+    /// Repeated calls for the same (sanitized) name are no-ops — the
+    /// format allows each header pair only once per exposition.
     pub fn family(&mut self, name: &str, kind: &str, help: &str) -> &mut MetricsBuilder {
-        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let name = sanitize_name(name);
+        if !self.families.insert(name.clone()) {
+            return self;
+        }
+        let _ = writeln!(self.out, "# HELP {name} {}", escape_help(help));
         let _ = writeln!(self.out, "# TYPE {name} {kind}");
         self
     }
@@ -42,14 +57,14 @@ impl MetricsBuilder {
         labels: &[(&str, &str)],
         value: f64,
     ) -> &mut MetricsBuilder {
-        self.out.push_str(name);
+        self.out.push_str(&sanitize_name(name));
         if !labels.is_empty() {
             self.out.push('{');
             for (i, (k, v)) in labels.iter().enumerate() {
                 if i > 0 {
                     self.out.push(',');
                 }
-                let _ = write!(self.out, "{k}=\"{}\"", escape_label(v));
+                let _ = write!(self.out, "{}=\"{}\"", sanitize_name(k), escape_label(v));
             }
             self.out.push('}');
         }
@@ -64,8 +79,40 @@ impl MetricsBuilder {
     }
 }
 
+/// Maps a metric or label name onto the legal Prometheus alphabet
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every illegal byte becomes `_`, and a
+/// leading digit gains a `_` prefix.
+fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let legal =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if legal {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value: `\` → `\\`, `"` → `\"`, newline → `\n`.
 fn escape_label(v: &str) -> String {
-    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Escapes `# HELP` text, which the format gives its own rules: only
+/// `\` and newline are escaped (quotes stay literal).
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
 fn format_value(v: f64) -> String {
@@ -106,9 +153,21 @@ pub fn render_rollup(rollup: &StallRollup, cache: Option<(u64, u64)>) -> String 
         "counter",
         "Trace events recorded, by event type.",
     );
-    b.sample("stash_trace_events_total", &[("type", "span")], spans as f64);
-    b.sample("stash_trace_events_total", &[("type", "instant")], instants as f64);
-    b.sample("stash_trace_events_total", &[("type", "counter")], counters as f64);
+    b.sample(
+        "stash_trace_events_total",
+        &[("type", "span")],
+        spans as f64,
+    );
+    b.sample(
+        "stash_trace_events_total",
+        &[("type", "instant")],
+        instants as f64,
+    );
+    b.sample(
+        "stash_trace_events_total",
+        &[("type", "counter")],
+        counters as f64,
+    );
 
     if let Some((hits, misses)) = cache {
         b.family(
@@ -154,6 +213,81 @@ mod tests {
         assert!(b.finish().contains(r#"m{k="a\"b\\c"} 1"#));
     }
 
+    /// Un-escapes one label value the way a Prometheus parser would.
+    fn unescape_label(v: &str) -> String {
+        let mut out = String::new();
+        let mut chars = v.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('\\') => out.push('\\'),
+                    Some('"') => out.push('"'),
+                    Some('n') => out.push('\n'),
+                    Some(other) => out.push(other),
+                    None => {}
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn hostile_label_value_round_trips() {
+        // A value carrying every character the escaper must handle, plus
+        // a `# TYPE`-shaped prefix that must not be mistaken for a header.
+        let hostile = "# TYPE evil\\path \"quoted\"\nnext{a=\"b\"},c";
+        let mut b = MetricsBuilder::new();
+        b.family("m_total", "counter", "About m.");
+        b.sample("m_total", &[("k", hostile)], 1.0);
+        let text = b.finish();
+
+        // The sample stays on one physical line (the newline is escaped),
+        // so comment parsing is unaffected.
+        let line = text.lines().find(|l| l.starts_with("m_total{")).unwrap();
+        assert!(text.lines().filter(|l| l.starts_with('#')).count() == 2);
+
+        // Extract the quoted value back out and un-escape it: we must
+        // recover the hostile input byte-for-byte.
+        let start = line.find("k=\"").unwrap() + 3;
+        let end = line.rfind("\"}").unwrap();
+        assert_eq!(unescape_label(&line[start..end]), hostile);
+    }
+
+    #[test]
+    fn metric_names_are_sanitized() {
+        let mut b = MetricsBuilder::new();
+        b.family("9bad name-total", "counter", "x");
+        b.sample("9bad name-total", &[("bad key", "v")], 2.0);
+        let text = b.finish();
+        assert!(text.contains("# HELP _9bad_name_total x"));
+        assert!(text.contains("# TYPE _9bad_name_total counter"));
+        assert!(text.contains("_9bad_name_total{bad_key=\"v\"} 2"));
+    }
+
+    #[test]
+    fn help_and_type_emitted_once_per_family() {
+        let mut b = MetricsBuilder::new();
+        b.family("m_total", "counter", "first");
+        b.sample("m_total", &[("k", "a")], 1.0);
+        b.family("m_total", "counter", "second");
+        b.sample("m_total", &[("k", "b")], 2.0);
+        let text = b.finish();
+        assert_eq!(text.matches("# HELP m_total").count(), 1);
+        assert_eq!(text.matches("# TYPE m_total").count(), 1);
+        assert!(text.contains("first"));
+        assert!(!text.contains("second"));
+    }
+
+    #[test]
+    fn help_text_escapes_backslash_and_newline() {
+        let mut b = MetricsBuilder::new();
+        b.family("m_total", "counter", "a\\b\nc");
+        let text = b.finish();
+        assert!(text.contains("# HELP m_total a\\\\b\\nc\n"));
+    }
+
     #[test]
     fn integer_values_render_exactly() {
         assert_eq!(format_value(1_234_567_890_123.0), "1234567890123");
@@ -168,14 +302,14 @@ mod tests {
                 track: Track::gpu(0, 0),
                 category: Category::Compute,
                 name: "forward",
+                arg: 0,
                 start: SimTime::ZERO,
                 end: SimTime::from_nanos(42),
             },
         )];
         let rollup = StallRollup::from_events(&events);
         let text = render_rollup(&rollup, Some((7, 3)));
-        assert!(text
-            .contains("stash_span_nanoseconds_total{kind=\"gpu\",category=\"compute\"} 42"));
+        assert!(text.contains("stash_span_nanoseconds_total{kind=\"gpu\",category=\"compute\"} 42"));
         assert!(text.contains("stash_trace_events_total{type=\"span\"} 1"));
         assert!(text.contains("stash_measurement_cache_hits_total 7"));
         assert!(text.contains("stash_measurement_cache_misses_total 3"));

@@ -20,7 +20,7 @@ use std::rc::Rc;
 use stash_simkit::time::SimTime;
 
 use crate::sink::TraceSink;
-use crate::span::{Category, Track, TraceEvent};
+use crate::span::{Category, TraceEvent, Track};
 
 /// A span/event recorder keyed to the simulation clock.
 #[derive(Debug)]
@@ -99,6 +99,22 @@ impl Tracer {
         start: SimTime,
         end: SimTime,
     ) {
+        self.span_arg(track, category, name, 0, start, end);
+    }
+
+    /// Records a complete interval `[start, end]` annotated with a numeric
+    /// payload (e.g. the gradient-bucket index) that critical-path blame
+    /// aggregates by.
+    #[inline]
+    pub fn span_arg(
+        &mut self,
+        track: Track,
+        category: Category,
+        name: &'static str,
+        arg: u32,
+        start: SimTime,
+        end: SimTime,
+    ) {
         if let Some(sink) = &mut self.sink {
             self.emitted += 1;
             sink.record(
@@ -107,6 +123,7 @@ impl Tracer {
                     track,
                     category,
                     name,
+                    arg,
                     start,
                     end,
                 },
@@ -176,7 +193,13 @@ mod tests {
     fn disabled_tracer_emits_nothing() {
         let mut t = Tracer::disabled();
         assert!(!t.is_enabled());
-        t.span(Track::gpu(0, 0), Category::Compute, "f", SimTime::ZERO, SimTime::from_nanos(1));
+        t.span(
+            Track::gpu(0, 0),
+            Category::Compute,
+            "f",
+            SimTime::ZERO,
+            SimTime::from_nanos(1),
+        );
         t.instant(Track::comm(), Category::Network, "x", SimTime::ZERO);
         t.counter(Track::flow(0), Category::Solver, "r", SimTime::ZERO, 1.0);
         assert_eq!(t.events_emitted(), 0);
@@ -187,7 +210,13 @@ mod tests {
         let sink = Rc::new(RefCell::new(CountingSink::new()));
         let mut t = Tracer::new(sink.clone());
         assert!(t.is_enabled());
-        t.span(Track::gpu(0, 0), Category::Compute, "f", SimTime::ZERO, SimTime::from_nanos(1));
+        t.span(
+            Track::gpu(0, 0),
+            Category::Compute,
+            "f",
+            SimTime::ZERO,
+            SimTime::from_nanos(1),
+        );
         t.instant(Track::comm(), Category::Network, "x", SimTime::ZERO);
         assert_eq!(t.events_emitted(), 2);
         assert_eq!(sink.borrow().total(), 2);

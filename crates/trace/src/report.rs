@@ -1,0 +1,631 @@
+//! Machine- and human-readable stall reports, and report diffing.
+//!
+//! An [`InsightReport`] packages one traced run's critical-path
+//! decomposition ([`crate::critical`]), what-if projections
+//! ([`crate::whatif`]) and reconciliation numbers into:
+//!
+//! * **JSON** ([`InsightReport::to_json`] / [`InsightReport::from_json`])
+//!   — the interchange format `stash diff` consumes; schema tag
+//!   `stash-report-v1`.
+//! * **HTML** ([`InsightReport::to_html`]) — a single self-contained
+//!   file: inline CSS, an inline-SVG critical-path timeline, stall
+//!   bars and the what-if table. No external scripts, stylesheets or
+//!   fonts, so it renders identically from a file:// URL on an
+//!   air-gapped machine.
+//!
+//! [`diff`] compares two reports' per-category stall totals and returns
+//! the regressions beyond a relative threshold — the seed of CI perf
+//! gating: `stash diff` exits non-zero when this list is non-empty.
+
+use std::collections::BTreeMap;
+
+use serde_json::{json, Map, Value};
+
+use crate::critical::{CriticalPath, PathCategory};
+
+/// Schema tag embedded in every report JSON.
+pub const SCHEMA: &str = "stash-report-v1";
+
+/// Default relative threshold for [`diff`]: a stall category regresses
+/// when it grows by more than this fraction over the baseline.
+pub const DEFAULT_DIFF_THRESHOLD: f64 = 0.10;
+
+/// One `(name, arg)` blame row (owned strings so reports round-trip
+/// through JSON).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlameRow {
+    /// Span name (`"allreduce"`, `"await_batch"`, ...).
+    pub name: String,
+    /// Bucket / backward-segment index within `name`.
+    pub arg: u32,
+    /// Label of the [`PathCategory`] blamed.
+    pub category: String,
+    /// Critical-path nanoseconds attributed to this group.
+    pub ns: u64,
+}
+
+/// One what-if scenario row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIfRow {
+    /// Label of the rescaled [`crate::whatif::WhatIfResource`].
+    pub resource: String,
+    /// Speedup factor applied to the resource.
+    pub factor: f64,
+    /// Analytically projected wall time, nanoseconds.
+    pub projected_wall_ns: u64,
+    /// Ground-truth wall time from re-simulation with scaled hardware,
+    /// when the producer ran the cross-check.
+    pub resim_wall_ns: Option<u64>,
+}
+
+/// One timeline interval, `(start_ns, end_ns, category label)`.
+pub type SegmentRow = (u64, u64, String);
+
+/// A complete stall report for one `(cluster, model)` traced run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsightReport {
+    /// Cluster display name (e.g. `"p3.8xlarge"`, `"2x p3.8xlarge"`).
+    pub cluster: String,
+    /// Model name.
+    pub model: String,
+    /// Participating GPU count.
+    pub world: usize,
+    /// Traced wall time of the simulated window, nanoseconds.
+    pub wall_ns: u64,
+    /// Total all-reduce busy time in the window, nanoseconds.
+    pub comm_busy_ns: u64,
+    /// Extrapolation factor from the simulated window to the full epoch
+    /// (`iterations / simulated_iterations`).
+    pub factor: f64,
+    /// Extrapolated full-epoch time, nanoseconds.
+    pub epoch_ns: u64,
+    /// Critical-path nanoseconds per category label, summing to
+    /// [`InsightReport::wall_ns`] exactly.
+    pub categories: BTreeMap<String, u64>,
+    /// Engine-reported extrapolated `(compute, data-wait, comm-wait)`
+    /// nanoseconds the critical path reconciles against.
+    pub engine_compute_ns: u64,
+    /// See [`InsightReport::engine_compute_ns`].
+    pub engine_data_wait_ns: u64,
+    /// See [`InsightReport::engine_compute_ns`].
+    pub engine_comm_wait_ns: u64,
+    /// Top blamed spans, descending contribution.
+    pub blame: Vec<BlameRow>,
+    /// What-if scenarios.
+    pub whatif: Vec<WhatIfRow>,
+    /// Timeline segments for rendering (adjacent same-category runs may
+    /// be merged).
+    pub segments: Vec<SegmentRow>,
+}
+
+impl InsightReport {
+    /// Seeds a report from a critical path; the caller fills in blame,
+    /// what-if rows and the engine reconciliation numbers.
+    #[must_use]
+    pub fn from_path(
+        cluster: &str,
+        model: &str,
+        world: usize,
+        factor: f64,
+        path: &CriticalPath,
+    ) -> InsightReport {
+        let mut categories = BTreeMap::new();
+        for cat in PathCategory::ALL {
+            categories.insert(cat.label().to_string(), path.total_ns(cat));
+        }
+        // Merge adjacent same-category segments: the renderer cares about
+        // color runs, not span identity, and this caps SVG size.
+        let mut segments: Vec<SegmentRow> = Vec::new();
+        for seg in &path.segments {
+            match segments.last_mut() {
+                Some((_, end, cat)) if *end == seg.start_ns && *cat == seg.category.label() => {
+                    *end = seg.end_ns;
+                }
+                _ => segments.push((seg.start_ns, seg.end_ns, seg.category.label().to_string())),
+            }
+        }
+        InsightReport {
+            cluster: cluster.to_string(),
+            model: model.to_string(),
+            world,
+            wall_ns: path.wall_ns,
+            comm_busy_ns: path.comm_busy_ns,
+            factor,
+            epoch_ns: 0,
+            categories,
+            engine_compute_ns: 0,
+            engine_data_wait_ns: 0,
+            engine_comm_wait_ns: 0,
+            blame: Vec::new(),
+            whatif: Vec::new(),
+            segments,
+        }
+    }
+
+    /// Nanoseconds attributed to `category` (0 when absent).
+    #[must_use]
+    pub fn category_ns(&self, category: &str) -> u64 {
+        self.categories.get(category).copied().unwrap_or(0)
+    }
+
+    /// Serializes to the `stash-report-v1` JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        json!({
+            "schema": SCHEMA,
+            "cluster": self.cluster,
+            "model": self.model,
+            "world": self.world,
+            "wall_ns": self.wall_ns,
+            "comm_busy_ns": self.comm_busy_ns,
+            "factor": self.factor,
+            "epoch_ns": self.epoch_ns,
+            "categories": self.categories,
+            "engine": json!({
+                "compute_ns": self.engine_compute_ns,
+                "data_wait_ns": self.engine_data_wait_ns,
+                "comm_wait_ns": self.engine_comm_wait_ns,
+            }),
+            "blame": self.blame.iter().map(|b| json!({
+                "name": b.name,
+                "arg": b.arg,
+                "category": b.category,
+                "ns": b.ns,
+            })).collect::<Vec<_>>(),
+            "whatif": self.whatif.iter().map(|w| {
+                let mut row = Map::new();
+                row.insert("resource".into(), json!(w.resource));
+                row.insert("factor".into(), json!(w.factor));
+                row.insert("projected_wall_ns".into(), json!(w.projected_wall_ns));
+                if let Some(r) = w.resim_wall_ns {
+                    row.insert("resim_wall_ns".into(), json!(r));
+                }
+                Value::Object(row)
+            }).collect::<Vec<_>>(),
+            "segments": self.segments.iter().map(|(s, e, c)| json!([s, e, c])).collect::<Vec<_>>(),
+        })
+    }
+
+    /// Parses a `stash-report-v1` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or mistyped field.
+    pub fn from_json(doc: &Value) -> Result<InsightReport, String> {
+        let schema = doc.get("schema").and_then(Value::as_str).unwrap_or("");
+        if schema != SCHEMA {
+            return Err(format!(
+                "unsupported report schema '{schema}' (want '{SCHEMA}')"
+            ));
+        }
+        let str_field = |k: &str| -> Result<String, String> {
+            doc.get(k)
+                .and_then(Value::as_str)
+                .map(String::from)
+                .ok_or_else(|| format!("missing string field '{k}'"))
+        };
+        let u64_field = |v: &Value, k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("missing integer field '{k}'"))
+        };
+        let mut categories = BTreeMap::new();
+        let cats = doc
+            .get("categories")
+            .and_then(Value::as_object)
+            .ok_or("missing 'categories' object")?;
+        for (k, v) in cats.iter() {
+            categories.insert(
+                k.clone(),
+                v.as_u64()
+                    .ok_or_else(|| format!("category '{k}' not an integer"))?,
+            );
+        }
+        let engine = doc
+            .get("engine")
+            .and_then(Value::as_object)
+            .ok_or("missing 'engine' object")?;
+        let engine = Value::Object(engine.clone());
+
+        let mut blame = Vec::new();
+        if let Some(rows) = doc.get("blame").and_then(Value::as_array) {
+            for row in rows {
+                blame.push(BlameRow {
+                    name: row
+                        .get("name")
+                        .and_then(Value::as_str)
+                        .ok_or("blame row missing 'name'")?
+                        .to_string(),
+                    arg: u64_field(row, "arg")? as u32,
+                    category: row
+                        .get("category")
+                        .and_then(Value::as_str)
+                        .ok_or("blame row missing 'category'")?
+                        .to_string(),
+                    ns: u64_field(row, "ns")?,
+                });
+            }
+        }
+        let mut whatif = Vec::new();
+        if let Some(rows) = doc.get("whatif").and_then(Value::as_array) {
+            for row in rows {
+                whatif.push(WhatIfRow {
+                    resource: row
+                        .get("resource")
+                        .and_then(Value::as_str)
+                        .ok_or("whatif row missing 'resource'")?
+                        .to_string(),
+                    factor: row
+                        .get("factor")
+                        .and_then(Value::as_f64)
+                        .ok_or("whatif row missing 'factor'")?,
+                    projected_wall_ns: u64_field(row, "projected_wall_ns")?,
+                    resim_wall_ns: row.get("resim_wall_ns").and_then(Value::as_u64),
+                });
+            }
+        }
+        let mut segments = Vec::new();
+        if let Some(rows) = doc.get("segments").and_then(Value::as_array) {
+            for row in rows {
+                let triple = row.as_array().ok_or("segment row not an array")?;
+                if triple.len() != 3 {
+                    return Err("segment row must be [start, end, category]".to_string());
+                }
+                segments.push((
+                    triple[0].as_u64().ok_or("segment start not an integer")?,
+                    triple[1].as_u64().ok_or("segment end not an integer")?,
+                    triple[2]
+                        .as_str()
+                        .ok_or("segment category not a string")?
+                        .to_string(),
+                ));
+            }
+        }
+        Ok(InsightReport {
+            cluster: str_field("cluster")?,
+            model: str_field("model")?,
+            world: u64_field(doc, "world")? as usize,
+            wall_ns: u64_field(doc, "wall_ns")?,
+            comm_busy_ns: u64_field(doc, "comm_busy_ns")?,
+            factor: doc
+                .get("factor")
+                .and_then(Value::as_f64)
+                .ok_or("missing 'factor'")?,
+            epoch_ns: u64_field(doc, "epoch_ns")?,
+            categories,
+            engine_compute_ns: u64_field(&engine, "compute_ns")?,
+            engine_data_wait_ns: u64_field(&engine, "data_wait_ns")?,
+            engine_comm_wait_ns: u64_field(&engine, "comm_wait_ns")?,
+            blame,
+            whatif,
+            segments,
+        })
+    }
+
+    /// Renders the self-contained HTML report.
+    #[must_use]
+    pub fn to_html(&self) -> String {
+        let mut h = String::with_capacity(16 * 1024);
+        h.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+        h.push_str(&format!(
+            "<title>stash report — {} / {}</title>\n",
+            escape(&self.cluster),
+            escape(&self.model)
+        ));
+        h.push_str(
+            "<style>\n\
+             body{font:14px/1.5 system-ui,sans-serif;margin:2rem auto;max-width:64rem;\
+             padding:0 1rem;color:#1a1a2e}\n\
+             h1{font-size:1.3rem}h2{font-size:1.05rem;margin-top:2rem}\n\
+             table{border-collapse:collapse;width:100%}\n\
+             th,td{text-align:left;padding:.3rem .6rem;border-bottom:1px solid #ddd}\n\
+             td.num,th.num{text-align:right;font-variant-numeric:tabular-nums}\n\
+             .bar{height:1rem;display:inline-block;vertical-align:middle}\n\
+             .legend span{display:inline-block;margin-right:1rem}\n\
+             .swatch{display:inline-block;width:.8rem;height:.8rem;margin-right:.3rem;\
+             vertical-align:middle}\n\
+             svg{width:100%;height:auto;border:1px solid #ddd;background:#fafafa}\n\
+             </style>\n</head>\n<body>\n",
+        );
+        h.push_str(&format!(
+            "<h1>stash stall report — {} · {} · {} GPU{}</h1>\n",
+            escape(&self.cluster),
+            escape(&self.model),
+            self.world,
+            if self.world == 1 { "" } else { "s" }
+        ));
+        h.push_str(&format!(
+            "<p>Traced window {} · projected epoch {} (×{:.1} extrapolation) · \
+             all-reduce busy {}</p>\n",
+            fmt_ns(self.wall_ns),
+            fmt_ns(self.epoch_ns),
+            self.factor,
+            fmt_ns(self.comm_busy_ns),
+        ));
+
+        // --- timeline ---------------------------------------------------
+        h.push_str("<h2>Critical-path timeline (rank 0)</h2>\n");
+        h.push_str(
+            "<svg viewBox=\"0 0 1000 48\" preserveAspectRatio=\"none\" \
+                    role=\"img\" aria-label=\"critical path timeline\">\n",
+        );
+        let wall = self.wall_ns.max(1) as f64;
+        for (s, e, cat) in &self.segments {
+            let x = *s as f64 / wall * 1000.0;
+            let w = (*e - *s) as f64 / wall * 1000.0;
+            h.push_str(&format!(
+                "<rect x=\"{x:.2}\" y=\"4\" width=\"{w:.2}\" height=\"40\" fill=\"{}\"/>\n",
+                color(cat)
+            ));
+        }
+        h.push_str("</svg>\n<p class=\"legend\">");
+        for cat in PathCategory::ALL {
+            h.push_str(&format!(
+                "<span><span class=\"swatch\" style=\"background:{}\"></span>{}</span>",
+                color(cat.label()),
+                cat.label()
+            ));
+        }
+        h.push_str("</p>\n");
+
+        // --- stall breakdown -------------------------------------------
+        h.push_str(
+            "<h2>Stall breakdown</h2>\n<table>\n<tr><th>category</th>\
+                    <th class=\"num\">time (ns)</th><th class=\"num\">share</th>\
+                    <th></th></tr>\n",
+        );
+        for cat in PathCategory::ALL {
+            let ns = self.category_ns(cat.label());
+            let share = ns as f64 / wall;
+            h.push_str(&format!(
+                "<tr><td>{}</td><td class=\"num\">{ns}</td>\
+                 <td class=\"num\">{:.1}%</td>\
+                 <td><span class=\"bar\" style=\"width:{:.1}%;background:{}\"></span></td></tr>\n",
+                cat.label(),
+                share * 100.0,
+                share * 100.0,
+                color(cat.label()),
+            ));
+        }
+        h.push_str(&format!(
+            "<tr><th>total</th><th class=\"num\">{}</th><th class=\"num\">100.0%</th><th></th></tr>\n",
+            self.wall_ns
+        ));
+        h.push_str("</table>\n");
+        h.push_str(&format!(
+            "<p>Engine reconciliation (extrapolated): compute {} ns · \
+             data-wait {} ns · comm-wait {} ns.</p>\n",
+            self.engine_compute_ns, self.engine_data_wait_ns, self.engine_comm_wait_ns
+        ));
+
+        // --- what-if ----------------------------------------------------
+        if !self.whatif.is_empty() {
+            h.push_str(
+                "<h2>What-if projections</h2>\n<table>\n<tr><th>resource</th>\
+                        <th class=\"num\">scale</th><th class=\"num\">projected wall</th>\
+                        <th class=\"num\">speedup</th><th class=\"num\">re-simulated</th></tr>\n",
+            );
+            for w in &self.whatif {
+                let speedup = self.wall_ns as f64 / w.projected_wall_ns.max(1) as f64;
+                let resim = w.resim_wall_ns.map_or_else(|| "—".to_string(), fmt_ns);
+                h.push_str(&format!(
+                    "<tr><td>{}</td><td class=\"num\">{:.2}×</td>\
+                     <td class=\"num\">{}</td><td class=\"num\">{speedup:.2}×</td>\
+                     <td class=\"num\">{resim}</td></tr>\n",
+                    escape(&w.resource),
+                    w.factor,
+                    fmt_ns(w.projected_wall_ns),
+                ));
+            }
+            h.push_str("</table>\n");
+        }
+
+        // --- blame ------------------------------------------------------
+        if !self.blame.is_empty() {
+            h.push_str(
+                "<h2>Top blamed spans</h2>\n<table>\n<tr><th>span</th><th>category</th>\
+                        <th class=\"num\">critical-path time</th></tr>\n",
+            );
+            for b in &self.blame {
+                h.push_str(&format!(
+                    "<tr><td>{}[{}]</td><td>{}</td><td class=\"num\">{}</td></tr>\n",
+                    escape(&b.name),
+                    b.arg,
+                    escape(&b.category),
+                    fmt_ns(b.ns),
+                ));
+            }
+            h.push_str("</table>\n");
+        }
+
+        h.push_str("</body>\n</html>\n");
+        h
+    }
+}
+
+/// One flagged stall regression between two reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The regressed category label.
+    pub category: String,
+    /// Baseline nanoseconds.
+    pub baseline_ns: u64,
+    /// Current nanoseconds.
+    pub current_ns: u64,
+    /// `current / baseline` (infinite when the baseline was zero).
+    pub ratio: f64,
+}
+
+/// Stall categories [`diff`] gates on — exposed stalls, not compute
+/// (faster compute shifting time *into* a stall class is exactly what
+/// the per-category comparison should catch, but compute itself growing
+/// is a model change, not a stall regression).
+pub const DIFF_CATEGORIES: [PathCategory; 5] = [
+    PathCategory::Interconnect,
+    PathCategory::Network,
+    PathCategory::Prep,
+    PathCategory::Fetch,
+    PathCategory::Idle,
+];
+
+/// Absolute floor below which a category delta is noise, not a
+/// regression (1 µs of simulated time).
+pub const DIFF_FLOOR_NS: u64 = 1_000;
+
+/// Compares per-category stall time and returns every category whose
+/// current total exceeds the baseline by more than `threshold`
+/// (relative) *and* [`DIFF_FLOOR_NS`] (absolute).
+#[must_use]
+pub fn diff(baseline: &InsightReport, current: &InsightReport, threshold: f64) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for cat in DIFF_CATEGORIES {
+        let b = baseline.category_ns(cat.label());
+        let c = current.category_ns(cat.label());
+        let grew_rel = c as f64 > b as f64 * (1.0 + threshold);
+        let grew_abs = c.saturating_sub(b) > DIFF_FLOOR_NS;
+        if grew_rel && grew_abs {
+            out.push(Regression {
+                category: cat.label().to_string(),
+                baseline_ns: b,
+                current_ns: c,
+                ratio: if b == 0 {
+                    f64::INFINITY
+                } else {
+                    c as f64 / b as f64
+                },
+            });
+        }
+    }
+    out
+}
+
+/// Timeline / legend color per category label.
+fn color(label: &str) -> &'static str {
+    match label {
+        "compute" => "#4c9f70",
+        "overlap" => "#a7d3b5",
+        "interconnect" => "#e4a11b",
+        "network" => "#d1495b",
+        "prep" => "#7768ae",
+        "fetch" => "#30638e",
+        _ => "#c4c4c4", // idle
+    }
+}
+
+/// Minimal HTML text escaping.
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Human-readable nanoseconds.
+fn fmt_ns(ns: u64) -> String {
+    let s = ns as f64 / 1e9;
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> InsightReport {
+        let mut categories = BTreeMap::new();
+        for (cat, ns) in [
+            ("compute", 700u64),
+            ("overlap", 100),
+            ("network", 150),
+            ("idle", 50),
+        ] {
+            categories.insert(cat.to_string(), ns);
+        }
+        InsightReport {
+            cluster: "2x p3.8xlarge".to_string(),
+            model: "ResNet50".to_string(),
+            world: 8,
+            wall_ns: 1000,
+            comm_busy_ns: 250,
+            factor: 10.0,
+            epoch_ns: 10_000,
+            categories,
+            engine_compute_ns: 8000,
+            engine_data_wait_ns: 0,
+            engine_comm_wait_ns: 1500,
+            blame: vec![BlameRow {
+                name: "allreduce".to_string(),
+                arg: 3,
+                category: "network".to_string(),
+                ns: 90,
+            }],
+            whatif: vec![WhatIfRow {
+                resource: "network".to_string(),
+                factor: 2.0,
+                projected_wall_ns: 900,
+                resim_wall_ns: Some(880),
+            }],
+            segments: vec![
+                (0, 700, "compute".to_string()),
+                (700, 800, "overlap".to_string()),
+                (800, 950, "network".to_string()),
+                (950, 1000, "idle".to_string()),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample_report();
+        let parsed = InsightReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_schema() {
+        let err = InsightReport::from_json(&json!({"schema": "v0"})).unwrap_err();
+        assert!(err.contains("unsupported"));
+    }
+
+    #[test]
+    fn html_is_self_contained_and_carries_totals() {
+        let html = sample_report().to_html();
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<svg"));
+        // No external references of any kind.
+        assert!(!html.contains("http://"));
+        assert!(!html.contains("https://"));
+        assert!(!html.contains("<script"));
+        assert!(!html.contains("<link"));
+        // Rollup totals appear as exact integers.
+        assert!(html.contains("<td class=\"num\">700</td>"));
+        assert!(html.contains("<td class=\"num\">150</td>"));
+        assert!(html.contains("<th class=\"num\">1000</th>"));
+        assert!(html.contains("allreduce[3]"));
+    }
+
+    #[test]
+    fn diff_flags_inflated_stall_and_passes_self_compare() {
+        let base = sample_report();
+        assert!(diff(&base, &base, DEFAULT_DIFF_THRESHOLD).is_empty());
+
+        let mut doctored = base.clone();
+        doctored.categories.insert("network".to_string(), 400_000);
+        let regs = diff(&base, &doctored, DEFAULT_DIFF_THRESHOLD);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].category, "network");
+        assert_eq!(regs[0].current_ns, 400_000);
+    }
+
+    #[test]
+    fn diff_ignores_sub_floor_jitter() {
+        let base = sample_report();
+        let mut wiggled = base.clone();
+        wiggled.categories.insert("idle".to_string(), 400); // +350ns < floor
+        assert!(diff(&base, &wiggled, DEFAULT_DIFF_THRESHOLD).is_empty());
+    }
+}

@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 
 use stash_simkit::time::SimDuration;
 
-use crate::span::{Category, Track, TraceEvent, TrackKind};
+use crate::span::{Category, TraceEvent, Track, TrackKind};
 
 /// Summed span time per `(track kind, category)` and per track.
 #[derive(Debug, Clone, Default)]
@@ -41,10 +41,61 @@ impl StallRollup {
         r
     }
 
+    /// Credits `ns` of span time to `(track, category)` directly, without
+    /// a trace event — for producers that already hold aggregated stall
+    /// totals (the sweep harness folds `StallReport` breakdowns into a
+    /// rollup this way).
+    pub fn add_span_ns(&mut self, track: Track, category: Category, ns: u64) {
+        if ns == 0 {
+            return;
+        }
+        *self.by_kind.entry((track.kind, category)).or_insert(0) += ns;
+        *self.by_track.entry((track, category)).or_insert(0) += ns;
+    }
+
+    /// Serializes the rollup as a `stash-rollup-v1` JSON document:
+    /// per-`(kind, category)` totals plus flat per-category sums, all in
+    /// integer nanoseconds.
+    #[must_use]
+    pub fn to_json(&self) -> serde_json::Value {
+        use serde_json::json;
+
+        let mut categories = std::collections::BTreeMap::new();
+        for cat in Category::ALL {
+            let ns = self.category_total(cat).as_nanos();
+            if ns > 0 {
+                categories.insert(cat.label().to_string(), ns);
+            }
+        }
+        let (spans, instants, counters) = self.event_counts();
+        json!({
+            "schema": "stash-rollup-v1",
+            "kind_totals": self
+                .kind_totals()
+                .iter()
+                .map(|(k, c, d)| json!({
+                    "kind": k.label(),
+                    "category": c.label(),
+                    "ns": d.as_nanos(),
+                }))
+                .collect::<Vec<_>>(),
+            "categories": categories,
+            "spans": spans,
+            "instants": instants,
+            "counters": counters,
+        })
+    }
+
     /// Folds one event into the rollup.
     pub fn add(&mut self, event: &TraceEvent) {
         match event {
-            TraceEvent::Span { track, category, start, end, .. } => {
+            TraceEvent::Span {
+                track,
+                category,
+                start,
+                end,
+                ..
+            } => {
                 self.spans += 1;
                 let ns = end.duration_since(*start).as_nanos();
                 *self.by_kind.entry((track.kind, *category)).or_insert(0) += ns;
@@ -115,6 +166,7 @@ mod tests {
                 track,
                 category: cat,
                 name: "s",
+                arg: 0,
                 start: SimTime::from_nanos(a),
                 end: SimTime::from_nanos(b),
             },
@@ -130,11 +182,24 @@ mod tests {
             span(Track::gpu(0, 0), Category::Fetch, 20, 21),
         ];
         let r = StallRollup::from_events(&events);
-        assert_eq!(r.kind_total(TrackKind::Gpu, Category::Compute).as_nanos(), 22);
-        assert_eq!(r.track_total(Track::gpu(0, 0), Category::Compute).as_nanos(), 17);
-        assert_eq!(r.track_total(Track::gpu(0, 0), Category::Fetch).as_nanos(), 1);
+        assert_eq!(
+            r.kind_total(TrackKind::Gpu, Category::Compute).as_nanos(),
+            22
+        );
+        assert_eq!(
+            r.track_total(Track::gpu(0, 0), Category::Compute)
+                .as_nanos(),
+            17
+        );
+        assert_eq!(
+            r.track_total(Track::gpu(0, 0), Category::Fetch).as_nanos(),
+            1
+        );
         assert_eq!(r.category_total(Category::Compute).as_nanos(), 22);
-        assert_eq!(r.kind_total(TrackKind::Loader, Category::Prep), SimDuration::ZERO);
+        assert_eq!(
+            r.kind_total(TrackKind::Loader, Category::Prep),
+            SimDuration::ZERO
+        );
         assert_eq!(r.event_counts(), (4, 0, 0));
     }
 
@@ -164,6 +229,34 @@ mod tests {
         let r = StallRollup::from_events(&events);
         assert_eq!(r.category_total(Category::Solver), SimDuration::ZERO);
         assert_eq!(r.event_counts(), (0, 1, 1));
+    }
+
+    #[test]
+    fn direct_credits_and_json_agree_with_event_totals() {
+        let mut direct = StallRollup::default();
+        direct.add_span_ns(Track::gpu(0, 0), Category::Compute, 17);
+        direct.add_span_ns(Track::gpu(0, 0), Category::Compute, 5);
+        direct.add_span_ns(Track::loader(0, 0), Category::Prep, 9);
+        direct.add_span_ns(Track::gpu(0, 0), Category::Fetch, 0); // no-op
+        assert_eq!(
+            direct
+                .kind_total(TrackKind::Gpu, Category::Compute)
+                .as_nanos(),
+            22
+        );
+        assert_eq!(direct.category_total(Category::Prep).as_nanos(), 9);
+
+        let doc = direct.to_json();
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some("stash-rollup-v1")
+        );
+        let cats = doc.get("categories").and_then(|v| v.as_object()).unwrap();
+        assert_eq!(cats.get("compute").and_then(|v| v.as_u64()), Some(22));
+        assert_eq!(cats.get("prep").and_then(|v| v.as_u64()), Some(9));
+        assert!(cats.get("fetch").is_none(), "zero categories are omitted");
+        let kinds = doc.get("kind_totals").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(kinds.len(), 2);
     }
 
     #[test]

@@ -219,7 +219,11 @@ mod tests {
         }
         assert_eq!(ring.len(), 3);
         assert_eq!(ring.dropped(), 2);
-        let kept: Vec<u64> = ring.events().iter().map(|(_, e)| e.at().as_nanos()).collect();
+        let kept: Vec<u64> = ring
+            .events()
+            .iter()
+            .map(|(_, e)| e.at().as_nanos())
+            .collect();
         assert_eq!(kept, vec![2, 3, 4]);
     }
 
@@ -243,6 +247,7 @@ mod tests {
                 track: Track::gpu(0, 0),
                 category: Category::Compute,
                 name: "s",
+                arg: 0,
                 start: SimTime::ZERO,
                 end: SimTime::from_nanos(5),
             },
@@ -257,7 +262,10 @@ mod tests {
                 value: 1.0,
             },
         );
-        assert_eq!((c.spans(), c.instants(), c.counters(), c.total()), (1, 1, 1, 3));
+        assert_eq!(
+            (c.spans(), c.instants(), c.counters(), c.total()),
+            (1, 1, 1, 3)
+        );
     }
 
     #[test]

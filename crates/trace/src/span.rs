@@ -189,6 +189,11 @@ pub enum TraceEvent {
         category: Category,
         /// Static name (e.g. `"forward"`, `"allreduce"`).
         name: &'static str,
+        /// Numeric payload identifying *which* instance of `name` this is
+        /// — the gradient-bucket index of an `"allreduce"` or
+        /// `"backward"` segment, 0 when there is nothing to distinguish.
+        /// Critical-path blame aggregates by `(name, arg)`.
+        arg: u32,
         /// Interval start.
         start: SimTime,
         /// Interval end (`>= start`).
@@ -251,6 +256,16 @@ impl TraceEvent {
         }
     }
 
+    /// A span's numeric payload (bucket/segment id); zero for instants,
+    /// counters and unannotated spans.
+    #[must_use]
+    pub fn arg(&self) -> u32 {
+        match self {
+            TraceEvent::Span { arg, .. } => *arg,
+            _ => 0,
+        }
+    }
+
     /// The event's (start) timestamp.
     #[must_use]
     pub fn at(&self) -> SimTime {
@@ -300,12 +315,14 @@ mod tests {
             track: Track::gpu(0, 0),
             category: Category::Compute,
             name: "forward",
+            arg: 3,
             start: SimTime::from_nanos(10),
             end: SimTime::from_nanos(25),
         };
         assert_eq!(s.duration().as_nanos(), 15);
         assert_eq!(s.at().as_nanos(), 10);
         assert_eq!(s.name(), "forward");
+        assert_eq!(s.arg(), 3);
         assert_eq!(s.category(), Category::Compute);
         let i = TraceEvent::Instant {
             track: Track::solver(),

@@ -27,12 +27,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let path = PathBuf::from("results/characterization_db.json");
     db.save(&path)?;
-    println!("published {} characterizations to {}\n", db.len(), path.display());
+    println!(
+        "published {} characterizations to {}\n",
+        db.len(),
+        path.display()
+    );
 
     // Phase 2 (the tenant's role): load the published database and make a
     // decision without renting a single VM.
     let published = CharacterizationDb::load(&path)?;
-    println!("{:<16} {:>8} {:>8} {:>8} {:>8}", "cluster", "I/C %", "N/W %", "CPU %", "disk %");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8}",
+        "cluster", "I/C %", "N/W %", "CPU %", "disk %"
+    );
     for r in published.for_model("ResNet18") {
         let p = |v: Option<f64>| v.map_or("-".into(), |x| format!("{x:.1}"));
         println!(

@@ -19,7 +19,12 @@ fn main() -> Result<(), ProfileError> {
         ClusterSpec::single(p3_8xlarge()),
         ClusterSpec::single(p3_16xlarge()),
     ];
-    let models = [zoo::shufflenet(), zoo::mobilenet_v2(), zoo::resnet18(), zoo::resnet50()];
+    let models = [
+        zoo::shufflenet(),
+        zoo::mobilenet_v2(),
+        zoo::resnet18(),
+        zoo::resnet50(),
+    ];
 
     println!("billing a {epochs}-epoch ImageNet run\n");
     println!(
@@ -27,7 +32,9 @@ fn main() -> Result<(), ProfileError> {
         "model", "cluster", "epoch", "epoch $", "run $"
     );
     for model in &models {
-        let stash = Stash::new(model.clone()).with_batch(32).with_sampled_iterations(8);
+        let stash = Stash::new(model.clone())
+            .with_batch(32)
+            .with_sampled_iterations(8);
         let mut rows = Vec::new();
         for cluster in &clusters {
             match stash.profile(cluster) {
@@ -36,7 +43,11 @@ fn main() -> Result<(), ProfileError> {
                     rows.push((cluster.display_name(), bill));
                 }
                 Err(ProfileError::Train(TrainError::OutOfMemory { .. })) => {
-                    println!("{:<14} {:<14} does not fit", model.name, cluster.display_name());
+                    println!(
+                        "{:<14} {:<14} does not fit",
+                        model.name,
+                        cluster.display_name()
+                    );
                 }
                 Err(e) => return Err(e),
             }
@@ -54,8 +65,10 @@ fn main() -> Result<(), ProfileError> {
         // The paper's §V-C observation: P3 usually wins on cost despite a
         // 3.5x higher hourly price — except for tiny models.
         if let (Some(best), Some(worst)) = (
-            rows.iter().min_by(|a, b| a.1.epoch_cost.total_cmp(&b.1.epoch_cost)),
-            rows.iter().max_by(|a, b| a.1.epoch_cost.total_cmp(&b.1.epoch_cost)),
+            rows.iter()
+                .min_by(|a, b| a.1.epoch_cost.total_cmp(&b.1.epoch_cost)),
+            rows.iter()
+                .max_by(|a, b| a.1.epoch_cost.total_cmp(&b.1.epoch_cost)),
         ) {
             println!(
                 "  -> cheapest: {} (saves {:.0}% vs {})\n",

@@ -42,8 +42,20 @@ fn main() {
         models.push(vgg(depth));
     }
     // §VI-A3 ablations on ResNet50.
-    models.push(resnet_with(50, ResNetOptions { batch_norm: false, residual: true }));
-    models.push(resnet_with(50, ResNetOptions { batch_norm: true, residual: false }));
+    models.push(resnet_with(
+        50,
+        ResNetOptions {
+            batch_norm: false,
+            residual: true,
+        },
+    ));
+    models.push(resnet_with(
+        50,
+        ResNetOptions {
+            batch_norm: true,
+            residual: false,
+        },
+    ));
 
     for model in &models {
         let ic = comm_estimate(&nvlink, model, Bucketing::PerLayer);

@@ -29,7 +29,11 @@ fn main() -> Result<(), ProfileError> {
     let dist = network_stall_distribution(&stash, &cluster, jitter, trials, 0xC10D)?;
     println!("{:>10} {:>14}", "achieved", "N/W stall %");
     for s in &dist.samples {
-        println!("{:>9.0}% {:>14.1}", s.achieved_fraction * 100.0, s.network_stall_pct);
+        println!(
+            "{:>9.0}% {:>14.1}",
+            s.achieved_fraction * 100.0,
+            s.network_stall_pct
+        );
     }
     println!(
         "\nstall: mean {:.0}%, stddev {:.0}%, spread {:.1}x (min {:.0}%, max {:.0}%)",
@@ -43,6 +47,8 @@ fn main() -> Result<(), ProfileError> {
         "=> the same cluster, model and code can stall {:.1}x differently purely by QoS luck —",
         dist.spread()
     );
-    println!("   which is why Stash characterizes hardware stalls and treats the network statistically.");
+    println!(
+        "   which is why Stash characterizes hardware stalls and treats the network statistically."
+    );
     Ok(())
 }

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build, full test suite, lint-clean under clippy,
-# warning-free rustdoc, and a trace-CLI smoke test.
+# Tier-1 gate: formatting, release build, full test suite, lint-clean
+# under clippy, warning-free rustdoc, and CLI smoke tests for the trace,
+# report, and diff subcommands.
 # Run from the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --all --check
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
@@ -15,3 +17,20 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 # same parser the chrome_golden integration test uses.
 smoke_out=$(./target/release/stash trace p3.2xlarge resnet50 --out /tmp/t.json)
 grep -q "trace validated" <<<"$smoke_out"
+
+# Report CLI smoke test. The command itself fails unless the critical-path
+# decomposition reconciles with the engine accumulators exactly; on top of
+# that, the written HTML must carry the rollup totals (the stall-breakdown
+# table and the reconciled wall-time total row).
+report_out=$(./target/release/stash report p3.2xlarge resnet18 --out /tmp/stash_tier1_report)
+grep -q "critical-path reconciliation" <<<"$report_out"
+grep -q "Stall breakdown" /tmp/stash_tier1_report.html
+wall_ns=$(python3 - <<'PY'
+import json
+print(json.load(open("/tmp/stash_tier1_report.json"))["wall_ns"])
+PY
+)
+grep -q "<th class=\"num\">${wall_ns}</th>" /tmp/stash_tier1_report.html
+
+# Diff CLI smoke test: a report diffed against itself has no regressions.
+./target/release/stash diff /tmp/stash_tier1_report.json /tmp/stash_tier1_report.json

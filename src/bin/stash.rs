@@ -8,6 +8,10 @@
 //! stash probe <instance>                 per-GPU PCIe bandwidth probe
 //! stash trace <instance> <model>         traced epoch + Chrome trace JSON
 //!             [--out PATH] [-b N]        (either argument order works)
+//! stash report <instance> <model>        critical-path stall report:
+//!             [--out PATH] [-b N]        self-contained HTML + JSON
+//! stash diff <baseline.json> <cur.json>  flag per-category stall
+//!             [--threshold FRAC]         regressions (non-zero exit)
 //! ```
 //!
 //! Cluster syntax matches the paper: `p3.16xlarge` or `p3.8xlarge*2`.
@@ -20,7 +24,11 @@ fn parse_cluster(spec: &str) -> Result<ClusterSpec, String> {
     ClusterSpec::parse(spec).map_err(|e| {
         format!(
             "{e} (known instances: {})",
-            catalog().iter().map(|i| i.name.as_str()).collect::<Vec<_>>().join(", ")
+            catalog()
+                .iter()
+                .map(|i| i.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
         )
     })
 }
@@ -62,7 +70,10 @@ fn cmd_catalog() -> ExitCode {
 }
 
 fn cmd_models() -> ExitCode {
-    println!("{:<14} {:>12} {:>8} {:>12}", "model", "gradients_M", "layers", "sync_points");
+    println!(
+        "{:<14} {:>12} {:>8} {:>12}",
+        "model", "gradients_M", "layers", "sync_points"
+    );
     for (m, _) in zoo::all_models() {
         println!(
             "{:<14} {:>12.2} {:>8} {:>12}",
@@ -153,7 +164,10 @@ fn cmd_probe(args: &[String]) -> ExitCode {
     let mut net = FlowNet::new();
     let topo = Topology::build(&ClusterSpec::single(inst), &mut net);
     let rates = topo.pcie_bandwidth_probe(&net, 0);
-    println!("per-GPU PCIe bandwidth with {} GPUs probing concurrently:", rates.len());
+    println!(
+        "per-GPU PCIe bandwidth with {} GPUs probing concurrently:",
+        rates.len()
+    );
     for (g, r) in rates.iter().enumerate() {
         println!("  gpu{g}: {:.2} GB/s", r / 1e9);
     }
@@ -210,7 +224,10 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     let mut cfg = TrainConfig::synthetic(cluster, model, batch, batch * 12);
     cfg.epoch_mode = EpochMode::Sampled { iterations: 12 };
     cfg.record_trace = true;
-    cfg.data = DataMode::Real { dataset, cache: CacheState::Warm };
+    cfg.data = DataMode::Real {
+        dataset,
+        cache: CacheState::Warm,
+    };
 
     let sink = Rc::new(RefCell::new(JsonSink::new()));
     let tracer = shared(Tracer::new(sink.clone()));
@@ -226,7 +243,10 @@ fn cmd_trace(args: &[String]) -> ExitCode {
         "{} | {} | batch {} x {} GPUs — per-iteration timeline",
         r.cluster, r.model, r.per_gpu_batch, r.world
     );
-    println!("{:>5} {:>12} {:>12} {:>12}", "iter", "total", "data wait", "comm wait");
+    println!(
+        "{:>5} {:>12} {:>12} {:>12}",
+        "iter", "total", "data wait", "comm wait"
+    );
     for s in &r.trace {
         println!(
             "{:>5} {:>12} {:>12} {:>12}",
@@ -244,7 +264,10 @@ fn cmd_trace(args: &[String]) -> ExitCode {
 
     let events = sink.borrow().events().to_vec();
     let rollup = StallRollup::from_events(&events);
-    println!("\nper-category traced span time (raw, {} simulated iterations):", r.simulated_iterations);
+    println!(
+        "\nper-category traced span time (raw, {} simulated iterations):",
+        r.simulated_iterations
+    );
     for (kind, category, total) in rollup.kind_totals() {
         println!("  {:<9} {:<13} {}", kind.label(), category.label(), total);
     }
@@ -280,6 +303,258 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     }
 }
 
+/// Resolves `--out BASE` (or the default) into `(html, json)` paths:
+/// an explicit `.html`/`.json` extension names one file and derives the
+/// sibling; anything else is treated as a base stem.
+fn report_paths(base: &str) -> (String, String) {
+    if let Some(stem) = base.strip_suffix(".html") {
+        (base.to_string(), format!("{stem}.json"))
+    } else if let Some(stem) = base.strip_suffix(".json") {
+        (format!("{stem}.html"), base.to_string())
+    } else {
+        (format!("{base}.html"), format!("{base}.json"))
+    }
+}
+
+fn write_creating_dirs(path: &str, text: &str) -> Result<(), String> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Runs one traced window of `cfg` and returns the epoch report plus the
+/// rank-0 critical-path decomposition of the raw trace.
+fn traced_critical_path(cfg: &TrainConfig) -> Result<(EpochReport, CriticalPath), String> {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let sink = Rc::new(RefCell::new(JsonSink::new()));
+    let tracer = shared(Tracer::new(sink.clone()));
+    let r = run_epoch_traced(cfg, &tracer).map_err(|e| e.to_string())?;
+    let events = sink.borrow().events().to_vec();
+    let path = CriticalPath::from_events(&events, 0, Track::gpu(0, 0));
+    Ok((r, path))
+}
+
+fn cmd_report(args: &[String]) -> ExitCode {
+    use stash::trace::report::BlameRow;
+
+    let (Some(first), Some(second)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: stash report <instance> <model> [--out PATH] [-b batch]");
+        return ExitCode::FAILURE;
+    };
+    // Either argument order, like `stash trace`.
+    let (model_name, cluster_spec) = if zoo::by_name(first).is_some() {
+        (first, second)
+    } else {
+        (second, first)
+    };
+    let Some(model) = zoo::by_name(model_name) else {
+        eprintln!("unknown model '{model_name}' (try `stash models`)");
+        return ExitCode::FAILURE;
+    };
+    let cluster = match parse_cluster(cluster_spec) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out_base = args
+        .iter()
+        .position(|a| a == "--out" || a == "-o")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| {
+            format!(
+                "results/report_{}_{}",
+                model_name.to_lowercase(),
+                cluster_spec.replace('*', "x")
+            )
+        });
+    let (html_path, json_path) = report_paths(&out_base);
+
+    let batch = parse_batch(args);
+    let dataset = if model.name.starts_with("BERT") {
+        DatasetSpec::squad2()
+    } else {
+        DatasetSpec::imagenet1k()
+    };
+    let mut cfg = TrainConfig::synthetic(cluster.clone(), model, batch, batch * 12);
+    cfg.epoch_mode = EpochMode::Sampled { iterations: 12 };
+    cfg.record_trace = true;
+    cfg.data = DataMode::Real {
+        dataset,
+        cache: CacheState::Warm,
+    };
+
+    let (r, path) = match traced_critical_path(&cfg) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("report failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let factor = r.iterations as f64 / r.simulated_iterations as f64;
+
+    // The critical path must balance the engine's own accounting exactly:
+    // the raw per-category sums, extrapolated with the same mul_f64 the
+    // report used, land on the EpochReport fields to the nanosecond.
+    let raw = |cats: &[PathCategory]| {
+        SimDuration::from_nanos(cats.iter().map(|&c| path.total_ns(c)).sum::<u64>())
+    };
+    let checks = [
+        (
+            "compute",
+            raw(&[PathCategory::Compute, PathCategory::Overlap]),
+            r.compute_time,
+        ),
+        (
+            "data-wait",
+            raw(&[PathCategory::Prep, PathCategory::Fetch]),
+            r.data_wait,
+        ),
+        (
+            "comm-wait",
+            raw(&[PathCategory::Interconnect, PathCategory::Network]),
+            r.comm_wait,
+        ),
+    ];
+    println!(
+        "{} | {} | batch {} x {} GPUs — critical-path reconciliation",
+        r.cluster, r.model, r.per_gpu_batch, r.world
+    );
+    for (what, traced, engine) in checks {
+        let scaled = traced.mul_f64(factor);
+        println!("  {what:<9} trace {scaled:>12}  engine {engine:>12}");
+        if scaled != engine {
+            eprintln!("critical path does not reconcile with the engine's {what} accounting");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut report = InsightReport::from_path(&r.cluster, &r.model, r.world, factor, &path);
+    report.epoch_ns = r.epoch_time.as_nanos();
+    report.engine_compute_ns = r.compute_time.as_nanos();
+    report.engine_data_wait_ns = r.data_wait.as_nanos();
+    report.engine_comm_wait_ns = r.comm_wait.as_nanos();
+    report.blame = path
+        .top_blamed(10)
+        .into_iter()
+        .map(|b| BlameRow {
+            name: b.name.to_string(),
+            arg: b.arg,
+            category: b.category.label().to_string(),
+            ns: b.contribution_ns,
+        })
+        .collect();
+
+    // What-if table: every resource 2x faster, each cross-checked by
+    // actually re-simulating on rescaled hardware.
+    println!("\nwhat-if (2x faster), projected vs re-simulated window:");
+    for res in WhatIfResource::ALL {
+        let projected = project(&path, res, 2.0);
+        let hw = Resource::from_label(res.label()).expect("resource labels are shared");
+        let mut cfg2 = cfg.clone();
+        cfg2.cluster = cluster.scaled(hw, 2.0);
+        let resim = match traced_critical_path(&cfg2) {
+            Ok((_, p2)) => Some(p2.wall_ns),
+            Err(e) => {
+                eprintln!("  {:<15} re-simulation failed: {e}", res.label());
+                None
+            }
+        };
+        if let Some(truth) = resim {
+            let err = (projected as f64 - truth as f64).abs() / truth.max(1) as f64;
+            let flag = if err > PROJECTION_TOLERANCE {
+                "  (!) outside tolerance"
+            } else {
+                ""
+            };
+            println!(
+                "  {:<15} projected {:>14} ns   re-sim {:>14} ns   err {:>5.1}%{flag}",
+                res.label(),
+                projected,
+                truth,
+                err * 100.0
+            );
+        }
+        report.whatif.push(stash::trace::report::WhatIfRow {
+            resource: res.label().to_string(),
+            factor: 2.0,
+            projected_wall_ns: projected,
+            resim_wall_ns: resim,
+        });
+    }
+
+    let json_text = serde_json::to_string_pretty(&report.to_json()).expect("serialize report");
+    for (path, text) in [(&json_path, &json_text), (&html_path, &report.to_html())] {
+        if let Err(e) = write_creating_dirs(path, text) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "\nreport written to {html_path} (open in any browser) and {json_path} (for `stash diff`)"
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_diff(args: &[String]) -> ExitCode {
+    use stash::trace::report::{diff, InsightReport, DEFAULT_DIFF_THRESHOLD};
+
+    let (Some(base_path), Some(cur_path)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: stash diff <baseline.json> <current.json> [--threshold FRAC]");
+        return ExitCode::FAILURE;
+    };
+    let threshold = args
+        .iter()
+        .position(|a| a == "--threshold" || a == "-t")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_DIFF_THRESHOLD);
+    let load = |path: &str| -> Result<InsightReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let doc = serde_json::from_str(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+        InsightReport::from_json(&doc).map_err(|e| format!("{path}: {e}"))
+    };
+    let (baseline, current) = match (load(base_path), load(cur_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let regs = diff(&baseline, &current, threshold);
+    if regs.is_empty() {
+        println!(
+            "no stall regressions: {} / {} vs {} / {} within {:.0}%",
+            baseline.cluster,
+            baseline.model,
+            current.cluster,
+            current.model,
+            threshold * 100.0
+        );
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "{} stall regression(s) beyond {:.0}%:",
+        regs.len(),
+        threshold * 100.0
+    );
+    for reg in &regs {
+        eprintln!(
+            "  {:<13} {:>14} ns -> {:>14} ns  ({:.2}x)",
+            reg.category, reg.baseline_ns, reg.current_ns, reg.ratio
+        );
+    }
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -289,6 +564,8 @@ fn main() -> ExitCode {
         Some("advise") => cmd_advise(&args[1..]),
         Some("probe") => cmd_probe(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
         _ => {
             eprintln!(
                 "stash — DDL stall profiler (ICDCS'23 reproduction)\n\n\
@@ -296,7 +573,9 @@ fn main() -> ExitCode {
                  stash profile <model> <cluster> [-b batch]\n  \
                  stash advise <model> [-b batch] [--cost|--time]\n  \
                  stash probe <instance>\n  \
-                 stash trace <instance> <model> [--out PATH] [-b batch]\n\n\
+                 stash trace <instance> <model> [--out PATH] [-b batch]\n  \
+                 stash report <instance> <model> [--out PATH] [-b batch]\n  \
+                 stash diff <baseline.json> <current.json> [--threshold FRAC]\n\n\
                  clusters: p3.16xlarge, p3.8xlarge*2, ..."
             );
             ExitCode::FAILURE

@@ -12,12 +12,8 @@ use stash::trace::chrome;
 fn golden_events() -> Vec<(u32, TraceEvent)> {
     // Small model, sampled epoch: the simulator is seed-free and fully
     // deterministic, so this is a fixed input by construction.
-    let mut cfg = TrainConfig::synthetic(
-        ClusterSpec::single(p3_8xlarge()),
-        zoo::alexnet(),
-        8,
-        8 * 3,
-    );
+    let mut cfg =
+        TrainConfig::synthetic(ClusterSpec::single(p3_8xlarge()), zoo::alexnet(), 8, 8 * 3);
     cfg.epoch_mode = EpochMode::Sampled { iterations: 3 };
     cfg.data = DataMode::Real {
         dataset: DatasetSpec::imagenet1k(),
@@ -43,20 +39,29 @@ fn chrome_export_is_deterministic_and_well_nested() {
 
     // Spot-check the document shape beyond what the validator asserts.
     let doc: serde_json::Value = serde_json::from_str(&a).unwrap();
-    let events = doc.get("traceEvents").and_then(|v| v.as_array()).expect("traceEvents array");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
     let phases: Vec<&str> = events
         .iter()
         .filter_map(|e| e.get("ph").and_then(|p| p.as_str()))
         .collect();
     for required in ["M", "B", "E", "i", "C"] {
-        assert!(phases.contains(&required), "no '{required}' events in golden trace");
+        assert!(
+            phases.contains(&required),
+            "no '{required}' events in golden trace"
+        );
     }
     let names: Vec<&str> = events
         .iter()
         .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
         .collect();
     for span in ["forward", "backward", "step", "allreduce", "prep"] {
-        assert!(names.contains(&span), "span '{span}' missing from golden trace");
+        assert!(
+            names.contains(&span),
+            "span '{span}' missing from golden trace"
+        );
     }
 }
 
@@ -65,5 +70,8 @@ fn validator_rejects_corrupted_traces() {
     let text = serde_json::to_string(&chrome::export(&golden_events())).unwrap();
     // Flip every E into a B: nesting is now hopelessly unbalanced.
     let broken = text.replace("\"ph\":\"E\"", "\"ph\":\"B\"");
-    assert!(chrome::validate(&broken).is_err(), "validator accepted unbalanced spans");
+    assert!(
+        chrome::validate(&broken).is_err(),
+        "validator accepted unbalanced spans"
+    );
 }

@@ -16,8 +16,14 @@ fn catalog_lists_all_table1_instances() {
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
     for name in [
-        "p4", "p3.2xlarge", "p3.8xlarge", "p3.16xlarge", "p3.24xlarge", "p2.xlarge",
-        "p2.8xlarge", "p2.16xlarge",
+        "p4",
+        "p3.2xlarge",
+        "p3.8xlarge",
+        "p3.16xlarge",
+        "p3.24xlarge",
+        "p2.xlarge",
+        "p2.8xlarge",
+        "p2.16xlarge",
     ] {
         assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
     }
@@ -65,8 +71,18 @@ fn trace_writes_a_valid_chrome_trace() {
     let out_path = std::env::temp_dir().join("stash_cli_trace_test.json");
     let _ = std::fs::remove_file(&out_path);
 
-    let out = stash(&["trace", "p3.2xlarge", "resnet18", "--out", out_path.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = stash(&[
+        "trace",
+        "p3.2xlarge",
+        "resnet18",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("trace validated"), "{stdout}");
     assert!(stdout.contains("stash_span_nanoseconds_total"), "{stdout}");
@@ -85,4 +101,122 @@ fn oom_configurations_report_cleanly() {
     assert!(!out.status.success());
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("does not fit"), "{stderr}");
+}
+
+#[test]
+fn trace_out_creates_nested_parent_directories() {
+    let dir = std::env::temp_dir().join("stash_cli_nested_out_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out_path = dir.join("deep/er/trace.json");
+
+    let out = stash(&[
+        "trace",
+        "p3.2xlarge",
+        "resnet18",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&out_path).expect("nested trace file written");
+    assert!(stash::trace::chrome::validate(&text).is_ok());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn report_writes_reconciled_html_and_json() {
+    let dir = std::env::temp_dir().join("stash_cli_report_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let base = dir.join("nested/report");
+
+    let out = stash(&[
+        "report",
+        "p3.8xlarge",
+        "resnet50",
+        "--out",
+        base.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("critical-path reconciliation"), "{stdout}");
+
+    // The JSON parses back into a report whose categories tile the wall.
+    let json_text = std::fs::read_to_string(dir.join("nested/report.json")).expect("json written");
+    let doc: serde_json::Value = serde_json::from_str(&json_text).unwrap();
+    let report = stash::trace::report::InsightReport::from_json(&doc).expect("valid schema");
+    let sum: u64 = report.categories.values().sum();
+    assert_eq!(sum, report.wall_ns, "category totals must sum to the wall");
+    assert!(!report.whatif.is_empty());
+    assert!(!report.blame.is_empty());
+
+    // The HTML is self-contained and carries the rollup totals.
+    let html = std::fs::read_to_string(dir.join("nested/report.html")).expect("html written");
+    assert!(html.starts_with("<!DOCTYPE html>"));
+    assert!(!html.contains("http://") && !html.contains("https://") && !html.contains("<script"));
+    assert!(html.contains(&format!("<th class=\"num\">{}</th>", report.wall_ns)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn diff_passes_self_compare_and_flags_doctored_report() {
+    let dir = std::env::temp_dir().join("stash_cli_diff_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let base = dir.join("report");
+
+    let out = stash(&[
+        "report",
+        "p3.2xlarge",
+        "resnet18",
+        "--out",
+        base.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json_path = dir.join("report.json");
+    let json = json_path.to_str().unwrap();
+
+    // Self-compare: no regressions, exit 0.
+    let out = stash(&["diff", json, json]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("no stall regressions"));
+
+    // Doctor the current report: inflate the network stall far past the
+    // threshold. The diff must flag it and exit non-zero.
+    let text = std::fs::read_to_string(&json_path).unwrap();
+    let doc: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let mut report = stash::trace::report::InsightReport::from_json(&doc).unwrap();
+    let inflated = report.category_ns("network") * 3 + 10_000_000;
+    report.categories.insert("network".to_string(), inflated);
+    let doctored_path = dir.join("doctored.json");
+    std::fs::write(
+        &doctored_path,
+        serde_json::to_string_pretty(&report.to_json()).unwrap(),
+    )
+    .unwrap();
+
+    let out = stash(&["diff", json, doctored_path.to_str().unwrap()]);
+    assert!(!out.status.success(), "doctored report must fail the diff");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("network"), "{stderr}");
+
+    // Garbage input errors out rather than panicking.
+    let out = stash(&["diff", json, "/definitely/not/a/file.json"]);
+    assert!(!out.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -20,19 +20,35 @@ fn serial_parallel_and_cached_profiles_are_bit_identical() {
 
     let serial = stash.profile_serial(&cluster).expect("serial profile");
     let parallel = stash.profile(&cluster).expect("parallel profile");
-    assert_eq!(serial, parallel, "parallel executor must match serial bit-for-bit");
+    assert_eq!(
+        serial, parallel,
+        "parallel executor must match serial bit-for-bit"
+    );
 
     let cache = MeasurementCache::new();
-    let cold = stash.profile_cached(&cluster, &cache).expect("cold cached profile");
-    assert_eq!(serial, cold, "cache-miss path must match serial bit-for-bit");
+    let cold = stash
+        .profile_cached(&cluster, &cache)
+        .expect("cold cached profile");
+    assert_eq!(
+        serial, cold,
+        "cache-miss path must match serial bit-for-bit"
+    );
     let misses_after_cold = cache.stats().misses;
     assert!(misses_after_cold > 0, "cold run must populate the cache");
 
-    let warm = stash.profile_cached(&cluster, &cache).expect("warm cached profile");
+    let warm = stash
+        .profile_cached(&cluster, &cache)
+        .expect("warm cached profile");
     assert_eq!(serial, warm, "cache-hit path must match serial bit-for-bit");
     let stats = cache.stats();
-    assert_eq!(stats.misses, misses_after_cold, "warm run must not re-simulate");
-    assert!(stats.hits >= misses_after_cold, "warm run must be served from the cache");
+    assert_eq!(
+        stats.misses, misses_after_cold,
+        "warm run must not re-simulate"
+    );
+    assert!(
+        stats.hits >= misses_after_cold,
+        "warm run must be served from the cache"
+    );
 }
 
 #[test]
@@ -51,7 +67,10 @@ fn par_profile_many_matches_individual_profiles() {
     let cache = MeasurementCache::new();
     let fanned = par_profile_many(&jobs, Some(&cache));
     for (job, got) in jobs.iter().zip(&fanned) {
-        let want = job.stash.profile_serial(&job.cluster).expect("serial profile");
+        let want = job
+            .stash
+            .profile_serial(&job.cluster)
+            .expect("serial profile");
         assert_eq!(
             got.as_ref().expect("fanned profile"),
             &want,

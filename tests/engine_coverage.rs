@@ -17,7 +17,12 @@ fn tree_allreduce_trains_and_is_slower_than_ring_across_network() {
     let mut tree_cfg = base(cluster, zoo::vgg11());
     tree_cfg.algorithm = Algorithm::Tree;
     let tree = run_epoch(&tree_cfg).unwrap();
-    assert!(tree.epoch_time >= ring.epoch_time, "tree {} vs ring {}", tree.epoch_time, ring.epoch_time);
+    assert!(
+        tree.epoch_time >= ring.epoch_time,
+        "tree {} vs ring {}",
+        tree.epoch_time,
+        ring.epoch_time
+    );
 }
 
 #[test]
@@ -83,7 +88,10 @@ fn dlrm_is_infeasible_below_p4() {
     // Even the A100 cannot hold 2.3B params under pure data parallelism —
     // which is exactly why the paper's data-parallel profiler excludes it.
     let cfg = base(ClusterSpec::single(p4()), dlrm);
-    assert!(matches!(run_epoch(&cfg), Err(TrainError::OutOfMemory { .. })));
+    assert!(matches!(
+        run_epoch(&cfg),
+        Err(TrainError::OutOfMemory { .. })
+    ));
 }
 
 #[test]
@@ -146,7 +154,10 @@ fn one_straggler_drags_the_whole_ring() {
     // nearly 2x — every bucket waits for the slowest rank.
     let healthy = run_epoch(&base(ClusterSpec::single(p3_16xlarge()), zoo::resnet18())).unwrap();
     let mut cfg = base(ClusterSpec::single(p3_16xlarge()), zoo::resnet18());
-    cfg.straggler = Some(Straggler { rank: 3, slowdown: 2.0 });
+    cfg.straggler = Some(Straggler {
+        rank: 3,
+        slowdown: 2.0,
+    });
     let straggling = run_epoch(&cfg).unwrap();
     let ratio = straggling.epoch_time.as_secs_f64() / healthy.epoch_time.as_secs_f64();
     assert!((1.6..2.2).contains(&ratio), "slowdown ratio {ratio}");
@@ -155,9 +166,15 @@ fn one_straggler_drags_the_whole_ring() {
 #[test]
 fn straggler_validation() {
     let mut cfg = base(ClusterSpec::single(p3_8xlarge()), zoo::alexnet());
-    cfg.straggler = Some(Straggler { rank: 99, slowdown: 2.0 });
+    cfg.straggler = Some(Straggler {
+        rank: 99,
+        slowdown: 2.0,
+    });
     assert!(matches!(run_epoch(&cfg), Err(TrainError::InvalidConfig(_))));
-    cfg.straggler = Some(Straggler { rank: 0, slowdown: 0.5 });
+    cfg.straggler = Some(Straggler {
+        rank: 0,
+        slowdown: 0.5,
+    });
     assert!(matches!(run_epoch(&cfg), Err(TrainError::InvalidConfig(_))));
 }
 
@@ -171,7 +188,12 @@ fn grad_accumulation_reduces_comm_wait() {
     accum.samples_per_gpu = 32 * 4 * 8;
     let a = run_epoch(&sync_every).unwrap();
     let b = run_epoch(&accum).unwrap();
-    assert!(b.throughput > a.throughput * 1.5, "{} vs {}", b.throughput, a.throughput);
+    assert!(
+        b.throughput > a.throughput * 1.5,
+        "{} vs {}",
+        b.throughput,
+        a.throughput
+    );
 }
 
 #[test]
@@ -184,7 +206,11 @@ fn stall_report_serializes_to_json() {
     let json = serde_json::to_value(&report).unwrap();
     assert_eq!(json["model"], "AlexNet");
     assert_eq!(json["world"], 4);
-    assert!(json["times"]["t1"].is_object() || json["times"]["t1"].is_number() || json["times"]["t1"].is_string());
+    assert!(
+        json["times"]["t1"].is_object()
+            || json["times"]["t1"].is_number()
+            || json["times"]["t1"].is_string()
+    );
 }
 
 #[test]

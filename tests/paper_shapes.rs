@@ -76,10 +76,7 @@ fn two_p2_8x_beat_one_p2_16x() {
         .unwrap();
     let t16 = single.times.t2.unwrap();
     let t8x2 = pair.times.t5.unwrap();
-    assert!(
-        t8x2 < t16,
-        "8xlarge*2 {t8x2} should beat 16xlarge {t16}"
-    );
+    assert!(t8x2 < t16, "8xlarge*2 {t8x2} should beat 16xlarge {t16}");
 }
 
 /// Shape 5: on P3, the (degraded) p3.8xlarge has a higher interconnect
@@ -99,7 +96,10 @@ fn p3_8x_slicing_anomaly() {
     let full_slice = ic(p3_8xlarge_sliced(Slicing::Full));
     let x16 = ic(p3_16xlarge());
     assert!(degraded > x16, "degraded 8x {degraded}% vs 16x {x16}%");
-    assert!(full_slice < degraded, "full slice {full_slice}% vs degraded {degraded}%");
+    assert!(
+        full_slice < degraded,
+        "full slice {full_slice}% vs degraded {degraded}%"
+    );
 }
 
 /// Shape 6: p3.24xlarge is no faster than p3.16xlarge (same NVLink) but
@@ -134,7 +134,10 @@ fn network_stall_magnitude_and_batch_trend() {
     let small = nw(4);
     let large = nw(32);
     assert!(small > 100.0, "batch-4 network stall {small}%");
-    assert!(small > large, "stall must fall with batch: {small}% -> {large}%");
+    assert!(
+        small > large,
+        "stall must fall with batch: {small}% -> {large}%"
+    );
 }
 
 /// Shape 8: VGG (few layers, huge gradients) vs ResNet (many layers, small
@@ -151,7 +154,10 @@ fn vgg_vs_resnet_asymmetry() {
     let _ = nvlink;
     let vgg_ic = vgg_r.interconnect_stall_pct().unwrap();
     let res_ic = res_r.interconnect_stall_pct().unwrap();
-    assert!(res_ic >= vgg_ic * 0.8, "resnet I/C {res_ic}% vs vgg {vgg_ic}%");
+    assert!(
+        res_ic >= vgg_ic * 0.8,
+        "resnet I/C {res_ic}% vs vgg {vgg_ic}%"
+    );
     // Network: VGG stalls far more.
     let vgg_nw = vgg_r.network_stall_pct().unwrap();
     let res_nw = res_r.network_stall_pct().unwrap();
@@ -171,8 +177,20 @@ fn bn_and_residual_ablations() {
             .unwrap()
     };
     let base = ic(resnet(50));
-    let no_bn = ic(resnet_with(50, ResNetOptions { batch_norm: false, residual: true }));
-    let no_skip = ic(resnet_with(50, ResNetOptions { batch_norm: true, residual: false }));
+    let no_bn = ic(resnet_with(
+        50,
+        ResNetOptions {
+            batch_norm: false,
+            residual: true,
+        },
+    ));
+    let no_skip = ic(resnet_with(
+        50,
+        ResNetOptions {
+            batch_norm: true,
+            residual: false,
+        },
+    ));
     assert!(no_bn < base, "no-BN {no_bn}% vs base {base}%");
     assert!(
         (no_skip - base).abs() < 0.3 * base.max(1.0),
@@ -189,7 +207,10 @@ fn h2d_and_allreduce_contend_on_the_p2_host_bus() {
     let r = stash.profile(&ClusterSpec::single(p2_16xlarge())).unwrap();
     let t2 = r.times.t2.unwrap();
     let t4 = r.times.t4.unwrap();
-    assert!(t4 > t2, "warm real-data epoch {t4} must exceed synthetic {t2}");
+    assert!(
+        t4 > t2,
+        "warm real-data epoch {t4} must exceed synthetic {t2}"
+    );
 }
 
 /// The §VI analytic parameters separate regimes by orders of magnitude.

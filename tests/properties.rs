@@ -204,3 +204,121 @@ proptest! {
         prop_assert!(per_iter_doubled >= per_iter);
     }
 }
+
+// ----------------------------------------------------- trace critical path
+
+/// Builds a `(process, event)` trace from raw triples: GPU spans (with a
+/// rotating category) on rank 0's lane, `allreduce` spans on the comm
+/// lane, `prep` spans on a node-0 loader lane.
+fn build_trace(
+    gpu: &[(u64, u64, u8)],
+    comm: &[(u64, u64)],
+    prep: &[(u64, u64)],
+) -> Vec<(u32, TraceEvent)> {
+    let g = Track::gpu(0, 0);
+    let mut events = Vec::new();
+    for (i, &(s, len, which)) in gpu.iter().enumerate() {
+        let (category, name) = match which {
+            0 => (Category::Compute, "backward"),
+            1 => (Category::Fetch, "await_batch"),
+            _ => (Category::Network, "await_comm"),
+        };
+        events.push((
+            0,
+            TraceEvent::Span {
+                track: g,
+                category,
+                name,
+                arg: i as u32,
+                start: SimTime::from_nanos(s),
+                end: SimTime::from_nanos(s + len),
+            },
+        ));
+    }
+    for (i, &(s, len)) in comm.iter().enumerate() {
+        events.push((
+            0,
+            TraceEvent::Span {
+                track: Track::comm(),
+                category: Category::Network,
+                name: "allreduce",
+                arg: i as u32,
+                start: SimTime::from_nanos(s),
+                end: SimTime::from_nanos(s + len),
+            },
+        ));
+    }
+    for &(s, len) in prep {
+        events.push((
+            0,
+            TraceEvent::Span {
+                track: Track::loader(0, 0),
+                category: Category::Prep,
+                name: "prep",
+                arg: 0,
+                start: SimTime::from_nanos(s),
+                end: SimTime::from_nanos(s + len),
+            },
+        ));
+    }
+    events
+}
+
+proptest! {
+    /// The decomposition tiles `[0, wall]` exactly: the path length never
+    /// exceeds the traced wall time, the per-category integer-ns totals
+    /// sum to it with no rounding loss, and the segment list is gap-free
+    /// and in order.
+    #[test]
+    fn critical_path_tiles_the_wall_exactly(
+        gpu in prop::collection::vec((0_u64..10_000, 1_u64..500, 0_u8..3), 1..40),
+        comm in prop::collection::vec((0_u64..10_000, 1_u64..500), 0..10),
+        prep in prop::collection::vec((0_u64..10_000, 1_u64..500), 0..10),
+    ) {
+        let events = build_trace(&gpu, &comm, &prep);
+        let cp = CriticalPath::from_events(&events, 0, Track::gpu(0, 0));
+
+        prop_assert!(cp.path_len_ns() <= cp.wall_ns, "path exceeds wall");
+        let by_category: u64 = PathCategory::ALL.iter().map(|&c| cp.total_ns(c)).sum();
+        prop_assert_eq!(by_category, cp.wall_ns, "category totals lose nanoseconds");
+        prop_assert_eq!(cp.path_len_ns(), cp.wall_ns);
+
+        let mut cursor = 0;
+        for seg in &cp.segments {
+            prop_assert_eq!(seg.start_ns, cursor, "gap or overlap in segments");
+            prop_assert!(seg.end_ns > seg.start_ns, "empty segment");
+            cursor = seg.end_ns;
+        }
+        prop_assert_eq!(cursor, cp.wall_ns);
+    }
+
+    /// What-if projection at scale 1.0 is the identity, for every
+    /// resource, on any decomposed trace.
+    #[test]
+    fn whatif_factor_one_is_identity(
+        gpu in prop::collection::vec((0_u64..10_000, 1_u64..500, 0_u8..3), 1..40),
+        comm in prop::collection::vec((0_u64..10_000, 1_u64..500), 0..10),
+    ) {
+        let events = build_trace(&gpu, &comm, &[]);
+        let cp = CriticalPath::from_events(&events, 0, Track::gpu(0, 0));
+        for resource in WhatIfResource::ALL {
+            prop_assert_eq!(project(&cp, resource, 1.0), cp.wall_ns);
+        }
+    }
+
+    /// Speeding a resource up never lengthens the projection; slowing it
+    /// down never shortens it.
+    #[test]
+    fn whatif_projection_is_monotone_in_the_factor(
+        gpu in prop::collection::vec((0_u64..10_000, 1_u64..500, 0_u8..3), 1..40),
+        comm in prop::collection::vec((0_u64..10_000, 1_u64..500), 0..10),
+        factor in 1.01_f64..8.0,
+    ) {
+        let events = build_trace(&gpu, &comm, &[]);
+        let cp = CriticalPath::from_events(&events, 0, Track::gpu(0, 0));
+        for resource in WhatIfResource::ALL {
+            prop_assert!(project(&cp, resource, factor) <= cp.wall_ns);
+            prop_assert!(project(&cp, resource, 1.0 / factor) >= cp.wall_ns);
+        }
+    }
+}

@@ -20,7 +20,10 @@ fn traced_cfg(model: Model, inst: InstanceType) -> TrainConfig {
     };
     let mut cfg = TrainConfig::synthetic(ClusterSpec::single(inst), model, 4, 4 * 3);
     cfg.epoch_mode = EpochMode::Sampled { iterations: 3 };
-    cfg.data = DataMode::Real { dataset, cache: CacheState::Warm };
+    cfg.data = DataMode::Real {
+        dataset,
+        cache: CacheState::Warm,
+    };
     cfg
 }
 
@@ -60,6 +63,9 @@ fn null_sink_changes_no_report_bits() {
 
     let tracer = shared(Tracer::new(NullSink));
     let traced = run_epoch_traced(&cfg, &tracer).expect("null-sink run");
-    assert!(tracer.borrow().events_emitted() > 0, "NullSink tracer is live");
+    assert!(
+        tracer.borrow().events_emitted() > 0,
+        "NullSink tracer is live"
+    );
     assert_eq!(plain.to_json_value(), traced.to_json_value());
 }

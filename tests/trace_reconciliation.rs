@@ -21,7 +21,10 @@ fn traced_cfg(model: Model, inst: InstanceType) -> TrainConfig {
     };
     let mut cfg = TrainConfig::synthetic(ClusterSpec::single(inst), model, 4, 4 * 3);
     cfg.epoch_mode = EpochMode::Sampled { iterations: 3 };
-    cfg.data = DataMode::Real { dataset, cache: CacheState::Warm };
+    cfg.data = DataMode::Real {
+        dataset,
+        cache: CacheState::Warm,
+    };
     cfg
 }
 
@@ -34,8 +37,7 @@ fn span_totals_reconcile_with_stall_breakdown_for_every_zoo_model() {
 
             let sink = Rc::new(RefCell::new(JsonSink::new()));
             let tracer = shared(Tracer::new(sink.clone()));
-            let report =
-                run_epoch_traced(&cfg, &tracer).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let report = run_epoch_traced(&cfg, &tracer).unwrap_or_else(|e| panic!("{name}: {e}"));
 
             let events = sink.borrow().events().to_vec();
             let rollup = StallRollup::from_events(&events);
@@ -49,7 +51,10 @@ fn span_totals_reconcile_with_stall_breakdown_for_every_zoo_model() {
             );
 
             let data = rollup.track_total(rank0, Category::Fetch).mul_f64(factor);
-            assert_eq!(data, report.data_wait, "{name}: fetch spans do not reconcile");
+            assert_eq!(
+                data, report.data_wait,
+                "{name}: fetch spans do not reconcile"
+            );
 
             // Single-instance runs stall on the intra-node interconnect;
             // multi-node runs would stall on the network. Sum both so the
@@ -57,7 +62,10 @@ fn span_totals_reconcile_with_stall_breakdown_for_every_zoo_model() {
             let comm_raw = rollup.track_total(rank0, Category::Interconnect)
                 + rollup.track_total(rank0, Category::Network);
             let comm = comm_raw.mul_f64(factor);
-            assert_eq!(comm, report.comm_wait, "{name}: comm spans do not reconcile");
+            assert_eq!(
+                comm, report.comm_wait,
+                "{name}: comm spans do not reconcile"
+            );
         }
     }
 }

@@ -36,12 +36,8 @@ fn allocations_during<T>(f: impl FnOnce() -> T) -> (T, u64) {
 
 #[test]
 fn disabled_tracer_allocates_exactly_nothing_extra() {
-    let mut cfg = TrainConfig::synthetic(
-        ClusterSpec::single(p3_8xlarge()),
-        zoo::alexnet(),
-        8,
-        8 * 2,
-    );
+    let mut cfg =
+        TrainConfig::synthetic(ClusterSpec::single(p3_8xlarge()), zoo::alexnet(), 8, 8 * 2);
     cfg.epoch_mode = EpochMode::Sampled { iterations: 2 };
 
     // Warm up both code paths once (lazy one-time allocations).
@@ -59,7 +55,11 @@ fn disabled_tracer_allocates_exactly_nothing_extra() {
         plain_allocs, traced_allocs,
         "a disabled tracer must not change the allocation profile"
     );
-    assert_eq!(tracer.borrow().events_emitted(), 0, "disabled tracer emitted events");
+    assert_eq!(
+        tracer.borrow().events_emitted(),
+        0,
+        "disabled tracer emitted events"
+    );
     assert_eq!(plain.epoch_time, traced.epoch_time);
     assert_eq!(plain.compute_time, traced.compute_time);
     assert_eq!(plain.data_wait, traced.data_wait);

@@ -403,7 +403,9 @@ macro_rules! prop_assert_ne {
         if left == right {
             return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
                 "assertion failed: {} != {} (both: {:?})",
-                stringify!($a), stringify!($b), left
+                stringify!($a),
+                stringify!($b),
+                left
             )));
         }
     }};

@@ -124,7 +124,9 @@ impl Map<String, Value> {
     /// An empty map.
     #[must_use]
     pub fn new() -> Self {
-        Map { entries: Vec::new() }
+        Map {
+            entries: Vec::new(),
+        }
     }
 
     /// Number of entries.
@@ -505,7 +507,11 @@ ser_tuple! {
 
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_json_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_json_value()))
+                .collect(),
+        )
     }
 }
 
@@ -567,7 +573,9 @@ impl Deserialize for f64 {
 
 impl Deserialize for f32 {
     fn from_json_value(v: &Value) -> Result<Self, Error> {
-        v.as_f64().map(|f| f as f32).ok_or_else(|| Error::msg("expected number"))
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::msg("expected number"))
     }
 }
 
@@ -579,7 +587,9 @@ impl Deserialize for bool {
 
 impl Deserialize for String {
     fn from_json_value(v: &Value) -> Result<Self, Error> {
-        v.as_str().map(str::to_string).ok_or_else(|| Error::msg("expected string"))
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::msg("expected string"))
     }
 }
 
@@ -641,7 +651,9 @@ impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
 
 impl Deserialize for Map<String, Value> {
     fn from_json_value(v: &Value) -> Result<Self, Error> {
-        v.as_object().cloned().ok_or_else(|| Error::msg("expected object"))
+        v.as_object()
+            .cloned()
+            .ok_or_else(|| Error::msg("expected object"))
     }
 }
 

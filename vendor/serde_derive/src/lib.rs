@@ -16,10 +16,21 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug, Clone)]
 enum Shape {
-    NamedStruct { name: String, fields: Vec<String> },
-    TupleStruct { name: String, arity: usize },
-    UnitStruct { name: String },
-    Enum { name: String, variants: Vec<Variant> },
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -39,14 +50,18 @@ enum VariantKind {
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let shape = parse_item(input);
-    gen_serialize(&shape).parse().expect("serde_derive: generated Serialize impl must parse")
+    gen_serialize(&shape)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
 }
 
 /// Derives the value-based `serde::Deserialize`.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let shape = parse_item(input);
-    gen_deserialize(&shape).parse().expect("serde_derive: generated Deserialize impl must parse")
+    gen_deserialize(&shape)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
 }
 
 // ------------------------------------------------------------- parsing
@@ -340,7 +355,12 @@ fn gen_deserialize(shape: &Shape) -> String {
             let unit_arms: String = variants
                 .iter()
                 .filter(|v| matches!(v.kind, VariantKind::Unit))
-                .map(|v| format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n", vn = v.name))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n",
+                        vn = v.name
+                    )
+                })
                 .collect();
             let tagged_arms: String = variants
                 .iter()

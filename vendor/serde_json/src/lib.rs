@@ -118,7 +118,9 @@ fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize)
         Value::Null => out.push_str("null"),
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
         Value::Number(n) => {
-            if n.as_f64().is_some_and(f64::is_finite) || n.as_u64().is_some() || n.as_i64().is_some()
+            if n.as_f64().is_some_and(f64::is_finite)
+                || n.as_u64().is_some()
+                || n.as_i64().is_some()
             {
                 out.push_str(&n.to_string());
             } else {
@@ -243,10 +245,7 @@ impl Parser<'_> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            other => Err(Error(format!(
-                "unexpected {other:?} at byte {}",
-                self.pos
-            ))),
+            other => Err(Error(format!("unexpected {other:?} at byte {}", self.pos))),
         }
     }
 
