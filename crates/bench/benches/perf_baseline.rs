@@ -1,0 +1,67 @@
+//! Revision-portable sweep timer for `scripts/bench.sh`.
+//!
+//! Runs the identical figure sweep to `perf_report` but records only the
+//! fields every revision's `SweepPerf` exposes (wall-clock, cache
+//! counters), so `bench.sh` can inject this file into a checkout of an
+//! older revision and time the *same workload* on the *old simulator
+//! core* — that measured wall-clock is the "pre-PR baseline" the
+//! `BENCH_<n>.json` speedup is computed against.
+//!
+//! Knobs: `STASH_BENCH_ITERS`, `STASH_PERF_OUT` (default
+//! `results/perf_baseline.json`).
+
+use std::fs;
+
+use stash_bench::{bench_iters, results_dir, run_sweep, SweepJob};
+use stash_dnn::zoo;
+use stash_hwtopo::cluster::ClusterSpec;
+use stash_hwtopo::instance::{p3_16xlarge, p3_24xlarge, p3_2xlarge, p3_8xlarge};
+
+/// Must stay byte-for-byte the same grid as `perf_report::jobs`.
+fn jobs() -> Vec<SweepJob> {
+    let clusters = [
+        ClusterSpec::single(p3_2xlarge()),
+        ClusterSpec::single(p3_8xlarge()),
+        ClusterSpec::homogeneous(p3_8xlarge(), 2),
+        ClusterSpec::single(p3_16xlarge()),
+        ClusterSpec::single(p3_24xlarge()),
+    ];
+    let models = [zoo::alexnet(), zoo::resnet18()];
+    clusters
+        .iter()
+        .flat_map(|c| {
+            models
+                .iter()
+                .map(|m| SweepJob::new(m.clone(), 32, c.clone()))
+        })
+        .collect()
+}
+
+fn main() {
+    let (results, perf) = run_sweep(jobs());
+    for (i, r) in results.iter().enumerate() {
+        assert!(r.is_ok(), "sweep job {i} failed: {:?}", r.as_ref().err());
+    }
+    let record = serde_json::json!({
+        "iters_per_step": bench_iters(),
+        "jobs": perf.jobs as u64,
+        "threads": perf.threads as u64,
+        "wall_secs": perf.wall_secs,
+        "cache_hits": perf.cache_hits,
+        "cache_misses": perf.cache_misses,
+        "cache_hit_rate": perf.hit_rate(),
+    });
+    let out = std::env::var("STASH_PERF_OUT")
+        .map_or_else(|_| results_dir().join("perf_baseline.json"), Into::into);
+    fs::write(
+        &out,
+        serde_json::to_string_pretty(&record).expect("serialize baseline record"),
+    )
+    .expect("write baseline record");
+    println!(
+        "[perf_baseline: {:.3}s wall for {} jobs -> {}]",
+        perf.wall_secs,
+        perf.jobs,
+        out.display()
+    );
+}

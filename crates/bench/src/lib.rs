@@ -137,6 +137,17 @@ pub struct SweepPerf {
     pub threads: usize,
     /// Number of profile jobs in the sweep.
     pub jobs: usize,
+    /// Full water-filling solves performed by the flow solver during the
+    /// sweep (see [`stash_ddl::perf_stats`]).
+    pub full_recomputes: u64,
+    /// Network state changes the solver settled with incremental
+    /// shortcuts instead of a full solve.
+    pub shortcut_events: u64,
+    /// Iterations extended analytically by steady-state fast-forward
+    /// rather than simulated event-by-event.
+    pub fast_forwarded_iterations: u64,
+    /// Discrete events delivered by engine event queues.
+    pub sim_events: u64,
 }
 
 impl SweepPerf {
@@ -195,6 +206,42 @@ impl SweepPerf {
             "Worker threads used by the sweep.",
         );
         b.sample("stash_sweep_threads", &[], self.threads as f64);
+        b.family(
+            "stash_solver_full_recomputes_total",
+            "counter",
+            "Full water-filling solves performed by the flow solver.",
+        );
+        b.sample(
+            "stash_solver_full_recomputes_total",
+            &[],
+            self.full_recomputes as f64,
+        );
+        b.family(
+            "stash_solver_shortcut_events_total",
+            "counter",
+            "Network state changes settled by incremental shortcuts.",
+        );
+        b.sample(
+            "stash_solver_shortcut_events_total",
+            &[],
+            self.shortcut_events as f64,
+        );
+        b.family(
+            "stash_fast_forwarded_iterations_total",
+            "counter",
+            "Iterations extended analytically by steady-state fast-forward.",
+        );
+        b.sample(
+            "stash_fast_forwarded_iterations_total",
+            &[],
+            self.fast_forwarded_iterations as f64,
+        );
+        b.family(
+            "stash_sim_events_total",
+            "counter",
+            "Discrete events delivered by engine event queues.",
+        );
+        b.sample("stash_sim_events_total", &[], self.sim_events as f64);
         b.finish()
     }
 }
@@ -221,10 +268,14 @@ pub fn run_sweep(jobs: Vec<SweepJob>) -> (Vec<Result<StallReport, ProfileError>>
         .collect();
 
     let cache = MeasurementCache::new();
+    let perf_before = stash_ddl::perf_stats::snapshot();
     let started = Instant::now();
     let results = par_profile_many(&profile_jobs, Some(&cache));
     let wall_secs = started.elapsed().as_secs_f64();
     let stats = cache.stats();
+    // Solver/fast-forward activity attributed to this sweep only (the
+    // counters are process-wide monotonic atomics).
+    let solver = stash_ddl::perf_stats::snapshot().since(&perf_before);
 
     let (serial_secs, speedup, warm_secs, warm_speedup) =
         if std::env::var("STASH_BENCH_BASELINE").is_ok_and(|v| v == "1") {
@@ -274,6 +325,10 @@ pub fn run_sweep(jobs: Vec<SweepJob>) -> (Vec<Result<StallReport, ProfileError>>
         cache_misses: stats.misses,
         threads: profile_threads(),
         jobs: jobs.len(),
+        full_recomputes: solver.full_recomputes,
+        shortcut_events: solver.shortcut_events,
+        fast_forwarded_iterations: solver.fast_forwarded_iterations,
+        sim_events: solver.sim_events,
     };
     let prom_path = results_dir().join("sweep_metrics.prom");
     if let Err(e) = fs::write(&prom_path, perf.prometheus()) {
@@ -524,6 +579,10 @@ impl Table {
                     "cache_hit_rate": perf.hit_rate(),
                     "threads": perf.threads as u64,
                     "jobs": perf.jobs as u64,
+                    "full_recomputes": perf.full_recomputes,
+                    "shortcut_events": perf.shortcut_events,
+                    "fast_forwarded_iterations": perf.fast_forwarded_iterations,
+                    "sim_events": perf.sim_events,
                 }),
             );
         }
@@ -595,12 +654,20 @@ mod tests {
             cache_misses: 7,
             threads: 4,
             jobs: 9,
+            full_recomputes: 11,
+            shortcut_events: 1_000,
+            fast_forwarded_iterations: 640,
+            sim_events: 5_000,
         };
         let text = perf.prometheus();
         assert!(text.contains("stash_measurement_cache_hits_total 42"));
         assert!(text.contains("stash_measurement_cache_misses_total 7"));
         assert!(text.contains("stash_sweep_jobs_total 9"));
         assert!(text.contains("# TYPE stash_sweep_wall_seconds gauge"));
+        assert!(text.contains("stash_solver_full_recomputes_total 11"));
+        assert!(text.contains("stash_solver_shortcut_events_total 1000"));
+        assert!(text.contains("stash_fast_forwarded_iterations_total 640"));
+        assert!(text.contains("stash_sim_events_total 5000"));
     }
 
     #[test]

@@ -25,7 +25,7 @@ use std::sync::Mutex;
 
 use serde::Serialize;
 use stash_ddl::config::TrainConfig;
-use stash_ddl::engine::run_epoch;
+use stash_ddl::engine::{run_epoch, run_epoch_in, EngineArena};
 use stash_simkit::time::SimDuration;
 
 use crate::error::ProfileError;
@@ -138,6 +138,34 @@ impl MeasurementCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let t = run_epoch(cfg)?.epoch_time;
+        self.entries.lock().expect("cache poisoned").insert(key, t);
+        Ok(t)
+    }
+
+    /// [`Self::epoch_time`] measuring misses inside a caller-owned
+    /// [`EngineArena`], so a loop over many configurations reuses one
+    /// simulator allocation instead of rebuilding per miss. Results are
+    /// bit-identical to [`Self::epoch_time`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (which are never cached).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned.
+    pub fn epoch_time_in(
+        &self,
+        cfg: &TrainConfig,
+        arena: &mut EngineArena,
+    ) -> Result<SimDuration, ProfileError> {
+        let key = config_key(cfg);
+        if let Some(&t) = self.entries.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(t);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let t = run_epoch_in(cfg, arena)?.epoch_time;
         self.entries.lock().expect("cache poisoned").insert(key, t);
         Ok(t)
     }

@@ -19,7 +19,7 @@ use stash_collectives::bucket::Bucketing;
 use stash_collectives::schedule::Algorithm;
 use stash_datapipe::cache::CacheState;
 use stash_ddl::config::{ActiveGpus, DataMode, EpochMode, TrainConfig};
-use stash_ddl::engine::{run_epoch, run_epoch_traced};
+use stash_ddl::engine::{run_epoch_in, run_epoch_traced, EngineArena};
 use stash_dnn::dataset::DatasetSpec;
 use stash_dnn::model::Model;
 use stash_gpucompute::precision::Precision;
@@ -308,40 +308,71 @@ impl Stash {
         mode: ExecMode,
         cache: Option<&MeasurementCache>,
     ) -> Result<StallReport, ProfileError> {
-        let reference = Self::reference_for(cluster)?;
-        let configs = self.step_configs(cluster, &reference);
-        let measure = |cfg: &TrainConfig| -> Result<SimDuration, ProfileError> {
-            match cache {
-                Some(c) => c.epoch_time(cfg),
-                None => Ok(run_epoch(cfg)?.epoch_time),
-            }
-        };
-
-        let mut times: Vec<SimDuration> = Vec::with_capacity(configs.len());
         match mode {
             ExecMode::Serial => {
-                for cfg in &configs {
-                    times.push(measure(cfg)?);
-                }
+                let mut arena = EngineArena::new();
+                self.profile_serial_in(cluster, cache, &mut arena)
             }
             ExecMode::Parallel => {
+                let reference = Self::reference_for(cluster)?;
+                let configs = self.step_configs(cluster, &reference);
                 let results: Vec<Result<SimDuration, ProfileError>> = std::thread::scope(|scope| {
                     let handles: Vec<_> = configs
                         .iter()
-                        .map(|cfg| scope.spawn(move || measure(cfg)))
+                        .map(|cfg| {
+                            scope.spawn(move || {
+                                // Each step thread owns its arena (the
+                                // engine's state is deliberately !Send).
+                                let mut arena = EngineArena::new();
+                                measure_in(cache, cfg, &mut arena)
+                            })
+                        })
                         .collect();
                     handles
                         .into_iter()
                         .map(|h| h.join().expect("measurement step panicked"))
                         .collect()
                 });
+                let mut times: Vec<SimDuration> = Vec::with_capacity(configs.len());
                 for r in results {
                     times.push(r?);
                 }
+                Ok(self.assemble_report(cluster, reference, &times))
             }
         }
+    }
 
-        Ok(StallReport {
+    /// Serial profile that measures every step inside a caller-owned
+    /// [`EngineArena`]: the five-step measurement ladder reuses one flow
+    /// network and event queue, and a sweep looping over many points can
+    /// pass the same arena to every profile. Reports are bit-identical to
+    /// the other execution modes.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Stash::profile`].
+    pub fn profile_serial_in(
+        &self,
+        cluster: &ClusterSpec,
+        cache: Option<&MeasurementCache>,
+        arena: &mut EngineArena,
+    ) -> Result<StallReport, ProfileError> {
+        let reference = Self::reference_for(cluster)?;
+        let configs = self.step_configs(cluster, &reference);
+        let mut times: Vec<SimDuration> = Vec::with_capacity(configs.len());
+        for cfg in &configs {
+            times.push(measure_in(cache, cfg, arena)?);
+        }
+        Ok(self.assemble_report(cluster, reference, &times))
+    }
+
+    fn assemble_report(
+        &self,
+        cluster: &ClusterSpec,
+        reference: InstanceType,
+        times: &[SimDuration],
+    ) -> StallReport {
+        StallReport {
             cluster: cluster.display_name(),
             reference: reference.name,
             model: self.model.name.clone(),
@@ -354,7 +385,7 @@ impl Stash {
                 t4: Some(times[3]),
                 t5: times.get(4).copied(),
             },
-        })
+        }
     }
 
     /// [`Stash::profile_serial`] with a trace recorder attached: every
@@ -420,6 +451,19 @@ impl Stash {
     }
 }
 
+/// Measures one step config inside `arena`, answering from `cache` when
+/// possible.
+fn measure_in(
+    cache: Option<&MeasurementCache>,
+    cfg: &TrainConfig,
+    arena: &mut EngineArena,
+) -> Result<SimDuration, ProfileError> {
+    match cache {
+        Some(c) => c.epoch_time_in(cfg, arena),
+        None => Ok(run_epoch_in(cfg, arena)?.epoch_time),
+    }
+}
+
 /// A (profiler, cluster) pair to run as one unit of sweep work.
 #[derive(Debug, Clone)]
 pub struct ProfileJob {
@@ -456,13 +500,17 @@ pub fn par_profile_many(
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(i) else { break };
-                let result = job
-                    .stash
-                    .profile_with(&job.cluster, ExecMode::Serial, cache);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            scope.spawn(|| {
+                // One arena per worker: every job this worker claims
+                // reuses the same simulator state (arenas are !Send, so
+                // they are built inside the thread).
+                let mut arena = EngineArena::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    let result = job.stash.profile_serial_in(&job.cluster, cache, &mut arena);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                }
             });
         }
     });

@@ -13,13 +13,14 @@
 //! contention between subsystems is emergent.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::OnceLock;
 
 use stash_collectives::bucket::CommPlan;
 use stash_collectives::constants::GRAD_HOOK_OVERHEAD;
-use stash_collectives::schedule::allreduce_transfers;
+use stash_collectives::schedule::{allreduce_transfers, TransferSpec};
 use stash_datapipe::loader::{LoaderAction, LoaderSpec, NodeLoader, TransferPurpose};
 use stash_flowsim::link::LinkClass;
-use stash_flowsim::net::{FlowNet, FlowSpec};
+use stash_flowsim::net::{FlowId, FlowNet, FlowSpec};
 use stash_gpucompute::kernel::ComputeModel;
 use stash_gpucompute::memory;
 use stash_hwtopo::topology::{GpuId, Topology};
@@ -28,6 +29,7 @@ use stash_trace::{Category, SharedTracer, Track};
 
 use crate::config::{ActiveGpus, DataMode, TrainConfig};
 use crate::error::TrainError;
+use crate::perf_stats;
 use crate::report::{EpochReport, IterationSample};
 
 const TAG_COMM: u64 = 1 << 48;
@@ -98,6 +100,90 @@ struct Comm {
     inflight_remaining: usize,
 }
 
+/// Knobs controlling *how* an epoch is simulated. Every combination
+/// produces a bit-identical [`EpochReport`]; the options only trade
+/// simulation effort.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Detect the exact periodic steady state of synthetic-data runs and
+    /// extend the remaining iterations analytically instead of simulating
+    /// them event by event. Defaults from the `STASH_FAST_FORWARD`
+    /// environment variable (`0` disables; anything else — including
+    /// unset — enables).
+    pub fast_forward: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            fast_forward: fast_forward_env_default(),
+        }
+    }
+}
+
+/// `STASH_FAST_FORWARD` parsed once per process: reading environment
+/// variables allocates, and [`EngineOptions::default`] sits on the
+/// zero-allocation hot path.
+fn fast_forward_env_default() -> bool {
+    static FF_ENV: OnceLock<bool> = OnceLock::new();
+    *FF_ENV.get_or_init(|| std::env::var_os("STASH_FAST_FORWARD").is_none_or(|v| v != "0"))
+}
+
+/// Reusable simulation state: the flow network, the event queue and the
+/// engine's pooled scratch buffers.
+///
+/// [`run_epoch_in`] borrows an arena for the duration of one epoch and
+/// returns it with all capacity intact, so a sweep that simulates
+/// thousands of configurations allocates its arenas once per worker
+/// instead of once per epoch. A reused arena is observationally identical
+/// to a fresh one — reports are bit-identical either way.
+#[derive(Debug, Default)]
+pub struct EngineArena {
+    net: FlowNet,
+    q: EventQueue<Ev>,
+    completed: Vec<(FlowId, u64)>,
+    loader_work: VecDeque<(usize, LoaderAction)>,
+}
+
+impl EngineArena {
+    /// Creates an empty arena (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> EngineArena {
+        EngineArena::default()
+    }
+}
+
+/// Consecutive identical iteration fingerprints (per rank) and identical
+/// host-bus load cycles (globally) required before fast-forward engages.
+const FF_CONFIRM: u32 = 3;
+
+/// Per-rank steady-state fingerprint: the integer-ns deltas of one
+/// iteration. Two iterations with equal deltas are indistinguishable to
+/// every accumulator the report reads.
+#[derive(Debug, Default, Clone, Copy)]
+struct FfRank {
+    last_done: SimTime,
+    compute: SimDuration,
+    data_wait: SimDuration,
+    comm_wait: SimDuration,
+    /// (iteration period, Δcompute, Δdata_wait, Δcomm_wait) in ns.
+    delta: (u64, u64, u64, u64),
+    repeats: u32,
+    seen: bool,
+}
+
+/// Steady-state detector. Lives only on synthetic-data, untraced runs.
+#[derive(Debug)]
+struct FfState {
+    ranks: Vec<FfRank>,
+    last_boundary: Option<SimTime>,
+    cycle_repeats: u32,
+    /// Host-bus load samples of the previous completed iteration cycle.
+    probe_prev: Vec<(SimTime, f64)>,
+    /// Scratch for the cycle currently being compared.
+    probe_cur: Vec<(SimTime, f64)>,
+}
+
 /// Runs one training epoch under `cfg` and reports the timing breakdown.
 ///
 /// # Errors
@@ -106,7 +192,45 @@ struct Comm {
 /// [`TrainError::OutOfMemory`] when the model + batch exceeds any
 /// participating GPU's memory.
 pub fn run_epoch(cfg: &TrainConfig) -> Result<EpochReport, TrainError> {
-    run_epoch_inner(cfg, None)
+    run_epoch_inner(cfg, None, &EngineOptions::default(), None)
+}
+
+/// [`run_epoch`] with explicit [`EngineOptions`]. The report is
+/// bit-identical for every option combination.
+///
+/// # Errors
+///
+/// As for [`run_epoch`].
+pub fn run_epoch_with(
+    cfg: &TrainConfig,
+    options: &EngineOptions,
+) -> Result<EpochReport, TrainError> {
+    run_epoch_inner(cfg, None, options, None)
+}
+
+/// [`run_epoch`] reusing a caller-owned [`EngineArena`] for the flow
+/// network, event queue and scratch buffers: repeated measurements stop
+/// paying per-epoch allocation and deallocation. The report is
+/// bit-identical to a fresh-arena run.
+///
+/// # Errors
+///
+/// As for [`run_epoch`].
+pub fn run_epoch_in(cfg: &TrainConfig, arena: &mut EngineArena) -> Result<EpochReport, TrainError> {
+    run_epoch_inner(cfg, None, &EngineOptions::default(), Some(arena))
+}
+
+/// [`run_epoch_in`] with explicit [`EngineOptions`].
+///
+/// # Errors
+///
+/// As for [`run_epoch`].
+pub fn run_epoch_in_with(
+    cfg: &TrainConfig,
+    options: &EngineOptions,
+    arena: &mut EngineArena,
+) -> Result<EpochReport, TrainError> {
+    run_epoch_inner(cfg, None, options, Some(arena))
 }
 
 /// [`run_epoch`] with a trace recorder attached: compute, stall-wait,
@@ -125,12 +249,14 @@ pub fn run_epoch_traced(
     cfg: &TrainConfig,
     tracer: &SharedTracer,
 ) -> Result<EpochReport, TrainError> {
-    run_epoch_inner(cfg, Some(tracer))
+    run_epoch_inner(cfg, Some(tracer), &EngineOptions::default(), None)
 }
 
 fn run_epoch_inner(
     cfg: &TrainConfig,
     tracer: Option<&SharedTracer>,
+    options: &EngineOptions,
+    arena: Option<&mut EngineArena>,
 ) -> Result<EpochReport, TrainError> {
     cfg.validate()?;
     for inst in &cfg.cluster.instances {
@@ -144,11 +270,15 @@ fn run_epoch_inner(
             });
         }
     }
-    let mut engine = Engine::new(cfg)?;
+    let mut local = EngineArena::default();
+    let arena = arena.unwrap_or(&mut local);
+    let mut engine = Engine::new(cfg, options, arena)?;
     if let Some(t) = tracer {
         engine.attach_tracer(t);
     }
-    engine.run()
+    let report = engine.run();
+    engine.into_arena(arena);
+    report
 }
 
 struct Engine<'a> {
@@ -162,7 +292,12 @@ struct Engine<'a> {
     active: Vec<usize>,
     comm: Option<Comm>,
     loaders: Vec<Option<NodeLoader>>,
-    next_wake: Option<SimTime>,
+    /// The single pending [`Ev::NetWake`], if any. Keeping (and
+    /// cancelling) the key guarantees at most one wake is ever queued:
+    /// without cancellation, every same-timestamp stale wake re-arms a
+    /// fresh future wake, and the duplicate population grows by one per
+    /// rate change — quadratic event counts on contended epochs.
+    next_wake: Option<(SimTime, EventKey)>,
     sim_iters: u64,
     trace: Vec<IterationSample>,
     iter_mark: IterMark,
@@ -188,6 +323,26 @@ struct Engine<'a> {
     /// Start time and purpose of each loader worker's in-flight transfer,
     /// keyed by `(node, worker)`. Populated only when tracing.
     xfer_open: BTreeMap<(usize, usize), (SimTime, TransferPurpose)>,
+    /// Per-bucket all-reduce transfer plans, computed once at construction.
+    /// `allreduce_transfers` depends only on the (static) topology and the
+    /// bucket's wire bytes, so starting flows from the cached plan is
+    /// bit-identical to replanning every iteration — without the per-bucket
+    /// `Vec` and route clones.
+    comm_plans: Vec<Vec<TransferSpec>>,
+    /// Pooled buffer ping-ponged with [`FlowNet`]'s completion list.
+    completed_buf: Vec<(FlowId, u64)>,
+    /// Pooled loader action work-list.
+    loader_work: VecDeque<(usize, LoaderAction)>,
+    /// Steady-state fast-forward detector; `None` when ineligible
+    /// (real-data input, tracing, per-iteration trace recording, or
+    /// disabled via [`EngineOptions`]).
+    ff: Option<FfState>,
+    /// Iterations skipped by fast-forward (diagnostic only; flushed to
+    /// [`perf_stats`], never reported in the [`EpochReport`]).
+    ff_iterations: u64,
+    /// Flow-network recompute counters at construction, so per-epoch deltas
+    /// survive arena reuse.
+    net_stats0: (u64, u64),
 }
 
 impl std::fmt::Debug for Engine<'_> {
@@ -200,8 +355,19 @@ impl std::fmt::Debug for Engine<'_> {
 }
 
 impl<'a> Engine<'a> {
-    fn new(cfg: &'a TrainConfig) -> Result<Engine<'a>, TrainError> {
-        let mut net = FlowNet::new();
+    fn new(
+        cfg: &'a TrainConfig,
+        options: &EngineOptions,
+        arena: &mut EngineArena,
+    ) -> Result<Engine<'a>, TrainError> {
+        let mut net = std::mem::take(&mut arena.net);
+        net.reset();
+        let mut q = std::mem::take(&mut arena.q);
+        q.reset();
+        let mut completed_buf = std::mem::take(&mut arena.completed);
+        completed_buf.clear();
+        let mut loader_work = std::mem::take(&mut arena.loader_work);
+        loader_work.clear();
         let topo = Topology::build(&cfg.cluster, &mut net);
         let plan = CommPlan::new(&cfg.model, cfg.bucketing);
         let sim_iters = cfg.simulated_iterations();
@@ -265,6 +431,41 @@ impl<'a> Engine<'a> {
             completed: 0,
             inflight_remaining: 0,
         });
+        let comm_plans: Vec<Vec<TransferSpec>> = if world > 1 {
+            plan.buckets
+                .iter()
+                .map(|b| {
+                    // Bucket bytes are planned in fp32; scale to the wire
+                    // precision.
+                    let bytes = b.bytes * cfg.precision.gradient_bytes_per_param() / 4.0;
+                    allreduce_transfers(&topo, &net, cfg.algorithm, bytes)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let net_stats0 = net.recompute_stats();
+        // Fast-forward needs exactly repeating iterations: synthetic input
+        // (loader pipelines have their own long-period state), no
+        // per-iteration trace samples, and enough iterations for the
+        // detector to confirm a cycle and still have something to skip.
+        let ff = (options.fast_forward
+            && cfg.data.is_synthetic()
+            && !cfg.record_trace
+            && sim_iters > u64::from(FF_CONFIRM) + 2)
+            .then(|| FfState {
+                ranks: vec![FfRank::default(); topo.world_size()],
+                last_boundary: None,
+                cycle_repeats: 0,
+                probe_prev: Vec::new(),
+                probe_cur: Vec::new(),
+            });
+        if ff.is_some() {
+            // Record the host bus — the one lane whose utilization the
+            // report reads — so skipped cycles can be replayed exactly.
+            net.set_load_probe(topo.host_bus(0));
+        }
 
         let loaders: Vec<Option<NodeLoader>> = match &cfg.data {
             DataMode::Synthetic => vec![None; cfg.cluster.node_count()],
@@ -305,7 +506,7 @@ impl<'a> Engine<'a> {
 
         Ok(Engine {
             cfg,
-            q: EventQueue::new(),
+            q,
             net,
             topo,
             plan,
@@ -328,7 +529,21 @@ impl<'a> Engine<'a> {
             },
             bucket_open: None,
             xfer_open: BTreeMap::new(),
+            comm_plans,
+            completed_buf,
+            loader_work,
+            ff,
+            ff_iterations: 0,
+            net_stats0,
         })
+    }
+
+    /// Returns the reusable state to `arena`, capacity intact.
+    fn into_arena(self, arena: &mut EngineArena) {
+        arena.net = self.net;
+        arena.q = self.q;
+        arena.completed = self.completed_buf;
+        arena.loader_work = self.loader_work;
     }
 
     /// Attaches a shared tracer; when it is enabled, the flow network gets
@@ -338,6 +553,10 @@ impl<'a> Engine<'a> {
         self.tracer = Some(tracer.clone());
         if self.trace_on {
             self.net.set_tracer(tracer.clone());
+            // Fast-forward would skip the very spans the tracer exists to
+            // record; an enabled tracer always sees the full simulation.
+            self.ff = None;
+            self.net.clear_load_probe();
         }
     }
 
@@ -397,7 +616,7 @@ impl<'a> Engine<'a> {
         Track::gpu(gpu.node, gpu.local)
     }
 
-    fn run(mut self) -> Result<EpochReport, TrainError> {
+    fn run(&mut self) -> Result<EpochReport, TrainError> {
         // Kick loaders and ranks.
         for node in 0..self.loaders.len() {
             if self.loaders[node].is_some() {
@@ -615,10 +834,152 @@ impl<'a> Engine<'a> {
                         comm_wait: r.comm_wait,
                     };
                 }
+                if self.ff.is_some() && self.on_ff_iteration_done(rank) {
+                    // Steady state confirmed: every rank's remaining
+                    // iterations were just extended analytically.
+                    return;
+                }
                 self.begin_iteration(rank);
             }
             other => panic!("compute completion in unexpected phase {other:?}"),
         }
+    }
+
+    // ----- steady-state fast-forward ------------------------------------
+
+    /// Updates the steady-state fingerprints after `rank` finished an
+    /// iteration. Returns `true` when the periodic steady state is
+    /// confirmed and the remaining iterations have been applied
+    /// analytically — every active rank is then `Done`.
+    ///
+    /// The detector is conservative: it requires, for [`FF_CONFIRM`]
+    /// consecutive iteration cycles, (a) every rank's integer-ns deltas
+    /// (period, Δcompute, Δdata_wait, Δcomm_wait) to repeat exactly and
+    /// (b) the host-bus load samples to repeat bitwise, shifted by exactly
+    /// one period. Everything the report reads is a function of those
+    /// quantities, so extending by `n` more periods is indistinguishable
+    /// from simulating them.
+    fn on_ff_iteration_done(&mut self, rank: usize) -> bool {
+        let now = self.q.now();
+        let iter = self.ranks[rank].iter;
+
+        // Refresh this rank's iteration fingerprint.
+        {
+            let ff = self.ff.as_mut().expect("ff state");
+            let fr = &mut ff.ranks[rank];
+            let r = &self.ranks[rank];
+            let delta = (
+                now.duration_since(fr.last_done).as_nanos(),
+                (r.compute - fr.compute).as_nanos(),
+                (r.data_wait - fr.data_wait).as_nanos(),
+                (r.comm_wait - fr.comm_wait).as_nanos(),
+            );
+            fr.repeats = if fr.seen && delta == fr.delta {
+                fr.repeats + 1
+            } else {
+                0
+            };
+            fr.delta = delta;
+            fr.last_done = now;
+            fr.compute = r.compute;
+            fr.data_wait = r.data_wait;
+            fr.comm_wait = r.comm_wait;
+            fr.seen = true;
+        }
+
+        // Cycle boundary: every active rank has now finished this
+        // iteration (synchronous training keeps ranks within one
+        // iteration of each other, so the last finisher closes the cycle).
+        if !self.active.iter().all(|&r| self.ranks[r].iter >= iter) {
+            return false;
+        }
+
+        let period = match self.ff.as_ref().expect("ff state").last_boundary {
+            Some(b) => now.duration_since(b).as_nanos(),
+            None => 0,
+        };
+        let ranks_periodic = period > 0
+            && self.active.iter().all(|&r| {
+                let fr = &self.ff.as_ref().expect("ff state").ranks[r];
+                fr.repeats >= FF_CONFIRM && fr.delta.0 == period
+            });
+
+        // Compare this cycle's host-bus load samples against the previous
+        // cycle, shifted by one period.
+        {
+            let ff = self.ff.as_mut().expect("ff state");
+            let mut cur = std::mem::take(&mut ff.probe_cur);
+            self.net.take_probe_samples(&mut cur);
+            let p = SimDuration::from_nanos(period);
+            let cycle_matches = ranks_periodic
+                && ff.probe_prev.len() == cur.len()
+                && ff
+                    .probe_prev
+                    .iter()
+                    .zip(cur.iter())
+                    .all(|(&(t0, v0), &(t1, v1))| t0 + p == t1 && v0.to_bits() == v1.to_bits());
+            ff.cycle_repeats = if cycle_matches {
+                ff.cycle_repeats + 1
+            } else {
+                0
+            };
+            std::mem::swap(&mut ff.probe_prev, &mut cur);
+            ff.probe_cur = cur;
+            ff.last_boundary = Some(now);
+        }
+
+        let confirmed = self.ff.as_ref().expect("ff state").cycle_repeats >= FF_CONFIRM
+            && self.net.active_flows() == 0
+            && self.sim_iters > iter;
+        if !confirmed {
+            return false;
+        }
+        self.fast_forward_to_end(iter, period);
+        true
+    }
+
+    /// Extends the confirmed steady state by the remaining
+    /// `sim_iters - iter` periods: rank accumulators and completion times
+    /// are set to exactly the values event-by-event simulation would
+    /// produce, and the recorded host-bus load cycle is replayed
+    /// (time-shifted) so link utilization integrates identically.
+    fn fast_forward_to_end(&mut self, iter: u64, period_ns: u64) {
+        let n = self.sim_iters - iter;
+        debug_assert!(n > 0);
+        {
+            let ff = self.ff.as_ref().expect("ff state");
+            for &r in &self.active {
+                debug_assert_eq!(self.ranks[r].iter, iter, "rank {r} not at the boundary");
+                let fr = &ff.ranks[r];
+                let rs = &mut self.ranks[r];
+                rs.iter = self.sim_iters;
+                rs.phase = Phase::Done;
+                rs.done_at = Some(fr.last_done + SimDuration::from_nanos(fr.delta.0 * n));
+                // Overwrite rather than add: ranks that closed their
+                // iteration before the boundary have already accrued
+                // compute for the next one, which the analytic extension
+                // accounts for.
+                rs.compute = fr.compute + SimDuration::from_nanos(fr.delta.1 * n);
+                rs.data_wait = fr.data_wait + SimDuration::from_nanos(fr.delta.2 * n);
+                rs.comm_wait = fr.comm_wait + SimDuration::from_nanos(fr.delta.3 * n);
+                rs.wait_start = None;
+                rs.micro = 0;
+            }
+        }
+        // Replay the host-bus load cycle for the skipped periods, then
+        // advance the network clock to where the full simulation's last
+        // network event would have left it.
+        let w = self.net.last_advance();
+        let host_bus = self.topo.host_bus(0);
+        let p = SimDuration::from_nanos(period_ns);
+        {
+            let ff = self.ff.as_ref().expect("ff state");
+            self.net.replay_probe_load(host_bus, &ff.probe_prev, p, n);
+        }
+        self.net.clear_load_probe();
+        self.net.advance(w + SimDuration::from_nanos(period_ns * n));
+        self.ff_iterations = n;
+        self.ff = None;
     }
 
     // ----- communicator -------------------------------------------------
@@ -645,25 +1006,16 @@ impl<'a> Engine<'a> {
         {
             return;
         }
-        // Bucket bytes are planned in fp32; scale to the wire precision.
-        let bytes =
-            self.plan.buckets[next].bytes * self.cfg.precision.gradient_bytes_per_param() / 4.0;
-        let transfers = allreduce_transfers(&self.topo, &self.net, self.cfg.algorithm, bytes);
+        let transfers = &self.comm_plans[next];
         debug_assert!(!transfers.is_empty(), "world > 1 must communicate");
         let now = self.q.now();
         for t in transfers.iter() {
-            self.net.start_flow(
-                now,
-                FlowSpec {
-                    route: t.route.clone(),
-                    bytes: t.bytes,
-                    extra_latency: t.extra_latency,
-                    tag: TAG_COMM,
-                },
-            );
+            self.net
+                .start_flow_borrowed(now, &t.route, t.bytes, t.extra_latency, TAG_COMM);
         }
+        let inflight = transfers.len();
         let comm = self.comm.as_mut().expect("comm");
-        comm.inflight_remaining = transfers.len();
+        comm.inflight_remaining = inflight;
         comm.started += 1;
         self.bucket_open = Some((now, next));
     }
@@ -694,14 +1046,13 @@ impl<'a> Engine<'a> {
             comm.started = 0;
             comm.completed = 0;
             let now = self.q.now();
-            let waiting: Vec<usize> = self
-                .active
-                .clone()
-                .into_iter()
-                .filter(|r| self.ranks[*r].phase == Phase::AwaitComm)
-                .collect();
-            debug_assert_eq!(waiting.len(), self.comm.as_ref().expect("comm").world);
-            for rank in waiting {
+            let mut released = 0;
+            for i in 0..self.active.len() {
+                let rank = self.active[i];
+                if self.ranks[rank].phase != Phase::AwaitComm {
+                    continue;
+                }
+                released += 1;
                 let start = self.ranks[rank].wait_start.take().expect("wait start");
                 self.ranks[rank].comm_wait += now.duration_since(start);
                 if self.trace_on {
@@ -715,6 +1066,7 @@ impl<'a> Engine<'a> {
                 }
                 self.start_step(rank);
             }
+            debug_assert_eq!(released, self.comm.as_ref().expect("comm").world);
         } else {
             self.try_start_comm();
         }
@@ -723,8 +1075,11 @@ impl<'a> Engine<'a> {
     // ----- loaders --------------------------------------------------------
 
     fn apply_loader_actions(&mut self, node: usize, actions: Vec<LoaderAction>) {
-        let mut work: VecDeque<(usize, LoaderAction)> =
-            actions.into_iter().map(|a| (node, a)).collect();
+        // Pooled work-list: `apply_loader_actions` never re-enters itself,
+        // so the engine-owned deque is always free here.
+        let mut work = std::mem::take(&mut self.loader_work);
+        debug_assert!(work.is_empty());
+        work.extend(actions.into_iter().map(|a| (node, a)));
         while let Some((n, action)) = work.pop_front() {
             match action {
                 LoaderAction::StartTransfer {
@@ -797,6 +1152,7 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        self.loader_work = work;
     }
 
     fn global_rank(&self, node: usize, local: usize) -> usize {
@@ -814,11 +1170,15 @@ impl<'a> Engine<'a> {
 
     fn drain_flows(&mut self) {
         loop {
-            let completed = self.net.take_completed();
+            // Ping-pong the pooled buffer with the network's completion
+            // list: no allocation on either side.
+            let mut completed = std::mem::take(&mut self.completed_buf);
+            self.net.drain_completed_into(&mut completed);
             if completed.is_empty() {
+                self.completed_buf = completed;
                 break;
             }
-            for (_, tag) in completed {
+            for &(_, tag) in completed.iter() {
                 if tag & TAG_COMM != 0 {
                     self.on_comm_flow_done();
                 } else {
@@ -846,6 +1206,7 @@ impl<'a> Engine<'a> {
                     self.apply_loader_actions(node, actions);
                 }
             }
+            self.completed_buf = completed;
         }
     }
 
@@ -853,16 +1214,31 @@ impl<'a> Engine<'a> {
         let now = self.q.now();
         if let Some(t) = self.net.next_event_time(now) {
             let t = t.max(now + SimDuration::from_nanos(1));
-            if self.next_wake.is_none_or(|w| t < w) {
-                self.q.schedule_at(t, Ev::NetWake);
-                self.next_wake = Some(t);
+            if self.next_wake.is_none_or(|(w, _)| t < w) {
+                // The earlier prediction wins; the superseded wake is
+                // cancelled O(1) so it can never be delivered stale.
+                if let Some((_, key)) = self.next_wake.take() {
+                    self.q.cancel(key);
+                }
+                let key = self.q.schedule_at(t, Ev::NetWake);
+                self.next_wake = Some((t, key));
             }
         }
     }
 
     // ----- reporting --------------------------------------------------------
 
-    fn build_report(self) -> EpochReport {
+    fn build_report(&mut self) -> EpochReport {
+        // Flush per-epoch diagnostics to the process-wide counters. The
+        // report itself never carries them: it must stay bit-identical
+        // across fast-forward on/off and arena reuse.
+        let (full, shortcut) = self.net.recompute_stats();
+        perf_stats::record_epoch(
+            full - self.net_stats0.0,
+            shortcut - self.net_stats0.1,
+            self.ff_iterations,
+            self.q.delivered_count(),
+        );
         let full_iters = self.cfg.epoch_iterations();
         let factor = full_iters as f64 / self.sim_iters as f64;
         let sim_end = self
@@ -904,7 +1280,7 @@ impl<'a> Engine<'a> {
             samples,
             throughput: samples as f64 / epoch_time.as_secs_f64().max(1e-12),
             host_bus_utilization: self.net.link_utilization(self.topo.host_bus(0)),
-            trace: self.trace,
+            trace: std::mem::take(&mut self.trace),
         }
     }
 }

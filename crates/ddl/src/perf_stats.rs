@@ -1,0 +1,86 @@
+//! Process-wide simulator performance counters.
+//!
+//! The engine flushes per-epoch diagnostics here instead of into
+//! [`crate::report::EpochReport`], so the report stays bit-identical across
+//! pure performance features (fast-forward on/off, arena reuse, parallel
+//! execution) while sweeps can still surface solver and fast-forward
+//! activity in their Prometheus output.
+//!
+//! Counters are monotonic atomics; callers take [`snapshot`] deltas around
+//! the work they want to attribute.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static FULL_RECOMPUTES: AtomicU64 = AtomicU64::new(0);
+static SHORTCUT_EVENTS: AtomicU64 = AtomicU64::new(0);
+static FAST_FORWARDED_ITERATIONS: AtomicU64 = AtomicU64::new(0);
+static SIM_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Point-in-time reading of the process-wide simulator counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfSnapshot {
+    /// Full water-filling solves across all epochs.
+    pub full_recomputes: u64,
+    /// Network state changes settled by incremental shortcuts instead.
+    pub shortcut_events: u64,
+    /// Iterations extended analytically by steady-state fast-forward
+    /// rather than simulated event-by-event.
+    pub fast_forwarded_iterations: u64,
+    /// Discrete events delivered by engine event queues.
+    pub sim_events: u64,
+}
+
+impl PerfSnapshot {
+    /// Counter increments between `earlier` and `self`.
+    #[must_use]
+    pub fn since(&self, earlier: &PerfSnapshot) -> PerfSnapshot {
+        PerfSnapshot {
+            full_recomputes: self.full_recomputes - earlier.full_recomputes,
+            shortcut_events: self.shortcut_events - earlier.shortcut_events,
+            fast_forwarded_iterations: self.fast_forwarded_iterations
+                - earlier.fast_forwarded_iterations,
+            sim_events: self.sim_events - earlier.sim_events,
+        }
+    }
+}
+
+/// Reads the current counter values.
+#[must_use]
+pub fn snapshot() -> PerfSnapshot {
+    PerfSnapshot {
+        full_recomputes: FULL_RECOMPUTES.load(Ordering::Relaxed),
+        shortcut_events: SHORTCUT_EVENTS.load(Ordering::Relaxed),
+        fast_forwarded_iterations: FAST_FORWARDED_ITERATIONS.load(Ordering::Relaxed),
+        sim_events: SIM_EVENTS.load(Ordering::Relaxed),
+    }
+}
+
+/// Flushes one epoch's worth of counters (called by the engine at report
+/// time).
+pub(crate) fn record_epoch(
+    full_recomputes: u64,
+    shortcut_events: u64,
+    fast_forwarded_iterations: u64,
+    sim_events: u64,
+) {
+    FULL_RECOMPUTES.fetch_add(full_recomputes, Ordering::Relaxed);
+    SHORTCUT_EVENTS.fetch_add(shortcut_events, Ordering::Relaxed);
+    FAST_FORWARDED_ITERATIONS.fetch_add(fast_forwarded_iterations, Ordering::Relaxed);
+    SIM_EVENTS.fetch_add(sim_events, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_deltas_accumulate() {
+        let before = snapshot();
+        record_epoch(2, 3, 5, 7);
+        let delta = snapshot().since(&before);
+        assert!(delta.full_recomputes >= 2);
+        assert!(delta.shortcut_events >= 3);
+        assert!(delta.fast_forwarded_iterations >= 5);
+        assert!(delta.sim_events >= 7);
+    }
+}

@@ -5,7 +5,7 @@ use stash_simkit::time::SimDuration;
 
 /// Rank-0 timing of one simulated iteration (recorded when
 /// [`crate::config::TrainConfig::record_trace`] is set).
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct IterationSample {
     /// Iteration index.
     pub iteration: u64,
@@ -19,7 +19,7 @@ pub struct IterationSample {
 
 /// Timing breakdown of one epoch, already extrapolated to full-epoch scale
 /// when the run was sampled.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct EpochReport {
     /// Cluster display name (e.g. `"p3.8xlarge*2"`).
     pub cluster: String,

@@ -45,15 +45,45 @@ impl MaxMinScratch {
     ///
     /// Panics if a route references a link index out of bounds.
     pub fn solve_dedup(&mut self, capacities: &[f64], routes: &[&[usize]]) -> &[f64] {
-        let n_flows = routes.len();
+        self.solve_with(capacities, routes.len(), |f| routes[f])
+    }
+
+    /// Same solve as [`Self::solve_dedup`] over flat-packed routes: flow
+    /// `f`'s (duplicate-free) route is `flat[spans[f].0 as usize..spans[f].1
+    /// as usize]`. This lets callers keep all routes in one pooled buffer —
+    /// no per-solve `Vec<&[usize]>` — while running the exact same
+    /// progressive-filling arithmetic, so results are bit-identical to
+    /// [`Self::solve_dedup`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a span or link index is out of bounds.
+    pub fn solve_flat(
+        &mut self,
+        capacities: &[f64],
+        flat: &[usize],
+        spans: &[(u32, u32)],
+    ) -> &[f64] {
+        self.solve_with(capacities, spans.len(), |f| {
+            let (lo, hi) = spans[f];
+            &flat[lo as usize..hi as usize]
+        })
+    }
+
+    fn solve_with<'r>(
+        &mut self,
+        capacities: &[f64],
+        n_flows: usize,
+        route_of: impl Fn(usize) -> &'r [usize],
+    ) -> &[f64] {
         let n_links = capacities.len();
         self.rate.clear();
         self.rate.resize(n_flows, 0.0);
         if n_flows == 0 {
             return &self.rate;
         }
-        for r in routes {
-            for &l in *r {
+        for f in 0..n_flows {
+            for &l in route_of(f) {
                 assert!(l < n_links, "route references unknown link {l}");
             }
         }
@@ -63,8 +93,8 @@ impl MaxMinScratch {
         self.frozen.clear();
         self.frozen.resize(n_flows, false);
         // Flows with empty routes are unconstrained.
-        for (f, r) in routes.iter().enumerate() {
-            if r.is_empty() {
+        for f in 0..n_flows {
+            if route_of(f).is_empty() {
                 self.rate[f] = f64::INFINITY;
                 self.frozen[f] = true;
             }
@@ -75,11 +105,11 @@ impl MaxMinScratch {
         loop {
             // users[l] = number of unfrozen flows crossing link l.
             self.users.iter_mut().for_each(|u| *u = 0);
-            for (f, r) in routes.iter().enumerate() {
+            for f in 0..n_flows {
                 if self.frozen[f] {
                     continue;
                 }
-                for &l in *r {
+                for &l in route_of(f) {
                     self.users[l] += 1;
                 }
             }
@@ -101,14 +131,15 @@ impl MaxMinScratch {
             // Freeze every unfrozen flow crossing the bottleneck at
             // fair_share.
             let mut froze_any = false;
-            for (f, r) in routes.iter().enumerate() {
+            for f in 0..n_flows {
+                let r = route_of(f);
                 if self.frozen[f] || !r.contains(&bottleneck) {
                     continue;
                 }
                 self.rate[f] = fair_share;
                 self.frozen[f] = true;
                 froze_any = true;
-                for &l in *r {
+                for &l in r {
                     self.remaining_cap[l] = (self.remaining_cap[l] - fair_share).max(0.0);
                 }
             }
@@ -209,6 +240,27 @@ mod tests {
     #[test]
     fn no_flows_is_empty() {
         assert!(max_min_rates(&[10.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn flat_solve_matches_sliced_solve_bitwise() {
+        let caps = [50.0, 30.0, 70.0, 10.0];
+        let routes: Vec<Vec<usize>> = vec![vec![0, 1], vec![1, 2], vec![0, 2, 3], vec![], vec![2]];
+        let refs: Vec<&[usize]> = routes.iter().map(Vec::as_slice).collect();
+        let mut flat = Vec::new();
+        let mut spans = Vec::new();
+        for r in &routes {
+            let lo = flat.len() as u32;
+            flat.extend_from_slice(r);
+            spans.push((lo, flat.len() as u32));
+        }
+        let sliced = MaxMinScratch::new().solve_dedup(&caps, &refs).to_vec();
+        let flat_rates = MaxMinScratch::new()
+            .solve_flat(&caps, &flat, &spans)
+            .to_vec();
+        for (a, b) in sliced.iter().zip(&flat_rates) {
+            assert_eq!(a.to_bits(), b.to_bits(), "flat solve drifted: {a} vs {b}");
+        }
     }
 
     #[test]

@@ -5,20 +5,35 @@
 //! ties on the timestamp are broken by insertion order (FIFO), so a given
 //! event schedule always replays identically. Events can be cancelled via
 //! the [`EventKey`] returned at scheduling time.
+//!
+//! Internally the queue is a lazy-deletion binary heap indexed by a
+//! generation-counted slot table: cancellation is O(1) (flip the slot's
+//! generation; the heap entry becomes a tombstone that `pop` skips), and
+//! the slot table recycles entries through a free list so a steady-state
+//! schedule/deliver cycle performs no heap allocation at all.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
 /// Opaque handle identifying a scheduled event, usable for cancellation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventKey(u64);
+///
+/// Keys are generation-tagged: once the event is delivered or cancelled its
+/// slot is recycled under a bumped generation, so a stale key can never
+/// cancel an unrelated later event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventKey {
+    idx: u32,
+    gen: u32,
+}
 
 #[derive(Debug)]
 struct Entry<E> {
     at: SimTime,
     seq: u64,
+    idx: u32,
+    gen: u32,
     payload: E,
 }
 
@@ -62,7 +77,11 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     now: SimTime,
     next_seq: u64,
-    cancelled: HashSet<u64>,
+    /// Generation per slot; a heap entry is live iff its recorded generation
+    /// still matches its slot's.
+    slot_gen: Vec<u32>,
+    free: Vec<u32>,
+    live: usize,
     scheduled: u64,
     delivered: u64,
 }
@@ -81,7 +100,9 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             now: SimTime::ZERO,
             next_seq: 0,
-            cancelled: HashSet::new(),
+            slot_gen: Vec::new(),
+            free: Vec::new(),
+            live: 0,
             scheduled: 0,
             delivered: 0,
         }
@@ -109,8 +130,24 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled += 1;
-        self.heap.push(Reverse(Entry { at, seq, payload }));
-        EventKey(seq)
+        self.live += 1;
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                let idx = u32::try_from(self.slot_gen.len()).expect("slot index overflow");
+                self.slot_gen.push(0);
+                idx
+            }
+        };
+        let gen = self.slot_gen[idx as usize];
+        self.heap.push(Reverse(Entry {
+            at,
+            seq,
+            idx,
+            gen,
+            payload,
+        }));
+        EventKey { idx, gen }
     }
 
     /// Schedules `payload` after a relative delay from the current clock.
@@ -123,12 +160,17 @@ impl<E> EventQueue<E> {
     /// still pending (cancelling an already-delivered or unknown key is a
     /// no-op returning `false`).
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        if key.0 >= self.next_seq {
-            return false;
+        match self.slot_gen.get_mut(key.idx as usize) {
+            Some(gen) if *gen == key.gen => {
+                // Bump the generation: the heap entry turns into a tombstone
+                // and the slot becomes reusable immediately.
+                *gen = gen.wrapping_add(1);
+                self.free.push(key.idx);
+                self.live -= 1;
+                true
+            }
+            _ => false,
         }
-        // Only mark if it has not been delivered yet; delivery removes the
-        // seq from consideration because pop skips tombstones lazily.
-        self.cancelled.insert(key.0)
     }
 
     /// Pops the next event, advancing the clock to its timestamp.
@@ -136,9 +178,12 @@ impl<E> EventQueue<E> {
     /// Returns `None` when the queue is exhausted.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(Reverse(entry)) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
+            if self.slot_gen[entry.idx as usize] != entry.gen {
+                continue; // tombstone: cancelled before delivery
             }
+            self.slot_gen[entry.idx as usize] = entry.gen.wrapping_add(1);
+            self.free.push(entry.idx);
+            self.live -= 1;
             debug_assert!(entry.at >= self.now);
             self.now = entry.at;
             self.delivered += 1;
@@ -152,10 +197,8 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&mut self) -> Option<SimTime> {
         // Lazily drop tombstoned entries from the front.
         while let Some(Reverse(entry)) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
+            if self.slot_gen[entry.idx as usize] != entry.gen {
                 self.heap.pop();
-                self.cancelled.remove(&seq);
                 continue;
             }
             return Some(entry.at);
@@ -163,18 +206,16 @@ impl<E> EventQueue<E> {
         None
     }
 
-    /// Number of pending (possibly including tombstoned) entries. Intended
-    /// for diagnostics; tombstones make this an upper bound (which is why
-    /// `is_empty` — which is exact — takes `&mut self` instead).
+    /// Number of live (scheduled, not yet delivered or cancelled) events.
     #[must_use]
-    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.live
     }
 
     /// `true` when no live events remain.
-    pub fn is_empty(&mut self) -> bool {
-        self.peek_time().is_none()
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
     }
 
     /// Total events scheduled over the queue's lifetime.
@@ -187,6 +228,20 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn delivered_count(&self) -> u64 {
         self.delivered
+    }
+
+    /// Returns the queue to its freshly-constructed state while keeping the
+    /// heap, slot-table and free-list capacity, so a reused queue behaves
+    /// bit-identically to a new one without reallocating.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.slot_gen.clear();
+        self.free.clear();
+        self.now = SimTime::ZERO;
+        self.next_seq = 0;
+        self.live = 0;
+        self.scheduled = 0;
+        self.delivered = 0;
     }
 }
 
@@ -244,11 +299,38 @@ mod tests {
         q.pop();
         assert_eq!(q.scheduled_count(), 2);
         assert_eq!(q.delivered_count(), 1);
+        assert_eq!(q.len(), 1);
     }
 
     #[test]
     fn cancel_unknown_key_is_false() {
         let mut q: EventQueue<()> = EventQueue::new();
-        assert!(!q.cancel(EventKey(42)));
+        assert!(!q.cancel(EventKey { idx: 42, gen: 0 }));
+    }
+
+    #[test]
+    fn stale_key_does_not_cancel_slot_reuse() {
+        let mut q = EventQueue::new();
+        let k1 = q.schedule_at(SimTime::from_nanos(1), "a");
+        assert!(q.cancel(k1));
+        // The slot is recycled for the next event under a new generation.
+        let k2 = q.schedule_at(SimTime::from_nanos(2), "b");
+        assert!(!q.cancel(k1), "stale key must not cancel the reused slot");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(!q.cancel(k2), "delivered key must not cancel");
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(3), 1);
+        q.pop();
+        q.reset();
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.scheduled_count(), 0);
+        assert_eq!(q.delivered_count(), 0);
+        assert!(q.is_empty());
+        q.schedule_at(SimTime::from_nanos(1), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(1), 2)));
     }
 }

@@ -34,3 +34,16 @@ grep -q "<th class=\"num\">${wall_ns}</th>" /tmp/stash_tier1_report.html
 
 # Diff CLI smoke test: a report diffed against itself has no regressions.
 ./target/release/stash diff /tmp/stash_tier1_report.json /tmp/stash_tier1_report.json
+
+# Zero-allocation gate: steady-state epochs must not touch the global
+# allocator (counting-allocator test), fast-forward must not change any
+# EpochReport bit (differential test, FF on and off compared in-process
+# against fresh-state runs), and the indexed event queue must stay
+# order-equivalent to a reference binary heap under random op sequences.
+cargo test -q --test alloc_budget
+cargo test -q --test fast_forward_differential
+cargo test -q --test queue_equivalence
+
+# Benchmark-script smoke: runs the figure sweep with fast-forward on and
+# off at a small iteration budget and sanity-checks the perf record.
+scripts/bench.sh --smoke
