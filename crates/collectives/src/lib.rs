@@ -31,6 +31,7 @@ pub mod schedule;
 pub mod prelude {
     pub use crate::bucket::{Bucket, Bucketing, CommPlan};
     pub use crate::schedule::{
-        allreduce_transfers, ring_duration_estimate, Algorithm, TransferSpec,
+        allreduce_transfers, allreduce_transfers_among, ring_duration_estimate, Algorithm,
+        TransferSpec,
     };
 }

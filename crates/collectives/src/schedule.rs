@@ -79,14 +79,35 @@ pub fn allreduce_transfers(
 ) -> Vec<TransferSpec> {
     assert!(bytes >= 0.0, "negative payload");
     let ranks = topo.ring_order();
-    let p = ranks.len();
-    if p <= 1 {
+    allreduce_transfers_among(topo, net, algo, bytes, &ranks)
+}
+
+/// Lowers one all-reduce of `bytes` over an explicit subset of ranks —
+/// the elastic-training path: after a permanent node preemption the
+/// survivors re-form the collective over the remaining GPUs only.
+///
+/// `ranks` must be pairwise distinct; their order defines the ring.
+/// Returns an empty vector when fewer than two ranks participate.
+///
+/// # Panics
+///
+/// Panics if `bytes` is negative.
+#[must_use]
+pub fn allreduce_transfers_among(
+    topo: &Topology,
+    net: &FlowNet,
+    algo: Algorithm,
+    bytes: f64,
+    ranks: &[GpuId],
+) -> Vec<TransferSpec> {
+    assert!(bytes >= 0.0, "negative payload");
+    if ranks.len() <= 1 {
         return Vec::new();
     }
     match algo {
-        Algorithm::Ring => ring(topo, net, &ranks, bytes),
-        Algorithm::Tree => tree(topo, net, &ranks, bytes),
-        Algorithm::ParameterServer => parameter_server(topo, net, &ranks, bytes),
+        Algorithm::Ring => ring(topo, net, ranks, bytes),
+        Algorithm::Tree => tree(topo, net, ranks, bytes),
+        Algorithm::ParameterServer => parameter_server(topo, net, ranks, bytes),
     }
 }
 
@@ -187,7 +208,7 @@ pub fn ring_duration_estimate(topo: &Topology, net: &FlowNet, bytes: f64) -> Sim
             t.extra_latency + lat + SimDuration::from_secs_f64(t.bytes / rate)
         })
         .max()
-        .expect("non-empty")
+        .unwrap_or(SimDuration::ZERO)
 }
 
 #[cfg(test)]
@@ -226,6 +247,31 @@ mod tests {
         for f in &flows {
             assert!((f.bytes - 2.0 * 7.0 / 8.0 * 1e6 * STAGED_COPY_FACTOR).abs() < 1.0);
         }
+    }
+
+    #[test]
+    fn survivor_subset_ring_skips_the_dead_node() {
+        let (t, net) = topo_of(ClusterSpec::homogeneous(p3_8xlarge(), 2));
+        // Node 1 was preempted: only node 0's four ranks remain.
+        let survivors: Vec<GpuId> = t.ring_order().into_iter().filter(|g| g.node == 0).collect();
+        let flows = allreduce_transfers_among(&t, &net, Algorithm::Ring, 1e6, &survivors);
+        assert_eq!(flows.len(), 4);
+        let p = survivors.len() as f64;
+        for f in &flows {
+            assert!(
+                (f.bytes / staging_factor(&net, &f.route) - 2.0 * (p - 1.0) / p * 1e6).abs() < 1.0
+            );
+        }
+        // One survivor → no communication at all.
+        assert!(
+            allreduce_transfers_among(&t, &net, Algorithm::Ring, 1e6, &survivors[..1]).is_empty()
+        );
+        // The full rank set matches the topo-wide lowering exactly.
+        let all = t.ring_order();
+        assert_eq!(
+            allreduce_transfers_among(&t, &net, Algorithm::Ring, 1e6, &all),
+            allreduce_transfers(&t, &net, Algorithm::Ring, 1e6)
+        );
     }
 
     #[test]

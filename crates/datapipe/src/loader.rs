@@ -114,6 +114,21 @@ enum WorkerPhase {
 struct Worker {
     phase: WorkerPhase,
     produced: u64,
+    /// The in-flight fetch's transfer parameters, kept so a brownout can
+    /// re-issue it; cleared when the fetch completes for good.
+    fetch: Option<FetchSpec>,
+    /// Whether the in-flight fetch has already been retried (brownouts
+    /// cost exactly one deterministic retry, never a loop).
+    retried: bool,
+}
+
+/// Parameters of one fetch transfer, remembered for brownout retries.
+#[derive(Debug, Clone)]
+struct FetchSpec {
+    route: Vec<LinkId>,
+    bytes: f64,
+    extra_latency: SimDuration,
+    purpose: TransferPurpose,
 }
 
 /// Event-driven data loader for one node.
@@ -125,6 +140,10 @@ pub struct NodeLoader {
     started: Vec<u64>,
     queue: Vec<usize>,
     cache: PageCache,
+    /// Whether the node's volume is currently browned out (fault
+    /// injection): disk fetches completing during the window are
+    /// re-issued once.
+    brownout: bool,
 }
 
 impl NodeLoader {
@@ -145,6 +164,8 @@ impl NodeLoader {
                 Worker {
                     phase: WorkerPhase::Idle,
                     produced: 0,
+                    fetch: None,
+                    retried: false,
                 };
                 spec.gpus * spec.workers_per_gpu
             ],
@@ -152,7 +173,15 @@ impl NodeLoader {
             queue: vec![0; spec.gpus],
             cache,
             spec,
+            brownout: false,
         }
+    }
+
+    /// Opens or closes a disk-brownout window. While open, a disk fetch
+    /// that completes is assumed torn and re-issued exactly once; cache
+    /// hits and uploads are unaffected. A no-op toggle is harmless.
+    pub fn set_brownout(&mut self, on: bool) {
+        self.brownout = on;
     }
 
     /// The GPU a worker feeds.
@@ -203,7 +232,31 @@ impl NodeLoader {
         let mut actions = Vec::new();
         match self.workers[worker].phase {
             WorkerPhase::Fetching => {
-                self.workers[worker].phase = WorkerPhase::Prepping;
+                // A disk read landing inside a brownout window is torn:
+                // re-issue it once (deterministically), then let the
+                // retry complete even if the window is still open.
+                let retry = match &self.workers[worker].fetch {
+                    Some(f) if self.brownout && !self.workers[worker].retried => {
+                        (f.purpose == TransferPurpose::FetchMiss).then(|| f.clone())
+                    }
+                    _ => None,
+                };
+                if let Some(f) = retry {
+                    let w = &mut self.workers[worker];
+                    w.retried = true;
+                    actions.push(LoaderAction::StartTransfer {
+                        worker,
+                        route: f.route,
+                        bytes: f.bytes,
+                        extra_latency: f.extra_latency,
+                        purpose: f.purpose,
+                    });
+                    return actions;
+                }
+                let w = &mut self.workers[worker];
+                w.fetch = None;
+                w.retried = false;
+                w.phase = WorkerPhase::Prepping;
                 actions.push(LoaderAction::StartPrep {
                     worker,
                     duration: self.prep_duration(),
@@ -274,8 +327,6 @@ impl NodeLoader {
             return; // stay idle until the GPU drains the queue
         }
         self.started[gpu] += 1;
-        let w = &mut self.workers[worker];
-        w.phase = WorkerPhase::Fetching;
         let batch = self.spec.per_gpu_batch;
         let bytes = self.spec.dataset.avg_sample_bytes() * batch as f64;
         let hit = self.cache.next_is_hit();
@@ -287,16 +338,26 @@ impl NodeLoader {
                 self.spec.per_sample_disk_latency * batch,
             )
         };
+        let purpose = if hit {
+            TransferPurpose::FetchHit
+        } else {
+            TransferPurpose::FetchMiss
+        };
+        let w = &mut self.workers[worker];
+        w.phase = WorkerPhase::Fetching;
+        w.retried = false;
+        w.fetch = Some(FetchSpec {
+            route: route.clone(),
+            bytes,
+            extra_latency: extra,
+            purpose,
+        });
         actions.push(LoaderAction::StartTransfer {
             worker,
             route,
             bytes,
             extra_latency: extra,
-            purpose: if hit {
-                TransferPurpose::FetchHit
-            } else {
-                TransferPurpose::FetchMiss
-            },
+            purpose,
         });
     }
 
@@ -547,6 +608,38 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn brownout_retries_disk_fetches_exactly_once() {
+        let mut loader = NodeLoader::new(spec(1, 1, CacheState::Cold));
+        let first = loader.start();
+        assert!(matches!(
+            first[0],
+            LoaderAction::StartTransfer {
+                purpose: TransferPurpose::FetchMiss,
+                ..
+            }
+        ));
+        loader.set_brownout(true);
+        // The in-window completion is torn: same fetch re-issued once.
+        let retry = loader.transfer_done(0);
+        assert_eq!(first, retry, "retry must re-issue the identical fetch");
+        // The retry's completion proceeds to prep even while the window
+        // is still open (exactly one retry, never a loop).
+        let next = loader.transfer_done(0);
+        assert!(matches!(next[0], LoaderAction::StartPrep { .. }));
+        loader.set_brownout(false);
+    }
+
+    #[test]
+    fn brownout_leaves_cache_hits_alone() {
+        let mut loader = NodeLoader::new(spec(1, 1, CacheState::Warm));
+        let _ = loader.start();
+        loader.set_brownout(true);
+        // Page-cache reads don't touch the volume: no retry.
+        let next = loader.transfer_done(0);
+        assert!(matches!(next[0], LoaderAction::StartPrep { .. }));
     }
 
     #[test]

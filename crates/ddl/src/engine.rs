@@ -17,9 +17,10 @@ use std::sync::OnceLock;
 
 use stash_collectives::bucket::CommPlan;
 use stash_collectives::constants::GRAD_HOOK_OVERHEAD;
-use stash_collectives::schedule::{allreduce_transfers, TransferSpec};
+use stash_collectives::schedule::{allreduce_transfers, allreduce_transfers_among, TransferSpec};
 use stash_datapipe::loader::{LoaderAction, LoaderSpec, NodeLoader, TransferPurpose};
-use stash_flowsim::link::LinkClass;
+use stash_faults::plan::{FaultKind, FaultPlan};
+use stash_flowsim::link::{LinkClass, LinkId};
 use stash_flowsim::net::{FlowId, FlowNet, FlowSpec};
 use stash_gpucompute::kernel::ComputeModel;
 use stash_gpucompute::memory;
@@ -30,6 +31,7 @@ use stash_trace::{Category, SharedTracer, Track};
 use crate::config::{ActiveGpus, DataMode, TrainConfig};
 use crate::error::TrainError;
 use crate::perf_stats;
+use crate::recovery::{FaultOutcome, FaultRecord, FaultedRun, StragglerDetection};
 use crate::report::{EpochReport, IterationSample};
 
 const TAG_COMM: u64 = 1 << 48;
@@ -46,17 +48,37 @@ fn decode_loader_tag(tag: u64) -> (usize, usize) {
 #[derive(Debug)]
 enum Ev {
     NetWake,
-    RankCompute { rank: usize },
-    LoaderPrep { node: usize, worker: usize },
+    RankCompute {
+        rank: usize,
+    },
+    LoaderPrep {
+        node: usize,
+        worker: usize,
+    },
+    /// Plan event `idx` fires (fault injection).
+    Fault {
+        idx: usize,
+    },
+    /// Window fault `idx` closes.
+    FaultClear {
+        idx: usize,
+    },
+    /// A preemption's restart delay elapsed; parked ranks resume.
+    FaultResume,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     AwaitBatch,
     Forward,
-    Backward { seg: usize },
+    Backward {
+        seg: usize,
+    },
     AwaitComm,
     Step,
+    /// Parked at a preemption barrier (iteration-boundary quantized),
+    /// waiting for the restart delay or elastic re-formation.
+    Recovering,
     Done,
 }
 
@@ -74,6 +96,12 @@ struct RankState {
     compute: SimDuration,
     data_wait: SimDuration,
     comm_wait: SimDuration,
+    /// Fault-recovery stall: preemption barrier waits, restart delays and
+    /// replayed iterations. Zero on fault-free runs.
+    recovery: SimDuration,
+    /// Excess compute inflicted by transient straggler windows. Zero on
+    /// fault-free runs.
+    straggler: SimDuration,
 }
 
 #[derive(Debug)]
@@ -184,6 +212,69 @@ struct FfState {
     probe_cur: Vec<(SimTime, f64)>,
 }
 
+/// Snapshot of a rank's timing accumulators, taken when replay of lost
+/// iterations begins so the replayed work can be re-billed as recovery
+/// stall when it completes.
+#[derive(Debug, Clone, Copy)]
+struct AccumSnap {
+    compute: SimDuration,
+    data_wait: SimDuration,
+    comm_wait: SimDuration,
+}
+
+/// Live state of the fault injector and the recovery machinery.
+///
+/// Constructed **only** for a non-empty [`FaultPlan`]; when absent, every
+/// fault branch in the engine is skipped and the simulation is
+/// bit-identical to the fault-free engine (enforced by the workspace
+/// `faults_differential` test).
+#[derive(Debug)]
+struct FaultRuntime {
+    plan: FaultPlan,
+    /// Whether each window fault is currently open.
+    open: Vec<bool>,
+    /// Whether each plan event fired before the epoch finished.
+    fired: Vec<bool>,
+    /// Wall-clock stall blamed directly on each plan event.
+    blame: Vec<SimDuration>,
+    /// Plan events not yet fully resolved. Fast-forward may only engage
+    /// once this reaches zero (and no replay is active): an engaged
+    /// fast-forward would otherwise skip straight past scheduled faults.
+    outstanding: usize,
+    /// Per-rank product of the slowdowns of open straggler windows
+    /// (exactly 1.0 when none are open).
+    slow_factor: Vec<f64>,
+    /// Nominal `(tx, rx)` NIC capacities per node, captured before any
+    /// fault fires so overlapping windows compose multiplicatively and
+    /// restore exactly.
+    nominal_nic: Vec<[(LinkId, f64); 2]>,
+    /// Nominal SSD capacity per node.
+    nominal_ssd: Vec<(LinkId, f64)>,
+    /// Preemptions waiting for the current one to resolve.
+    preempt_queue: VecDeque<usize>,
+    /// The preemption currently gathering ranks at the iteration barrier.
+    barrier: Option<usize>,
+    /// The preemption whose restart delay is running (barrier complete).
+    resume: Option<usize>,
+    /// Per-rank replay state: `(replay_until, snapshot, blamed event)`.
+    replay: Vec<Option<(u64, AccumSnap, usize)>>,
+    /// Ranks with an active replay.
+    replaying: usize,
+    /// Nodes permanently removed by elastic re-formation.
+    dead_nodes: Vec<bool>,
+    /// Ranks removed from the active set by elastic re-formation.
+    dead_ranks: Vec<usize>,
+    /// First-notify time of each gradient bucket this iteration
+    /// (straggler detection bookkeeping; never perturbs timing).
+    bucket_first: Vec<Option<SimTime>>,
+    /// Current straggler-detection timeout; grows by the policy backoff
+    /// after each detection so a persistent straggler is flagged a
+    /// bounded number of times.
+    timeout: SimDuration,
+    detections: Vec<StragglerDetection>,
+    replayed_iterations: u64,
+}
+
 /// Runs one training epoch under `cfg` and reports the timing breakdown.
 ///
 /// # Errors
@@ -192,7 +283,7 @@ struct FfState {
 /// [`TrainError::OutOfMemory`] when the model + batch exceeds any
 /// participating GPU's memory.
 pub fn run_epoch(cfg: &TrainConfig) -> Result<EpochReport, TrainError> {
-    run_epoch_inner(cfg, None, &EngineOptions::default(), None)
+    run_epoch_inner(cfg, None, &EngineOptions::default(), None, None).map(|r| r.report)
 }
 
 /// [`run_epoch`] with explicit [`EngineOptions`]. The report is
@@ -205,7 +296,7 @@ pub fn run_epoch_with(
     cfg: &TrainConfig,
     options: &EngineOptions,
 ) -> Result<EpochReport, TrainError> {
-    run_epoch_inner(cfg, None, options, None)
+    run_epoch_inner(cfg, None, options, None, None).map(|r| r.report)
 }
 
 /// [`run_epoch`] reusing a caller-owned [`EngineArena`] for the flow
@@ -217,7 +308,7 @@ pub fn run_epoch_with(
 ///
 /// As for [`run_epoch`].
 pub fn run_epoch_in(cfg: &TrainConfig, arena: &mut EngineArena) -> Result<EpochReport, TrainError> {
-    run_epoch_inner(cfg, None, &EngineOptions::default(), Some(arena))
+    run_epoch_inner(cfg, None, &EngineOptions::default(), None, Some(arena)).map(|r| r.report)
 }
 
 /// [`run_epoch_in`] with explicit [`EngineOptions`].
@@ -230,7 +321,7 @@ pub fn run_epoch_in_with(
     options: &EngineOptions,
     arena: &mut EngineArena,
 ) -> Result<EpochReport, TrainError> {
-    run_epoch_inner(cfg, None, options, Some(arena))
+    run_epoch_inner(cfg, None, options, None, Some(arena)).map(|r| r.report)
 }
 
 /// [`run_epoch`] with a trace recorder attached: compute, stall-wait,
@@ -249,16 +340,74 @@ pub fn run_epoch_traced(
     cfg: &TrainConfig,
     tracer: &SharedTracer,
 ) -> Result<EpochReport, TrainError> {
-    run_epoch_inner(cfg, Some(tracer), &EngineOptions::default(), None)
+    run_epoch_inner(cfg, Some(tracer), &EngineOptions::default(), None, None).map(|r| r.report)
+}
+
+/// Runs one epoch with `plan`'s faults injected through the event queue
+/// and the engine's recovery machinery (checkpoint/restart replay,
+/// elastic re-formation, bounded-timeout straggler detection) engaged.
+///
+/// An **empty** plan is bit-identical to [`run_epoch`] — fault handling
+/// is only constructed for plans that schedule at least one event.
+///
+/// # Errors
+///
+/// As for [`run_epoch`], plus [`TrainError::InvalidFaultPlan`] when the
+/// plan does not fit the cluster.
+pub fn run_epoch_faulted(cfg: &TrainConfig, plan: &FaultPlan) -> Result<FaultedRun, TrainError> {
+    run_epoch_inner(cfg, None, &EngineOptions::default(), Some(plan), None)
+}
+
+/// [`run_epoch_faulted`] with explicit [`EngineOptions`]. Steady-state
+/// fast-forward disengages while any fault is pending or being recovered
+/// from and re-engages once the plan is quiescent, so the report is
+/// bit-identical across option combinations.
+///
+/// # Errors
+///
+/// As for [`run_epoch_faulted`].
+pub fn run_epoch_faulted_with(
+    cfg: &TrainConfig,
+    plan: &FaultPlan,
+    options: &EngineOptions,
+) -> Result<FaultedRun, TrainError> {
+    run_epoch_inner(cfg, None, options, Some(plan), None)
+}
+
+/// [`run_epoch_faulted`] with a trace recorder attached: recovery and
+/// straggler stall flow into the trace as first-class span categories
+/// ([`Category::Recovery`], [`Category::Straggler`]) so critical-path
+/// attribution and `stash report` work on chaos runs unchanged.
+///
+/// # Errors
+///
+/// As for [`run_epoch_faulted`].
+pub fn run_epoch_faulted_traced(
+    cfg: &TrainConfig,
+    plan: &FaultPlan,
+    tracer: &SharedTracer,
+) -> Result<FaultedRun, TrainError> {
+    run_epoch_inner(
+        cfg,
+        Some(tracer),
+        &EngineOptions::default(),
+        Some(plan),
+        None,
+    )
 }
 
 fn run_epoch_inner(
     cfg: &TrainConfig,
     tracer: Option<&SharedTracer>,
     options: &EngineOptions,
+    plan: Option<&FaultPlan>,
     arena: Option<&mut EngineArena>,
-) -> Result<EpochReport, TrainError> {
+) -> Result<FaultedRun, TrainError> {
     cfg.validate()?;
+    if let Some(p) = plan {
+        p.validate(cfg.cluster.world_size(), cfg.cluster.node_count())
+            .map_err(|e| TrainError::InvalidFaultPlan(e.to_string()))?;
+    }
     for inst in &cfg.cluster.instances {
         let spec = inst.gpu.spec();
         let est = memory::estimate_with(&cfg.model, cfg.per_gpu_batch, cfg.precision);
@@ -272,7 +421,7 @@ fn run_epoch_inner(
     }
     let mut local = EngineArena::default();
     let arena = arena.unwrap_or(&mut local);
-    let mut engine = Engine::new(cfg, options, arena)?;
+    let mut engine = Engine::new(cfg, options, plan, arena)?;
     if let Some(t) = tracer {
         engine.attach_tracer(t);
     }
@@ -337,6 +486,11 @@ struct Engine<'a> {
     /// (real-data input, tracing, per-iteration trace recording, or
     /// disabled via [`EngineOptions`]).
     ff: Option<FfState>,
+    /// Fault injector and recovery machinery; `None` unless a non-empty
+    /// [`FaultPlan`] was supplied, in which case every fault branch is
+    /// dead code and the simulation is bit-identical to the fault-free
+    /// engine.
+    faults: Option<FaultRuntime>,
     /// Iterations skipped by fast-forward (diagnostic only; flushed to
     /// [`perf_stats`], never reported in the [`EpochReport`]).
     ff_iterations: u64,
@@ -358,6 +512,7 @@ impl<'a> Engine<'a> {
     fn new(
         cfg: &'a TrainConfig,
         options: &EngineOptions,
+        fault_plan: Option<&FaultPlan>,
         arena: &mut EngineArena,
     ) -> Result<Engine<'a>, TrainError> {
         let mut net = std::mem::take(&mut arena.net);
@@ -411,6 +566,8 @@ impl<'a> Engine<'a> {
                 compute: SimDuration::ZERO,
                 data_wait: SimDuration::ZERO,
                 comm_wait: SimDuration::ZERO,
+                recovery: SimDuration::ZERO,
+                straggler: SimDuration::ZERO,
             })
             .collect();
 
@@ -467,6 +624,56 @@ impl<'a> Engine<'a> {
             net.set_load_probe(topo.host_bus(0));
         }
 
+        // Fault machinery exists only for non-empty plans: the empty-plan
+        // path must stay bit-identical to the fault-free engine.
+        let faults = fault_plan.filter(|p| !p.is_empty()).map(|p| {
+            let nodes = cfg.cluster.node_count();
+            FaultRuntime {
+                plan: p.clone(),
+                open: vec![false; p.events.len()],
+                fired: vec![false; p.events.len()],
+                blame: vec![SimDuration::ZERO; p.events.len()],
+                outstanding: p.events.len(),
+                slow_factor: vec![1.0; topo.world_size()],
+                nominal_nic: (0..nodes)
+                    .map(|n| topo.degraded_nic_capacities(&net, n, 1.0))
+                    .collect(),
+                nominal_ssd: (0..nodes)
+                    .map(|n| topo.degraded_ssd_capacity(&net, n, 1.0))
+                    .collect(),
+                preempt_queue: VecDeque::new(),
+                barrier: None,
+                resume: None,
+                replay: vec![None; topo.world_size()],
+                replaying: 0,
+                dead_nodes: vec![false; nodes],
+                dead_ranks: Vec::new(),
+                bucket_first: vec![None; plan.buckets.len()],
+                timeout: p.recovery.straggler_timeout,
+                detections: Vec::new(),
+                replayed_iterations: 0,
+            }
+        });
+        // Checkpoint replay re-consumes input batches, so loaders need
+        // headroom beyond the epoch's own iterations. Zero without a
+        // restart-style preemption, keeping fault-free runs untouched.
+        let replay_slack: u64 = faults.as_ref().map_or(0, |fr| {
+            fr.plan
+                .events
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e.kind,
+                        FaultKind::Preemption {
+                            restart_after: Some(_),
+                            ..
+                        }
+                    )
+                })
+                .count() as u64
+                * fr.plan.recovery.checkpoint_every
+        });
+
         let loaders: Vec<Option<NodeLoader>> = match &cfg.data {
             DataMode::Synthetic => vec![None; cfg.cluster.node_count()],
             DataMode::Real { dataset, cache } => cfg
@@ -487,7 +694,7 @@ impl<'a> Engine<'a> {
                         workers_per_gpu: stash_datapipe::loader::DEFAULT_WORKERS_PER_GPU,
                         vcpus: inst.vcpus,
                         per_gpu_batch: cfg.per_gpu_batch,
-                        batches_per_gpu: sim_iters,
+                        batches_per_gpu: sim_iters + replay_slack,
                         dataset: shard,
                         decoded_sample_bytes: cfg.model.input_sample_bytes,
                         cache: *cache,
@@ -533,6 +740,7 @@ impl<'a> Engine<'a> {
             completed_buf,
             loader_work,
             ff,
+            faults,
             ff_iterations: 0,
             net_stats0,
         })
@@ -616,7 +824,7 @@ impl<'a> Engine<'a> {
         Track::gpu(gpu.node, gpu.local)
     }
 
-    fn run(&mut self) -> Result<EpochReport, TrainError> {
+    fn run(&mut self) -> Result<FaultedRun, TrainError> {
         // Kick loaders and ranks.
         for node in 0..self.loaders.len() {
             if self.loaders[node].is_some() {
@@ -627,6 +835,12 @@ impl<'a> Engine<'a> {
         for i in 0..self.active.len() {
             let rank = self.active[i];
             self.begin_iteration(rank);
+        }
+        // Arm the fault plan: every event goes through the one event
+        // queue, so injection is as deterministic as the engine itself.
+        for idx in 0..self.faults.as_ref().map_or(0, |fr| fr.plan.events.len()) {
+            let at = self.faults.as_ref().expect("faults").plan.events[idx].at;
+            self.q.schedule_at(at, Ev::Fault { idx });
         }
         self.schedule_wake();
 
@@ -650,17 +864,23 @@ impl<'a> Engine<'a> {
                 }
                 Ev::RankCompute { rank } => self.on_rank_compute(rank),
                 Ev::LoaderPrep { node, worker } => {
-                    let actions = self.loaders[node]
-                        .as_mut()
-                        .expect("loader")
-                        .prep_done(worker);
-                    self.apply_loader_actions(node, actions);
+                    // A preempted node's loader is gone; late prep events
+                    // for it are dropped.
+                    if let Some(loader) = self.loaders[node].as_mut() {
+                        let actions = loader.prep_done(worker);
+                        self.apply_loader_actions(node, actions);
+                    }
                 }
+                Ev::Fault { idx } => self.on_fault_fired(idx),
+                Ev::FaultClear { idx } => self.on_fault_cleared(idx),
+                Ev::FaultResume => self.on_fault_resume(),
             }
             self.drain_flows();
             self.schedule_wake();
         }
-        Ok(self.build_report())
+        let report = self.build_report();
+        let faults = self.fault_outcome();
+        Ok(FaultedRun { report, faults })
     }
 
     fn all_done(&self) -> bool {
@@ -709,21 +929,61 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Excess time open straggler windows inflict on a compute interval
+    /// that *starts* now. [`SimDuration::ZERO`] on fault-free runs.
+    fn fault_extra(&self, rank: usize, dur: SimDuration) -> SimDuration {
+        match &self.faults {
+            Some(fr) if fr.slow_factor[rank] > 1.0 => {
+                dur.mul_f64(fr.slow_factor[rank]).saturating_sub(dur)
+            }
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// The span category for `rank`'s work right now: replayed iterations
+    /// are recovery stall, everything else keeps its nominal category.
+    fn rank_cat(&self, rank: usize, cat: Category) -> Category {
+        match &self.faults {
+            Some(fr) if fr.replay[rank].is_some() => Category::Recovery,
+            _ => cat,
+        }
+    }
+
+    /// Books `dur` of compute for `rank` (plus any straggler-window
+    /// excess, billed to the `straggler` accumulator and emitted as its
+    /// own span so the timeline still tiles exactly), then schedules the
+    /// completion event.
+    fn run_compute(&mut self, rank: usize, dur: SimDuration, name: &'static str, arg: Option<u32>) {
+        let extra = self.fault_extra(rank, dur);
+        self.ranks[rank].compute += dur;
+        if !extra.is_zero() {
+            self.ranks[rank].straggler += extra;
+            self.blame_straggler(rank, extra);
+        }
+        if self.trace_on {
+            let now = self.q.now();
+            let cat = self.rank_cat(rank, Category::Compute);
+            match arg {
+                Some(a) => self.emit_span_arg(self.gpu_track(rank), cat, name, a, now, now + dur),
+                None => self.emit_span(self.gpu_track(rank), cat, name, now, now + dur),
+            }
+            if !extra.is_zero() {
+                self.emit_span(
+                    self.gpu_track(rank),
+                    Category::Straggler,
+                    "straggler_excess",
+                    now + dur,
+                    now + dur + extra,
+                );
+            }
+        }
+        self.q.schedule_in(dur + extra, Ev::RankCompute { rank });
+    }
+
     fn start_forward(&mut self, rank: usize) {
         let dur = self.straggle(rank, self.node_compute[self.ranks[rank].gpu.node].fwd);
         self.ranks[rank].phase = Phase::Forward;
-        self.ranks[rank].compute += dur;
-        if self.trace_on {
-            let now = self.q.now();
-            self.emit_span(
-                self.gpu_track(rank),
-                Category::Compute,
-                "forward",
-                now,
-                now + dur,
-            );
-        }
-        self.q.schedule_in(dur, Ev::RankCompute { rank });
+        self.run_compute(rank, dur, "forward", None);
     }
 
     fn is_sync_micro(&self, rank: usize) -> bool {
@@ -737,36 +997,13 @@ impl<'a> Engine<'a> {
             dur += GRAD_HOOK_OVERHEAD; // DDP autograd hook per bucket
         }
         self.ranks[rank].phase = Phase::Backward { seg };
-        self.ranks[rank].compute += dur;
-        if self.trace_on {
-            let now = self.q.now();
-            self.emit_span_arg(
-                self.gpu_track(rank),
-                Category::Compute,
-                "backward",
-                seg as u32,
-                now,
-                now + dur,
-            );
-        }
-        self.q.schedule_in(dur, Ev::RankCompute { rank });
+        self.run_compute(rank, dur, "backward", Some(seg as u32));
     }
 
     fn start_step(&mut self, rank: usize) {
         let dur = self.straggle(rank, self.node_compute[self.ranks[rank].gpu.node].step);
         self.ranks[rank].phase = Phase::Step;
-        self.ranks[rank].compute += dur;
-        if self.trace_on {
-            let now = self.q.now();
-            self.emit_span(
-                self.gpu_track(rank),
-                Category::Compute,
-                "step",
-                now,
-                now + dur,
-            );
-        }
-        self.q.schedule_in(dur, Ev::RankCompute { rank });
+        self.run_compute(rank, dur, "step", None);
     }
 
     fn on_rank_compute(&mut self, rank: usize) {
@@ -775,7 +1012,7 @@ impl<'a> Engine<'a> {
             Phase::Backward { seg } => {
                 let syncing = self.is_sync_micro(rank);
                 if self.overlap && syncing {
-                    self.notify_bucket_ready(seg);
+                    self.notify_bucket_ready(rank, seg);
                 }
                 let last = seg + 1 >= self.plan.buckets.len();
                 if !last {
@@ -788,7 +1025,7 @@ impl<'a> Engine<'a> {
                 } else {
                     if !self.overlap {
                         for k in 0..self.plan.buckets.len() {
-                            self.notify_bucket_ready(k);
+                            self.notify_bucket_ready(rank, k);
                         }
                     }
                     match &self.comm {
@@ -834,7 +1071,14 @@ impl<'a> Engine<'a> {
                         comm_wait: r.comm_wait,
                     };
                 }
-                if self.ff.is_some() && self.on_ff_iteration_done(rank) {
+                if self.faults.is_some() && self.on_fault_step_boundary(rank) {
+                    // Captured by a preemption barrier (or retired at it).
+                    return;
+                }
+                // Fast-forward stays disengaged while any fault is
+                // pending, open or being recovered from: an engaged
+                // fast-forward would skip straight past scheduled faults.
+                if self.ff.is_some() && self.faults_quiescent() && self.on_ff_iteration_done(rank) {
                     // Steady state confirmed: every rank's remaining
                     // iterations were just extended analytically.
                     return;
@@ -984,7 +1228,7 @@ impl<'a> Engine<'a> {
 
     // ----- communicator -------------------------------------------------
 
-    fn notify_bucket_ready(&mut self, bucket: usize) {
+    fn notify_bucket_ready(&mut self, rank: usize, bucket: usize) {
         if self.comm.is_none() {
             return;
         }
@@ -992,7 +1236,38 @@ impl<'a> Engine<'a> {
             let comm = self.comm.as_mut().expect("comm");
             comm.ready[bucket] += 1;
         }
+        self.note_bucket_notify(rank, bucket);
         self.try_start_comm();
+    }
+
+    /// Bounded-timeout straggler detection: pure bookkeeping on the
+    /// first-to-last skew of each gradient bucket. Never perturbs timing.
+    fn note_bucket_notify(&mut self, rank: usize, bucket: usize) {
+        let now = self.q.now();
+        let world = match &self.comm {
+            Some(c) => c.world,
+            None => return,
+        };
+        let ready = self.comm.as_ref().expect("comm").ready[bucket];
+        let Some(fr) = &mut self.faults else {
+            return;
+        };
+        match fr.bucket_first[bucket] {
+            None => fr.bucket_first[bucket] = Some(now),
+            Some(first) if ready >= world => {
+                let gap = now.duration_since(first);
+                if gap > fr.timeout {
+                    fr.detections.push(StragglerDetection {
+                        at: now,
+                        rank,
+                        bucket,
+                        gap,
+                    });
+                    fr.timeout = fr.timeout.mul_f64(fr.plan.recovery.straggler_backoff);
+                }
+            }
+            Some(_) => {}
+        }
     }
 
     fn try_start_comm(&mut self) {
@@ -1045,6 +1320,9 @@ impl<'a> Engine<'a> {
             comm.ready.iter_mut().for_each(|r| *r = 0);
             comm.started = 0;
             comm.completed = 0;
+            if let Some(fr) = &mut self.faults {
+                fr.bucket_first.iter_mut().for_each(|b| *b = None);
+            }
             let now = self.q.now();
             let mut released = 0;
             for i in 0..self.active.len() {
@@ -1058,7 +1336,7 @@ impl<'a> Engine<'a> {
                 if self.trace_on {
                     self.emit_span(
                         self.gpu_track(rank),
-                        self.comm_cat,
+                        self.rank_cat(rank, self.comm_cat),
                         "await_comm",
                         start,
                         now,
@@ -1069,6 +1347,490 @@ impl<'a> Engine<'a> {
             debug_assert_eq!(released, self.comm.as_ref().expect("comm").world);
         } else {
             self.try_start_comm();
+        }
+    }
+
+    // ----- fault injection and recovery -----------------------------------
+
+    /// `true` when the plan is fully resolved: every event fired, every
+    /// window closed, every recovery completed. Fast-forward may only
+    /// engage while this holds, so it can never skip a scheduled fault.
+    fn faults_quiescent(&self) -> bool {
+        self.faults
+            .as_ref()
+            .is_none_or(|fr| fr.outstanding == 0 && fr.replaying == 0)
+    }
+
+    /// Attributes straggler-window excess to the most recently opened
+    /// window targeting `rank`.
+    fn blame_straggler(&mut self, rank: usize, extra: SimDuration) {
+        let Some(fr) = &mut self.faults else { return };
+        for (i, ev) in fr.plan.events.iter().enumerate().rev() {
+            if fr.open[i] {
+                if let FaultKind::StragglerWindow { rank: r, .. } = ev.kind {
+                    if r == rank {
+                        fr.blame[i] += extra;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_fault_fired(&mut self, idx: usize) {
+        let now = self.q.now();
+        let kind = {
+            let fr = self.faults.as_mut().expect("faults");
+            fr.fired[idx] = true;
+            fr.plan.events[idx].kind.clone()
+        };
+        match kind {
+            FaultKind::StragglerWindow { rank, duration, .. } => {
+                self.faults.as_mut().expect("faults").open[idx] = true;
+                self.refresh_slow_factor(rank);
+                self.q.schedule_at(now + duration, Ev::FaultClear { idx });
+            }
+            FaultKind::LinkDegradation { node, duration, .. } => {
+                self.faults.as_mut().expect("faults").open[idx] = true;
+                self.apply_nic_state(node);
+                self.q.schedule_at(now + duration, Ev::FaultClear { idx });
+            }
+            FaultKind::DiskBrownout { node, duration, .. } => {
+                self.faults.as_mut().expect("faults").open[idx] = true;
+                self.apply_ssd_state(node);
+                self.q.schedule_at(now + duration, Ev::FaultClear { idx });
+            }
+            FaultKind::Preemption { .. } => {
+                self.faults
+                    .as_mut()
+                    .expect("faults")
+                    .preempt_queue
+                    .push_back(idx);
+                self.arm_next_preemption();
+            }
+        }
+    }
+
+    fn on_fault_cleared(&mut self, idx: usize) {
+        let kind = {
+            let fr = self.faults.as_mut().expect("faults");
+            fr.open[idx] = false;
+            fr.plan.events[idx].kind.clone()
+        };
+        match kind {
+            FaultKind::StragglerWindow { rank, .. } => self.refresh_slow_factor(rank),
+            FaultKind::LinkDegradation { node, .. } => self.apply_nic_state(node),
+            FaultKind::DiskBrownout { node, .. } => self.apply_ssd_state(node),
+            FaultKind::Preemption { .. } => unreachable!("preemptions have no clear event"),
+        }
+        self.resolve_fault(idx);
+    }
+
+    /// Re-derives `rank`'s slowdown multiplier from the open straggler
+    /// windows: the product is exactly 1.0 again when the last closes.
+    fn refresh_slow_factor(&mut self, rank: usize) {
+        let fr = self.faults.as_mut().expect("faults");
+        let mut f = 1.0;
+        for (i, ev) in fr.plan.events.iter().enumerate() {
+            if fr.open[i] {
+                if let FaultKind::StragglerWindow {
+                    rank: r, slowdown, ..
+                } = ev.kind
+                {
+                    if r == rank {
+                        f *= slowdown;
+                    }
+                }
+            }
+        }
+        fr.slow_factor[rank] = f;
+    }
+
+    /// Re-derives a node's NIC capacities from the open degradation
+    /// windows: multiplicative over overlapping windows against the
+    /// *nominal* capacity, so the restore when the last window closes is
+    /// exact.
+    fn apply_nic_state(&mut self, node: usize) {
+        let now = self.q.now();
+        let (targets, factor) = {
+            let fr = self.faults.as_ref().expect("faults");
+            let mut f = 1.0;
+            for (i, ev) in fr.plan.events.iter().enumerate() {
+                if fr.open[i] {
+                    if let FaultKind::LinkDegradation {
+                        node: n, factor, ..
+                    } = ev.kind
+                    {
+                        if n == node {
+                            f *= factor;
+                        }
+                    }
+                }
+            }
+            (fr.nominal_nic[node], f)
+        };
+        for (l, nominal) in targets {
+            self.net.set_link_capacity(now, l, nominal * factor);
+        }
+    }
+
+    /// Re-derives a node's SSD capacity and the loader's brownout retry
+    /// flag from the open brownout windows.
+    fn apply_ssd_state(&mut self, node: usize) {
+        let now = self.q.now();
+        let ((link, nominal), factor, brown) = {
+            let fr = self.faults.as_ref().expect("faults");
+            let mut f = 1.0;
+            let mut brown = false;
+            for (i, ev) in fr.plan.events.iter().enumerate() {
+                if fr.open[i] {
+                    if let FaultKind::DiskBrownout {
+                        node: n, factor, ..
+                    } = ev.kind
+                    {
+                        if n == node {
+                            f *= factor;
+                            brown = true;
+                        }
+                    }
+                }
+            }
+            (fr.nominal_ssd[node], f, brown)
+        };
+        self.net.set_link_capacity(now, link, nominal * factor);
+        if let Some(loader) = self.loaders[node].as_mut() {
+            loader.set_brownout(brown);
+        }
+    }
+
+    /// Fault bookkeeping at an iteration boundary: completes replay
+    /// re-billing and parks the rank when a preemption barrier is armed
+    /// (preemptions are quantized to iteration boundaries). Returns
+    /// `true` when the rank was parked or retired and must not begin
+    /// another iteration through the normal path.
+    fn on_fault_step_boundary(&mut self, rank: usize) -> bool {
+        if self
+            .faults
+            .as_ref()
+            .and_then(|fr| fr.replay[rank])
+            .is_some_and(|(until, _, _)| self.ranks[rank].iter >= until)
+        {
+            self.finish_replay(rank);
+        }
+        if self.faults.as_ref().is_none_or(|fr| fr.barrier.is_none()) {
+            return false;
+        }
+        let now = self.q.now();
+        if self.ranks[rank].iter >= self.sim_iters {
+            // The epoch is already over for this rank; finished work is
+            // final (the terminal state counts as checkpointed).
+            self.ranks[rank].phase = Phase::Done;
+            self.ranks[rank].done_at = Some(now);
+        } else {
+            self.ranks[rank].phase = Phase::Recovering;
+            self.ranks[rank].wait_start = Some(now);
+        }
+        self.try_complete_barrier();
+        true
+    }
+
+    /// Replay of lost iterations finished: everything accrued since the
+    /// rollback snapshot is re-billed as recovery stall. The rank's total
+    /// accounted time is unchanged, so its timeline still tiles exactly.
+    fn finish_replay(&mut self, rank: usize) {
+        let Some(fr) = &mut self.faults else { return };
+        let Some((_, snap, idx)) = fr.replay[rank].take() else {
+            return;
+        };
+        fr.replaying -= 1;
+        let r = &mut self.ranks[rank];
+        let delta = r.compute.saturating_sub(snap.compute)
+            + r.data_wait.saturating_sub(snap.data_wait)
+            + r.comm_wait.saturating_sub(snap.comm_wait);
+        r.recovery += delta;
+        r.compute = snap.compute;
+        r.data_wait = snap.data_wait;
+        r.comm_wait = snap.comm_wait;
+        fr.blame[idx] += delta;
+        // The rewound accumulators must never underflow a later
+        // per-iteration sample's baseline.
+        if self.cfg.record_trace && rank == self.active[0] {
+            self.iter_mark.data_wait = self.ranks[rank].data_wait;
+            self.iter_mark.comm_wait = self.ranks[rank].comm_wait;
+        }
+    }
+
+    /// Completes the armed preemption barrier once every active rank is
+    /// parked (or done): restart-style preemptions schedule the resume,
+    /// elastic ones re-form the cluster in place.
+    fn try_complete_barrier(&mut self) {
+        let Some(idx) = self.faults.as_ref().and_then(|fr| fr.barrier) else {
+            return;
+        };
+        let all_in = self
+            .active
+            .iter()
+            .all(|&r| matches!(self.ranks[r].phase, Phase::Recovering | Phase::Done));
+        if !all_in {
+            return;
+        }
+        let kind = self.faults.as_ref().expect("faults").plan.events[idx]
+            .kind
+            .clone();
+        let FaultKind::Preemption { restart_after, .. } = kind else {
+            unreachable!("barrier is only armed by preemptions");
+        };
+        let parked = self
+            .active
+            .iter()
+            .any(|&r| self.ranks[r].phase == Phase::Recovering);
+        self.faults.as_mut().expect("faults").barrier = None;
+        if !parked {
+            // The epoch outran the fault: nothing left to preempt.
+            self.resolve_fault(idx);
+            return;
+        }
+        // Both outcomes pay a wall-clock gap before training resumes:
+        // replacement capacity for a restart, rendezvous + communicator
+        // rebuild for an elastic re-formation.
+        let delay = restart_after.unwrap_or(
+            self.faults
+                .as_ref()
+                .expect("faults")
+                .plan
+                .recovery
+                .reform_delay,
+        );
+        self.faults.as_mut().expect("faults").resume = Some(idx);
+        self.q.schedule_in(delay, Ev::FaultResume);
+    }
+
+    /// The restart delay elapsed: bill the outage, roll every parked rank
+    /// back to its last checkpoint (lost iterations will be replayed) and
+    /// resume training.
+    fn on_fault_resume(&mut self) {
+        let now = self.q.now();
+        let Some(idx) = self.faults.as_mut().expect("faults").resume.take() else {
+            return;
+        };
+        let kind = self.faults.as_ref().expect("faults").plan.events[idx]
+            .kind
+            .clone();
+        let FaultKind::Preemption {
+            node,
+            restart_after,
+        } = kind
+        else {
+            unreachable!("resume is only armed by preemptions");
+        };
+        if restart_after.is_none() {
+            self.reform_elastic(idx, node);
+            return;
+        }
+        let ckpt = self
+            .faults
+            .as_ref()
+            .expect("faults")
+            .plan
+            .recovery
+            .checkpoint_every
+            .max(1);
+        let mut resumed: Vec<usize> = Vec::new();
+        for i in 0..self.active.len() {
+            let rank = self.active[i];
+            if self.ranks[rank].phase != Phase::Recovering {
+                continue;
+            }
+            let start = self.ranks[rank]
+                .wait_start
+                .take()
+                .expect("barrier wait start");
+            let wait = now.duration_since(start);
+            self.ranks[rank].recovery += wait;
+            self.emit_span(
+                self.gpu_track(rank),
+                Category::Recovery,
+                "preempt_wait",
+                start,
+                now,
+            );
+            let it = self.ranks[rank].iter;
+            let ck = (it / ckpt) * ckpt;
+            let snap = AccumSnap {
+                compute: self.ranks[rank].compute,
+                data_wait: self.ranks[rank].data_wait,
+                comm_wait: self.ranks[rank].comm_wait,
+            };
+            let fr = self.faults.as_mut().expect("faults");
+            fr.blame[idx] += wait;
+            if ck < it {
+                // Iterations since the last checkpoint are lost. A rank
+                // caught mid-replay keeps its original snapshot and
+                // replay target; it only rolls further back.
+                if fr.replay[rank].is_none() {
+                    fr.replay[rank] = Some((it, snap, idx));
+                    fr.replaying += 1;
+                }
+                fr.replayed_iterations += it - ck;
+                self.ranks[rank].iter = ck;
+            }
+            resumed.push(rank);
+        }
+        // Fresh per-iteration mark for the reporting rank: the sample
+        // covering the outage would otherwise swallow the recovery gap.
+        if self.cfg.record_trace && resumed.contains(&self.active[0]) {
+            self.iter_mark.start = now;
+        }
+        for &rank in &resumed {
+            self.begin_iteration(rank);
+        }
+        self.resolve_fault(idx);
+    }
+
+    /// Elastic re-formation: the preempted node's ranks retire where they
+    /// stand, the survivors bill the barrier wait as recovery stall,
+    /// rebuild the collective over the survivor ring and continue.
+    fn reform_elastic(&mut self, idx: usize, node: usize) {
+        let now = self.q.now();
+        let mut resumed: Vec<usize> = Vec::new();
+        let mut survivors: Vec<usize> = Vec::new();
+        for i in 0..self.active.len() {
+            let rank = self.active[i];
+            if self.ranks[rank].phase == Phase::Recovering {
+                let start = self.ranks[rank]
+                    .wait_start
+                    .take()
+                    .expect("barrier wait start");
+                let wait = now.duration_since(start);
+                self.ranks[rank].recovery += wait;
+                self.faults.as_mut().expect("faults").blame[idx] += wait;
+                self.emit_span(
+                    self.gpu_track(rank),
+                    Category::Recovery,
+                    "reform_wait",
+                    start,
+                    now,
+                );
+            }
+            if self.ranks[rank].gpu.node == node {
+                let fr = self.faults.as_mut().expect("faults");
+                if fr.replay[rank].take().is_some() {
+                    fr.replaying -= 1;
+                }
+                fr.dead_ranks.push(rank);
+                self.ranks[rank].phase = Phase::Done;
+                if self.ranks[rank].done_at.is_none() {
+                    self.ranks[rank].done_at = Some(now);
+                }
+            } else {
+                if self.ranks[rank].phase == Phase::Recovering {
+                    resumed.push(rank);
+                }
+                survivors.push(rank);
+            }
+        }
+        self.active = survivors;
+        self.faults.as_mut().expect("faults").dead_nodes[node] = true;
+        self.loaders[node] = None;
+        // Rescale the collective to the survivor ring.
+        let world = self.active.len();
+        if world > 1 {
+            let ring: Vec<GpuId> = self.active.iter().map(|&r| self.ranks[r].gpu).collect();
+            self.comm = Some(Comm {
+                world,
+                ready: vec![0; self.plan.buckets.len()],
+                started: 0,
+                completed: 0,
+                inflight_remaining: 0,
+            });
+            self.comm_plans = self
+                .plan
+                .buckets
+                .iter()
+                .map(|b| {
+                    let bytes = b.bytes * self.cfg.precision.gradient_bytes_per_param() / 4.0;
+                    allreduce_transfers_among(
+                        &self.topo,
+                        &self.net,
+                        self.cfg.algorithm,
+                        bytes,
+                        &ring,
+                    )
+                })
+                .collect();
+        } else {
+            self.comm = None;
+            self.comm_plans.clear();
+        }
+        // Fresh per-iteration mark: the reporting rank may have changed.
+        if self.cfg.record_trace && !self.active.is_empty() {
+            let r = &self.ranks[self.active[0]];
+            self.iter_mark = IterMark {
+                start: now,
+                data_wait: r.data_wait,
+                comm_wait: r.comm_wait,
+            };
+        }
+        for &rank in &resumed {
+            self.begin_iteration(rank);
+        }
+        self.resolve_fault(idx);
+    }
+
+    /// Marks a plan event fully resolved and arms the next queued
+    /// preemption, if any.
+    fn resolve_fault(&mut self, _idx: usize) {
+        self.faults.as_mut().expect("faults").outstanding -= 1;
+        self.arm_next_preemption();
+    }
+
+    fn arm_next_preemption(&mut self) {
+        let armed = {
+            let fr = self.faults.as_mut().expect("faults");
+            if fr.barrier.is_none() && fr.resume.is_none() {
+                if let Some(next) = fr.preempt_queue.pop_front() {
+                    fr.barrier = Some(next);
+                    true
+                } else {
+                    false
+                }
+            } else {
+                false
+            }
+        };
+        if armed {
+            // Every rank may already be parked or done (back-to-back
+            // preemptions).
+            self.try_complete_barrier();
+        }
+    }
+
+    /// Consumes the fault runtime into the outcome half of the result.
+    fn fault_outcome(&mut self) -> FaultOutcome {
+        match self.faults.take() {
+            None => FaultOutcome::default(),
+            Some(fr) => FaultOutcome {
+                events: fr
+                    .plan
+                    .events
+                    .iter()
+                    .enumerate()
+                    .map(|(i, ev)| FaultRecord {
+                        label: ev.kind.label().to_string(),
+                        at: ev.at,
+                        fired: fr.fired[i],
+                        blame: fr.blame[i],
+                    })
+                    .collect(),
+                detections: fr.detections,
+                replayed_iterations: fr.replayed_iterations,
+                dead_nodes: fr
+                    .dead_nodes
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(n, &d)| d.then_some(n))
+                    .collect(),
+            },
         }
     }
 
@@ -1138,7 +1900,7 @@ impl<'a> Engine<'a> {
                         if self.trace_on {
                             self.emit_span(
                                 self.gpu_track(rank),
-                                Category::Fetch,
+                                self.rank_cat(rank, Category::Fetch),
                                 "await_batch",
                                 start,
                                 now,
@@ -1199,11 +1961,12 @@ impl<'a> Engine<'a> {
                             );
                         }
                     }
-                    let actions = self.loaders[node]
-                        .as_mut()
-                        .expect("loader")
-                        .transfer_done(worker);
-                    self.apply_loader_actions(node, actions);
+                    // A preempted node's loader is gone; its in-flight
+                    // transfers complete into the void.
+                    if let Some(loader) = self.loaders[node].as_mut() {
+                        let actions = loader.transfer_done(worker);
+                        self.apply_loader_actions(node, actions);
+                    }
                 }
             }
             self.completed_buf = completed;
@@ -1265,7 +2028,22 @@ impl<'a> Engine<'a> {
             (sim_end - SimTime::ZERO).mul_f64(factor)
         };
         let world = self.active.len();
-        let samples = self.cfg.samples_per_gpu * world as u64;
+        let samples = match &self.faults {
+            // Keep the historic formula verbatim on the fault-free path.
+            None => self.cfg.samples_per_gpu * world as u64,
+            // Under faults ranks can retire early (elastic) so the epoch's
+            // useful work is whatever each rank actually completed.
+            Some(fr) => {
+                let per_iter = self.cfg.per_gpu_batch * self.cfg.grad_accumulation.max(1);
+                let simulated: u64 = self
+                    .active
+                    .iter()
+                    .chain(fr.dead_ranks.iter())
+                    .map(|&r| self.ranks[r].iter * per_iter)
+                    .sum();
+                (simulated as f64 * factor).round() as u64
+            }
+        };
         EpochReport {
             cluster: self.cfg.cluster.display_name(),
             model: self.cfg.model.name.clone(),
@@ -1277,6 +2055,8 @@ impl<'a> Engine<'a> {
             compute_time: r0.compute.mul_f64(factor),
             data_wait: r0.data_wait.mul_f64(factor),
             comm_wait: r0.comm_wait.mul_f64(factor),
+            recovery_time: r0.recovery.mul_f64(factor),
+            straggler_time: r0.straggler.mul_f64(factor),
             samples,
             throughput: samples as f64 / epoch_time.as_secs_f64().max(1e-12),
             host_bus_utilization: self.net.link_utilization(self.topo.host_bus(0)),
@@ -1525,5 +2305,127 @@ mod tests {
         let rel = (sampled.epoch_time.as_secs_f64() - full.epoch_time.as_secs_f64()).abs()
             / full.epoch_time.as_secs_f64();
         assert!(rel < 0.01, "sampled vs full differ by {rel}");
+    }
+
+    // ----- fault injection ------------------------------------------------
+
+    use stash_faults::plan::FaultEvent;
+
+    /// A full-epoch config (factor 1) so faulted accumulators must tile
+    /// the wall clock *exactly* at integer-nanosecond resolution.
+    fn full_cfg(cluster: ClusterSpec, iters: u64) -> TrainConfig {
+        let mut cfg = TrainConfig::synthetic(cluster, zoo::resnet18(), 32, 32 * iters);
+        cfg.epoch_mode = EpochMode::Full;
+        cfg
+    }
+
+    fn assert_tiles(r: &EpochReport) {
+        let accounted =
+            r.compute_time + r.data_wait + r.comm_wait + r.recovery_time + r.straggler_time;
+        assert_eq!(
+            accounted.as_nanos(),
+            r.epoch_time.as_nanos(),
+            "rank-0 accumulators must tile the epoch exactly"
+        );
+    }
+
+    #[test]
+    fn empty_plan_is_bit_identical_to_fault_free() {
+        let cfg = full_cfg(ClusterSpec::single(p3_16xlarge()), 6);
+        let plain = run_epoch(&cfg).expect("plain");
+        let faulted = run_epoch_faulted(&cfg, &FaultPlan::empty()).expect("faulted");
+        assert_eq!(plain, faulted.report);
+        assert_eq!(faulted.faults, crate::recovery::FaultOutcome::default());
+    }
+
+    #[test]
+    fn straggler_window_inflates_epoch_and_tiles_exactly() {
+        let cfg = full_cfg(ClusterSpec::single(p3_16xlarge()), 8);
+        let base = run_epoch(&cfg).expect("baseline");
+        let mut plan = FaultPlan::empty();
+        plan.events.push(FaultEvent {
+            at: SimTime::ZERO + base.epoch_time.mul_f64(0.15),
+            kind: FaultKind::StragglerWindow {
+                rank: 0,
+                duration: base.epoch_time.mul_f64(0.4),
+                slowdown: 1.8,
+            },
+        });
+        let run = run_epoch_faulted(&cfg, &plan).expect("faulted");
+        assert!(run.report.epoch_time > base.epoch_time);
+        assert!(run.report.straggler_time > SimDuration::ZERO);
+        assert_eq!(run.report.recovery_time, SimDuration::ZERO);
+        assert_tiles(&run.report);
+        assert!(run.faults.events[0].fired);
+        assert!(run.faults.events[0].blame > SimDuration::ZERO);
+        // The nominal kernel time is unchanged: all excess is separated.
+        assert_eq!(run.report.compute_time, base.compute_time);
+    }
+
+    #[test]
+    fn preemption_with_restart_bills_recovery_and_replays() {
+        let cfg = full_cfg(ClusterSpec::single(p3_16xlarge()), 10);
+        let base = run_epoch(&cfg).expect("baseline");
+        let mut plan = FaultPlan::empty();
+        plan.recovery.checkpoint_every = 4;
+        plan.events.push(FaultEvent {
+            at: SimTime::ZERO + base.epoch_time.mul_f64(0.55),
+            kind: FaultKind::Preemption {
+                node: 0,
+                restart_after: Some(base.epoch_time.mul_f64(0.1)),
+            },
+        });
+        let run = run_epoch_faulted(&cfg, &plan).expect("faulted");
+        assert!(run.report.epoch_time > base.epoch_time);
+        assert!(run.report.recovery_time > SimDuration::ZERO);
+        assert!(run.faults.replayed_iterations > 0);
+        assert!(run.faults.events[0].fired);
+        assert!(run.faults.events[0].blame > SimDuration::ZERO);
+        assert_tiles(&run.report);
+        // Work is conserved: the same samples are processed, just later.
+        assert_eq!(run.report.samples, base.samples);
+        assert!(run.faults.dead_nodes.is_empty());
+    }
+
+    #[test]
+    fn elastic_preemption_retires_the_node_and_continues() {
+        let cfg = full_cfg(ClusterSpec::homogeneous(p3_8xlarge(), 2), 10);
+        let base = run_epoch(&cfg).expect("baseline");
+        let mut plan = FaultPlan::empty();
+        plan.events.push(FaultEvent {
+            at: SimTime::ZERO + base.epoch_time.mul_f64(0.5),
+            kind: FaultKind::Preemption {
+                node: 1,
+                restart_after: None,
+            },
+        });
+        let run = run_epoch_faulted(&cfg, &plan).expect("faulted");
+        assert_eq!(run.faults.dead_nodes, vec![1]);
+        assert_eq!(run.report.world, 4, "survivor world after re-formation");
+        assert!(run.report.recovery_time > SimDuration::ZERO);
+        assert!(
+            run.report.samples < base.samples,
+            "dead ranks stop contributing samples"
+        );
+        assert_tiles(&run.report);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_and_ff_invariant() {
+        let cfg = full_cfg(ClusterSpec::single(p3_16xlarge()), 10);
+        let base = run_epoch(&cfg).expect("baseline");
+        let plan = FaultPlan::seeded(11, 8, 1, base.epoch_time);
+        let a = run_epoch_faulted(&cfg, &plan).expect("a");
+        let b = run_epoch_faulted(&cfg, &plan).expect("b");
+        assert_eq!(a, b);
+        let no_ff = run_epoch_faulted_with(
+            &cfg,
+            &plan,
+            &EngineOptions {
+                fast_forward: false,
+            },
+        )
+        .expect("no ff");
+        assert_eq!(a, no_ff, "fast-forward must not change faulted results");
     }
 }

@@ -17,6 +17,9 @@ pub enum TrainError {
     },
     /// Contradictory or nonsensical configuration.
     InvalidConfig(String),
+    /// A fault plan that does not fit the cluster (out-of-range targets,
+    /// hostile multipliers, or an unrecoverable schedule).
+    InvalidFaultPlan(String),
 }
 
 impl fmt::Display for TrainError {
@@ -33,6 +36,7 @@ impl fmt::Display for TrainError {
                 capacity_bytes / 1e9
             ),
             TrainError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            TrainError::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
         }
     }
 }

@@ -33,15 +33,18 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod perf_stats;
+pub mod recovery;
 pub mod report;
 
 /// Convenient glob-import of the most used items.
 pub mod prelude {
     pub use crate::config::{ActiveGpus, DataMode, EpochMode, Straggler, TrainConfig};
     pub use crate::engine::{
-        run_epoch, run_epoch_in, run_epoch_traced, run_epoch_with, EngineArena, EngineOptions,
+        run_epoch, run_epoch_faulted, run_epoch_faulted_traced, run_epoch_faulted_with,
+        run_epoch_in, run_epoch_traced, run_epoch_with, EngineArena, EngineOptions,
     };
     pub use crate::error::TrainError;
     pub use crate::perf_stats::PerfSnapshot;
+    pub use crate::recovery::{FaultOutcome, FaultRecord, FaultedRun, StragglerDetection};
     pub use crate::report::EpochReport;
 }

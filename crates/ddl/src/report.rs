@@ -43,6 +43,14 @@ pub struct EpochReport {
     /// Rank-0 time spent waiting for gradient synchronisation after its
     /// own backward pass finished (exposed communication).
     pub comm_wait: SimDuration,
+    /// Rank-0 time lost to fault recovery: preemption barrier waits,
+    /// restart delays and iterations replayed from the last checkpoint.
+    /// Always zero on fault-free runs.
+    pub recovery_time: SimDuration,
+    /// Rank-0 *excess* compute inflicted by transient straggler windows
+    /// (the nominal kernel time stays in `compute_time`). Always zero on
+    /// fault-free runs.
+    pub straggler_time: SimDuration,
     /// Samples processed across all GPUs in the full epoch.
     pub samples: u64,
     /// Aggregate throughput, samples/second.
@@ -92,6 +100,8 @@ mod tests {
             compute_time: SimDuration::from_secs(6),
             data_wait: SimDuration::from_secs(1),
             comm_wait: SimDuration::from_secs(3),
+            recovery_time: SimDuration::ZERO,
+            straggler_time: SimDuration::ZERO,
             samples: 12800,
             throughput: 1280.0,
             host_bus_utilization: 0.0,

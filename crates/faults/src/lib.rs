@@ -1,0 +1,38 @@
+//! Deterministic fault injection for the training-engine simulator.
+//!
+//! Public clouds are not the steady substrate the healthy-VM stall
+//! characterization assumes: spot instances are preempted, individual GPUs
+//! transiently straggle, network links flap, and shared storage volumes
+//! brown out. This crate describes those disturbances as *data* — a
+//! [`FaultPlan`]: a schedule of [`FaultEvent`]s plus a [`RecoveryPolicy`]
+//! — so the engine can inject them through its ordinary event queue and
+//! replay a faulted run bit-for-bit from a seed.
+//!
+//! Design rules:
+//!
+//! * **Plans are inert.** Nothing in this crate mutates a simulation; the
+//!   plan is a value the engine interprets. An empty plan therefore
+//!   guarantees (and the workspace differential tests enforce) behavior
+//!   bit-identical to a fault-free run.
+//! * **Determinism over realism.** Seeded generation uses the simulator's
+//!   own [`DetRng`](stash_simkit::rng::DetRng); the same seed and cluster
+//!   shape always produce the same plan, and fault *times* are quantized
+//!   to whole microseconds so serialized plans survive a JSON round-trip
+//!   exactly.
+//! * **Validated up front.** [`FaultPlan::validate`] rejects hostile
+//!   values (NaN factors, out-of-range ranks, zero-length windows) with a
+//!   typed [`FaultError`] before the engine ever sees them.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod plan;
+
+pub use error::FaultError;
+pub use plan::{FaultEvent, FaultKind, FaultPlan, RecoveryPolicy};
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::error::FaultError;
+    pub use crate::plan::{FaultEvent, FaultKind, FaultPlan, RecoveryPolicy};
+}

@@ -403,6 +403,27 @@ impl FlowNet {
         self.links.len()
     }
 
+    /// Changes a link's capacity at time `now` (fault injection: link
+    /// degradation windows, storage brownouts). Progress up to `now` is
+    /// settled at the old rates first, then every flow rate is re-solved
+    /// against the new capacity, so the change takes effect exactly at
+    /// `now` and utilisation integrals stay exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bps` is not finite and positive, or if `now`
+    /// precedes the last observed time.
+    pub fn set_link_capacity(&mut self, now: SimTime, id: LinkId, capacity_bps: f64) {
+        assert!(
+            capacity_bps.is_finite() && capacity_bps > 0.0,
+            "link capacity must be finite and positive, got {capacity_bps}"
+        );
+        self.advance(now);
+        self.links[id.index()].capacity_bps = capacity_bps;
+        self.caps[id.index()] = capacity_bps;
+        self.recompute_rates();
+    }
+
     /// Number of in-flight flows.
     #[must_use]
     pub fn active_flows(&self) -> usize {
@@ -1028,6 +1049,27 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].1, 7);
         assert_eq!(net.active_flows(), 0);
+    }
+
+    #[test]
+    fn capacity_change_takes_effect_exactly_at_now() {
+        let (mut net, l) = mk_net(&[100.0]);
+        net.start_flow(SimTime::ZERO, FlowSpec::new(vec![l[0]], 200.0, 7));
+        // Half the bytes move in the first second at 100 B/s; the link
+        // then browns out to 50 B/s, so the rest takes two more seconds.
+        let mid = SimTime::ZERO + SimDuration::from_secs(1);
+        net.set_link_capacity(mid, l[0], 50.0);
+        let t = net.next_event_time(mid).unwrap();
+        assert!(
+            (t.as_secs_f64() - 3.0).abs() < 1e-6,
+            "t={}",
+            t.as_secs_f64()
+        );
+        net.advance(t);
+        assert_eq!(net.take_completed().len(), 1);
+        // Restoring the capacity with no flows in flight is harmless.
+        net.set_link_capacity(t, l[0], 100.0);
+        assert_eq!(net.link(l[0]).capacity_bps, 100.0);
     }
 
     #[test]

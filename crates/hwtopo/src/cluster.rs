@@ -5,6 +5,7 @@
 
 use serde::Serialize;
 
+use crate::error::TopoError;
 use crate::instance::{by_name, InstanceType};
 
 /// A set of instances participating in one data-parallel training job.
@@ -37,6 +38,41 @@ impl ClusterSpec {
                 .take(count)
                 .collect(),
         }
+    }
+
+    /// Like [`ClusterSpec::homogeneous`] but with a typed error instead
+    /// of a panic, for callers fed untrusted counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopoError::InvalidCluster`] for `count == 0` and
+    /// [`TopoError::InvalidInstance`] for a hostile instance description.
+    pub fn try_homogeneous(instance: InstanceType, count: usize) -> Result<Self, TopoError> {
+        if count == 0 {
+            return Err(TopoError::InvalidCluster(
+                "a cluster needs at least one instance".into(),
+            ));
+        }
+        instance.validate()?;
+        Ok(ClusterSpec::homogeneous(instance, count))
+    }
+
+    /// Rejects empty clusters and hostile member instances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopoError::InvalidCluster`] when the cluster has no
+    /// instances, or the first member's [`TopoError::InvalidInstance`].
+    pub fn validate(&self) -> Result<(), TopoError> {
+        if self.instances.is_empty() {
+            return Err(TopoError::InvalidCluster(
+                "cluster has no instances (empty topology)".into(),
+            ));
+        }
+        for inst in &self.instances {
+            inst.validate()?;
+        }
+        Ok(())
     }
 
     /// Total number of GPUs across the cluster (the DDP world size).
@@ -153,6 +189,31 @@ mod tests {
     #[should_panic(expected = "at least one instance")]
     fn empty_homogeneous_rejected() {
         let _ = ClusterSpec::homogeneous(p2_8xlarge(), 0);
+    }
+
+    #[test]
+    fn try_homogeneous_rejects_hostile_input_with_typed_errors() {
+        assert!(matches!(
+            ClusterSpec::try_homogeneous(p2_8xlarge(), 0),
+            Err(TopoError::InvalidCluster(_))
+        ));
+        let mut inst = p2_8xlarge();
+        inst.network_gbps = f64::NAN;
+        assert!(matches!(
+            ClusterSpec::try_homogeneous(inst, 2),
+            Err(TopoError::InvalidInstance { .. })
+        ));
+        assert!(ClusterSpec::try_homogeneous(p2_8xlarge(), 2).is_ok());
+    }
+
+    #[test]
+    fn empty_cluster_fails_validation() {
+        let empty = ClusterSpec { instances: vec![] };
+        assert!(matches!(
+            empty.validate(),
+            Err(TopoError::InvalidCluster(_))
+        ));
+        assert!(ClusterSpec::single(p3_16xlarge()).validate().is_ok());
     }
 
     #[test]

@@ -1,0 +1,48 @@
+//! Typed errors for hardware-description validation.
+//!
+//! Instance catalogs usually come from the frozen Table I constructors,
+//! but what-if scaling, CLI parsing, and (hostile) serialized specs can
+//! produce arbitrary values. Validation rejects them with a typed error
+//! instead of letting NaN bandwidths or zero-GPU nodes propagate into the
+//! solver as silent nonsense.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why an instance or cluster description was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopoError {
+    /// A numeric field of an instance was zero, negative, NaN or infinite.
+    InvalidInstance {
+        /// Instance name (may be empty for anonymous specs).
+        instance: String,
+        /// Which field was hostile.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The cluster itself is malformed (e.g. no instances at all).
+    InvalidCluster(String),
+}
+
+impl fmt::Display for TopoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopoError::InvalidInstance {
+                instance,
+                field,
+                value,
+            } => {
+                let name = if instance.is_empty() {
+                    "<unnamed>"
+                } else {
+                    instance.as_str()
+                };
+                write!(f, "invalid instance '{name}': {field} = {value}")
+            }
+            TopoError::InvalidCluster(msg) => write!(f, "invalid cluster: {msg}"),
+        }
+    }
+}
+
+impl Error for TopoError {}

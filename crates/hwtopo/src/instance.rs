@@ -7,6 +7,7 @@
 
 use serde::Serialize;
 
+use crate::error::TopoError;
 use crate::gpu::GpuModel;
 use crate::interconnect::{Interconnect, Slicing};
 use crate::storage::StorageSpec;
@@ -47,6 +48,43 @@ impl InstanceType {
     #[must_use]
     pub fn total_gpu_memory_bytes(&self) -> f64 {
         self.gpu.spec().mem_bytes * self.gpu_count as f64
+    }
+
+    /// Rejects hostile hardware descriptions: zero GPUs or vCPUs, and
+    /// zero/negative/NaN capacities, bandwidths, prices or scale factors.
+    /// The frozen Table I constructors always pass; scaled or
+    /// deserialized variants may not.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopoError::InvalidInstance`] naming the first bad field.
+    pub fn validate(&self) -> Result<(), TopoError> {
+        let bad = |field: &'static str, value: f64| TopoError::InvalidInstance {
+            instance: self.name.clone(),
+            field,
+            value,
+        };
+        if self.gpu_count == 0 {
+            return Err(bad("gpu_count", 0.0));
+        }
+        if self.vcpus == 0 {
+            return Err(bad("vcpus", 0.0));
+        }
+        let positive: [(&'static str, f64); 4] = [
+            ("main_memory_bytes", self.main_memory_bytes),
+            ("network_gbps", self.network_gbps),
+            ("interconnect_scale", self.interconnect_scale),
+            ("storage.throughput_bps", self.storage.throughput_bps),
+        ];
+        for (field, value) in positive {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(bad(field, value));
+            }
+        }
+        if !self.price_per_hour.is_finite() || self.price_per_hour < 0.0 {
+            return Err(bad("price_per_hour", self.price_per_hour));
+        }
+        Ok(())
     }
 
     /// Price of `hours` of use, USD.
@@ -289,6 +327,39 @@ mod tests {
         let i = p3_2xlarge();
         assert_eq!(i.cost_for_hours(2.0), 6.12);
         assert_eq!(i.cost_for_hours(-1.0), 0.0);
+    }
+
+    #[test]
+    fn every_catalog_instance_validates() {
+        for inst in catalog() {
+            inst.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", inst.name));
+        }
+    }
+
+    #[test]
+    fn hostile_instances_are_rejected() {
+        let mutations: Vec<(&str, Box<dyn Fn(&mut InstanceType)>)> = vec![
+            ("zero gpus", Box::new(|i| i.gpu_count = 0)),
+            ("zero vcpus", Box::new(|i| i.vcpus = 0)),
+            ("nan network", Box::new(|i| i.network_gbps = f64::NAN)),
+            ("negative network", Box::new(|i| i.network_gbps = -1.0)),
+            ("zero memory", Box::new(|i| i.main_memory_bytes = 0.0)),
+            (
+                "infinite scale",
+                Box::new(|i| i.interconnect_scale = f64::INFINITY),
+            ),
+            ("zero storage", Box::new(|i| i.storage.throughput_bps = 0.0)),
+            ("nan price", Box::new(|i| i.price_per_hour = f64::NAN)),
+        ];
+        for (what, mutate) in mutations {
+            let mut inst = p3_16xlarge();
+            mutate(&mut inst);
+            assert!(
+                matches!(inst.validate(), Err(TopoError::InvalidInstance { .. })),
+                "{what} accepted"
+            );
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 pub mod cluster;
 pub mod constants;
+pub mod error;
 pub mod gpu;
 pub mod instance;
 pub mod interconnect;
@@ -38,6 +39,7 @@ pub mod units;
 /// Convenient glob-import of the most used items.
 pub mod prelude {
     pub use crate::cluster::ClusterSpec;
+    pub use crate::error::TopoError;
     pub use crate::gpu::{GpuModel, GpuSpec};
     pub use crate::instance::{
         by_name, catalog, p2_16xlarge, p2_8xlarge, p2_xlarge, p3_16xlarge, p3_24xlarge, p3_2xlarge,

@@ -21,6 +21,7 @@ use stash_flowsim::net::FlowNet;
 
 use crate::cluster::ClusterSpec;
 use crate::constants;
+use crate::error::TopoError;
 use crate::interconnect::{crossbar_groups, Interconnect};
 use crate::units::gbps;
 
@@ -55,6 +56,18 @@ pub struct Topology {
 }
 
 impl Topology {
+    /// Validating variant of [`Topology::build`]: rejects empty clusters
+    /// and hostile instance descriptions before any link is registered.
+    ///
+    /// # Errors
+    ///
+    /// Returns the cluster's [`TopoError`] (see
+    /// [`ClusterSpec::validate`]); `net` is left untouched on error.
+    pub fn try_build(cluster: &ClusterSpec, net: &mut FlowNet) -> Result<Topology, TopoError> {
+        cluster.validate()?;
+        Ok(Topology::build(cluster, net))
+    }
+
     /// Instantiates all links for `cluster` into `net` and returns the
     /// routing table.
     #[must_use]
@@ -257,6 +270,45 @@ impl Topology {
         self.nodes[node].host_bus
     }
 
+    /// A node's NIC link pair `(tx, rx)` — the links a network fault
+    /// (link flap, congested fabric) degrades.
+    #[must_use]
+    pub fn nic_links(&self, node: usize) -> (LinkId, LinkId) {
+        (self.nodes[node].nic_tx, self.nodes[node].nic_rx)
+    }
+
+    /// A node's storage link — the link a disk brownout degrades.
+    #[must_use]
+    pub fn ssd_link(&self, node: usize) -> LinkId {
+        self.nodes[node].ssd
+    }
+
+    /// Degraded-capacity view of a node's NIC: the `(link, capacity)`
+    /// pairs to apply when only `factor` of the *current* bandwidth
+    /// survives a fault window. Callers snapshot the current capacities
+    /// first to restore them when the window closes.
+    #[must_use]
+    pub fn degraded_nic_capacities(
+        &self,
+        net: &FlowNet,
+        node: usize,
+        factor: f64,
+    ) -> [(LinkId, f64); 2] {
+        let (tx, rx) = self.nic_links(node);
+        [
+            (tx, net.link(tx).capacity_bps * factor),
+            (rx, net.link(rx).capacity_bps * factor),
+        ]
+    }
+
+    /// Degraded-capacity view of a node's storage volume under a
+    /// brownout keeping only `factor` of the current throughput.
+    #[must_use]
+    pub fn degraded_ssd_capacity(&self, net: &FlowNet, node: usize, factor: f64) -> (LinkId, f64) {
+        let ssd = self.ssd_link(node);
+        (ssd, net.link(ssd).capacity_bps * factor)
+    }
+
     /// Measures the steady-state per-GPU host bandwidth when **all** GPUs
     /// of `node` run device-to-host copies concurrently — the CUDA
     /// bandwidth probe of paper Fig. 7. Returns one rate (bytes/s) per GPU.
@@ -425,6 +477,33 @@ mod tests {
             .filter(|(a, b)| a.node != b.node)
             .count();
         assert_eq!(crossings, 3);
+    }
+
+    #[test]
+    fn fault_target_links_are_exposed() {
+        let (topo, net) = build(ClusterSpec::homogeneous(p3_8xlarge(), 2));
+        let (tx, rx) = topo.nic_links(1);
+        assert_eq!(net.link(tx).class, LinkClass::Network);
+        assert_eq!(net.link(rx).class, LinkClass::Network);
+        assert_ne!(tx, rx);
+        assert_eq!(net.link(topo.ssd_link(0)).class, LinkClass::Storage);
+        // Degraded views scale the current capacity.
+        let degraded = topo.degraded_nic_capacities(&net, 1, 0.25);
+        assert_eq!(degraded[0].1, net.link(tx).capacity_bps * 0.25);
+        let (ssd, cap) = topo.degraded_ssd_capacity(&net, 0, 0.5);
+        assert_eq!(cap, net.link(ssd).capacity_bps * 0.5);
+    }
+
+    #[test]
+    fn try_build_rejects_empty_and_hostile_clusters() {
+        let mut net = FlowNet::new();
+        let empty = ClusterSpec { instances: vec![] };
+        assert!(Topology::try_build(&empty, &mut net).is_err());
+        assert_eq!(net.link_count(), 0, "no links registered on error");
+        let mut inst = p3_8xlarge();
+        inst.network_gbps = f64::NAN;
+        assert!(Topology::try_build(&ClusterSpec::single(inst), &mut net).is_err());
+        assert!(Topology::try_build(&ClusterSpec::single(p3_8xlarge()), &mut net).is_ok());
     }
 
     #[test]

@@ -54,6 +54,11 @@ pub enum PathCategory {
     Prep,
     /// Input-batch stall on storage / H2D with no concurrent prep.
     Fetch,
+    /// Fault-recovery stall: waiting out a preemption restart plus
+    /// replaying the iterations lost since the last checkpoint.
+    Recovery,
+    /// Extra kernel time inflicted by a transient straggler window.
+    Straggler,
     /// Time outside any traced span on the rank (pipeline fill, barrier
     /// skew against slower ranks).
     Idle,
@@ -61,13 +66,15 @@ pub enum PathCategory {
 
 impl PathCategory {
     /// Every category, in stable display order.
-    pub const ALL: [PathCategory; 7] = [
+    pub const ALL: [PathCategory; 9] = [
         PathCategory::Compute,
         PathCategory::Overlap,
         PathCategory::Interconnect,
         PathCategory::Network,
         PathCategory::Prep,
         PathCategory::Fetch,
+        PathCategory::Recovery,
+        PathCategory::Straggler,
         PathCategory::Idle,
     ];
 
@@ -81,6 +88,8 @@ impl PathCategory {
             PathCategory::Network => "network",
             PathCategory::Prep => "prep",
             PathCategory::Fetch => "fetch",
+            PathCategory::Recovery => "recovery",
+            PathCategory::Straggler => "straggler",
             PathCategory::Idle => "idle",
         }
     }
@@ -267,6 +276,14 @@ impl CriticalPath {
                         cat,
                         BlameArg::Cover,
                     );
+                }
+                // Faulted time maps 1:1 — the engine already isolates it
+                // into dedicated spans, so no cover-splitting is needed.
+                Category::Recovery => {
+                    path.push(start, end, PathCategory::Recovery, name, arg);
+                }
+                Category::Straggler => {
+                    path.push(start, end, PathCategory::Straggler, name, arg);
                 }
                 // Prep/Solver/Cache spans never appear on a GPU lane, but
                 // classify them by their raw category if a custom trace

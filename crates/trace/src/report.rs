@@ -460,11 +460,13 @@ pub struct Regression {
 /// (faster compute shifting time *into* a stall class is exactly what
 /// the per-category comparison should catch, but compute itself growing
 /// is a model change, not a stall regression).
-pub const DIFF_CATEGORIES: [PathCategory; 5] = [
+pub const DIFF_CATEGORIES: [PathCategory; 7] = [
     PathCategory::Interconnect,
     PathCategory::Network,
     PathCategory::Prep,
     PathCategory::Fetch,
+    PathCategory::Recovery,
+    PathCategory::Straggler,
     PathCategory::Idle,
 ];
 
@@ -508,6 +510,8 @@ fn color(label: &str) -> &'static str {
         "network" => "#d1495b",
         "prep" => "#7768ae",
         "fetch" => "#30638e",
+        "recovery" => "#8c2f39",
+        "straggler" => "#c77b30",
         _ => "#c4c4c4", // idle
     }
 }

@@ -29,12 +29,18 @@ pub enum Category {
     Solver,
     /// Page-cache hit/miss outcomes.
     Cache,
+    /// Fault-recovery time: waiting out a preemption restart and
+    /// replaying the iterations lost since the last checkpoint.
+    Recovery,
+    /// The *extra* compute time a transient straggler window inflicts on
+    /// a rank (the nominal kernel time stays `Compute`).
+    Straggler,
 }
 
 impl Category {
     /// Every category, in a stable order (rollups and exporters iterate
     /// this).
-    pub const ALL: [Category; 7] = [
+    pub const ALL: [Category; 9] = [
         Category::Compute,
         Category::Interconnect,
         Category::Network,
@@ -42,6 +48,8 @@ impl Category {
         Category::Fetch,
         Category::Solver,
         Category::Cache,
+        Category::Recovery,
+        Category::Straggler,
     ];
 
     /// Stable lowercase label (metric label values, Chrome `cat` field).
@@ -55,6 +63,8 @@ impl Category {
             Category::Fetch => "fetch",
             Category::Solver => "solver",
             Category::Cache => "cache",
+            Category::Recovery => "recovery",
+            Category::Straggler => "straggler",
         }
     }
 }

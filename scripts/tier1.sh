@@ -10,6 +10,10 @@ cargo fmt --all --check
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+# Panic-free library gate: these crates deny clippy::unwrap_used and
+# clippy::expect_used via their [lints] tables; this invocation keeps the
+# gate visible and catches regressions even if the workspace line changes.
+cargo clippy -p stash-faults -p stash-hwtopo -p stash-datapipe -p stash-collectives --lib -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 # Trace CLI smoke test. The `trace validated` line only prints after the
@@ -35,6 +39,20 @@ grep -q "<th class=\"num\">${wall_ns}</th>" /tmp/stash_tier1_report.html
 # Diff CLI smoke test: a report diffed against itself has no regressions.
 ./target/release/stash diff /tmp/stash_tier1_report.json /tmp/stash_tier1_report.json
 
+# Chaos CLI smoke test: a seeded run self-checks trace-vs-engine
+# reconciliation (the command fails on any nanosecond of drift), and the
+# same seed twice must produce byte-identical resilience reports.
+./target/release/stash chaos p3.8xlarge*2 resnet18 --seed 7 --out /tmp/stash_tier1_chaos_a.json
+./target/release/stash chaos p3.8xlarge*2 resnet18 --seed 7 --out /tmp/stash_tier1_chaos_b.json >/dev/null
+cmp /tmp/stash_tier1_chaos_a.json /tmp/stash_tier1_chaos_b.json
+python3 - <<'PY'
+import json
+doc = json.load(open("/tmp/stash_tier1_chaos_a.json"))
+assert doc["schema"] == "stash-resilience-v1", doc.get("schema")
+assert doc["slowdown"] >= 1.0
+assert len(doc["faults"]["events"]) == 4
+PY
+
 # Zero-allocation gate: steady-state epochs must not touch the global
 # allocator (counting-allocator test), fast-forward must not change any
 # EpochReport bit (differential test, FF on and off compared in-process
@@ -43,6 +61,11 @@ grep -q "<th class=\"num\">${wall_ns}</th>" /tmp/stash_tier1_report.html
 cargo test -q --test alloc_budget
 cargo test -q --test fast_forward_differential
 cargo test -q --test queue_equivalence
+
+# Fault-injection differential: an empty fault plan must leave every
+# EpochReport bit-identical across the zoo, and faulted accumulators must
+# tile the wall clock at integer-nanosecond exactness.
+cargo test -q --test faults_differential
 
 # Benchmark-script smoke: runs the figure sweep with fast-forward on and
 # off at a small iteration budget and sanity-checks the perf record.

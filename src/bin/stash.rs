@@ -12,6 +12,9 @@
 //!             [--out PATH] [-b N]        self-contained HTML + JSON
 //! stash diff <baseline.json> <cur.json>  flag per-category stall
 //!             [--threshold FRAC]         regressions (non-zero exit)
+//! stash chaos <instance> <model>         faulted epoch under a seeded or
+//!             [--seed N] [--plan FILE]   file-provided fault plan, with a
+//!             [--out PATH] [-b N]        JSON resilience report
 //! ```
 //!
 //! Cluster syntax matches the paper: `p3.16xlarge` or `p3.8xlarge*2`.
@@ -20,12 +23,54 @@ use std::process::ExitCode;
 
 use stash::prelude::*;
 
+/// Edit distance, for "did you mean" hints on unknown names.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = Vec::with_capacity(b.len() + 1);
+        cur.push(i + 1);
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+/// The closest candidate within an edit distance of 3, if any.
+fn nearest<'a>(name: &str, candidates: impl Iterator<Item = &'a str>) -> Option<&'a str> {
+    let name = name.to_lowercase();
+    candidates
+        .map(|c| (levenshtein(&name, &c.to_lowercase()), c))
+        .filter(|&(d, _)| d <= 3)
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, c)| c)
+}
+
+fn lookup_model(name: &str) -> Result<Model, String> {
+    if let Some(m) = zoo::by_name(name) {
+        return Ok(m);
+    }
+    let names: Vec<String> = zoo::all_models().into_iter().map(|(m, _)| m.name).collect();
+    Err(match nearest(name, names.iter().map(String::as_str)) {
+        Some(s) => format!("unknown model '{name}' — did you mean '{s}'? (try `stash models`)"),
+        None => format!("unknown model '{name}' (try `stash models`)"),
+    })
+}
+
 fn parse_cluster(spec: &str) -> Result<ClusterSpec, String> {
     ClusterSpec::parse(spec).map_err(|e| {
+        let cat = catalog();
+        let inst = spec.split('*').next().unwrap_or(spec);
+        let hint = nearest(inst, cat.iter().map(|i| i.name.as_str()))
+            .map(|s| format!(" — did you mean '{s}'?"))
+            .unwrap_or_default();
         format!(
-            "{e} (known instances: {})",
-            catalog()
-                .iter()
+            "{e}{hint} (known instances: {})",
+            cat.iter()
                 .map(|i| i.name.as_str())
                 .collect::<Vec<_>>()
                 .join(", ")
@@ -91,9 +136,12 @@ fn cmd_profile(args: &[String]) -> ExitCode {
         eprintln!("usage: stash profile <model> <cluster> [-b batch]");
         return ExitCode::FAILURE;
     };
-    let Some(model) = zoo::by_name(model_name) else {
-        eprintln!("unknown model '{model_name}' (try `stash models`)");
-        return ExitCode::FAILURE;
+    let model = match lookup_model(model_name) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
     };
     let cluster = match parse_cluster(cluster_spec) {
         Ok(c) => c,
@@ -119,9 +167,12 @@ fn cmd_advise(args: &[String]) -> ExitCode {
         eprintln!("usage: stash advise <model> [-b batch] [--cost|--time]");
         return ExitCode::FAILURE;
     };
-    let Some(model) = zoo::by_name(model_name) else {
-        eprintln!("unknown model '{model_name}' (try `stash models`)");
-        return ExitCode::FAILURE;
+    let model = match lookup_model(model_name) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
     };
     let objective = if args.iter().any(|a| a == "--time") {
         Objective::Time
@@ -158,7 +209,11 @@ fn cmd_probe(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     };
     let Some(inst) = by_name(name) else {
-        eprintln!("unknown instance '{name}'");
+        let cat = catalog();
+        match nearest(name, cat.iter().map(|i| i.name.as_str())) {
+            Some(s) => eprintln!("unknown instance '{name}' — did you mean '{s}'?"),
+            None => eprintln!("unknown instance '{name}' (try `stash catalog`)"),
+        }
         return ExitCode::FAILURE;
     };
     let mut net = FlowNet::new();
@@ -189,9 +244,12 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     } else {
         (second, first)
     };
-    let Some(model) = zoo::by_name(model_name) else {
-        eprintln!("unknown model '{model_name}' (try `stash models`)");
-        return ExitCode::FAILURE;
+    let model = match lookup_model(model_name) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
     };
     let cluster = match parse_cluster(cluster_spec) {
         Ok(c) => c,
@@ -274,7 +332,13 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     print!("\n{}", stash::trace::metrics::render_rollup(&rollup, None));
 
     let json = stash::trace::chrome::export(&events);
-    let text = serde_json::to_string_pretty(&json).expect("serialize trace");
+    let text = match serde_json::to_string_pretty(&json) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot serialize trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
         if !dir.as_os_str().is_empty() {
             if let Err(e) = std::fs::create_dir_all(dir) {
@@ -353,9 +417,12 @@ fn cmd_report(args: &[String]) -> ExitCode {
     } else {
         (second, first)
     };
-    let Some(model) = zoo::by_name(model_name) else {
-        eprintln!("unknown model '{model_name}' (try `stash models`)");
-        return ExitCode::FAILURE;
+    let model = match lookup_model(model_name) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
     };
     let cluster = match parse_cluster(cluster_spec) {
         Ok(c) => c,
@@ -458,14 +525,24 @@ fn cmd_report(args: &[String]) -> ExitCode {
     println!("\nwhat-if (2x faster), projected vs re-simulated window:");
     for res in WhatIfResource::ALL {
         let projected = project(&path, res, 2.0);
-        let hw = Resource::from_label(res.label()).expect("resource labels are shared");
-        let mut cfg2 = cfg.clone();
-        cfg2.cluster = cluster.scaled(hw, 2.0);
-        let resim = match traced_critical_path(&cfg2) {
-            Ok((_, p2)) => Some(p2.wall_ns),
-            Err(e) => {
-                eprintln!("  {:<15} re-simulation failed: {e}", res.label());
+        let resim = match Resource::from_label(res.label()) {
+            None => {
+                eprintln!(
+                    "  {:<15} has no hardware counterpart; skipping re-simulation",
+                    res.label()
+                );
                 None
+            }
+            Some(hw) => {
+                let mut cfg2 = cfg.clone();
+                cfg2.cluster = cluster.scaled(hw, 2.0);
+                match traced_critical_path(&cfg2) {
+                    Ok((_, p2)) => Some(p2.wall_ns),
+                    Err(e) => {
+                        eprintln!("  {:<15} re-simulation failed: {e}", res.label());
+                        None
+                    }
+                }
             }
         };
         if let Some(truth) = resim {
@@ -491,7 +568,13 @@ fn cmd_report(args: &[String]) -> ExitCode {
         });
     }
 
-    let json_text = serde_json::to_string_pretty(&report.to_json()).expect("serialize report");
+    let json_text = match serde_json::to_string_pretty(&report.to_json()) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot serialize report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     for (path, text) in [(&json_path, &json_text), (&html_path, &report.to_html())] {
         if let Err(e) = write_creating_dirs(path, text) {
             eprintln!("{e}");
@@ -555,6 +638,244 @@ fn cmd_diff(args: &[String]) -> ExitCode {
     ExitCode::FAILURE
 }
 
+fn cmd_chaos(args: &[String]) -> ExitCode {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let (Some(first), Some(second)) = (args.first(), args.get(1)) else {
+        eprintln!(
+            "usage: stash chaos <instance> <model> [--seed N] [--plan FILE] [--out PATH] [-b batch]"
+        );
+        return ExitCode::FAILURE;
+    };
+    // Either argument order, like `stash trace`.
+    let (model_name, cluster_spec) = if zoo::by_name(first).is_some() {
+        (first, second)
+    } else {
+        (second, first)
+    };
+    let model = match lookup_model(model_name) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cluster = match parse_cluster(cluster_spec) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let seed: u64 = match args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(v) => match v.parse() {
+            Ok(s) => s,
+            Err(_) => {
+                eprintln!("--seed expects an unsigned integer, got '{v}'");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => 42,
+    };
+    let plan_file = args
+        .iter()
+        .position(|a| a == "--plan")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out" || a == "-o")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| {
+            format!(
+                "results/chaos_{}_{}_{}.json",
+                model_name.to_lowercase(),
+                cluster_spec.replace('*', "x"),
+                if plan_file.is_some() {
+                    "plan".to_string()
+                } else {
+                    format!("seed{seed}")
+                }
+            )
+        });
+
+    // A full (factor-1) synthetic window: every accumulator is exact, so
+    // the trace must corroborate the engine to the nanosecond.
+    let batch = parse_batch(args);
+    let iters: u64 = 16;
+    let mut cfg = TrainConfig::synthetic(cluster.clone(), model, batch, batch * iters);
+    cfg.epoch_mode = EpochMode::Full;
+    cfg.record_trace = true;
+
+    // Fault-free baseline: the yardstick, and the plan horizon.
+    let base = match run_epoch(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("chaos baseline failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (world, nodes) = (cluster.world_size(), cluster.node_count());
+    let plan = match &plan_file {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match FaultPlan::from_json(&text) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => FaultPlan::seeded(seed, world, nodes, base.epoch_time),
+    };
+    if let Err(e) = plan.validate(world, nodes) {
+        eprintln!("fault plan does not fit {cluster_spec}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let sink = Rc::new(RefCell::new(JsonSink::new()));
+    let tracer = shared(Tracer::new(sink.clone()));
+    let run = match run_epoch_faulted_traced(&cfg, &plan, &tracer) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("chaos run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let r = &run.report;
+
+    // Self-check: the rank-0 trace lane must reconcile with the engine's
+    // accounting exactly, recovery and straggler categories included.
+    let events = sink.borrow().events().to_vec();
+    let path = CriticalPath::from_events(&events, 0, Track::gpu(0, 0));
+    let raw = |cats: &[PathCategory]| {
+        SimDuration::from_nanos(cats.iter().map(|&c| path.total_ns(c)).sum::<u64>())
+    };
+    let checks = [
+        (
+            "compute",
+            raw(&[PathCategory::Compute, PathCategory::Overlap]),
+            r.compute_time,
+        ),
+        (
+            "data-wait",
+            raw(&[PathCategory::Prep, PathCategory::Fetch]),
+            r.data_wait,
+        ),
+        (
+            "comm-wait",
+            raw(&[PathCategory::Interconnect, PathCategory::Network]),
+            r.comm_wait,
+        ),
+        ("recovery", raw(&[PathCategory::Recovery]), r.recovery_time),
+        (
+            "straggler",
+            raw(&[PathCategory::Straggler]),
+            r.straggler_time,
+        ),
+    ];
+    for (what, traced, engine) in checks {
+        if traced != engine {
+            eprintln!("chaos self-check failed: traced {what} {traced} != engine {engine}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let slowdown = r.epoch_time.as_secs_f64() / base.epoch_time.as_secs_f64().max(1e-12);
+    println!(
+        "{} | {} | batch {} x {} GPUs — chaos run ({})",
+        r.cluster,
+        r.model,
+        r.per_gpu_batch,
+        base.world,
+        plan_file
+            .as_deref()
+            .map_or_else(|| format!("seed {seed}"), str::to_string)
+    );
+    println!(
+        "  baseline epoch {:>12}   faulted epoch {:>12}   slowdown {slowdown:.2}x",
+        base.epoch_time.to_string(),
+        r.epoch_time.to_string()
+    );
+    println!(
+        "  recovery stall {:>12}   straggler excess {:>12}",
+        r.recovery_time.to_string(),
+        r.straggler_time.to_string()
+    );
+    println!(
+        "  replayed iterations: {}   straggler detections: {}   dead nodes: {:?}",
+        run.faults.replayed_iterations,
+        run.faults.detections.len(),
+        run.faults.dead_nodes
+    );
+    println!("  per-event blame:");
+    for ev in &run.faults.events {
+        println!(
+            "    {:<18} at {:>12} fired {:<5} blame {:>12}",
+            ev.label,
+            ev.at.duration_since(SimTime::ZERO).to_string(),
+            ev.fired,
+            ev.blame.to_string()
+        );
+    }
+
+    let doc = serde_json::json!({
+        "schema": "stash-resilience-v1",
+        "cluster": r.cluster,
+        "model": r.model,
+        "per_gpu_batch": r.per_gpu_batch,
+        "seed": plan_file.is_none().then_some(seed),
+        "plan": &plan,
+        "baseline": serde_json::json!({
+            "epoch_ns": base.epoch_time.as_nanos(),
+            "throughput": base.throughput,
+            "world": base.world,
+            "samples": base.samples,
+        }),
+        "faulted": serde_json::json!({
+            "epoch_ns": r.epoch_time.as_nanos(),
+            "compute_ns": r.compute_time.as_nanos(),
+            "data_wait_ns": r.data_wait.as_nanos(),
+            "comm_wait_ns": r.comm_wait.as_nanos(),
+            "recovery_ns": r.recovery_time.as_nanos(),
+            "straggler_ns": r.straggler_time.as_nanos(),
+            "throughput": r.throughput,
+            "world": r.world,
+            "samples": r.samples,
+        }),
+        "slowdown": slowdown,
+        "goodput_fraction": r.throughput / base.throughput.max(1e-12),
+        "faults": &run.faults,
+    });
+    let text = match serde_json::to_string_pretty(&doc) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot serialize resilience report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = write_creating_dirs(&out_path, &text) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nresilience report written to {out_path}");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -566,6 +887,7 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         _ => {
             eprintln!(
                 "stash — DDL stall profiler (ICDCS'23 reproduction)\n\n\
@@ -575,7 +897,8 @@ fn main() -> ExitCode {
                  stash probe <instance>\n  \
                  stash trace <instance> <model> [--out PATH] [-b batch]\n  \
                  stash report <instance> <model> [--out PATH] [-b batch]\n  \
-                 stash diff <baseline.json> <current.json> [--threshold FRAC]\n\n\
+                 stash diff <baseline.json> <current.json> [--threshold FRAC]\n  \
+                 stash chaos <instance> <model> [--seed N] [--plan FILE] [--out PATH] [-b batch]\n\n\
                  clusters: p3.16xlarge, p3.8xlarge*2, ..."
             );
             ExitCode::FAILURE

@@ -16,6 +16,7 @@
 //! | [`ddl`] | `stash-ddl` | the DDP training engine |
 //! | [`core`] | `stash-core` | **the Stash profiler** |
 //! | [`trace`] | `stash-trace` | span tracing, Chrome export, metrics |
+//! | [`faults`] | `stash-faults` | deterministic fault-injection plans |
 //!
 //! # Quickstart
 //!
@@ -38,6 +39,7 @@ pub use stash_core as core;
 pub use stash_datapipe as datapipe;
 pub use stash_ddl as ddl;
 pub use stash_dnn as dnn;
+pub use stash_faults as faults;
 pub use stash_flowsim as flowsim;
 pub use stash_gpucompute as gpucompute;
 pub use stash_hwtopo as hwtopo;
@@ -51,6 +53,7 @@ pub mod prelude {
     pub use stash_datapipe::prelude::*;
     pub use stash_ddl::prelude::*;
     pub use stash_dnn::prelude::*;
+    pub use stash_faults::prelude::*;
     pub use stash_flowsim::prelude::*;
     pub use stash_gpucompute::prelude::*;
     pub use stash_hwtopo::prelude::*;

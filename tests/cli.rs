@@ -220,3 +220,125 @@ fn diff_passes_self_compare_and_flags_doctored_report() {
     assert!(!out.status.success());
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn unknown_names_get_nearest_match_suggestions() {
+    let out = stash(&["profile", "ResNet-50", "p3.16xlarge"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("did you mean 'ResNet50'"),
+        "no suggestion in: {stderr}"
+    );
+
+    let out = stash(&["probe", "p3.16xlage"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("did you mean 'p3.16xlarge'"),
+        "no suggestion in: {stderr}"
+    );
+
+    let out = stash(&["trace", "p3.2xlarg", "resnet18"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("did you mean 'p3.2xlarge'"),
+        "no suggestion in: {stderr}"
+    );
+}
+
+#[test]
+fn diff_rejects_corrupted_json_without_panicking() {
+    let dir = std::env::temp_dir().join("stash_cli_corrupt_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("corrupt.json");
+    std::fs::write(&bad, "{\"cluster\": \"p3.2xlarge\", \"categ").unwrap();
+    let out = stash(&["diff", bad.to_str().unwrap(), bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("invalid JSON"), "{stderr}");
+    assert!(
+        !stderr.contains("panicked"),
+        "diff panicked on corrupt input: {stderr}"
+    );
+
+    // Structurally valid JSON that is not a report is also a clean error.
+    std::fs::write(&bad, "[1, 2, 3]").unwrap();
+    let out = stash(&["diff", bad.to_str().unwrap(), bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_writes_deterministic_resilience_report() {
+    let dir = std::env::temp_dir().join("stash_cli_chaos_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_a = dir.join("a.json");
+    let out_b = dir.join("b.json");
+    for path in [&out_a, &out_b] {
+        let out = stash(&[
+            "chaos",
+            "p3.2xlarge",
+            "alexnet",
+            "--seed",
+            "5",
+            "--out",
+            path.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "chaos failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(stdout.contains("slowdown"), "{stdout}");
+        assert!(stdout.contains("per-event blame"), "{stdout}");
+    }
+    let a = std::fs::read(&out_a).unwrap();
+    let b = std::fs::read(&out_b).unwrap();
+    assert_eq!(a, b, "same seed must produce byte-identical reports");
+
+    // The report is valid JSON with the expected schema and a slowdown
+    // of at least 1 (faults never speed an epoch up).
+    let doc: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(a.clone()).unwrap()).unwrap();
+    assert_eq!(doc["schema"], "stash-resilience-v1");
+    assert!(doc["slowdown"].as_f64().unwrap() >= 1.0);
+    assert!(doc["faulted"]["recovery_ns"].as_u64().unwrap() > 0);
+
+    // A corrupted plan file is a clean non-zero exit.
+    let bad_plan = dir.join("plan.json");
+    std::fs::write(&bad_plan, "{\"events\": [tru").unwrap();
+    let out = stash(&[
+        "chaos",
+        "p3.2xlarge",
+        "alexnet",
+        "--plan",
+        bad_plan.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    // A plan that does not fit the cluster is rejected with the typed
+    // validation error.
+    std::fs::write(
+        &bad_plan,
+        "{\"events\":[{\"at\":0,\"kind\":{\"StragglerWindow\":{\"rank\":99,\"duration\":1000,\"slowdown\":1.5}}}],\"recovery\":{\"checkpoint_every\":4,\"straggler_timeout\":20000000,\"straggler_backoff\":2.0,\"reform_delay\":500000000}}",
+    )
+    .unwrap();
+    let out = stash(&[
+        "chaos",
+        "p3.2xlarge",
+        "alexnet",
+        "--plan",
+        bad_plan.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("does not fit"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -322,3 +322,43 @@ proptest! {
         }
     }
 }
+
+// ----------------------------------------------------------------- hwtopo
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `InstanceType::validate` accepts exactly the specs whose numeric
+    /// fields are sane: the frozen Table I catalog always passes, and a
+    /// single hostile field (NaN, infinity, zero or negative) is caught —
+    /// both directly and through `ClusterSpec::validate`.
+    #[test]
+    fn hostile_instance_fields_are_rejected(
+        idx in 0_usize..8,
+        field in 0_usize..5,
+        kind in 0_usize..6,
+        magnitude in 1.0e-3_f64..1.0e12,
+    ) {
+        let value = match kind {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => 0.0,
+            4 => -magnitude,
+            _ => magnitude,
+        };
+        let mut inst = catalog()[idx].clone();
+        prop_assert!(inst.validate().is_ok(), "catalog instance must be valid");
+        let expect_ok = match field {
+            0 => { inst.main_memory_bytes = value; value.is_finite() && value > 0.0 }
+            1 => { inst.network_gbps = value; value.is_finite() && value > 0.0 }
+            2 => { inst.interconnect_scale = value; value.is_finite() && value > 0.0 }
+            3 => { inst.storage.throughput_bps = value; value.is_finite() && value > 0.0 }
+            _ => { inst.price_per_hour = value; value.is_finite() && value >= 0.0 }
+        };
+        prop_assert_eq!(inst.validate().is_ok(), expect_ok);
+        if !expect_ok {
+            prop_assert!(ClusterSpec::single(inst).validate().is_err());
+        }
+    }
+}
