@@ -4,10 +4,13 @@
 //! Expected shape: ShuffleNet's V100 utilisation is very low — it cannot
 //! exploit the large GPU, which is why it trains cost-effectively on P2.
 
-use stash_bench::Table;
+use stash_bench::{bench_iters, rollup_from_reports, Table};
+use stash_core::profiler::Stash;
 use stash_dnn::zoo;
 use stash_gpucompute::memory::utilization_pct;
+use stash_hwtopo::cluster::ClusterSpec;
 use stash_hwtopo::gpu::GpuModel;
+use stash_hwtopo::instance::{p2_xlarge, p3_2xlarge};
 
 fn main() {
     let mut t = Table::new(
@@ -37,6 +40,20 @@ fn main() {
             }
         }
     }
+    // A profiled counterpart of the memory table — one run per model on
+    // the single-GPU instance of each family — so this figure emits the
+    // same `results/<name>_rollup.json` artifact as the rest of the set.
+    let mut reports = Vec::new();
+    for model in [zoo::shufflenet(), zoo::resnet18()] {
+        for instance in [p2_xlarge(), p3_2xlarge()] {
+            let stash = Stash::new(model.clone())
+                .with_batch(32)
+                .with_sampled_iterations(bench_iters());
+            let cluster = ClusterSpec::single(instance);
+            reports.push(stash.profile(&cluster).expect("profile"));
+        }
+    }
+    t.set_rollup(rollup_from_reports(&reports));
     t.finish();
     // ShuffleNet sits below ResNet18 at every batch size, and never
     // reaches a third of the V100's memory even at batch 128.

@@ -6,7 +6,7 @@
 //! interconnect stall than much-smaller ResNets but far *higher* network
 //! stall; removing BN lowers stalls; removing residuals changes little.
 
-use stash_bench::{bench_iters, pct, Table};
+use stash_bench::{bench_iters, pct, rollup_from_reports, Table};
 use stash_core::profiler::Stash;
 use stash_dnn::synth::{resnet, resnet_with, vgg, ResNetOptions};
 use stash_hwtopo::cluster::ClusterSpec;
@@ -52,6 +52,7 @@ fn main() {
     // networked pair for the N/W series (paper setup).
     let cluster = ClusterSpec::homogeneous(p3_8xlarge(), 2);
     let mut rows = std::collections::HashMap::new();
+    let mut reports = Vec::new();
     for model in &models {
         let stash = Stash::new(model.clone())
             .with_batch(32)
@@ -71,7 +72,9 @@ fn main() {
             format!("{ic_s:.1}"),
             format!("{nw_s:.1}"),
         ]);
+        reports.push(r);
     }
+    t.set_rollup(rollup_from_reports(&reports));
     t.finish();
 
     // §VI-A1: "as the number of layers increases ... both the interconnect

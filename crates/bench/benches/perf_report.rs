@@ -53,11 +53,21 @@ fn main() {
         })
         .sum();
 
+    // Self-telemetry rides along: the registry view of the same sweep
+    // (solver latency percentiles, queue traffic) lands in the record so
+    // the benchmark trajectory can track simulator health over revisions.
+    stash_telemetry::enable();
+    stash_telemetry::metrics::reset_all();
     let (results, perf) = run_sweep(jobs);
+    let snap = stash_telemetry::snapshot::Snapshot::take();
+    stash_telemetry::disable();
     for (i, r) in results.iter().enumerate() {
         assert!(r.is_ok(), "sweep job {i} failed: {:?}", r.as_ref().err());
     }
 
+    let solver = snap
+        .histogram("stash_sim_solver_recompute_latency_ns")
+        .expect("solver histogram in schema");
     let events_per_sec = perf.sim_events as f64 / perf.wall_secs.max(1e-9);
     let fast_forward_ratio = perf.fast_forwarded_iterations as f64 / requested_iterations as f64;
     let record = serde_json::json!({
@@ -75,6 +85,15 @@ fn main() {
         "requested_iterations": requested_iterations,
         "fast_forwarded_iterations": perf.fast_forwarded_iterations,
         "fast_forward_ratio": fast_forward_ratio,
+        "telemetry": serde_json::json!({
+            "solver_recompute_p50_ns": solver.quantile(0.50),
+            "solver_recompute_p99_ns": solver.quantile(0.99),
+            "solver_recompute_count": solver.count,
+            "queue_pushed": snap.counter("stash_sim_queue_events_pushed_total"),
+            "queue_popped": snap.counter("stash_sim_queue_events_popped_total"),
+            "queue_cancelled": snap.counter("stash_sim_queue_events_cancelled_total"),
+            "queue_depth_high_water": snap.gauge("stash_sim_queue_depth_high_water"),
+        }),
     });
 
     let out = std::env::var("STASH_PERF_OUT")

@@ -167,7 +167,7 @@ impl SweepPerf {
     /// traces can be scraped side by side.
     #[must_use]
     pub fn prometheus(&self) -> String {
-        let mut b = stash_trace::metrics::MetricsBuilder::new();
+        let mut b = stash_telemetry::prom::MetricsBuilder::new();
         b.family(
             "stash_measurement_cache_hits_total",
             "counter",
@@ -330,8 +330,17 @@ pub fn run_sweep(jobs: Vec<SweepJob>) -> (Vec<Result<StallReport, ProfileError>>
         fast_forwarded_iterations: solver.fast_forwarded_iterations,
         sim_events: solver.sim_events,
     };
+    let mut prom_text = perf.prometheus();
+    if stash_telemetry::enabled() {
+        // The registry families are disjoint from the sweep families, so
+        // the concatenation is still one valid exposition.
+        prom_text.push_str(&stash_telemetry::snapshot::Snapshot::take().render_prom());
+    }
+    if let Err(e) = stash_telemetry::prom::validate(&prom_text) {
+        panic!("sweep metrics failed exposition validation: {e}");
+    }
     let prom_path = results_dir().join("sweep_metrics.prom");
-    if let Err(e) = fs::write(&prom_path, perf.prometheus()) {
+    if let Err(e) = fs::write(&prom_path, prom_text) {
         eprintln!("[warn: could not write {}: {e}]", prom_path.display());
     }
     println!(
@@ -660,6 +669,7 @@ mod tests {
             sim_events: 5_000,
         };
         let text = perf.prometheus();
+        stash_telemetry::prom::validate(&text).unwrap();
         assert!(text.contains("stash_measurement_cache_hits_total 42"));
         assert!(text.contains("stash_measurement_cache_misses_total 7"));
         assert!(text.contains("stash_sweep_jobs_total 9"));

@@ -115,6 +115,19 @@ impl MeasurementCache {
         self.misses.store(0, Ordering::Relaxed);
     }
 
+    /// Drops every stored measurement (counters are kept). Each dropped
+    /// entry counts as an eviction in the telemetry registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned.
+    pub fn clear(&self) {
+        let mut entries = self.entries.lock().expect("cache poisoned");
+        let evicted = entries.len() as u64;
+        entries.clear();
+        stash_telemetry::metrics::CACHE_EVICTIONS.add(evicted);
+    }
+
     /// The epoch time for `cfg`, simulated on first request and memoized
     /// after. The engine is deterministic, so a cached result is
     /// bit-identical to a fresh run.
@@ -134,9 +147,11 @@ impl MeasurementCache {
         let key = config_key(cfg);
         if let Some(&t) = self.entries.lock().expect("cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            stash_telemetry::metrics::CACHE_HITS.inc();
             return Ok(t);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        stash_telemetry::metrics::CACHE_MISSES.inc();
         let t = run_epoch(cfg)?.epoch_time;
         self.entries.lock().expect("cache poisoned").insert(key, t);
         Ok(t)
@@ -162,9 +177,11 @@ impl MeasurementCache {
         let key = config_key(cfg);
         if let Some(&t) = self.entries.lock().expect("cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            stash_telemetry::metrics::CACHE_HITS.inc();
             return Ok(t);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        stash_telemetry::metrics::CACHE_MISSES.inc();
         let t = run_epoch_in(cfg, arena)?.epoch_time;
         self.entries.lock().expect("cache poisoned").insert(key, t);
         Ok(t)
@@ -234,6 +251,16 @@ mod tests {
         assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
         assert_eq!(cache.len(), 1);
         assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_empties_entries_but_keeps_counters() {
+        let cache = MeasurementCache::new();
+        cache.epoch_time(&cfg()).unwrap();
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 1);
     }
 
     #[test]

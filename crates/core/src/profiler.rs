@@ -452,16 +452,23 @@ impl Stash {
 }
 
 /// Measures one step config inside `arena`, answering from `cache` when
-/// possible.
+/// possible. Host wall-clock per measurement feeds the step-wall
+/// histogram (cache hits included — the point is what a step *costs*).
 fn measure_in(
     cache: Option<&MeasurementCache>,
     cfg: &TrainConfig,
     arena: &mut EngineArena,
 ) -> Result<SimDuration, ProfileError> {
-    match cache {
+    let t0 = stash_telemetry::enabled().then(std::time::Instant::now);
+    let out = match cache {
         Some(c) => c.epoch_time_in(cfg, arena),
         None => Ok(run_epoch_in(cfg, arena)?.epoch_time),
+    };
+    if let Some(t0) = t0 {
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        stash_telemetry::metrics::PROFILE_STEP_WALL_NS.record(ns);
     }
+    out
 }
 
 /// A (profiler, cluster) pair to run as one unit of sweep work.

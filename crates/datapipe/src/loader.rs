@@ -257,10 +257,9 @@ impl NodeLoader {
                 w.fetch = None;
                 w.retried = false;
                 w.phase = WorkerPhase::Prepping;
-                actions.push(LoaderAction::StartPrep {
-                    worker,
-                    duration: self.prep_duration(),
-                });
+                let duration = self.prep_duration();
+                stash_telemetry::metrics::DATA_PREP_SERVICE_NS.record(duration.as_nanos());
+                actions.push(LoaderAction::StartPrep { worker, duration });
             }
             WorkerPhase::Uploading => {
                 let gpu = self.gpu_of(worker);

@@ -516,6 +516,11 @@ impl<'a> Engine<'a> {
         arena: &mut EngineArena,
     ) -> Result<Engine<'a>, TrainError> {
         let mut net = std::mem::take(&mut arena.net);
+        if net.link_count() > 0 {
+            // A non-empty network means this arena already ran an epoch:
+            // its slabs and route pools come back warm.
+            stash_telemetry::metrics::ARENA_REUSE.inc();
+        }
         net.reset();
         let mut q = std::mem::take(&mut arena.q);
         q.reset();
@@ -857,6 +862,19 @@ impl<'a> Engine<'a> {
             };
             event_guard += 1;
             assert!(event_guard < 500_000_000, "runaway simulation");
+            if stash_telemetry::flight::flight_enabled() {
+                let (code, a, b) = match &ev {
+                    Ev::NetWake => ("net_wake", 0, 0),
+                    Ev::RankCompute { rank } => ("rank_compute", *rank as u64, 0),
+                    Ev::LoaderPrep { node, worker } => {
+                        ("loader_prep", *node as u64, *worker as u64)
+                    }
+                    Ev::Fault { idx } => ("fault", *idx as u64, 0),
+                    Ev::FaultClear { idx } => ("fault_clear", *idx as u64, 0),
+                    Ev::FaultResume => ("fault_resume", 0, 0),
+                };
+                stash_telemetry::flight::flight_record(self.q.now().as_nanos(), code, a, b);
+            }
             match ev {
                 Ev::NetWake => {
                     self.next_wake = None;
@@ -871,9 +889,18 @@ impl<'a> Engine<'a> {
                         self.apply_loader_actions(node, actions);
                     }
                 }
-                Ev::Fault { idx } => self.on_fault_fired(idx),
-                Ev::FaultClear { idx } => self.on_fault_cleared(idx),
-                Ev::FaultResume => self.on_fault_resume(),
+                Ev::Fault { idx } => {
+                    stash_telemetry::metrics::FAULT_BRANCHES.inc();
+                    self.on_fault_fired(idx);
+                }
+                Ev::FaultClear { idx } => {
+                    stash_telemetry::metrics::FAULT_BRANCHES.inc();
+                    self.on_fault_cleared(idx);
+                }
+                Ev::FaultResume => {
+                    stash_telemetry::metrics::FAULT_BRANCHES.inc();
+                    self.on_fault_resume();
+                }
             }
             self.drain_flows();
             self.schedule_wake();
@@ -1178,6 +1205,7 @@ impl<'a> Engine<'a> {
         if !confirmed {
             return false;
         }
+        stash_telemetry::metrics::FF_CONFIRMATIONS.inc();
         self.fast_forward_to_end(iter, period);
         true
     }
@@ -1863,7 +1891,12 @@ impl<'a> Engine<'a> {
                             }
                             TransferPurpose::Upload => {}
                         }
-                        self.xfer_open.insert((n, worker), (now, purpose));
+                    }
+                    if self.trace_on || stash_telemetry::enabled() {
+                        // Transfer timing is emergent (flow-based), so the
+                        // service-time histogram and fetch spans both key
+                        // off this open-transfer table.
+                        self.xfer_open.insert((n, worker), (self.q.now(), purpose));
                     }
                     self.net.start_flow(
                         self.q.now(),
@@ -1945,8 +1978,10 @@ impl<'a> Engine<'a> {
                     self.on_comm_flow_done();
                 } else {
                     let (node, worker) = decode_loader_tag(tag);
-                    if self.trace_on {
-                        if let Some((start, purpose)) = self.xfer_open.remove(&(node, worker)) {
+                    if let Some((start, purpose)) = self.xfer_open.remove(&(node, worker)) {
+                        stash_telemetry::metrics::DATA_FETCH_SERVICE_NS
+                            .record(self.q.now().duration_since(start).as_nanos());
+                        if self.trace_on {
                             let name = match purpose {
                                 TransferPurpose::FetchHit => "fetch_dram",
                                 TransferPurpose::FetchMiss => "fetch_disk",
@@ -2002,6 +2037,10 @@ impl<'a> Engine<'a> {
             self.ff_iterations,
             self.q.delivered_count(),
         );
+        // The solver/queue registry metrics are recorded at their own
+        // hot-path sites; only epoch-scoped facts flush here.
+        stash_telemetry::metrics::FF_ITERATIONS.add(self.ff_iterations);
+        stash_telemetry::metrics::EPOCHS.inc();
         let full_iters = self.cfg.epoch_iterations();
         let factor = full_iters as f64 / self.sim_iters as f64;
         let sim_end = self

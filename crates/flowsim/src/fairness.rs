@@ -102,7 +102,9 @@ impl MaxMinScratch {
         self.users.clear();
         self.users.resize(n_links, 0);
 
+        let mut rounds = 0u64;
         loop {
+            rounds += 1;
             // users[l] = number of unfrozen flows crossing link l.
             self.users.iter_mut().for_each(|u| *u = 0);
             for f in 0..n_flows {
@@ -148,6 +150,7 @@ impl MaxMinScratch {
                 break;
             }
         }
+        stash_telemetry::metrics::SOLVER_ROUNDS.add(rounds);
         &self.rate
     }
 }

@@ -322,6 +322,8 @@ impl FlowNet {
         }
         self.tail = idx;
         self.n_active += 1;
+        stash_telemetry::metrics::FLOWS_ACTIVE_HIGH_WATER.record_max(self.n_active as u64);
+        stash_telemetry::metrics::FLOW_SLOTS_HIGH_WATER.record_max(self.slots.len() as u64);
         idx
     }
 
@@ -525,6 +527,7 @@ impl FlowNet {
                 // rest untouched, so assign that directly.
                 self.settle_alone_flow(idx);
                 self.shortcut_events += 1;
+                stash_telemetry::metrics::SOLVER_SHORTCUT_EVENTS.inc();
                 self.touch_loads();
             } else {
                 self.recompute_rates();
@@ -534,6 +537,7 @@ impl FlowNet {
             // are unchanged, only the load integrals get their segment
             // boundary.
             self.shortcut_events += 1;
+            stash_telemetry::metrics::SOLVER_SHORTCUT_EVENTS.inc();
             self.touch_loads();
         }
         self.collect_done();
@@ -566,11 +570,13 @@ impl FlowNet {
                 }
                 self.release_slot(idx);
                 self.shortcut_events += 1;
+                stash_telemetry::metrics::SOLVER_SHORTCUT_EVENTS.inc();
                 self.touch_loads();
             }
         } else {
             self.release_slot(idx);
             self.shortcut_events += 1;
+            stash_telemetry::metrics::SOLVER_SHORTCUT_EVENTS.inc();
             self.touch_loads();
         }
         true
@@ -830,6 +836,7 @@ impl FlowNet {
 
     fn recompute_rates(&mut self) {
         self.full_recomputes += 1;
+        stash_telemetry::metrics::SOLVER_FULL_RECOMPUTES.inc();
         self.active_ids.clear();
         let mut i = self.head;
         while i != NIL {
@@ -858,9 +865,16 @@ impl FlowNet {
             let hi = u32::try_from(self.routes_flat.len()).expect("route buffer overflow");
             self.routes_spans.push((lo, hi));
         }
+        // Host wall-clock around the solve only: Instant is a syscall,
+        // so even the timestamp is skipped while telemetry is off.
+        let solve_t0 = stash_telemetry::enabled().then(std::time::Instant::now);
         let rates = self
             .scratch
             .solve_flat(&self.caps, &self.routes_flat, &self.routes_spans);
+        if let Some(t0) = solve_t0 {
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            stash_telemetry::metrics::SOLVER_RECOMPUTE_LATENCY_NS.record(ns);
+        }
         let mut i = self.head;
         while i != NIL {
             let f = &mut self.slots[i as usize];
@@ -991,6 +1005,7 @@ impl FlowNet {
             self.activated_buf = activated;
             self.activated_buf.clear();
             self.shortcut_events += 1;
+            stash_telemetry::metrics::SOLVER_SHORTCUT_EVENTS.inc();
             self.touch_loads();
         }
         any

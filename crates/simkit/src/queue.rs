@@ -131,6 +131,8 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         self.scheduled += 1;
         self.live += 1;
+        stash_telemetry::metrics::QUEUE_PUSHED.inc();
+        stash_telemetry::metrics::QUEUE_DEPTH_HIGH_WATER.record_max(self.live as u64);
         let idx = match self.free.pop() {
             Some(idx) => idx,
             None => {
@@ -167,6 +169,7 @@ impl<E> EventQueue<E> {
                 *gen = gen.wrapping_add(1);
                 self.free.push(key.idx);
                 self.live -= 1;
+                stash_telemetry::metrics::QUEUE_CANCELLED.inc();
                 true
             }
             _ => false,
@@ -187,6 +190,7 @@ impl<E> EventQueue<E> {
             debug_assert!(entry.at >= self.now);
             self.now = entry.at;
             self.delivered += 1;
+            stash_telemetry::metrics::QUEUE_POPPED.inc();
             return Some((entry.at, entry.payload));
         }
         None

@@ -1,0 +1,185 @@
+//! Flight recorder: a ring buffer of the last N simulator events.
+//!
+//! When something goes wrong mid-simulation — a typed fault-plan error,
+//! a deadlocked event loop, a panic — the stack trace says *where* but
+//! not *what the simulator was doing*. The flight recorder keeps the
+//! tail of the engine's event stream in a fixed-size ring (no
+//! steady-state allocation once enabled) and dumps it as deterministic
+//! JSON (`stash-flight-v1`): simulated timestamps and sequence numbers
+//! only, no host clocks, so two identical runs dump identical bytes.
+//!
+//! The recorder is process-global behind a mutex, deliberately: it is
+//! only enabled on the chaos/debug path (`stash chaos --flight`), the
+//! engine is single-threaded, and a global survives into panic hooks
+//! where thread-locals may already be gone.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use serde_json::{Map, Number, Value};
+
+/// JSON schema tag written by [`flight_dump`].
+pub const SCHEMA: &str = "stash-flight-v1";
+
+/// Default ring capacity (events retained).
+pub const DEFAULT_CAPACITY: usize = 64;
+
+/// One recorded engine event.
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Monotonic sequence number (0 = first event ever recorded).
+    seq: u64,
+    /// Simulated timestamp, nanoseconds.
+    t_ns: u64,
+    /// Static event code (e.g. `"rank_compute"`).
+    code: &'static str,
+    /// First operand (rank / node / fault index — event-specific).
+    a: u64,
+    /// Second operand (worker index etc.; 0 when unused).
+    b: u64,
+}
+
+struct Ring {
+    cap: usize,
+    next_seq: u64,
+    buf: Vec<Entry>,
+}
+
+static FLIGHT_ON: AtomicBool = AtomicBool::new(false);
+static RING: Mutex<Option<Ring>> = Mutex::new(None);
+
+/// Turns the recorder on with a ring of `capacity` events (clamped to
+/// at least 1). Allocates the ring up front; recording never allocates.
+pub fn flight_enable(capacity: usize) {
+    let cap = capacity.max(1);
+    if let Ok(mut guard) = RING.lock() {
+        *guard = Some(Ring {
+            cap,
+            next_seq: 0,
+            buf: Vec::with_capacity(cap),
+        });
+        FLIGHT_ON.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Turns the recorder off and discards the ring.
+pub fn flight_disable() {
+    FLIGHT_ON.store(false, Ordering::Relaxed);
+    if let Ok(mut guard) = RING.lock() {
+        *guard = None;
+    }
+}
+
+/// Whether the recorder is on. One relaxed load — callers use this to
+/// skip operand marshalling entirely when off.
+#[inline(always)]
+#[must_use]
+pub fn flight_enabled() -> bool {
+    FLIGHT_ON.load(Ordering::Relaxed)
+}
+
+/// Records one event (no-op while disabled). `t_ns` is the simulated
+/// time; `code` a static label; `a`/`b` event-specific operands.
+pub fn flight_record(t_ns: u64, code: &'static str, a: u64, b: u64) {
+    if !flight_enabled() {
+        return;
+    }
+    if let Ok(mut guard) = RING.lock() {
+        if let Some(ring) = guard.as_mut() {
+            let seq = ring.next_seq;
+            ring.next_seq += 1;
+            let entry = Entry {
+                seq,
+                t_ns,
+                code,
+                a,
+                b,
+            };
+            if ring.buf.len() < ring.cap {
+                ring.buf.push(entry);
+            } else {
+                let idx = (seq % ring.cap as u64) as usize;
+                ring.buf[idx] = entry;
+            }
+        }
+    }
+}
+
+/// Dumps the ring as a `stash-flight-v1` JSON document (oldest event
+/// first), or `None` while disabled. The dump is a pure function of the
+/// recorded events — byte-identical across identical runs.
+#[must_use]
+pub fn flight_dump() -> Option<String> {
+    let guard = RING.lock().ok()?;
+    let ring = guard.as_ref()?;
+
+    let mut events: Vec<&Entry> = ring.buf.iter().collect();
+    events.sort_by_key(|e| e.seq);
+
+    let mut root = Map::new();
+    root.insert("schema".to_string(), Value::String(SCHEMA.to_string()));
+    root.insert(
+        "capacity".to_string(),
+        Value::Number(Number::U(ring.cap as u64)),
+    );
+    root.insert(
+        "recorded".to_string(),
+        Value::Number(Number::U(ring.next_seq)),
+    );
+    root.insert(
+        "dropped".to_string(),
+        Value::Number(Number::U(ring.next_seq.saturating_sub(events.len() as u64))),
+    );
+    let items = events
+        .into_iter()
+        .map(|e| {
+            let mut ev = Map::new();
+            ev.insert("seq".to_string(), Value::Number(Number::U(e.seq)));
+            ev.insert("t_ns".to_string(), Value::Number(Number::U(e.t_ns)));
+            ev.insert("event".to_string(), Value::String(e.code.to_string()));
+            ev.insert("a".to_string(), Value::Number(Number::U(e.a)));
+            ev.insert("b".to_string(), Value::Number(Number::U(e.b)));
+            Value::Object(ev)
+        })
+        .collect();
+    root.insert("events".to_string(), Value::Array(items));
+    serde_json::to_string_pretty(&Value::Object(root)).ok()
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    // One test body: the recorder is process-global, and the default
+    // test harness runs tests in parallel.
+    #[test]
+    fn ring_overwrites_oldest_and_dumps_deterministically() {
+        assert!(!flight_enabled());
+        assert!(flight_dump().is_none());
+        flight_record(1, "ignored", 0, 0);
+
+        flight_enable(4);
+        for i in 0..10u64 {
+            flight_record(i * 100, "rank_compute", i, 0);
+        }
+        let dump = flight_dump().unwrap();
+        let doc: Value = serde_json::from_str(&dump).unwrap();
+        assert_eq!(doc["schema"].as_str(), Some(SCHEMA));
+        assert_eq!(doc["capacity"].as_u64(), Some(4));
+        assert_eq!(doc["recorded"].as_u64(), Some(10));
+        assert_eq!(doc["dropped"].as_u64(), Some(6));
+        let events = doc["events"].as_array().unwrap();
+        assert_eq!(events.len(), 4);
+        // Oldest-first: seqs 6..=9.
+        for (i, ev) in events.iter().enumerate() {
+            assert_eq!(ev["seq"].as_u64(), Some(6 + i as u64));
+            assert_eq!(ev["t_ns"].as_u64(), Some((6 + i as u64) * 100));
+            assert_eq!(ev["event"].as_str(), Some("rank_compute"));
+        }
+        assert_eq!(flight_dump().unwrap(), dump);
+
+        flight_disable();
+        assert!(flight_dump().is_none());
+    }
+}

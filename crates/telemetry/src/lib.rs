@@ -1,0 +1,83 @@
+//! Simulator self-telemetry.
+//!
+//! The trace crate observes the *workload* (GPU spans, stall categories);
+//! this crate observes the *simulator itself*: how often the max-min
+//! solver runs and how long it takes, how deep the event queue gets, how
+//! often fast-forward confirms, how the measurement cache behaves. The
+//! design constraints come straight from the hot paths being measured:
+//!
+//! * **Lock-free recording.** Every metric is a process-wide static built
+//!   from [`std::sync::atomic::AtomicU64`]s; recording is a relaxed
+//!   fetch-add (or fetch-max for high-water gauges). No mutex, no map
+//!   lookup, no registration.
+//! * **Zero steady-state allocation.** The registry is a fixed schema of
+//!   statics ([`metrics`]); nothing allocates until a snapshot is taken.
+//!   `tests/telemetry_alloc.rs` proves this with a counting allocator.
+//! * **Disabled means free.** A single process-wide [`AtomicBool`] gates
+//!   every record call; when disabled (the default) a record is one
+//!   relaxed load and a predictable branch. The zoo-wide differential
+//!   test proves `EpochReport`s are bit-identical either way.
+//! * **Deterministic snapshots.** [`snapshot::Snapshot::take`] walks the
+//!   schema arrays in declaration order, so JSON and Prometheus dumps
+//!   are byte-stable for a given set of recorded values.
+//!
+//! On top of the registry sit the [`flight`] recorder (a ring buffer of
+//! the last N engine events, dumped as JSON on panic or typed error),
+//! the [`prom`] exposition writer + strict validator shared by every
+//! `.prom` artifact the workspace emits, and [`diff`], which gates
+//! simulator-health metrics (solver p99, events/epoch) in `stash diff`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub mod diff;
+pub mod flight;
+pub mod metrics;
+pub mod prom;
+pub mod registry;
+pub mod snapshot;
+
+/// Process-wide recording switch. Off by default: a disabled record call
+/// is one relaxed load.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns metric recording on.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns metric recording off (the default).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether recording is currently on.
+#[inline(always)]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Everything an instrumentation site or a consumer typically needs.
+pub mod prelude {
+    pub use crate::flight::{flight_dump, flight_enable, flight_enabled, flight_record};
+    pub use crate::metrics;
+    pub use crate::prom::MetricsBuilder;
+    pub use crate::registry::{Counter, Gauge, Histogram};
+    pub use crate::snapshot::Snapshot;
+    pub use crate::{disable, enable, enabled};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn enable_toggles_the_global_switch() {
+        // Single test body: the switch is process-wide state, so the
+        // transitions are exercised in one place to avoid ordering races
+        // with the parallel test harness.
+        assert!(!crate::enabled());
+        crate::enable();
+        assert!(crate::enabled());
+        crate::disable();
+        assert!(!crate::enabled());
+    }
+}

@@ -1,0 +1,493 @@
+//! Prometheus text exposition: one writer, one strict validator.
+//!
+//! [`MetricsBuilder`] is the single exposition writer for the whole
+//! workspace (the trace crate re-exports it, the bench sweeps and the
+//! `stash` CLI render through it). It enforces the format rules so
+//! callers cannot produce an unscrapable dump: metric and label names
+//! are sanitized to the legal alphabet, label values and `# HELP` text
+//! are escaped, and the `# HELP` / `# TYPE` header pair is emitted at
+//! most once per family.
+//!
+//! [`validate`] is the matching strict parser: every `.prom` artifact
+//! the workspace emits is round-tripped through it in tests and in
+//! `scripts/tier1.sh`.
+//!
+//! [text exposition format]:
+//!     https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use crate::registry::{bucket_upper_bound, BUCKETS};
+use crate::snapshot::Snapshot;
+
+/// Incremental builder for a text-format metrics dump.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsBuilder {
+    out: String,
+    families: BTreeSet<String>,
+}
+
+impl MetricsBuilder {
+    /// An empty dump.
+    #[must_use]
+    pub fn new() -> MetricsBuilder {
+        MetricsBuilder::default()
+    }
+
+    /// Starts a metric family: `# HELP` and `# TYPE` lines.
+    /// `kind` is the Prometheus type (`counter`, `gauge`, ...).
+    ///
+    /// Repeated calls for the same (sanitized) name are no-ops — the
+    /// format allows each header pair only once per exposition.
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) -> &mut MetricsBuilder {
+        let name = sanitize_name(name);
+        if !self.families.insert(name.clone()) {
+            return self;
+        }
+        let _ = writeln!(self.out, "# HELP {name} {}", escape_help(help));
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        self
+    }
+
+    /// Appends one sample. `labels` are `(key, value)` pairs; pass `&[]`
+    /// for an unlabelled sample. Values render with enough precision to
+    /// round-trip integers exactly.
+    pub fn sample(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        value: f64,
+    ) -> &mut MetricsBuilder {
+        self.out.push_str(&sanitize_name(name));
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(self.out, "{}=\"{}\"", sanitize_name(k), escape_label(v));
+            }
+            self.out.push('}');
+        }
+        let _ = writeln!(self.out, " {}", format_value(value));
+        self
+    }
+
+    /// Appends a full histogram family: cumulative `_bucket{le=...}`
+    /// lines up to the highest populated bucket, a final `+Inf` bucket,
+    /// then `_sum` and `_count`.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        buckets: &[u64; BUCKETS],
+        count: u64,
+        sum: u64,
+    ) -> &mut MetricsBuilder {
+        self.family(name, "histogram", help);
+        let bucket_name = format!("{name}_bucket");
+        let last = buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let mut cum = 0u64;
+        for (i, &c) in buckets.iter().enumerate().take(last + 1) {
+            cum = cum.saturating_add(c);
+            let le = bucket_upper_bound(i).to_string();
+            self.sample(&bucket_name, &[("le", &le)], cum as f64);
+        }
+        self.sample(&bucket_name, &[("le", "+Inf")], count as f64);
+        self.sample(&format!("{name}_sum"), &[], sum as f64);
+        self.sample(&format!("{name}_count"), &[], count as f64);
+        self
+    }
+
+    /// The accumulated dump.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Renders a [`Snapshot`] as the canonical `stash_*` exposition, in
+/// schema order.
+#[must_use]
+pub fn render_snapshot(snap: &Snapshot) -> String {
+    let mut b = MetricsBuilder::new();
+    for (def, &(_, v)) in crate::metrics::COUNTERS.iter().zip(snap.counters.iter()) {
+        b.family(def.name, "counter", def.help);
+        b.sample(def.name, &[], v as f64);
+    }
+    for (def, &(_, v)) in crate::metrics::GAUGES.iter().zip(snap.gauges.iter()) {
+        b.family(def.name, "gauge", def.help);
+        b.sample(def.name, &[], v as f64);
+    }
+    for (def, (_, h)) in crate::metrics::HISTOGRAMS
+        .iter()
+        .zip(snap.histograms.iter())
+    {
+        b.histogram(def.name, def.help, &h.buckets, h.count, h.sum);
+    }
+    b.finish()
+}
+
+/// Maps a metric or label name onto the legal Prometheus alphabet
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every illegal byte becomes `_`, and a
+/// leading digit gains a `_` prefix.
+#[must_use]
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let legal =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if legal {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value: `\` → `\\`, `"` → `\"`, newline → `\n`.
+#[must_use]
+pub fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Escapes `# HELP` text, which the format gives its own rules: only
+/// `\` and newline are escaped (quotes stay literal).
+#[must_use]
+pub fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Formats a sample value: integers exactly, floats via `Display`.
+#[must_use]
+pub fn format_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn legal_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// A parsed sample line: `(name, labels, value_text)`.
+type ParsedSample = (String, Vec<(String, String)>, String);
+
+/// Splits `name{labels} value` into its parts, honoring quoted/escaped
+/// label values.
+fn parse_sample(line: &str) -> Result<ParsedSample, String> {
+    let bytes: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() && bytes[i] != '{' && bytes[i] != ' ' {
+        i += 1;
+    }
+    let name: String = bytes[..i].iter().collect();
+    let mut labels = Vec::new();
+    if i < bytes.len() && bytes[i] == '{' {
+        i += 1;
+        loop {
+            if i >= bytes.len() {
+                return Err(format!("unterminated label set: {line}"));
+            }
+            if bytes[i] == '}' {
+                i += 1;
+                break;
+            }
+            let key_start = i;
+            while i < bytes.len() && bytes[i] != '=' {
+                i += 1;
+            }
+            let key: String = bytes[key_start..i].iter().collect();
+            if i + 1 >= bytes.len() || bytes[i + 1] != '"' {
+                return Err(format!("label value not quoted: {line}"));
+            }
+            i += 2;
+            let mut val = String::new();
+            loop {
+                match bytes.get(i) {
+                    None => return Err(format!("unterminated label value: {line}")),
+                    Some('\\') => {
+                        match bytes.get(i + 1) {
+                            Some('\\') => val.push('\\'),
+                            Some('"') => val.push('"'),
+                            Some('n') => val.push('\n'),
+                            other => return Err(format!("bad escape {other:?}: {line}")),
+                        }
+                        i += 2;
+                    }
+                    Some('"') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(&c) => {
+                        val.push(c);
+                        i += 1;
+                    }
+                }
+            }
+            labels.push((key, val));
+            if bytes.get(i) == Some(&',') {
+                i += 1;
+            }
+        }
+    }
+    if bytes.get(i) != Some(&' ') {
+        return Err(format!("missing space before value: {line}"));
+    }
+    let value: String = bytes[i + 1..].iter().collect();
+    Ok((name, labels, value))
+}
+
+fn parse_value(text: &str) -> Result<f64, String> {
+    match text {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other
+            .parse::<f64>()
+            .map_err(|e| format!("bad sample value {other:?}: {e}")),
+    }
+}
+
+/// Strictly validates a text exposition dump.
+///
+/// Enforced rules: every family has exactly one `# HELP` immediately
+/// followed by its `# TYPE` (with a known type); all metric and label
+/// names use the legal alphabet; every sample belongs to a declared
+/// family (histogram samples via `_bucket`/`_sum`/`_count`); label sets
+/// parse with correct quoting/escaping; values parse as floats; and for
+/// each histogram the `le` buckets are cumulative (non-decreasing), end
+/// with `+Inf`, and agree with `_count`.
+pub fn validate(text: &str) -> Result<(), String> {
+    const TYPES: [&str; 5] = ["counter", "gauge", "histogram", "summary", "untyped"];
+    let mut families: BTreeMap<String, String> = BTreeMap::new();
+    let mut pending_help: Option<String> = None;
+    // Per histogram: bucket cumulative values in order, the +Inf bucket
+    // value, and the `_count` sample value.
+    type HistState = (Vec<f64>, Option<f64>, Option<f64>);
+    let mut hist_state: BTreeMap<String, HistState> = BTreeMap::new();
+
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            if !legal_name(name) {
+                return Err(format!("illegal family name in HELP: {name:?}"));
+            }
+            if families.contains_key(name) {
+                return Err(format!("duplicate HELP for {name}"));
+            }
+            if let Some(prev) = pending_help {
+                return Err(format!("HELP {prev} not followed by TYPE"));
+            }
+            pending_help = Some(name.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split(' ');
+            let name = it.next().unwrap_or("");
+            let kind = it.next().unwrap_or("");
+            if pending_help.as_deref() != Some(name) {
+                return Err(format!("TYPE {name} without immediately preceding HELP"));
+            }
+            pending_help = None;
+            if !TYPES.contains(&kind) {
+                return Err(format!("unknown metric type {kind:?} for {name}"));
+            }
+            families.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            // Free-form comment: legal, ignored.
+            continue;
+        }
+        if let Some(prev) = pending_help.take() {
+            return Err(format!("HELP {prev} not followed by TYPE"));
+        }
+
+        let (name, labels, value_text) = parse_sample(line)?;
+        if !legal_name(&name) {
+            return Err(format!("illegal metric name: {name:?}"));
+        }
+        for (k, _) in &labels {
+            if !legal_name(k) {
+                return Err(format!("illegal label name {k:?} on {name}"));
+            }
+        }
+        let value = parse_value(&value_text)?;
+
+        // Resolve the declaring family: exact name, or the histogram
+        // base for `_bucket` / `_sum` / `_count` suffixes.
+        let family = if families.contains_key(&name) {
+            name.clone()
+        } else {
+            let base = ["_bucket", "_sum", "_count"]
+                .iter()
+                .filter_map(|suf| name.strip_suffix(suf))
+                .find(|base| families.get(*base).map(String::as_str) == Some("histogram"));
+            match base {
+                Some(b) => b.to_string(),
+                None => return Err(format!("sample for undeclared family: {name}")),
+            }
+        };
+
+        if families.get(&family).map(String::as_str) == Some("histogram") {
+            let state = hist_state.entry(family.clone()).or_default();
+            if name.ends_with("_bucket") {
+                let le = labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| v.clone())
+                    .ok_or_else(|| format!("histogram bucket without le label: {line}"))?;
+                if le == "+Inf" {
+                    state.1 = Some(value);
+                } else {
+                    parse_value(&le).map_err(|e| format!("bad le bound: {e}"))?;
+                    if state.1.is_some() {
+                        return Err(format!("bucket after +Inf for {family}"));
+                    }
+                    state.0.push(value);
+                }
+            } else if name.ends_with("_count") {
+                state.2 = Some(value);
+            }
+        }
+    }
+    if let Some(prev) = pending_help {
+        return Err(format!("HELP {prev} not followed by TYPE"));
+    }
+
+    for (family, (buckets, inf, count)) in &hist_state {
+        let inf = inf.ok_or_else(|| format!("histogram {family} missing +Inf bucket"))?;
+        for w in buckets.windows(2) {
+            if w[1] < w[0] {
+                return Err(format!("histogram {family} buckets not cumulative"));
+            }
+        }
+        if let Some(&last) = buckets.last() {
+            if inf < last {
+                return Err(format!("histogram {family} +Inf below last bucket"));
+            }
+        }
+        let count = count.ok_or_else(|| format!("histogram {family} missing _count"))?;
+        if (count - inf).abs() > 0.0 {
+            return Err(format!(
+                "histogram {family} _count {count} != +Inf bucket {inf}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_rendering_validates_and_is_deterministic() {
+        let mut snap = Snapshot::zero();
+        snap.counters[0].1 = 42;
+        snap.gauges[0].1 = 9;
+        {
+            let h = &mut snap.histograms[0].1;
+            h.count = 4;
+            h.sum = 1000;
+            h.buckets[8] = 3;
+            h.buckets[64] = 1;
+        }
+        let a = render_snapshot(&snap);
+        let b = render_snapshot(&snap);
+        assert_eq!(a, b);
+        validate(&a).unwrap();
+        assert!(a.contains("stash_sim_queue_events_pushed_total 42"));
+        assert!(a.contains("stash_sim_solver_recompute_latency_ns_count 4"));
+        assert!(a.contains("le=\"+Inf\"} 4"));
+    }
+
+    #[test]
+    fn validator_accepts_the_builder_output() {
+        let mut b = MetricsBuilder::new();
+        b.family("x_total", "counter", "Things.");
+        b.sample("x_total", &[("k", "a\"b\\c\nd")], 3.0);
+        validate(&b.finish()).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_undeclared_family() {
+        assert!(validate("orphan_total 1\n").is_err());
+    }
+
+    #[test]
+    fn validator_rejects_duplicate_help() {
+        let text = "# HELP m x\n# TYPE m counter\n# HELP m x\n# TYPE m counter\n";
+        assert!(validate(text).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_help_without_type() {
+        assert!(validate("# HELP m x\nm 1\n").is_err());
+        assert!(validate("# HELP m x\n").is_err());
+    }
+
+    #[test]
+    fn validator_rejects_bad_names_and_values() {
+        assert!(validate("# HELP 9m x\n# TYPE 9m counter\n9m 1\n").is_err());
+        assert!(validate("# HELP m x\n# TYPE m counter\nm abc\n").is_err());
+        assert!(validate("# HELP m x\n# TYPE m wibble\nm 1\n").is_err());
+    }
+
+    #[test]
+    fn validator_rejects_non_cumulative_histogram() {
+        let text = "# HELP h x\n# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n\
+                    h_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n";
+        assert!(validate(text).unwrap_err().contains("not cumulative"));
+    }
+
+    #[test]
+    fn validator_rejects_count_inf_mismatch() {
+        let text = "# HELP h x\n# TYPE h histogram\n\
+                    h_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 6\n";
+        assert!(validate(text).unwrap_err().contains("_count"));
+    }
+
+    #[test]
+    fn validator_rejects_histogram_missing_inf() {
+        let text = "# HELP h x\n# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 5\nh_sum 9\nh_count 5\n";
+        assert!(validate(text).unwrap_err().contains("+Inf"));
+    }
+
+    #[test]
+    fn hostile_labels_round_trip_through_the_validator() {
+        let hostile = "# TYPE evil\\path \"quoted\"\nnext{a=\"b\"},c";
+        let mut b = MetricsBuilder::new();
+        b.family("m_total", "counter", "About m.");
+        b.sample("m_total", &[("k", hostile)], 1.0);
+        let text = b.finish();
+        validate(&text).unwrap();
+        let line = text.lines().find(|l| l.starts_with("m_total{")).unwrap();
+        let (_, labels, _) = parse_sample(line).unwrap();
+        assert_eq!(labels[0].1, hostile);
+    }
+}

@@ -1,0 +1,320 @@
+//! Deterministic point-in-time captures of the metric registry.
+//!
+//! A [`Snapshot`] copies every metric in [`crate::metrics`] schema
+//! order, so two snapshots of identical recorded state serialize to
+//! byte-identical JSON. Snapshots subtract ([`Snapshot::since`]) to
+//! scope counters/histograms to one profile run, and merge
+//! ([`Snapshot::merge`]) to roll per-instance runs into a sweep-wide
+//! fleet view (counters and buckets sum; high-water gauges take the
+//! max).
+
+use serde_json::{Map, Number, Value};
+
+use crate::metrics;
+use crate::registry::{bucket_quantile, BUCKETS};
+
+/// JSON schema tag written by [`Snapshot::to_json`].
+pub const SCHEMA: &str = "stash-telemetry-v1";
+
+/// Copied-out histogram state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Per-bucket counts (see [`crate::registry::bucket_index`]).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl HistSnapshot {
+    /// An empty histogram snapshot.
+    #[must_use]
+    pub fn empty() -> HistSnapshot {
+        HistSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    /// Quantile estimate (upper bound of the covering bucket).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        bucket_quantile(&self.buckets, self.count, q)
+    }
+
+    /// The part of `self` recorded after `base` (saturating per cell).
+    #[must_use]
+    pub fn since(&self, base: &HistSnapshot) -> HistSnapshot {
+        let mut out = HistSnapshot {
+            count: self.count.saturating_sub(base.count),
+            sum: self.sum.saturating_sub(base.sum),
+            buckets: [0; BUCKETS],
+        };
+        for i in 0..BUCKETS {
+            out.buckets[i] = self.buckets[i].saturating_sub(base.buckets[i]);
+        }
+        out
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        for i in 0..BUCKETS {
+            self.buckets[i] = self.buckets[i].saturating_add(other.buckets[i]);
+        }
+    }
+}
+
+/// A deterministic copy of every registry metric, in schema order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter in schema order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(name, high-water)` for every gauge in schema order.
+    pub gauges: Vec<(&'static str, u64)>,
+    /// `(name, state)` for every histogram in schema order.
+    pub histograms: Vec<(&'static str, HistSnapshot)>,
+}
+
+impl Snapshot {
+    /// Captures the current registry state.
+    #[must_use]
+    pub fn take() -> Snapshot {
+        Snapshot {
+            counters: metrics::COUNTERS
+                .iter()
+                .map(|c| (c.name, c.counter.get()))
+                .collect(),
+            gauges: metrics::GAUGES
+                .iter()
+                .map(|g| (g.name, g.gauge.get()))
+                .collect(),
+            histograms: metrics::HISTOGRAMS
+                .iter()
+                .map(|h| {
+                    (
+                        h.name,
+                        HistSnapshot {
+                            count: h.histogram.count(),
+                            sum: h.histogram.sum(),
+                            buckets: h.histogram.buckets(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// An all-zero snapshot with the full schema (merge identity).
+    #[must_use]
+    pub fn zero() -> Snapshot {
+        Snapshot {
+            counters: metrics::COUNTERS.iter().map(|c| (c.name, 0)).collect(),
+            gauges: metrics::GAUGES.iter().map(|g| (g.name, 0)).collect(),
+            histograms: metrics::HISTOGRAMS
+                .iter()
+                .map(|h| (h.name, HistSnapshot::empty()))
+                .collect(),
+        }
+    }
+
+    /// The activity between `base` and `self`: counters and histograms
+    /// subtract; gauges keep `self`'s high-water mark (a maximum cannot
+    /// be un-observed).
+    #[must_use]
+    pub fn since(&self, base: &Snapshot) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .zip(base.counters.iter())
+                .map(|(&(n, v), &(_, b))| (n, v.saturating_sub(b)))
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .zip(base.histograms.iter())
+                .map(|((n, h), (_, b))| (*n, h.since(b)))
+                .collect(),
+        }
+    }
+
+    /// Accumulates `other`: counters/buckets sum, gauges take the max.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for ((_, v), &(_, o)) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *v = v.saturating_add(o);
+        }
+        for ((_, v), &(_, o)) in self.gauges.iter_mut().zip(other.gauges.iter()) {
+            *v = (*v).max(o);
+        }
+        for ((_, h), (_, o)) in self.histograms.iter_mut().zip(other.histograms.iter()) {
+            h.merge(o);
+        }
+    }
+
+    /// Counter value by name (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Gauge value by name (0 when absent).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Histogram state by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Serializes as the `stash-telemetry-v1` document. `scope` is
+    /// `"instance"` or `"sweep"`; `subject` names what was profiled
+    /// (e.g. `"p3.2xlarge resnet50"`). Insertion order is schema order,
+    /// so the output is byte-deterministic for identical state.
+    #[must_use]
+    pub fn to_json(&self, scope: &str, subject: &str) -> Value {
+        let mut counters = Map::new();
+        for &(name, v) in &self.counters {
+            counters.insert(name.to_string(), Value::Number(Number::U(v)));
+        }
+        let mut gauges = Map::new();
+        for &(name, v) in &self.gauges {
+            gauges.insert(name.to_string(), Value::Number(Number::U(v)));
+        }
+        let mut histograms = Map::new();
+        for (name, h) in &self.histograms {
+            let mut doc = Map::new();
+            doc.insert("count".to_string(), Value::Number(Number::U(h.count)));
+            doc.insert("sum".to_string(), Value::Number(Number::U(h.sum)));
+            doc.insert(
+                "p50".to_string(),
+                Value::Number(Number::U(h.quantile(0.50))),
+            );
+            doc.insert(
+                "p90".to_string(),
+                Value::Number(Number::U(h.quantile(0.90))),
+            );
+            doc.insert(
+                "p99".to_string(),
+                Value::Number(Number::U(h.quantile(0.99))),
+            );
+            // Sparse buckets: `[index, count]` pairs for non-zero cells
+            // keeps the dump compact without losing exactness.
+            let cells = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| {
+                    Value::Array(vec![
+                        Value::Number(Number::U(i as u64)),
+                        Value::Number(Number::U(c)),
+                    ])
+                })
+                .collect();
+            doc.insert("buckets".to_string(), Value::Array(cells));
+            histograms.insert(name.to_string(), Value::Object(doc));
+        }
+
+        let mut root = Map::new();
+        root.insert("schema".to_string(), Value::String(SCHEMA.to_string()));
+        root.insert("scope".to_string(), Value::String(scope.to_string()));
+        root.insert("subject".to_string(), Value::String(subject.to_string()));
+        root.insert("counters".to_string(), Value::Object(counters));
+        root.insert("gauges".to_string(), Value::Object(gauges));
+        root.insert("histograms".to_string(), Value::Object(histograms));
+        Value::Object(root)
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format.
+    #[must_use]
+    pub fn render_prom(&self) -> String {
+        crate::prom::render_snapshot(self)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut s = Snapshot::zero();
+        s.counters[0].1 = 10;
+        s.gauges[0].1 = 7;
+        let h = &mut s.histograms[0].1;
+        h.count = 3;
+        h.sum = 300;
+        h.buckets[7] = 3;
+        s
+    }
+
+    #[test]
+    fn since_subtracts_counters_and_keeps_gauges() {
+        let base = sample();
+        let mut now = sample();
+        now.counters[0].1 = 25;
+        now.gauges[0].1 = 9;
+        now.histograms[0].1.count = 5;
+        now.histograms[0].1.buckets[7] = 5;
+        now.histograms[0].1.sum = 500;
+        let d = now.since(&base);
+        assert_eq!(d.counters[0].1, 15);
+        assert_eq!(d.gauges[0].1, 9);
+        assert_eq!(d.histograms[0].1.count, 2);
+        assert_eq!(d.histograms[0].1.buckets[7], 2);
+    }
+
+    #[test]
+    fn merge_sums_counts_and_maxes_gauges() {
+        let mut a = sample();
+        let mut b = sample();
+        b.gauges[0].1 = 3;
+        a.merge(&b);
+        assert_eq!(a.counters[0].1, 20);
+        assert_eq!(a.gauges[0].1, 7);
+        assert_eq!(a.histograms[0].1.count, 6);
+        assert_eq!(a.histograms[0].1.sum, 600);
+    }
+
+    #[test]
+    fn json_dump_is_schema_tagged_and_deterministic() {
+        let s = sample();
+        let a = serde_json::to_string_pretty(&s.to_json("instance", "x y")).unwrap();
+        let b = serde_json::to_string_pretty(&s.to_json("instance", "x y")).unwrap();
+        assert_eq!(a, b);
+        let doc: Value = serde_json::from_str(&a).unwrap();
+        assert_eq!(doc["schema"].as_str(), Some(SCHEMA));
+        assert_eq!(doc["scope"].as_str(), Some("instance"));
+        let hist = &doc["histograms"][crate::metrics::HISTOGRAMS[0].name];
+        assert_eq!(hist["count"].as_u64(), Some(3));
+        assert_eq!(hist["buckets"][0][0].as_u64(), Some(7));
+        assert_eq!(hist["buckets"][0][1].as_u64(), Some(3));
+    }
+
+    #[test]
+    fn lookups_by_name() {
+        let s = sample();
+        assert_eq!(s.counter(crate::metrics::COUNTERS[0].name), 10);
+        assert_eq!(s.counter("nope"), 0);
+        assert_eq!(s.gauge(crate::metrics::GAUGES[0].name), 7);
+        assert!(s.histogram(crate::metrics::HISTOGRAMS[0].name).is_some());
+        assert!(s.histogram("nope").is_none());
+    }
+}

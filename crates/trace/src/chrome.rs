@@ -273,6 +273,7 @@ pub fn validate(json_text: &str) -> Result<ChromeStats, String> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::span::Category;

@@ -438,6 +438,7 @@ fn union(intervals: &mut [(u64, u64)]) -> Vec<(u64, u64)> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use stash_simkit::time::SimTime;

@@ -1,127 +1,15 @@
-//! Prometheus-style text metrics.
+//! Prometheus-style text metrics for trace rollups.
 //!
-//! A tiny builder for the [text exposition format] — `# HELP` / `# TYPE`
-//! headers, `name{label="value"} 1.5` samples — plus a canned renderer
-//! that turns a [`StallRollup`] (and optional cache counters) into the
-//! metric family the sweeps and the `stash trace` CLI dump.
-//!
-//! [text exposition format]:
-//!     https://prometheus.io/docs/instrumenting/exposition_formats/
+//! The exposition writer itself lives in [`stash_telemetry::prom`] —
+//! one writer (and one strict validator) for every `.prom` artifact the
+//! workspace emits. This module re-exports the builder for source
+//! compatibility and keeps the canned renderer that turns a
+//! [`StallRollup`] (and optional cache counters) into the metric family
+//! the sweeps and the `stash trace` CLI dump.
 
-use std::collections::BTreeSet;
-use std::fmt::Write as _;
+pub use stash_telemetry::prom::MetricsBuilder;
 
 use crate::rollup::StallRollup;
-
-/// Incremental builder for a text-format metrics dump.
-///
-/// The builder enforces the exposition-format rules so callers cannot
-/// produce an unscrapable dump: metric and label names are sanitized to
-/// the legal alphabet, label values and `# HELP` text are escaped, and
-/// the `# HELP` / `# TYPE` header pair is emitted at most once per
-/// family no matter how often [`MetricsBuilder::family`] is called.
-#[derive(Debug, Clone, Default)]
-pub struct MetricsBuilder {
-    out: String,
-    families: BTreeSet<String>,
-}
-
-impl MetricsBuilder {
-    /// An empty dump.
-    #[must_use]
-    pub fn new() -> MetricsBuilder {
-        MetricsBuilder::default()
-    }
-
-    /// Starts a metric family: `# HELP` and `# TYPE` lines.
-    /// `kind` is the Prometheus type (`counter`, `gauge`, ...).
-    ///
-    /// Repeated calls for the same (sanitized) name are no-ops — the
-    /// format allows each header pair only once per exposition.
-    pub fn family(&mut self, name: &str, kind: &str, help: &str) -> &mut MetricsBuilder {
-        let name = sanitize_name(name);
-        if !self.families.insert(name.clone()) {
-            return self;
-        }
-        let _ = writeln!(self.out, "# HELP {name} {}", escape_help(help));
-        let _ = writeln!(self.out, "# TYPE {name} {kind}");
-        self
-    }
-
-    /// Appends one sample. `labels` are `(key, value)` pairs; pass `&[]`
-    /// for an unlabelled sample. Values render with enough precision to
-    /// round-trip integers exactly.
-    pub fn sample(
-        &mut self,
-        name: &str,
-        labels: &[(&str, &str)],
-        value: f64,
-    ) -> &mut MetricsBuilder {
-        self.out.push_str(&sanitize_name(name));
-        if !labels.is_empty() {
-            self.out.push('{');
-            for (i, (k, v)) in labels.iter().enumerate() {
-                if i > 0 {
-                    self.out.push(',');
-                }
-                let _ = write!(self.out, "{}=\"{}\"", sanitize_name(k), escape_label(v));
-            }
-            self.out.push('}');
-        }
-        let _ = writeln!(self.out, " {}", format_value(value));
-        self
-    }
-
-    /// The accumulated dump.
-    #[must_use]
-    pub fn finish(self) -> String {
-        self.out
-    }
-}
-
-/// Maps a metric or label name onto the legal Prometheus alphabet
-/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every illegal byte becomes `_`, and a
-/// leading digit gains a `_` prefix.
-fn sanitize_name(name: &str) -> String {
-    let mut out = String::with_capacity(name.len());
-    for (i, c) in name.chars().enumerate() {
-        let legal =
-            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
-        if i == 0 && c.is_ascii_digit() {
-            out.push('_');
-            out.push(c);
-        } else if legal {
-            out.push(c);
-        } else {
-            out.push('_');
-        }
-    }
-    if out.is_empty() {
-        out.push('_');
-    }
-    out
-}
-
-/// Escapes a label value: `\` → `\\`, `"` → `\"`, newline → `\n`.
-fn escape_label(v: &str) -> String {
-    v.replace('\\', "\\\\")
-        .replace('"', "\\\"")
-        .replace('\n', "\\n")
-}
-
-/// Escapes `# HELP` text, which the format gives its own rules: only
-/// `\` and newline are escaped (quotes stay literal).
-fn escape_help(v: &str) -> String {
-    v.replace('\\', "\\\\").replace('\n', "\\n")
-}
-
-fn format_value(v: f64) -> String {
-    if v.fract() == 0.0 && v.abs() < 1e15 {
-        format!("{}", v as i64)
-    } else {
-        format!("{v}")
-    }
-}
 
 /// Renders a rollup (plus optional measurement-cache counters) as the
 /// standard `stash_*` metric families:
@@ -188,10 +76,12 @@ pub fn render_rollup(rollup: &StallRollup, cache: Option<(u64, u64)>) -> String 
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::span::{Category, TraceEvent, Track};
     use stash_simkit::time::SimTime;
+    use stash_telemetry::prom::{format_value, validate};
 
     #[test]
     fn builder_formats_families_and_samples() {
@@ -295,7 +185,7 @@ mod tests {
     }
 
     #[test]
-    fn rollup_rendering_includes_cache_counters() {
+    fn rollup_rendering_includes_cache_counters_and_validates() {
         let events = vec![(
             0,
             TraceEvent::Span {
@@ -309,6 +199,7 @@ mod tests {
         )];
         let rollup = StallRollup::from_events(&events);
         let text = render_rollup(&rollup, Some((7, 3)));
+        validate(&text).unwrap();
         assert!(text.contains("stash_span_nanoseconds_total{kind=\"gpu\",category=\"compute\"} 42"));
         assert!(text.contains("stash_trace_events_total{type=\"span\"} 1"));
         assert!(text.contains("stash_measurement_cache_hits_total 7"));

@@ -185,6 +185,7 @@ pub fn shared(tracer: Tracer) -> SharedTracer {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::sink::{CountingSink, JsonSink};

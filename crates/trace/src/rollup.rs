@@ -155,6 +155,7 @@ impl StallRollup {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use stash_simkit::time::SimTime;

@@ -197,6 +197,7 @@ impl TraceSink for CountingSink {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::span::{Category, Track};

@@ -140,6 +140,7 @@ pub fn project(path: &CriticalPath, resource: WhatIfResource, factor: f64) -> u6
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::span::{Category, TraceEvent, Track};

@@ -18,7 +18,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH_N=4
+BENCH_N=7
 SMOKE=0
 BASELINE_REV="HEAD^"
 for arg in "$@"; do
@@ -69,7 +69,14 @@ for key in ("wall_secs", "events_per_sec", "cache_hit_rate", "fast_forward_ratio
     assert key in cur, f"missing {key}"
 assert cur["fast_forward_ratio"] > 0, "fast-forward never engaged"
 assert off["fast_forward_ratio"] == 0, "FF off run still fast-forwarded"
-print(f"[bench smoke ok: {cur['wall_secs']:.3f}s on, {off['wall_secs']:.3f}s off]")
+for rec, name in ((cur, "on"), (off, "off")):
+    tel = rec.get("telemetry")
+    assert tel, f"missing telemetry block (ff {name})"
+    assert tel["solver_recompute_count"] > 0, f"no solver latency samples (ff {name})"
+    assert tel["solver_recompute_p99_ns"] >= tel["solver_recompute_p50_ns"] > 0
+    assert tel["queue_popped"] > 0 and tel["queue_depth_high_water"] > 0
+print(f"[bench smoke ok: {cur['wall_secs']:.3f}s on, {off['wall_secs']:.3f}s off, "
+      f"solver p99 {cur['telemetry']['solver_recompute_p99_ns']} ns]")
 PY
     exit 0
 fi
@@ -127,6 +134,10 @@ record = {
     "speedup_vs_baseline": baseline["wall_secs"] / current["wall_secs"],
     "speedup_fast_forward": ff_off["wall_secs"] / current["wall_secs"],
     "flownet_recompute_median_secs": micro,
+    # Simulator self-telemetry for the winning fast-forward-on run:
+    # solver latency percentiles and queue traffic, so the trajectory
+    # tracks simulator health alongside raw wall-clock.
+    "telemetry": current.get("telemetry", {}),
 }
 out = f"results/BENCH_{n}.json"
 json.dump(record, open(out, "w"), indent=2)
@@ -134,6 +145,12 @@ print(f"[written: {out}]")
 print(f"[sweep speedup vs {baseline_rev[:12]}: {record['speedup_vs_baseline']:.2f}x "
       f"(baseline {baseline['wall_secs']:.3f}s -> current {current['wall_secs']:.3f}s); "
       f"fast-forward contributes {record['speedup_fast_forward']:.2f}x]")
-assert record["speedup_vs_baseline"] >= 2.0, (
-    f"benchmark regression: sweep speedup {record['speedup_vs_baseline']:.2f}x < 2x")
+# BENCH_4 recorded the 2.85x win of the zero-allocation core over the
+# pre-optimization baseline; every later baseline already contains that
+# core, so the trajectory gate is now "don't regress": the current tree
+# (telemetry enabled during the measured sweep) must stay within 10% of
+# the baseline revision's wall-clock.
+assert record["speedup_vs_baseline"] >= 0.9, (
+    f"benchmark regression: sweep {1 / record['speedup_vs_baseline']:.2f}x "
+    f"slower than baseline (gate: <= 1.11x)")
 PY

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 gate: formatting, release build, full test suite, lint-clean
 # under clippy, warning-free rustdoc, and CLI smoke tests for the trace,
-# report, and diff subcommands.
+# report, diff, chaos, perf and flight-recorder subcommand surface.
 # Run from the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -13,7 +13,7 @@ cargo clippy --workspace -- -D warnings
 # Panic-free library gate: these crates deny clippy::unwrap_used and
 # clippy::expect_used via their [lints] tables; this invocation keeps the
 # gate visible and catches regressions even if the workspace line changes.
-cargo clippy -p stash-faults -p stash-hwtopo -p stash-datapipe -p stash-collectives --lib -- -D warnings
+cargo clippy -p stash-faults -p stash-hwtopo -p stash-datapipe -p stash-collectives -p stash-telemetry -p stash-trace --lib -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 # Trace CLI smoke test. The `trace validated` line only prints after the
@@ -53,6 +53,45 @@ assert doc["slowdown"] >= 1.0
 assert len(doc["faults"]["events"]) == 4
 PY
 
+# Perf CLI smoke test: the `prom validated` line only prints after the
+# exposition passed stash_telemetry::prom::validate; the written .prom
+# must carry the solver recompute-latency histogram, and the telemetry
+# document must diff cleanly against itself.
+perf_out=$(./target/release/stash perf p3.2xlarge shufflenet --out /tmp/stash_tier1_perf)
+grep -q "prom validated" <<<"$perf_out"
+grep -q "stash_sim_solver_recompute_latency_ns_bucket" /tmp/stash_tier1_perf.prom
+grep -q 'le="+Inf"' /tmp/stash_tier1_perf.prom
+./target/release/stash diff /tmp/stash_tier1_perf.json /tmp/stash_tier1_perf.json
+
+# ...and a doctored solver p99 must make the diff fail non-zero.
+python3 - <<'PY'
+import json
+doc = json.load(open("/tmp/stash_tier1_perf.json"))
+assert doc["schema"] == "stash-telemetry-v1", doc.get("schema")
+assert doc["counters"]["stash_sim_queue_events_popped_total"] > 0
+doc["histograms"]["stash_sim_solver_recompute_latency_ns"]["p99"] = 10**10
+json.dump(doc, open("/tmp/stash_tier1_perf_bad.json", "w"))
+PY
+if ./target/release/stash diff /tmp/stash_tier1_perf.json /tmp/stash_tier1_perf_bad.json; then
+    echo "doctored solver-p99 regression was not caught" >&2
+    exit 1
+fi
+
+# Flight-recorder smoke test: a chaos run that dies on a typed error must
+# leave a parseable stash-flight-v1 dump of the engine's last events.
+printf '{ not a fault plan' >/tmp/stash_tier1_bad_plan.json
+if ./target/release/stash chaos p3.2xlarge shufflenet \
+    --plan /tmp/stash_tier1_bad_plan.json --flight /tmp/stash_tier1_flight.json; then
+    echo "chaos accepted an invalid fault plan" >&2
+    exit 1
+fi
+python3 - <<'PY'
+import json
+doc = json.load(open("/tmp/stash_tier1_flight.json"))
+assert doc["schema"] == "stash-flight-v1", doc.get("schema")
+assert doc["events"], "flight dump recorded no events"
+PY
+
 # Zero-allocation gate: steady-state epochs must not touch the global
 # allocator (counting-allocator test), fast-forward must not change any
 # EpochReport bit (differential test, FF on and off compared in-process
@@ -66,6 +105,15 @@ cargo test -q --test queue_equivalence
 # EpochReport bit-identical across the zoo, and faulted accumulators must
 # tile the wall clock at integer-nanosecond exactness.
 cargo test -q --test faults_differential
+
+# Telemetry gates: recording allocates exactly nothing (counting
+# allocator), flipping the registry switch changes no EpochReport bit
+# (zoo differential, FF on and off), histogram/snapshot invariants hold
+# under proptest, and the perf/diff/flight CLI surface works end to end.
+cargo test -q --test telemetry_alloc
+cargo test -q --test telemetry_differential
+cargo test -q --test telemetry_props
+cargo test -q --test perf_cli
 
 # Benchmark-script smoke: runs the figure sweep with fast-forward on and
 # off at a small iteration budget and sanity-checks the perf record.

@@ -10,11 +10,17 @@
 //!             [--out PATH] [-b N]        (either argument order works)
 //! stash report <instance> <model>        critical-path stall report:
 //!             [--out PATH] [-b N]        self-contained HTML + JSON
-//! stash diff <baseline.json> <cur.json>  flag per-category stall
-//!             [--threshold FRAC]         regressions (non-zero exit)
+//! stash diff <baseline.json> <cur.json>  flag per-category stall (or, for
+//!             [--threshold FRAC]         telemetry docs, simulator-health)
+//!                                        regressions (non-zero exit)
 //! stash chaos <instance> <model>         faulted epoch under a seeded or
 //!             [--seed N] [--plan FILE]   file-provided fault plan, with a
 //!             [--out PATH] [-b N]        JSON resilience report
+//!             [--flight PATH]            (+ last-events flight recording
+//!                                        dumped to PATH on failure)
+//! stash perf <cluster|sweep> <model>     simulator self-telemetry for one
+//!             [-b N] [--out BASE]        profile or a candidate sweep:
+//!                                        BASE.json + BASE.prom
 //! ```
 //!
 //! Cluster syntax matches the paper: `p3.16xlarge` or `p3.8xlarge*2`.
@@ -600,12 +606,60 @@ fn cmd_diff(args: &[String]) -> ExitCode {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(DEFAULT_DIFF_THRESHOLD);
-    let load = |path: &str| -> Result<InsightReport, String> {
+    let load_doc = |path: &str| -> Result<serde_json::Value, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let doc = serde_json::from_str(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
-        InsightReport::from_json(&doc).map_err(|e| format!("{path}: {e}"))
+        serde_json::from_str(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))
     };
-    let (baseline, current) = match (load(base_path), load(cur_path)) {
+    let (base_doc, cur_doc) = match (load_doc(base_path), load_doc(cur_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Telemetry documents get the simulator-health gates; stall reports
+    // get the per-category workload gates. Mixing the two is an error.
+    let telemetry = (
+        stash::telemetry::diff::is_telemetry_doc(&base_doc),
+        stash::telemetry::diff::is_telemetry_doc(&cur_doc),
+    );
+    match telemetry {
+        (true, true) => {
+            let d = match stash::telemetry::diff::diff_docs(&base_doc, &cur_doc) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for note in &d.notes {
+                println!("  {note}");
+            }
+            if d.is_clean() {
+                println!("no simulator-health regressions: {base_path} vs {cur_path}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("{} simulator-health regression(s):", d.regressions.len());
+            for reg in &d.regressions {
+                eprintln!("  {reg}");
+            }
+            return ExitCode::FAILURE;
+        }
+        (true, false) | (false, true) => {
+            eprintln!(
+                "cannot diff a telemetry document against a stall report \
+                 ({base_path} vs {cur_path})"
+            );
+            return ExitCode::FAILURE;
+        }
+        (false, false) => {}
+    }
+
+    let load = |path: &str, doc: &serde_json::Value| -> Result<InsightReport, String> {
+        InsightReport::from_json(doc).map_err(|e| format!("{path}: {e}"))
+    };
+    let (baseline, current) = match (load(base_path, &base_doc), load(cur_path, &cur_doc)) {
         (Ok(b), Ok(c)) => (b, c),
         (Err(e), _) | (_, Err(e)) => {
             eprintln!("{e}");
@@ -636,6 +690,148 @@ fn cmd_diff(args: &[String]) -> ExitCode {
         );
     }
     ExitCode::FAILURE
+}
+
+fn cmd_perf(args: &[String]) -> ExitCode {
+    use stash::telemetry::snapshot::Snapshot;
+
+    let (Some(first), Some(second)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: stash perf <cluster|sweep> <model> [-b batch] [--out BASE]");
+        return ExitCode::FAILURE;
+    };
+    // `perf sweep <model>` aggregates the advisor's default candidates;
+    // anything else profiles one cluster. Either argument order works.
+    let sweep = first == "sweep" || second == "sweep";
+    let model_name = if sweep {
+        if first == "sweep" {
+            second
+        } else {
+            first
+        }
+    } else if zoo::by_name(first).is_some() {
+        first
+    } else {
+        second
+    };
+    let model = match lookup_model(model_name) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let batch = parse_batch(args);
+    let model_slug = model_name.to_lowercase();
+
+    // Everything below runs with self-telemetry on, from a clean
+    // registry, against one shared measurement cache (so sweep mode
+    // exercises the hit path on repeated reference-instance steps).
+    stash::telemetry::enable();
+    stash::telemetry::metrics::reset_all();
+    let cache = MeasurementCache::new();
+
+    let (scope, subject, default_base, snap) = if sweep {
+        let mut fleet = Snapshot::zero();
+        let mut prev = Snapshot::take();
+        println!(
+            "{:<16} {:>12} {:>12} {:>16}",
+            "cluster", "events", "recomputes", "solver p99 ns"
+        );
+        for cluster in default_candidates() {
+            let name = cluster.display_name();
+            let stash_p = stash_for(model.clone(), batch);
+            if let Err(e) = stash_p.profile_cached(&cluster, &cache) {
+                println!("{name:<16} skipped: {e}");
+                continue;
+            }
+            let cur = Snapshot::take();
+            let delta = cur.since(&prev);
+            prev = cur;
+            println!(
+                "{:<16} {:>12} {:>12} {:>16}",
+                name,
+                delta.counter("stash_sim_queue_events_popped_total"),
+                delta.counter("stash_sim_solver_full_recomputes_total"),
+                delta
+                    .histogram("stash_sim_solver_recompute_latency_ns")
+                    .map_or(0, |h| h.quantile(0.99))
+            );
+            fleet.merge(&delta);
+        }
+        (
+            "sweep",
+            format!("sweep {model_slug}"),
+            format!("results/telemetry_sweep_{model_slug}"),
+            fleet,
+        )
+    } else {
+        let cluster_spec = if model_name == first { second } else { first };
+        let cluster = match parse_cluster(cluster_spec) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = stash_for(model.clone(), batch).profile_cached(&cluster, &cache) {
+            eprintln!("profiling failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        (
+            "instance",
+            format!("{cluster_spec} {model_slug}"),
+            format!(
+                "results/telemetry_{model_slug}_{}",
+                cluster_spec.replace('*', "x")
+            ),
+            Snapshot::take(),
+        )
+    };
+
+    println!("\nsimulator self-telemetry — {subject}:");
+    for &(name, v) in &snap.counters {
+        println!("  {name:<46} {v:>14}");
+    }
+    for &(name, v) in &snap.gauges {
+        println!("  {name:<46} {v:>14}");
+    }
+    for (name, h) in &snap.histograms {
+        println!(
+            "  {name:<46} n={} p50={} ns p99={} ns",
+            h.count,
+            h.quantile(0.50),
+            h.quantile(0.99)
+        );
+    }
+
+    let out_base = args
+        .iter()
+        .position(|a| a == "--out" || a == "-o")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or(default_base);
+    let json_path = format!("{out_base}.json");
+    let prom_path = format!("{out_base}.prom");
+    let json_text = match serde_json::to_string_pretty(&snap.to_json(scope, &subject)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot serialize telemetry: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let prom_text = snap.render_prom();
+    if let Err(e) = stash::telemetry::prom::validate(&prom_text) {
+        eprintln!("telemetry exposition failed validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    for (path, text) in [(&json_path, &json_text), (&prom_path, &prom_text)] {
+        if let Err(e) = write_creating_dirs(path, text) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("\nprom validated — telemetry written to {json_path} and {prom_path}");
+    ExitCode::SUCCESS
 }
 
 fn cmd_chaos(args: &[String]) -> ExitCode {
@@ -705,6 +901,39 @@ fn cmd_chaos(args: &[String]) -> ExitCode {
             )
         });
 
+    // Optional flight recorder: keep the tail of the engine's event
+    // stream and dump it on failure — typed errors and panics alike —
+    // so a broken chaos run leaves behind what the simulator was doing.
+    let flight_path = args
+        .iter()
+        .position(|a| a == "--flight")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if let Some(path) = flight_path.clone() {
+        stash::telemetry::flight::flight_enable(stash::telemetry::flight::DEFAULT_CAPACITY);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if let Some(dump) = stash::telemetry::flight::flight_dump() {
+                if write_creating_dirs(&path, &dump).is_ok() {
+                    eprintln!("flight recording written to {path}");
+                }
+            }
+            prev(info);
+        }));
+    }
+    let flight_fail = |msg: String| -> ExitCode {
+        if let Some(path) = &flight_path {
+            if let Some(dump) = stash::telemetry::flight::flight_dump() {
+                match write_creating_dirs(path, &dump) {
+                    Ok(()) => eprintln!("flight recording written to {path}"),
+                    Err(e) => eprintln!("{e}"),
+                }
+            }
+        }
+        eprintln!("{msg}");
+        ExitCode::FAILURE
+    };
+
     // A full (factor-1) synthetic window: every accumulator is exact, so
     // the trace must corroborate the engine to the nanosecond.
     let batch = parse_batch(args);
@@ -716,10 +945,7 @@ fn cmd_chaos(args: &[String]) -> ExitCode {
     // Fault-free baseline: the yardstick, and the plan horizon.
     let base = match run_epoch(&cfg) {
         Ok(r) => r,
-        Err(e) => {
-            eprintln!("chaos baseline failed: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return flight_fail(format!("chaos baseline failed: {e}")),
     };
 
     let (world, nodes) = (cluster.world_size(), cluster.node_count());
@@ -727,34 +953,24 @@ fn cmd_chaos(args: &[String]) -> ExitCode {
         Some(path) => {
             let text = match std::fs::read_to_string(path) {
                 Ok(t) => t,
-                Err(e) => {
-                    eprintln!("cannot read {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
+                Err(e) => return flight_fail(format!("cannot read {path}: {e}")),
             };
             match FaultPlan::from_json(&text) {
                 Ok(p) => p,
-                Err(e) => {
-                    eprintln!("{path}: {e}");
-                    return ExitCode::FAILURE;
-                }
+                Err(e) => return flight_fail(format!("{path}: {e}")),
             }
         }
         None => FaultPlan::seeded(seed, world, nodes, base.epoch_time),
     };
     if let Err(e) = plan.validate(world, nodes) {
-        eprintln!("fault plan does not fit {cluster_spec}: {e}");
-        return ExitCode::FAILURE;
+        return flight_fail(format!("fault plan does not fit {cluster_spec}: {e}"));
     }
 
     let sink = Rc::new(RefCell::new(JsonSink::new()));
     let tracer = shared(Tracer::new(sink.clone()));
     let run = match run_epoch_faulted_traced(&cfg, &plan, &tracer) {
         Ok(r) => r,
-        Err(e) => {
-            eprintln!("chaos run failed: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return flight_fail(format!("chaos run failed: {e}")),
     };
     let r = &run.report;
 
@@ -790,8 +1006,9 @@ fn cmd_chaos(args: &[String]) -> ExitCode {
     ];
     for (what, traced, engine) in checks {
         if traced != engine {
-            eprintln!("chaos self-check failed: traced {what} {traced} != engine {engine}");
-            return ExitCode::FAILURE;
+            return flight_fail(format!(
+                "chaos self-check failed: traced {what} {traced} != engine {engine}"
+            ));
         }
     }
 
@@ -888,6 +1105,7 @@ fn main() -> ExitCode {
         Some("report") => cmd_report(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
+        Some("perf") => cmd_perf(&args[1..]),
         _ => {
             eprintln!(
                 "stash — DDL stall profiler (ICDCS'23 reproduction)\n\n\
@@ -898,7 +1116,8 @@ fn main() -> ExitCode {
                  stash trace <instance> <model> [--out PATH] [-b batch]\n  \
                  stash report <instance> <model> [--out PATH] [-b batch]\n  \
                  stash diff <baseline.json> <current.json> [--threshold FRAC]\n  \
-                 stash chaos <instance> <model> [--seed N] [--plan FILE] [--out PATH] [-b batch]\n\n\
+                 stash chaos <instance> <model> [--seed N] [--plan FILE] [--out PATH] [--flight PATH] [-b batch]\n  \
+                 stash perf <cluster|sweep> <model> [-b batch] [--out BASE]\n\n\
                  clusters: p3.16xlarge, p3.8xlarge*2, ..."
             );
             ExitCode::FAILURE

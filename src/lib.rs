@@ -17,6 +17,7 @@
 //! | [`core`] | `stash-core` | **the Stash profiler** |
 //! | [`trace`] | `stash-trace` | span tracing, Chrome export, metrics |
 //! | [`faults`] | `stash-faults` | deterministic fault-injection plans |
+//! | [`telemetry`] | `stash-telemetry` | simulator self-telemetry + flight recorder |
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,7 @@ pub use stash_flowsim as flowsim;
 pub use stash_gpucompute as gpucompute;
 pub use stash_hwtopo as hwtopo;
 pub use stash_simkit as simkit;
+pub use stash_telemetry as telemetry;
 pub use stash_trace as trace;
 
 /// One-stop import of the public API.

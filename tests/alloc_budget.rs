@@ -10,6 +10,7 @@
 //! not polluted by concurrent tests in the same binary.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use stash::ddl::engine::EngineArena;
@@ -19,9 +20,19 @@ struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// Count only while the measuring thread says so: the libtest harness
+// thread blocks in `recv()` for the duration of the test and can lazily
+// allocate its parker mid-window, which used to land ±2 allocations in
+// a random measured region and flake the exact-equality assertions.
+std::thread_local! {
+    static MEASURING: Cell<bool> = const { Cell::new(false) };
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if MEASURING.try_with(Cell::get).unwrap_or(false) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         System.alloc(layout)
     }
 
@@ -35,7 +46,9 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocations_during<T>(f: impl FnOnce() -> T) -> (T, u64) {
     let before = ALLOCATIONS.load(Ordering::Relaxed);
+    MEASURING.with(|m| m.set(true));
     let value = f();
+    MEASURING.with(|m| m.set(false));
     (value, ALLOCATIONS.load(Ordering::Relaxed) - before)
 }
 

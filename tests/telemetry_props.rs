@@ -1,0 +1,98 @@
+//! Property-based tests of the telemetry registry and its serializers:
+//! the log2 histogram's accounting identities hold for arbitrary inputs,
+//! and snapshots of identical recorded state serialize byte-identically
+//! (JSON and Prometheus both), which is what makes telemetry artifacts
+//! diffable in CI.
+
+use proptest::prelude::*;
+use stash::telemetry::registry::{
+    bucket_index, bucket_quantile, bucket_upper_bound, Histogram, BUCKETS,
+};
+use stash::telemetry::snapshot::Snapshot;
+
+proptest! {
+    /// Every value lands in exactly one bucket, so bucket counts always
+    /// sum to the total count, and `sum` tracks the (wrapping) value sum.
+    #[test]
+    fn histogram_buckets_sum_to_count(values in prop::collection::vec(any::<u64>(), 0..300)) {
+        let h = Histogram::new();
+        let mut expected_sum = 0u64;
+        for &v in &values {
+            h.observe(v);
+            expected_sum = expected_sum.wrapping_add(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.buckets().iter().sum::<u64>(), values.len() as u64);
+        prop_assert_eq!(h.sum(), expected_sum);
+    }
+
+    /// A value is never larger than its bucket's upper bound, and always
+    /// larger than the previous bucket's — the bucketing loses precision
+    /// but never misplaces.
+    #[test]
+    fn bucket_bounds_bracket_every_value(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        prop_assert!(v <= bucket_upper_bound(i));
+        if i > 0 {
+            prop_assert!(v > bucket_upper_bound(i - 1));
+        }
+    }
+
+    /// Quantiles are monotone in `q` and bounded by the extreme buckets'
+    /// upper bounds.
+    #[test]
+    fn quantiles_are_monotone(values in prop::collection::vec(any::<u64>(), 1..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let b = h.buckets();
+        let n = h.count();
+        let mut last = bucket_quantile(&b, n, 0.0);
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let cur = bucket_quantile(&b, n, q);
+            prop_assert!(cur >= last, "quantile({q}) regressed: {cur} < {last}");
+            last = cur;
+        }
+        let max = values.iter().copied().max().unwrap_or(0);
+        prop_assert!(last >= max, "q=1.0 bound {last} below max value {max}");
+    }
+
+    /// Identical recorded state serializes byte-identically, in both the
+    /// JSON document and the Prometheus exposition — and the exposition
+    /// always passes the strict validator.
+    #[test]
+    fn snapshots_serialize_byte_identically(
+        counters in prop::collection::vec(any::<u64>(), 1..20),
+        values in prop::collection::vec(0u64..1_000_000_000, 0..100),
+    ) {
+        // Build two snapshots from the same logical state via independent
+        // local histograms, never touching the process-global registry
+        // (tests in this binary run in parallel).
+        let build = || {
+            let h = Histogram::new();
+            for &v in &values {
+                h.observe(v);
+            }
+            let mut s = Snapshot::zero();
+            for (slot, &v) in s.counters.iter_mut().zip(counters.iter()) {
+                slot.1 = v;
+            }
+            s.histograms[0].1.count = h.count();
+            s.histograms[0].1.sum = h.sum();
+            s.histograms[0].1.buckets = h.buckets();
+            s
+        };
+        let (a, b) = (build(), build());
+
+        let ja = serde_json::to_string_pretty(&a.to_json("instance", "prop test")).unwrap();
+        let jb = serde_json::to_string_pretty(&b.to_json("instance", "prop test")).unwrap();
+        prop_assert_eq!(ja, jb);
+
+        let pa = a.render_prom();
+        let pb = b.render_prom();
+        prop_assert_eq!(&pa, &pb);
+        stash::telemetry::prom::validate(&pa).unwrap();
+    }
+}
