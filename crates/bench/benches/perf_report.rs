@@ -17,6 +17,8 @@
 use std::fs;
 
 use stash_bench::{bench_iters, results_dir, run_sweep, SweepJob};
+use stash_ddl::config::{EpochMode, TrainConfig};
+use stash_ddl::engine::{run_epoch_series, EngineOptions};
 use stash_dnn::zoo;
 use stash_hwtopo::cluster::ClusterSpec;
 use stash_hwtopo::instance::{p3_16xlarge, p3_24xlarge, p3_2xlarge, p3_8xlarge};
@@ -65,6 +67,32 @@ fn main() {
         assert!(r.is_ok(), "sweep job {i} failed: {:?}", r.as_ref().err());
     }
 
+    // Iteration-dynamics leg: one representative job re-run under the
+    // series recorder so the trajectory also tracks iteration-time CoV
+    // and transient-spike counts over revisions. The series is a pure
+    // observer (tier-1 differentials prove bit-transparency), so this
+    // run's report matches what the sweep measured for the same shape.
+    stash_telemetry::enable();
+    let mut series_cfg = TrainConfig::synthetic(
+        stash_hwtopo::cluster::ClusterSpec::homogeneous(p3_8xlarge(), 2),
+        zoo::resnet18(),
+        32,
+        32 * bench_iters(),
+    );
+    series_cfg.epoch_mode = EpochMode::Full;
+    let sr = run_epoch_series(&series_cfg, &EngineOptions { fast_forward: true }, None)
+        .expect("series leg failed");
+    stash_telemetry::disable();
+    let series_stats = serde_json::json!({
+        "cluster": sr.run.report.cluster,
+        "model": sr.run.report.model,
+        "iteration_cov": sr.series.iteration_cov(),
+        "spike_count": sr.series.spike_count(),
+        "samples": sr.series.samples.len() as u64,
+        "compressed_ff_iterations": sr.series.samples.iter().map(|s| s.ff_iterations).sum::<u64>(),
+        "end_ns": sr.series.end_ns,
+    });
+
     let solver = snap
         .histogram("stash_sim_solver_recompute_latency_ns")
         .expect("solver histogram in schema");
@@ -85,6 +113,7 @@ fn main() {
         "requested_iterations": requested_iterations,
         "fast_forwarded_iterations": perf.fast_forwarded_iterations,
         "fast_forward_ratio": fast_forward_ratio,
+        "series": series_stats,
         "telemetry": serde_json::json!({
             "solver_recompute_p50_ns": solver.quantile(0.50),
             "solver_recompute_p99_ns": solver.quantile(0.99),

@@ -135,6 +135,7 @@ pub fn recommend(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use stash_dnn::zoo;

@@ -85,6 +85,16 @@ impl MeasurementCache {
         MeasurementCache::default()
     }
 
+    /// Acquires the entry map, preserving the poisoning panic the public
+    /// accessors document (a poisoned cache means a measurement thread
+    /// died mid-insert; results can no longer be trusted).
+    fn locked(&self) -> std::sync::MutexGuard<'_, HashMap<u128, SimDuration>> {
+        match self.entries.lock() {
+            Ok(guard) => guard,
+            Err(_) => panic!("cache poisoned"),
+        }
+    }
+
     /// Number of distinct measurements stored.
     ///
     /// # Panics
@@ -92,7 +102,7 @@ impl MeasurementCache {
     /// Panics if the cache mutex was poisoned.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache poisoned").len()
+        self.locked().len()
     }
 
     /// `true` when nothing is cached.
@@ -122,7 +132,7 @@ impl MeasurementCache {
     ///
     /// Panics if the cache mutex was poisoned.
     pub fn clear(&self) {
-        let mut entries = self.entries.lock().expect("cache poisoned");
+        let mut entries = self.locked();
         let evicted = entries.len() as u64;
         entries.clear();
         stash_telemetry::metrics::CACHE_EVICTIONS.add(evicted);
@@ -145,7 +155,7 @@ impl MeasurementCache {
     /// Panics if the cache mutex was poisoned.
     pub fn epoch_time(&self, cfg: &TrainConfig) -> Result<SimDuration, ProfileError> {
         let key = config_key(cfg);
-        if let Some(&t) = self.entries.lock().expect("cache poisoned").get(&key) {
+        if let Some(&t) = self.locked().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             stash_telemetry::metrics::CACHE_HITS.inc();
             return Ok(t);
@@ -153,7 +163,7 @@ impl MeasurementCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         stash_telemetry::metrics::CACHE_MISSES.inc();
         let t = run_epoch(cfg)?.epoch_time;
-        self.entries.lock().expect("cache poisoned").insert(key, t);
+        self.locked().insert(key, t);
         Ok(t)
     }
 
@@ -175,7 +185,7 @@ impl MeasurementCache {
         arena: &mut EngineArena,
     ) -> Result<SimDuration, ProfileError> {
         let key = config_key(cfg);
-        if let Some(&t) = self.entries.lock().expect("cache poisoned").get(&key) {
+        if let Some(&t) = self.locked().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             stash_telemetry::metrics::CACHE_HITS.inc();
             return Ok(t);
@@ -183,7 +193,7 @@ impl MeasurementCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         stash_telemetry::metrics::CACHE_MISSES.inc();
         let t = run_epoch_in(cfg, arena)?.epoch_time;
-        self.entries.lock().expect("cache poisoned").insert(key, t);
+        self.locked().insert(key, t);
         Ok(t)
     }
 }
@@ -197,8 +207,9 @@ impl MeasurementCache {
 pub fn config_key(cfg: &TrainConfig) -> u128 {
     const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
     const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
-    let canonical = serde_json::to_string(&cfg.to_json_value())
-        .expect("TrainConfig serialization is infallible");
+    let Ok(canonical) = serde_json::to_string(&cfg.to_json_value()) else {
+        unreachable!("TrainConfig serialization is infallible")
+    };
     let mut h = OFFSET;
     for b in canonical.bytes() {
         h ^= u128::from(b);
@@ -208,6 +219,7 @@ pub fn config_key(cfg: &TrainConfig) -> u128 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use stash_ddl::config::ActiveGpus;

@@ -35,9 +35,9 @@ pub struct CostReport {
 /// Panics if the report carries no usable epoch time (no steps ran).
 #[must_use]
 pub fn epoch_cost(report: &StallReport, cluster: &ClusterSpec) -> CostReport {
-    let epoch_time = report
-        .training_epoch_time()
-        .expect("report carries no epoch time");
+    let Some(epoch_time) = report.training_epoch_time() else {
+        panic!("report carries no epoch time")
+    };
     CostReport {
         cluster: report.cluster.clone(),
         model: report.model.clone(),

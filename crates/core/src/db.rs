@@ -123,9 +123,10 @@ impl CharacterizationDb {
         if self.get(&name, &model, batch).is_none() {
             self.insert(stash.profile_cached(cluster, cache)?);
         }
-        Ok(self
-            .get(&name, &model, batch)
-            .expect("report inserted above"))
+        let Some(report) = self.get(&name, &model, batch) else {
+            unreachable!("report inserted above")
+        };
+        Ok(report)
     }
 
     /// Serializes the database to pretty JSON.
@@ -211,6 +212,7 @@ fn report_from_json(v: &serde_json::Value) -> Result<StallReport, String> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -149,11 +149,9 @@ pub fn plan(
         .all(|s| s.memory_bytes <= instance.gpu.spec().mem_bytes);
 
     // Pipeline bound: slowest stage paces the pipe; (m + s - 1) slots.
-    let bottleneck = stage_list
-        .iter()
-        .map(|s| s.compute)
-        .max()
-        .expect("at least one stage");
+    let Some(bottleneck) = stage_list.iter().map(|s| s.compute).max() else {
+        unreachable!("stage_list is non-empty: guarded above")
+    };
     // Activation hops ride the intra-node interconnect.
     let mut net = FlowNet::new();
     let topo = Topology::build(&ClusterSpec::single(instance.clone()), &mut net);

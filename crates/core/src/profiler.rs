@@ -330,7 +330,10 @@ impl Stash {
                         .collect();
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("measurement step panicked"))
+                        .map(|h| match h.join() {
+                            Ok(r) => r,
+                            Err(_) => panic!("measurement step panicked"),
+                        })
                         .collect()
                 });
                 let mut times: Vec<SimDuration> = Vec::with_capacity(configs.len());
@@ -516,7 +519,10 @@ pub fn par_profile_many(
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = jobs.get(i) else { break };
                     let result = job.stash.profile_serial_in(&job.cluster, cache, &mut arena);
-                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    match slots[i].lock() {
+                        Ok(mut slot) => *slot = Some(result),
+                        Err(_) => panic!("result slot poisoned"),
+                    }
                 }
             });
         }
@@ -524,10 +530,10 @@ pub fn par_profile_many(
 
     slots
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker skipped a job")
+        .map(|slot| match slot.into_inner() {
+            Ok(Some(result)) => result,
+            Ok(None) => panic!("worker skipped a job"),
+            Err(_) => panic!("result slot poisoned"),
         })
         .collect()
 }
@@ -602,6 +608,7 @@ impl DsAnalyzer {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use stash_dnn::zoo;

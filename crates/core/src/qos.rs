@@ -90,6 +90,7 @@ pub fn network_stall_distribution(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use stash_dnn::zoo;

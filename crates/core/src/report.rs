@@ -172,6 +172,7 @@ impl fmt::Display for StallReport {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -218,6 +218,7 @@ pub fn standard_buffer_grid() -> Vec<f64> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use stash_dnn::zoo;

@@ -26,6 +26,7 @@ use stash_gpucompute::kernel::ComputeModel;
 use stash_gpucompute::memory;
 use stash_hwtopo::topology::{GpuId, Topology};
 use stash_simkit::prelude::*;
+use stash_telemetry::series::{IterSeries, SeriesRecorder, SeriesSample};
 use stash_trace::{Category, SharedTracer, Track};
 
 use crate::config::{ActiveGpus, DataMode, TrainConfig};
@@ -33,6 +34,28 @@ use crate::error::TrainError;
 use crate::perf_stats;
 use crate::recovery::{FaultOutcome, FaultRecord, FaultedRun, StragglerDetection};
 use crate::report::{EpochReport, IterationSample};
+
+/// Panicking accessor for engine invariants. The engine's phase machine
+/// guarantees a number of `Option` fields are populated whenever the
+/// corresponding code path runs (the fault scheduler once a plan is
+/// armed, the fast-forward state inside a skip, the per-node loaders
+/// after setup). This makes the invariant explicit at each site while
+/// keeping the crate free of `unwrap`/`expect` under the clippy deny
+/// gate: a violated invariant is a simulator bug, never a user error.
+trait Req<T> {
+    fn req(self, what: &str) -> T;
+}
+
+impl<T> Req<T> for Option<T> {
+    #[inline]
+    #[track_caller]
+    fn req(self, what: &str) -> T {
+        match self {
+            Some(v) => v,
+            None => panic!("engine invariant violated: {what}"),
+        }
+    }
+}
 
 const TAG_COMM: u64 = 1 << 48;
 const TAG_LOADER: u64 = 2 << 48;
@@ -212,6 +235,32 @@ struct FfState {
     probe_cur: Vec<(SimTime, f64)>,
 }
 
+/// The reporting rank's accumulator baseline at the last emitted series
+/// boundary. Every series bucket is the exact integer-ns delta of these
+/// fields, so the series totals reconcile against the rank accumulators
+/// (and through them the [`EpochReport`]) by construction.
+#[derive(Debug, Default, Clone, Copy)]
+struct SeriesMark {
+    start: SimTime,
+    compute: SimDuration,
+    data_wait: SimDuration,
+    comm_wait: SimDuration,
+    recovery: SimDuration,
+    straggler: SimDuration,
+    /// Flow-solver full-recompute counter at the boundary.
+    recomputes: u64,
+}
+
+/// Live iteration-series recording state: the bounded exact-sum recorder
+/// plus the delta baseline. Constructed only when a series entry point
+/// was used **and** the telemetry switch is on; `None` otherwise, so the
+/// default path records nothing and allocates nothing.
+#[derive(Debug)]
+struct SeriesState {
+    rec: SeriesRecorder,
+    mark: SeriesMark,
+}
+
 /// Snapshot of a rank's timing accumulators, taken when replay of lost
 /// iterations begins so the replayed work can be re-billed as recovery
 /// stall when it completes.
@@ -283,7 +332,7 @@ struct FaultRuntime {
 /// [`TrainError::OutOfMemory`] when the model + batch exceeds any
 /// participating GPU's memory.
 pub fn run_epoch(cfg: &TrainConfig) -> Result<EpochReport, TrainError> {
-    run_epoch_inner(cfg, None, &EngineOptions::default(), None, None).map(|r| r.report)
+    run_epoch_inner(cfg, None, &EngineOptions::default(), None, None, false).map(|(r, _)| r.report)
 }
 
 /// [`run_epoch`] with explicit [`EngineOptions`]. The report is
@@ -296,7 +345,7 @@ pub fn run_epoch_with(
     cfg: &TrainConfig,
     options: &EngineOptions,
 ) -> Result<EpochReport, TrainError> {
-    run_epoch_inner(cfg, None, options, None, None).map(|r| r.report)
+    run_epoch_inner(cfg, None, options, None, None, false).map(|(r, _)| r.report)
 }
 
 /// [`run_epoch`] reusing a caller-owned [`EngineArena`] for the flow
@@ -308,7 +357,15 @@ pub fn run_epoch_with(
 ///
 /// As for [`run_epoch`].
 pub fn run_epoch_in(cfg: &TrainConfig, arena: &mut EngineArena) -> Result<EpochReport, TrainError> {
-    run_epoch_inner(cfg, None, &EngineOptions::default(), None, Some(arena)).map(|r| r.report)
+    run_epoch_inner(
+        cfg,
+        None,
+        &EngineOptions::default(),
+        None,
+        Some(arena),
+        false,
+    )
+    .map(|(r, _)| r.report)
 }
 
 /// [`run_epoch_in`] with explicit [`EngineOptions`].
@@ -321,7 +378,7 @@ pub fn run_epoch_in_with(
     options: &EngineOptions,
     arena: &mut EngineArena,
 ) -> Result<EpochReport, TrainError> {
-    run_epoch_inner(cfg, None, options, None, Some(arena)).map(|r| r.report)
+    run_epoch_inner(cfg, None, options, None, Some(arena), false).map(|(r, _)| r.report)
 }
 
 /// [`run_epoch`] with a trace recorder attached: compute, stall-wait,
@@ -340,7 +397,15 @@ pub fn run_epoch_traced(
     cfg: &TrainConfig,
     tracer: &SharedTracer,
 ) -> Result<EpochReport, TrainError> {
-    run_epoch_inner(cfg, Some(tracer), &EngineOptions::default(), None, None).map(|r| r.report)
+    run_epoch_inner(
+        cfg,
+        Some(tracer),
+        &EngineOptions::default(),
+        None,
+        None,
+        false,
+    )
+    .map(|(r, _)| r.report)
 }
 
 /// Runs one epoch with `plan`'s faults injected through the event queue
@@ -355,7 +420,15 @@ pub fn run_epoch_traced(
 /// As for [`run_epoch`], plus [`TrainError::InvalidFaultPlan`] when the
 /// plan does not fit the cluster.
 pub fn run_epoch_faulted(cfg: &TrainConfig, plan: &FaultPlan) -> Result<FaultedRun, TrainError> {
-    run_epoch_inner(cfg, None, &EngineOptions::default(), Some(plan), None)
+    run_epoch_inner(
+        cfg,
+        None,
+        &EngineOptions::default(),
+        Some(plan),
+        None,
+        false,
+    )
+    .map(|(r, _)| r)
 }
 
 /// [`run_epoch_faulted`] with explicit [`EngineOptions`]. Steady-state
@@ -371,7 +444,7 @@ pub fn run_epoch_faulted_with(
     plan: &FaultPlan,
     options: &EngineOptions,
 ) -> Result<FaultedRun, TrainError> {
-    run_epoch_inner(cfg, None, options, Some(plan), None)
+    run_epoch_inner(cfg, None, options, Some(plan), None, false).map(|(r, _)| r)
 }
 
 /// [`run_epoch_faulted`] with a trace recorder attached: recovery and
@@ -393,7 +466,61 @@ pub fn run_epoch_faulted_traced(
         &EngineOptions::default(),
         Some(plan),
         None,
+        false,
     )
+    .map(|(r, _)| r)
+}
+
+/// An epoch result paired with its iteration-resolved time series.
+#[derive(Debug)]
+pub struct SeriesRun {
+    /// The report and fault outcome, bit-identical to the same epoch run
+    /// through any other entry point.
+    pub run: FaultedRun,
+    /// The recorded series. Empty when the telemetry switch
+    /// ([`stash_telemetry::enabled`]) was off.
+    pub series: IterSeries,
+}
+
+/// Runs one epoch recording the iteration-resolved time series: one
+/// sample per iteration of the reporting rank (wall ns, the five stall
+/// categories, solver recomputes, queue-depth high-water), fast-forwarded
+/// spans as explicitly-marked compressed regions, fault windows as
+/// annotations. Recording rides behind the process-wide telemetry switch
+/// — with [`stash_telemetry::enabled`] off the series comes back empty —
+/// and never perturbs the simulation: the report is bit-identical to
+/// [`run_epoch`] / [`run_epoch_faulted`] with the same inputs, and the
+/// series category totals reconcile against the report's stall
+/// accumulators at integer-ns exactness (extrapolation factor included).
+///
+/// Unlike `record_trace`, series recording does **not** disable
+/// steady-state fast-forward: compressed regions are first-class samples.
+///
+/// # Errors
+///
+/// As for [`run_epoch_faulted`] (or [`run_epoch`] when `plan` is `None`).
+pub fn run_epoch_series(
+    cfg: &TrainConfig,
+    options: &EngineOptions,
+    plan: Option<&FaultPlan>,
+) -> Result<SeriesRun, TrainError> {
+    run_epoch_inner(cfg, None, options, plan, None, true)
+        .map(|(run, series)| SeriesRun { run, series })
+}
+
+/// [`run_epoch_series`] reusing a caller-owned [`EngineArena`].
+///
+/// # Errors
+///
+/// As for [`run_epoch_series`].
+pub fn run_epoch_series_in(
+    cfg: &TrainConfig,
+    options: &EngineOptions,
+    plan: Option<&FaultPlan>,
+    arena: &mut EngineArena,
+) -> Result<SeriesRun, TrainError> {
+    run_epoch_inner(cfg, None, options, plan, Some(arena), true)
+        .map(|(run, series)| SeriesRun { run, series })
 }
 
 fn run_epoch_inner(
@@ -402,7 +529,8 @@ fn run_epoch_inner(
     options: &EngineOptions,
     plan: Option<&FaultPlan>,
     arena: Option<&mut EngineArena>,
-) -> Result<FaultedRun, TrainError> {
+    record_series: bool,
+) -> Result<(FaultedRun, IterSeries), TrainError> {
     cfg.validate()?;
     if let Some(p) = plan {
         p.validate(cfg.cluster.world_size(), cfg.cluster.node_count())
@@ -421,13 +549,14 @@ fn run_epoch_inner(
     }
     let mut local = EngineArena::default();
     let arena = arena.unwrap_or(&mut local);
-    let mut engine = Engine::new(cfg, options, plan, arena)?;
+    let mut engine = Engine::new(cfg, options, plan, arena, record_series)?;
     if let Some(t) = tracer {
         engine.attach_tracer(t);
     }
-    let report = engine.run();
+    let result = engine.run();
+    let series = engine.take_series();
     engine.into_arena(arena);
-    report
+    result.map(|run| (run, series))
 }
 
 struct Engine<'a> {
@@ -497,6 +626,10 @@ struct Engine<'a> {
     /// Flow-network recompute counters at construction, so per-epoch deltas
     /// survive arena reuse.
     net_stats0: (u64, u64),
+    /// Iteration-series recorder; `None` unless a series entry point was
+    /// used with the telemetry switch on. Pure observation — never
+    /// perturbs the simulation.
+    series: Option<SeriesState>,
 }
 
 impl std::fmt::Debug for Engine<'_> {
@@ -514,6 +647,7 @@ impl<'a> Engine<'a> {
         options: &EngineOptions,
         fault_plan: Option<&FaultPlan>,
         arena: &mut EngineArena,
+        record_series: bool,
     ) -> Result<Engine<'a>, TrainError> {
         let mut net = std::mem::take(&mut arena.net);
         if net.link_count() > 0 {
@@ -748,6 +882,16 @@ impl<'a> Engine<'a> {
             faults,
             ff_iterations: 0,
             net_stats0,
+            // Behind the telemetry switch like every other self-observation
+            // layer: a series entry point with the switch off records
+            // nothing (and allocates nothing).
+            series: (record_series && stash_telemetry::enabled()).then(|| SeriesState {
+                rec: SeriesRecorder::new(),
+                mark: SeriesMark {
+                    recomputes: net_stats0.0,
+                    ..SeriesMark::default()
+                },
+            }),
         })
     }
 
@@ -785,7 +929,7 @@ impl<'a> Engine<'a> {
         if self.trace_on {
             self.tracer
                 .as_ref()
-                .expect("trace_on implies tracer")
+                .req("trace_on implies tracer")
                 .borrow_mut()
                 .span(track, category, name, start, end);
         }
@@ -806,7 +950,7 @@ impl<'a> Engine<'a> {
         if self.trace_on {
             self.tracer
                 .as_ref()
-                .expect("trace_on implies tracer")
+                .req("trace_on implies tracer")
                 .borrow_mut()
                 .span_arg(track, category, name, arg, start, end);
         }
@@ -817,7 +961,7 @@ impl<'a> Engine<'a> {
         if self.trace_on {
             self.tracer
                 .as_ref()
-                .expect("trace_on implies tracer")
+                .req("trace_on implies tracer")
                 .borrow_mut()
                 .instant(track, category, name, at);
         }
@@ -829,11 +973,93 @@ impl<'a> Engine<'a> {
         Track::gpu(gpu.node, gpu.local)
     }
 
+    // ----- iteration series ---------------------------------------------
+
+    /// Emits one series bucket covering `rank`'s activity from the last
+    /// mark to `end`, then re-baselines the mark at `end`. Category
+    /// fields are signed accumulator deltas, so a zero-iteration call
+    /// after a replay rewind (or an elastic reporting-rank change) emits
+    /// exactly the correction that keeps the running series totals equal
+    /// to the current reporting rank's accumulators. A no-op unless
+    /// series recording is on.
+    fn emit_series(
+        &mut self,
+        rank: usize,
+        end: SimTime,
+        start_iter: u64,
+        iterations: u64,
+        ff: u64,
+    ) {
+        let Some(s) = self.series.as_mut() else {
+            return;
+        };
+        let r = &self.ranks[rank];
+        let (full_recomputes, _) = self.net.recompute_stats();
+        let m = s.mark;
+        let delta =
+            |cur: SimDuration, base: SimDuration| cur.as_nanos() as i64 - base.as_nanos() as i64;
+        s.rec.record(SeriesSample {
+            start_iter,
+            iterations,
+            ff_iterations: ff,
+            start_ns: m.start.as_nanos(),
+            wall_ns: end.duration_since(m.start).as_nanos(),
+            compute_ns: delta(r.compute, m.compute),
+            data_wait_ns: delta(r.data_wait, m.data_wait),
+            comm_wait_ns: delta(r.comm_wait, m.comm_wait),
+            recovery_ns: delta(r.recovery, m.recovery),
+            straggler_ns: delta(r.straggler, m.straggler),
+            recomputes: full_recomputes - m.recomputes,
+            queue_depth_hw: self.q.take_depth_high_water(),
+        });
+        s.mark = SeriesMark {
+            start: end,
+            compute: r.compute,
+            data_wait: r.data_wait,
+            comm_wait: r.comm_wait,
+            recovery: r.recovery,
+            straggler: r.straggler,
+            recomputes: full_recomputes,
+        };
+    }
+
+    /// Opens a fault-window annotation on the series (no-op when off).
+    fn series_annotate_open(&mut self, idx: usize, label: &str, kind: &str) {
+        let now = self.q.now();
+        if let Some(s) = self.series.as_mut() {
+            s.rec.annotate_open(idx as u64, label, kind, now.as_nanos());
+        }
+    }
+
+    /// Closes a fault-window annotation on the series (no-op when off).
+    fn series_annotate_close(&mut self, idx: usize) {
+        let now = self.q.now();
+        if let Some(s) = self.series.as_mut() {
+            s.rec.annotate_close(idx as u64, now.as_nanos());
+        }
+    }
+
+    /// Finishes series recording (empty when it never started). The end
+    /// stamp is the last rank completion — after a fast-forward the
+    /// analytic completion times run past the event-queue clock.
+    fn take_series(&mut self) -> IterSeries {
+        let Some(s) = self.series.take() else {
+            return IterSeries::default();
+        };
+        let end = self
+            .active
+            .iter()
+            .filter_map(|r| self.ranks[*r].done_at)
+            .max()
+            .unwrap_or_else(|| self.q.now());
+        s.rec.finish(end.as_nanos())
+    }
+
     fn run(&mut self) -> Result<FaultedRun, TrainError> {
         // Kick loaders and ranks.
         for node in 0..self.loaders.len() {
             if self.loaders[node].is_some() {
-                let actions = self.loaders[node].as_mut().expect("loader").start();
+                let actions = self.loaders[node].as_mut().req("loader").start();
                 self.apply_loader_actions(node, actions);
             }
         }
@@ -844,7 +1070,7 @@ impl<'a> Engine<'a> {
         // Arm the fault plan: every event goes through the one event
         // queue, so injection is as deterministic as the engine itself.
         for idx in 0..self.faults.as_ref().map_or(0, |fr| fr.plan.events.len()) {
-            let at = self.faults.as_ref().expect("faults").plan.events[idx].at;
+            let at = self.faults.as_ref().req("faults").plan.events[idx].at;
             self.q.schedule_at(at, Ev::Fault { idx });
         }
         self.schedule_wake();
@@ -935,7 +1161,7 @@ impl<'a> Engine<'a> {
         let node = self.ranks[rank].gpu.node;
         let local = self.ranks[rank].gpu.local;
         if self.loaders[node].is_some() {
-            let (ok, actions) = self.loaders[node].as_mut().expect("loader").try_take(local);
+            let (ok, actions) = self.loaders[node].as_mut().req("loader").try_take(local);
             self.apply_loader_actions(node, actions);
             if ok {
                 self.start_forward(rank);
@@ -1098,6 +1324,14 @@ impl<'a> Engine<'a> {
                         comm_wait: r.comm_wait,
                     };
                 }
+                if self.series.is_some() && rank == self.active[0] {
+                    // One series bucket per reporting-rank iteration. Must
+                    // precede the fault boundary below: a replay rewind
+                    // there emits its correction against this mark.
+                    let now = self.q.now();
+                    let it = self.ranks[rank].iter - 1;
+                    self.emit_series(rank, now, it, 1, 0);
+                }
                 if self.faults.is_some() && self.on_fault_step_boundary(rank) {
                     // Captured by a preemption barrier (or retired at it).
                     return;
@@ -1136,7 +1370,7 @@ impl<'a> Engine<'a> {
 
         // Refresh this rank's iteration fingerprint.
         {
-            let ff = self.ff.as_mut().expect("ff state");
+            let ff = self.ff.as_mut().req("ff state");
             let fr = &mut ff.ranks[rank];
             let r = &self.ranks[rank];
             let delta = (
@@ -1165,20 +1399,20 @@ impl<'a> Engine<'a> {
             return false;
         }
 
-        let period = match self.ff.as_ref().expect("ff state").last_boundary {
+        let period = match self.ff.as_ref().req("ff state").last_boundary {
             Some(b) => now.duration_since(b).as_nanos(),
             None => 0,
         };
         let ranks_periodic = period > 0
             && self.active.iter().all(|&r| {
-                let fr = &self.ff.as_ref().expect("ff state").ranks[r];
+                let fr = &self.ff.as_ref().req("ff state").ranks[r];
                 fr.repeats >= FF_CONFIRM && fr.delta.0 == period
             });
 
         // Compare this cycle's host-bus load samples against the previous
         // cycle, shifted by one period.
         {
-            let ff = self.ff.as_mut().expect("ff state");
+            let ff = self.ff.as_mut().req("ff state");
             let mut cur = std::mem::take(&mut ff.probe_cur);
             self.net.take_probe_samples(&mut cur);
             let p = SimDuration::from_nanos(period);
@@ -1199,7 +1433,7 @@ impl<'a> Engine<'a> {
             ff.last_boundary = Some(now);
         }
 
-        let confirmed = self.ff.as_ref().expect("ff state").cycle_repeats >= FF_CONFIRM
+        let confirmed = self.ff.as_ref().req("ff state").cycle_repeats >= FF_CONFIRM
             && self.net.active_flows() == 0
             && self.sim_iters > iter;
         if !confirmed {
@@ -1219,7 +1453,7 @@ impl<'a> Engine<'a> {
         let n = self.sim_iters - iter;
         debug_assert!(n > 0);
         {
-            let ff = self.ff.as_ref().expect("ff state");
+            let ff = self.ff.as_ref().req("ff state");
             for &r in &self.active {
                 debug_assert_eq!(self.ranks[r].iter, iter, "rank {r} not at the boundary");
                 let fr = &ff.ranks[r];
@@ -1245,13 +1479,24 @@ impl<'a> Engine<'a> {
         let host_bus = self.topo.host_bus(0);
         let p = SimDuration::from_nanos(period_ns);
         {
-            let ff = self.ff.as_ref().expect("ff state");
+            let ff = self.ff.as_ref().req("ff state");
             self.net.replay_probe_load(host_bus, &ff.probe_prev, p, n);
         }
         self.net.clear_load_probe();
         self.net.advance(w + SimDuration::from_nanos(period_ns * n));
         self.ff_iterations = n;
         self.ff = None;
+        // The skipped span becomes one explicitly-marked compressed series
+        // bucket: the reporting rank's accumulators were just set to their
+        // analytic end values, so the delta from the mark is exactly the
+        // `n` skipped periods.
+        if self.series.is_some() {
+            if let Some(&r0) = self.active.first() {
+                if let Some(end) = self.ranks[r0].done_at {
+                    self.emit_series(r0, end, iter, n, n);
+                }
+            }
+        }
     }
 
     // ----- communicator -------------------------------------------------
@@ -1261,7 +1506,7 @@ impl<'a> Engine<'a> {
             return;
         }
         {
-            let comm = self.comm.as_mut().expect("comm");
+            let comm = self.comm.as_mut().req("comm");
             comm.ready[bucket] += 1;
         }
         self.note_bucket_notify(rank, bucket);
@@ -1276,7 +1521,7 @@ impl<'a> Engine<'a> {
             Some(c) => c.world,
             None => return,
         };
-        let ready = self.comm.as_ref().expect("comm").ready[bucket];
+        let ready = self.comm.as_ref().req("comm").ready[bucket];
         let Some(fr) = &mut self.faults else {
             return;
         };
@@ -1317,14 +1562,14 @@ impl<'a> Engine<'a> {
                 .start_flow_borrowed(now, &t.route, t.bytes, t.extra_latency, TAG_COMM);
         }
         let inflight = transfers.len();
-        let comm = self.comm.as_mut().expect("comm");
+        let comm = self.comm.as_mut().req("comm");
         comm.inflight_remaining = inflight;
         comm.started += 1;
         self.bucket_open = Some((now, next));
     }
 
     fn on_comm_flow_done(&mut self) {
-        let comm = self.comm.as_mut().expect("comm flow without communicator");
+        let comm = self.comm.as_mut().req("comm flow without communicator");
         comm.inflight_remaining -= 1;
         if comm.inflight_remaining > 0 {
             return;
@@ -1332,7 +1577,7 @@ impl<'a> Engine<'a> {
         comm.completed += 1;
         let bucket_start = self.bucket_open.take();
         if self.trace_on {
-            let (start, bucket) = bucket_start.expect("bucket completion without an open bucket");
+            let (start, bucket) = bucket_start.req("bucket completion without an open bucket");
             self.emit_span_arg(
                 Track::comm(),
                 self.comm_cat,
@@ -1342,7 +1587,7 @@ impl<'a> Engine<'a> {
                 self.q.now(),
             );
         }
-        let comm = self.comm.as_mut().expect("comm flow without communicator");
+        let comm = self.comm.as_mut().req("comm flow without communicator");
         if comm.completed >= self.plan.buckets.len() {
             // Iteration's gradients are synchronised everywhere.
             comm.ready.iter_mut().for_each(|r| *r = 0);
@@ -1359,7 +1604,7 @@ impl<'a> Engine<'a> {
                     continue;
                 }
                 released += 1;
-                let start = self.ranks[rank].wait_start.take().expect("wait start");
+                let start = self.ranks[rank].wait_start.take().req("wait start");
                 self.ranks[rank].comm_wait += now.duration_since(start);
                 if self.trace_on {
                     self.emit_span(
@@ -1372,7 +1617,7 @@ impl<'a> Engine<'a> {
                 }
                 self.start_step(rank);
             }
-            debug_assert_eq!(released, self.comm.as_ref().expect("comm").world);
+            debug_assert_eq!(released, self.comm.as_ref().req("comm").world);
         } else {
             self.try_start_comm();
         }
@@ -1408,30 +1653,41 @@ impl<'a> Engine<'a> {
     fn on_fault_fired(&mut self, idx: usize) {
         let now = self.q.now();
         let kind = {
-            let fr = self.faults.as_mut().expect("faults");
+            let fr = self.faults.as_mut().req("faults");
             fr.fired[idx] = true;
             fr.plan.events[idx].kind.clone()
         };
+        if self.series.is_some() {
+            // Fault windows overlay the series as annotations; they close
+            // at resolution (window end or preemption recovery complete).
+            let label = match &kind {
+                FaultKind::Preemption { node, .. } => format!("preemption node{node}"),
+                FaultKind::StragglerWindow { rank, .. } => format!("straggler rank{rank}"),
+                FaultKind::LinkDegradation { node, .. } => format!("link node{node}"),
+                FaultKind::DiskBrownout { node, .. } => format!("disk node{node}"),
+            };
+            self.series_annotate_open(idx, &label, kind.label());
+        }
         match kind {
             FaultKind::StragglerWindow { rank, duration, .. } => {
-                self.faults.as_mut().expect("faults").open[idx] = true;
+                self.faults.as_mut().req("faults").open[idx] = true;
                 self.refresh_slow_factor(rank);
                 self.q.schedule_at(now + duration, Ev::FaultClear { idx });
             }
             FaultKind::LinkDegradation { node, duration, .. } => {
-                self.faults.as_mut().expect("faults").open[idx] = true;
+                self.faults.as_mut().req("faults").open[idx] = true;
                 self.apply_nic_state(node);
                 self.q.schedule_at(now + duration, Ev::FaultClear { idx });
             }
             FaultKind::DiskBrownout { node, duration, .. } => {
-                self.faults.as_mut().expect("faults").open[idx] = true;
+                self.faults.as_mut().req("faults").open[idx] = true;
                 self.apply_ssd_state(node);
                 self.q.schedule_at(now + duration, Ev::FaultClear { idx });
             }
             FaultKind::Preemption { .. } => {
                 self.faults
                     .as_mut()
-                    .expect("faults")
+                    .req("faults")
                     .preempt_queue
                     .push_back(idx);
                 self.arm_next_preemption();
@@ -1441,7 +1697,7 @@ impl<'a> Engine<'a> {
 
     fn on_fault_cleared(&mut self, idx: usize) {
         let kind = {
-            let fr = self.faults.as_mut().expect("faults");
+            let fr = self.faults.as_mut().req("faults");
             fr.open[idx] = false;
             fr.plan.events[idx].kind.clone()
         };
@@ -1457,7 +1713,7 @@ impl<'a> Engine<'a> {
     /// Re-derives `rank`'s slowdown multiplier from the open straggler
     /// windows: the product is exactly 1.0 again when the last closes.
     fn refresh_slow_factor(&mut self, rank: usize) {
-        let fr = self.faults.as_mut().expect("faults");
+        let fr = self.faults.as_mut().req("faults");
         let mut f = 1.0;
         for (i, ev) in fr.plan.events.iter().enumerate() {
             if fr.open[i] {
@@ -1481,7 +1737,7 @@ impl<'a> Engine<'a> {
     fn apply_nic_state(&mut self, node: usize) {
         let now = self.q.now();
         let (targets, factor) = {
-            let fr = self.faults.as_ref().expect("faults");
+            let fr = self.faults.as_ref().req("faults");
             let mut f = 1.0;
             for (i, ev) in fr.plan.events.iter().enumerate() {
                 if fr.open[i] {
@@ -1507,7 +1763,7 @@ impl<'a> Engine<'a> {
     fn apply_ssd_state(&mut self, node: usize) {
         let now = self.q.now();
         let ((link, nominal), factor, brown) = {
-            let fr = self.faults.as_ref().expect("faults");
+            let fr = self.faults.as_ref().req("faults");
             let mut f = 1.0;
             let mut brown = false;
             for (i, ev) in fr.plan.events.iter().enumerate() {
@@ -1586,6 +1842,15 @@ impl<'a> Engine<'a> {
             self.iter_mark.data_wait = self.ranks[rank].data_wait;
             self.iter_mark.comm_wait = self.ranks[rank].comm_wait;
         }
+        // The series already recorded the replayed work as compute/data/
+        // comm; emit the rewind as a zero-width correction (negative
+        // category deltas, positive recovery) so its running totals keep
+        // matching the accumulators exactly.
+        if self.series.is_some() && rank == self.active[0] {
+            let now = self.q.now();
+            let it = self.ranks[rank].iter;
+            self.emit_series(rank, now, it, 0, 0);
+        }
     }
 
     /// Completes the armed preemption barrier once every active rank is
@@ -1602,7 +1867,7 @@ impl<'a> Engine<'a> {
         if !all_in {
             return;
         }
-        let kind = self.faults.as_ref().expect("faults").plan.events[idx]
+        let kind = self.faults.as_ref().req("faults").plan.events[idx]
             .kind
             .clone();
         let FaultKind::Preemption { restart_after, .. } = kind else {
@@ -1612,7 +1877,7 @@ impl<'a> Engine<'a> {
             .active
             .iter()
             .any(|&r| self.ranks[r].phase == Phase::Recovering);
-        self.faults.as_mut().expect("faults").barrier = None;
+        self.faults.as_mut().req("faults").barrier = None;
         if !parked {
             // The epoch outran the fault: nothing left to preempt.
             self.resolve_fault(idx);
@@ -1624,12 +1889,12 @@ impl<'a> Engine<'a> {
         let delay = restart_after.unwrap_or(
             self.faults
                 .as_ref()
-                .expect("faults")
+                .req("faults")
                 .plan
                 .recovery
                 .reform_delay,
         );
-        self.faults.as_mut().expect("faults").resume = Some(idx);
+        self.faults.as_mut().req("faults").resume = Some(idx);
         self.q.schedule_in(delay, Ev::FaultResume);
     }
 
@@ -1638,10 +1903,10 @@ impl<'a> Engine<'a> {
     /// resume training.
     fn on_fault_resume(&mut self) {
         let now = self.q.now();
-        let Some(idx) = self.faults.as_mut().expect("faults").resume.take() else {
+        let Some(idx) = self.faults.as_mut().req("faults").resume.take() else {
             return;
         };
-        let kind = self.faults.as_ref().expect("faults").plan.events[idx]
+        let kind = self.faults.as_ref().req("faults").plan.events[idx]
             .kind
             .clone();
         let FaultKind::Preemption {
@@ -1658,7 +1923,7 @@ impl<'a> Engine<'a> {
         let ckpt = self
             .faults
             .as_ref()
-            .expect("faults")
+            .req("faults")
             .plan
             .recovery
             .checkpoint_every
@@ -1669,10 +1934,7 @@ impl<'a> Engine<'a> {
             if self.ranks[rank].phase != Phase::Recovering {
                 continue;
             }
-            let start = self.ranks[rank]
-                .wait_start
-                .take()
-                .expect("barrier wait start");
+            let start = self.ranks[rank].wait_start.take().req("barrier wait start");
             let wait = now.duration_since(start);
             self.ranks[rank].recovery += wait;
             self.emit_span(
@@ -1689,7 +1951,7 @@ impl<'a> Engine<'a> {
                 data_wait: self.ranks[rank].data_wait,
                 comm_wait: self.ranks[rank].comm_wait,
             };
-            let fr = self.faults.as_mut().expect("faults");
+            let fr = self.faults.as_mut().req("faults");
             fr.blame[idx] += wait;
             if ck < it {
                 // Iterations since the last checkpoint are lost. A rank
@@ -1725,13 +1987,10 @@ impl<'a> Engine<'a> {
         for i in 0..self.active.len() {
             let rank = self.active[i];
             if self.ranks[rank].phase == Phase::Recovering {
-                let start = self.ranks[rank]
-                    .wait_start
-                    .take()
-                    .expect("barrier wait start");
+                let start = self.ranks[rank].wait_start.take().req("barrier wait start");
                 let wait = now.duration_since(start);
                 self.ranks[rank].recovery += wait;
-                self.faults.as_mut().expect("faults").blame[idx] += wait;
+                self.faults.as_mut().req("faults").blame[idx] += wait;
                 self.emit_span(
                     self.gpu_track(rank),
                     Category::Recovery,
@@ -1741,7 +2000,7 @@ impl<'a> Engine<'a> {
                 );
             }
             if self.ranks[rank].gpu.node == node {
-                let fr = self.faults.as_mut().expect("faults");
+                let fr = self.faults.as_mut().req("faults");
                 if fr.replay[rank].take().is_some() {
                     fr.replaying -= 1;
                 }
@@ -1758,7 +2017,7 @@ impl<'a> Engine<'a> {
             }
         }
         self.active = survivors;
-        self.faults.as_mut().expect("faults").dead_nodes[node] = true;
+        self.faults.as_mut().req("faults").dead_nodes[node] = true;
         self.loaders[node] = None;
         // Rescale the collective to the survivor ring.
         let world = self.active.len();
@@ -1799,6 +2058,16 @@ impl<'a> Engine<'a> {
                 comm_wait: r.comm_wait,
             };
         }
+        // Rebase the series onto the (possibly new) reporting rank: the
+        // zero-iteration bucket's deltas are new-rank accumulators minus
+        // the totals recorded so far, so the running sums continue to
+        // match the rank the report will read.
+        if self.series.is_some() {
+            if let Some(&r0) = self.active.first() {
+                let it = self.ranks[r0].iter;
+                self.emit_series(r0, now, it, 0, 0);
+            }
+        }
         for &rank in &resumed {
             self.begin_iteration(rank);
         }
@@ -1807,14 +2076,15 @@ impl<'a> Engine<'a> {
 
     /// Marks a plan event fully resolved and arms the next queued
     /// preemption, if any.
-    fn resolve_fault(&mut self, _idx: usize) {
-        self.faults.as_mut().expect("faults").outstanding -= 1;
+    fn resolve_fault(&mut self, idx: usize) {
+        self.series_annotate_close(idx);
+        self.faults.as_mut().req("faults").outstanding -= 1;
         self.arm_next_preemption();
     }
 
     fn arm_next_preemption(&mut self) {
         let armed = {
-            let fr = self.faults.as_mut().expect("faults");
+            let fr = self.faults.as_mut().req("faults");
             if fr.barrier.is_none() && fr.resume.is_none() {
                 if let Some(next) = fr.preempt_queue.pop_front() {
                     fr.barrier = Some(next);
@@ -1925,10 +2195,10 @@ impl<'a> Engine<'a> {
                 LoaderAction::Deliver { gpu } => {
                     let rank = self.global_rank(n, gpu);
                     if self.ranks[rank].phase == Phase::AwaitBatch {
-                        let (ok, more) = self.loaders[n].as_mut().expect("loader").try_take(gpu);
+                        let (ok, more) = self.loaders[n].as_mut().req("loader").try_take(gpu);
                         debug_assert!(ok, "delivery must satisfy a waiting GPU");
                         let now = self.q.now();
-                        let start = self.ranks[rank].wait_start.take().expect("wait start");
+                        let start = self.ranks[rank].wait_start.take().req("wait start");
                         self.ranks[rank].data_wait += now.duration_since(start);
                         if self.trace_on {
                             self.emit_span(
@@ -2048,7 +2318,7 @@ impl<'a> Engine<'a> {
             .iter()
             .filter_map(|r| self.ranks[*r].done_at)
             .max()
-            .expect("all ranks done");
+            .req("all ranks done");
         let r0 = &self.ranks[self.active[0]];
         // Extrapolate from the steady state: the first iteration carries
         // the pipeline fill (prefetch queues, cold flows), so it is billed
@@ -2105,6 +2375,7 @@ impl<'a> Engine<'a> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::config::EpochMode;

@@ -73,6 +73,7 @@ pub struct FaultedRun {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

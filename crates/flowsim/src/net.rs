@@ -302,7 +302,9 @@ impl FlowNet {
         let idx = match self.free.pop() {
             Some(idx) => idx,
             None => {
-                let idx = u32::try_from(self.slots.len()).expect("too many flows");
+                let Ok(idx) = u32::try_from(self.slots.len()) else {
+                    unreachable!("too many flows: slot index exceeds u32")
+                };
                 self.slots.push(FlowSlot::vacant());
                 idx
             }
@@ -369,7 +371,10 @@ impl FlowNet {
 
     /// Registers a link and returns its id.
     pub fn add_link(&mut self, link: Link) -> LinkId {
-        let id = LinkId(u32::try_from(self.links.len()).expect("too many links"));
+        let Ok(raw) = u32::try_from(self.links.len()) else {
+            unreachable!("too many links: link index exceeds u32")
+        };
+        let id = LinkId(raw);
         self.caps.push(link.capacity_bps);
         self.links.push(link);
         self.link_load
@@ -859,10 +864,14 @@ impl FlowNet {
         self.routes_flat.clear();
         self.routes_spans.clear();
         for &i in &self.active_ids {
-            let lo = u32::try_from(self.routes_flat.len()).expect("route buffer overflow");
+            let Ok(lo) = u32::try_from(self.routes_flat.len()) else {
+                unreachable!("route buffer overflow: flat index exceeds u32")
+            };
             self.routes_flat
                 .extend_from_slice(&self.slots[i as usize].route_dedup);
-            let hi = u32::try_from(self.routes_flat.len()).expect("route buffer overflow");
+            let Ok(hi) = u32::try_from(self.routes_flat.len()) else {
+                unreachable!("route buffer overflow: flat index exceeds u32")
+            };
             self.routes_spans.push((lo, hi));
         }
         // Host wall-clock around the solve only: Instant is a syscall,
@@ -1032,6 +1041,7 @@ impl FlowNet {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::link::LinkClass;

@@ -144,6 +144,7 @@ impl ClusterSpec {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::instance::{p2_8xlarge, p3_16xlarge, p3_8xlarge};

@@ -276,6 +276,7 @@ pub fn by_name(name: &str) -> Option<InstanceType> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -338,6 +339,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::type_complexity)]
     fn hostile_instances_are_rejected() {
         let mutations: Vec<(&str, Box<dyn Fn(&mut InstanceType)>)> = vec![
             ("zero gpus", Box::new(|i| i.gpu_count = 0)),

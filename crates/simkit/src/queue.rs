@@ -82,6 +82,8 @@ pub struct EventQueue<E> {
     slot_gen: Vec<u32>,
     free: Vec<u32>,
     live: usize,
+    /// Deepest `live` has been since the last [`EventQueue::take_depth_high_water`].
+    window_hw: usize,
     scheduled: u64,
     delivered: u64,
 }
@@ -103,6 +105,7 @@ impl<E> EventQueue<E> {
             slot_gen: Vec::new(),
             free: Vec::new(),
             live: 0,
+            window_hw: 0,
             scheduled: 0,
             delivered: 0,
         }
@@ -131,12 +134,15 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         self.scheduled += 1;
         self.live += 1;
+        self.window_hw = self.window_hw.max(self.live);
         stash_telemetry::metrics::QUEUE_PUSHED.inc();
         stash_telemetry::metrics::QUEUE_DEPTH_HIGH_WATER.record_max(self.live as u64);
         let idx = match self.free.pop() {
             Some(idx) => idx,
             None => {
-                let idx = u32::try_from(self.slot_gen.len()).expect("slot index overflow");
+                let Ok(idx) = u32::try_from(self.slot_gen.len()) else {
+                    unreachable!("slot index overflow: more than u32::MAX live events")
+                };
                 self.slot_gen.push(0);
                 idx
             }
@@ -222,6 +228,16 @@ impl<E> EventQueue<E> {
         self.live == 0
     }
 
+    /// Deepest the queue has been since the last call (or construction /
+    /// [`EventQueue::reset`]), then restarts the window at the current
+    /// depth. Lets a caller sample per-window high-water marks (e.g. one
+    /// per simulated iteration) without scanning the queue.
+    pub fn take_depth_high_water(&mut self) -> u64 {
+        let hw = self.window_hw as u64;
+        self.window_hw = self.live;
+        hw
+    }
+
     /// Total events scheduled over the queue's lifetime.
     #[must_use]
     pub fn scheduled_count(&self) -> u64 {
@@ -244,12 +260,14 @@ impl<E> EventQueue<E> {
         self.now = SimTime::ZERO;
         self.next_seq = 0;
         self.live = 0;
+        self.window_hw = 0;
         self.scheduled = 0;
         self.delivered = 0;
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::time::SimDuration;

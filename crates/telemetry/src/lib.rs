@@ -24,8 +24,12 @@
 //! On top of the registry sit the [`flight`] recorder (a ring buffer of
 //! the last N engine events, dumped as JSON on panic or typed error),
 //! the [`prom`] exposition writer + strict validator shared by every
-//! `.prom` artifact the workspace emits, and [`diff`], which gates
-//! simulator-health metrics (solver p99, events/epoch) in `stash diff`.
+//! `.prom` artifact the workspace emits, [`diff`], which gates
+//! simulator-health metrics (solver p99, events/epoch) in `stash diff`,
+//! and [`series`], the iteration-resolved time-series layer: bounded
+//! exact-sum downsampling of per-iteration stall samples, fault-window
+//! annotations, and `stash diff` gates on iteration-time *dynamics*
+//! (CoV, transient spikes) rather than totals.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -34,6 +38,7 @@ pub mod flight;
 pub mod metrics;
 pub mod prom;
 pub mod registry;
+pub mod series;
 pub mod snapshot;
 
 /// Process-wide recording switch. Off by default: a disabled record call
@@ -63,6 +68,7 @@ pub mod prelude {
     pub use crate::metrics;
     pub use crate::prom::MetricsBuilder;
     pub use crate::registry::{Counter, Gauge, Histogram};
+    pub use crate::series::{IterSeries, SeriesMeta, SeriesRecorder, SeriesSample};
     pub use crate::snapshot::Snapshot;
     pub use crate::{disable, enable, enabled};
 }

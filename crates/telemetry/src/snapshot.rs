@@ -247,6 +247,31 @@ impl Snapshot {
     pub fn render_prom(&self) -> String {
         crate::prom::render_snapshot(self)
     }
+
+    /// Renders the snapshot as CSV (`metric,kind,value`), one row per
+    /// counter and gauge plus count/sum/p50/p90/p99 rows per histogram.
+    /// Rows follow schema order, so the output is byte-deterministic for
+    /// identical state — the spreadsheet-friendly sibling of
+    /// [`Snapshot::to_json`].
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("metric,kind,value\n");
+        for &(name, v) in &self.counters {
+            out.push_str(&format!("{name},counter,{v}\n"));
+        }
+        for &(name, v) in &self.gauges {
+            out.push_str(&format!("{name},gauge,{v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("{name}_count,histogram,{}\n", h.count));
+            out.push_str(&format!("{name}_sum,histogram,{}\n", h.sum));
+            out.push_str(&format!("{name}_p50,histogram,{}\n", h.quantile(0.50)));
+            out.push_str(&format!("{name}_p90,histogram,{}\n", h.quantile(0.90)));
+            out.push_str(&format!("{name}_p99,histogram,{}\n", h.quantile(0.99)));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -263,6 +288,17 @@ mod tests {
         h.sum = 300;
         h.buckets[7] = 3;
         s
+    }
+
+    #[test]
+    fn csv_is_deterministic_and_follows_schema_order() {
+        let s = sample();
+        let csv = s.to_csv();
+        assert!(csv.starts_with("metric,kind,value\n"));
+        assert!(csv.contains(&format!("{},counter,10\n", s.counters[0].0)));
+        assert!(csv.contains(&format!("{},gauge,7\n", s.gauges[0].0)));
+        assert!(csv.contains(&format!("{}_count,histogram,3\n", s.histograms[0].0)));
+        assert_eq!(csv, sample().to_csv());
     }
 
     #[test]

@@ -1,0 +1,417 @@
+//! Fleet stall dashboard: one self-contained HTML page for a whole
+//! `(instance type × model)` sweep.
+//!
+//! Each [`DashCell`] is one run's `stash-series-v1` series plus its
+//! metadata; [`Dashboard::to_html`] lays the cells out as a heatmap
+//! (rows = clusters, columns = models) where every cell carries:
+//!
+//! * a background heat color proportional to the run's stall fraction,
+//! * an iteration-time sparkline (compressed fast-forward regions at
+//!   reduced opacity, fault windows as translucent bands),
+//! * the run's iteration-time CoV, warm-up ratio and transient-spike
+//!   count.
+//!
+//! The page embeds the full series documents in an inert
+//! `<script type="application/json">` block, and [`Dashboard::validate`]
+//! cross-checks the rendered cells against that embedded JSON — the same
+//! check `tier1.sh` runs on every `stash dash` artifact. Rendering is
+//! deterministic: cells are sorted, floats are fixed-precision, and no
+//! clock or randomness is consulted, so the artifact is byte-stable for
+//! a given input set.
+
+use std::collections::BTreeSet;
+
+use serde_json::Value;
+use stash_telemetry::series::{is_series_doc, IterSeries, SeriesMeta};
+
+use crate::svg::{escape, fmt_ns, heat_color, sparkline};
+
+/// A cell's warm-up ratio must exceed this for the dashboard to flag the
+/// run as having a warm-up transient (first iterations slower than
+/// steady state).
+pub const WARMUP_FLAG_RATIO: f64 = 1.25;
+
+/// `id` attribute of the embedded series-document JSON block.
+pub const EMBED_ID: &str = "stash-series-docs";
+
+/// One dashboard cell: a run's series and where it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DashCell {
+    /// Sweep coordinates and iteration counts.
+    pub meta: SeriesMeta,
+    /// The run's iteration series.
+    pub series: IterSeries,
+}
+
+impl DashCell {
+    /// Parses a cell from a `stash-series-v1` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or mistyped field.
+    pub fn from_doc(doc: &Value) -> Result<DashCell, String> {
+        let (meta, series) = IterSeries::from_json(doc)?;
+        Ok(DashCell { meta, series })
+    }
+
+    /// Fraction of the run's wall time spent stalled (data, comm,
+    /// recovery, straggler; net over the series, clamped to [0, 1]).
+    #[must_use]
+    pub fn stall_fraction(&self) -> f64 {
+        let t = self.series.totals();
+        if t.wall_ns == 0 {
+            return 0.0;
+        }
+        let stalled = t.data_wait_ns + t.comm_wait_ns + t.recovery_ns + t.straggler_ns;
+        (stalled.max(0) as f64 / t.wall_ns as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// A sorted set of cells ready to render.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dashboard {
+    cells: Vec<DashCell>,
+}
+
+impl Dashboard {
+    /// Builds a dashboard; cells are sorted by `(cluster, model)` so the
+    /// rendering order — and therefore the output bytes — do not depend
+    /// on the caller's iteration order. When several runs cover the same
+    /// pair (e.g. a clean sweep plus a `stash chaos --series` overlay of
+    /// one cell), the run with the most fault annotations wins, then the
+    /// one covering more iterations — so a chaos overlay replaces the
+    /// clean cell rather than colliding with it.
+    #[must_use]
+    pub fn new(mut cells: Vec<DashCell>) -> Dashboard {
+        cells.sort_by(|a, b| {
+            (&a.meta.cluster, &a.meta.model)
+                .cmp(&(&b.meta.cluster, &b.meta.model))
+                .then_with(|| b.series.annotations.len().cmp(&a.series.annotations.len()))
+                .then_with(|| {
+                    b.series
+                        .totals()
+                        .iterations
+                        .cmp(&a.series.totals().iterations)
+                })
+        });
+        cells.dedup_by(|b, a| a.meta.cluster == b.meta.cluster && a.meta.model == b.meta.model);
+        Dashboard { cells }
+    }
+
+    /// The sorted cells.
+    #[must_use]
+    pub fn cells(&self) -> &[DashCell] {
+        &self.cells
+    }
+
+    /// `true` when there is nothing to render.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Renders the self-contained fleet dashboard HTML.
+    #[must_use]
+    pub fn to_html(&self) -> String {
+        let clusters: BTreeSet<&str> = self.cells.iter().map(|c| c.meta.cluster.as_str()).collect();
+        let models: BTreeSet<&str> = self.cells.iter().map(|c| c.meta.model.as_str()).collect();
+
+        let mut h = String::with_capacity(64 * 1024);
+        h.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+        h.push_str("<title>stash fleet dashboard</title>\n");
+        h.push_str(
+            "<style>\n\
+             body{font:14px/1.5 system-ui,sans-serif;margin:2rem auto;max-width:80rem;\
+             padding:0 1rem;color:#1a1a2e}\n\
+             h1{font-size:1.3rem}\n\
+             table{border-collapse:collapse;width:100%}\n\
+             th,td{text-align:left;padding:.4rem .5rem;border:1px solid #ddd;\
+             vertical-align:top}\n\
+             td.cell{min-width:11rem}\n\
+             .stat{font-variant-numeric:tabular-nums;color:#444;font-size:.85em}\n\
+             .warmup .stat{font-weight:600}\n\
+             svg.spark{width:100%;height:2rem;display:block;background:#fafafa;\
+             border:1px solid #eee}\n\
+             </style>\n</head>\n<body>\n",
+        );
+        let worst = self
+            .cells
+            .iter()
+            .max_by(|a, b| {
+                a.stall_fraction()
+                    .partial_cmp(&b.stall_fraction())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|c| {
+                format!(
+                    "{} / {} ({:.1}% stalled)",
+                    escape(&c.meta.cluster),
+                    escape(&c.meta.model),
+                    c.stall_fraction() * 100.0
+                )
+            })
+            .unwrap_or_else(|| "—".to_string());
+        h.push_str(&format!(
+            "<h1>stash fleet stall dashboard</h1>\n\
+             <p>{} run{} · {} cluster{} × {} model{} · worst cell: {worst}</p>\n",
+            self.cells.len(),
+            if self.cells.len() == 1 { "" } else { "s" },
+            clusters.len(),
+            if clusters.len() == 1 { "" } else { "s" },
+            models.len(),
+            if models.len() == 1 { "" } else { "s" },
+        ));
+
+        h.push_str("<table>\n<tr><th></th>");
+        for m in &models {
+            h.push_str(&format!("<th>{}</th>", escape(m)));
+        }
+        h.push_str("</tr>\n");
+        for cl in &clusters {
+            h.push_str(&format!("<tr><th>{}</th>", escape(cl)));
+            for m in &models {
+                match self
+                    .cells
+                    .iter()
+                    .find(|c| c.meta.cluster == *cl && c.meta.model == *m)
+                {
+                    Some(cell) => h.push_str(&Self::render_cell(cell)),
+                    None => h.push_str("<td class=\"cell empty\">—</td>"),
+                }
+            }
+            h.push_str("</tr>\n");
+        }
+        h.push_str("</table>\n");
+        h.push_str(
+            "<p class=\"stat\">cell shading = stall fraction · sparkline = mean \
+             iteration time per bucket (faded = fast-forwarded, shaded band = \
+             fault window)</p>\n",
+        );
+
+        // Embedded machine-readable series documents, one per cell. The
+        // `</` escape keeps the block inert inside <script>.
+        let docs: Vec<Value> = self
+            .cells
+            .iter()
+            .map(|c| c.series.to_json(&c.meta))
+            .collect();
+        let body = serde_json::to_string_pretty(&Value::Array(docs))
+            .unwrap_or_else(|_| "[]".to_string())
+            .replace("</", "<\\/");
+        h.push_str(&format!(
+            "<script type=\"application/json\" id=\"{EMBED_ID}\">\n{body}\n</script>\n"
+        ));
+        h.push_str("</body>\n</html>\n");
+        h
+    }
+
+    fn render_cell(cell: &DashCell) -> String {
+        let frac = cell.stall_fraction();
+        let cov = cell.series.iteration_cov();
+        let warmup = cell.series.warmup_ratio();
+        let spikes = cell.series.spike_count();
+        let t = cell.series.totals();
+        let warm_class = if warmup > WARMUP_FLAG_RATIO {
+            " warmup"
+        } else {
+            ""
+        };
+        format!(
+            "<td class=\"cell{warm_class}\" style=\"background:{}\" \
+             data-cell=\"{}|{}\" data-stall=\"{frac:.4}\" data-cov=\"{cov:.4}\" \
+             data-spikes=\"{spikes}\">\
+             {}\
+             <div class=\"stat\">stall {:.1}% · CoV {cov:.4} · warm-up {warmup:.2}× · \
+             {spikes} spike{} · {} iters · wall {}</div>\
+             </td>",
+            heat_color(frac),
+            escape(&cell.meta.cluster),
+            escape(&cell.meta.model),
+            sparkline(&cell.series),
+            frac * 100.0,
+            if spikes == 1 { "" } else { "s" },
+            t.iterations,
+            fmt_ns(t.wall_ns),
+        )
+    }
+
+    /// Cross-checks a rendered dashboard against its own embedded JSON:
+    /// every embedded document must be a valid `stash-series-v1` series,
+    /// every `(cluster, model)` pair must have a rendered cell whose
+    /// `data-cov` / `data-spikes` attributes match the series' recomputed
+    /// statistics, and the rendered cell count must equal the document
+    /// count. Returns the number of validated cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first inconsistency.
+    pub fn validate(html: &str) -> Result<usize, String> {
+        let open = format!("<script type=\"application/json\" id=\"{EMBED_ID}\">");
+        let start = html
+            .find(&open)
+            .ok_or_else(|| format!("no embedded series block (id '{EMBED_ID}')"))?;
+        let rest = &html[start + open.len()..];
+        let end = rest
+            .find("</script>")
+            .ok_or("embedded series block never closes")?;
+        let body = rest[..end].replace("<\\/", "</");
+        let docs: Value = serde_json::from_str(body.trim())
+            .map_err(|e| format!("embedded series block is not JSON: {e}"))?;
+        let docs = docs
+            .as_array()
+            .ok_or("embedded series block is not a JSON array")?;
+        for (i, doc) in docs.iter().enumerate() {
+            if !is_series_doc(doc) {
+                return Err(format!("embedded document {i} is not a series doc"));
+            }
+            let cell =
+                DashCell::from_doc(doc).map_err(|e| format!("embedded document {i}: {e}"))?;
+            let key = format!(
+                "data-cell=\"{}|{}\"",
+                escape(&cell.meta.cluster),
+                escape(&cell.meta.model)
+            );
+            let td = html
+                .find(&key)
+                .ok_or_else(|| format!("no rendered cell for {key}"))?;
+            // The data attributes all sit in the same tag, right after the key.
+            let tag_end = html[td..]
+                .find('>')
+                .map(|o| td + o)
+                .ok_or_else(|| format!("unterminated cell tag for {key}"))?;
+            let tag = &html[td..tag_end];
+            let want_cov = format!("data-cov=\"{:.4}\"", cell.series.iteration_cov());
+            if !tag.contains(&want_cov) {
+                return Err(format!("cell {key} does not carry {want_cov}"));
+            }
+            let want_spikes = format!("data-spikes=\"{}\"", cell.series.spike_count());
+            if !tag.contains(&want_spikes) {
+                return Err(format!("cell {key} does not carry {want_spikes}"));
+            }
+        }
+        let rendered = html.matches("data-cell=\"").count();
+        if rendered != docs.len() {
+            return Err(format!(
+                "{rendered} rendered cells but {} embedded documents",
+                docs.len()
+            ));
+        }
+        Ok(docs.len())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use stash_telemetry::series::{Annotation, SeriesSample};
+
+    fn cell(cluster: &str, model: &str, comm: i64) -> DashCell {
+        DashCell {
+            meta: SeriesMeta {
+                cluster: cluster.to_string(),
+                model: model.to_string(),
+                world: 4,
+                per_gpu_batch: 32,
+                iterations: 8,
+                simulated_iterations: 8,
+            },
+            series: IterSeries {
+                samples: vec![
+                    SeriesSample {
+                        start_iter: 0,
+                        iterations: 4,
+                        start_ns: 0,
+                        wall_ns: 4_000,
+                        compute_ns: 4_000 - comm,
+                        comm_wait_ns: comm,
+                        ..SeriesSample::default()
+                    },
+                    SeriesSample {
+                        start_iter: 4,
+                        iterations: 4,
+                        ff_iterations: 4,
+                        start_ns: 4_000,
+                        wall_ns: 4_000,
+                        compute_ns: 4_000 - comm,
+                        comm_wait_ns: comm,
+                        ..SeriesSample::default()
+                    },
+                ],
+                annotations: vec![Annotation {
+                    label: "link node0".to_string(),
+                    kind: "link_degradation".to_string(),
+                    start_ns: 1_000,
+                    end_ns: 3_000,
+                }],
+                end_ns: 8_000,
+            },
+        }
+    }
+
+    #[test]
+    fn renders_every_pair_and_validates() {
+        let dash = Dashboard::new(vec![
+            cell("2x p3.8xlarge", "resnet18", 800),
+            cell("p3.2xlarge", "bert_large", 2_400),
+            cell("p3.2xlarge", "resnet18", 100),
+        ]);
+        let html = dash.to_html();
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(!html.contains("http://"));
+        assert!(!html.contains("https://"));
+        assert_eq!(Dashboard::validate(&html), Ok(3));
+        // Missing pair renders an explicit empty cell.
+        assert!(html.contains("cell empty"));
+    }
+
+    #[test]
+    fn chaos_overlay_replaces_the_clean_cell_for_the_same_pair() {
+        let clean = cell("p3.2xlarge", "resnet18", 100);
+        let mut chaotic = cell("p3.2xlarge", "resnet18", 900);
+        chaotic.series.annotations.push(Annotation {
+            label: "preemption node0".to_string(),
+            kind: "preemption".to_string(),
+            start_ns: 0,
+            end_ns: 2_000,
+        });
+        let dash = Dashboard::new(vec![clean, chaotic.clone()]);
+        assert_eq!(dash.cells(), &[chaotic]);
+        let html = dash.to_html();
+        assert_eq!(Dashboard::validate(&html), Ok(1));
+    }
+
+    #[test]
+    fn html_is_byte_deterministic_regardless_of_input_order() {
+        let a = Dashboard::new(vec![
+            cell("p3.2xlarge", "resnet18", 100),
+            cell("p3.2xlarge", "bert_large", 2_400),
+        ]);
+        let b = Dashboard::new(vec![
+            cell("p3.2xlarge", "bert_large", 2_400),
+            cell("p3.2xlarge", "resnet18", 100),
+        ]);
+        assert_eq!(a.to_html(), b.to_html());
+    }
+
+    #[test]
+    fn validate_catches_doctored_stats() {
+        let dash = Dashboard::new(vec![cell("p3.2xlarge", "resnet18", 100)]);
+        let html = dash.to_html();
+        let doctored = html.replacen("data-cov=\"", "data-cov=\"9", 1);
+        let err = Dashboard::validate(&doctored).unwrap_err();
+        assert!(err.contains("data-cov"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn validate_requires_the_embedded_block() {
+        assert!(Dashboard::validate("<html></html>").is_err());
+    }
+
+    #[test]
+    fn stall_fraction_is_clamped_and_sane() {
+        let c = cell("p3.2xlarge", "resnet18", 1_000);
+        let frac = c.stall_fraction();
+        assert!((frac - 0.25).abs() < 1e-9, "got {frac}");
+    }
+}

@@ -71,17 +71,20 @@
 
 pub mod chrome;
 pub mod critical;
+pub mod dash;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
 pub mod rollup;
 pub mod sink;
 pub mod span;
+pub mod svg;
 pub mod whatif;
 
 /// The names most instrumentation and analysis sites need.
 pub mod prelude {
     pub use crate::critical::{BlamedSpan, CriticalPath, PathCategory, PathSegment};
+    pub use crate::dash::{DashCell, Dashboard};
     pub use crate::metrics::MetricsBuilder;
     pub use crate::recorder::{shared, SharedTracer, Tracer};
     pub use crate::report::{diff, InsightReport, Regression, WhatIfRow};

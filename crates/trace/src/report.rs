@@ -20,8 +20,10 @@
 use std::collections::BTreeMap;
 
 use serde_json::{json, Map, Value};
+use stash_telemetry::series::IterSeries;
 
 use crate::critical::{CriticalPath, PathCategory};
+use crate::svg::{color, escape, fmt_ns, sparkline, timeline_strip};
 
 /// Schema tag embedded in every report JSON.
 pub const SCHEMA: &str = "stash-report-v1";
@@ -96,6 +98,11 @@ pub struct InsightReport {
     /// Timeline segments for rendering (adjacent same-category runs may
     /// be merged).
     pub segments: Vec<SegmentRow>,
+    /// Optional embedded `stash-series-v1` document: the run's
+    /// iteration-resolved series, rendered as a sparkline strip in the
+    /// HTML report. Absent in pre-series reports; `from_json` accepts
+    /// both.
+    pub series: Option<Value>,
 }
 
 impl InsightReport {
@@ -139,6 +146,7 @@ impl InsightReport {
             blame: Vec::new(),
             whatif: Vec::new(),
             segments,
+            series: None,
         }
     }
 
@@ -151,7 +159,7 @@ impl InsightReport {
     /// Serializes to the `stash-report-v1` JSON document.
     #[must_use]
     pub fn to_json(&self) -> Value {
-        json!({
+        let mut doc = json!({
             "schema": SCHEMA,
             "cluster": self.cluster,
             "model": self.model,
@@ -183,7 +191,11 @@ impl InsightReport {
                 Value::Object(row)
             }).collect::<Vec<_>>(),
             "segments": self.segments.iter().map(|(s, e, c)| json!([s, e, c])).collect::<Vec<_>>(),
-        })
+        });
+        if let (Value::Object(m), Some(series)) = (&mut doc, &self.series) {
+            m.insert("series".into(), series.clone());
+        }
+        doc
     }
 
     /// Parses a `stash-report-v1` document.
@@ -299,6 +311,7 @@ impl InsightReport {
             blame,
             whatif,
             segments,
+            series: doc.get("series").cloned(),
         })
     }
 
@@ -345,20 +358,9 @@ impl InsightReport {
 
         // --- timeline ---------------------------------------------------
         h.push_str("<h2>Critical-path timeline (rank 0)</h2>\n");
-        h.push_str(
-            "<svg viewBox=\"0 0 1000 48\" preserveAspectRatio=\"none\" \
-                    role=\"img\" aria-label=\"critical path timeline\">\n",
-        );
+        timeline_strip(&mut h, &self.segments, self.wall_ns);
         let wall = self.wall_ns.max(1) as f64;
-        for (s, e, cat) in &self.segments {
-            let x = *s as f64 / wall * 1000.0;
-            let w = (*e - *s) as f64 / wall * 1000.0;
-            h.push_str(&format!(
-                "<rect x=\"{x:.2}\" y=\"4\" width=\"{w:.2}\" height=\"40\" fill=\"{}\"/>\n",
-                color(cat)
-            ));
-        }
-        h.push_str("</svg>\n<p class=\"legend\">");
+        h.push_str("<p class=\"legend\">");
         for cat in PathCategory::ALL {
             h.push_str(&format!(
                 "<span><span class=\"swatch\" style=\"background:{}\"></span>{}</span>",
@@ -397,6 +399,29 @@ impl InsightReport {
              data-wait {} ns · comm-wait {} ns.</p>\n",
             self.engine_compute_ns, self.engine_data_wait_ns, self.engine_comm_wait_ns
         ));
+
+        // --- iteration series -------------------------------------------
+        if let Some(doc) = &self.series {
+            if let Ok((_, series)) = IterSeries::from_json(doc) {
+                if !series.is_empty() {
+                    h.push_str("<h2>Iteration series</h2>\n");
+                    h.push_str(&sparkline(&series));
+                    h.push_str(&format!(
+                        "<p>iteration-time CoV {:.4} · warm-up ratio {:.2}× · \
+                         transient spikes {} · {} fault window{}</p>\n",
+                        series.iteration_cov(),
+                        series.warmup_ratio(),
+                        series.spike_count(),
+                        series.annotations.len(),
+                        if series.annotations.len() == 1 {
+                            ""
+                        } else {
+                            "s"
+                        },
+                    ));
+                }
+            }
+        }
 
         // --- what-if ----------------------------------------------------
         if !self.whatif.is_empty() {
@@ -501,40 +526,6 @@ pub fn diff(baseline: &InsightReport, current: &InsightReport, threshold: f64) -
     out
 }
 
-/// Timeline / legend color per category label.
-fn color(label: &str) -> &'static str {
-    match label {
-        "compute" => "#4c9f70",
-        "overlap" => "#a7d3b5",
-        "interconnect" => "#e4a11b",
-        "network" => "#d1495b",
-        "prep" => "#7768ae",
-        "fetch" => "#30638e",
-        "recovery" => "#8c2f39",
-        "straggler" => "#c77b30",
-        _ => "#c4c4c4", // idle
-    }
-}
-
-/// Minimal HTML text escaping.
-fn escape(s: &str) -> String {
-    s.replace('&', "&amp;")
-        .replace('<', "&lt;")
-        .replace('>', "&gt;")
-}
-
-/// Human-readable nanoseconds.
-fn fmt_ns(ns: u64) -> String {
-    let s = ns as f64 / 1e9;
-    if s >= 1.0 {
-        format!("{s:.3} s")
-    } else if ns >= 1_000_000 {
-        format!("{:.3} ms", ns as f64 / 1e6)
-    } else {
-        format!("{ns} ns")
-    }
-}
-
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
@@ -580,6 +571,7 @@ mod tests {
                 (800, 950, "network".to_string()),
                 (950, 1000, "idle".to_string()),
             ],
+            series: None,
         }
     }
 

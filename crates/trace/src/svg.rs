@@ -1,0 +1,288 @@
+//! Shared inline-SVG building blocks for every HTML artifact the
+//! workspace emits.
+//!
+//! The stall report ([`crate::report`]) and the fleet dashboard
+//! ([`crate::dash`]) embed the same visual vocabulary — category colors,
+//! HTML escaping, human-readable nanoseconds, timeline strips and
+//! iteration-time sparklines — so the primitives live here once. All
+//! output is deterministic: fixed-precision float formatting, no
+//! randomness, no clocks, which is what keeps the artifacts
+//! byte-diffable in CI.
+
+use stash_telemetry::series::IterSeries;
+
+/// Timeline / legend color per stall-category label.
+#[must_use]
+pub fn color(label: &str) -> &'static str {
+    match label {
+        "compute" => "#4c9f70",
+        "overlap" => "#a7d3b5",
+        "interconnect" => "#e4a11b",
+        "network" => "#d1495b",
+        "prep" => "#7768ae",
+        "fetch" => "#30638e",
+        "recovery" => "#8c2f39",
+        "straggler" => "#c77b30",
+        _ => "#c4c4c4", // idle
+    }
+}
+
+/// Overlay color per fault-annotation kind (used at low opacity on top
+/// of sparklines, so these map to the related stall category hues).
+#[must_use]
+pub fn annotation_color(kind: &str) -> &'static str {
+    match kind {
+        "preemption" => "#8c2f39",
+        "straggler_window" => "#c77b30",
+        "link_degradation" => "#d1495b",
+        "disk_brownout" => "#30638e",
+        _ => "#555555",
+    }
+}
+
+/// Minimal HTML text escaping.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Human-readable nanoseconds.
+#[must_use]
+pub fn fmt_ns(ns: u64) -> String {
+    let s = ns as f64 / 1e9;
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Background color for a heatmap cell holding stall fraction
+/// `frac` ∈ [0, 1]: white through amber to the network-stall red.
+/// Pure integer-endpoint linear interpolation, so the hex output is
+/// deterministic for a given input.
+#[must_use]
+pub fn heat_color(frac: f64) -> String {
+    let f = frac.clamp(0.0, 1.0);
+    // white (255,255,255) -> amber (228,161,27) -> red (209,73,91)
+    let (from, to, t) = if f < 0.5 {
+        ((255u8, 255u8, 255u8), (228u8, 161u8, 27u8), f * 2.0)
+    } else {
+        ((228, 161, 27), (209, 73, 91), (f - 0.5) * 2.0)
+    };
+    let lerp = |a: u8, b: u8| -> u8 {
+        let v = f64::from(a) + (f64::from(b) - f64::from(a)) * t;
+        // Values stay inside [0,255] by construction of the endpoints.
+        v.round() as u8
+    };
+    format!(
+        "#{:02x}{:02x}{:02x}",
+        lerp(from.0, to.0),
+        lerp(from.1, to.1),
+        lerp(from.2, to.2)
+    )
+}
+
+/// Appends the critical-path timeline strip (one `<rect>` per merged
+/// same-category segment) to `out`. `wall_ns` scales the x axis.
+pub fn timeline_strip(out: &mut String, segments: &[(u64, u64, String)], wall_ns: u64) {
+    out.push_str(
+        "<svg viewBox=\"0 0 1000 48\" preserveAspectRatio=\"none\" \
+                    role=\"img\" aria-label=\"critical path timeline\">\n",
+    );
+    let wall = wall_ns.max(1) as f64;
+    for (s, e, cat) in segments {
+        let x = *s as f64 / wall * 1000.0;
+        let w = (*e - *s) as f64 / wall * 1000.0;
+        out.push_str(&format!(
+            "<rect x=\"{x:.2}\" y=\"4\" width=\"{w:.2}\" height=\"40\" fill=\"{}\"/>\n",
+            color(cat)
+        ));
+    }
+    out.push_str("</svg>\n");
+}
+
+/// Nominal sparkline viewBox width.
+pub const SPARK_W: f64 = 240.0;
+/// Nominal sparkline viewBox height.
+pub const SPARK_H: f64 = 32.0;
+
+/// Dominant category label of one series bucket: the largest of the four
+/// stall classes when stalls exceed compute, otherwise `"compute"`.
+fn dominant(compute: i64, data: i64, comm: i64, recovery: i64, straggler: i64) -> &'static str {
+    let stalls = [
+        ("fetch", data),
+        ("network", comm),
+        ("recovery", recovery),
+        ("straggler", straggler),
+    ];
+    let mut best = ("compute", compute);
+    for (label, ns) in stalls {
+        if ns > best.1 {
+            best = (label, ns);
+        }
+    }
+    best.0
+}
+
+/// Renders an iteration-time sparkline for `series`: one bar per bucket,
+/// height proportional to the bucket's mean iteration time, colored by
+/// its dominant stall category. Fast-forwarded (compressed) regions are
+/// drawn at reduced opacity with a `class="ff"` marker, and fault
+/// annotations overlay the affected time range as translucent bands.
+///
+/// Returns an empty string for an empty series so callers can embed the
+/// result unconditionally.
+#[must_use]
+pub fn sparkline(series: &IterSeries) -> String {
+    if series.is_empty() {
+        return String::new();
+    }
+    let total = series.end_ns.max(1) as f64;
+    let max_mean = series
+        .samples
+        .iter()
+        .map(|s| s.mean_iter_ns())
+        .fold(0.0f64, f64::max)
+        .max(1.0);
+    let mut out = String::with_capacity(2048);
+    out.push_str(&format!(
+        "<svg class=\"spark\" viewBox=\"0 0 {SPARK_W:.0} {SPARK_H:.0}\" \
+         preserveAspectRatio=\"none\" role=\"img\" \
+         aria-label=\"iteration time sparkline\">\n"
+    ));
+    for s in &series.samples {
+        if s.iterations == 0 {
+            continue; // zero-width correction bucket: nothing to draw
+        }
+        let x = s.start_ns as f64 / total * SPARK_W;
+        let w = (s.wall_ns as f64 / total * SPARK_W).max(0.4);
+        let h = (s.mean_iter_ns() / max_mean * (SPARK_H - 2.0)).max(0.5);
+        let y = SPARK_H - h;
+        let cat = dominant(
+            s.compute_ns,
+            s.data_wait_ns,
+            s.comm_wait_ns,
+            s.recovery_ns,
+            s.straggler_ns,
+        );
+        if s.ff_iterations > 0 {
+            out.push_str(&format!(
+                "<rect class=\"ff\" x=\"{x:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" \
+                 height=\"{h:.2}\" fill=\"{}\" fill-opacity=\"0.45\"/>\n",
+                color(cat)
+            ));
+        } else {
+            out.push_str(&format!(
+                "<rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{h:.2}\" \
+                 fill=\"{}\"/>\n",
+                color(cat)
+            ));
+        }
+    }
+    for a in &series.annotations {
+        let x = a.start_ns as f64 / total * SPARK_W;
+        let end = a.end_ns.min(series.end_ns) as f64 / total * SPARK_W;
+        let w = (end - x).max(0.4);
+        out.push_str(&format!(
+            "<rect class=\"fault\" x=\"{x:.2}\" y=\"0\" width=\"{w:.2}\" \
+             height=\"{SPARK_H:.0}\" fill=\"{}\" fill-opacity=\"0.18\">\
+             <title>{}</title></rect>\n",
+            annotation_color(&a.kind),
+            escape(&a.label)
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use stash_telemetry::series::{Annotation, SeriesSample};
+
+    fn series() -> IterSeries {
+        IterSeries {
+            samples: vec![
+                SeriesSample {
+                    start_iter: 0,
+                    iterations: 2,
+                    start_ns: 0,
+                    wall_ns: 200,
+                    compute_ns: 150,
+                    comm_wait_ns: 50,
+                    ..SeriesSample::default()
+                },
+                SeriesSample {
+                    start_iter: 2,
+                    iterations: 10,
+                    ff_iterations: 10,
+                    start_ns: 200,
+                    wall_ns: 800,
+                    compute_ns: 700,
+                    data_wait_ns: 100,
+                    ..SeriesSample::default()
+                },
+            ],
+            annotations: vec![Annotation {
+                label: "preemption node1".to_string(),
+                kind: "preemption".to_string(),
+                start_ns: 50,
+                end_ns: 150,
+            }],
+            end_ns: 1000,
+        }
+    }
+
+    #[test]
+    fn sparkline_marks_ff_and_annotations() {
+        let svg = sparkline(&series());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("class=\"ff\""), "compressed region unmarked");
+        assert!(svg.contains("class=\"fault\""), "annotation band missing");
+        assert!(svg.contains("preemption node1"));
+        assert_eq!(svg, sparkline(&series()), "sparkline not deterministic");
+    }
+
+    #[test]
+    fn empty_series_renders_nothing() {
+        assert_eq!(sparkline(&IterSeries::default()), "");
+    }
+
+    #[test]
+    fn heat_color_is_deterministic_and_anchored() {
+        assert_eq!(heat_color(0.0), "#ffffff");
+        assert_eq!(heat_color(0.5), "#e4a11b");
+        assert_eq!(heat_color(1.0), "#d1495b");
+        assert_eq!(heat_color(-1.0), "#ffffff");
+        assert_eq!(heat_color(2.0), "#d1495b");
+    }
+
+    #[test]
+    fn timeline_strip_scales_to_wall() {
+        let mut out = String::new();
+        timeline_strip(
+            &mut out,
+            &[
+                (0, 500, "compute".to_string()),
+                (500, 1000, "network".to_string()),
+            ],
+            1000,
+        );
+        assert!(out.contains("width=\"500.00\""));
+        assert!(out.contains(color("network")));
+    }
+
+    #[test]
+    fn escape_and_fmt_ns_basics() {
+        assert_eq!(escape("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+        assert_eq!(fmt_ns(12), "12 ns");
+        assert_eq!(fmt_ns(2_500_000), "2.500 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000 s");
+    }
+}

@@ -18,7 +18,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH_N=7
+BENCH_N=8
 SMOKE=0
 BASELINE_REV="HEAD^"
 for arg in "$@"; do
@@ -75,6 +75,12 @@ for rec, name in ((cur, "on"), (off, "off")):
     assert tel["solver_recompute_count"] > 0, f"no solver latency samples (ff {name})"
     assert tel["solver_recompute_p99_ns"] >= tel["solver_recompute_p50_ns"] > 0
     assert tel["queue_popped"] > 0 and tel["queue_depth_high_water"] > 0
+    ser = rec.get("series")
+    assert ser, f"missing series block (ff {name})"
+    assert ser["samples"] > 0, f"series leg recorded nothing (ff {name})"
+    assert ser["iteration_cov"] >= 0.0 and ser["spike_count"] >= 0
+assert cur["series"]["compressed_ff_iterations"] > 0, \
+    "series leg never fast-forwarded with FF on"
 print(f"[bench smoke ok: {cur['wall_secs']:.3f}s on, {off['wall_secs']:.3f}s off, "
       f"solver p99 {cur['telemetry']['solver_recompute_p99_ns']} ns]")
 PY
@@ -138,6 +144,10 @@ record = {
     # solver latency percentiles and queue traffic, so the trajectory
     # tracks simulator health alongside raw wall-clock.
     "telemetry": current.get("telemetry", {}),
+    # Iteration-dynamics health for the same run: series-derived
+    # iteration-time CoV and transient-spike count (the quantities
+    # `stash diff` gates on between series documents).
+    "series": current.get("series", {}),
 }
 out = f"results/BENCH_{n}.json"
 json.dump(record, open(out, "w"), indent=2)

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 gate: formatting, release build, full test suite, lint-clean
 # under clippy, warning-free rustdoc, and CLI smoke tests for the trace,
-# report, diff, chaos, perf and flight-recorder subcommand surface.
+# report, diff, chaos, perf, dash and flight-recorder subcommand surface.
 # Run from the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -13,7 +13,7 @@ cargo clippy --workspace -- -D warnings
 # Panic-free library gate: these crates deny clippy::unwrap_used and
 # clippy::expect_used via their [lints] tables; this invocation keeps the
 # gate visible and catches regressions even if the workspace line changes.
-cargo clippy -p stash-faults -p stash-hwtopo -p stash-datapipe -p stash-collectives -p stash-telemetry -p stash-trace --lib -- -D warnings
+cargo clippy -p stash-faults -p stash-hwtopo -p stash-datapipe -p stash-collectives -p stash-telemetry -p stash-trace -p stash-simkit -p stash-flowsim -p stash-ddl -p stash-core --lib -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 # Trace CLI smoke test. The `trace validated` line only prints after the
@@ -77,6 +77,69 @@ if ./target/release/stash diff /tmp/stash_tier1_perf.json /tmp/stash_tier1_perf_
     exit 1
 fi
 
+# Perf CSV exposition: --format csv writes the same snapshot as a
+# spreadsheet-ready metric,kind,value table in schema order.
+./target/release/stash perf p3.2xlarge shufflenet --format csv \
+    --out /tmp/stash_tier1_perf_csv >/dev/null
+head -1 /tmp/stash_tier1_perf_csv.csv | grep -q "^metric,kind,value$"
+grep -q "^stash_sim_queue_events_popped_total,counter," /tmp/stash_tier1_perf_csv.csv
+grep -q "^stash_sim_solver_recompute_latency_ns_p99,histogram," /tmp/stash_tier1_perf_csv.csv
+
+# Fleet-dashboard smoke: an empty results dir triggers the default
+# cluster x model sweep; the dashboard must validate against its own
+# embedded stash-series-v1 documents (the command fails otherwise),
+# render one heatmap cell per swept pair, and rebuild byte-identically
+# from the series docs the first run wrote.
+rm -rf /tmp/stash_tier1_dash && mkdir -p /tmp/stash_tier1_dash
+dash_out=$(./target/release/stash dash /tmp/stash_tier1_dash \
+    --out /tmp/stash_tier1_dash/dashboard.html)
+grep -q "dashboard validated (9 cells)" <<<"$dash_out"
+./target/release/stash dash /tmp/stash_tier1_dash \
+    --out /tmp/stash_tier1_dash/dashboard_b.html >/dev/null
+cmp /tmp/stash_tier1_dash/dashboard.html /tmp/stash_tier1_dash/dashboard_b.html
+python3 - <<'PY'
+import glob, json
+html = open("/tmp/stash_tier1_dash/dashboard.html").read()
+docs = [json.load(open(p)) for p in sorted(glob.glob("/tmp/stash_tier1_dash/series_*.json"))]
+assert len(docs) == 9, f"expected 9 swept series docs, found {len(docs)}"
+for doc in docs:
+    key = f'data-cell="{doc["cluster"]}|{doc["model"]}"'
+    assert key in html, f"heatmap cell missing for swept pair: {key}"
+PY
+
+# Series regression gate: doctoring a series document with transient
+# iteration-time spikes must make `stash diff` fail non-zero on both the
+# CoV and the spike-count gates.
+python3 - <<'PY'
+import glob, json
+path = sorted(glob.glob("/tmp/stash_tier1_dash/series_*.json"))[0]
+doc = json.load(open(path))
+doctored = 0
+per_iter = [row for row in doc["samples"] if row[1] == 1]
+for row in per_iter[3:6]:  # three samples past the 3-iteration warm-up head
+    row[4] *= 25  # wall_ns: a 25x transient spike
+    doctored += 1
+assert doctored >= 3, f"only {doctored} samples doctored"
+json.dump(doc, open("/tmp/stash_tier1_series_bad.json", "w"))
+json.dump(json.load(open(path)), open("/tmp/stash_tier1_series_good.json", "w"))
+PY
+./target/release/stash diff /tmp/stash_tier1_series_good.json /tmp/stash_tier1_series_good.json
+if ./target/release/stash diff /tmp/stash_tier1_series_good.json /tmp/stash_tier1_series_bad.json; then
+    echo "doctored iteration-series regression was not caught" >&2
+    exit 1
+fi
+
+# Chaos overlay: a seeded chaos run exports its series (the command
+# reconciles the series totals against the engine before writing), and a
+# dashboard rebuilt over the same dir swaps the annotated run into the
+# matching cell while still validating.
+./target/release/stash chaos p3.8xlarge*2 resnet18 --seed 7 \
+    --series /tmp/stash_tier1_dash/series_zz_chaos.json >/dev/null
+overlay_out=$(./target/release/stash dash /tmp/stash_tier1_dash \
+    --out /tmp/stash_tier1_dash/dashboard_chaos.html)
+grep -q "dashboard validated (9 cells)" <<<"$overlay_out"
+grep -q 'class="fault"' /tmp/stash_tier1_dash/dashboard_chaos.html
+
 # Flight-recorder smoke test: a chaos run that dies on a typed error must
 # leave a parseable stash-flight-v1 dump of the engine's last events.
 printf '{ not a fault plan' >/tmp/stash_tier1_bad_plan.json
@@ -114,6 +177,14 @@ cargo test -q --test telemetry_alloc
 cargo test -q --test telemetry_differential
 cargo test -q --test telemetry_props
 cargo test -q --test perf_cli
+
+# Iteration-series gates: recording must leave every EpochReport bit
+# identical (zoo differential, FF on and off, seeded fault plans) with
+# totals reconciling at integer-nanosecond exactness, and the
+# downsampler's invariants (exact sums, contiguity, capacity bound,
+# byte-stable serialization) hold under proptest.
+cargo test -q --test series_differential
+cargo test -q --test series_props
 
 # Benchmark-script smoke: runs the figure sweep with fast-forward on and
 # off at a small iteration budget and sanity-checks the perf record.

@@ -20,7 +20,13 @@
 //!                                        dumped to PATH on failure)
 //! stash perf <cluster|sweep> <model>     simulator self-telemetry for one
 //!             [-b N] [--out BASE]        profile or a candidate sweep:
-//!                                        BASE.json + BASE.prom
+//!             [--format csv]             BASE.json + BASE.prom
+//!                                        (+ BASE.csv with --format csv)
+//! stash dash <results-dir>               fleet stall dashboard from the
+//!             [--out PATH]               stash-series-v1 docs in the dir
+//!                                        (simulates a default sweep when
+//!                                        the dir has none), validated
+//!                                        self-contained HTML
 //! ```
 //!
 //! Cluster syntax matches the paper: `p3.16xlarge` or `p3.8xlarge*2`.
@@ -410,6 +416,37 @@ fn traced_critical_path(cfg: &TrainConfig) -> Result<(EpochReport, CriticalPath)
     Ok((r, path))
 }
 
+/// Runs one iteration-series pass of `cfg` (telemetry switched on for
+/// the duration) and returns the run's `stash-series-v1` document, or
+/// `None` when the run produced no samples. The series engine is a pure
+/// observer, so this never disagrees with a plain run of the same
+/// config — the zoo-wide differential test proves bit-identity.
+fn run_series(
+    cfg: &TrainConfig,
+    plan: Option<&FaultPlan>,
+) -> Result<Option<serde_json::Value>, String> {
+    let was_enabled = stash::telemetry::enabled();
+    stash::telemetry::enable();
+    let out = run_epoch_series(cfg, &EngineOptions { fast_forward: true }, plan);
+    if !was_enabled {
+        stash::telemetry::disable();
+    }
+    let sr = out.map_err(|e| e.to_string())?;
+    if sr.series.is_empty() {
+        return Ok(None);
+    }
+    let r = &sr.run.report;
+    let meta = stash::telemetry::series::SeriesMeta {
+        cluster: r.cluster.clone(),
+        model: r.model.clone(),
+        world: r.world as u64,
+        per_gpu_batch: r.per_gpu_batch,
+        iterations: r.iterations,
+        simulated_iterations: r.simulated_iterations,
+    };
+    Ok(Some(sr.series.to_json(&meta)))
+}
+
 fn cmd_report(args: &[String]) -> ExitCode {
     use stash::trace::report::BlameRow;
 
@@ -515,6 +552,13 @@ fn cmd_report(args: &[String]) -> ExitCode {
     report.engine_compute_ns = r.compute_time.as_nanos();
     report.engine_data_wait_ns = r.data_wait.as_nanos();
     report.engine_comm_wait_ns = r.comm_wait.as_nanos();
+    report.series = match run_series(&cfg, None) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("report failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     report.blame = path
         .top_blamed(10)
         .into_iter()
@@ -618,6 +662,45 @@ fn cmd_diff(args: &[String]) -> ExitCode {
         }
     };
 
+    // Series documents get the iteration-dynamics gates (CoV, transient
+    // spikes); telemetry documents the simulator-health gates; stall
+    // reports the per-category workload gates. Mixing kinds is an error.
+    let series = (
+        stash::telemetry::series::is_series_doc(&base_doc),
+        stash::telemetry::series::is_series_doc(&cur_doc),
+    );
+    match series {
+        (true, true) => {
+            let d = match stash::telemetry::series::diff_docs(&base_doc, &cur_doc) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for note in &d.notes {
+                println!("  {note}");
+            }
+            if d.is_clean() {
+                println!("no iteration-dynamics regressions: {base_path} vs {cur_path}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("{} iteration-dynamics regression(s):", d.regressions.len());
+            for reg in &d.regressions {
+                eprintln!("  {reg}");
+            }
+            return ExitCode::FAILURE;
+        }
+        (true, false) | (false, true) => {
+            eprintln!(
+                "cannot diff a series document against a non-series document \
+                 ({base_path} vs {cur_path})"
+            );
+            return ExitCode::FAILURE;
+        }
+        (false, false) => {}
+    }
+
     // Telemetry documents get the simulator-health gates; stall reports
     // get the per-category workload gates. Mixing the two is an error.
     let telemetry = (
@@ -696,8 +779,26 @@ fn cmd_perf(args: &[String]) -> ExitCode {
     use stash::telemetry::snapshot::Snapshot;
 
     let (Some(first), Some(second)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: stash perf <cluster|sweep> <model> [-b batch] [--out BASE]");
+        eprintln!(
+            "usage: stash perf <cluster|sweep> <model> [-b batch] [--out BASE] [--format csv]"
+        );
         return ExitCode::FAILURE;
+    };
+    let format_csv = match args
+        .iter()
+        .position(|a| a == "--format" || a == "-f")
+        .map(|i| args.get(i + 1))
+    {
+        None => false,
+        Some(Some(v)) if v == "csv" => true,
+        Some(Some(v)) if v == "table" => false,
+        Some(v) => {
+            eprintln!(
+                "--format expects 'csv' or 'table', got '{}'",
+                v.map(String::as_str).unwrap_or("")
+            );
+            return ExitCode::FAILURE;
+        }
     };
     // `perf sweep <model>` aggregates the advisor's default candidates;
     // anything else profiles one cluster. Either argument order works.
@@ -788,20 +889,24 @@ fn cmd_perf(args: &[String]) -> ExitCode {
         )
     };
 
-    println!("\nsimulator self-telemetry — {subject}:");
-    for &(name, v) in &snap.counters {
-        println!("  {name:<46} {v:>14}");
-    }
-    for &(name, v) in &snap.gauges {
-        println!("  {name:<46} {v:>14}");
-    }
-    for (name, h) in &snap.histograms {
-        println!(
-            "  {name:<46} n={} p50={} ns p99={} ns",
-            h.count,
-            h.quantile(0.50),
-            h.quantile(0.99)
-        );
+    if format_csv {
+        print!("{}", snap.to_csv());
+    } else {
+        println!("\nsimulator self-telemetry — {subject}:");
+        for &(name, v) in &snap.counters {
+            println!("  {name:<46} {v:>14}");
+        }
+        for &(name, v) in &snap.gauges {
+            println!("  {name:<46} {v:>14}");
+        }
+        for (name, h) in &snap.histograms {
+            println!(
+                "  {name:<46} n={} p50={} ns p99={} ns",
+                h.count,
+                h.quantile(0.50),
+                h.quantile(0.99)
+            );
+        }
     }
 
     let out_base = args
@@ -824,13 +929,24 @@ fn cmd_perf(args: &[String]) -> ExitCode {
         eprintln!("telemetry exposition failed validation: {e}");
         return ExitCode::FAILURE;
     }
-    for (path, text) in [(&json_path, &json_text), (&prom_path, &prom_text)] {
+    let mut outputs = vec![
+        (json_path.clone(), json_text),
+        (prom_path.clone(), prom_text),
+    ];
+    if format_csv {
+        outputs.push((format!("{out_base}.csv"), snap.to_csv()));
+    }
+    for (path, text) in &outputs {
         if let Err(e) = write_creating_dirs(path, text) {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     }
-    println!("\nprom validated — telemetry written to {json_path} and {prom_path}");
+    let names: Vec<&str> = outputs.iter().map(|(p, _)| p.as_str()).collect();
+    println!(
+        "\nprom validated — telemetry written to {}",
+        names.join(", ")
+    );
     ExitCode::SUCCESS
 }
 
@@ -840,7 +956,7 @@ fn cmd_chaos(args: &[String]) -> ExitCode {
 
     let (Some(first), Some(second)) = (args.first(), args.get(1)) else {
         eprintln!(
-            "usage: stash chaos <instance> <model> [--seed N] [--plan FILE] [--out PATH] [-b batch]"
+            "usage: stash chaos <instance> <model> [--seed N] [--plan FILE] [--out PATH] [--series PATH] [-b batch]"
         );
         return ExitCode::FAILURE;
     };
@@ -907,6 +1023,11 @@ fn cmd_chaos(args: &[String]) -> ExitCode {
     let flight_path = args
         .iter()
         .position(|a| a == "--flight")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let series_path = args
+        .iter()
+        .position(|a| a == "--series")
         .and_then(|i| args.get(i + 1))
         .cloned();
     if let Some(path) = flight_path.clone() {
@@ -1012,6 +1133,68 @@ fn cmd_chaos(args: &[String]) -> ExitCode {
         }
     }
 
+    // Optional iteration series: an un-traced series run of the same
+    // faulted config must agree with the traced run bit-for-bit (both
+    // instrumentation layers are pure observers), and its downsampled
+    // totals must reconcile with the report at integer-ns exactness —
+    // the sixth leg of the chaos self-check.
+    if let Some(spath) = &series_path {
+        let was_enabled = stash::telemetry::enabled();
+        stash::telemetry::enable();
+        let sr = run_epoch_series(&cfg, &EngineOptions { fast_forward: true }, Some(&plan));
+        if !was_enabled {
+            stash::telemetry::disable();
+        }
+        let sr = match sr {
+            Ok(sr) => sr,
+            Err(e) => return flight_fail(format!("chaos series run failed: {e}")),
+        };
+        if sr.run != run {
+            return flight_fail(
+                "chaos self-check failed: series engine disagrees with the traced run".to_string(),
+            );
+        }
+        let t = sr.series.totals();
+        let factor = r.iterations as f64 / r.simulated_iterations as f64;
+        let series_checks = [
+            ("compute", t.compute_ns, r.compute_time),
+            ("data-wait", t.data_wait_ns, r.data_wait),
+            ("comm-wait", t.comm_wait_ns, r.comm_wait),
+            ("recovery", t.recovery_ns, r.recovery_time),
+            ("straggler", t.straggler_ns, r.straggler_time),
+        ];
+        for (what, ns, engine) in series_checks {
+            let Ok(ns) = u64::try_from(ns) else {
+                return flight_fail(format!("chaos series {what} total is negative ({ns})"));
+            };
+            if SimDuration::from_nanos(ns).mul_f64(factor) != engine {
+                return flight_fail(format!(
+                    "chaos self-check failed: series {what} does not reconcile with the engine"
+                ));
+            }
+        }
+        let meta = stash::telemetry::series::SeriesMeta {
+            cluster: r.cluster.clone(),
+            model: r.model.clone(),
+            world: r.world as u64,
+            per_gpu_batch: r.per_gpu_batch,
+            iterations: r.iterations,
+            simulated_iterations: r.simulated_iterations,
+        };
+        let text = match serde_json::to_string_pretty(&sr.series.to_json(&meta)) {
+            Ok(t) => t,
+            Err(e) => return flight_fail(format!("cannot serialize series: {e}")),
+        };
+        if let Err(e) = write_creating_dirs(spath, &text) {
+            return flight_fail(e);
+        }
+        println!(
+            "  iteration series ({} buckets, {} fault windows) written to {spath}",
+            sr.series.samples.len(),
+            sr.series.annotations.len()
+        );
+    }
+
     let slowdown = r.epoch_time.as_secs_f64() / base.epoch_time.as_secs_f64().max(1e-12);
     println!(
         "{} | {} | batch {} x {} GPUs — chaos run ({})",
@@ -1093,6 +1276,143 @@ fn cmd_chaos(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_dash(args: &[String]) -> ExitCode {
+    use stash::trace::dash::{DashCell, Dashboard};
+
+    let Some(dir) = args.first() else {
+        eprintln!("usage: stash dash <results-dir> [--out PATH] [-b batch]");
+        return ExitCode::FAILURE;
+    };
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out" || a == "-o")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| format!("{dir}/dashboard.html"));
+
+    // Load every stash-series-v1 document already in the directory
+    // (sorted by filename for deterministic cell input order; ordering
+    // is then re-normalised by Dashboard::new anyway).
+    let mut cells: Vec<DashCell> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        let mut paths: Vec<std::path::PathBuf> = entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            let Ok(doc) = serde_json::from_str::<serde_json::Value>(&text) else {
+                continue;
+            };
+            if !stash::telemetry::series::is_series_doc(&doc) {
+                continue;
+            }
+            match DashCell::from_doc(&doc) {
+                Ok(cell) => {
+                    println!("loaded series: {}", path.display());
+                    cells.push(cell);
+                }
+                Err(e) => {
+                    eprintln!("{}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    // Nothing on disk: simulate the default sweep grid and leave the
+    // series documents behind so the next `stash dash` is a pure load.
+    if cells.is_empty() {
+        println!("no series documents in {dir} — simulating the default sweep");
+        let grid_clusters = ["p3.2xlarge", "p3.8xlarge", "p3.8xlarge*2"];
+        let grid_models = ["ShuffleNet", "ResNet18", "BERT-Large"];
+        for cluster_spec in grid_clusters {
+            let cluster = match parse_cluster(cluster_spec) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for model_name in grid_models {
+                let model = match lookup_model(model_name) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let batch = if model.name.starts_with("BERT") {
+                    4
+                } else {
+                    32
+                };
+                let mut cfg = TrainConfig::synthetic(cluster.clone(), model, batch, batch * 64);
+                cfg.epoch_mode = EpochMode::Sampled { iterations: 12 };
+                let doc = match run_series(&cfg, None) {
+                    Ok(Some(doc)) => doc,
+                    Ok(None) => {
+                        eprintln!("{cluster_spec} {model_name}: empty series");
+                        return ExitCode::FAILURE;
+                    }
+                    Err(e) => {
+                        eprintln!("{cluster_spec} {model_name}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let cell = match DashCell::from_doc(&doc) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("{cluster_spec} {model_name}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let text = match serde_json::to_string_pretty(&doc) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cannot serialize series: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let spath = format!(
+                    "{dir}/series_{}_{}.json",
+                    model_name.to_lowercase(),
+                    cluster_spec.replace('*', "x")
+                );
+                if let Err(e) = write_creating_dirs(&spath, &text) {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("simulated {cluster_spec} x {model_name} -> {spath}");
+                cells.push(cell);
+            }
+        }
+    }
+
+    let dash = Dashboard::new(cells);
+    let html = dash.to_html();
+    let validated = match Dashboard::validate(&html) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("dashboard failed self-validation: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = write_creating_dirs(&out_path, &html) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "dashboard validated ({validated} cell{}) and written to {out_path}",
+        if validated == 1 { "" } else { "s" }
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -1106,6 +1426,7 @@ fn main() -> ExitCode {
         Some("diff") => cmd_diff(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("perf") => cmd_perf(&args[1..]),
+        Some("dash") => cmd_dash(&args[1..]),
         _ => {
             eprintln!(
                 "stash — DDL stall profiler (ICDCS'23 reproduction)\n\n\
@@ -1116,8 +1437,9 @@ fn main() -> ExitCode {
                  stash trace <instance> <model> [--out PATH] [-b batch]\n  \
                  stash report <instance> <model> [--out PATH] [-b batch]\n  \
                  stash diff <baseline.json> <current.json> [--threshold FRAC]\n  \
-                 stash chaos <instance> <model> [--seed N] [--plan FILE] [--out PATH] [--flight PATH] [-b batch]\n  \
-                 stash perf <cluster|sweep> <model> [-b batch] [--out BASE]\n\n\
+                 stash chaos <instance> <model> [--seed N] [--plan FILE] [--out PATH] [--flight PATH] [--series PATH] [-b batch]\n  \
+                 stash perf <cluster|sweep> <model> [-b batch] [--out BASE] [--format csv]\n  \
+                 stash dash <results-dir> [--out PATH]\n\n\
                  clusters: p3.16xlarge, p3.8xlarge*2, ..."
             );
             ExitCode::FAILURE

@@ -1,0 +1,221 @@
+//! Property-based tests of the iteration-series downsampler: pair-merging
+//! may only coarsen the time axis, never the books. For arbitrary sample
+//! streams the recorder must preserve integer-ns category sums exactly,
+//! keep bucket timestamps contiguous and monotone, respect its capacity
+//! bound, and serialize byte-identically for identical inputs (which is
+//! what makes `stash-series-v1` artifacts diffable in CI).
+
+use proptest::prelude::*;
+use stash::telemetry::series::{
+    IterSeries, SeriesMeta, SeriesRecorder, SeriesSample, MIN_CAPACITY,
+};
+
+/// Raw per-iteration observations: ((wall, compute, data), (comm,
+/// recomputes, queue high-water)). Nested pairs keep the tuple arity
+/// within what the vendored proptest implements `Strategy` for.
+type Raw = ((u64, u64, u64), (u64, u64, u64));
+
+fn raw_iters() -> impl Strategy<Value = Vec<Raw>> {
+    prop::collection::vec(
+        (
+            (1_000u64..5_000_000, 0u64..2_000_000, 0u64..1_000_000),
+            (0u64..1_000_000, 0u64..4, 0u64..64),
+        ),
+        1..300,
+    )
+}
+
+/// Replays `raws` as contiguous per-iteration samples into a recorder of
+/// the given capacity; every `ff_every`-th sample (if nonzero) becomes a
+/// compressed fast-forward region of 10 iterations.
+fn replay(raws: &[Raw], capacity: usize, ff_every: usize) -> IterSeries {
+    let mut rec = SeriesRecorder::with_capacity(capacity);
+    let mut now = 0u64;
+    let mut iter = 0u64;
+    for (i, &((wall, compute, data), (comm, recomputes, qd))) in raws.iter().enumerate() {
+        let ff = if ff_every > 0 && i % ff_every == ff_every - 1 {
+            10
+        } else {
+            0
+        };
+        let iters = if ff > 0 { ff } else { 1 };
+        rec.record(SeriesSample {
+            start_iter: iter,
+            iterations: iters,
+            ff_iterations: ff,
+            start_ns: now,
+            wall_ns: wall,
+            compute_ns: compute as i64,
+            data_wait_ns: data as i64,
+            comm_wait_ns: comm as i64,
+            recovery_ns: 0,
+            straggler_ns: 0,
+            recomputes,
+            queue_depth_hw: qd,
+        });
+        now += wall;
+        iter += iters;
+    }
+    rec.finish(now)
+}
+
+fn naive_sums(raws: &[Raw], ff_every: usize) -> (u64, u64, i64, i64, i64, u64, u64) {
+    let mut iters = 0u64;
+    let mut wall = 0u64;
+    let (mut compute, mut data, mut comm) = (0i64, 0i64, 0i64);
+    let mut recomputes = 0u64;
+    let mut qd_max = 0u64;
+    for (i, &((w, c, d), (m, r, q))) in raws.iter().enumerate() {
+        iters += if ff_every > 0 && i % ff_every == ff_every - 1 {
+            10
+        } else {
+            1
+        };
+        wall += w;
+        compute += c as i64;
+        data += d as i64;
+        comm += m as i64;
+        recomputes += r;
+        qd_max = qd_max.max(q);
+    }
+    (iters, wall, compute, data, comm, recomputes, qd_max)
+}
+
+fn meta() -> SeriesMeta {
+    SeriesMeta {
+        cluster: "1 x p3.8xlarge".to_string(),
+        model: "resnet18".to_string(),
+        world: 4,
+        per_gpu_batch: 32,
+        iterations: 64,
+        simulated_iterations: 64,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// However many merge rounds the capacity forces, the series totals
+    /// equal the naive input sums at integer-ns exactness, and the
+    /// per-bucket queue high-water never exceeds (and collectively
+    /// reaches) the true maximum.
+    #[test]
+    fn downsampling_preserves_exact_sums(
+        raws in raw_iters(),
+        capacity in MIN_CAPACITY..64usize,
+        ff_every in 0usize..7,
+    ) {
+        let series = replay(&raws, capacity, ff_every);
+        let (iters, wall, compute, data, comm, recomputes, qd_max) =
+            naive_sums(&raws, ff_every);
+        let t = series.totals();
+        prop_assert_eq!(t.iterations, iters);
+        prop_assert_eq!(t.wall_ns, wall);
+        prop_assert_eq!(t.compute_ns, compute);
+        prop_assert_eq!(t.data_wait_ns, data);
+        prop_assert_eq!(t.comm_wait_ns, comm);
+        prop_assert_eq!(t.recovery_ns, 0);
+        prop_assert_eq!(t.recomputes, recomputes);
+        let bucket_max = series.samples.iter().map(|s| s.queue_depth_hw).max();
+        prop_assert_eq!(bucket_max, Some(qd_max));
+    }
+
+    /// Buckets stay contiguous (each starts where the previous ended),
+    /// start iterations are non-decreasing, and the bucket count respects
+    /// the capacity bound no matter how many samples stream in.
+    #[test]
+    fn buckets_are_monotone_contiguous_and_bounded(
+        raws in raw_iters(),
+        capacity in MIN_CAPACITY..64usize,
+    ) {
+        let series = replay(&raws, capacity, 0);
+        // with_capacity clamps to an even value >= MIN_CAPACITY.
+        let cap = capacity.max(MIN_CAPACITY) & !1;
+        prop_assert!(series.samples.len() <= cap,
+            "{} buckets exceed capacity {cap}", series.samples.len());
+        let mut now = 0u64;
+        let mut iter = 0u64;
+        for (i, s) in series.samples.iter().enumerate() {
+            prop_assert_eq!(s.start_ns, now, "bucket {} not contiguous", i);
+            prop_assert!(s.start_iter >= iter, "bucket {} iter regressed", i);
+            now += s.wall_ns;
+            iter = s.start_iter;
+        }
+        prop_assert_eq!(series.end_ns, now);
+    }
+
+    /// Identical input streams serialize byte-identically, and the JSON
+    /// round-trips losslessly through `from_json` — samples, annotations
+    /// and metadata all survive.
+    #[test]
+    fn serialization_is_byte_stable_and_round_trips(
+        raws in raw_iters(),
+        capacity in MIN_CAPACITY..64usize,
+    ) {
+        let a = replay(&raws, capacity, 3);
+        let b = replay(&raws, capacity, 3);
+        let m = meta();
+        let ja = serde_json::to_string_pretty(&a.to_json(&m))
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let jb = serde_json::to_string_pretty(&b.to_json(&m))
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(&ja, &jb, "same input, different bytes");
+        prop_assert_eq!(a.to_csv(), b.to_csv());
+
+        let doc = serde_json::from_str(&ja)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let (m2, back) = IterSeries::from_json(&doc)
+            .map_err(TestCaseError::fail)?;
+        prop_assert_eq!(m2.cluster, m.cluster);
+        prop_assert_eq!(m2.world, m.world);
+        prop_assert_eq!(back.samples, a.samples);
+        prop_assert_eq!(back.annotations, a.annotations);
+        prop_assert_eq!(back.end_ns, a.end_ns);
+    }
+
+    /// Correction samples (zero-width, possibly negative categories, as
+    /// emitted after a checkpoint rollback) fold into the books without
+    /// breaking sum preservation or contiguity.
+    #[test]
+    fn corrections_fold_into_the_books(
+        raws in raw_iters(),
+        capacity in MIN_CAPACITY..32usize,
+        rebill in 1_000i64..1_000_000,
+    ) {
+        let mut rec = SeriesRecorder::with_capacity(capacity);
+        let mut now = 0u64;
+        let mut compute = 0i64;
+        let mut recovery = 0i64;
+        for (i, &((wall, c, _), _)) in raws.iter().enumerate() {
+            rec.record(SeriesSample {
+                start_iter: i as u64,
+                iterations: 1,
+                start_ns: now,
+                wall_ns: wall,
+                compute_ns: c as i64,
+                ..SeriesSample::default()
+            });
+            now += wall;
+            compute += c as i64;
+            if i % 5 == 4 {
+                // A replay rewind: compute rebilled to recovery.
+                rec.record(SeriesSample {
+                    start_iter: i as u64,
+                    iterations: 0,
+                    start_ns: now,
+                    compute_ns: -rebill,
+                    recovery_ns: rebill,
+                    ..SeriesSample::default()
+                });
+                compute -= rebill;
+                recovery += rebill;
+            }
+        }
+        let series = rec.finish(now);
+        let t = series.totals();
+        prop_assert_eq!(t.compute_ns, compute);
+        prop_assert_eq!(t.recovery_ns, recovery);
+        prop_assert_eq!(t.wall_ns, now);
+        prop_assert_eq!(t.iterations, raws.len() as u64);
+    }
+}
