@@ -2,6 +2,8 @@
 //! network — reproducing the related-work claim (paper §III) that PS
 //! communication performance "is strictly less than all-reduce".
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash_bench::{bench_iters, Table};
 use stash_collectives::schedule::Algorithm;
 use stash_core::profiler::Stash;

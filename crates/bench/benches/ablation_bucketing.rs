@@ -3,6 +3,8 @@
 //! latency for lost overlap granularity; on a latency-bound interconnect
 //! they should reduce the interconnect stall of deep models.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash_bench::{bench_iters, pct, Table};
 use stash_collectives::bucket::Bucketing;
 use stash_core::profiler::Stash;

@@ -5,6 +5,8 @@
 //! compute. On the 10 Gbps pair this should recover most of the 2-5x
 //! slowdown — at the price of an effective batch k times larger.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash_bench::{bench_iters, Table};
 use stash_ddl::config::{EpochMode, TrainConfig};
 use stash_ddl::engine::run_epoch;

@@ -3,6 +3,8 @@
 //! backward pass; on NVLink this costs real time, quantifying how much
 //! DDP's overlap hides.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash_bench::{bench_iters, Table};
 use stash_ddl::config::{EpochMode, TrainConfig};
 use stash_ddl::engine::run_epoch;

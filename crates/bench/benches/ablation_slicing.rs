@@ -3,6 +3,8 @@
 //! p3.16xlarge-class interconnect stalls; a degraded slice pays PCIe
 //! prices on the cross-crossbar hops.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash_bench::{bench_iters, pct, Table};
 use stash_core::profiler::Stash;
 use stash_dnn::zoo;

@@ -4,6 +4,8 @@
 //! closed form assumes) and (b) the full engine's measured communication
 //! stall, which overlap can only shrink.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash_bench::{bench_iters, Table};
 use stash_collectives::bucket::Bucketing;
 use stash_core::analytic::{comm_estimate, comm_simulated, link_parameters};

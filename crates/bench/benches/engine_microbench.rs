@@ -3,6 +3,8 @@
 //! construction. These track the *reproduction's* performance, not the
 //! paper's results.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use stash_collectives::bucket::{Bucketing, CommPlan};
 use stash_ddl::config::{EpochMode, TrainConfig};

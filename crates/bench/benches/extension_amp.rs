@@ -7,6 +7,8 @@
 //! the *ratio* can worsen even as absolute time improves; (iii) no gain on
 //! tensor-core-less K80s.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash_bench::{bench_iters, Table};
 use stash_core::profiler::Stash;
 use stash_dnn::zoo;

@@ -5,6 +5,8 @@
 //! Stash's methodology ports directly; this sweep characterizes the
 //! analogous Azure/GCP shapes next to their AWS counterparts.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash_bench::{bench_iters, pct, Table};
 use stash_core::cost::epoch_cost;
 use stash_core::profiler::Stash;

@@ -6,6 +6,8 @@
 //! feasible on a p3.16xlarge once split into enough stages, and deeper
 //! pipelines trade bubble overhead for memory headroom.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash_bench::Table;
 use stash_core::pipeline::plan;
 use stash_dnn::zoo;

@@ -5,6 +5,8 @@
 //! disk stalls scale with the number of data-loading workers (= GPUs per
 //! instance), worst on p2.16xlarge.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash_bench::{
     p2_configs, pct, rollup_from_reports, run_sweep, small_model_batches, SweepJob, Table,
 };

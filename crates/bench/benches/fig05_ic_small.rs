@@ -7,6 +7,8 @@
 //! Expected shapes: p2.16xlarge worst in P2 (PCIe contention);
 //! p3.8xlarge anomalously high in P3 (sub-optimal crossbar slice).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash_bench::{pct, rollup_from_reports, run_sweep, small_model_batches, SweepJob, Table};
 use stash_dnn::zoo;
 use stash_hwtopo::cluster::ClusterSpec;

@@ -4,6 +4,8 @@
 //! (6a) at the same hourly price, so also on cost (6b); p2.xlarge is the
 //! cheapest (no interconnect stalls).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash_bench::{
     p2_configs, rollup_from_reports, run_sweep, small_model_batches, SweepJob, Table,
 };

@@ -3,6 +3,8 @@
 //! Expected shapes: CPU stall negligible (8a); disk stall highest for the
 //! 8-worker p3.16xlarge (8b) whose fast V100s outrun the gp2 volume.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash_bench::{
     p3_configs, pct, rollup_from_reports, run_sweep, small_model_batches, SweepJob, Table,
 };

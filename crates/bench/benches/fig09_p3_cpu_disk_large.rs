@@ -5,6 +5,8 @@
 //! experiments on the gp2 volume; BERT's tiny SQuAD dataset produces no
 //! meaningful fetch stall.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash_bench::{
     large_model_batches, p3_configs, pct, rollup_from_reports, run_sweep, SweepJob, Table,
 };

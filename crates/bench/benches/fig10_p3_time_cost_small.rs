@@ -4,6 +4,8 @@
 //! most cost-optimal; the networked pair the least cost-optimal multi-GPU
 //! option.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash_bench::{
     p3_configs, rollup_from_reports, run_sweep, small_model_batches, SweepJob, Table,
 };

@@ -4,6 +4,8 @@
 //! p3.8xlarge is anomalously high; VGG's interconnect stall is low despite
 //! its huge gradients; p3.24xlarge matches p3.16xlarge (same NVLink).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash_bench::{
     large_model_batches, pct, rollup_from_reports, run_sweep, small_model_batches, SweepJob, Table,
 };

@@ -5,6 +5,8 @@
 //! monotonically falling as the batch grows (compute grows, gradient
 //! volume does not).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash_bench::{pct, rollup_from_reports, run_sweep, SweepJob, Table};
 use stash_dnn::zoo;
 use stash_hwtopo::cluster::ClusterSpec;

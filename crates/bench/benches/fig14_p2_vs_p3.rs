@@ -4,6 +4,8 @@
 //! hourly price — except for tiny models (ShuffleNet), which are cheapest
 //! on P2.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash_bench::{rollup_from_reports, run_sweep, SweepJob, Table};
 use stash_core::cost::epoch_cost;
 use stash_dnn::zoo;

@@ -4,6 +4,8 @@
 //! Expected shape: ShuffleNet's V100 utilisation is very low — it cannot
 //! exploit the large GPU, which is why it trains cost-effectively on P2.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash_bench::{bench_iters, rollup_from_reports, Table};
 use stash_core::profiler::Stash;
 use stash_dnn::zoo;

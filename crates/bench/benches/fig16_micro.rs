@@ -6,6 +6,8 @@
 //! interconnect stall than much-smaller ResNets but far *higher* network
 //! stall; removing BN lowers stalls; removing residuals changes little.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash_bench::{bench_iters, pct, rollup_from_reports, Table};
 use stash_core::profiler::Stash;
 use stash_dnn::synth::{resnet, resnet_with, vgg, ResNetOptions};

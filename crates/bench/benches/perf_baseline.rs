@@ -10,6 +10,8 @@
 //! Knobs: `STASH_BENCH_ITERS`, `STASH_PERF_OUT` (default
 //! `results/perf_baseline.json`).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::fs;
 
 use stash_bench::{bench_iters, results_dir, run_sweep, SweepJob};

@@ -14,6 +14,8 @@
 //! Knobs: `STASH_BENCH_ITERS` (iterations per measurement step),
 //! `STASH_PERF_OUT` (output path, default `results/perf_report.json`).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::fs;
 
 use stash_bench::{bench_iters, results_dir, run_sweep, SweepJob};

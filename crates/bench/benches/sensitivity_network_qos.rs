@@ -7,6 +7,8 @@
 //! shows how violently the network stall responds — the reason a
 //! probe-once recommender (Srifty) goes stale.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash_bench::{bench_iters, Table};
 use stash_core::profiler::Stash;
 use stash_dnn::zoo;

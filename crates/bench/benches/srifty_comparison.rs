@@ -6,6 +6,8 @@
 //! campaign and bills it, (ii) checks the resulting predictor against the
 //! full engine, and (iii) prints the bill next to Stash's (zero).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash_bench::{bench_iters, Table};
 use stash_core::srifty::{compare, grid_probe, standard_buffer_grid, SriftyPredictor};
 use stash_dnn::zoo;

@@ -6,6 +6,8 @@
 //! * §V-B: BERT-large on p3.24xlarge with a doubled batch (8) trains
 //!   ~13% faster than p3.16xlarge at batch 4 but still costs more.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash_bench::{bench_iters, bench_stash, Table};
 use stash_core::cost::epoch_cost;
 use stash_core::profiler::Stash;

@@ -42,6 +42,7 @@ pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

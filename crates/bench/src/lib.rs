@@ -11,7 +11,6 @@
 //! 12 simulated iterations per measurement).
 
 use std::fs;
-use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -400,7 +399,9 @@ pub fn pct(p: Option<f64>) -> String {
 #[must_use]
 pub fn results_dir() -> PathBuf {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
-    fs::create_dir_all(&dir).expect("create results dir");
+    if let Err(e) = fs::create_dir_all(&dir) {
+        panic!("cannot create results dir {}: {e}", dir.display());
+    }
     dir
 }
 
@@ -474,18 +475,14 @@ impl Table {
     /// Panics on unknown column names.
     #[must_use]
     pub fn to_bar_chart(&self, label_cols: &[&str], value_col: &str) -> String {
-        let vi = self
-            .columns
-            .iter()
-            .position(|c| c == value_col)
-            .expect("unknown value column");
+        let Some(vi) = self.columns.iter().position(|c| c == value_col) else {
+            panic!("unknown value column '{value_col}'")
+        };
         let lis: Vec<usize> = label_cols
             .iter()
-            .map(|lc| {
-                self.columns
-                    .iter()
-                    .position(|c| c == *lc)
-                    .expect("unknown label column")
+            .map(|lc| match self.columns.iter().position(|c| c == *lc) {
+                Some(i) => i,
+                None => panic!("unknown label column '{lc}'"),
             })
             .collect();
         let rows: Vec<(String, f64)> = self
@@ -543,10 +540,14 @@ impl Table {
 
         // CSV.
         let csv_path = results_dir().join(format!("{}.csv", self.name));
-        let mut csv = fs::File::create(&csv_path).expect("create csv");
-        writeln!(csv, "{}", self.columns.join(",")).expect("write csv");
+        let mut csv_text = self.columns.join(",");
+        csv_text.push('\n');
         for row in &self.rows {
-            writeln!(csv, "{}", row.join(",")).expect("write csv");
+            csv_text.push_str(&row.join(","));
+            csv_text.push('\n');
+        }
+        if let Err(e) = fs::write(&csv_path, csv_text) {
+            panic!("cannot write {}: {e}", csv_path.display());
         }
 
         // JSON.
@@ -595,19 +596,23 @@ impl Table {
                 }),
             );
         }
-        fs::write(
-            json_path,
-            serde_json::to_string_pretty(&serde_json::Value::Object(doc)).expect("serialize"),
-        )
-        .expect("write json");
+        let json_text = match serde_json::to_string_pretty(&serde_json::Value::Object(doc)) {
+            Ok(t) => t,
+            Err(e) => panic!("cannot serialize {}: {e}", self.name),
+        };
+        if let Err(e) = fs::write(&json_path, json_text) {
+            panic!("cannot write {}: {e}", json_path.display());
+        }
 
         if let Some(rollup) = &self.rollup {
             let rollup_path = results_dir().join(format!("{}_rollup.json", self.name));
-            fs::write(
-                rollup_path,
-                serde_json::to_string_pretty(&rollup.to_json()).expect("serialize rollup"),
-            )
-            .expect("write rollup json");
+            let rollup_text = match serde_json::to_string_pretty(&rollup.to_json()) {
+                Ok(t) => t,
+                Err(e) => panic!("cannot serialize {} rollup: {e}", self.name),
+            };
+            if let Err(e) = fs::write(&rollup_path, rollup_text) {
+                panic!("cannot write {}: {e}", rollup_path.display());
+            }
             println!(
                 "[written: results/{0}.csv, results/{0}.json, results/{0}_rollup.json]",
                 self.name
@@ -619,6 +624,7 @@ impl Table {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -13,12 +13,11 @@ use std::path::Path;
 
 use serde::Serialize;
 use stash_hwtopo::cluster::ClusterSpec;
-use stash_simkit::time::SimDuration;
 
 use crate::cache::MeasurementCache;
 use crate::error::ProfileError;
 use crate::profiler::Stash;
-use crate::report::{StallReport, StepTimes};
+use crate::report::StallReport;
 
 /// A queryable, persistable collection of stall characterizations.
 #[derive(Debug, Clone, Default, Serialize)]
@@ -159,7 +158,7 @@ impl CharacterizationDb {
             serde_json::from_str(&raw).map_err(io::Error::other)?;
         let mut db = CharacterizationDb::new();
         for v in values {
-            db.insert(report_from_json(&v).map_err(io::Error::other)?);
+            db.insert(StallReport::from_json_value(&v).map_err(io::Error::other)?);
         }
         Ok(db)
     }
@@ -173,48 +172,12 @@ fn key_of(r: &StallReport) -> ReportKey {
     }
 }
 
-/// Manual JSON decoding: `StallReport` only derives `Serialize` (its step
-/// times serialize as nanosecond integers), so the loader reconstructs it
-/// field by field.
-fn report_from_json(v: &serde_json::Value) -> Result<StallReport, String> {
-    let get_str = |k: &str| -> Result<String, String> {
-        v.get(k)
-            .and_then(serde_json::Value::as_str)
-            .map(str::to_string)
-            .ok_or_else(|| format!("missing string field '{k}'"))
-    };
-    let get_u64 = |k: &str| -> Result<u64, String> {
-        v.get(k)
-            .and_then(serde_json::Value::as_u64)
-            .ok_or_else(|| format!("missing integer field '{k}'"))
-    };
-    let times = v.get("times").ok_or("missing 'times'")?;
-    let dur = |k: &str| -> Option<SimDuration> {
-        times
-            .get(k)
-            .and_then(serde_json::Value::as_u64)
-            .map(SimDuration::from_nanos)
-    };
-    Ok(StallReport {
-        cluster: get_str("cluster")?,
-        reference: get_str("reference")?,
-        model: get_str("model")?,
-        per_gpu_batch: get_u64("per_gpu_batch")?,
-        world: get_u64("world")? as usize,
-        times: StepTimes {
-            t1: dur("t1"),
-            t2: dur("t2"),
-            t3: dur("t3"),
-            t4: dur("t4"),
-            t5: dur("t5"),
-        },
-    })
-}
-
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
+    use crate::report::StepTimes;
+    use stash_simkit::time::SimDuration;
 
     fn mk(cluster: &str, model: &str, batch: u64, t4_secs: u64) -> StallReport {
         StallReport {

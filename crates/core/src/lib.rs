@@ -22,7 +22,10 @@
 //! * [`db`] — the persistent characterization database users query
 //!   instead of re-running experiments (the paper's cost pitch);
 //! * [`pipeline`] — a GPipe-style pipeline-parallel estimator for the
-//!   models the paper's data-parallel profiler must exclude.
+//!   models the paper's data-parallel profiler must exclude;
+//! * [`sweep`] — the durable, crash-resumable sweep runner: consult-first
+//!   cells over a `stash-store` result store, write-ahead journaling,
+//!   retry/backoff and graceful degradation.
 //!
 //! # Examples
 //!
@@ -56,6 +59,7 @@ pub mod qos;
 pub mod render;
 pub mod report;
 pub mod srifty;
+pub mod sweep;
 
 /// Convenient glob-import of the most used items.
 pub mod prelude {
@@ -73,4 +77,8 @@ pub mod prelude {
     pub use crate::render::{comparison_markdown, report_markdown};
     pub use crate::report::{StallReport, StepTimes};
     pub use crate::srifty::{compare as srifty_compare, grid_probe, SriftyPredictor};
+    pub use crate::sweep::{
+        cell_descriptor, cell_key, decode_cell_record, encode_cell_record, run_sweep, CellOutcome,
+        CellStatus, SweepOutcome,
+    };
 }

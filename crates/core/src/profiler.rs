@@ -168,6 +168,24 @@ impl Stash {
         self.per_gpu_batch
     }
 
+    /// The dataset streamed in steps 3/4.
+    #[must_use]
+    pub fn dataset(&self) -> &DatasetSpec {
+        &self.dataset
+    }
+
+    /// Iterations simulated per step before extrapolating.
+    #[must_use]
+    pub fn sampled_iterations(&self) -> u64 {
+        self.sampled_iterations
+    }
+
+    /// The configured epoch-size override, if any.
+    #[must_use]
+    pub fn epoch_samples_override(&self) -> Option<u64> {
+        self.epoch_samples
+    }
+
     fn epoch_samples(&self) -> u64 {
         self.epoch_samples.unwrap_or(self.dataset.num_samples)
     }

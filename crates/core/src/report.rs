@@ -121,6 +121,48 @@ impl StallReport {
         pct(self.disk_stall(), self.times.t3)
     }
 
+    /// Reconstructs a report from the JSON its `Serialize` impl emits
+    /// (step times serialize as nanosecond integers). The round trip is
+    /// exact: `from_json_value(to_value(r)) == r`.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first missing or mistyped field.
+    pub fn from_json_value(v: &serde_json::Value) -> Result<StallReport, String> {
+        let get_str = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(serde_json::Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field '{k}'"))
+        };
+        let get_u64 = |k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(serde_json::Value::as_u64)
+                .ok_or_else(|| format!("missing integer field '{k}'"))
+        };
+        let times = v.get("times").ok_or("missing 'times'")?;
+        let dur = |k: &str| -> Option<SimDuration> {
+            times
+                .get(k)
+                .and_then(serde_json::Value::as_u64)
+                .map(SimDuration::from_nanos)
+        };
+        Ok(StallReport {
+            cluster: get_str("cluster")?,
+            reference: get_str("reference")?,
+            model: get_str("model")?,
+            per_gpu_batch: get_u64("per_gpu_batch")?,
+            world: get_u64("world")? as usize,
+            times: StepTimes {
+                t1: dur("t1"),
+                t2: dur("t2"),
+                t3: dur("t3"),
+                t4: dur("t4"),
+                t5: dur("t5"),
+            },
+        })
+    }
+
     /// The end-to-end training time of one steady-state epoch — the
     /// quantity behind the paper's time/cost comparisons (Figs. 6/10/12/14).
     ///

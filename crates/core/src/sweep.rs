@@ -1,0 +1,582 @@
+//! The resilient sweep runner: characterization sweeps that survive the
+//! process running them.
+//!
+//! A sweep is a list of [`ProfileJob`] cells (cluster × model × batch).
+//! Run against a [`ResultStore`], each cell is *consult-first*: a
+//! verified on-disk record is decoded and reused bit-identically
+//! ([`CellStatus::Resumed`]); a missing, quarantined or stale record is
+//! recomputed through the shared [`MeasurementCache`] and durably stored
+//! before the sweep moves on. Intent and progress go through the store's
+//! write-ahead journal: a `plan` line for every cell before any work
+//! starts, then `done`/`fail` per cell — so a sweep killed mid-write
+//! resumes the *whole* grid (including cells it never reached) and
+//! re-runs only those whose records do not verify. The engine being
+//! deterministic, the resumed store converges to the same bytes an
+//! uninterrupted run produces.
+//!
+//! Failure is graceful by construction: store I/O goes through the retry
+//! policy, profile errors are permanent and typed, and a failed cell is
+//! recorded with its [`FailReason`] while the sweep continues — one sick
+//! cell costs one row in the results, never the run.
+
+use std::io;
+
+use serde::Serialize;
+use stash_ddl::engine::EngineArena;
+use stash_store::journal::JournalEntry;
+use stash_store::prelude::{with_retry, FailReason, Fetch, ResultStore, RetryPolicy};
+use stash_store::{fnv128, key_hex};
+
+use crate::cache::MeasurementCache;
+use crate::profiler::ProfileJob;
+use crate::report::StallReport;
+
+/// Schema tag stamped into every cell record payload and journal plan.
+pub const CELL_SCHEMA: &str = "stash-cell-v1";
+
+/// How a cell's result came to be.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum CellStatus {
+    /// Simulated in this run (and stored, when a store was given).
+    Computed,
+    /// Served bit-identically from a verified store record.
+    Resumed,
+    /// Permanently failed; the sweep continued without it.
+    Failed(FailReason),
+}
+
+impl CellStatus {
+    /// The CSV `status` column value.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            CellStatus::Computed => "computed",
+            CellStatus::Resumed => "resumed",
+            CellStatus::Failed(reason) => reason.code(),
+        }
+    }
+}
+
+/// One sweep cell's outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellOutcome {
+    /// The cell's content-address in the store (32-hex form).
+    pub key: String,
+    /// Cluster display name.
+    pub cluster: String,
+    /// Model name.
+    pub model: String,
+    /// Per-GPU batch size.
+    pub per_gpu_batch: u64,
+    /// The characterization, when one was produced.
+    pub report: Option<StallReport>,
+    /// How it was produced (or why not).
+    pub status: CellStatus,
+}
+
+/// The whole sweep's outcome, in input cell order.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct SweepOutcome {
+    /// Per-cell outcomes, in input order.
+    pub cells: Vec<CellOutcome>,
+}
+
+impl SweepOutcome {
+    /// Cells that failed permanently.
+    #[must_use]
+    pub fn failed(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.status, CellStatus::Failed(_)))
+            .count()
+    }
+
+    /// Cells served from the store without simulation.
+    #[must_use]
+    pub fn resumed(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.status == CellStatus::Resumed)
+            .count()
+    }
+
+    /// Cells simulated in this run.
+    #[must_use]
+    pub fn computed(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.status == CellStatus::Computed)
+            .count()
+    }
+
+    /// The successful reports, in input order.
+    pub fn reports(&self) -> impl Iterator<Item = &StallReport> {
+        self.cells.iter().filter_map(|c| c.report.as_ref())
+    }
+
+    /// The canonical results CSV. Deterministic: byte-identical for
+    /// byte-identical outcomes, which is what the differential and
+    /// crash-resume gates compare. The `status` column distinguishes
+    /// `computed` from `resumed` rows and carries the typed failure code
+    /// for failed cells.
+    #[must_use]
+    pub fn results_csv(&self) -> String {
+        let mut out = String::from(
+            "cluster,model,per_gpu_batch,world,t1_ns,t2_ns,t3_ns,t4_ns,t5_ns,\
+             interconnect_stall_pct,network_stall_pct,cpu_stall_pct,disk_stall_pct,status\n",
+        );
+        let ns = |t: Option<stash_simkit::time::SimDuration>| {
+            t.map_or_else(String::new, |t| t.as_nanos().to_string())
+        };
+        let pc = |p: Option<f64>| p.map_or_else(String::new, |p| format!("{p:.4}"));
+        for cell in &self.cells {
+            let (times, pcts, world) = match &cell.report {
+                Some(r) => (
+                    [
+                        ns(r.times.t1),
+                        ns(r.times.t2),
+                        ns(r.times.t3),
+                        ns(r.times.t4),
+                        ns(r.times.t5),
+                    ],
+                    [
+                        pc(r.interconnect_stall_pct()),
+                        pc(r.network_stall_pct()),
+                        pc(r.cpu_stall_pct()),
+                        pc(r.disk_stall_pct()),
+                    ],
+                    r.world.to_string(),
+                ),
+                None => (
+                    std::array::from_fn(|_| String::new()),
+                    std::array::from_fn(|_| String::new()),
+                    String::new(),
+                ),
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                cell.cluster,
+                cell.model,
+                cell.per_gpu_batch,
+                world,
+                times[0],
+                times[1],
+                times[2],
+                times[3],
+                times[4],
+                pcts[0],
+                pcts[1],
+                pcts[2],
+                pcts[3],
+                cell.status.code(),
+            ));
+        }
+        out
+    }
+}
+
+/// The cell's self-describing journal/plan descriptor: everything the
+/// CLI needs to reconstruct the job on resume.
+#[must_use]
+pub fn cell_descriptor(job: &ProfileJob) -> serde_json::Value {
+    let mut m = serde_json::Map::new();
+    m.insert("schema".to_string(), CELL_SCHEMA.to_json_value());
+    m.insert(
+        "cluster".to_string(),
+        job.cluster.display_name().to_json_value(),
+    );
+    m.insert("model".to_string(), job.stash.model().name.to_json_value());
+    m.insert(
+        "per_gpu_batch".to_string(),
+        job.stash.per_gpu_batch().to_json_value(),
+    );
+    m.insert(
+        "sampled_iterations".to_string(),
+        job.stash.sampled_iterations().to_json_value(),
+    );
+    m.insert(
+        "epoch_samples".to_string(),
+        match job.stash.epoch_samples_override() {
+            Some(n) => n.to_json_value(),
+            None => serde_json::Value::Null,
+        },
+    );
+    m.insert(
+        "dataset".to_string(),
+        job.stash.dataset().name.to_json_value(),
+    );
+    serde_json::Value::Object(m)
+}
+
+/// The cell's content address: FNV-128 over the canonical JSON of the
+/// *full* profiler configuration plus the cluster display name — the
+/// same derivation family as `cache::config_key`, so equal cells share a
+/// key and (the engine being deterministic) bit-identical records.
+#[must_use]
+pub fn cell_key(job: &ProfileJob) -> u128 {
+    let mut m = serde_json::Map::new();
+    m.insert("schema".to_string(), CELL_SCHEMA.to_json_value());
+    m.insert(
+        "cluster".to_string(),
+        job.cluster.display_name().to_json_value(),
+    );
+    m.insert(
+        "stash".to_string(),
+        serde_json::to_value(&job.stash).unwrap_or(serde_json::Value::Null),
+    );
+    let Ok(canonical) = serde_json::to_string(&serde_json::Value::Object(m)) else {
+        unreachable!("value serialization is infallible")
+    };
+    fnv128(canonical.as_bytes())
+}
+
+/// Encodes a cell's record payload: canonical compact JSON wrapping the
+/// descriptor and the report.
+#[must_use]
+pub fn encode_cell_record(job: &ProfileJob, report: &StallReport) -> Vec<u8> {
+    let mut m = serde_json::Map::new();
+    m.insert("schema".to_string(), CELL_SCHEMA.to_json_value());
+    m.insert("cell".to_string(), cell_descriptor(job));
+    m.insert(
+        "report".to_string(),
+        serde_json::to_value(report).unwrap_or(serde_json::Value::Null),
+    );
+    serde_json::to_string(&serde_json::Value::Object(m))
+        .unwrap_or_default()
+        .into_bytes()
+}
+
+/// Decodes a record payload back to its report, validating the schema
+/// tag.
+///
+/// # Errors
+///
+/// A description of what made the payload unusable (wrong schema,
+/// malformed JSON, missing fields).
+pub fn decode_cell_record(payload: &[u8]) -> Result<StallReport, String> {
+    let text = std::str::from_utf8(payload).map_err(|e| format!("record not UTF-8: {e}"))?;
+    let v: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| format!("record not JSON: {e}"))?;
+    match v.get("schema").and_then(serde_json::Value::as_str) {
+        Some(CELL_SCHEMA) => {}
+        Some(other) => return Err(format!("unknown record schema '{other}'")),
+        None => return Err("record missing schema tag".to_string()),
+    }
+    let report = v.get("report").ok_or("record missing report")?;
+    StallReport::from_json_value(report)
+}
+
+/// Journal writes are an optimization hint, not the source of truth
+/// (resume re-verifies records), so after retries are exhausted the
+/// sweep proceeds without the entry rather than failing the cell.
+fn journal_best_effort(store: &ResultStore, policy: &RetryPolicy, entry: &JournalEntry) {
+    let journal = store.journal();
+    let _ = with_retry(policy, || journal.append(store.io(), entry));
+}
+
+/// Runs a sweep over `jobs`, optionally backed by a durable store.
+///
+/// Cells run serially in input order (deterministic journal order; the
+/// cache and arena are shared across cells, so repeated reference-
+/// instance measurements are deduplicated exactly as in
+/// [`par_profile_many`]). With a store, each cell is consult-first and
+/// its fresh result is framed and atomically written before the next
+/// cell starts; without one, this is a plain storeless sweep producing
+/// the identical reports and CSV.
+///
+/// Never aborts on a failed cell: failures land in the outcome with
+/// typed reasons, and the caller maps `outcome.failed() > 0` to its
+/// distinct exit class.
+///
+/// [`par_profile_many`]: crate::profiler::par_profile_many
+#[must_use]
+pub fn run_sweep(
+    jobs: &[ProfileJob],
+    store: Option<&ResultStore>,
+    policy: &RetryPolicy,
+    cache: &MeasurementCache,
+) -> SweepOutcome {
+    let mut arena = EngineArena::new();
+    let mut outcome = SweepOutcome::default();
+
+    // Write-ahead intent: journal a plan line for *every* cell before any
+    // work starts, so a sweep killed in cell 2 of 10 still resumes all
+    // ten — including the cells it never reached.
+    if let Some(store) = store {
+        for job in jobs {
+            let hex = key_hex(cell_key(job));
+            let descriptor = serde_json::to_string(&cell_descriptor(job)).unwrap_or_default();
+            journal_best_effort(store, policy, &JournalEntry::plan(&hex, &descriptor));
+        }
+    }
+
+    for job in jobs {
+        let key = cell_key(job);
+        let hex = key_hex(key);
+        let mut cell = CellOutcome {
+            key: hex.clone(),
+            cluster: job.cluster.display_name(),
+            model: job.stash.model().name.clone(),
+            per_gpu_batch: job.stash.per_gpu_batch(),
+            report: None,
+            status: CellStatus::Computed,
+        };
+
+        if let Some(store) = store {
+            // Consult-first: a verified record is the result.
+            let fetched = with_retry(policy, || store.get(key).map_err(io::Error::other));
+            match fetched {
+                // A verified hit whose payload decodes is the result; a
+                // valid frame with a stale/foreign payload is recomputed
+                // and overwritten below.
+                Ok(Fetch::Hit(payload)) => {
+                    if let Ok(report) = decode_cell_record(&payload) {
+                        cell.report = Some(report);
+                        cell.status = CellStatus::Resumed;
+                        journal_best_effort(store, policy, &JournalEntry::done(&hex));
+                        outcome.cells.push(cell);
+                        continue;
+                    }
+                }
+                // Miss or quarantined-corrupt: recompute below.
+                Ok(Fetch::Miss | Fetch::Quarantined { .. }) => {}
+                Err(reason) => {
+                    journal_best_effort(
+                        store,
+                        policy,
+                        &JournalEntry::fail(&hex, &reason.to_json()),
+                    );
+                    cell.status = CellStatus::Failed(reason);
+                    outcome.cells.push(cell);
+                    continue;
+                }
+            }
+        }
+
+        // Simulate. Profile errors are permanent: typed, never retried.
+        let report = match job
+            .stash
+            .profile_serial_in(&job.cluster, Some(cache), &mut arena)
+        {
+            Ok(r) => r,
+            Err(e) => {
+                let reason = FailReason::Profile {
+                    error: e.to_string(),
+                };
+                if let Some(store) = store {
+                    journal_best_effort(
+                        store,
+                        policy,
+                        &JournalEntry::fail(&hex, &reason.to_json()),
+                    );
+                }
+                cell.status = CellStatus::Failed(reason);
+                outcome.cells.push(cell);
+                continue;
+            }
+        };
+
+        if let Some(store) = store {
+            let payload = encode_cell_record(job, &report);
+            match with_retry(policy, || {
+                store.put(key, &payload).map_err(io::Error::other)
+            }) {
+                Ok(()) => {
+                    journal_best_effort(store, policy, &JournalEntry::done(&hex));
+                }
+                Err(reason) => {
+                    // Computed but not durable: report the result, flag
+                    // the cell — a resumed run must re-run it.
+                    journal_best_effort(
+                        store,
+                        policy,
+                        &JournalEntry::fail(&hex, &reason.to_json()),
+                    );
+                    cell.report = Some(report);
+                    cell.status = CellStatus::Failed(reason);
+                    outcome.cells.push(cell);
+                    continue;
+                }
+            }
+        }
+
+        cell.report = Some(report);
+        outcome.cells.push(cell);
+    }
+    outcome
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::profiler::Stash;
+    use stash_dnn::zoo;
+    use stash_hwtopo::cluster::ClusterSpec;
+    use stash_hwtopo::instance::{p3_2xlarge, p3_8xlarge};
+    use stash_store::prelude::{FaultFs, IoFaultPlan, StdFs};
+    use std::path::PathBuf;
+
+    fn jobs() -> Vec<ProfileJob> {
+        let quick = |m| {
+            Stash::new(m)
+                .with_sampled_iterations(3)
+                .with_epoch_samples(20_000)
+        };
+        vec![
+            ProfileJob {
+                stash: quick(zoo::alexnet()),
+                cluster: ClusterSpec::single(p3_2xlarge()),
+            },
+            ProfileJob {
+                stash: quick(zoo::resnet18()),
+                cluster: ClusterSpec::single(p3_8xlarge()),
+            },
+            ProfileJob {
+                stash: quick(zoo::alexnet()),
+                cluster: ClusterSpec::homogeneous(p3_8xlarge(), 2),
+            },
+        ]
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("stash_sweep_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn cell_keys_are_stable_and_distinct() {
+        let jobs = jobs();
+        assert_eq!(cell_key(&jobs[0]), cell_key(&jobs[0]));
+        assert_ne!(cell_key(&jobs[0]), cell_key(&jobs[1]));
+        assert_ne!(cell_key(&jobs[1]), cell_key(&jobs[2]));
+    }
+
+    #[test]
+    fn record_payload_round_trips() {
+        let jobs = jobs();
+        let report = jobs[0].stash.profile_serial(&jobs[0].cluster).unwrap();
+        let payload = encode_cell_record(&jobs[0], &report);
+        assert_eq!(decode_cell_record(&payload).unwrap(), report);
+        assert!(decode_cell_record(b"not json").is_err());
+        assert!(decode_cell_record(b"{\"schema\":\"other\"}").is_err());
+        assert!(decode_cell_record(b"{}").is_err());
+    }
+
+    #[test]
+    fn storeless_and_stored_sweeps_are_bit_identical() {
+        let jobs = jobs();
+        let policy = RetryPolicy::default();
+        let storeless = run_sweep(&jobs, None, &policy, &MeasurementCache::new());
+        assert_eq!(storeless.failed(), 0);
+        assert_eq!(storeless.computed(), jobs.len());
+
+        let root = tmp("differential");
+        let store = ResultStore::open(&root, Box::new(StdFs::new())).unwrap();
+        let stored = run_sweep(&jobs, Some(&store), &policy, &MeasurementCache::new());
+        assert_eq!(stored.failed(), 0);
+        assert_eq!(storeless.results_csv(), stored.results_csv());
+
+        // Second run over the same store: everything resumes, reports
+        // and CSV rows (modulo the status column) stay bit-identical.
+        let resumed = run_sweep(&jobs, Some(&store), &policy, &MeasurementCache::new());
+        assert_eq!(resumed.resumed(), jobs.len());
+        assert_eq!(resumed.computed(), 0);
+        let strip_status = |csv: &str| {
+            csv.lines()
+                .map(|l| {
+                    l.rsplit_once(',')
+                        .map_or(l.to_string(), |(a, _)| a.to_string())
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            strip_status(&stored.results_csv()),
+            strip_status(&resumed.results_csv())
+        );
+        let reports: Vec<_> = stored.reports().cloned().collect();
+        let reports_resumed: Vec<_> = resumed.reports().cloned().collect();
+        assert_eq!(reports, reports_resumed);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn seeded_faults_recover_to_identical_bytes() {
+        let jobs = jobs();
+        let policy = RetryPolicy {
+            base_backoff_ms: 0,
+            max_backoff_ms: 0,
+            ..RetryPolicy::default()
+        };
+        let clean_root = tmp("faults_clean");
+        let clean = ResultStore::open(&clean_root, Box::new(StdFs::new())).unwrap();
+        let clean_out = run_sweep(&jobs, Some(&clean), &policy, &MeasurementCache::new());
+        assert_eq!(clean_out.failed(), 0);
+
+        let faulty_root = tmp("faults_faulty");
+        let faulty = ResultStore::open(
+            &faulty_root,
+            Box::new(FaultFs::new(IoFaultPlan::seeded(11))),
+        )
+        .unwrap();
+        let faulty_out = run_sweep(&jobs, Some(&faulty), &policy, &MeasurementCache::new());
+        assert_eq!(faulty_out.failed(), 0, "seeded faults must be recoverable");
+        assert_eq!(clean_out.results_csv(), faulty_out.results_csv());
+
+        // The record *files* converge byte-identically.
+        for key in clean.keys().unwrap() {
+            let a = std::fs::read(clean.record_path(key)).unwrap();
+            let b = std::fs::read(faulty.record_path(key)).unwrap();
+            assert_eq!(a, b, "record {} diverged", key_hex(key));
+        }
+        assert_eq!(clean.keys().unwrap(), faulty.keys().unwrap());
+        let _ = std::fs::remove_dir_all(&clean_root);
+        let _ = std::fs::remove_dir_all(&faulty_root);
+    }
+
+    #[test]
+    fn profile_failures_degrade_gracefully() {
+        use stash_hwtopo::instance::p3_16xlarge;
+        let quick = |m| {
+            Stash::new(m)
+                .with_sampled_iterations(3)
+                .with_epoch_samples(20_000)
+        };
+        let jobs = vec![
+            ProfileJob {
+                stash: quick(zoo::alexnet()),
+                cluster: ClusterSpec::single(p3_2xlarge()),
+            },
+            // 3x p3.16xlarge = 24 GPUs: no single-instance reference
+            // exists, so this cell fails permanently.
+            ProfileJob {
+                stash: quick(zoo::alexnet()),
+                cluster: ClusterSpec::homogeneous(p3_16xlarge(), 3),
+            },
+        ];
+        let root = tmp("degrade");
+        let store = ResultStore::open(&root, Box::new(StdFs::new())).unwrap();
+        let out = run_sweep(
+            &jobs,
+            Some(&store),
+            &RetryPolicy::default(),
+            &MeasurementCache::new(),
+        );
+        assert_eq!(out.failed(), 1);
+        assert_eq!(out.computed(), 1);
+        assert!(matches!(
+            out.cells[1].status,
+            CellStatus::Failed(FailReason::Profile { .. })
+        ));
+        let csv = out.results_csv();
+        assert!(csv.contains("profile-error"));
+        // The journal carries the typed reason.
+        let replay = store.journal().replay(store.io()).unwrap();
+        assert!(replay
+            .entries
+            .iter()
+            .any(|e| e.op == "fail" && e.detail.contains("Profile")));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -99,12 +99,14 @@ impl Model {
         // Fix rounding drift on the largest layer so the total is exact.
         let drift = target_params as i64 - self.param_count() as i64;
         if drift != 0 {
-            let largest = self
+            let Some(largest) = self
                 .layers
                 .iter_mut()
                 .filter(|l| l.params > 0)
                 .max_by_key(|l| l.params)
-                .expect("has params");
+            else {
+                unreachable!("non-zero drift implies a layer with parameters")
+            };
             largest.params = (largest.params as i64 + drift).max(1) as u64;
         }
         self
@@ -148,6 +150,7 @@ fn kind_suffix(kind: LayerKind) -> &'static str {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

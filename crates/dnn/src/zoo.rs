@@ -450,6 +450,7 @@ pub fn by_name(name: &str) -> Option<Model> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

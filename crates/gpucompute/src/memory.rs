@@ -95,6 +95,7 @@ pub fn max_batch_from(gpu: &GpuSpec, model: &Model, candidates: &[u64]) -> Optio
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use stash_dnn::zoo;

@@ -1,0 +1,189 @@
+//! The record frame: length + checksum around every stored payload.
+//!
+//! A record file is a single frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"SRF1"
+//! 4       8     payload length, u64 little-endian
+//! 12      16    FNV-1a-128 checksum of the payload, little-endian
+//! 28      len   payload bytes
+//! ```
+//!
+//! The frame turns every physical failure mode into a *detected* one:
+//! a torn or truncated write fails the length check, a bit flip fails
+//! the checksum, a foreign file fails the magic. Decoding has exactly
+//! two outcomes — the original payload or a typed [`FrameError`] — which
+//! is what the round-trip property test asserts: there is no third
+//! outcome where corrupt bytes decode silently.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::fnv128;
+
+/// Frame magic: "Stash Record Frame v1".
+pub const MAGIC: [u8; 4] = *b"SRF1";
+/// Bytes of header before the payload.
+pub const HEADER_LEN: usize = 4 + 8 + 16;
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than a frame header — a torn write or a truncated
+    /// read caught it mid-header.
+    TruncatedHeader {
+        /// Bytes actually present.
+        have: usize,
+    },
+    /// The first four bytes are not the record magic.
+    BadMagic {
+        /// The bytes found instead.
+        found: [u8; 4],
+    },
+    /// The header promises more payload than the file holds (torn write)
+    /// or less (trailing garbage appended).
+    LengthMismatch {
+        /// Payload length the header declares.
+        declared: u64,
+        /// Payload bytes actually present.
+        have: u64,
+    },
+    /// Length is right but the payload does not hash to the stored
+    /// checksum — bit rot or an in-place overwrite.
+    ChecksumMismatch {
+        /// Checksum the header declares.
+        declared: u128,
+        /// Checksum of the payload as read.
+        computed: u128,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TruncatedHeader { have } => {
+                write!(f, "truncated frame header: {have} bytes, need {HEADER_LEN}")
+            }
+            FrameError::BadMagic { found } => {
+                write!(f, "bad record magic {found:02x?}, want {MAGIC:02x?}")
+            }
+            FrameError::LengthMismatch { declared, have } => {
+                write!(f, "payload length mismatch: header declares {declared} bytes, found {have}")
+            }
+            FrameError::ChecksumMismatch { declared, computed } => write!(
+                f,
+                "payload checksum mismatch: header declares {declared:032x}, computed {computed:032x}"
+            ),
+        }
+    }
+}
+
+impl Error for FrameError {}
+
+/// Wraps `payload` in a checksummed frame.
+#[must_use]
+pub fn encode(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv128(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Recovers the payload from a framed record, or reports exactly how the
+/// record is corrupt.
+///
+/// # Errors
+///
+/// A typed [`FrameError`] for every way the bytes can fail to be a
+/// well-formed frame; never panics, never returns partial payloads.
+pub fn decode(bytes: &[u8]) -> Result<Vec<u8>, FrameError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(FrameError::TruncatedHeader { have: bytes.len() });
+    }
+    let (magic, rest) = bytes.split_at(4);
+    if magic != MAGIC {
+        let mut found = [0u8; 4];
+        found.copy_from_slice(magic);
+        return Err(FrameError::BadMagic { found });
+    }
+    let (len_bytes, rest) = rest.split_at(8);
+    let mut len_arr = [0u8; 8];
+    len_arr.copy_from_slice(len_bytes);
+    let declared = u64::from_le_bytes(len_arr);
+    let (sum_bytes, payload) = rest.split_at(16);
+    let mut sum_arr = [0u8; 16];
+    sum_arr.copy_from_slice(sum_bytes);
+    let declared_sum = u128::from_le_bytes(sum_arr);
+    if payload.len() as u64 != declared {
+        return Err(FrameError::LengthMismatch {
+            declared,
+            have: payload.len() as u64,
+        });
+    }
+    let computed = fnv128(payload);
+    if computed != declared_sum {
+        return Err(FrameError::ChecksumMismatch {
+            declared: declared_sum,
+            computed,
+        });
+    }
+    Ok(payload.to_vec())
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_identity() {
+        for payload in [&b""[..], b"x", b"{\"a\":1}", &[0u8; 4096][..]] {
+            assert_eq!(decode(&encode(payload)).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let framed = encode(b"the payload that must not tear silently");
+        for cut in 0..framed.len() {
+            let err = decode(&framed[..cut]).unwrap_err();
+            match err {
+                FrameError::TruncatedHeader { .. } | FrameError::LengthMismatch { .. } => {}
+                other => panic!("cut at {cut}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let framed = encode(b"bit rot test");
+        for byte in 0..framed.len() {
+            for bit in 0..8 {
+                let mut bad = framed.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(decode(&bad).is_err(), "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_detected() {
+        let mut framed = encode(b"payload");
+        framed.push(0);
+        assert!(matches!(
+            decode(&framed),
+            Err(FrameError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn foreign_files_fail_the_magic() {
+        assert!(matches!(
+            decode(b"{\"json\": \"not a frame, but long enough to pass the header check\"}"),
+            Err(FrameError::BadMagic { .. })
+        ));
+    }
+}

@@ -1,0 +1,611 @@
+//! The store's I/O boundary: one trait, two backends.
+//!
+//! Every byte the store reads or writes goes through [`StoreIo`], so the
+//! durability logic above it (frames, journal, fsck, retries) can be
+//! exercised against failures without touching a real disk's failure
+//! modes. [`StdFs`] is production: atomic write-temp-fsync-rename
+//! record writes on `std::fs`. [`FaultFs`] is the same backend with a
+//! deterministic, planned fault layer in front — the I/O counterpart of
+//! the PR 5 `FaultPlan` chaos engine: torn writes, short reads,
+//! transient `EIO`, `ENOSPC`, silent bit flips and mid-write stalls fire
+//! at planned operation indices, so every recovery branch in the store
+//! is reachable from a test, on purpose, repeatably.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+/// The operations a result store needs from a filesystem.
+///
+/// Implementations must make [`StoreIo::write_atomic`] all-or-nothing on
+/// clean shutdown: after it returns `Ok`, the full bytes are durable at
+/// `path`; if the process dies before it returns, `path` holds either
+/// its old content or (for injected tears) a detectably short prefix —
+/// never silently mixed bytes that decode.
+pub trait StoreIo: fmt::Debug {
+    /// Reads the entire file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Durably replaces `path` with `bytes` (write temp, fsync, rename).
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Appends `bytes` to `path`, creating it if missing, syncing after.
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// The files directly inside `dir`, sorted by filename.
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+    /// Renames `from` to `to` (same filesystem).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes a file.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+    /// Creates `dir` and its parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// Whether `path` exists.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// The production backend: `std::fs` with write-temp-fsync-rename
+/// atomicity for record writes.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdFs;
+
+impl StdFs {
+    /// A new production backend.
+    #[must_use]
+    pub fn new() -> StdFs {
+        StdFs
+    }
+}
+
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map_or_else(
+        || std::ffi::OsString::from("record"),
+        std::ffi::OsStr::to_os_string,
+    );
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Best-effort fsync of the directory containing `path`, so the rename
+/// itself is durable. Some filesystems refuse directory fsync; that only
+/// weakens crash-durability of the *rename*, never atomicity, so errors
+/// are deliberately ignored.
+fn sync_parent_dir(path: &Path) {
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+}
+
+impl StoreIo for StdFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let tmp = tmp_sibling(path);
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        sync_parent_dir(path);
+        Ok(())
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.is_file())
+            .collect();
+        paths.sort();
+        Ok(paths)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)?;
+        sync_parent_dir(to);
+        Ok(())
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// Which operation class a planned fault targets. Class-scoped indices
+/// ("the 2nd write") survive incidental reads being added around them,
+/// unlike a single global op counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IoOpClass {
+    /// Any operation, counted globally.
+    Any,
+    /// Whole-file reads.
+    Read,
+    /// Atomic record writes.
+    Write,
+    /// Journal appends.
+    Append,
+    /// Renames (quarantine moves).
+    Rename,
+}
+
+/// What happens when a planned fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IoFaultKind {
+    /// A write crashes mid-stream: only the first `keep` bytes land at
+    /// the destination, and the operation reports an I/O error — the
+    /// on-disk state a power cut leaves behind.
+    TornWrite {
+        /// Bytes that survive at the destination.
+        keep: u64,
+    },
+    /// A read silently returns only a prefix, dropping the final `drop`
+    /// bytes — a torn page without an error code.
+    ShortRead {
+        /// Bytes removed from the tail of the read.
+        drop: u64,
+    },
+    /// The operation fails once with a retryable error (`EINTR`-like);
+    /// the retry takes a fresh op index and succeeds.
+    TransientErr,
+    /// The operation fails with `ENOSPC` (disk full) once.
+    Enospc,
+    /// The write completes and *reports success*, but one bit of the
+    /// destination file is flipped afterwards — silent corruption for
+    /// the checksum layer to catch.
+    BitFlip {
+        /// Byte offset (mod file length) whose low bit is flipped.
+        byte: u64,
+    },
+    /// The write lands `keep` bytes at the destination, announces itself
+    /// on stdout, then stalls forever — the hook the crash-kill
+    /// integration test uses to SIGKILL a sweep mid-write.
+    StallMidWrite {
+        /// Bytes that land before the stall.
+        keep: u64,
+    },
+}
+
+/// One planned fault: fire `kind` on the `index`-th operation of class
+/// `op` (0-based, counted per class). Each fault fires exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoFault {
+    /// Operation class the index counts.
+    pub op: IoOpClass,
+    /// 0-based index within that class.
+    pub index: u64,
+    /// The failure to inject.
+    pub kind: IoFaultKind,
+}
+
+/// A deterministic I/O fault schedule.
+///
+/// # Examples
+///
+/// ```
+/// use stash_store::io::IoFaultPlan;
+/// let plan = IoFaultPlan::seeded(7);
+/// assert_eq!(plan, IoFaultPlan::seeded(7));
+/// let back = IoFaultPlan::from_json(&plan.to_json()).unwrap();
+/// assert_eq!(back, plan);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IoFaultPlan {
+    /// The planned faults, in no particular order.
+    pub faults: Vec<IoFault>,
+}
+
+/// Splitmix64 step, the same generator the chaos `FaultPlan` seeds with.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl IoFaultPlan {
+    /// An empty plan (no faults — the differential baseline).
+    #[must_use]
+    pub fn none() -> IoFaultPlan {
+        IoFaultPlan::default()
+    }
+
+    /// A deterministic schedule of *recoverable* faults: transient
+    /// errors, a torn write, a short read and one `ENOSPC`, spread over
+    /// the first few dozen operations. A sweep running under a seeded
+    /// plan must converge to the same bytes as a clean run — every fault
+    /// here is one the retry/quarantine machinery recovers from.
+    #[must_use]
+    pub fn seeded(seed: u64) -> IoFaultPlan {
+        let mut s = seed ^ 0x5741_4c5f_494f_5f31; // "WAL_IO_1"
+        let faults = vec![
+            // Two transient errors on early writes and one on an append.
+            IoFault {
+                op: IoOpClass::Write,
+                index: splitmix(&mut s) % 3,
+                kind: IoFaultKind::TransientErr,
+            },
+            IoFault {
+                op: IoOpClass::Write,
+                index: 4 + splitmix(&mut s) % 4,
+                kind: IoFaultKind::TransientErr,
+            },
+            IoFault {
+                op: IoOpClass::Append,
+                index: splitmix(&mut s) % 6,
+                kind: IoFaultKind::TransientErr,
+            },
+            // One torn record write (destination left with a short prefix).
+            IoFault {
+                op: IoOpClass::Write,
+                index: 8 + splitmix(&mut s) % 4,
+                kind: IoFaultKind::TornWrite {
+                    keep: 7 + splitmix(&mut s) % 40,
+                },
+            },
+            // One short read and one disk-full blip.
+            IoFault {
+                op: IoOpClass::Read,
+                index: splitmix(&mut s) % 8,
+                kind: IoFaultKind::ShortRead {
+                    drop: 1 + splitmix(&mut s) % 24,
+                },
+            },
+            IoFault {
+                op: IoOpClass::Write,
+                index: 13 + splitmix(&mut s) % 4,
+                kind: IoFaultKind::Enospc,
+            },
+        ];
+        IoFaultPlan { faults }
+    }
+
+    /// Serializes the plan to pretty JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{\"faults\":[]}".to_string())
+    }
+
+    /// Parses a plan previously written by [`IoFaultPlan::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformed input.
+    pub fn from_json(s: &str) -> Result<IoFaultPlan, String> {
+        serde_json::from_str(s).map_err(|e| format!("invalid I/O fault plan: {e}"))
+    }
+}
+
+#[derive(Debug)]
+struct FaultState {
+    /// Pending faults; fired entries are tombstoned to `None`.
+    pending: Vec<Option<IoFault>>,
+    /// Per-class operation counters, indexed by [`IoOpClass`] discriminant
+    /// order: any, read, write, append, rename.
+    counts: [u64; 5],
+}
+
+/// [`StdFs`] behind a deterministic fault-injection layer.
+///
+/// Operation indices count per class (and globally for
+/// [`IoOpClass::Any`]); when an index matches a pending fault, the fault
+/// fires once and is consumed. All bookkeeping sits behind a mutex so a
+/// `FaultFs` can serve the same call-sites a [`StdFs`] does.
+#[derive(Debug)]
+pub struct FaultFs {
+    inner: StdFs,
+    state: Mutex<FaultState>,
+}
+
+impl FaultFs {
+    /// A faulting backend over the production filesystem.
+    #[must_use]
+    pub fn new(plan: IoFaultPlan) -> FaultFs {
+        FaultFs {
+            inner: StdFs,
+            state: Mutex::new(FaultState {
+                pending: plan.faults.into_iter().map(Some).collect(),
+                counts: [0; 5],
+            }),
+        }
+    }
+
+    /// Faults not yet fired (tests assert a plan was fully exercised).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault-state mutex was poisoned.
+    #[must_use]
+    pub fn pending_faults(&self) -> usize {
+        match self.state.lock() {
+            Ok(s) => s.pending.iter().flatten().count(),
+            Err(_) => panic!("fault state poisoned"),
+        }
+    }
+
+    /// Advances the class and global counters for one operation of
+    /// `class` and returns the fault to fire, if any.
+    fn next_fault(&self, class: IoOpClass) -> Option<IoFaultKind> {
+        let mut s = match self.state.lock() {
+            Ok(s) => s,
+            Err(_) => panic!("fault state poisoned"),
+        };
+        let class_slot = match class {
+            IoOpClass::Any => 0,
+            IoOpClass::Read => 1,
+            IoOpClass::Write => 2,
+            IoOpClass::Append => 3,
+            IoOpClass::Rename => 4,
+        };
+        let global_index = s.counts[0];
+        let class_index = s.counts[class_slot];
+        s.counts[0] = global_index + 1;
+        if class_slot != 0 {
+            s.counts[class_slot] = class_index + 1;
+        }
+        for slot in &mut s.pending {
+            let Some(fault) = slot else { continue };
+            let hit = match fault.op {
+                IoOpClass::Any => fault.index == global_index,
+                op if op == class => fault.index == class_index,
+                _ => false,
+            };
+            if hit {
+                let kind = fault.kind;
+                *slot = None;
+                return Some(kind);
+            }
+        }
+        None
+    }
+}
+
+fn transient_err() -> io::Error {
+    io::Error::new(io::ErrorKind::Interrupted, "injected transient I/O error")
+}
+
+fn enospc_err() -> io::Error {
+    // Raw ENOSPC so callers see the real "No space left on device".
+    io::Error::from_raw_os_error(28)
+}
+
+impl StoreIo for FaultFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        match self.next_fault(IoOpClass::Read) {
+            Some(IoFaultKind::TransientErr) => Err(transient_err()),
+            Some(IoFaultKind::Enospc) => Err(enospc_err()),
+            Some(IoFaultKind::ShortRead { drop }) => {
+                let mut bytes = self.inner.read(path)?;
+                let keep = bytes.len().saturating_sub(drop as usize);
+                bytes.truncate(keep);
+                Ok(bytes)
+            }
+            _ => self.inner.read(path),
+        }
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.next_fault(IoOpClass::Write) {
+            Some(IoFaultKind::TransientErr) => Err(transient_err()),
+            Some(IoFaultKind::Enospc) => Err(enospc_err()),
+            Some(IoFaultKind::TornWrite { keep }) => {
+                // The tear bypasses the temp file on purpose: this is the
+                // post-crash state where the destination holds a prefix.
+                let keep = (keep as usize).min(bytes.len());
+                fs::write(path, &bytes[..keep])?;
+                Err(io::Error::other("injected torn write"))
+            }
+            Some(IoFaultKind::BitFlip { byte }) => {
+                self.inner.write_atomic(path, bytes)?;
+                let mut on_disk = fs::read(path)?;
+                if !on_disk.is_empty() {
+                    let i = (byte as usize) % on_disk.len();
+                    on_disk[i] ^= 1;
+                    fs::write(path, &on_disk)?;
+                }
+                Ok(())
+            }
+            Some(IoFaultKind::StallMidWrite { keep }) => {
+                let keep = (keep as usize).min(bytes.len());
+                fs::write(path, &bytes[..keep])?;
+                // Handshake line for the crash-kill test: the parent
+                // waits for it, then SIGKILLs this process mid-write.
+                println!("stash-store: stalled mid-write of {}", path.display());
+                let _ = io::stdout().flush();
+                loop {
+                    std::thread::sleep(std::time::Duration::from_secs(3600));
+                }
+            }
+            _ => self.inner.write_atomic(path, bytes),
+        }
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.next_fault(IoOpClass::Append) {
+            Some(IoFaultKind::TransientErr) => Err(transient_err()),
+            Some(IoFaultKind::Enospc) => Err(enospc_err()),
+            Some(IoFaultKind::TornWrite { keep }) => {
+                let keep = (keep as usize).min(bytes.len());
+                self.inner.append(path, &bytes[..keep])?;
+                Err(io::Error::other("injected torn append"))
+            }
+            _ => self.inner.append(path, bytes),
+        }
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        match self.next_fault(IoOpClass::Any) {
+            Some(IoFaultKind::TransientErr) => Err(transient_err()),
+            _ => self.inner.list(dir),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.next_fault(IoOpClass::Rename) {
+            Some(IoFaultKind::TransientErr) => Err(transient_err()),
+            Some(IoFaultKind::Enospc) => Err(enospc_err()),
+            _ => self.inner.rename(from, to),
+        }
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove(path)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(dir)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("stash_store_io_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn stdfs_write_atomic_round_trips_and_replaces() {
+        let dir = tmpdir("atomic");
+        let path = dir.join("a.rec");
+        let io = StdFs::new();
+        io.write_atomic(&path, b"first").unwrap();
+        assert_eq!(io.read(&path).unwrap(), b"first");
+        io.write_atomic(&path, b"second, longer").unwrap();
+        assert_eq!(io.read(&path).unwrap(), b"second, longer");
+        assert!(!tmp_sibling(&path).exists(), "temp file must not linger");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stdfs_append_accumulates() {
+        let dir = tmpdir("append");
+        let path = dir.join("j.log");
+        let io = StdFs::new();
+        io.append(&path, b"one\n").unwrap();
+        io.append(&path, b"two\n").unwrap();
+        assert_eq!(io.read(&path).unwrap(), b"one\ntwo\n");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faultfs_injects_at_planned_class_indices() {
+        let dir = tmpdir("faults");
+        let plan = IoFaultPlan {
+            faults: vec![
+                IoFault {
+                    op: IoOpClass::Write,
+                    index: 1,
+                    kind: IoFaultKind::TransientErr,
+                },
+                IoFault {
+                    op: IoOpClass::Read,
+                    index: 0,
+                    kind: IoFaultKind::ShortRead { drop: 3 },
+                },
+            ],
+        };
+        let io = FaultFs::new(plan);
+        io.write_atomic(&dir.join("a"), b"aaaa").unwrap(); // write #0: clean
+        let err = io.write_atomic(&dir.join("b"), b"bbbb").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        io.write_atomic(&dir.join("b"), b"bbbb").unwrap(); // retry: clean
+        assert_eq!(io.read(&dir.join("a")).unwrap(), b"a"); // short read
+        assert_eq!(io.read(&dir.join("a")).unwrap(), b"aaaa"); // clean again
+        assert_eq!(io.pending_faults(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_leaves_a_detectable_prefix() {
+        let dir = tmpdir("torn");
+        let io = FaultFs::new(IoFaultPlan {
+            faults: vec![IoFault {
+                op: IoOpClass::Write,
+                index: 0,
+                kind: IoFaultKind::TornWrite { keep: 4 },
+            }],
+        });
+        let path = dir.join("t.rec");
+        assert!(io.write_atomic(&path, b"0123456789").is_err());
+        assert_eq!(io.read(&path).unwrap(), b"0123");
+        io.write_atomic(&path, b"0123456789").unwrap();
+        assert_eq!(io.read(&path).unwrap(), b"0123456789");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_reports_success_but_corrupts() {
+        let dir = tmpdir("flip");
+        let io = FaultFs::new(IoFaultPlan {
+            faults: vec![IoFault {
+                op: IoOpClass::Write,
+                index: 0,
+                kind: IoFaultKind::BitFlip { byte: 2 },
+            }],
+        });
+        let path = dir.join("f.rec");
+        io.write_atomic(&path, b"abcd").unwrap();
+        let bytes = io.read(&path).unwrap();
+        assert_eq!(bytes.len(), 4);
+        assert_ne!(bytes, b"abcd");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_surfaces_the_real_errno() {
+        let dir = tmpdir("enospc");
+        let io = FaultFs::new(IoFaultPlan {
+            faults: vec![IoFault {
+                op: IoOpClass::Write,
+                index: 0,
+                kind: IoFaultKind::Enospc,
+            }],
+        });
+        let err = io.write_atomic(&dir.join("e"), b"x").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_round_trip() {
+        let a = IoFaultPlan::seeded(42);
+        assert_eq!(a, IoFaultPlan::seeded(42));
+        assert_ne!(a, IoFaultPlan::seeded(43));
+        assert_eq!(IoFaultPlan::from_json(&a.to_json()).unwrap(), a);
+        assert!(IoFaultPlan::from_json("{ not json").is_err());
+    }
+}

@@ -1,0 +1,311 @@
+//! The write-ahead sweep journal.
+//!
+//! One append-only text file (`journal.log` in the store root) records
+//! the sweep's intent and progress: a `plan` line before any work on a
+//! cell, a `done` line after its record is durably in the store, a
+//! `fail` line when retries were exhausted. Each line carries its own
+//! checksum:
+//!
+//! ```text
+//! <fnv128-low-64-bits, 16 hex> <entry JSON>\n
+//! ```
+//!
+//! so replay can tell a torn tail (the line being appended when the
+//! process died) from good history: replay stops at the first corrupt
+//! line and reports it, and everything before it is trusted. The journal
+//! is an *optimization hint*, not the source of truth — resume always
+//! re-verifies `done` claims against the checksummed records themselves,
+//! so a lost tail only costs recomputation, never correctness.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::fnv128;
+use crate::io::StoreIo;
+
+/// Cell planned: emitted before any work on the cell starts.
+pub const OP_PLAN: &str = "plan";
+/// Cell complete: its record is durable in the store.
+pub const OP_DONE: &str = "done";
+/// Cell failed permanently (retries/deadline exhausted).
+pub const OP_FAIL: &str = "fail";
+
+/// One journal line: an operation on a store key, with an opaque
+/// JSON detail (the cell descriptor for `plan`, the typed failure
+/// reason for `fail`, empty for `done`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalEntry {
+    /// [`OP_PLAN`], [`OP_DONE`] or [`OP_FAIL`].
+    pub op: String,
+    /// The 32-hex store key the entry is about.
+    pub key: String,
+    /// Operation-specific JSON payload (or empty).
+    pub detail: String,
+}
+
+impl JournalEntry {
+    /// A `plan` entry carrying the cell descriptor JSON.
+    #[must_use]
+    pub fn plan(key: &str, detail: &str) -> JournalEntry {
+        JournalEntry {
+            op: OP_PLAN.to_string(),
+            key: key.to_string(),
+            detail: detail.to_string(),
+        }
+    }
+
+    /// A `done` entry.
+    #[must_use]
+    pub fn done(key: &str) -> JournalEntry {
+        JournalEntry {
+            op: OP_DONE.to_string(),
+            key: key.to_string(),
+            detail: String::new(),
+        }
+    }
+
+    /// A `fail` entry carrying the typed failure reason.
+    #[must_use]
+    pub fn fail(key: &str, reason: &str) -> JournalEntry {
+        JournalEntry {
+            op: OP_FAIL.to_string(),
+            key: key.to_string(),
+            detail: reason.to_string(),
+        }
+    }
+}
+
+/// The replayed state of a journal file.
+#[derive(Debug, Clone, Default)]
+pub struct JournalReplay {
+    /// Every verified entry, in append order.
+    pub entries: Vec<JournalEntry>,
+    /// `true` when replay stopped at a torn or corrupt line — the state
+    /// a crash mid-append leaves behind. Entries before the tear are
+    /// intact (each line checks its own sum).
+    pub torn_tail: bool,
+}
+
+impl JournalReplay {
+    /// The planned cell descriptor for `key`, if a `plan` line was
+    /// recorded (last write wins).
+    #[must_use]
+    pub fn plan_for(&self, key: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|e| e.op == OP_PLAN && e.key == key)
+            .map(|e| e.detail.as_str())
+    }
+
+    /// Keys whose *latest* status line is `done`. Resume treats these as
+    /// hints and still re-verifies the record bytes.
+    #[must_use]
+    pub fn done_keys(&self) -> Vec<String> {
+        let mut last: BTreeMap<&str, &str> = BTreeMap::new();
+        for e in &self.entries {
+            if e.op == OP_DONE || e.op == OP_FAIL {
+                last.insert(e.key.as_str(), e.op.as_str());
+            }
+        }
+        last.iter()
+            .filter(|(_, op)| **op == OP_DONE)
+            .map(|(k, _)| (*k).to_string())
+            .collect()
+    }
+
+    /// All planned cells in first-planned order, deduplicated by key.
+    #[must_use]
+    pub fn planned_cells(&self) -> Vec<(String, String)> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for e in &self.entries {
+            if e.op == OP_PLAN && seen.insert(e.key.clone()) {
+                out.push((e.key.clone(), e.detail.clone()));
+            }
+        }
+        out
+    }
+}
+
+/// Handle to a journal file; all I/O goes through the caller's
+/// [`StoreIo`] backend so faults reach the journal too.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    path: PathBuf,
+}
+
+fn line_for(entry: &JournalEntry) -> Option<String> {
+    let json = serde_json::to_string(entry).ok()?;
+    let sum = (fnv128(json.as_bytes()) & u128::from(u64::MAX)) as u64;
+    Some(format!("{sum:016x} {json}\n"))
+}
+
+fn parse_line(line: &str) -> Option<JournalEntry> {
+    let (sum_hex, json) = line.split_once(' ')?;
+    if sum_hex.len() != 16 {
+        return None;
+    }
+    let declared = u64::from_str_radix(sum_hex, 16).ok()?;
+    let computed = (fnv128(json.as_bytes()) & u128::from(u64::MAX)) as u64;
+    if declared != computed {
+        return None;
+    }
+    serde_json::from_str(json).ok()
+}
+
+impl Journal {
+    /// A journal at `path` (typically `<store>/journal.log`).
+    #[must_use]
+    pub fn new(path: &Path) -> Journal {
+        Journal {
+            path: path.to_path_buf(),
+        }
+    }
+
+    /// Where the journal lives.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one checksummed entry line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend I/O errors (callers retry via the store's
+    /// retry policy).
+    pub fn append(&self, io: &dyn StoreIo, entry: &JournalEntry) -> io::Result<()> {
+        let Some(line) = line_for(entry) else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "journal entry not serializable",
+            ));
+        };
+        io.append(&self.path, line.as_bytes())
+    }
+
+    /// Replays the journal, stopping at the first torn or corrupt line.
+    /// A missing journal replays as empty — a fresh sweep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend read errors other than not-found.
+    pub fn replay(&self, io: &dyn StoreIo) -> io::Result<JournalReplay> {
+        if !io.exists(&self.path) {
+            return Ok(JournalReplay::default());
+        }
+        let bytes = io.read(&self.path)?;
+        let text = String::from_utf8_lossy(&bytes);
+        let mut replay = JournalReplay::default();
+        for line in text.split('\n') {
+            if line.is_empty() {
+                continue;
+            }
+            match parse_line(line) {
+                Some(entry) => replay.entries.push(entry),
+                None => {
+                    replay.torn_tail = true;
+                    break;
+                }
+            }
+        }
+        Ok(replay)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::io::StdFs;
+    use std::fs;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("stash_journal_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir.join("journal.log")
+    }
+
+    #[test]
+    fn append_then_replay_round_trips() {
+        let path = tmp("rt");
+        let io = StdFs::new();
+        let j = Journal::new(&path);
+        j.append(&io, &JournalEntry::plan("00ab", "{\"m\":1}"))
+            .unwrap();
+        j.append(&io, &JournalEntry::done("00ab")).unwrap();
+        j.append(&io, &JournalEntry::fail("00cd", "deadline"))
+            .unwrap();
+        let replay = j.replay(&io).unwrap();
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.entries.len(), 3);
+        assert_eq!(replay.plan_for("00ab"), Some("{\"m\":1}"));
+        assert_eq!(replay.done_keys(), vec!["00ab".to_string()]);
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn missing_journal_replays_empty() {
+        let path = tmp("missing");
+        let replay = Journal::new(&path).replay(&StdFs::new()).unwrap();
+        assert!(replay.entries.is_empty());
+        assert!(!replay.torn_tail);
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_prefix_survives() {
+        let path = tmp("torn");
+        let io = StdFs::new();
+        let j = Journal::new(&path);
+        j.append(&io, &JournalEntry::plan("0001", "{}")).unwrap();
+        j.append(&io, &JournalEntry::done("0001")).unwrap();
+        // Simulate a crash mid-append: chop the file mid-line.
+        let mut bytes = fs::read(&path).unwrap();
+        let full = bytes.len();
+        j.append(&io, &JournalEntry::plan("0002", "{}")).unwrap();
+        bytes = fs::read(&path).unwrap();
+        bytes.truncate(full + 9);
+        fs::write(&path, &bytes).unwrap();
+        let replay = j.replay(&io).unwrap();
+        assert!(replay.torn_tail);
+        assert_eq!(replay.entries.len(), 2);
+        assert_eq!(replay.done_keys(), vec!["0001".to_string()]);
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn fail_after_done_wins_and_vice_versa() {
+        let path = tmp("lastwins");
+        let io = StdFs::new();
+        let j = Journal::new(&path);
+        j.append(&io, &JournalEntry::done("aaaa")).unwrap();
+        j.append(&io, &JournalEntry::fail("aaaa", "io")).unwrap();
+        j.append(&io, &JournalEntry::fail("bbbb", "io")).unwrap();
+        j.append(&io, &JournalEntry::done("bbbb")).unwrap();
+        let replay = j.replay(&io).unwrap();
+        assert_eq!(replay.done_keys(), vec!["bbbb".to_string()]);
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn planned_cells_dedup_in_order() {
+        let path = tmp("plans");
+        let io = StdFs::new();
+        let j = Journal::new(&path);
+        j.append(&io, &JournalEntry::plan("b", "B")).unwrap();
+        j.append(&io, &JournalEntry::plan("a", "A")).unwrap();
+        j.append(&io, &JournalEntry::plan("b", "B2")).unwrap();
+        let replay = j.replay(&io).unwrap();
+        assert_eq!(
+            replay.planned_cells(),
+            vec![("b".into(), "B".into()), ("a".into(), "A".into())]
+        );
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+}

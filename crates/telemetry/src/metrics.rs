@@ -67,6 +67,19 @@ pub static CACHE_EVICTIONS: Counter = Counter::new();
 /// nanoseconds.
 pub static PROFILE_STEP_WALL_NS: Histogram = Histogram::new();
 
+// --- result store -------------------------------------------------------
+
+/// Store lookups answered by a verified on-disk record.
+pub static STORE_HITS: Counter = Counter::new();
+/// Store lookups that found no record for the key.
+pub static STORE_MISSES: Counter = Counter::new();
+/// Records durably written (write-temp-fsync-rename completed).
+pub static STORE_WRITES: Counter = Counter::new();
+/// Store I/O attempts retried after a transient failure.
+pub static STORE_RETRIES: Counter = Counter::new();
+/// Corrupt records moved to quarantine instead of being read.
+pub static STORE_QUARANTINED: Counter = Counter::new();
+
 // --- datapipe -----------------------------------------------------------
 
 /// Simulated service time of each sample-prep stage, in nanoseconds.
@@ -179,6 +192,31 @@ pub static COUNTERS: &[CounterDef] = &[
         name: "stash_cache_evictions_total",
         help: "Measurement-cache entries dropped by an explicit clear.",
         counter: &CACHE_EVICTIONS,
+    },
+    CounterDef {
+        name: "stash_store_hits_total",
+        help: "Store lookups answered by a verified on-disk record.",
+        counter: &STORE_HITS,
+    },
+    CounterDef {
+        name: "stash_store_misses_total",
+        help: "Store lookups that found no record for the key.",
+        counter: &STORE_MISSES,
+    },
+    CounterDef {
+        name: "stash_store_writes_total",
+        help: "Records durably written to the result store.",
+        counter: &STORE_WRITES,
+    },
+    CounterDef {
+        name: "stash_store_retries_total",
+        help: "Store I/O attempts retried after a transient failure.",
+        counter: &STORE_RETRIES,
+    },
+    CounterDef {
+        name: "stash_store_quarantined_total",
+        help: "Corrupt records moved to quarantine instead of being read.",
+        counter: &STORE_QUARANTINED,
     },
 ];
 

@@ -6,6 +6,8 @@
 //! cargo run --release --example characterization_db
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::path::PathBuf;
 
 use stash::prelude::*;

@@ -14,6 +14,8 @@
 //! cargo run --release --example dump_reports > /tmp/reports.txt
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash_core::profiler::Stash;
 use stash_dnn::model::Model;
 use stash_dnn::zoo;

@@ -18,7 +18,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH_N=8
+BENCH_N=9
 SMOKE=0
 BASELINE_REV="HEAD^"
 for arg in "$@"; do
@@ -58,6 +58,48 @@ echo "== current tree: figure sweep (fast-forward on), $ITERS iters x $REPEATS r
 run_sweep "" "$TMP/current.json"
 echo "== current tree: figure sweep (STASH_FAST_FORWARD=0) =="
 run_sweep "STASH_FAST_FORWARD=0" "$TMP/ff_off.json"
+
+# Durable-sweep leg: the pay-once economics of the result store. A cold
+# `stash sweep` simulates a 24-cell grid into a checksummed store; the
+# resumed run replays the write-ahead journal and serves every cell from
+# verified records. Resume must be at least 5x faster than cold — the
+# store exists precisely so crashed fleets never pay for a cell twice.
+echo "== durable sweep: cold vs resumed (stash sweep --store), best of $REPEATS =="
+cargo build --release --quiet
+SWEEP_GRID=(--models AlexNet,ResNet18,ResNet50,ShuffleNet,MobileNet-v2,VGG11
+    --clusters "p3.2xlarge,p3.8xlarge,p3.16xlarge,p3.8xlarge*2" --iters 30)
+COLD_NS="" RESUMED_NS=""
+for ((i = 0; i < REPEATS; i++)); do
+    rm -rf "$TMP/sweep-store"
+    t0=$(date +%s%N)
+    ./target/release/stash sweep "${SWEEP_GRID[@]}" \
+        --store "$TMP/sweep-store" --out "$TMP/sweep-cold.csv" >/dev/null
+    t1=$(date +%s%N)
+    ./target/release/stash sweep --store "$TMP/sweep-store" --resume \
+        --out "$TMP/sweep-warm.csv" >/dev/null
+    t2=$(date +%s%N)
+    if [[ -z "$COLD_NS" || $((t1 - t0)) -lt "$COLD_NS" ]]; then COLD_NS=$((t1 - t0)); fi
+    if [[ -z "$RESUMED_NS" || $((t2 - t1)) -lt "$RESUMED_NS" ]]; then RESUMED_NS=$((t2 - t1)); fi
+done
+# The resumed CSV must agree with the cold one on every value (only the
+# status column flips computed -> resumed); then gate the speedup.
+cmp <(sed 's/,[a-z-]*$//' "$TMP/sweep-cold.csv") <(sed 's/,[a-z-]*$//' "$TMP/sweep-warm.csv")
+python3 - "$COLD_NS" "$RESUMED_NS" "$TMP/durable_sweep.json" <<'PY'
+import json, sys
+cold_ns, resumed_ns, out = int(sys.argv[1]), int(sys.argv[2]), sys.argv[3]
+speedup = cold_ns / resumed_ns
+record = {
+    "grid_cells": 24,
+    "cold_secs": cold_ns / 1e9,
+    "resumed_secs": resumed_ns / 1e9,
+    "resume_speedup": speedup,
+}
+json.dump(record, open(out, "w"))
+print(f"[durable sweep: cold {cold_ns / 1e9:.3f}s -> resumed {resumed_ns / 1e9:.3f}s, "
+      f"{speedup:.1f}x]")
+assert speedup >= 5.0, (
+    f"resume speedup gate: {speedup:.2f}x < 5x — the store is no longer paying for itself")
+PY
 
 if [[ "$SMOKE" == 1 ]]; then
     # Smoke: prove the script runs end to end and the record is sane.
@@ -148,6 +190,9 @@ record = {
     # iteration-time CoV and transient-spike count (the quantities
     # `stash diff` gates on between series documents).
     "series": current.get("series", {}),
+    # Cold-vs-resumed durable sweep: the result store's pay-once
+    # economics, gated at a 5x minimum resume speedup above.
+    "durable_sweep": json.load(open(f"{tmp}/durable_sweep.json")),
 }
 out = f"results/BENCH_{n}.json"
 json.dump(record, open(out, "w"), indent=2)

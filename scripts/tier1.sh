@@ -13,7 +13,7 @@ cargo clippy --workspace -- -D warnings
 # Panic-free library gate: these crates deny clippy::unwrap_used and
 # clippy::expect_used via their [lints] tables; this invocation keeps the
 # gate visible and catches regressions even if the workspace line changes.
-cargo clippy -p stash-faults -p stash-hwtopo -p stash-datapipe -p stash-collectives -p stash-telemetry -p stash-trace -p stash-simkit -p stash-flowsim -p stash-ddl -p stash-core --lib -- -D warnings
+cargo clippy -p stash-faults -p stash-hwtopo -p stash-datapipe -p stash-collectives -p stash-telemetry -p stash-trace -p stash-simkit -p stash-flowsim -p stash-ddl -p stash-core -p stash-store -p stash-dnn -p stash-gpucompute -p stash-bench -p stash --lib -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 # Trace CLI smoke test. The `trace validated` line only prints after the
@@ -154,6 +154,39 @@ doc = json.load(open("/tmp/stash_tier1_flight.json"))
 assert doc["schema"] == "stash-flight-v1", doc.get("schema")
 assert doc["events"], "flight dump recorded no events"
 PY
+
+# Durable-sweep smoke: a cold sweep lands every cell in the checksummed
+# store; a resumed run serves all of them back and agrees with the cold
+# CSV on every value (only the status column may change).
+rm -rf /tmp/stash_tier1_store
+./target/release/stash sweep --models AlexNet,ResNet18 --clusters p3.2xlarge \
+    --store /tmp/stash_tier1_store --out /tmp/stash_tier1_sweep_cold.csv >/dev/null
+sweep_out=$(./target/release/stash sweep --store /tmp/stash_tier1_store --resume \
+    --out /tmp/stash_tier1_sweep_warm.csv)
+grep -q "0 computed, 2 resumed, 0 failed" <<<"$sweep_out"
+cmp <(sed 's/,[a-z-]*$//' /tmp/stash_tier1_sweep_cold.csv) \
+    <(sed 's/,[a-z-]*$//' /tmp/stash_tier1_sweep_warm.csv)
+
+# Fsck smoke: doctor one stored record, prove fsck catches it (exit 2,
+# corpse quarantined), then prove --repair rebuilds the record from the
+# write-ahead journal byte-identically to the pristine original.
+rec=$(ls /tmp/stash_tier1_store/records/*.rec | head -1)
+cp "$rec" /tmp/stash_tier1_pristine.rec
+printf 'XX' | dd of="$rec" bs=1 seek=40 conv=notrunc status=none
+if ./target/release/stash fsck /tmp/stash_tier1_store >/dev/null; then
+    echo "fsck missed a doctored record" >&2
+    exit 1
+fi
+./target/release/stash fsck /tmp/stash_tier1_store --repair >/dev/null
+cmp "$rec" /tmp/stash_tier1_pristine.rec
+./target/release/stash fsck /tmp/stash_tier1_store >/dev/null
+
+# Durability gates: crash-kill convergence (SIGKILL mid-write, resume,
+# byte-identical store), the storeless/stored/faulted differential, and
+# frame + fault-injection property tests.
+cargo test -q --test store_crash
+cargo test -q --test sweep_differential
+cargo test -q --test store_props
 
 # Zero-allocation gate: steady-state epochs must not touch the global
 # allocator (counting-allocator test), fast-forward must not change any

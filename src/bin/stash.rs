@@ -27,6 +27,20 @@
 //!                                        (simulates a default sweep when
 //!                                        the dir has none), validated
 //!                                        self-contained HTML
+//! stash sweep [--models A,B]             durable characterization sweep:
+//!             [--clusters X,Y] [-b N]    consult-first cells against a
+//!             [--iters N]                checksummed result store with a
+//!             [--store DIR] [--resume]   write-ahead journal; exit 2 when
+//!             [--out CSV]                cells failed but the sweep
+//!             [--io-fault-plan FILE]     finished (graceful degradation);
+//!             [--io-fault-seed N]        deterministic I/O fault
+//!             [--retries N]              injection for crash drills
+//!             [--deadline-secs S]
+//! stash fsck <store-dir> [--repair]      verify every store record's
+//!                                        frame; quarantine corrupt ones
+//!                                        and (with --repair) rebuild them
+//!                                        from the journal, exit 2 when
+//!                                        corruption remains
 //! ```
 //!
 //! Cluster syntax matches the paper: `p3.16xlarge` or `p3.8xlarge*2`.
@@ -1290,11 +1304,33 @@ fn cmd_dash(args: &[String]) -> ExitCode {
         .cloned()
         .unwrap_or_else(|| format!("{dir}/dashboard.html"));
 
+    // A result store is not a series directory: refuse loudly instead of
+    // simulating a default sweep into it (which would bury series JSON
+    // between the records) or silently skipping its binary files.
+    let dir_path = std::path::Path::new(dir);
+    if dir_path.join("records").is_dir() || dir_path.join("journal.log").is_file() {
+        eprintln!(
+            "{dir}: this is a stash result store (records/ + journal.log), not a series \
+             results directory — inspect it with `stash fsck {dir}` or point dash at a \
+             directory of stash-series-v1 JSON documents"
+        );
+        return ExitCode::FAILURE;
+    }
+
     // Load every stash-series-v1 document already in the directory
     // (sorted by filename for deterministic cell input order; ordering
-    // is then re-normalised by Dashboard::new anyway).
+    // is then re-normalised by Dashboard::new anyway). Unreadable or
+    // non-JSON files are typed errors; valid JSON that is not a series
+    // document is skipped with an explicit note.
     let mut cells: Vec<DashCell> = Vec::new();
-    if let Ok(entries) = std::fs::read_dir(dir) {
+    if dir_path.is_dir() {
+        let entries = match std::fs::read_dir(dir_path) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("cannot read directory {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         let mut paths: Vec<std::path::PathBuf> = entries
             .filter_map(Result::ok)
             .map(|e| e.path())
@@ -1302,13 +1338,22 @@ fn cmd_dash(args: &[String]) -> ExitCode {
             .collect();
         paths.sort();
         for path in paths {
-            let Ok(text) = std::fs::read_to_string(&path) else {
-                continue;
+            let text = match std::fs::read_to_string(&path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
             };
-            let Ok(doc) = serde_json::from_str::<serde_json::Value>(&text) else {
-                continue;
+            let doc = match serde_json::from_str::<serde_json::Value>(&text) {
+                Ok(doc) => doc,
+                Err(e) => {
+                    eprintln!("{}: invalid JSON: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
             };
             if !stash::telemetry::series::is_series_doc(&doc) {
+                println!("skipped (not a series document): {}", path.display());
                 continue;
             }
             match DashCell::from_doc(&doc) {
@@ -1413,6 +1458,434 @@ fn cmd_dash(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The value following `name`, if the flag is present.
+fn flag_val<'a>(args: &'a [String], name: &str) -> Option<&'a String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+}
+
+/// Reconstructs a sweep cell from its journal `plan` descriptor (the
+/// JSON written by `cell_descriptor`), so `--resume` and `fsck --repair`
+/// can re-run exactly what the interrupted sweep intended.
+fn job_from_descriptor(detail: &str) -> Result<ProfileJob, String> {
+    let v: serde_json::Value =
+        serde_json::from_str(detail).map_err(|e| format!("journal plan is not JSON: {e}"))?;
+    match v.get("schema").and_then(serde_json::Value::as_str) {
+        Some(s) if s == stash::core::sweep::CELL_SCHEMA => {}
+        Some(other) => return Err(format!("unknown journal plan schema '{other}'")),
+        None => return Err("journal plan missing schema tag".to_string()),
+    }
+    let str_field = |k: &str| {
+        v.get(k)
+            .and_then(serde_json::Value::as_str)
+            .ok_or_else(|| format!("journal plan missing '{k}'"))
+    };
+    let u64_field = |k: &str| {
+        v.get(k)
+            .and_then(serde_json::Value::as_u64)
+            .ok_or_else(|| format!("journal plan missing '{k}'"))
+    };
+    let cluster = parse_cluster(str_field("cluster")?)?;
+    let model = lookup_model(str_field("model")?)?;
+    let mut stash_p = stash_for(model, u64_field("per_gpu_batch")?)
+        .with_sampled_iterations(u64_field("sampled_iterations")?);
+    if let Some(samples) = v.get("epoch_samples").and_then(serde_json::Value::as_u64) {
+        stash_p = stash_p.with_epoch_samples(samples);
+    }
+    let dataset = str_field("dataset")?;
+    if stash_p.dataset().name != dataset {
+        return Err(format!(
+            "journal plan dataset '{dataset}' does not match '{}' derived for the model",
+            stash_p.dataset().name
+        ));
+    }
+    Ok(ProfileJob {
+        stash: stash_p,
+        cluster,
+    })
+}
+
+/// The record key a quarantine file holds the corpse of, from its
+/// `<32 hex>.rec.qN` name.
+fn quarantined_record_key(path: &std::path::Path) -> Option<String> {
+    let name = path.file_name()?.to_str()?;
+    let (stem, _) = name.split_once(".rec")?;
+    (stem.len() == 32 && stem.chars().all(|c| c.is_ascii_hexdigit())).then(|| stem.to_string())
+}
+
+/// The default sweep grid (matches the dash simulation grid's clusters,
+/// with CNN-family models so every cell profiles quickly).
+const SWEEP_CLUSTERS: [&str; 3] = ["p3.2xlarge", "p3.8xlarge", "p3.8xlarge*2"];
+const SWEEP_MODELS: [&str; 3] = ["ShuffleNet", "ResNet18", "AlexNet"];
+
+fn cmd_sweep(args: &[String]) -> ExitCode {
+    let usage = "usage: stash sweep [--models A,B] [--clusters X,Y] [-b batch] [--iters N] \
+                 [--store DIR] [--resume] [--out CSV] [--io-fault-plan FILE] \
+                 [--io-fault-seed N] [--retries N] [--deadline-secs S]";
+    let store_dir = flag_val(args, "--store").cloned();
+    let resume = args.iter().any(|a| a == "--resume");
+    if resume && store_dir.is_none() {
+        eprintln!("--resume requires --store DIR\n{usage}");
+        return ExitCode::FAILURE;
+    }
+
+    // Sampled iterations per cell. A cell's key covers this (it is part
+    // of the descriptor), so records computed at different budgets never
+    // collide, and resume replays each cell at its journaled budget.
+    let sampled_iterations = match flag_val(args, "--iters") {
+        None => 6,
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--iters wants a positive integer, got '{v}'\n{usage}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let mut policy = RetryPolicy::default();
+    if let Some(v) = flag_val(args, "--retries") {
+        match v.parse::<u32>() {
+            Ok(n) if n >= 1 => policy.max_attempts = n,
+            _ => {
+                eprintln!("--retries wants a positive integer, got '{v}'\n{usage}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(v) = flag_val(args, "--deadline-secs") {
+        match v.parse::<u64>() {
+            Ok(s) if s >= 1 => policy.deadline_ms = s.saturating_mul(1000),
+            _ => {
+                eprintln!("--deadline-secs wants a positive integer, got '{v}'\n{usage}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // The I/O backend: production StdFs, or deterministic fault
+    // injection when a plan (file or seed) is given.
+    let fault_plan = match (
+        flag_val(args, "--io-fault-plan"),
+        flag_val(args, "--io-fault-seed"),
+    ) {
+        (Some(_), Some(_)) => {
+            eprintln!("--io-fault-plan and --io-fault-seed are mutually exclusive\n{usage}");
+            return ExitCode::FAILURE;
+        }
+        (Some(path), None) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match IoFaultPlan::from_json(&text) {
+                Ok(plan) => Some((plan, format!("plan file {path}"))),
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        (None, Some(seed)) => match seed.parse::<u64>() {
+            Ok(seed) => Some((IoFaultPlan::seeded(seed), format!("seed {seed}"))),
+            Err(_) => {
+                eprintln!("--io-fault-seed wants an integer, got '{seed}'\n{usage}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, None) => None,
+    };
+    if fault_plan.is_some() && store_dir.is_none() {
+        eprintln!("I/O fault injection only touches store I/O — add --store DIR\n{usage}");
+        return ExitCode::FAILURE;
+    }
+
+    let store = match &store_dir {
+        Some(dir) => {
+            let io: Box<dyn StoreIo> = match fault_plan {
+                Some((plan, origin)) => {
+                    println!(
+                        "sweep: injecting {} planned I/O fault(s) ({origin})",
+                        plan.faults.len()
+                    );
+                    Box::new(FaultFs::new(plan))
+                }
+                None => Box::new(StdFs::new()),
+            };
+            match ResultStore::open(std::path::Path::new(dir), io) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+
+    // The cell list: on --resume, reconstruct it from the journal's plan
+    // lines (what the interrupted sweep intended); otherwise build the
+    // flag-selected (or default) cluster x model grid.
+    let mut jobs: Vec<ProfileJob> = Vec::new();
+    let mut resumed_from_journal = false;
+    if resume {
+        let Some(store) = &store else {
+            unreachable!("--resume checked above")
+        };
+        let replay = match store.journal().replay(store.io()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cannot replay {}: {e}", store.journal().path().display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if replay.torn_tail {
+            println!(
+                "sweep: journal has a torn tail (crash mid-append) — trusting the intact prefix"
+            );
+        }
+        let planned = replay.planned_cells();
+        for (key, detail) in &planned {
+            match job_from_descriptor(detail) {
+                Ok(job) => jobs.push(job),
+                Err(e) => {
+                    eprintln!("journal plan for cell {key}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if !jobs.is_empty() {
+            resumed_from_journal = true;
+            println!("sweep: resuming {} journaled cell(s)", jobs.len());
+        } else {
+            println!("sweep: journal is empty — running a fresh sweep");
+        }
+    }
+    if !resumed_from_journal {
+        let split = |v: Option<&String>, defaults: &[&str]| -> Vec<String> {
+            v.map_or_else(
+                || defaults.iter().map(|s| (*s).to_string()).collect(),
+                |s| {
+                    s.split(',')
+                        .map(str::trim)
+                        .filter(|p| !p.is_empty())
+                        .map(String::from)
+                        .collect()
+                },
+            )
+        };
+        let cluster_specs = split(flag_val(args, "--clusters"), &SWEEP_CLUSTERS);
+        let model_names = split(flag_val(args, "--models"), &SWEEP_MODELS);
+        if cluster_specs.is_empty() || model_names.is_empty() {
+            eprintln!("empty --clusters/--models list\n{usage}");
+            return ExitCode::FAILURE;
+        }
+        let batch = parse_batch(args);
+        for cluster_spec in &cluster_specs {
+            let cluster = match parse_cluster(cluster_spec) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for model_name in &model_names {
+                let model = match lookup_model(model_name) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                jobs.push(ProfileJob {
+                    stash: stash_for(model, batch)
+                        .with_sampled_iterations(sampled_iterations)
+                        .with_epoch_samples(20_000),
+                    cluster: cluster.clone(),
+                });
+            }
+        }
+    }
+
+    stash::telemetry::enable();
+    let cache = MeasurementCache::new();
+    let outcome = stash::core::sweep::run_sweep(&jobs, store.as_ref(), &policy, &cache);
+
+    println!("{:<16} {:<12} {:>6} status", "cluster", "model", "batch");
+    for cell in &outcome.cells {
+        println!(
+            "{:<16} {:<12} {:>6} {}",
+            cell.cluster,
+            cell.model,
+            cell.per_gpu_batch,
+            cell.status.code()
+        );
+    }
+    println!(
+        "sweep: {} computed, {} resumed, {} failed",
+        outcome.computed(),
+        outcome.resumed(),
+        outcome.failed()
+    );
+
+    let out_path = flag_val(args, "--out").cloned().unwrap_or_else(|| {
+        store_dir.as_ref().map_or_else(
+            || "results/sweep.csv".to_string(),
+            |dir| format!("{dir}/results.csv"),
+        )
+    });
+    if let Err(e) = write_creating_dirs(&out_path, &outcome.results_csv()) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    println!("results written to {out_path}");
+
+    if outcome.failed() > 0 {
+        eprintln!(
+            "sweep finished with {} failed cell(s) — see the status column in {out_path}",
+            outcome.failed()
+        );
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_fsck(args: &[String]) -> ExitCode {
+    let Some(dir) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: stash fsck <store-dir> [--repair]");
+        return ExitCode::FAILURE;
+    };
+    let repair = args.iter().any(|a| a == "--repair");
+
+    if !std::path::Path::new(dir).is_dir() {
+        eprintln!("{dir}: not a directory (fsck wants an existing stash result store)");
+        return ExitCode::FAILURE;
+    }
+    let store = match ResultStore::open(std::path::Path::new(dir), Box::new(StdFs::new())) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match store.fsck() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "fsck {dir}: {} record(s) scanned, {} ok, {} issue(s)",
+        report.scanned,
+        report.ok,
+        report.issues.len()
+    );
+    for issue in &report.issues {
+        println!("  {issue}");
+    }
+    // The rebuild worklist: keys quarantined by this scan plus keys a
+    // *previous* scan quarantined (their bytes still sit in quarantine/
+    // and their record is gone), minus anything that verifies clean now.
+    let mut needs_rebuild: std::collections::BTreeSet<String> =
+        report.quarantined_keys().into_iter().collect();
+    match store.io().list(&store.quarantine_dir()) {
+        Ok(files) => {
+            for file in files {
+                if let Some(key) = quarantined_record_key(&file) {
+                    needs_rebuild.insert(key);
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("cannot list {}: {e}", store.quarantine_dir().display());
+            return ExitCode::FAILURE;
+        }
+    }
+    needs_rebuild.retain(|key| {
+        stash::store::parse_key_hex(key).is_none_or(|k| !matches!(store.get(k), Ok(Fetch::Hit(_))))
+    });
+    if needs_rebuild.is_empty() {
+        println!("store verifies clean");
+        return ExitCode::SUCCESS;
+    }
+    if !repair {
+        eprintln!(
+            "{} corrupt record(s) in quarantine — re-run with --repair to rebuild them \
+             from the journal",
+            needs_rebuild.len()
+        );
+        return ExitCode::from(2);
+    }
+
+    // Repair: re-run the quarantined cells from their journal plans; the
+    // engine is deterministic, so a rebuilt record is byte-identical to
+    // the one the corruption destroyed.
+    let replay = match store.journal().replay(store.io()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot replay {}: {e}", store.journal().path().display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut jobs: Vec<ProfileJob> = Vec::new();
+    for key in &needs_rebuild {
+        let Some(detail) = replay.plan_for(key) else {
+            eprintln!("cannot rebuild {key}: no journal plan for it");
+            continue;
+        };
+        match job_from_descriptor(detail) {
+            Ok(job) => jobs.push(job),
+            Err(e) => eprintln!("cannot rebuild {key}: {e}"),
+        }
+    }
+    let cache = MeasurementCache::new();
+    let policy = RetryPolicy::default();
+    let outcome = stash::core::sweep::run_sweep(&jobs, Some(&store), &policy, &cache);
+    for cell in &outcome.cells {
+        match &cell.status {
+            CellStatus::Failed(reason) => {
+                eprintln!("rebuild of {} failed: {reason}", cell.key);
+            }
+            _ => println!(
+                "rebuilt {} ({} x {}, b{})",
+                cell.key, cell.cluster, cell.model, cell.per_gpu_batch
+            ),
+        }
+    }
+    // Every quarantined key must now fetch as a verified hit; this loop
+    // is the sole arbiter of repair success.
+    let mut unrepaired = 0usize;
+    for key in &needs_rebuild {
+        let Some(parsed) = stash::store::parse_key_hex(key) else {
+            eprintln!("rebuild of {key} failed: not a valid record key");
+            unrepaired += 1;
+            continue;
+        };
+        match store.get(parsed) {
+            Ok(Fetch::Hit(_)) => {}
+            Ok(_) => {
+                eprintln!("rebuild of {key} did not verify");
+                unrepaired += 1;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                unrepaired += 1;
+            }
+        }
+    }
+    if unrepaired > 0 {
+        eprintln!("{unrepaired} record(s) remain unrepaired");
+        return ExitCode::from(2);
+    }
+    println!("repair complete: store verifies clean");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -1427,6 +1900,8 @@ fn main() -> ExitCode {
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("perf") => cmd_perf(&args[1..]),
         Some("dash") => cmd_dash(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("fsck") => cmd_fsck(&args[1..]),
         _ => {
             eprintln!(
                 "stash — DDL stall profiler (ICDCS'23 reproduction)\n\n\
@@ -1439,7 +1914,9 @@ fn main() -> ExitCode {
                  stash diff <baseline.json> <current.json> [--threshold FRAC]\n  \
                  stash chaos <instance> <model> [--seed N] [--plan FILE] [--out PATH] [--flight PATH] [--series PATH] [-b batch]\n  \
                  stash perf <cluster|sweep> <model> [-b batch] [--out BASE] [--format csv]\n  \
-                 stash dash <results-dir> [--out PATH]\n\n\
+                 stash dash <results-dir> [--out PATH]\n  \
+                 stash sweep [--models A,B] [--clusters X,Y] [-b batch] [--iters N] [--store DIR] [--resume] [--out CSV] [--io-fault-plan FILE] [--io-fault-seed N] [--retries N] [--deadline-secs S]\n  \
+                 stash fsck <store-dir> [--repair]\n\n\
                  clusters: p3.16xlarge, p3.8xlarge*2, ..."
             );
             ExitCode::FAILURE

@@ -18,6 +18,7 @@
 //! | [`trace`] | `stash-trace` | span tracing, Chrome export, metrics |
 //! | [`faults`] | `stash-faults` | deterministic fault-injection plans |
 //! | [`telemetry`] | `stash-telemetry` | simulator self-telemetry + flight recorder |
+//! | [`store`] | `stash-store` | checksummed result store, I/O fault injection, retry |
 //!
 //! # Quickstart
 //!
@@ -45,6 +46,7 @@ pub use stash_flowsim as flowsim;
 pub use stash_gpucompute as gpucompute;
 pub use stash_hwtopo as hwtopo;
 pub use stash_simkit as simkit;
+pub use stash_store as store;
 pub use stash_telemetry as telemetry;
 pub use stash_trace as trace;
 
@@ -60,5 +62,6 @@ pub mod prelude {
     pub use stash_gpucompute::prelude::*;
     pub use stash_hwtopo::prelude::*;
     pub use stash_simkit::prelude::*;
+    pub use stash_store::prelude::*;
     pub use stash_trace::prelude::*;
 }

@@ -9,6 +9,8 @@
 //! This file holds exactly one test so the global counting allocator is
 //! not polluted by concurrent tests in the same binary.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};

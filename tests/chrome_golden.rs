@@ -3,6 +3,8 @@
 //! the JSON must parse, and every span's B/E pair must nest correctly
 //! per track (checked by the same validator the CLI uses).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::cell::RefCell;
 use std::rc::Rc;
 

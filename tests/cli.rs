@@ -1,6 +1,8 @@
 //! End-to-end tests of the `stash` command-line profiler, driving the
 //! compiled binary like a user would.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::process::Command;
 
 fn stash(args: &[&str]) -> std::process::Output {
@@ -270,6 +272,208 @@ fn diff_rejects_corrupted_json_without_panicking() {
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(!stderr.contains("panicked"), "{stderr}");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn diff_rejects_store_dirs_and_binary_records_with_typed_errors() {
+    let dir = std::env::temp_dir().join("stash_cli_diff_doctored_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = dir.join("store");
+
+    let out = stash(&[
+        "sweep",
+        "--models",
+        "AlexNet",
+        "--clusters",
+        "p3.2xlarge",
+        "--store",
+        store.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A store directory is not a report file: typed error, no panic.
+    let out = stash(&["diff", store.to_str().unwrap(), store.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("cannot read"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    // Neither is a binary record file (non-UTF8 framed bytes).
+    let rec = std::fs::read_dir(store.join("records"))
+        .unwrap()
+        .next()
+        .unwrap()
+        .unwrap()
+        .path();
+    assert!(!std::fs::read(&rec).unwrap().is_empty());
+    let out = stash(&["diff", rec.to_str().unwrap(), rec.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("cannot read") || stderr.contains("invalid JSON"),
+        "{stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dash_refuses_result_stores_and_flags_invalid_json() {
+    let dir = std::env::temp_dir().join("stash_cli_dash_doctored_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = dir.join("store");
+
+    let out = stash(&[
+        "sweep",
+        "--models",
+        "AlexNet",
+        "--clusters",
+        "p3.2xlarge",
+        "--store",
+        store.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Pointing dash at a result store must refuse, not simulate into it
+    // or choke on the binary records.
+    let out = stash(&["dash", store.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("result store"), "{stderr}");
+    assert!(stderr.contains("fsck"), "{stderr}");
+
+    // A series directory containing broken JSON is a typed,
+    // path-qualified error — never a panic or a silent skip.
+    let series_dir = dir.join("series");
+    std::fs::create_dir_all(&series_dir).unwrap();
+    let bad = series_dir.join("broken.json");
+    std::fs::write(&bad, "{\"schema\": \"stash-series-v1\", \"poi").unwrap();
+    let out = stash(&["dash", series_dir.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("invalid JSON"), "{stderr}");
+    assert!(stderr.contains("broken.json"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dash_skips_non_series_json_loudly() {
+    let dir = std::env::temp_dir().join("stash_cli_dash_skip_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // One real series document plus one valid-but-unrelated JSON file.
+    let series = dir.join("series_a.json");
+    let out = stash(&[
+        "chaos",
+        "p3.2xlarge",
+        "alexnet",
+        "--seed",
+        "3",
+        "--series",
+        series.to_str().unwrap(),
+        "--out",
+        dir.join("resilience.json").to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let notes = dir.join("notes.json");
+    std::fs::write(&notes, "{\"reviewer\": \"pending\"}").unwrap();
+
+    let out = stash(&["dash", dir.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("skipped (not a series document)") && stdout.contains("notes.json"),
+        "non-series JSON must be skipped with a note:\n{stdout}"
+    );
+    assert!(stdout.contains("loaded series"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_flag_misuse_fails_with_typed_errors() {
+    // --resume without --store: there is nothing to resume from.
+    let out = stash(&["sweep", "--resume"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--resume requires --store"), "{stderr}");
+
+    // Fault injection without a store has nothing to inject into.
+    let out = stash(&["sweep", "--io-fault-seed", "7"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("add --store"), "{stderr}");
+
+    // Non-numeric seed.
+    let dir = std::env::temp_dir().join("stash_cli_sweep_flags_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("store");
+    let out = stash(&[
+        "sweep",
+        "--store",
+        store.to_str().unwrap(),
+        "--io-fault-seed",
+        "lots",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("--io-fault-seed wants an integer"),
+        "{stderr}"
+    );
+
+    // A garbage fault-plan file is a typed parse error, not a panic.
+    let plan = dir.join("plan.json");
+    std::fs::write(&plan, "{\"faults\": [wat").unwrap();
+    let out = stash(&[
+        "sweep",
+        "--store",
+        store.to_str().unwrap(),
+        "--io-fault-plan",
+        plan.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("invalid I/O fault plan"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fsck_and_perf_reject_doctored_paths() {
+    // fsck on a path that does not exist must not create a store there.
+    let ghost = std::env::temp_dir().join("stash_cli_fsck_ghost_test");
+    let _ = std::fs::remove_dir_all(&ghost);
+    let out = stash(&["fsck", ghost.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("not a directory"), "{stderr}");
+    assert!(!ghost.exists(), "fsck must not conjure a store into being");
+
+    // perf given a filesystem path where a cluster belongs.
+    let out = stash(&["perf", "/tmp/not-a-cluster", "resnet18"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown instance"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
 }
 
 #[test]

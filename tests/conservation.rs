@@ -1,6 +1,8 @@
 //! Conservation and consistency properties across the whole stack,
 //! exercised with randomly generated models (proptest).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use stash::prelude::*;
 

@@ -4,6 +4,8 @@
 //! projection must agree with a ground-truth re-simulation on rescaled
 //! hardware within the documented tolerance.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::cell::RefCell;
 use std::rc::Rc;
 

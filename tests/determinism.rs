@@ -4,6 +4,8 @@
 //! stall reports — any float-level drift here would silently corrupt every
 //! figure the bench harness regenerates.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash::prelude::*;
 
 fn stash_under_test() -> Stash {

@@ -2,6 +2,8 @@
 //! exercise: alternative collectives, size-capped bucketing, the P4
 //! instance, full-epoch mode, and report serialization.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash::prelude::*;
 
 fn base(cluster: ClusterSpec, model: Model) -> TrainConfig {

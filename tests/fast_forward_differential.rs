@@ -4,6 +4,8 @@
 //! and with or without a reused [`EngineArena`]. Any drift here means the
 //! analytic extension diverged from event-by-event simulation.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash::ddl::engine::{run_epoch_in, run_epoch_with, EngineArena, EngineOptions};
 use stash::ddl::perf_stats;
 use stash::prelude::*;

@@ -5,6 +5,8 @@
 //! deterministic, and on factor-1 runs the faulted accumulators tile the
 //! wall clock at integer-nanosecond exactness.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::cell::RefCell;
 use std::rc::Rc;
 

@@ -3,6 +3,8 @@
 //! profiler pipeline — engine, flow network, data pipeline, collectives —
 //! with reduced iteration counts to stay fast in debug builds.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash::prelude::*;
 
 fn quick(model: Model) -> Stash {

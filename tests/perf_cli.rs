@@ -1,6 +1,8 @@
 //! End-to-end tests of `stash perf`, the telemetry mode of `stash diff`,
 //! and the `stash chaos --flight` recorder, driving the compiled binary.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::process::Command;
 
 use serde_json::{Number, Value};

@@ -4,6 +4,8 @@
 //! the deterministic event queue, gradient bucketing, the page cache, the
 //! time types and the end-to-end engine's determinism and monotonicity.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use stash::prelude::*;
 

@@ -6,6 +6,8 @@
 //! pop sequences and clocks. This is the contract that lets the engine
 //! swap queues without perturbing a single simulated nanosecond.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 

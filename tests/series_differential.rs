@@ -11,6 +11,8 @@
 //!
 //! [`EpochReport`]: stash::ddl::report::EpochReport
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash::ddl::engine::{run_epoch_faulted_with, run_epoch_series, run_epoch_with, EngineOptions};
 use stash::prelude::*;
 use stash::telemetry::series::IterSeries;

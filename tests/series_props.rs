@@ -5,6 +5,8 @@
 //! bound, and serialize byte-identically for identical inputs (which is
 //! what makes `stash-series-v1` artifacts diffable in CI).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use stash::telemetry::series::{
     IterSeries, SeriesMeta, SeriesRecorder, SeriesSample, MIN_CAPACITY,

@@ -1,0 +1,129 @@
+//! Property tests for the `stash-store` durability layer: the record
+//! frame and the fault-injected store round-trip admit exactly two
+//! outcomes — the original bytes, or a *typed* detected-corruption.
+//! There is no third outcome: a read must never hand back bytes that
+//! differ from what was stored without flagging them.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+use stash::store::frame::{decode, encode, HEADER_LEN};
+use stash::store::prelude::*;
+use stash::store::{fnv128, key_hex};
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh per-case scratch directory (unique across parallel tests).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "stash_store_props_{tag}_{}_{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn payloads() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..255, 0..600)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode -> decode is the identity for arbitrary payloads.
+    #[test]
+    fn frame_round_trips(payload in payloads()) {
+        let framed = encode(&payload);
+        prop_assert_eq!(framed.len(), HEADER_LEN + payload.len());
+        prop_assert_eq!(decode(&framed).unwrap(), payload);
+    }
+
+    /// Any single corrupted byte anywhere in the frame — header or
+    /// payload — is detected. No flip may survive decode.
+    #[test]
+    fn any_single_byte_flip_is_detected(
+        payload in payloads(),
+        pos_seed in 0usize..10_000,
+        flip in 1u8..255,
+    ) {
+        let mut framed = encode(&payload);
+        let pos = pos_seed % framed.len();
+        framed[pos] ^= flip;
+        prop_assert!(
+            decode(&framed).is_err(),
+            "flip of byte {} by {:#04x} went undetected", pos, flip
+        );
+    }
+
+    /// Every truncation of a frame is detected, as is trailing garbage.
+    #[test]
+    fn truncation_and_growth_are_detected(
+        payload in payloads(),
+        cut_seed in 0usize..10_000,
+        extra in 1usize..16,
+    ) {
+        let framed = encode(&payload);
+        let cut = cut_seed % framed.len();
+        prop_assert!(decode(&framed[..cut]).is_err(), "cut at {} undetected", cut);
+        let mut grown = framed.clone();
+        grown.extend(std::iter::repeat_n(0xA5, extra));
+        prop_assert!(decode(&grown).is_err(), "{} trailing bytes undetected", extra);
+    }
+
+    /// Under an arbitrary seeded fault plan, a store round-trip has only
+    /// two outcomes: the exact original payload, or a typed non-hit
+    /// (miss after quarantine / quarantined-corrupt). Retried writes
+    /// converge, and convergence means byte-identity.
+    #[test]
+    fn faulted_store_round_trip_has_no_third_outcome(
+        payload in payloads(),
+        seed in 0u64..1_000_000,
+    ) {
+        let root = scratch("faulted");
+        let store = ResultStore::open(
+            &root,
+            Box::new(FaultFs::new(IoFaultPlan::seeded(seed))),
+        )
+        .unwrap();
+        let key = fnv128(&payload) ^ u128::from(seed);
+        let policy = RetryPolicy::default();
+
+        // Seeded plans contain only recoverable faults, so the retried
+        // put must land.
+        with_retry(&policy, || {
+            store.put(key, &payload).map_err(std::io::Error::other)
+        })
+        .unwrap();
+
+        // Reads may trip planned ShortRead faults and spuriously
+        // quarantine, but may never return different bytes as a Hit.
+        // Every fault fires exactly once, so detect-and-re-put converges
+        // to a verified hit well within the plan's operation horizon.
+        let mut verified = false;
+        for _ in 0..24 {
+            match with_retry(&policy, || store.get(key).map_err(std::io::Error::other)) {
+                Ok(Fetch::Hit(bytes)) => {
+                    prop_assert_eq!(
+                        &bytes, &payload, "hit returned different bytes for {}", key_hex(key)
+                    );
+                    verified = true;
+                    break;
+                }
+                Ok(Fetch::Quarantined { .. } | Fetch::Miss) => {
+                    // Typed detection; re-put converges the store.
+                    with_retry(&policy, || {
+                        store.put(key, &payload).map_err(std::io::Error::other)
+                    })
+                    .unwrap();
+                }
+                Err(reason) => prop_assert!(false, "retries exhausted: {}", reason),
+            }
+        }
+        prop_assert!(verified, "store never converged to a verified hit");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

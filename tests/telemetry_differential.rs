@@ -10,6 +10,8 @@
 //!
 //! [`EpochReport`]: stash::ddl::report::EpochReport
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use stash::ddl::engine::{run_epoch_with, EngineOptions};
 use stash::prelude::*;
 

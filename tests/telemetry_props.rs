@@ -4,6 +4,8 @@
 //! (JSON and Prometheus both), which is what makes telemetry artifacts
 //! diffable in CI.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use stash::telemetry::registry::{
     bucket_index, bucket_quantile, bucket_upper_bound, Histogram, BUCKETS,

@@ -6,6 +6,8 @@
 //! to the untraced run — and the sink must actually have seen events, so
 //! the comparison is not vacuous.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::cell::RefCell;
 use std::rc::Rc;
 

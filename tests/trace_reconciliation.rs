@@ -8,6 +8,8 @@
 //! spans per category and applying the identical scaling must land on
 //! the report's fields exactly, not approximately.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::cell::RefCell;
 use std::rc::Rc;
 
